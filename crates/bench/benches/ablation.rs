@@ -1,0 +1,212 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * `filter_prefix_vs_naive` — O(1) prefix-sum neighborhood counts vs
+//!   naive per-cell summation in the filter step;
+//! * `refine_sweep_vs_grid` — the plane-sweep refinement vs counting
+//!   the neighborhood of every point of a fine grid;
+//! * `pa_bnb_vs_grid` — branch-and-bound super-level sets vs the
+//!   trivial m_d × m_d center-point scan (Section 6.3's strawman);
+//! * `tpr_insert_metric` — predictive-query I/O of a tree built with
+//!   time-integrated metrics vs instantaneous-area metrics;
+//! * `refinement_index` — per-candidate-cell range-query cost of the
+//!   TPR-tree vs the velocity-bounded grid index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdr_bench::{build_fr, build_pa, build_workload, Scale};
+use pdr_core::{classify_cells, refine_region, DenseThreshold, PdrQuery};
+use pdr_geometry::{LSquare, Point, Rect};
+use pdr_tprtree::{TprConfig, TprTree};
+use std::hint::black_box;
+
+fn ablations(c: &mut Criterion) {
+    let mut cfg = Scale::Quick.config();
+    cfg.max_update_time = 8;
+    cfg.prediction_window = 8;
+    let n = 20_000;
+    let w = build_workload(&cfg, n, 5);
+    let fr = build_fr(&cfg, &w, 100);
+    let l = 30.0;
+    let q_t = cfg.horizon() / 2;
+    let rho = cfg.rho(2.0, n);
+    let q = PdrQuery::new(rho, l, q_t);
+
+    // -- filter: prefix sums vs naive summation ------------------------
+    let mut group = c.benchmark_group("filter_prefix_vs_naive");
+    group.sample_size(20);
+    group.bench_function("prefix", |b| {
+        let grid = fr.histogram().grid();
+        b.iter(|| {
+            let sums = fr.histogram().prefix_sums_at(q_t);
+            black_box(classify_cells(grid, &sums, &q).candidate_count())
+        })
+    });
+    group.bench_function("naive", |b| {
+        let grid = fr.histogram().grid();
+        let m = grid.cells_per_side() as i64;
+        let plane = fr.histogram().plane_at(q_t);
+        // eta_h for l = 30, l_c = 10.
+        let eta = 2i64;
+        b.iter(|| {
+            let mut candidates = 0usize;
+            for row in 0..m {
+                for col in 0..m {
+                    let mut sum = 0i64;
+                    for r in (row - eta).max(0)..=(row + eta).min(m - 1) {
+                        for cl in (col - eta).max(0)..=(col + eta).min(m - 1) {
+                            sum += plane[(r * m + cl) as usize] as i64;
+                        }
+                    }
+                    if sum as f64 >= q.count_threshold() {
+                        candidates += 1;
+                    }
+                }
+            }
+            black_box(candidates)
+        })
+    });
+    group.finish();
+
+    // -- refinement: plane sweep vs grid counting ----------------------
+    let mut group = c.benchmark_group("refine_sweep_vs_grid");
+    group.sample_size(20);
+    // A dense candidate-cell-like scene: 300 points in a 10x10 target.
+    let target = Rect::new(0.0, 0.0, 10.0, 10.0);
+    let mut seed = 9u64;
+    let mut rng = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let pts: Vec<Point> = (0..300)
+        .map(|_| Point::new(rng() * 40.0 - 15.0, rng() * 40.0 - 15.0))
+        .collect();
+    let thr = DenseThreshold::from_count(8.0);
+    group.bench_function("sweep", |b| {
+        b.iter(|| black_box(refine_region(&target, &pts, thr, 6.0).len()))
+    });
+    group.bench_function("grid64", |b| {
+        // 64x64 point grid over the target; per point O(n) counting.
+        b.iter(|| {
+            let mut dense = 0usize;
+            for i in 0..64 {
+                for j in 0..64 {
+                    let p = Point::new(
+                        target.x_lo + (i as f64 + 0.5) * target.width() / 64.0,
+                        target.y_lo + (j as f64 + 0.5) * target.height() / 64.0,
+                    );
+                    let sq = LSquare::new(p, 6.0);
+                    if thr.met_by(pts.iter().filter(|&&o| sq.contains(o)).count()) {
+                        dense += 1;
+                    }
+                }
+            }
+            black_box(dense)
+        })
+    });
+    group.finish();
+
+    // -- PA: branch-and-bound vs exhaustive grid scan ------------------
+    let pa = build_pa(&cfg, &w, l, 20, 5);
+    let mut group = c.benchmark_group("pa_bnb_vs_grid");
+    group.sample_size(10);
+    group.bench_function("bnb", |b| {
+        b.iter(|| black_box(pa.query(rho, q_t).regions.len()))
+    });
+    group.bench_function("grid_scan", |b| {
+        b.iter(|| black_box(pa.query_grid_scan(rho, q_t).regions.len()))
+    });
+    group.finish();
+
+    // -- TPR-tree: integrated vs instantaneous insertion metrics -------
+    let mut group = c.benchmark_group("tpr_insert_metric");
+    group.sample_size(10);
+    let query_rect = Rect::new(400.0, 400.0, 500.0, 500.0);
+    for (name, integral) in [("integral", true), ("instant", false)] {
+        let mut tree = TprTree::new(
+            TprConfig {
+                buffer_pages: 64,
+                min_fill_ratio: 0.4,
+                horizon: cfg.horizon() as f64,
+                integral_metrics: integral,
+            },
+            0,
+        );
+        for (id, m) in &w.population {
+            tree.insert(*id, m, 0);
+        }
+        group.bench_function(format!("predictive_query_{name}"), |b| {
+            b.iter(|| black_box(tree.range_at(&query_rect, cfg.horizon()).len()))
+        });
+        tree.reset_io_stats();
+        let _ = tree.range_at(&query_rect, cfg.horizon());
+        eprintln!(
+            "tpr_insert_metric/{name}: {} node reads for the far-future query",
+            tree.io_stats().logical_reads
+        );
+    }
+    group.finish();
+
+    // -- refinement index: TPR-tree vs velocity-bounded grid -----------
+    // The refinement step issues one small range query per candidate
+    // cell; compare both indexes on that access pattern.
+    use pdr_gridindex::{GridIndex, GridIndexConfig};
+    let mut tpr = TprTree::new(TprConfig::default_with_horizon(cfg.horizon() as f64), 0);
+    tpr.bulk_load(&w.population, 0.7);
+    let mut gidx = GridIndex::new(
+        GridIndexConfig {
+            extent: cfg.extent,
+            buckets_per_side: 32,
+            buffer_pages: 256,
+        },
+        0,
+    );
+    for (id, m) in &w.population {
+        gidx.insert(*id, m);
+    }
+    // 64 candidate-cell-sized queries scattered over the hot half.
+    let cells: Vec<Rect> = (0..64)
+        .map(|i| {
+            let x = 200.0 + (i % 8) as f64 * 75.0;
+            let y = 200.0 + (i / 8) as f64 * 75.0;
+            Rect::new(x, y, x + 10.0, y + 10.0).inflate(l / 2.0)
+        })
+        .collect();
+    let mut group = c.benchmark_group("refinement_index");
+    group.sample_size(10);
+    group.bench_function("tpr_tree", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &cells {
+                n += tpr.range_at(r, q_t).len();
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("grid_index", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &cells {
+                n += gidx.range_at(r, q_t).len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+    for (name, io) in [("tpr", {
+        tpr.reset_io_stats();
+        for r in &cells {
+            let _ = tpr.range_at(r, q_t);
+        }
+        tpr.io_stats().logical_reads
+    }), ("grid", {
+        gidx.reset_io_stats();
+        for r in &cells {
+            let _ = gidx.range_at(r, q_t);
+        }
+        gidx.io_stats().logical_reads
+    })] {
+        eprintln!("refinement_index/{name}: {io} page reads for 64 candidate cells");
+    }
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

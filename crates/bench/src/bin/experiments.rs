@@ -1,0 +1,699 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p pdr-bench --bin experiments -- <id> [--scale quick|paper] [--seed N]
+//! ```
+//!
+//! ids: `table1 fig1_3 fig7 fig8a fig8b fig8c fig8d fig9a fig9b fig10a
+//! fig10b ablation_poly_grid all`
+//!
+//! Each run prints an aligned table to stdout and writes the same rows
+//! as CSV under `results/`. Paper-vs-measured commentary lives in
+//! EXPERIMENTS.md.
+
+use pdr_bench::{
+    build_fr, build_histogram, build_pa, build_workload, f3, query_timestamps, time_it, Scale,
+    Table,
+};
+use pdr_core::{
+    accuracy, classify_cells, dh_optimistic, dh_pessimistic, exact_dense_regions, PdrQuery,
+};
+use pdr_geometry::{Point, Rect};
+use pdr_mobject::Update;
+use pdr_storage::CostModel;
+use pdr_workload::config::ExperimentConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id = String::from("all");
+    let mut scale = Scale::Quick;
+    let mut seed = 20070415u64; // ICDE 2007
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|| usage("bad --scale (quick|paper)"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --seed"));
+            }
+            other if !other.starts_with('-') => id = other.to_string(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let cfg = scale.config();
+    eprintln!(
+        "# scale = {scale:?}, seed = {seed}, H = {}, default dataset = {} objects",
+        cfg.horizon(),
+        cfg.default_objects()
+    );
+
+    match id.as_str() {
+        "table1" => table1(&cfg),
+        "fig1_3" => fig1_3(),
+        "fig7" => fig7(&cfg, seed),
+        "fig8a" | "fig8b" => fig8ab(&cfg, scale, seed),
+        "fig8c" | "fig8d" => fig8cd(&cfg, scale, seed),
+        "fig9a" => fig9a(&cfg, scale, seed),
+        "fig9b" => fig9b(&cfg, seed),
+        "fig10a" => fig10a(&cfg, scale, seed),
+        "fig10b" => fig10b(&cfg, scale, seed),
+        "ablation_poly_grid" => ablation_poly_grid(&cfg, seed),
+        "ablation_refinement_index" => ablation_refinement_index(&cfg, scale, seed),
+        "all" => {
+            table1(&cfg);
+            fig1_3();
+            fig7(&cfg, seed);
+            fig8ab(&cfg, scale, seed);
+            fig8cd(&cfg, scale, seed);
+            fig9a(&cfg, scale, seed);
+            fig9b(&cfg, seed);
+            fig10a(&cfg, scale, seed);
+            fig10b(&cfg, scale, seed);
+            ablation_poly_grid(&cfg, seed);
+            ablation_refinement_index(&cfg, scale, seed);
+        }
+        other => usage(&format!("unknown experiment {other}")),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: experiments <table1|fig1_3|fig7|fig8a|fig8b|fig8c|fig8d|fig9a|fig9b|fig10a|fig10b|ablation_poly_grid|ablation_refinement_index|all> [--scale quick|paper] [--seed N]");
+    std::process::exit(2)
+}
+
+fn banner(name: &str, what: &str) {
+    println!("\n=== {name}: {what} ===");
+}
+
+fn finish(table: &Table, name: &str) {
+    print!("{}", table.render());
+    match table.write_csv(name) {
+        Ok(p) => println!("[csv written to {}]", p.display()),
+        Err(e) => println!("[csv write failed: {e}]"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — experimental setup
+// ---------------------------------------------------------------------
+
+fn table1(cfg: &ExperimentConfig) {
+    banner("table1", "experimental setup (defaults in brackets)");
+    print!("{}", cfg.render_table());
+}
+
+// ---------------------------------------------------------------------
+// Figures 1 & 3 — defects of prior work, fixed by PDR
+// ---------------------------------------------------------------------
+
+fn fig1_3() {
+    banner(
+        "fig1_3",
+        "answer loss / ambiguity / local density on the paper's micro scenes",
+    );
+    let mut t = Table::new(&["scene", "method", "verdict"]);
+
+    // Scene (a): answer loss.
+    {
+        use pdr_core::baselines::dense_cell_query;
+        use pdr_geometry::GridSpec;
+        let grid = GridSpec::unit_origin(4.0, 4);
+        let pts = vec![
+            Point::new(1.9, 1.9),
+            Point::new(2.1, 1.9),
+            Point::new(1.9, 2.1),
+            Point::new(2.1, 2.1),
+        ];
+        let cells = dense_cell_query(&pts, grid, 4.0);
+        let q = PdrQuery::new(4.0, 1.0, 0);
+        let pdr = exact_dense_regions(&pts, &grid.bounds(), &q);
+        t.row(&[
+            "1(a) answer loss".into(),
+            "dense-cell [4]".into(),
+            format!("{} regions (dense square straddles cells)", cells.len()),
+        ]);
+        t.row(&[
+            "1(a) answer loss".into(),
+            "PDR".into(),
+            format!("{} regions, area {}", pdr.len(), f3(pdr.area())),
+        ]);
+    }
+
+    // Scene (b): ambiguity.
+    {
+        use pdr_core::baselines::{edq_region, effective_density_query};
+        let mut pts = vec![Point::new(3.0, 3.0); 4];
+        pts.extend(vec![Point::new(4.5, 3.0); 4]);
+        let bounds = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let q = PdrQuery::new(1.0, 2.0, 0);
+        let squares = effective_density_query(&pts, &bounds, &q);
+        let edq = edq_region(&squares, 2.0);
+        let pdr = exact_dense_regions(&pts, &bounds, &q);
+        t.row(&[
+            "1(b) ambiguity".into(),
+            "EDQ [7]".into(),
+            format!(
+                "{} disjoint squares, area {} (overlapping alternatives dropped)",
+                squares.len(),
+                f3(edq.area())
+            ),
+        ]);
+        t.row(&[
+            "1(b) ambiguity".into(),
+            "PDR".into(),
+            format!("all dense points, area {}", f3(pdr.area())),
+        ]);
+    }
+
+    // Scene (c): local density.
+    {
+        let pts: Vec<Point> = (0..8)
+            .map(|i| Point::new(0.3 + 0.05 * i as f64, 0.5 + 0.2 * (i % 4) as f64))
+            .collect();
+        let bounds = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let q = PdrQuery::new(1.0, 1.0, 0);
+        let pdr = exact_dense_regions(&pts, &bounds, &q);
+        let pocket = Point::new(1.9, 1.0);
+        t.row(&[
+            "1(c) local density".into(),
+            "region density".into(),
+            "2x2 square qualifies despite an empty pocket".into(),
+        ]);
+        t.row(&[
+            "1(c) local density".into(),
+            "PDR".into(),
+            format!(
+                "pocket {:?} excluded: {}",
+                pocket,
+                !pdr.contains(pocket)
+            ),
+        ]);
+    }
+    finish(&t, "fig1_3");
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — example snapshot with FR and PA dense regions
+// ---------------------------------------------------------------------
+
+fn fig7(cfg: &ExperimentConfig, seed: u64) {
+    banner("fig7", "example: snapshot + dense regions (FR exact vs PA)");
+    let n = cfg.object_counts[0]; // the CH40K example
+    let w = build_workload(cfg, n, seed);
+    let mut fr = build_fr(cfg, &w, 100);
+    let l = cfg.edge_lengths[0];
+    let pa = build_pa(cfg, &w, l, 20, 5);
+    let q_t = cfg.horizon() / 2;
+    let q = PdrQuery::new(cfg.rho(2.0, n), l, q_t);
+
+    let fr_ans = fr.query(&q);
+    let pa_ans = pa.query(q.rho, q_t);
+    let acc = accuracy(&fr_ans.regions, &pa_ans.regions);
+
+    // Dump the snapshot and both region sets.
+    let mut obj = Table::new(&["x", "y"]);
+    for p in w.sim.positions_at(q_t).iter().take(20_000) {
+        obj.row(&[f3(p.x), f3(p.y)]);
+    }
+    let _ = obj.write_csv("fig7_objects");
+    for (name, rs) in [("fig7_fr", &fr_ans.regions), ("fig7_pa", &pa_ans.regions)] {
+        let mut t = Table::new(&["x_lo", "y_lo", "x_hi", "y_hi"]);
+        for r in rs.rects() {
+            t.row(&[f3(r.x_lo), f3(r.y_lo), f3(r.x_hi), f3(r.y_hi)]);
+        }
+        let _ = t.write_csv(name);
+    }
+
+    let mut t = Table::new(&["method", "regions", "area", "r_fp", "r_fn"]);
+    t.row(&[
+        "FR (exact)".into(),
+        fr_ans.regions.len().to_string(),
+        f3(fr_ans.regions.area()),
+        "0.000".into(),
+        "0.000".into(),
+    ]);
+    t.row(&[
+        "PA".into(),
+        pa_ans.regions.len().to_string(),
+        f3(pa_ans.regions.area()),
+        f3(acc.r_fp),
+        f3(acc.r_fn),
+    ]);
+    finish(&t, "fig7");
+    println!("[region CSVs: results/fig7_objects.csv, fig7_fr.csv, fig7_pa.csv]");
+
+    // The actual picture: snapshot + FR regions + PA regions + the
+    // rho iso-contour of the approximated surface.
+    let world = Rect::new(0.0, 0.0, cfg.extent, cfg.extent);
+    let mut scene = pdr_bench::render::SvgScene::new(world, 900.0);
+    let positions = w.sim.positions_at(q_t);
+    scene.draw_points(&positions, 0.7, "#555555", 0.45);
+    scene.draw_region(&fr_ans.regions, "#d62728", 0.35, "#d62728");
+    scene.draw_region(&pa_ans.regions, "#1f77b4", 0.25, "#1f77b4");
+    scene.draw_contours(&pa.contours(q.rho, q_t, 400), "#1f77b4", 1.0);
+    scene.draw_label(
+        pdr_geometry::Point::new(10.0, cfg.extent - 20.0),
+        "red: FR (exact) / blue: PA + rho-contour",
+        16.0,
+        "black",
+    );
+    match scene.write("fig7") {
+        Ok(p) => println!("[svg written to {}]", p.display()),
+        Err(e) => println!("[svg write failed: {e}]"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8(a)/(b) — error ratios vs l and varrho
+// ---------------------------------------------------------------------
+
+fn fig8ab(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
+    banner(
+        "fig8ab",
+        "r_fp (PA vs optimistic DH) and r_fn (PA vs pessimistic DH) vs l, varrho",
+    );
+    let n = cfg.default_objects();
+    let w = build_workload(cfg, n, seed);
+    let mut fr = build_fr(cfg, &w, 100); // truth provider + DH(m=100)
+    let q_ts = query_timestamps(cfg, scale.queries_per_point());
+
+    let mut ta = Table::new(&["l", "varrho", "r_fp_PA", "r_fp_optDH"]);
+    let mut tb = Table::new(&["l", "varrho", "r_fn_PA", "r_fn_pesDH"]);
+    for &l in &cfg.edge_lengths {
+        let pa = build_pa(cfg, &w, l, 20, 5);
+        for &varrho in &cfg.relative_thresholds {
+            let rho = cfg.rho(varrho, n);
+            let mut sums = [0.0f64; 4];
+            let mut counts = [0usize; 4];
+            for &q_t in &q_ts {
+                let q = PdrQuery::new(rho, l, q_t);
+                let truth = fr.query(&q).regions;
+                let cls = classify_cells(fr.histogram().grid(), &fr.histogram().prefix_sums_at(q_t), &q);
+                let pa_acc = accuracy(&truth, &pa.query(rho, q_t).regions);
+                let opt_acc = accuracy(&truth, &dh_optimistic(&cls));
+                let pes_acc = accuracy(&truth, &dh_pessimistic(&cls));
+                for (i, v) in [pa_acc.r_fp, opt_acc.r_fp, pa_acc.r_fn, pes_acc.r_fn]
+                    .into_iter()
+                    .enumerate()
+                {
+                    if v.is_finite() {
+                        sums[i] += v;
+                        counts[i] += 1;
+                    }
+                }
+            }
+            let avg = |i: usize| {
+                if counts[i] == 0 {
+                    f64::NAN
+                } else {
+                    sums[i] / counts[i] as f64
+                }
+            };
+            ta.row(&[f3(l), f3(varrho), f3(avg(0)), f3(avg(1))]);
+            tb.row(&[f3(l), f3(varrho), f3(avg(2)), f3(avg(3))]);
+        }
+    }
+    println!("-- fig8a: false positive ratio --");
+    finish(&ta, "fig8a");
+    println!("-- fig8b: false negative ratio --");
+    finish(&tb, "fig8b");
+}
+
+// ---------------------------------------------------------------------
+// Figure 8(c)/(d) — error ratio vs memory
+// ---------------------------------------------------------------------
+
+fn fig8cd(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
+    banner("fig8cd", "error ratio vs memory (l = 30, varrho = 2)");
+    let n = cfg.default_objects();
+    let w = build_workload(cfg, n, seed);
+    let mut fr = build_fr(cfg, &w, 100);
+    let l = cfg.edge_lengths[0];
+    let rho = cfg.rho(2.0, n);
+    let q_ts = query_timestamps(cfg, scale.queries_per_point());
+
+    let mut tc = Table::new(&["method", "config", "memory_MB", "r_fp"]);
+    let mut td = Table::new(&["method", "config", "memory_MB", "r_fn"]);
+
+    // Truth per timestamp (reused across all configurations).
+    let truths: Vec<_> = q_ts
+        .iter()
+        .map(|&q_t| (q_t, fr.query(&PdrQuery::new(rho, l, q_t)).regions))
+        .collect();
+
+    // DH sweeps.
+    for &cells in &cfg.histogram_cells {
+        let m = (cells as f64).sqrt() as u32;
+        let h = build_histogram(cfg, &w, m);
+        let mem = h.memory_bytes() as f64 / (1024.0 * 1024.0);
+        let mut fp = (0.0, 0usize);
+        let mut fnr = (0.0, 0usize);
+        for (q_t, truth) in &truths {
+            let q = PdrQuery::new(rho, l, *q_t);
+            let cls = classify_cells(h.grid(), &h.prefix_sums_at(*q_t), &q);
+            let a_opt = accuracy(truth, &dh_optimistic(&cls));
+            let a_pes = accuracy(truth, &dh_pessimistic(&cls));
+            if a_opt.r_fp.is_finite() {
+                fp.0 += a_opt.r_fp;
+                fp.1 += 1;
+            }
+            fnr.0 += a_pes.r_fn;
+            fnr.1 += 1;
+        }
+        tc.row(&[
+            "optimistic-DH".into(),
+            format!("m2={cells}"),
+            f3(mem),
+            f3(fp.0 / fp.1.max(1) as f64),
+        ]);
+        td.row(&[
+            "pessimistic-DH".into(),
+            format!("m2={cells}"),
+            f3(mem),
+            f3(fnr.0 / fnr.1.max(1) as f64),
+        ]);
+    }
+
+    // PA sweeps over (g, k).
+    let variants: Vec<(u32, usize)> = vec![(10, 3), (20, 3), (20, 4), (20, 5), (40, 5)];
+    for (g, k) in variants {
+        let pa = build_pa(cfg, &w, l, g, k);
+        let mem = pa.memory_bytes() as f64 / (1024.0 * 1024.0);
+        let mut fp = (0.0, 0usize);
+        let mut fnr = (0.0, 0usize);
+        for (q_t, truth) in &truths {
+            let a = accuracy(truth, &pa.query(rho, *q_t).regions);
+            if a.r_fp.is_finite() {
+                fp.0 += a.r_fp;
+                fp.1 += 1;
+            }
+            fnr.0 += a.r_fn;
+            fnr.1 += 1;
+        }
+        tc.row(&[
+            "PA".into(),
+            format!("g={g},k={k}"),
+            f3(mem),
+            f3(fp.0 / fp.1.max(1) as f64),
+        ]);
+        td.row(&[
+            "PA".into(),
+            format!("g={g},k={k}"),
+            f3(mem),
+            f3(fnr.0 / fnr.1.max(1) as f64),
+        ]);
+    }
+    println!("-- fig8c: r_fp vs memory --");
+    finish(&tc, "fig8c");
+    println!("-- fig8d: r_fn vs memory --");
+    finish(&td, "fig8d");
+}
+
+// ---------------------------------------------------------------------
+// Figure 9(a) — query CPU of PA vs DH
+// ---------------------------------------------------------------------
+
+fn fig9a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
+    banner("fig9a", "query CPU vs varrho: PA vs DH (classification only)");
+    let n = cfg.default_objects();
+    let w = build_workload(cfg, n, seed);
+    let fr = build_fr(cfg, &w, 100);
+    let q_ts = query_timestamps(cfg, scale.queries_per_point());
+
+    let mut t = Table::new(&["l", "varrho", "PA_ms", "DH_ms"]);
+    for &l in &cfg.edge_lengths {
+        let pa = build_pa(cfg, &w, l, 20, 5);
+        for &varrho in &cfg.relative_thresholds {
+            let rho = cfg.rho(varrho, n);
+            let mut pa_ms = 0.0;
+            let mut dh_ms = 0.0;
+            for &q_t in &q_ts {
+                let q = PdrQuery::new(rho, l, q_t);
+                let (_, d) = time_it(|| pa.query(rho, q_t));
+                pa_ms += d.as_secs_f64() * 1e3;
+                let (_, d) = time_it(|| {
+                    classify_cells(fr.histogram().grid(), &fr.histogram().prefix_sums_at(q_t), &q)
+                });
+                dh_ms += d.as_secs_f64() * 1e3;
+            }
+            t.row(&[
+                f3(l),
+                f3(varrho),
+                f3(pa_ms / q_ts.len() as f64),
+                f3(dh_ms / q_ts.len() as f64),
+            ]);
+        }
+    }
+    finish(&t, "fig9a");
+}
+
+// ---------------------------------------------------------------------
+// Figure 9(b) — maintenance CPU per location update
+// ---------------------------------------------------------------------
+
+fn fig9b(cfg: &ExperimentConfig, seed: u64) {
+    banner("fig9b", "maintenance CPU per location update: PA vs DH");
+    let n = cfg.default_objects().min(50_000);
+    let mut w = build_workload(cfg, n, seed);
+    let mut h = build_histogram(cfg, &w, 100);
+    let mut pa = build_pa(cfg, &w, cfg.edge_lengths[0], 20, 5);
+
+    // Collect a real update stream from the simulator.
+    let mut updates: Vec<Update> = Vec::new();
+    while updates.len() < 20_000 {
+        let t = w.sim.t_now() + 1;
+        h.advance_to(t);
+        pa.advance_to(t);
+        let batch = w.sim.tick();
+        updates.extend(batch.iter().copied());
+        for u in &batch {
+            h.apply(u);
+            pa.apply(u);
+        }
+        if w.sim.t_now() > 10 * cfg.horizon() {
+            break; // safety net for tiny workloads
+        }
+    }
+    // Measure on a fresh pass over the recorded stream, advancing each
+    // structure's window with the stream so every update does the full
+    // steady-state amount of work.
+    let mut h2 = build_histogram(cfg, &w, 100);
+    let (_, dh_time) = time_it(|| {
+        for u in &updates {
+            if u.t_now > h2.t_base() {
+                h2.advance_to(u.t_now);
+            }
+            h2.apply(u);
+        }
+    });
+    let mut pa2 = build_pa(cfg, &w, cfg.edge_lengths[0], 20, 5);
+    let (_, pa_time) = time_it(|| {
+        for u in &updates {
+            if u.t_now > pa2.t_base() {
+                pa2.advance_to(u.t_now);
+            }
+            pa2.apply(u);
+        }
+    });
+
+    let mut t = Table::new(&["method", "updates", "us_per_update"]);
+    let per = |d: std::time::Duration| d.as_secs_f64() * 1e6 / updates.len() as f64;
+    t.row(&["DH".into(), updates.len().to_string(), f3(per(dh_time))]);
+    t.row(&["PA".into(), updates.len().to_string(), f3(per(pa_time))]);
+    finish(&t, "fig9b");
+}
+
+// ---------------------------------------------------------------------
+// Figure 10(a) — total query cost (CPU + I/O) of FR vs PA
+// ---------------------------------------------------------------------
+
+fn fig10a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
+    banner("fig10a", "total query cost vs varrho: PA vs FR (CPU + 10ms/IO)");
+    let n = cfg.default_objects();
+    let w = build_workload(cfg, n, seed);
+    let mut fr = build_fr(cfg, &w, 100);
+    let q_ts = query_timestamps(cfg, scale.queries_per_point());
+    let model = CostModel {
+        random_io_ms: cfg.random_io_ms,
+    };
+
+    let mut t = Table::new(&["l", "varrho", "PA_ms", "FR_ms", "FR_io"]);
+    for &l in &cfg.edge_lengths {
+        let pa = build_pa(cfg, &w, l, 20, 5);
+        for &varrho in &cfg.relative_thresholds {
+            let rho = cfg.rho(varrho, n);
+            let mut pa_ms = 0.0;
+            let mut fr_ms = 0.0;
+            let mut fr_io = 0u64;
+            for &q_t in &q_ts {
+                let q = PdrQuery::new(rho, l, q_t);
+                let (ans, d) = time_it(|| pa.query(rho, q_t));
+                let _ = ans;
+                pa_ms += d.as_secs_f64() * 1e3;
+                let ans = fr.query(&q);
+                fr_ms += ans.total_ms(&model);
+                fr_io += ans.io.misses + ans.io.writebacks;
+            }
+            let k = q_ts.len() as f64;
+            t.row(&[
+                f3(l),
+                f3(varrho),
+                f3(pa_ms / k),
+                f3(fr_ms / k),
+                format!("{:.1}", fr_io as f64 / k),
+            ]);
+        }
+    }
+    finish(&t, "fig10a");
+}
+
+// ---------------------------------------------------------------------
+// Figure 10(b) — query cost vs dataset size
+// ---------------------------------------------------------------------
+
+fn fig10b(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
+    banner("fig10b", "total query cost vs dataset size (l = 30, varrho = 2)");
+    let l = cfg.edge_lengths[0];
+    let q_ts = query_timestamps(cfg, scale.queries_per_point());
+    let model = CostModel {
+        random_io_ms: cfg.random_io_ms,
+    };
+    let mut t = Table::new(&["objects", "PA_ms", "FR_ms", "FR_io"]);
+    for &n in &cfg.object_counts {
+        let w = build_workload(cfg, n, seed);
+        let mut fr = build_fr(cfg, &w, 100);
+        let pa = build_pa(cfg, &w, l, 20, 5);
+        let rho = cfg.rho(2.0, n);
+        let mut pa_ms = 0.0;
+        let mut fr_ms = 0.0;
+        let mut fr_io = 0u64;
+        for &q_t in &q_ts {
+            let q = PdrQuery::new(rho, l, q_t);
+            let (_, d) = time_it(|| pa.query(rho, q_t));
+            pa_ms += d.as_secs_f64() * 1e3;
+            let ans = fr.query(&q);
+            fr_ms += ans.total_ms(&model);
+            fr_io += ans.io.misses + ans.io.writebacks;
+        }
+        let k = q_ts.len() as f64;
+        t.row(&[
+            n.to_string(),
+            f3(pa_ms / k),
+            f3(fr_ms / k),
+            format!("{:.1}", fr_io as f64 / k),
+        ]);
+    }
+    finish(&t, "fig10b");
+}
+
+// ---------------------------------------------------------------------
+// Ablation — multi-polynomial grid vs single global polynomial
+// ---------------------------------------------------------------------
+
+fn ablation_poly_grid(cfg: &ExperimentConfig, seed: u64) {
+    banner(
+        "ablation_poly_grid",
+        "PA accuracy: single global polynomial vs g x g grid (Section 6.4)",
+    );
+    let n = cfg.default_objects().min(20_000);
+    let w = build_workload(cfg, n, seed);
+    let mut fr = build_fr(cfg, &w, 100);
+    let l = cfg.edge_lengths[0];
+    let rho = cfg.rho(2.0, n);
+    let q_t = cfg.horizon() / 2;
+    let truth = fr.query(&PdrQuery::new(rho, l, q_t)).regions;
+
+    let mut t = Table::new(&["g", "k", "memory_MB", "r_fp", "r_fn"]);
+    for (g, k) in [(1u32, 5usize), (1, 8), (5, 5), (20, 5), (40, 5)] {
+        let pa = build_pa(cfg, &w, l, g, k);
+        let a = accuracy(&truth, &pa.query(rho, q_t).regions);
+        t.row(&[
+            g.to_string(),
+            k.to_string(),
+            f3(pa.memory_bytes() as f64 / (1024.0 * 1024.0)),
+            f3(a.r_fp),
+            f3(a.r_fn),
+        ]);
+    }
+    finish(&t, "ablation_poly_grid");
+}
+
+// ---------------------------------------------------------------------
+// Ablation — TPR-tree vs velocity-bounded grid as the refinement index
+// ---------------------------------------------------------------------
+
+fn ablation_refinement_index(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
+    banner(
+        "ablation_refinement_index",
+        "FR total query cost: TPR-tree vs grid refinement index",
+    );
+    use pdr_core::{FrConfig, FrEngine};
+    use pdr_gridindex::{GridIndex, GridIndexConfig};
+    use pdr_mobject::TimeHorizon;
+
+    let n = cfg.default_objects();
+    let w = build_workload(cfg, n, seed);
+    let fr_cfg = FrConfig {
+        extent: cfg.extent,
+        m: 100,
+        horizon: TimeHorizon::new(cfg.max_update_time, cfg.prediction_window),
+        buffer_pages: cfg.buffer_pages(n).max(8),
+    };
+    let mut fr_tpr = FrEngine::new(fr_cfg, 0);
+    fr_tpr.bulk_load(&w.population, 0);
+    let grid = GridIndex::new(
+        GridIndexConfig {
+            extent: cfg.extent,
+            buckets_per_side: 32,
+            buffer_pages: cfg.buffer_pages(n).max(8),
+        },
+        0,
+    );
+    let mut fr_grid = FrEngine::with_index(fr_cfg, grid, 0);
+    fr_grid.bulk_load(&w.population, 0);
+
+    let l = cfg.edge_lengths[0];
+    let q_ts = query_timestamps(cfg, scale.queries_per_point());
+    let model = CostModel {
+        random_io_ms: cfg.random_io_ms,
+    };
+    let mut t = Table::new(&["varrho", "TPR_ms", "TPR_io", "Grid_ms", "Grid_io", "answers_equal"]);
+    for &varrho in &[1.0, 3.0, 5.0] {
+        let rho = cfg.rho(varrho, n);
+        let (mut a_ms, mut a_io) = (0.0, 0u64);
+        let (mut b_ms, mut b_io) = (0.0, 0u64);
+        let mut equal = true;
+        for &q_t in &q_ts {
+            let q = PdrQuery::new(rho, l, q_t);
+            let a = fr_tpr.query(&q);
+            a_ms += a.total_ms(&model);
+            a_io += a.io.misses + a.io.writebacks;
+            let b = fr_grid.query(&q);
+            b_ms += b.total_ms(&model);
+            b_io += b.io.misses + b.io.writebacks;
+            if a.regions.symmetric_difference_area(&b.regions) > 1e-9 {
+                equal = false;
+            }
+        }
+        let k = q_ts.len() as f64;
+        t.row(&[
+            f3(varrho),
+            f3(a_ms / k),
+            format!("{:.1}", a_io as f64 / k),
+            f3(b_ms / k),
+            format!("{:.1}", b_io as f64 / k),
+            equal.to_string(),
+        ]);
+    }
+    finish(&t, "ablation_refinement_index");
+}

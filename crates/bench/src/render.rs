@@ -1,0 +1,168 @@
+//! Minimal SVG rendering of snapshots, dense regions and contours.
+//!
+//! Figure 7 of the paper is a *picture*: the object snapshot with the
+//! dense regions found by FR and PA drawn over it. This module renders
+//! the same picture as a standalone SVG (no external crates — SVG is
+//! plain text), so `experiments fig7` produces something a reader can
+//! actually look at next to the paper.
+
+use pdr_chebyshev::Contour;
+use pdr_geometry::{Point, Rect, RegionSet};
+use std::fmt::Write as _;
+
+/// An SVG scene over a square world rectangle.
+pub struct SvgScene {
+    world: Rect,
+    size_px: f64,
+    body: String,
+}
+
+impl SvgScene {
+    /// Creates a scene mapping `world` onto a `size_px × size_px`
+    /// image (Y flipped so north is up).
+    pub fn new(world: Rect, size_px: f64) -> Self {
+        assert!(!world.is_degenerate(), "degenerate world rect");
+        assert!(size_px > 0.0);
+        SvgScene {
+            world,
+            size_px,
+            body: String::new(),
+        }
+    }
+
+    fn sx(&self, x: f64) -> f64 {
+        (x - self.world.x_lo) / self.world.width() * self.size_px
+    }
+
+    fn sy(&self, y: f64) -> f64 {
+        // SVG's y grows downward.
+        (self.world.y_hi - y) / self.world.height() * self.size_px
+    }
+
+    /// Draws every object position as a small dot.
+    pub fn draw_points(&mut self, points: &[Point], radius_px: f64, color: &str, opacity: f64) {
+        for p in points {
+            let _ = writeln!(
+                self.body,
+                r#"<circle cx="{:.2}" cy="{:.2}" r="{radius_px}" fill="{color}" fill-opacity="{opacity}"/>"#,
+                self.sx(p.x),
+                self.sy(p.y),
+            );
+        }
+    }
+
+    /// Draws a region as filled rectangles.
+    pub fn draw_region(&mut self, region: &RegionSet, fill: &str, opacity: f64, stroke: &str) {
+        for r in region.rects() {
+            let _ = writeln!(
+                self.body,
+                r#"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}" fill-opacity="{opacity}" stroke="{stroke}" stroke-width="0.4"/>"#,
+                self.sx(r.x_lo),
+                self.sy(r.y_hi),
+                r.width() / self.world.width() * self.size_px,
+                r.height() / self.world.height() * self.size_px,
+            );
+        }
+    }
+
+    /// Draws contour polylines.
+    pub fn draw_contours(&mut self, contours: &[Contour], color: &str, width_px: f64) {
+        for c in contours {
+            if c.points.len() < 2 {
+                continue;
+            }
+            let mut d = String::new();
+            for (i, p) in c.points.iter().enumerate() {
+                let _ = write!(
+                    d,
+                    "{}{:.2},{:.2} ",
+                    if i == 0 { "M" } else { "L" },
+                    self.sx(p.x),
+                    self.sy(p.y)
+                );
+            }
+            if c.closed {
+                d.push('Z');
+            }
+            let _ = writeln!(
+                self.body,
+                r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="{width_px}"/>"#
+            );
+        }
+    }
+
+    /// Adds a text label at world coordinates.
+    pub fn draw_label(&mut self, at: Point, text: &str, size_px: f64, color: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{:.2}" y="{:.2}" font-size="{size_px}" fill="{color}" font-family="sans-serif">{text}</text>"#,
+            self.sx(at.x),
+            self.sy(at.y),
+        );
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            concat!(
+                r#"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" "#,
+                r#"viewBox="0 0 {s} {s}">"#,
+                "\n<rect width=\"{s}\" height=\"{s}\" fill=\"white\"/>\n{body}</svg>\n"
+            ),
+            s = self.size_px,
+            body = self.body
+        )
+    }
+
+    /// Writes the SVG under `results/` and returns the path.
+    pub fn write(self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.svg"));
+        std::fs::write(&path, self.finish())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let mut scene = SvgScene::new(Rect::new(0.0, 0.0, 100.0, 100.0), 400.0);
+        scene.draw_points(&[Point::new(50.0, 50.0)], 1.5, "black", 0.8);
+        scene.draw_region(
+            &RegionSet::from_rects([Rect::new(10.0, 10.0, 30.0, 30.0)]),
+            "red",
+            0.3,
+            "darkred",
+        );
+        scene.draw_contours(
+            &[Contour {
+                points: vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)],
+                closed: false,
+            }],
+            "blue",
+            1.0,
+        );
+        scene.draw_label(Point::new(5.0, 95.0), "FR", 12.0, "black");
+        let svg = scene.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("<text"));
+        // Y flip: world y=95 near the top of a 400px image.
+        assert!(svg.contains(r#"y="20.00""#));
+    }
+
+    #[test]
+    fn coordinates_map_into_the_viewport() {
+        let mut scene = SvgScene::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), 500.0);
+        scene.draw_points(&[Point::new(1000.0, 0.0)], 1.0, "black", 1.0);
+        let svg = scene.finish();
+        assert!(svg.contains(r#"cx="500.00" cy="500.00""#));
+    }
+}

@@ -1,0 +1,394 @@
+//! Chebyshev approximation over an arbitrary rectangular domain.
+
+use crate::coeffs::{delta_coefficients, CoeffTriangle};
+use pdr_geometry::{Point, Rect};
+use std::f64::consts::PI;
+
+/// A degree-`k` 2-D Chebyshev approximation of a scalar field over a
+/// rectangular `domain`, stored as a [`CoeffTriangle`] on the canonical
+/// `[−1, 1]²` square with an affine domain mapping.
+///
+/// The approximation is built incrementally:
+/// [`add_box`](ChebyshevApprox::add_box) deposits a weighted indicator box using
+/// the closed form of Lemma 4 — this is exactly how the PA method
+/// maintains the density surface under object insertions (positive
+/// weight) and deletions (negative weight).
+///
+/// ```
+/// use pdr_chebyshev::ChebyshevApprox;
+/// use pdr_geometry::{Point, Rect};
+///
+/// // Approximate a 2-high plateau on [20,60]x[20,60] of a 100x100 domain.
+/// let mut f = ChebyshevApprox::zero(Rect::new(0.0, 0.0, 100.0, 100.0), 8);
+/// f.add_box(&Rect::new(20.0, 20.0, 60.0, 60.0), 2.0);
+///
+/// // Deep inside the box the surface is near 2, far away near 0
+/// // (a degree-8 truncation rings, so tolerances are generous).
+/// assert!((f.eval(Point::new(40.0, 40.0)) - 2.0).abs() < 0.8);
+/// assert!(f.eval(Point::new(90.0, 90.0)).abs() < 0.4);
+///
+/// // Sound interval bounds drive branch-and-bound queries.
+/// let (lo, hi) = f.bounds(&Rect::new(30.0, 30.0, 50.0, 50.0));
+/// assert!(lo <= 2.0 && 2.0 <= hi + 0.5);
+///
+/// // Closed-form integral recovers the box mass.
+/// let mass = f.integral(&Rect::new(0.0, 0.0, 100.0, 100.0));
+/// assert!((mass - 2.0 * 1600.0).abs() < 200.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChebyshevApprox {
+    domain: Rect,
+    coeffs: CoeffTriangle,
+}
+
+impl ChebyshevApprox {
+    /// Creates the zero field over `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain is degenerate.
+    pub fn zero(domain: Rect, degree: usize) -> Self {
+        assert!(!domain.is_degenerate(), "degenerate approximation domain");
+        ChebyshevApprox {
+            domain,
+            coeffs: CoeffTriangle::zero(degree),
+        }
+    }
+
+    /// Reassembles an approximation from a domain and raw coefficients
+    /// (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the domain is degenerate.
+    pub fn from_parts(domain: Rect, coeffs: CoeffTriangle) -> Self {
+        assert!(!domain.is_degenerate(), "degenerate approximation domain");
+        ChebyshevApprox { domain, coeffs }
+    }
+
+    /// The approximation domain.
+    #[inline]
+    pub fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// Polynomial degree `k`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.coeffs.degree()
+    }
+
+    /// Read access to the raw coefficients.
+    pub fn coeffs(&self) -> &CoeffTriangle {
+        &self.coeffs
+    }
+
+    /// Number of stored coefficients — the memory unit of Section 6.4's
+    /// storage analysis.
+    pub fn coefficient_count(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Maps a domain X coordinate into `[−1, 1]`.
+    #[inline]
+    fn nx(&self, x: f64) -> f64 {
+        2.0 * (x - self.domain.x_lo) / self.domain.width() - 1.0
+    }
+
+    /// Maps a domain Y coordinate into `[−1, 1]`.
+    #[inline]
+    fn ny(&self, y: f64) -> f64 {
+        2.0 * (y - self.domain.y_lo) / self.domain.height() - 1.0
+    }
+
+    /// Maps a normalized X back into the domain.
+    #[inline]
+    pub fn denorm_x(&self, u: f64) -> f64 {
+        self.domain.x_lo + (u + 1.0) * self.domain.width() / 2.0
+    }
+
+    /// Maps a normalized Y back into the domain.
+    #[inline]
+    pub fn denorm_y(&self, v: f64) -> f64 {
+        self.domain.y_lo + (v + 1.0) * self.domain.height() / 2.0
+    }
+
+    /// Adds `weight · 1_box` to the approximated field. The box is
+    /// clipped to the domain; a box that misses the domain entirely is a
+    /// no-op. Negative weights model deletions.
+    pub fn add_box(&mut self, bx: &Rect, weight: f64) {
+        let Some(clipped) = bx.clipped_to(&self.domain) else {
+            return;
+        };
+        if clipped.is_degenerate() {
+            return;
+        }
+        let delta = delta_coefficients(
+            self.degree(),
+            self.nx(clipped.x_lo),
+            self.nx(clipped.x_hi),
+            self.ny(clipped.y_lo),
+            self.ny(clipped.y_hi),
+            weight,
+        );
+        self.coeffs.add_assign(&delta);
+    }
+
+    /// Evaluates the approximated field at a domain point.
+    pub fn eval(&self, p: Point) -> f64 {
+        self.coeffs.eval(self.nx(p.x), self.ny(p.y))
+    }
+
+    /// Sound lower/upper bounds of the field over a domain
+    /// sub-rectangle (clipped to the domain).
+    pub fn bounds(&self, r: &Rect) -> (f64, f64) {
+        let c = r.clipped_to(&self.domain).unwrap_or(self.domain);
+        self.coeffs.bounds_on(
+            self.nx(c.x_lo).clamp(-1.0, 1.0),
+            self.nx(c.x_hi).clamp(-1.0, 1.0),
+            self.ny(c.y_lo).clamp(-1.0, 1.0),
+            self.ny(c.y_hi).clamp(-1.0, 1.0),
+        )
+    }
+
+    /// Fits an arbitrary function over the domain by Gauss–Chebyshev
+    /// quadrature with `n × n` nodes (Theorem 1 discretized at the
+    /// Chebyshev points). Used by tests and offline (non-incremental)
+    /// model building.
+    pub fn fit(domain: Rect, degree: usize, n: usize, f: impl Fn(Point) -> f64) -> Self {
+        assert!(n > degree, "need more quadrature nodes than the degree");
+        let mut out = ChebyshevApprox::zero(domain, degree);
+        // Sample f at the Chebyshev nodes of the normalized square.
+        let thetas: Vec<f64> = (0..n)
+            .map(|m| (2.0 * m as f64 + 1.0) * PI / (2.0 * n as f64))
+            .collect();
+        let nodes: Vec<f64> = thetas.iter().map(|t| t.cos()).collect();
+        let mut samples = vec![0.0; n * n];
+        for (mi, &x) in nodes.iter().enumerate() {
+            for (ni, &y) in nodes.iter().enumerate() {
+                let p = Point::new(out.denorm_x(x), out.denorm_y(y));
+                samples[mi * n + ni] = f(p);
+            }
+        }
+        for i in 0..=degree {
+            for j in 0..=(degree - i) {
+                let mut s = 0.0;
+                for (mi, &tx) in thetas.iter().enumerate() {
+                    let ci = (i as f64 * tx).cos();
+                    for (ni, &ty) in thetas.iter().enumerate() {
+                        s += samples[mi * n + ni] * ci * (j as f64 * ty).cos();
+                    }
+                }
+                let c = match (i, j) {
+                    (0, 0) => 1.0,
+                    (0, _) | (_, 0) => 2.0,
+                    _ => 4.0,
+                };
+                out.coeffs.set(i, j, c * s / (n * n) as f64);
+            }
+        }
+        out
+    }
+
+    /// Closed-form integral of the approximated field over a domain
+    /// sub-rectangle (clipped to the domain). The normalized integral
+    /// is scaled by the affine Jacobian `(width/2)·(height/2)`.
+    pub fn integral(&self, r: &Rect) -> f64 {
+        let Some(c) = r.clipped_to(&self.domain) else {
+            return 0.0;
+        };
+        if c.is_degenerate() {
+            return 0.0;
+        }
+        let jac = (self.domain.width() / 2.0) * (self.domain.height() / 2.0);
+        self.coeffs.integral_box(
+            self.nx(c.x_lo),
+            self.nx(c.x_hi),
+            self.ny(c.y_lo),
+            self.ny(c.y_hi),
+        ) * jac
+    }
+
+    /// In-place sum of two approximations over the same domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain or degree mismatch.
+    pub fn add_assign(&mut self, other: &ChebyshevApprox) {
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+        self.coeffs.add_assign(&other.coeffs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn fit_recovers_smooth_function() {
+        // f(x, y) = sin(x/20) * cos(y/30) + 1 over a 100x100 domain;
+        // degree 8 should approximate it to high accuracy.
+        let f = |p: Point| (p.x / 20.0).sin() * (p.y / 30.0).cos() + 1.0;
+        let a = ChebyshevApprox::fit(domain(), 8, 32, f);
+        let mut max_err = 0.0f64;
+        for ix in 0..=20 {
+            for iy in 0..=20 {
+                let p = Point::new(ix as f64 * 5.0, iy as f64 * 5.0);
+                max_err = max_err.max((a.eval(p) - f(p)).abs());
+            }
+        }
+        assert!(max_err < 5e-3, "max fit error {max_err}");
+    }
+
+    #[test]
+    fn fit_is_exact_for_low_degree_polynomials() {
+        // x*y is degree (1,1); a degree-2 triangle contains T_1(x)T_1(y).
+        let f = |p: Point| 2.0 + 0.5 * p.x - 0.25 * p.y + 0.01 * p.x * p.y;
+        let a = ChebyshevApprox::fit(domain(), 2, 16, f);
+        for (x, y) in [(0.0, 0.0), (100.0, 100.0), (37.0, 81.0)] {
+            let p = Point::new(x, y);
+            assert!((a.eval(p) - f(p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn add_box_matches_fit_of_indicator() {
+        let bx = Rect::new(20.0, 30.0, 45.0, 60.0);
+        let w = 0.7;
+        let mut inc = ChebyshevApprox::zero(domain(), 6);
+        inc.add_box(&bx, w);
+        let fitted = ChebyshevApprox::fit(domain(), 6, 1024, |p| {
+            if bx.contains(p) {
+                w
+            } else {
+                0.0
+            }
+        });
+        for (i, j, a) in inc.coeffs().iter() {
+            let b = fitted.coeffs().get(i, j);
+            assert!(
+                (a - b).abs() < 3e-2,
+                "coeff ({i},{j}): closed form {a} vs quadrature {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn box_outside_domain_is_noop() {
+        let mut a = ChebyshevApprox::zero(domain(), 4);
+        a.add_box(&Rect::new(200.0, 200.0, 210.0, 210.0), 1.0);
+        assert!(a.coeffs().is_zero());
+    }
+
+    #[test]
+    fn box_is_clipped_to_domain() {
+        let mut clipped = ChebyshevApprox::zero(domain(), 5);
+        clipped.add_box(&Rect::new(-50.0, -50.0, 10.0, 10.0), 1.0);
+        let mut direct = ChebyshevApprox::zero(domain(), 5);
+        direct.add_box(&Rect::new(0.0, 0.0, 10.0, 10.0), 1.0);
+        for (i, j, a) in clipped.coeffs().iter() {
+            assert!((a - direct.coeffs().get(i, j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn insertion_then_deletion_cancels() {
+        let mut a = ChebyshevApprox::zero(domain(), 5);
+        let bx = Rect::new(10.0, 10.0, 40.0, 40.0);
+        a.add_box(&bx, 1.0 / 900.0);
+        a.add_box(&bx, -1.0 / 900.0);
+        for (_, _, c) in a.coeffs().iter() {
+            assert!(c.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_eval_on_domain_subrects() {
+        let mut a = ChebyshevApprox::zero(domain(), 5);
+        a.add_box(&Rect::new(40.0, 40.0, 60.0, 60.0), 1.0);
+        a.add_box(&Rect::new(10.0, 70.0, 30.0, 90.0), 2.0);
+        for r in [
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            Rect::new(45.0, 45.0, 55.0, 55.0),
+            Rect::new(80.0, 0.0, 100.0, 20.0),
+        ] {
+            let (lo, hi) = a.bounds(&r);
+            for sx in 0..=10 {
+                for sy in 0..=10 {
+                    let p = Point::new(
+                        r.x_lo + r.width() * sx as f64 / 10.0,
+                        r.y_lo + r.height() * sy as f64 / 10.0,
+                    );
+                    let v = a.eval(p);
+                    assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integral_matches_numeric_quadrature() {
+        let mut a = ChebyshevApprox::zero(domain(), 6);
+        a.add_box(&Rect::new(20.0, 20.0, 60.0, 50.0), 1.5);
+        a.add_box(&Rect::new(40.0, 10.0, 80.0, 90.0), -0.4);
+        for r in [
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            Rect::new(30.0, 30.0, 70.0, 40.0),
+            Rect::new(90.0, 90.0, 100.0, 100.0),
+        ] {
+            let n = 200;
+            let mut numeric = 0.0;
+            for ix in 0..n {
+                for iy in 0..n {
+                    let p = Point::new(
+                        r.x_lo + r.width() * (ix as f64 + 0.5) / n as f64,
+                        r.y_lo + r.height() * (iy as f64 + 0.5) / n as f64,
+                    );
+                    numeric += a.eval(p) * (r.width() / n as f64) * (r.height() / n as f64);
+                }
+            }
+            let exact = a.integral(&r);
+            assert!(
+                (exact - numeric).abs() < 1e-3 * numeric.abs().max(1.0),
+                "rect {r:?}: exact {exact} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn integral_of_box_mass_is_preserved() {
+        // The whole-domain integral of an indicator approximation is
+        // close to weight * box area (Chebyshev ringing cancels out).
+        let mut a = ChebyshevApprox::zero(domain(), 8);
+        let bx = Rect::new(25.0, 25.0, 55.0, 65.0);
+        a.add_box(&bx, 2.0);
+        let mass = a.integral(&domain());
+        assert!(
+            (mass - 2.0 * bx.area()).abs() < 0.05 * 2.0 * bx.area(),
+            "mass {mass} vs expected {}",
+            2.0 * bx.area()
+        );
+    }
+
+    #[test]
+    fn integral_outside_domain_is_zero() {
+        let mut a = ChebyshevApprox::zero(domain(), 4);
+        a.add_box(&Rect::new(10.0, 10.0, 20.0, 20.0), 1.0);
+        assert_eq!(a.integral(&Rect::new(200.0, 200.0, 300.0, 300.0)), 0.0);
+    }
+
+    #[test]
+    fn denorm_round_trip() {
+        let a = ChebyshevApprox::zero(Rect::new(-5.0, 10.0, 15.0, 20.0), 3);
+        for u in [-1.0, -0.5, 0.0, 0.7, 1.0] {
+            let x = a.denorm_x(u);
+            assert!((a.nx(x) - u).abs() < 1e-12);
+            let y = a.denorm_y(u);
+            assert!((a.ny(y) - u).abs() < 1e-12);
+        }
+    }
+}

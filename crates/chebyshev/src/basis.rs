@@ -1,0 +1,230 @@
+//! The 1-D Chebyshev basis `T_k` and its interval bounds.
+
+use std::f64::consts::PI;
+
+/// Evaluates `T_k(x)` by the three-term recurrence
+/// `T_0 = 1, T_1 = x, T_k = 2·x·T_{k−1} − T_{k−2}` (Definition 8).
+///
+/// The recurrence is numerically stable on `[−1, 1]` and avoids the
+/// `arccos`/`cos` round trip.
+pub fn eval_t(k: usize, x: f64) -> f64 {
+    match k {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let (mut a, mut b) = (1.0, x); // T_0, T_1
+            for _ in 2..=k {
+                let c = 2.0 * x * b - a;
+                a = b;
+                b = c;
+            }
+            b
+        }
+    }
+}
+
+/// Fills `out[i] = T_i(x)` for `i in 0..out.len()` in one pass — the hot
+/// path of polynomial evaluation (all degrees are needed at once).
+pub fn eval_t_all(x: f64, out: &mut [f64]) {
+    if let Some(v) = out.first_mut() {
+        *v = 1.0;
+    }
+    if let Some(v) = out.get_mut(1) {
+        *v = x;
+    }
+    for i in 2..out.len() {
+        out[i] = 2.0 * x * out[i - 1] - out[i - 2];
+    }
+}
+
+/// Plain (unweighted) integral `∫_a^b T_k(x) dx` in closed form, from
+/// the antiderivatives
+///
+/// ```text
+/// ∫T_0 = T_1,   ∫T_1 = T_2/4,
+/// ∫T_k = (T_{k+1}/(k+1) − T_{k−1}/(k−1)) / 2     (k ≥ 2).
+/// ```
+///
+/// Together with the coefficient triangle this gives closed-form
+/// integrals of an approximated field over any rectangle — the basis
+/// of the aggregate (count) estimator on the PA density surface.
+pub fn integral_t(k: usize, a: f64, b: f64) -> f64 {
+    let anti = |x: f64| -> f64 {
+        match k {
+            0 => eval_t(1, x),
+            1 => eval_t(2, x) / 4.0,
+            _ => {
+                let kf = k as f64;
+                (eval_t(k + 1, x) / (kf + 1.0) - eval_t(k - 1, x) / (kf - 1.0)) / 2.0
+            }
+        }
+    };
+    anti(b) - anti(a)
+}
+
+/// Range of `cos` over the angle interval `[a, b]` (radians, `a <= b`).
+///
+/// The maximum is `1` iff the interval contains a multiple of `2π`; the
+/// minimum is `−1` iff it contains an odd multiple of `π`; otherwise the
+/// extrema sit at the endpoints. Used to bound `T_i` on sub-intervals.
+pub fn cos_range(a: f64, b: f64) -> (f64, f64) {
+    debug_assert!(a <= b, "cos_range needs a <= b, got [{a}, {b}]");
+    let (ca, cb) = (a.cos(), b.cos());
+    let mut lo = ca.min(cb);
+    let mut hi = ca.max(cb);
+    // Is there an integer n with 2πn in [a, b]?
+    if (a / (2.0 * PI)).ceil() * (2.0 * PI) <= b {
+        hi = 1.0;
+    }
+    // Is there an odd multiple of π in [a, b]? Odd multiples are
+    // (2n+1)π; equivalently an integer n with (a−π)/2π <= n <= (b−π)/2π.
+    if ((a - PI) / (2.0 * PI)).ceil() * (2.0 * PI) + PI <= b {
+        lo = -1.0;
+    }
+    (lo, hi)
+}
+
+/// Lower and upper bounds of `T_i` over `[z_lo, z_hi] ⊆ [−1, 1]`
+/// (Section 6.3 of the paper).
+///
+/// Because `T_i(x) = cos(i·arccos x)` and `arccos` is decreasing, the
+/// image of `[z_lo, z_hi]` under `i·arccos` is the angle interval
+/// `[i·arccos(z_hi), i·arccos(z_lo)]`, whose cosine range is exact.
+pub fn t_range(i: usize, z_lo: f64, z_hi: f64) -> (f64, f64) {
+    debug_assert!(z_lo <= z_hi, "t_range needs z_lo <= z_hi");
+    if i == 0 {
+        return (1.0, 1.0);
+    }
+    let lo = z_lo.clamp(-1.0, 1.0);
+    let hi = z_hi.clamp(-1.0, 1.0);
+    let theta_lo = i as f64 * hi.acos();
+    let theta_hi = i as f64 * lo.acos();
+    cos_range(theta_lo, theta_hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recurrence_matches_trig_definition() {
+        for k in 0..10 {
+            for step in 0..=20 {
+                let x = -1.0 + step as f64 * 0.1;
+                let trig = (k as f64 * x.acos()).cos();
+                assert!(
+                    (eval_t(k, x) - trig).abs() < 1e-9,
+                    "T_{k}({x}): recurrence {} vs trig {trig}",
+                    eval_t(k, x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_all_matches_single() {
+        let mut buf = [0.0; 8];
+        eval_t_all(0.37, &mut buf);
+        for (k, &v) in buf.iter().enumerate() {
+            assert!((v - eval_t(k, 0.37)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(eval_t(0, 0.5), 1.0);
+        assert_eq!(eval_t(1, 0.5), 0.5);
+        // T_2(x) = 2x² − 1
+        assert!((eval_t(2, 0.5) + 0.5).abs() < 1e-12);
+        // T_3(x) = 4x³ − 3x
+        assert!((eval_t(3, 0.5) + 1.0).abs() < 1e-12);
+        // T_k(1) = 1, T_k(−1) = (−1)^k
+        for k in 0..12 {
+            assert!((eval_t(k, 1.0) - 1.0).abs() < 1e-12);
+            let expect = if k % 2 == 0 { 1.0 } else { -1.0 };
+            assert!((eval_t(k, -1.0) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn integral_t_matches_quadrature() {
+        for k in 0..10 {
+            for (a, b) in [(-1.0, 1.0), (-0.3, 0.9), (0.1, 0.2), (-1.0, -0.5)] {
+                let n = 10_000;
+                let mut numeric = 0.0;
+                for s in 0..n {
+                    let x = a + (b - a) * (s as f64 + 0.5) / n as f64;
+                    numeric += eval_t(k, x) * (b - a) / n as f64;
+                }
+                let exact = integral_t(k, a, b);
+                assert!(
+                    (exact - numeric).abs() < 1e-6,
+                    "T_{k} on [{a}, {b}]: exact {exact} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integral_t_known_values() {
+        // Over [-1, 1]: odd T_k integrate to 0, even to 2/(1 - k^2).
+        assert!((integral_t(0, -1.0, 1.0) - 2.0).abs() < 1e-12);
+        assert!(integral_t(1, -1.0, 1.0).abs() < 1e-12);
+        assert!((integral_t(2, -1.0, 1.0) + 2.0 / 3.0).abs() < 1e-12);
+        assert!(integral_t(3, -1.0, 1.0).abs() < 1e-12);
+        assert!((integral_t(4, -1.0, 1.0) + 2.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cos_range_cases() {
+        use std::f64::consts::PI;
+        // Entire period: [-1, 1].
+        assert_eq!(cos_range(0.0, 2.0 * PI), (-1.0, 1.0));
+        // Interval inside the first quadrant: endpoints only.
+        let (lo, hi) = cos_range(0.2, 0.8);
+        assert!((lo - 0.8f64.cos()).abs() < 1e-12);
+        assert!((hi - 0.2f64.cos()).abs() < 1e-12);
+        // Contains pi but no multiple of 2pi.
+        let (lo, hi) = cos_range(2.0, 4.0);
+        assert_eq!(lo, -1.0);
+        assert!((hi - 2.0f64.cos()).abs() < 1e-12);
+        // Contains 2pi but not an odd multiple of pi.
+        let (lo, hi) = cos_range(5.5, 7.0);
+        assert_eq!(hi, 1.0);
+        assert!((lo - 5.5f64.cos()).abs() < 1e-12);
+        // Degenerate point interval.
+        let (lo, hi) = cos_range(1.0, 1.0);
+        assert!((lo - 1.0f64.cos()).abs() < 1e-12 && (hi - lo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_range_is_sound_and_tight() {
+        // Soundness: sampled values always within bounds. Tightness:
+        // bounds achieved within sampling tolerance for whole domain.
+        for i in 0..8 {
+            let (lo, hi) = t_range(i, -1.0, 1.0);
+            if i == 0 {
+                assert_eq!((lo, hi), (1.0, 1.0));
+            } else {
+                assert_eq!((lo, hi), (-1.0, 1.0));
+            }
+            for (z0, z1) in [(-0.9, -0.3), (0.1, 0.2), (-0.05, 0.6), (0.99, 1.0)] {
+                let (lo, hi) = t_range(i, z0, z1);
+                let mut seen_lo = f64::INFINITY;
+                let mut seen_hi = f64::NEG_INFINITY;
+                for s in 0..=200 {
+                    let x = z0 + (z1 - z0) * s as f64 / 200.0;
+                    let v = eval_t(i, x);
+                    assert!(
+                        v >= lo - 1e-9 && v <= hi + 1e-9,
+                        "T_{i}({x}) = {v} outside [{lo}, {hi}] on [{z0}, {z1}]"
+                    );
+                    seen_lo = seen_lo.min(v);
+                    seen_hi = seen_hi.max(v);
+                }
+                assert!(seen_lo - lo < 0.05, "lower bound too loose for T_{i} on [{z0},{z1}]");
+                assert!(hi - seen_hi < 0.05, "upper bound too loose for T_{i} on [{z0},{z1}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Contour lines of an approximated density surface.
+//!
+//! Section 6 of the paper highlights that a polynomial density
+//! representation "makes it easy to compute the ρ-dense regions" and
+//! that "we can also compute contour lines for the approximated
+//! distribution in explicit form, which provide a clear overview of the
+//! distribution of moving objects". This module provides those contour
+//! lines via marching squares with linear interpolation: the field is
+//! sampled on an `n × n` grid (cheap — polynomial evaluation), each
+//! grid cell contributes 0–2 line segments where the iso-level crosses
+//! its edges, and segments are stitched into polylines.
+
+use pdr_geometry::{Point, Rect};
+
+/// One contour polyline. `closed` is `true` when the line forms a loop
+/// (an island of density); open lines terminate on the domain border.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Contour {
+    /// Ordered vertices of the polyline.
+    pub points: Vec<Point>,
+    /// Whether the polyline is a closed loop.
+    pub closed: bool,
+}
+
+impl Contour {
+    /// Total length of the polyline.
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum::<f64>()
+            + if self.closed && self.points.len() > 1 {
+                self.points[self.points.len() - 1].distance(self.points[0])
+            } else {
+                0.0
+            }
+    }
+}
+
+/// Extracts the iso-`level` contours of `field` over `domain`, sampling
+/// on an `n × n` marching-squares grid.
+///
+/// # Panics
+///
+/// Panics when `n < 2` or the domain is degenerate.
+pub fn contour_lines(
+    field: impl Fn(f64, f64) -> f64,
+    domain: Rect,
+    level: f64,
+    n: usize,
+) -> Vec<Contour> {
+    assert!(n >= 2, "need at least a 2x2 sample grid");
+    assert!(!domain.is_degenerate(), "degenerate contour domain");
+    let step_x = domain.width() / n as f64;
+    let step_y = domain.height() / n as f64;
+
+    // Sample the field once at every grid node, shifted by the level so
+    // crossings are sign changes.
+    let mut values = vec![0.0f64; (n + 1) * (n + 1)];
+    for iy in 0..=n {
+        for ix in 0..=n {
+            let x = domain.x_lo + ix as f64 * step_x;
+            let y = domain.y_lo + iy as f64 * step_y;
+            values[iy * (n + 1) + ix] = field(x, y) - level;
+        }
+    }
+    let v = |ix: usize, iy: usize| values[iy * (n + 1) + ix];
+
+    // Linear interpolation of the zero crossing between two nodes.
+    let lerp = |a: Point, fa: f64, b: Point, fb: f64| -> Point {
+        let t = if (fb - fa).abs() < 1e-300 {
+            0.5
+        } else {
+            (-fa / (fb - fa)).clamp(0.0, 1.0)
+        };
+        Point::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+    };
+
+    let mut segments: Vec<(Point, Point)> = Vec::new();
+    for iy in 0..n {
+        for ix in 0..n {
+            let x0 = domain.x_lo + ix as f64 * step_x;
+            let y0 = domain.y_lo + iy as f64 * step_y;
+            let corners = [
+                Point::new(x0, y0),                    // bottom-left
+                Point::new(x0 + step_x, y0),           // bottom-right
+                Point::new(x0 + step_x, y0 + step_y),  // top-right
+                Point::new(x0, y0 + step_y),           // top-left
+            ];
+            let f = [
+                v(ix, iy),
+                v(ix + 1, iy),
+                v(ix + 1, iy + 1),
+                v(ix, iy + 1),
+            ];
+            // Case index: bit set when the corner is >= the level.
+            let mut case = 0usize;
+            for (bit, &fv) in f.iter().enumerate() {
+                if fv >= 0.0 {
+                    case |= 1 << bit;
+                }
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+            // Edge crossing points (edge e connects corner e and e+1).
+            let edge = |e: usize| {
+                let a = e;
+                let b = (e + 1) % 4;
+                lerp(corners[a], f[a], corners[b], f[b])
+            };
+            // Standard marching-squares segment table; ambiguous cases
+            // 5 and 10 are disambiguated by the cell-center value.
+            let center = (f[0] + f[1] + f[2] + f[3]) / 4.0;
+            let emit: &[(usize, usize)] = match case {
+                1 => &[(3, 0)],
+                2 => &[(0, 1)],
+                3 => &[(3, 1)],
+                4 => &[(1, 2)],
+                5 => {
+                    if center >= 0.0 {
+                        &[(3, 2), (1, 0)]
+                    } else {
+                        &[(3, 0), (1, 2)]
+                    }
+                }
+                6 => &[(0, 2)],
+                7 => &[(3, 2)],
+                8 => &[(2, 3)],
+                9 => &[(2, 0)],
+                10 => {
+                    if center >= 0.0 {
+                        &[(0, 1), (2, 3)]
+                    } else {
+                        &[(0, 3), (2, 1)]
+                    }
+                }
+                11 => &[(2, 1)],
+                12 => &[(1, 3)],
+                13 => &[(1, 0)],
+                14 => &[(0, 3)],
+                _ => unreachable!(),
+            };
+            for &(ea, eb) in emit {
+                segments.push((edge(ea), edge(eb)));
+            }
+        }
+    }
+    stitch(segments, step_x.min(step_y) * 1e-6)
+}
+
+/// Stitches segments into polylines by matching endpoints (quantized
+/// with tolerance `tol`). Zero-length segments — produced when the
+/// iso-level passes exactly through a grid node — are dropped first,
+/// and consecutive duplicate vertices are removed from the output.
+fn stitch(mut segments: Vec<(Point, Point)>, tol: f64) -> Vec<Contour> {
+    segments.retain(|(a, b)| a.distance(*b) > tol);
+    stitch_inner(segments, tol)
+}
+
+fn stitch_inner(segments: Vec<(Point, Point)>, tol: f64) -> Vec<Contour> {
+    use std::collections::HashMap;
+    let quant = |p: Point| -> (i64, i64) {
+        ((p.x / tol.max(1e-12)).round() as i64, (p.y / tol.max(1e-12)).round() as i64)
+    };
+    // endpoint key -> list of (segment index, which end).
+    let mut ends: HashMap<(i64, i64), Vec<(usize, bool)>> = HashMap::new();
+    for (i, (a, b)) in segments.iter().enumerate() {
+        ends.entry(quant(*a)).or_default().push((i, false));
+        ends.entry(quant(*b)).or_default().push((i, true));
+    }
+    let mut used = vec![false; segments.len()];
+    let mut out = Vec::new();
+    for start in 0..segments.len() {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        let (a, b) = segments[start];
+        let mut line = vec![a, b];
+        // Extend forward from the tail, then backward from the head.
+        for forward in [true, false] {
+            loop {
+                let tip = if forward { *line.last().unwrap() } else { line[0] };
+                let Some(cands) = ends.get(&quant(tip)) else {
+                    break;
+                };
+                let next = cands.iter().find(|(i, _)| !used[*i]).copied();
+                let Some((i, end_is_b)) = next else {
+                    break;
+                };
+                used[i] = true;
+                let (sa, sb) = segments[i];
+                let append = if end_is_b { sa } else { sb };
+                if forward {
+                    line.push(append);
+                } else {
+                    line.insert(0, append);
+                }
+            }
+        }
+        // Drop consecutive duplicates introduced by node-exact crossings.
+        let mut points: Vec<Point> = Vec::with_capacity(line.len());
+        for p in line {
+            if points.last().is_none_or(|last| last.distance(p) > tol) {
+                points.push(p);
+            }
+        }
+        let closed = points.len() > 2 && points[0].distance(*points.last().unwrap()) <= tol * 4.0;
+        if closed {
+            points.pop();
+        }
+        if points.len() >= 2 {
+            out.push(Contour { points, closed });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_contour_is_closed_and_round() {
+        // f(x, y) = 10 - distance from center: iso-4 is a circle of
+        // radius 6 around (16, 16).
+        let f = |x: f64, y: f64| 10.0 - ((x - 16.0).powi(2) + (y - 16.0).powi(2)).sqrt();
+        let contours = contour_lines(f, Rect::new(0.0, 0.0, 32.0, 32.0), 4.0, 64);
+        assert_eq!(contours.len(), 1, "one island expected: {contours:?}");
+        let c = &contours[0];
+        assert!(c.closed, "circle contour must close");
+        // All vertices near radius 6.
+        for p in &c.points {
+            let r = ((p.x - 16.0).powi(2) + (p.y - 16.0).powi(2)).sqrt();
+            assert!((r - 6.0).abs() < 0.2, "vertex radius {r}");
+        }
+        // Circumference ~ 2*pi*6.
+        assert!((c.length() - 2.0 * std::f64::consts::PI * 6.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn open_contour_hits_the_border() {
+        // A ramp: iso-level crosses the whole domain vertically.
+        let f = |x: f64, _y: f64| x;
+        let contours = contour_lines(f, Rect::new(0.0, 0.0, 10.0, 10.0), 5.0, 20);
+        assert_eq!(contours.len(), 1);
+        let c = &contours[0];
+        assert!(!c.closed);
+        for p in &c.points {
+            assert!((p.x - 5.0).abs() < 1e-9);
+        }
+        // Spans the full height.
+        let ys: Vec<f64> = c.points.iter().map(|p| p.y).collect();
+        let (min, max) = ys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+                (lo.min(y), hi.max(y))
+            });
+        assert!(min < 0.6 && max > 9.4, "span [{min}, {max}]");
+    }
+
+    #[test]
+    fn no_contours_when_level_out_of_range() {
+        let f = |_x: f64, _y: f64| 1.0;
+        assert!(contour_lines(f, Rect::new(0.0, 0.0, 4.0, 4.0), 5.0, 8).is_empty());
+        assert!(contour_lines(f, Rect::new(0.0, 0.0, 4.0, 4.0), -5.0, 8).is_empty());
+    }
+
+    #[test]
+    fn two_islands_two_loops() {
+        let f = |x: f64, y: f64| {
+            let d1 = ((x - 8.0).powi(2) + (y - 8.0).powi(2)).sqrt();
+            let d2 = ((x - 24.0).powi(2) + (y - 24.0).powi(2)).sqrt();
+            (5.0 - d1).max(5.0 - d2)
+        };
+        let contours = contour_lines(f, Rect::new(0.0, 0.0, 32.0, 32.0), 2.0, 64);
+        assert_eq!(contours.len(), 2);
+        assert!(contours.iter().all(|c| c.closed));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2x2")]
+    fn rejects_tiny_grid() {
+        let _ = contour_lines(|_, _| 0.0, Rect::new(0.0, 0.0, 1.0, 1.0), 0.0, 1);
+    }
+}

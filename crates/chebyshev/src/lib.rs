@@ -1,0 +1,44 @@
+//! 2-D Chebyshev polynomial machinery for the approximate PDR method.
+//!
+//! Section 6 of the paper maintains the moving-object density surface
+//! `d_t(x, y)` as a truncated 2-D Chebyshev expansion
+//!
+//! ```text
+//! f̂(x, y) = Σ_{i+j ≤ k}  a_{i,j} · T_i(x) · T_j(y),   (x, y) ∈ [−1, 1]²
+//! ```
+//!
+//! and exploits three properties, all implemented here:
+//!
+//! 1. **Linearity** (the paper's Lemma 3): inserting or deleting an
+//!    object shifts the density by an indicator-box function, whose
+//!    Chebyshev coefficients have the closed form of Lemma 4 — see
+//!    [`delta_coefficients`]. Updates are therefore coefficient
+//!    additions, never refits.
+//! 2. **Cheap interval bounds**: `T_i(x) = cos(i·arccos x)`, so the range
+//!    of every basis term over a sub-rectangle is a cosine range — see
+//!    [`t_range`] and [`CoeffTriangle::bounds_on`]. These drive the
+//!    branch-and-bound evaluation of Section 6.3 ([`superlevel_set`]).
+//! 3. **Near-minimax quality**: truncated Chebyshev expansions are close
+//!    to the best polynomial approximation, which is why a small `k`
+//!    suffices (verified by the fitting tests).
+//!
+//! [`ChebyshevApprox`] packages a coefficient triangle with an arbitrary
+//! rectangular domain, and [`PolyGrid`] tiles the plane with `g × g`
+//! independent approximations (Section 6.4) for skewed distributions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod approx2d;
+mod basis;
+mod bnb;
+mod coeffs;
+mod contour;
+mod grid;
+
+pub use approx2d::ChebyshevApprox;
+pub use basis::{cos_range, eval_t, eval_t_all, integral_t, t_range};
+pub use bnb::{superlevel_set, top_k_peaks, BnbConfig, BoundedField};
+pub use coeffs::{delta_coefficients, CoeffTriangle};
+pub use contour::{contour_lines, Contour};
+pub use grid::PolyGrid;

@@ -1,0 +1,157 @@
+//! Mathematical property tests for the Chebyshev machinery, checked
+//! against first principles (orthogonality, minimax-ish behavior,
+//! symmetry).
+
+use pdr_chebyshev::{
+    contour_lines, delta_coefficients, eval_t, integral_t, superlevel_set, t_range, BnbConfig,
+    ChebyshevApprox, CoeffTriangle,
+};
+use pdr_geometry::{Point, Rect};
+use std::f64::consts::PI;
+
+/// Gauss–Chebyshev quadrature of `f` against the weight `1/√(1−x²)`.
+fn gc_quad(f: impl Fn(f64) -> f64, n: usize) -> f64 {
+    (0..n)
+        .map(|m| {
+            let theta = (2.0 * m as f64 + 1.0) * PI / (2.0 * n as f64);
+            f(theta.cos())
+        })
+        .sum::<f64>()
+        * PI
+        / n as f64
+}
+
+#[test]
+fn basis_orthogonality() {
+    // ∫ T_i T_j w dx = 0 (i≠j), π (i=j=0), π/2 (i=j>0).
+    for i in 0..6 {
+        for j in 0..6 {
+            let integral = gc_quad(|x| eval_t(i, x) * eval_t(j, x), 512);
+            let expect = if i != j {
+                0.0
+            } else if i == 0 {
+                PI
+            } else {
+                PI / 2.0
+            };
+            assert!(
+                (integral - expect).abs() < 1e-9,
+                "<T_{i}, T_{j}> = {integral}, expected {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn t_range_degenerate_interval_is_point_value() {
+    for i in 0..6 {
+        for z in [-0.9, -0.3, 0.0, 0.5, 1.0] {
+            let (lo, hi) = t_range(i, z, z);
+            let v = eval_t(i, z);
+            assert!((lo - v).abs() < 1e-9 && (hi - v).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn coefficient_triangle_sizes() {
+    assert_eq!(CoeffTriangle::len_for(0), 1);
+    assert_eq!(CoeffTriangle::len_for(1), 3);
+    assert_eq!(CoeffTriangle::len_for(5), 21);
+    assert_eq!(CoeffTriangle::len_for(8), 45);
+}
+
+#[test]
+fn delta_coefficients_symmetry() {
+    // A box symmetric about both axes has no odd-degree terms.
+    let t = delta_coefficients(5, -0.4, 0.4, -0.7, 0.7, 1.0);
+    for (i, j, a) in t.iter() {
+        if i % 2 == 1 || j % 2 == 1 {
+            assert!(
+                a.abs() < 1e-15,
+                "odd coefficient a[{i},{j}] = {a} for a symmetric box"
+            );
+        }
+    }
+}
+
+#[test]
+fn integral_t_is_linear_in_interval() {
+    // Additivity: ∫_a^b + ∫_b^c = ∫_a^c for every degree.
+    for k in 0..8 {
+        let (a, b, c) = (-0.8, 0.1, 0.9);
+        let lhs = integral_t(k, a, b) + integral_t(k, b, c);
+        let rhs = integral_t(k, a, c);
+        assert!((lhs - rhs).abs() < 1e-12, "T_{k} additivity");
+    }
+}
+
+#[test]
+fn fit_error_shrinks_with_degree() {
+    // Near-minimax behavior: higher degree => smaller max error on a
+    // smooth function.
+    let domain = Rect::new(0.0, 0.0, 10.0, 10.0);
+    let f = |p: Point| ((p.x - 5.0) / 2.0).tanh() * ((p.y - 5.0) / 3.0).cos();
+    let max_err = |k: usize| {
+        let a = ChebyshevApprox::fit(domain, k, 48, f);
+        let mut worst = 0.0f64;
+        for ix in 0..=40 {
+            for iy in 0..=40 {
+                let p = Point::new(ix as f64 * 0.25, iy as f64 * 0.25);
+                worst = worst.max((a.eval(p) - f(p)).abs());
+            }
+        }
+        worst
+    };
+    let e4 = max_err(4);
+    let e8 = max_err(8);
+    let e12 = max_err(12);
+    assert!(e8 < e4, "degree 8 ({e8}) should beat degree 4 ({e4})");
+    assert!(e12 < e8, "degree 12 ({e12}) should beat degree 8 ({e8})");
+}
+
+#[test]
+fn superlevel_and_contour_agree_on_boundary() {
+    // The super-level region's boundary and the contour line at the
+    // same level trace the same curve: contour vertices must lie within
+    // one grid step of the region boundary.
+    let mut f = ChebyshevApprox::zero(Rect::new(0.0, 0.0, 64.0, 64.0), 8);
+    f.add_box(&Rect::new(24.0, 24.0, 40.0, 40.0), 1.0);
+    let level = 0.5;
+    let (region, _) = superlevel_set(&f, level, &BnbConfig { min_edge: 0.25 });
+    let contours = contour_lines(|x, y| f.eval(Point::new(x, y)), f.domain(), level, 128);
+    assert!(!contours.is_empty());
+    for c in &contours {
+        for p in c.points.iter().step_by(4) {
+            // A contour vertex sits at the level; points slightly inward
+            // must be in the region, slightly outward must not be —
+            // checked indirectly: the vertex is within 1.0 of the
+            // region's point set boundary.
+            let inside = region.contains(*p);
+            let nudges = [
+                Point::new(p.x + 1.0, p.y),
+                Point::new(p.x - 1.0, p.y),
+                Point::new(p.x, p.y + 1.0),
+                Point::new(p.x, p.y - 1.0),
+            ];
+            let any_other_side = nudges.iter().any(|q| region.contains(*q) != inside);
+            assert!(
+                any_other_side,
+                "contour vertex {p:?} not near region boundary"
+            );
+        }
+    }
+}
+
+#[test]
+fn add_box_weight_scales_linearly() {
+    let domain = Rect::new(0.0, 0.0, 10.0, 10.0);
+    let bx = Rect::new(2.0, 2.0, 6.0, 7.0);
+    let mut one = ChebyshevApprox::zero(domain, 5);
+    one.add_box(&bx, 1.0);
+    let mut three = ChebyshevApprox::zero(domain, 5);
+    three.add_box(&bx, 3.0);
+    for (i, j, a) in one.coeffs().iter() {
+        assert!((3.0 * a - three.coeffs().get(i, j)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! `pdrcli` — command-line front end for pointwise-dense region queries.
+//!
+//! ```text
+//! pdrcli generate --objects 10000 --extent 1000 --seed 7 --out objects.csv
+//! pdrcli query    --data objects.csv --extent 1000 --l 30 --count 15 --at 10 [--method fr|pa]
+//! pdrcli hotspots --data objects.csv --extent 1000 --l 30 --at 10 --top 5
+//! ```
+//!
+//! Datasets are CSV with header `id,x,y,vx,vy` (positions at t = 0).
+//! `query` prints the dense rectangles; `hotspots` prints the top-k
+//! density peaks from the approximate engine.
+
+use pdr_core::{FrConfig, FrEngine, PaConfig, PaEngine, PdrQuery};
+use pdr_geometry::Point;
+use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update};
+use pdr_workload::gaussian_clusters;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage("missing subcommand");
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "query" => cmd_query(&opts),
+        "hotspots" => cmd_hotspots(&opts),
+        other => return usage(&format!("unknown subcommand {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
+         pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa]\n  \
+         pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
+    );
+    ExitCode::from(2)
+}
+
+/// Flat `--key value` option bag; all keys optional, validated per
+/// subcommand.
+struct Options {
+    objects: usize,
+    extent: f64,
+    clusters: usize,
+    seed: u64,
+    out: Option<String>,
+    data: Option<String>,
+    l: f64,
+    count: f64,
+    at: Timestamp,
+    method: String,
+    top: usize,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            objects: 10_000,
+            extent: 1000.0,
+            clusters: 5,
+            seed: 7,
+            out: None,
+            data: None,
+            l: 30.0,
+            count: 10.0,
+            at: 0,
+            method: "fr".into(),
+            top: 5,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let key = &args[i];
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{key} needs a value"))?;
+            let bad = |k: &str| format!("bad value for {k}: {value}");
+            match key.as_str() {
+                "--objects" => o.objects = value.parse().map_err(|_| bad(key))?,
+                "--extent" => o.extent = value.parse().map_err(|_| bad(key))?,
+                "--clusters" => o.clusters = value.parse().map_err(|_| bad(key))?,
+                "--seed" => o.seed = value.parse().map_err(|_| bad(key))?,
+                "--out" => o.out = Some(value.clone()),
+                "--data" => o.data = Some(value.clone()),
+                "--l" => o.l = value.parse().map_err(|_| bad(key))?,
+                "--count" => o.count = value.parse().map_err(|_| bad(key))?,
+                "--at" => o.at = value.parse().map_err(|_| bad(key))?,
+                "--method" => o.method = value.clone(),
+                "--top" => o.top = value.parse().map_err(|_| bad(key))?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 2;
+        }
+        Ok(o)
+    }
+}
+
+fn cmd_generate(o: &Options) -> Result<(), String> {
+    let out = o.out.as_ref().ok_or("generate requires --out")?;
+    let pop = gaussian_clusters(
+        o.objects,
+        o.extent,
+        o.clusters.max(1),
+        o.extent * 0.04,
+        0.2,
+        1.5,
+        o.seed,
+        0,
+    );
+    let mut csv = String::from("id,x,y,vx,vy\n");
+    for (id, m) in &pop {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            id.0, m.origin.x, m.origin.y, m.velocity.x, m.velocity.y
+        ));
+    }
+    std::fs::write(out, csv).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} objects to {out}", pop.len());
+    Ok(())
+}
+
+fn load_data(o: &Options) -> Result<Vec<(ObjectId, MotionState)>, String> {
+    let path = o.data.as_ref().ok_or("this command requires --data")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if lineno == 0 && line.starts_with("id,") {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(format!("{path}:{}: expected 5 fields", lineno + 1));
+        }
+        let parse = |s: &str| -> Result<f64, String> {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("{path}:{}: bad number {s}", lineno + 1))
+        };
+        let id: u64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad id {}", lineno + 1, fields[0]))?;
+        out.push((
+            ObjectId(id),
+            MotionState::new(
+                Point::new(parse(fields[1])?, parse(fields[2])?),
+                Point::new(parse(fields[3])?, parse(fields[4])?),
+                0,
+            ),
+        ));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no objects"));
+    }
+    Ok(out)
+}
+
+fn horizon_for(at: Timestamp) -> TimeHorizon {
+    // Cover the requested timestamp with a symmetric window.
+    let half = at.max(10);
+    TimeHorizon::new(half, half)
+}
+
+fn cmd_query(o: &Options) -> Result<(), String> {
+    let pop = load_data(o)?;
+    let q = PdrQuery::new(o.count / (o.l * o.l), o.l, o.at);
+    println!(
+        "# {} objects, l = {}, threshold = {} objects per neighborhood, t = {}",
+        pop.len(),
+        o.l,
+        o.count,
+        o.at
+    );
+    let regions = match o.method.as_str() {
+        "fr" => {
+            let m = ((2.0 * o.extent / o.l).ceil() as u32).clamp(10, 400);
+            let mut fr = FrEngine::new(
+                FrConfig {
+                    extent: o.extent,
+                    m,
+                    horizon: horizon_for(o.at),
+                    buffer_pages: 512,
+                },
+                0,
+            );
+            fr.bulk_load(&pop, 0);
+            let ans = fr.query(&q);
+            println!(
+                "# FR: {} accepts, {} candidates, {} buffer misses",
+                ans.accepts, ans.candidates, ans.io.misses
+            );
+            ans.regions
+        }
+        "pa" => {
+            let mut pa = PaEngine::new(
+                PaConfig {
+                    extent: o.extent,
+                    g: 20,
+                    degree: 5,
+                    l: o.l,
+                    horizon: horizon_for(o.at),
+                    m_d: 512,
+                },
+                0,
+            );
+            for (id, m) in &pop {
+                pa.apply(&Update::insert(*id, 0, *m));
+            }
+            pa.query(q.rho, o.at).regions
+        }
+        other => return Err(format!("unknown method {other} (fr|pa)")),
+    };
+    let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+    let write = (|| -> std::io::Result<()> {
+        writeln!(
+            out,
+            "# {} rectangles, total area {:.1}",
+            regions.len(),
+            regions.area()
+        )?;
+        writeln!(out, "x_lo,y_lo,x_hi,y_hi")?;
+        for r in regions.rects() {
+            writeln!(out, "{},{},{},{}", r.x_lo, r.y_lo, r.x_hi, r.y_hi)?;
+        }
+        out.flush()
+    })();
+    tolerate_broken_pipe(write)
+}
+
+/// Treats a closed downstream pipe (`pdrcli ... | head`) as success.
+fn tolerate_broken_pipe(r: std::io::Result<()>) -> Result<(), String> {
+    match r {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing output: {e}")),
+    }
+}
+
+fn cmd_hotspots(o: &Options) -> Result<(), String> {
+    let pop = load_data(o)?;
+    let mut pa = PaEngine::new(
+        PaConfig {
+            extent: o.extent,
+            g: 20,
+            degree: 5,
+            l: o.l,
+            horizon: horizon_for(o.at),
+            m_d: 512,
+        },
+        0,
+    );
+    for (id, m) in &pop {
+        pa.apply(&Update::insert(*id, 0, *m));
+    }
+    let peaks = pa.top_k_dense(o.top, o.at, 2.0 * o.l);
+    println!("# top {} density peaks at t = {} (l = {})", peaks.len(), o.at, o.l);
+    println!("rank,x,y,density,objects_per_neighborhood");
+    for (i, (r, d)) in peaks.iter().enumerate() {
+        let c = r.center();
+        println!(
+            "{},{:.1},{:.1},{:.6},{:.1}",
+            i + 1,
+            c.x,
+            c.y,
+            d,
+            d * o.l * o.l
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! End-to-end tests of the `pdrcli` binary.
+
+use std::process::Command;
+
+fn pdrcli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pdrcli"))
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pdrcli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_query_hotspots_round_trip() {
+    let data = tmp_path("objs.csv");
+    let out = pdrcli()
+        .args([
+            "generate",
+            "--objects",
+            "2000",
+            "--extent",
+            "400",
+            "--seed",
+            "5",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The CSV parses back: header + 2000 rows of 5 fields.
+    let text = std::fs::read_to_string(&data).unwrap();
+    assert!(text.starts_with("id,x,y,vx,vy\n"));
+    assert_eq!(text.lines().count(), 2001);
+
+    // FR query produces a CSV of rectangles.
+    let out = pdrcli()
+        .args([
+            "query", "--data", data.to_str().unwrap(), "--extent", "400", "--l", "20",
+            "--count", "10", "--at", "5",
+        ])
+        .output()
+        .expect("run query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("x_lo,y_lo,x_hi,y_hi"));
+    let rects = stdout.lines().filter(|l| !l.starts_with('#')).count();
+    assert!(rects > 1, "expected some dense rectangles:\n{stdout}");
+
+    // PA agrees on the rough amount of dense area.
+    let out_pa = pdrcli()
+        .args([
+            "query", "--data", data.to_str().unwrap(), "--extent", "400", "--l", "20",
+            "--count", "10", "--at", "5", "--method", "pa",
+        ])
+        .output()
+        .expect("run pa query");
+    assert!(out_pa.status.success());
+
+    // Hotspots lists k ranked peaks.
+    let out = pdrcli()
+        .args([
+            "hotspots", "--data", data.to_str().unwrap(), "--extent", "400", "--l", "20",
+            "--at", "5", "--top", "3",
+        ])
+        .output()
+        .expect("run hotspots");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rank,x,y,density"));
+    assert!(stdout.lines().any(|l| l.starts_with("1,")));
+
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn helpful_errors() {
+    // Missing subcommand.
+    let out = pdrcli().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Unknown flag.
+    let out = pdrcli().args(["query", "--bogus", "1"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Missing data file.
+    let out = pdrcli()
+        .args(["query", "--data", "/nonexistent/x.csv", "--l", "10", "--count", "5", "--at", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn rejects_malformed_csv() {
+    let data = tmp_path("bad.csv");
+    std::fs::write(&data, "id,x,y,vx,vy\n1,2,3\n").unwrap();
+    let out = pdrcli()
+        .args(["query", "--data", data.to_str().unwrap(), "--l", "10", "--count", "5", "--at", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected 5 fields"));
+    let _ = std::fs::remove_file(&data);
+}

@@ -1,0 +1,427 @@
+//! The exact filtering–refinement engine (Section 5).
+
+use crate::{classify_cells, refine_region, CellClass, DenseThreshold, PdrQuery, RangeIndex};
+use pdr_geometry::{Point, RegionSet};
+use pdr_histogram::DensityHistogram;
+use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update, UpdateKind};
+use pdr_storage::{CostModel, IoStats};
+use pdr_tprtree::{TprConfig, TprTree};
+use std::time::{Duration, Instant};
+
+/// Configuration of an [`FrEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct FrConfig {
+    /// Side length `L` of the monitored square region.
+    pub extent: f64,
+    /// Histogram cells per side (`m`; paper default m² = 10 000).
+    pub m: u32,
+    /// Time horizon `U / W / H`.
+    pub horizon: TimeHorizon,
+    /// TPR-tree buffer pool size in pages (paper: 10 % of the data).
+    pub buffer_pages: usize,
+}
+
+impl FrConfig {
+    /// The paper's default setup on the 1000-mile plane.
+    pub fn paper_default() -> Self {
+        FrConfig {
+            extent: 1000.0,
+            m: 100,
+            horizon: TimeHorizon::PAPER_DEFAULT,
+            buffer_pages: 1024,
+        }
+    }
+}
+
+/// Answer and cost breakdown of one FR query.
+#[derive(Clone, Debug)]
+pub struct FrAnswer {
+    /// The exact dense region.
+    pub regions: RegionSet,
+    /// Cells proven dense by the filter (no refinement needed).
+    pub accepts: usize,
+    /// Cells proven sparse by the filter.
+    pub rejects: usize,
+    /// Cells refined by range query + plane sweep.
+    pub candidates: usize,
+    /// Objects retrieved from the TPR-tree across all candidate cells.
+    pub objects_retrieved: usize,
+    /// Buffer-pool I/O incurred by the refinement range queries.
+    pub io: IoStats,
+    /// Wall-clock CPU time of the whole query.
+    pub cpu: Duration,
+}
+
+impl FrAnswer {
+    /// Total query cost in milliseconds under `model`:
+    /// `CPU + random-I/O charge` (the paper's Figure 10 metric).
+    pub fn total_ms(&self, model: &CostModel) -> f64 {
+        self.cpu.as_secs_f64() * 1e3 + model.io_ms(&self.io)
+    }
+}
+
+/// The exact PDR query engine: density histogram for filtering, a
+/// pluggable [`RangeIndex`] (TPR-tree by default) plus plane sweep for
+/// refinement.
+pub struct FrEngine<I: RangeIndex = TprTree> {
+    cfg: FrConfig,
+    histogram: DensityHistogram,
+    tree: I,
+}
+
+impl FrEngine<TprTree> {
+    /// Creates an empty engine whose horizon starts at `t_start`,
+    /// refining through the paper's TPR-tree.
+    pub fn new(cfg: FrConfig, t_start: Timestamp) -> Self {
+        let tree = TprTree::new(
+            TprConfig {
+                buffer_pages: cfg.buffer_pages,
+                min_fill_ratio: 0.4,
+                horizon: cfg.horizon.h() as f64,
+                integral_metrics: true,
+            },
+            t_start,
+        );
+        FrEngine::with_index(cfg, tree, t_start)
+    }
+}
+
+impl<I: RangeIndex> FrEngine<I> {
+    /// Creates an engine refining through any [`RangeIndex`] — the
+    /// paper's "we can adopt [other indexes] in our framework".
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is not empty.
+    pub fn with_index(cfg: FrConfig, index: I, t_start: Timestamp) -> Self {
+        assert!(index.is_empty(), "refinement index must start empty");
+        let histogram = DensityHistogram::new(cfg.extent, cfg.m, cfg.horizon, t_start);
+        FrEngine {
+            cfg,
+            histogram,
+            tree: index,
+        }
+    }
+
+    /// Restores an engine from a checkpointed histogram plus the
+    /// current motion table: the histogram (which would otherwise take
+    /// up to `U + W` timestamps to refill) comes from
+    /// [`DensityHistogram::serialize`], while the refinement index is
+    /// rebuilt from the live motions — the standard restart recipe,
+    /// since indexes rebuild in one bulk load but horizon counters
+    /// cannot be reconstructed without replaying history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the histogram's geometry or horizon disagrees with
+    /// `cfg`, or when `index` is not empty.
+    pub fn restore(
+        cfg: FrConfig,
+        histogram: DensityHistogram,
+        mut index: I,
+        objects: &[(ObjectId, MotionState)],
+    ) -> Self {
+        assert!(index.is_empty(), "refinement index must start empty");
+        assert_eq!(
+            histogram.grid().cells_per_side(),
+            cfg.m,
+            "histogram grid disagrees with config"
+        );
+        assert_eq!(
+            histogram.horizon(),
+            cfg.horizon,
+            "histogram horizon disagrees with config"
+        );
+        let t_now = histogram.t_base();
+        index.load(objects, t_now);
+        FrEngine {
+            cfg,
+            histogram,
+            tree: index,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &FrConfig {
+        &self.cfg
+    }
+
+    /// The underlying density histogram (for DH-only baselines and
+    /// memory accounting).
+    pub fn histogram(&self) -> &DensityHistogram {
+        &self.histogram
+    }
+
+    /// The underlying refinement index.
+    pub fn tree(&mut self) -> &mut I {
+        &mut self.tree
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` when no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Loads an initial population in bulk (histogram via protocol
+    /// inserts, tree via STR packing). The engine must be empty.
+    pub fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
+        assert!(self.is_empty(), "bulk_load requires an empty engine");
+        for (id, m) in objects {
+            self.histogram
+                .apply(&Update::insert(*id, t_now, *m));
+        }
+        self.tree.load(objects, t_now);
+    }
+
+    /// Applies one protocol update to both structures.
+    pub fn apply(&mut self, update: &Update) {
+        self.histogram.apply(update);
+        match update.kind {
+            UpdateKind::Insert { motion } => self.tree.insert(update.id, &motion, update.t_now),
+            UpdateKind::Delete { .. } => {
+                let removed = self.tree.remove(update.id);
+                debug_assert!(removed, "delete of unindexed object {:?}", update.id);
+            }
+        }
+    }
+
+    /// Advances current time, recycling expired histogram slots.
+    pub fn advance_to(&mut self, t_now: Timestamp) {
+        self.histogram.advance_to(t_now);
+    }
+
+    /// Evaluates a snapshot PDR query exactly (Algorithms 1–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q.q_t` is outside the current horizon window or the
+    /// histogram grid is too coarse for `q.l` (cell edge must be ≤ l/2).
+    pub fn query(&mut self, q: &PdrQuery) -> FrAnswer {
+        let start = Instant::now();
+        let grid = self.histogram.grid();
+        let sums = self.histogram.prefix_sums_at(q.q_t);
+        let cls = classify_cells(grid, &sums, q);
+        let threshold = DenseThreshold::of(q);
+
+        let mut regions = RegionSet::new();
+        for cell in cls.cells_of(CellClass::Accept) {
+            regions.push(grid.cell_rect(cell));
+        }
+
+        self.tree.reset_io_stats();
+        let mut objects_retrieved = 0usize;
+        for cell in cls.cells_of(CellClass::Candidate) {
+            let target = grid.cell_rect(cell);
+            let s = target.inflate(q.l / 2.0);
+            let hits = self.tree.range_at(&s, q.q_t);
+            objects_retrieved += hits.len();
+            let positions: Vec<Point> = hits.into_iter().map(|(_, p)| p).collect();
+            for r in refine_region(&target, &positions, threshold, q.l) {
+                regions.push(r);
+            }
+        }
+        regions.coalesce();
+        FrAnswer {
+            regions,
+            accepts: cls.accept_count(),
+            rejects: cls.reject_count(),
+            candidates: cls.candidate_count(),
+            objects_retrieved,
+            io: self.tree.io_stats(),
+            cpu: start.elapsed(),
+        }
+    }
+
+    /// Interval PDR query (Definition 5): the union of snapshot answers
+    /// over `q_t ∈ [from, to]`.
+    pub fn interval_query(&mut self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
+        assert!(from <= to, "empty interval");
+        let mut out = RegionSet::new();
+        for t in from..=to {
+            let ans = self.query(&PdrQuery::new(rho, l, t));
+            out.extend_from(&ans.regions);
+        }
+        out.coalesce();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, ExactOracle};
+    use pdr_geometry::Rect;
+
+    fn cfg() -> FrConfig {
+        FrConfig {
+            extent: 200.0,
+            m: 20, // l_c = 10
+            horizon: TimeHorizon::new(3, 3),
+            buffer_pages: 64,
+        }
+    }
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.0 >> 33) as f64 / (1u64 << 31) as f64
+        }
+    }
+
+    fn clustered_population(n: usize, seed: u64) -> Vec<(ObjectId, MotionState)> {
+        let mut rng = Lcg(seed);
+        (0..n)
+            .map(|i| {
+                let p = if i % 2 == 0 {
+                    Point::new(60.0 + rng.next() * 40.0, 60.0 + rng.next() * 40.0)
+                } else {
+                    Point::new(rng.next() * 200.0, rng.next() * 200.0)
+                };
+                let v = Point::new(rng.next() * 2.0 - 1.0, rng.next() * 2.0 - 1.0);
+                (ObjectId(i as u64), MotionState::new(p, v, 0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fr_matches_exact_oracle() {
+        let pop = clustered_population(400, 3);
+        let mut fr = FrEngine::new(cfg(), 0);
+        fr.bulk_load(&pop, 0);
+        for q_t in [0u64, 2, 5] {
+            let q = PdrQuery::new(0.05, 20.0, q_t); // threshold = 20 objects
+            let ans = fr.query(&q);
+            let oracle = ExactOracle::new(
+                Rect::new(0.0, 0.0, 200.0, 200.0),
+                pop.iter().map(|(_, m)| m.position_at(q_t)).collect(),
+            );
+            let truth = oracle.dense_regions(&q);
+            let acc = accuracy(&truth, &ans.regions);
+            assert!(
+                acc.r_fp < 1e-9 && acc.r_fn < 1e-9,
+                "FR not exact at t={q_t}: {acc:?} (accepts {} candidates {})",
+                ans.accepts,
+                ans.candidates
+            );
+        }
+    }
+
+    #[test]
+    fn fr_exact_after_updates() {
+        let pop = clustered_population(300, 11);
+        let mut fr = FrEngine::new(cfg(), 0);
+        fr.bulk_load(&pop, 0);
+        // Re-report a third of the objects at t=2 with fresh motions.
+        let mut rng = Lcg(77);
+        let mut table: Vec<(ObjectId, MotionState)> = pop.clone();
+        fr.advance_to(2);
+        for (id, m) in table.iter_mut().take(100) {
+            let new_m = MotionState::new(
+                Point::new(rng.next() * 200.0, rng.next() * 200.0),
+                Point::new(rng.next() * 2.0 - 1.0, 0.0),
+                2,
+            );
+            fr.apply(&Update::delete(*id, 2, *m));
+            fr.apply(&Update::insert(*id, 2, new_m));
+            *m = new_m;
+        }
+        let q = PdrQuery::new(0.05, 20.0, 4);
+        let ans = fr.query(&q);
+        let oracle = ExactOracle::new(
+            Rect::new(0.0, 0.0, 200.0, 200.0),
+            table.iter().map(|(_, m)| m.position_at(4)).collect(),
+        );
+        let truth = oracle.dense_regions(&q);
+        let acc = accuracy(&truth, &ans.regions);
+        assert!(
+            acc.r_fp < 1e-9 && acc.r_fn < 1e-9,
+            "FR not exact after updates: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn filter_prunes_most_cells() {
+        let pop = clustered_population(400, 5);
+        let mut fr = FrEngine::new(cfg(), 0);
+        fr.bulk_load(&pop, 0);
+        let ans = fr.query(&PdrQuery::new(0.05, 20.0, 0));
+        let total = 400; // 20x20 cells
+        assert_eq!(ans.accepts + ans.rejects + ans.candidates, total);
+        assert!(
+            ans.rejects > total / 2,
+            "expected most cells rejected, got {} rejects",
+            ans.rejects
+        );
+    }
+
+    #[test]
+    fn io_counted_only_for_candidates() {
+        let pop = clustered_population(400, 9);
+        let mut fr = FrEngine::new(cfg(), 0);
+        fr.bulk_load(&pop, 0);
+        // Impossible threshold: everything rejected, no refinement I/O.
+        let ans = fr.query(&PdrQuery::new(10.0, 20.0, 0));
+        assert_eq!(ans.candidates, 0);
+        assert_eq!(ans.io.logical_reads, 0);
+        assert!(ans.regions.is_empty());
+    }
+
+    #[test]
+    fn interval_query_unions_snapshots() {
+        let pop = clustered_population(300, 21);
+        let mut fr = FrEngine::new(cfg(), 0);
+        fr.bulk_load(&pop, 0);
+        let union = fr.interval_query(0.05, 20.0, 0, 3);
+        for t in 0..=3u64 {
+            let snap = fr.query(&PdrQuery::new(0.05, 20.0, t)).regions;
+            assert!(
+                snap.difference_area(&union) < 1e-9,
+                "snapshot t={t} not contained in interval union"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_answers() {
+        let pop = clustered_population(300, 41);
+        let mut fr = FrEngine::new(cfg(), 0);
+        fr.bulk_load(&pop, 0);
+        fr.advance_to(2);
+        let q = PdrQuery::new(0.05, 20.0, 4);
+        let before = fr.query(&q).regions;
+
+        // Simulated restart: checkpoint the histogram, rebuild the
+        // index from the motion table.
+        let bytes = fr.histogram().serialize();
+        let restored_hist = DensityHistogram::deserialize(&bytes).unwrap();
+        let fresh_tree = TprTree::new(
+            TprConfig {
+                buffer_pages: 64,
+                min_fill_ratio: 0.4,
+                horizon: cfg().horizon.h() as f64,
+                integral_metrics: true,
+            },
+            0,
+        );
+        let mut restored = FrEngine::restore(cfg(), restored_hist, fresh_tree, &pop);
+        let after = restored.query(&q).regions;
+        assert!(
+            before.symmetric_difference_area(&after) < 1e-9,
+            "restored engine answers differ"
+        );
+    }
+
+    #[test]
+    fn empty_engine_returns_empty() {
+        let mut fr = FrEngine::new(cfg(), 0);
+        let ans = fr.query(&PdrQuery::new(0.5, 20.0, 0));
+        assert!(ans.regions.is_empty());
+        assert_eq!(ans.accepts, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The refinement-index abstraction.
+//!
+//! Section 4 of the paper: "Several indexing methods have been proposed
+//! for linear movement, which we can adopt in our framework." The
+//! refinement step only needs predictive range queries with I/O
+//! accounting, captured by [`RangeIndex`]; the exact engine is generic
+//! over it, with the TPR-tree as the paper's (default) choice and the
+//! velocity-bounded grid index as the drop-in alternative.
+
+use pdr_geometry::{Point, Rect};
+use pdr_mobject::{MotionState, ObjectId, Timestamp};
+use pdr_storage::IoStats;
+
+/// A disk-backed index over moving objects supporting predictive range
+/// queries, as required by the FR refinement step.
+pub trait RangeIndex {
+    /// Inserts a motion reported at `t_now`.
+    fn insert(&mut self, id: ObjectId, motion: &MotionState, t_now: Timestamp);
+
+    /// Removes an object; `false` when it was not indexed.
+    fn remove(&mut self, id: ObjectId) -> bool;
+
+    /// All objects whose extrapolated position at `t` lies in `rect`
+    /// (closed semantics).
+    fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)>;
+
+    /// Loads an initial population into an empty index. The default
+    /// implementation inserts one by one; packed loaders override it.
+    fn load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
+        for (id, m) in objects {
+            self.insert(*id, m, t_now);
+        }
+    }
+
+    /// Number of indexed objects.
+    fn len(&self) -> usize;
+
+    /// `true` when nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Buffer-pool I/O counters.
+    fn io_stats(&self) -> IoStats;
+
+    /// Zeroes the I/O counters (called before each measured query).
+    fn reset_io_stats(&mut self);
+}
+
+impl RangeIndex for pdr_tprtree::TprTree {
+    fn insert(&mut self, id: ObjectId, motion: &MotionState, t_now: Timestamp) {
+        pdr_tprtree::TprTree::insert(self, id, motion, t_now);
+    }
+
+    fn remove(&mut self, id: ObjectId) -> bool {
+        pdr_tprtree::TprTree::remove(self, id)
+    }
+
+    fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+        pdr_tprtree::TprTree::range_at(self, rect, t)
+    }
+
+    fn load(&mut self, objects: &[(ObjectId, MotionState)], _t_now: Timestamp) {
+        // STR bulk loading packs ~70 % full, leaving update headroom.
+        self.bulk_load(objects, 0.7);
+    }
+
+    fn len(&self) -> usize {
+        pdr_tprtree::TprTree::len(self)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        pdr_tprtree::TprTree::io_stats(self)
+    }
+
+    fn reset_io_stats(&mut self) {
+        pdr_tprtree::TprTree::reset_io_stats(self);
+    }
+}
+
+impl RangeIndex for pdr_gridindex::GridIndex {
+    fn insert(&mut self, id: ObjectId, motion: &MotionState, _t_now: Timestamp) {
+        pdr_gridindex::GridIndex::insert(self, id, motion);
+    }
+
+    fn remove(&mut self, id: ObjectId) -> bool {
+        pdr_gridindex::GridIndex::remove(self, id)
+    }
+
+    fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+        pdr_gridindex::GridIndex::range_at(self, rect, t)
+    }
+
+    fn len(&self) -> usize {
+        pdr_gridindex::GridIndex::len(self)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        pdr_gridindex::GridIndex::io_stats(self)
+    }
+
+    fn reset_io_stats(&mut self) {
+        pdr_gridindex::GridIndex::reset_io_stats(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_gridindex::{GridIndex, GridIndexConfig};
+    use pdr_tprtree::{TprConfig, TprTree};
+
+    fn motions(n: usize) -> Vec<(ObjectId, MotionState)> {
+        let mut seed = 99u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n)
+            .map(|i| {
+                (
+                    ObjectId(i as u64),
+                    MotionState::new(
+                        Point::new(rng() * 1000.0, rng() * 1000.0),
+                        Point::new(rng() * 2.0 - 1.0, rng() * 2.0 - 1.0),
+                        0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Both index implementations must return identical result sets
+    /// through the trait — that is what makes them interchangeable
+    /// inside the FR engine.
+    #[test]
+    fn implementations_agree_through_the_trait() {
+        let pop = motions(1500);
+        let mut tpr: Box<dyn RangeIndex> = Box::new(TprTree::new(
+            TprConfig::default_with_horizon(20.0),
+            0,
+        ));
+        let mut grid: Box<dyn RangeIndex> = Box::new(GridIndex::new(
+            GridIndexConfig {
+                extent: 1000.0,
+                buckets_per_side: 16,
+                buffer_pages: 64,
+            },
+            0,
+        ));
+        tpr.load(&pop, 0);
+        grid.load(&pop, 0);
+        assert_eq!(tpr.len(), grid.len());
+        for (id, _) in pop.iter().take(100) {
+            assert!(tpr.remove(*id));
+            assert!(grid.remove(*id));
+        }
+        for t in [0u64, 10] {
+            let rect = Rect::new(300.0, 300.0, 600.0, 500.0);
+            let mut a: Vec<u64> = tpr.range_at(&rect, t).into_iter().map(|(i, _)| i.0).collect();
+            let mut b: Vec<u64> = grid.range_at(&rect, t).into_iter().map(|(i, _)| i.0).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "t = {t}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Pointwise-dense region (PDR) queries over moving objects.
+//!
+//! This crate implements the primary contribution of Ni & Ravishankar,
+//! *"Pointwise-Dense Region Queries in Spatio-temporal Databases"*
+//! (ICDE 2007): given moving objects, a neighborhood edge length `l`, a
+//! density threshold `ρ` and a timestamp `q_t`, return **all** points
+//! whose `l`-square neighborhood contains at least `ρ·l²` objects at
+//! `q_t` — as a union of rectangles of arbitrary shape and size.
+//!
+//! Two query engines are provided:
+//!
+//! * [`FrEngine`] — the exact *filtering–refinement* method (Section 5):
+//!   a per-timestamp [density histogram](pdr_histogram::DensityHistogram)
+//!   classifies grid cells into accepts / rejects / candidates using
+//!   conservative and expansive neighborhoods ([`classify_cells`]); each
+//!   candidate cell is refined with a TPR-tree range query and the
+//!   two-level plane sweep of Algorithms 2–3 ([`refine_region`]).
+//! * [`PaEngine`] — the approximate method (Section 6): the density
+//!   surface is maintained as per-timestamp grids of 2-D Chebyshev
+//!   polynomials, updated in closed form per object update, and queried
+//!   by branch-and-bound on polynomial bounds.
+//!
+//! Supporting APIs reproduce everything the paper's evaluation needs:
+//! stand-alone optimistic/pessimistic DH answers ([`dh_optimistic`] /
+//! [`dh_pessimistic`]), the
+//! prior-work baselines the introduction criticizes ([`baselines`]),
+//! the `r_fp` / `r_fn` accuracy metrics ([`accuracy`]), and an exact
+//! brute-force reference ([`ExactOracle`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod dh_answers;
+mod exact;
+mod filter;
+mod fr;
+mod index;
+mod metrics;
+mod pa;
+mod query;
+mod sweep;
+
+pub use dh_answers::{dh_optimistic, dh_pessimistic};
+pub use exact::{exact_dense_regions, point_density, ExactOracle};
+pub use filter::{classify_cells, CellClass, Classification};
+pub use fr::{FrAnswer, FrConfig, FrEngine};
+pub use index::RangeIndex;
+pub use metrics::{accuracy, Accuracy};
+pub use pa::{PaAnswer, PaConfig, PaEngine};
+pub use query::{DenseThreshold, PdrQuery};
+pub use sweep::{refine_region, refine_region_set};

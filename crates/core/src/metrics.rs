@@ -1,0 +1,110 @@
+//! The paper's accuracy metrics (Section 7.2).
+
+use pdr_geometry::RegionSet;
+
+/// False-positive / false-negative area ratios of a reported answer
+/// `D'` against the true dense region `D`:
+///
+/// ```text
+/// r_fp = area(D' \ D) / area(D)
+/// r_fn = area(D \ D') / area(D)
+/// ```
+///
+/// `r_fp` may exceed 1 (a method can report far more area than is
+/// actually dense); `r_fn` never does.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Accuracy {
+    /// False-positive ratio.
+    pub r_fp: f64,
+    /// False-negative ratio.
+    pub r_fn: f64,
+}
+
+impl Accuracy {
+    /// Perfect agreement.
+    pub const EXACT: Accuracy = Accuracy { r_fp: 0.0, r_fn: 0.0 };
+}
+
+/// Computes the accuracy of `reported` against `truth`.
+///
+/// Degenerate cases: when `truth` is empty, `r_fn = 0` by convention
+/// and `r_fp` is `0` for an empty report and `+∞` otherwise (any
+/// reported area is infinitely wrong relative to zero true area —
+/// consistent with the paper's observation that ratios blow up as the
+/// threshold grows and `D` shrinks).
+pub fn accuracy(truth: &RegionSet, reported: &RegionSet) -> Accuracy {
+    let denom = truth.area();
+    if denom <= 0.0 {
+        let fp_area = reported.area();
+        return Accuracy {
+            r_fp: if fp_area > 0.0 { f64::INFINITY } else { 0.0 },
+            r_fn: 0.0,
+        };
+    }
+    Accuracy {
+        r_fp: reported.difference_area(truth) / denom,
+        r_fn: truth.difference_area(reported) / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_geometry::Rect;
+
+    fn rs(rects: &[(f64, f64, f64, f64)]) -> RegionSet {
+        RegionSet::from_rects(rects.iter().map(|&(a, b, c, d)| Rect::new(a, b, c, d)))
+    }
+
+    #[test]
+    fn exact_answer_scores_zero() {
+        let d = rs(&[(0.0, 0.0, 2.0, 2.0)]);
+        assert_eq!(accuracy(&d, &d), Accuracy::EXACT);
+    }
+
+    #[test]
+    fn over_reporting_inflates_fp_only() {
+        let truth = rs(&[(0.0, 0.0, 1.0, 1.0)]);
+        let reported = rs(&[(0.0, 0.0, 3.0, 1.0)]);
+        let a = accuracy(&truth, &reported);
+        assert!((a.r_fp - 2.0).abs() < 1e-12);
+        assert_eq!(a.r_fn, 0.0);
+    }
+
+    #[test]
+    fn under_reporting_inflates_fn_only() {
+        let truth = rs(&[(0.0, 0.0, 2.0, 1.0)]);
+        let reported = rs(&[(0.0, 0.0, 1.0, 1.0)]);
+        let a = accuracy(&truth, &reported);
+        assert_eq!(a.r_fp, 0.0);
+        assert!((a.r_fn - 0.5).abs() < 1e-12);
+        assert!(a.r_fn <= 1.0);
+    }
+
+    #[test]
+    fn disjoint_report() {
+        let truth = rs(&[(0.0, 0.0, 1.0, 1.0)]);
+        let reported = rs(&[(5.0, 5.0, 6.0, 6.0)]);
+        let a = accuracy(&truth, &reported);
+        assert!((a.r_fp - 1.0).abs() < 1e-12);
+        assert!((a.r_fn - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_conventions() {
+        let empty = RegionSet::new();
+        let some = rs(&[(0.0, 0.0, 1.0, 1.0)]);
+        let a = accuracy(&empty, &some);
+        assert!(a.r_fp.is_infinite());
+        assert_eq!(a.r_fn, 0.0);
+        let b = accuracy(&empty, &empty);
+        assert_eq!(b, Accuracy::EXACT);
+    }
+
+    #[test]
+    fn fn_never_exceeds_one() {
+        let truth = rs(&[(0.0, 0.0, 4.0, 4.0)]);
+        let a = accuracy(&truth, &RegionSet::new());
+        assert!((a.r_fn - 1.0).abs() < 1e-12);
+    }
+}

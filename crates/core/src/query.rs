@@ -1,0 +1,123 @@
+//! PDR query parameters.
+
+use pdr_mobject::Timestamp;
+
+/// A snapshot PDR query `(ρ, l, q_t)` (Definition 4 of the paper):
+/// report all regions that are ρ-dense with respect to `l`-square
+/// neighborhoods at timestamp `q_t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PdrQuery {
+    /// Density threshold `ρ` (objects per unit area).
+    pub rho: f64,
+    /// Neighborhood edge length `l`.
+    pub l: f64,
+    /// Queried timestamp `q_t` (within `[t_now, t_now + H]`).
+    pub q_t: Timestamp,
+}
+
+impl PdrQuery {
+    /// Creates a query.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ρ < 0` or `l ≤ 0`.
+    pub fn new(rho: f64, l: f64, q_t: Timestamp) -> Self {
+        assert!(rho >= 0.0 && rho.is_finite(), "density threshold must be >= 0");
+        assert!(l > 0.0 && l.is_finite(), "edge length must be positive");
+        PdrQuery { rho, l, q_t }
+    }
+
+    /// The object-count threshold `ρ·l²`: a point is dense iff its
+    /// `l`-square neighborhood holds at least this many objects.
+    #[inline]
+    pub fn count_threshold(&self) -> f64 {
+        self.rho * self.l * self.l
+    }
+
+    /// Builds a query from the paper's *relative* density threshold ϱ:
+    /// with `n` objects in a region of area `extent²`, the absolute
+    /// threshold is `ρ = n·ϱ / extent²` (Section 7: ϱ ∈ 1..=5 gives
+    /// ρ ∈ 0.5..=2.5 for CH500K on the 1000-mile plane).
+    pub fn from_relative(varrho: f64, n_objects: usize, extent: f64, l: f64, q_t: Timestamp) -> Self {
+        let rho = n_objects as f64 * varrho / (extent * extent);
+        PdrQuery::new(rho, l, q_t)
+    }
+}
+
+/// Helper for the float-robust "count ≥ ρl²" test shared by every
+/// engine: `count + ε ≥ threshold`, with ε far below one object.
+#[derive(Clone, Copy, Debug)]
+pub struct DenseThreshold {
+    threshold: f64,
+}
+
+impl DenseThreshold {
+    /// Threshold for the given query.
+    pub fn of(query: &PdrQuery) -> Self {
+        DenseThreshold {
+            threshold: query.count_threshold(),
+        }
+    }
+
+    /// Threshold from a raw count.
+    pub fn from_count(threshold: f64) -> Self {
+        DenseThreshold { threshold }
+    }
+
+    /// `true` when an integer object count meets the threshold.
+    #[inline]
+    pub fn met_by(&self, count: usize) -> bool {
+        count as f64 + 1e-9 >= self.threshold
+    }
+
+    /// `true` when a real-valued density times `l²` meets the threshold.
+    #[inline]
+    pub fn met_by_f64(&self, value: f64) -> bool {
+        value + 1e-9 >= self.threshold
+    }
+
+    /// The raw count threshold.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_threshold() {
+        let q = PdrQuery::new(0.5, 4.0, 10);
+        assert_eq!(q.count_threshold(), 8.0);
+    }
+
+    #[test]
+    fn relative_threshold_matches_paper_example() {
+        // CH500K: 500 000 objects, 1000-mile plane, varrho 1..=5
+        // => rho in 0.5..=2.5 (Section 7).
+        let q1 = PdrQuery::from_relative(1.0, 500_000, 1000.0, 30.0, 0);
+        let q5 = PdrQuery::from_relative(5.0, 500_000, 1000.0, 30.0, 0);
+        assert!((q1.rho - 0.5).abs() < 1e-12);
+        assert!((q5.rho - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_threshold_edges() {
+        let t = DenseThreshold::from_count(4.0);
+        assert!(t.met_by(4));
+        assert!(t.met_by(5));
+        assert!(!t.met_by(3));
+        // Fractional thresholds round up in effect.
+        let t = DenseThreshold::from_count(3.2);
+        assert!(!t.met_by(3));
+        assert!(t.met_by(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge length must be positive")]
+    fn rejects_bad_l() {
+        let _ = PdrQuery::new(1.0, 0.0, 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The two-level plane-sweep refinement (Algorithms 2 and 3).
+//!
+//! Given a target rectangle `R` (a candidate cell, or the whole region
+//! for the brute-force oracle) and every object within `R` inflated by
+//! `l/2`, the sweep reports the exact set of ρ-dense points inside `R`
+//! as a union of half-open rectangles.
+//!
+//! The key observation (Lemmas 1–2 of the paper) is that the point
+//! density `d(x, y)` only changes when the `l`-square boundary crosses
+//! an object, so along X it is piecewise constant between the *stopping
+//! events* `{x_o ± l/2}`, and likewise along Y. Sweeping an `l`-band
+//! along X and, inside each band, an `l`-square along Y enumerates every
+//! constant-density rectangle.
+//!
+//! Membership uses the half-open `l`-square of Definition 1: an object
+//! at `x_o` is inside the band centered at `x_c` iff
+//! `x_c ∈ [x_o − l/2, x_o + l/2)`. Each segment is classified by its
+//! *midpoint*, which is equivalent to classifying the whole segment (the
+//! density is constant on it) and immune to boundary ties.
+
+use crate::DenseThreshold;
+use pdr_geometry::{Point, Rect, RegionSet};
+
+/// Exact ρ-dense sub-rectangles of `target`, given `objects` — every
+/// object position within `target.inflate(l/2)` (a superset is fine;
+/// objects further out cannot affect any point of `target`).
+///
+/// Returns half-open `[lo, hi)` rectangles, not yet coalesced (callers
+/// merging several cells coalesce once at the end).
+pub fn refine_region(
+    target: &Rect,
+    objects: &[Point],
+    threshold: DenseThreshold,
+    l: f64,
+) -> Vec<Rect> {
+    assert!(l > 0.0, "edge length must be positive");
+    let mut out = Vec::new();
+    if target.is_degenerate() {
+        return out;
+    }
+    // A region can only be dense if enough objects are around at all.
+    if !threshold.met_by(objects.len()) {
+        return out;
+    }
+    let half = l / 2.0;
+
+    // Objects sorted by x for the band sweep.
+    let mut by_x: Vec<Point> = objects.to_vec();
+    by_x.sort_by(|a, b| a.x.total_cmp(&b.x));
+
+    // Stopping events along X, clamped to the target.
+    let mut xs: Vec<f64> = Vec::with_capacity(2 * by_x.len() + 2);
+    xs.push(target.x_lo);
+    xs.push(target.x_hi);
+    for p in &by_x {
+        for e in [p.x - half, p.x + half] {
+            if e > target.x_lo && e < target.x_hi {
+                xs.push(e);
+            }
+        }
+    }
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+
+    // Two pointers over by_x: the band at center x_c contains objects
+    // with x_o ∈ (x_c − l/2, x_c + l/2]; evaluated at segment midpoints
+    // (monotonically increasing), both pointers only advance.
+    let mut lo = 0; // index of first object with x_o > mid − l/2
+    let mut hi = 0; // index one past last object with x_o ≤ mid + l/2
+    let mut band: Vec<f64> = Vec::new(); // y-coords of band members, rebuilt per segment
+
+    for w in xs.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        if x1 <= x0 {
+            continue;
+        }
+        let mid = 0.5 * (x0 + x1);
+        while lo < by_x.len() && by_x[lo].x <= mid - half {
+            lo += 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+        while hi < by_x.len() && by_x[hi].x <= mid + half {
+            hi += 1;
+        }
+        let members = &by_x[lo..hi];
+        if !threshold.met_by(members.len()) {
+            continue; // the band cannot contain a dense square
+        }
+        band.clear();
+        band.extend(members.iter().map(|p| p.y));
+        band.sort_by(f64::total_cmp);
+        sweep_y(target, &band, threshold, half, x0, x1, &mut out);
+    }
+    out
+}
+
+/// The inner `l`-square sweep along Y (Algorithm 3) for one X band.
+fn sweep_y(
+    target: &Rect,
+    ys: &[f64],
+    threshold: DenseThreshold,
+    half: f64,
+    x0: f64,
+    x1: f64,
+    out: &mut Vec<Rect>,
+) {
+    let mut events: Vec<f64> = Vec::with_capacity(2 * ys.len() + 2);
+    events.push(target.y_lo);
+    events.push(target.y_hi);
+    for &y in ys {
+        for e in [y - half, y + half] {
+            if e > target.y_lo && e < target.y_hi {
+                events.push(e);
+            }
+        }
+    }
+    events.sort_by(f64::total_cmp);
+    events.dedup();
+
+    let mut lo = 0;
+    let mut hi = 0;
+    for w in events.windows(2) {
+        let (y0, y1) = (w[0], w[1]);
+        if y1 <= y0 {
+            continue;
+        }
+        let mid = 0.5 * (y0 + y1);
+        while lo < ys.len() && ys[lo] <= mid - half {
+            lo += 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+        while hi < ys.len() && ys[hi] <= mid + half {
+            hi += 1;
+        }
+        if threshold.met_by(hi - lo) {
+            out.push(Rect::new(x0, y0, x1, y1));
+        }
+    }
+}
+
+/// Convenience wrapper returning a coalesced [`RegionSet`].
+pub fn refine_region_set(
+    target: &Rect,
+    objects: &[Point],
+    threshold: DenseThreshold,
+    l: f64,
+) -> RegionSet {
+    let mut rs = RegionSet::from_rects(refine_region(target, objects, threshold, l));
+    rs.coalesce();
+    rs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::point_density;
+    use pdr_geometry::LSquare;
+
+    fn thresh(k: f64) -> DenseThreshold {
+        DenseThreshold::from_count(k)
+    }
+
+    #[test]
+    fn empty_when_too_few_objects() {
+        let target = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let objects = vec![Point::new(5.0, 5.0)];
+        assert!(refine_region(&target, &objects, thresh(2.0), 2.0).is_empty());
+    }
+
+    #[test]
+    fn single_cluster_produces_square_region() {
+        // 4 coincident objects, l = 2, threshold 4: the dense points are
+        // exactly those whose l-square contains the cluster point, i.e.
+        // the half-open square [p − 1, p + 1) ... by Definition 1 the
+        // object at q is inside S_p iff p ∈ [q − l/2, q + l/2).
+        let target = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let q = Point::new(5.0, 5.0);
+        let objects = vec![q; 4];
+        let rs = refine_region_set(&target, &objects, thresh(4.0), 2.0);
+        let truth = RegionSet::from_rects([Rect::new(4.0, 4.0, 6.0, 6.0)]);
+        assert!(
+            rs.symmetric_difference_area(&truth) < 1e-9,
+            "got {rs:?}"
+        );
+    }
+
+    #[test]
+    fn figure1a_answer_loss_scene() {
+        // The paper's Figure 1(a): four objects near a grid corner, none
+        // of the four unit cells dense, but the l-square around the
+        // corner holds all four. PDR must report a nonempty region.
+        let target = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let objects = vec![
+            Point::new(1.9, 1.9),
+            Point::new(2.1, 1.9),
+            Point::new(1.9, 2.1),
+            Point::new(2.1, 2.1),
+        ];
+        let rs = refine_region_set(&target, &objects, thresh(4.0), 1.0);
+        assert!(!rs.is_empty(), "answer loss: dense region missed");
+        // The center point (2, 2) has all 4 objects in its unit square
+        // neighborhood ((1.5, 2.5] x (1.5, 2.5] contains all).
+        assert!(rs.contains(Point::new(2.0, 2.0)));
+    }
+
+    /// Brute-force check: every reported point is dense, every dense
+    /// sample point is reported.
+    fn cross_validate(target: Rect, objects: &[Point], k: f64, l: f64, samples: u32) {
+        let rs = refine_region_set(&target, objects, thresh(k), l);
+        let mut seed = 0xDEADBEEFu64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..samples {
+            let p = Point::new(
+                target.x_lo + rng() * target.width(),
+                target.y_lo + rng() * target.height(),
+            );
+            let n = objects
+                .iter()
+                .filter(|&&o| LSquare::new(p, l).contains(o))
+                .count();
+            let dense = thresh(k).met_by(n);
+            assert_eq!(
+                rs.contains(p),
+                dense,
+                "point {p:?}: neighborhood count {n}, threshold {k}, density {}",
+                point_density(p, l, objects)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_scenes() {
+        let mut seed = 424242u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for scene in 0..5 {
+            let target = Rect::new(0.0, 0.0, 50.0, 50.0);
+            let n = 30 + scene * 25;
+            let objects: Vec<Point> = (0..n)
+                .map(|_| {
+                    // Cluster half the objects to force dense pockets.
+                    if rng() < 0.5 {
+                        Point::new(20.0 + rng() * 8.0, 20.0 + rng() * 8.0)
+                    } else {
+                        Point::new(rng() * 60.0 - 5.0, rng() * 60.0 - 5.0)
+                    }
+                })
+                .collect();
+            cross_validate(target, &objects, 4.0, 6.0, 400);
+        }
+    }
+
+    #[test]
+    fn target_boundary_is_respected() {
+        // Objects outside the target can make border points dense, but
+        // no reported rectangle may leave the target.
+        let target = Rect::new(10.0, 10.0, 20.0, 20.0);
+        let objects: Vec<Point> = (0..10).map(|i| Point::new(9.5, 10.0 + i as f64)).collect();
+        let rs = refine_region_set(&target, &objects, thresh(2.0), 4.0);
+        for r in rs.rects() {
+            assert!(target.contains_rect(r), "rect {r:?} escapes target");
+        }
+    }
+
+    #[test]
+    fn dense_everywhere_when_threshold_zero() {
+        let target = Rect::new(0.0, 0.0, 5.0, 5.0);
+        let rs = refine_region_set(&target, &[], thresh(0.0), 1.0);
+        assert!((rs.area() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_threshold() {
+        // threshold 2.5 means 3 objects needed.
+        let target = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let two = vec![Point::new(5.0, 5.0); 2];
+        assert!(refine_region(&target, &two, thresh(2.5), 2.0).is_empty());
+        let three = vec![Point::new(5.0, 5.0); 3];
+        assert!(!refine_region(&target, &three, thresh(2.5), 2.0).is_empty());
+    }
+
+    #[test]
+    fn arbitrary_shape_regions_emerge() {
+        // Two overlapping clusters produce an L-ish/elongated region,
+        // demonstrating "arbitrary shape and size" (Figure 3).
+        let target = Rect::new(0.0, 0.0, 20.0, 20.0);
+        let mut objects = vec![Point::new(5.0, 5.0); 3];
+        objects.extend(vec![Point::new(7.0, 7.0); 3]); // diagonal offset
+        let rs = refine_region_set(&target, &objects, thresh(3.0), 4.0);
+        let bb = rs.bounding_rect().unwrap();
+        assert!(bb.width() > 4.0, "region should span both clusters");
+        // The union of the two offset squares is a staircase, not a
+        // plain rectangle: its area is strictly below the bbox area.
+        assert!(rs.area() < bb.area() - 1e-9);
+    }
+}

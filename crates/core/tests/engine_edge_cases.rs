@@ -1,0 +1,194 @@
+//! Edge-case tests for the query engines through the public API.
+
+use pdr_core::{
+    accuracy, classify_cells, dh_optimistic, dh_pessimistic, CellClass, DenseThreshold, FrConfig,
+    FrEngine, PaConfig, PaEngine, PdrQuery,
+};
+use pdr_geometry::{Point, Rect, RegionSet};
+use pdr_histogram::DensityHistogram;
+use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Update};
+
+fn fr() -> FrEngine {
+    FrEngine::new(
+        FrConfig {
+            extent: 100.0,
+            m: 20, // l_c = 5
+            horizon: TimeHorizon::new(4, 4),
+            buffer_pages: 32,
+        },
+        0,
+    )
+}
+
+fn pa() -> PaEngine {
+    PaEngine::new(
+        PaConfig {
+            extent: 100.0,
+            g: 5,
+            degree: 5,
+            l: 10.0,
+            horizon: TimeHorizon::new(4, 4),
+            m_d: 200,
+        },
+        0,
+    )
+}
+
+fn stationary(id: u64, x: f64, y: f64) -> (ObjectId, MotionState) {
+    (ObjectId(id), MotionState::stationary(Point::new(x, y), 0))
+}
+
+#[test]
+fn filter_at_exact_l_equals_two_cell_edges() {
+    // l = 10 = 2 * l_c is the algorithm's boundary requirement: it must
+    // be accepted, with eta_l = 1 (conservative = the cell itself).
+    let mut engine = fr();
+    let pop: Vec<_> = (0..10).map(|i| stationary(i, 52.5, 52.5)).collect();
+    engine.bulk_load(&pop, 0);
+    let q = PdrQuery::new(10.0 / 100.0, 10.0, 0); // threshold = 10
+    let cls = classify_cells(
+        engine.histogram().grid(),
+        &engine.histogram().prefix_sums_at(0),
+        &q,
+    );
+    // The cell holding all 10 objects is provably dense.
+    let cell = engine.histogram().grid().locate(Point::new(52.5, 52.5)).unwrap();
+    assert_eq!(cls.class_of(cell), CellClass::Accept);
+}
+
+#[test]
+fn query_monotone_in_threshold() {
+    // Raising rho can only shrink the answer — for both engines.
+    let pop: Vec<_> = (0..200)
+        .map(|i| stationary(i, 30.0 + (i % 20) as f64, 30.0 + (i / 20) as f64))
+        .collect();
+    let mut f = fr();
+    f.bulk_load(&pop, 0);
+    let mut p = pa();
+    for (id, m) in &pop {
+        p.apply(&Update::insert(*id, 0, *m));
+    }
+    let mut prev_fr: Option<RegionSet> = None;
+    let mut prev_pa: Option<RegionSet> = None;
+    for k in [5.0, 20.0, 60.0] {
+        let q = PdrQuery::new(k / 100.0, 10.0, 2);
+        let r_fr = f.query(&q).regions;
+        let r_pa = p.query(q.rho, 2).regions;
+        if let Some(prev) = &prev_fr {
+            assert!(
+                r_fr.difference_area(prev) < 1e-9,
+                "FR answer grew when threshold rose to {k}"
+            );
+        }
+        if let Some(prev) = &prev_pa {
+            assert!(
+                r_pa.difference_area(prev) < 1e-6,
+                "PA answer grew when threshold rose to {k}"
+            );
+        }
+        prev_fr = Some(r_fr);
+        prev_pa = Some(r_pa);
+    }
+}
+
+#[test]
+fn zero_threshold_makes_everything_dense() {
+    let mut engine = fr();
+    engine.bulk_load(&[stationary(1, 50.0, 50.0)], 0);
+    let ans = engine.query(&PdrQuery::new(0.0, 10.0, 0));
+    assert!((ans.regions.area() - 100.0 * 100.0).abs() < 1e-6);
+    assert_eq!(ans.candidates, 0, "every cell is trivially accepted");
+}
+
+#[test]
+fn dh_answers_bracket_the_exact_answer() {
+    // pessimistic ⊆ exact ⊆ optimistic, pointwise via areas.
+    let pop: Vec<_> = (0..150)
+        .map(|i| stationary(i, 20.0 + (i % 30) as f64 * 2.0, 40.0 + (i / 30) as f64 * 3.0))
+        .collect();
+    let mut engine = fr();
+    engine.bulk_load(&pop, 0);
+    let q = PdrQuery::new(8.0 / 100.0, 10.0, 1);
+    let exact = engine.query(&q).regions;
+    let cls = classify_cells(
+        engine.histogram().grid(),
+        &engine.histogram().prefix_sums_at(1),
+        &q,
+    );
+    let opt = dh_optimistic(&cls);
+    let pes = dh_pessimistic(&cls);
+    assert!(pes.difference_area(&exact) < 1e-9, "pessimistic ⊆ exact");
+    assert!(exact.difference_area(&opt) < 1e-9, "exact ⊆ optimistic");
+}
+
+#[test]
+fn pa_empty_engine_returns_empty_everywhere() {
+    let p = pa();
+    for t in 0..=8u64 {
+        assert!(p.query(0.01, t).regions.is_empty());
+        assert!(p.query_grid_scan(0.01, t).regions.is_empty());
+        assert!(p.top_k_dense(3, t, 10.0).iter().all(|(_, d)| *d <= 1e-12));
+        assert_eq!(p.estimate_count(&Rect::new(0.0, 0.0, 100.0, 100.0), t), 0.0);
+    }
+}
+
+#[test]
+fn accuracy_is_order_sensitive() {
+    let a = RegionSet::from_rects([Rect::new(0.0, 0.0, 2.0, 2.0)]);
+    let b = RegionSet::from_rects([Rect::new(0.0, 0.0, 1.0, 1.0)]);
+    let ab = accuracy(&a, &b);
+    let ba = accuracy(&b, &a);
+    // b under-reports a; a over-reports b.
+    assert_eq!(ab.r_fp, 0.0);
+    assert!(ab.r_fn > 0.0);
+    assert!(ba.r_fp > 0.0);
+    assert_eq!(ba.r_fn, 0.0);
+}
+
+#[test]
+fn dense_threshold_value_round_trips() {
+    let q = PdrQuery::new(0.25, 4.0, 0);
+    let t = DenseThreshold::of(&q);
+    assert_eq!(t.value(), 4.0);
+    assert!(t.met_by_f64(4.0));
+    assert!(!t.met_by_f64(3.9));
+}
+
+#[test]
+fn fr_query_at_horizon_end_is_supported() {
+    let mut engine = fr();
+    engine.bulk_load(&[stationary(1, 50.0, 50.0)], 0);
+    let h = TimeHorizon::new(4, 4).h();
+    // Exactly the last covered timestamp works...
+    let _ = engine.query(&PdrQuery::new(0.01, 10.0, h));
+    // ...one past it panics.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.query(&PdrQuery::new(0.01, 10.0, h + 1))
+    }));
+    assert!(r.is_err());
+}
+
+#[test]
+fn histogram_and_pa_share_protocol_semantics() {
+    // Applying the same update stream leaves both summaries consistent
+    // about total mass: histogram totals equal the PA surface integral
+    // (up to approximation error), at each covered timestamp.
+    let mut h = DensityHistogram::new(100.0, 20, TimeHorizon::new(4, 4), 0);
+    let mut p = pa();
+    let pop: Vec<_> = (0..100)
+        .map(|i| stationary(i, 25.0 + (i % 10) as f64 * 5.0, 25.0 + (i / 10) as f64 * 5.0))
+        .collect();
+    for (id, m) in &pop {
+        let u = Update::insert(*id, 0, *m);
+        h.apply(&u);
+        p.apply(&u);
+    }
+    for t in [0u64, 4, 8] {
+        let mass_h = h.total_at(t) as f64;
+        let mass_p = p.estimate_count(&Rect::new(0.0, 0.0, 100.0, 100.0), t);
+        assert!(
+            (mass_h - mass_p).abs() < 0.15 * mass_h.max(1.0),
+            "t={t}: histogram {mass_h} vs surface {mass_p}"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Uniform grid addressing over a square region.
+//!
+//! The paper divides the `L × L` plane into an `m × m` grid for the
+//! density histogram (Section 5), and into a `g × g` grid of local
+//! Chebyshev polynomials (Section 6.4). [`GridSpec`] centralizes the
+//! cell ↔ coordinate mapping so both agree on boundary handling.
+
+use crate::{Point, Rect};
+
+/// Identifier of a grid cell: `(col, row)` with `col` indexing X and
+/// `row` indexing Y, both zero-based from the lower-left corner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// Column (X) index in `0..m`.
+    pub col: u32,
+    /// Row (Y) index in `0..m`.
+    pub row: u32,
+}
+
+impl CellId {
+    /// Creates a cell id.
+    #[inline]
+    pub const fn new(col: u32, row: u32) -> Self {
+        CellId { col, row }
+    }
+}
+
+/// A uniform `m × m` grid over the square `[origin, origin + extent]²`.
+///
+/// Points are mapped to cells with half-open `[lo, hi)` cell semantics
+/// except that the global top/right boundary is folded into the last
+/// cell, so every point of the closed region belongs to exactly one cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridSpec {
+    origin: Point,
+    extent: f64,
+    m: u32,
+}
+
+impl GridSpec {
+    /// Creates a grid of `m × m` cells over `[origin, origin + extent]²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m == 0` or `extent <= 0`.
+    pub fn new(origin: Point, extent: f64, m: u32) -> Self {
+        assert!(m > 0, "grid must have at least one cell per side");
+        assert!(
+            extent > 0.0 && extent.is_finite(),
+            "grid extent must be positive and finite, got {extent}"
+        );
+        GridSpec { origin, extent, m }
+    }
+
+    /// Grid over `[0, extent]²`, the paper's setup (`L = 1000` miles).
+    pub fn unit_origin(extent: f64, m: u32) -> Self {
+        GridSpec::new(Point::ORIGIN, extent, m)
+    }
+
+    /// Number of cells per side, `m`.
+    #[inline]
+    pub fn cells_per_side(&self) -> u32 {
+        self.m
+    }
+
+    /// Total number of cells, `m²`.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        (self.m as usize) * (self.m as usize)
+    }
+
+    /// Edge length of one cell, `l_c = L / m`.
+    #[inline]
+    pub fn cell_edge(&self) -> f64 {
+        self.extent / self.m as f64
+    }
+
+    /// The covered region `[origin, origin + extent]²`.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(
+            self.origin.x,
+            self.origin.y,
+            self.origin.x + self.extent,
+            self.origin.y + self.extent,
+        )
+    }
+
+    /// Maps a point to its cell, or `None` when outside the grid. The
+    /// top/right boundary belongs to the last row/column.
+    pub fn locate(&self, p: Point) -> Option<CellId> {
+        let fx = (p.x - self.origin.x) / self.cell_edge();
+        let fy = (p.y - self.origin.y) / self.cell_edge();
+        if fx < 0.0 || fy < 0.0 || fx > self.m as f64 || fy > self.m as f64 {
+            return None;
+        }
+        let col = (fx as u32).min(self.m - 1);
+        let row = (fy as u32).min(self.m - 1);
+        Some(CellId::new(col, row))
+    }
+
+    /// Like [`locate`](GridSpec::locate) but clamps outside points to the
+    /// nearest boundary cell. Useful when motion extrapolation drifts
+    /// slightly past the region boundary.
+    pub fn locate_clamped(&self, p: Point) -> CellId {
+        let fx = (p.x - self.origin.x) / self.cell_edge();
+        let fy = (p.y - self.origin.y) / self.cell_edge();
+        let col = (fx.max(0.0) as u32).min(self.m - 1);
+        let row = (fy.max(0.0) as u32).min(self.m - 1);
+        CellId::new(col, row)
+    }
+
+    /// The rectangle covered by `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is out of range.
+    pub fn cell_rect(&self, cell: CellId) -> Rect {
+        assert!(cell.col < self.m && cell.row < self.m, "cell out of range: {cell:?}");
+        let e = self.cell_edge();
+        let x = self.origin.x + cell.col as f64 * e;
+        let y = self.origin.y + cell.row as f64 * e;
+        Rect::new(x, y, x + e, y + e)
+    }
+
+    /// Row-major linear index of `cell` (row * m + col).
+    #[inline]
+    pub fn linear_index(&self, cell: CellId) -> usize {
+        debug_assert!(cell.col < self.m && cell.row < self.m);
+        cell.row as usize * self.m as usize + cell.col as usize
+    }
+
+    /// Inverse of [`linear_index`](GridSpec::linear_index).
+    #[inline]
+    pub fn cell_of_index(&self, idx: usize) -> CellId {
+        debug_assert!(idx < self.cell_count());
+        CellId::new((idx % self.m as usize) as u32, (idx / self.m as usize) as u32)
+    }
+
+    /// All cells whose rectangles intersect `r` (closed semantics),
+    /// clamped to the grid. Returns an iterator over `CellId`s in
+    /// row-major order.
+    pub fn cells_intersecting(&self, r: &Rect) -> impl Iterator<Item = CellId> + '_ {
+        let e = self.cell_edge();
+        // Candidate ranges are widened by one cell on each side so that
+        // rectangles sitting exactly on a cell border also see the cell
+        // they merely touch (closed semantics); the intersects filter
+        // below keeps the result exact.
+        let lo_col = ((((r.x_lo - self.origin.x) / e).floor() - 1.0).max(0.0) as u32).min(self.m - 1);
+        let hi_col = ((((r.x_hi - self.origin.x) / e).ceil() + 1.0).max(0.0) as u32).min(self.m);
+        let lo_row = ((((r.y_lo - self.origin.y) / e).floor() - 1.0).max(0.0) as u32).min(self.m - 1);
+        let hi_row = ((((r.y_hi - self.origin.y) / e).ceil() + 1.0).max(0.0) as u32).min(self.m);
+        let (lo_col, hi_col, lo_row, hi_row, grid) = (lo_col, hi_col, lo_row, hi_row, *self);
+        let r = *r;
+        (lo_row..hi_row.max(lo_row + 1).min(grid.m))
+            .flat_map(move |row| {
+                (lo_col..hi_col.max(lo_col + 1).min(grid.m)).map(move |col| CellId::new(col, row))
+            })
+            .filter(move |&c| grid.cell_rect(c).intersects(&r))
+    }
+
+    /// Iterates over all cells in row-major order.
+    pub fn all_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        let m = self.m;
+        (0..m).flat_map(move |row| (0..m).map(move |col| CellId::new(col, row)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec::unit_origin(100.0, 10)
+    }
+
+    #[test]
+    fn basic_properties() {
+        let g = grid();
+        assert_eq!(g.cells_per_side(), 10);
+        assert_eq!(g.cell_count(), 100);
+        assert_eq!(g.cell_edge(), 10.0);
+        assert_eq!(g.bounds(), Rect::new(0.0, 0.0, 100.0, 100.0));
+    }
+
+    #[test]
+    fn locate_interior_and_boundary() {
+        let g = grid();
+        assert_eq!(g.locate(Point::new(0.0, 0.0)), Some(CellId::new(0, 0)));
+        assert_eq!(g.locate(Point::new(15.0, 25.0)), Some(CellId::new(1, 2)));
+        // Interior cell boundary belongs to the upper cell (half-open).
+        assert_eq!(g.locate(Point::new(10.0, 0.0)), Some(CellId::new(1, 0)));
+        // Global top/right boundary folds into the last cell.
+        assert_eq!(g.locate(Point::new(100.0, 100.0)), Some(CellId::new(9, 9)));
+        // Outside.
+        assert_eq!(g.locate(Point::new(-0.1, 5.0)), None);
+        assert_eq!(g.locate(Point::new(5.0, 100.1)), None);
+    }
+
+    #[test]
+    fn locate_clamped_snaps_to_border() {
+        let g = grid();
+        assert_eq!(g.locate_clamped(Point::new(-5.0, 50.0)), CellId::new(0, 5));
+        assert_eq!(g.locate_clamped(Point::new(150.0, 150.0)), CellId::new(9, 9));
+    }
+
+    #[test]
+    fn cell_rect_round_trip() {
+        let g = grid();
+        for cell in g.all_cells() {
+            let r = g.cell_rect(cell);
+            assert_eq!(g.locate(r.center()), Some(cell));
+            assert_eq!(g.cell_of_index(g.linear_index(cell)), cell);
+        }
+    }
+
+    #[test]
+    fn cells_intersecting_rect() {
+        let g = grid();
+        let hits: Vec<CellId> = g
+            .cells_intersecting(&Rect::new(5.0, 5.0, 25.0, 15.0))
+            .collect();
+        // Spans columns 0..=2 and rows 0..=1 (closed intersection).
+        assert!(hits.contains(&CellId::new(0, 0)));
+        assert!(hits.contains(&CellId::new(2, 1)));
+        assert_eq!(hits.len(), 6);
+    }
+
+    #[test]
+    fn cells_intersecting_clamps_to_grid() {
+        let g = grid();
+        let hits: Vec<CellId> = g
+            .cells_intersecting(&Rect::new(-50.0, -50.0, 5.0, 5.0))
+            .collect();
+        assert_eq!(hits, vec![CellId::new(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of range")]
+    fn cell_rect_rejects_out_of_range() {
+        let _ = grid().cell_rect(CellId::new(10, 0));
+    }
+}

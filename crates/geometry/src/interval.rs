@@ -1,0 +1,222 @@
+//! Measurable unions of 1-D intervals.
+//!
+//! These are the slab-local workhorse of the 2-D region measure in
+//! [`crate::RegionSet`]: a vertical slab of the plane reduces each
+//! rectangle set to a union of Y-intervals, and the area bookkeeping
+//! becomes 1-D measure, intersection and difference.
+
+use std::fmt;
+
+/// A closed 1-D interval `[lo, hi]` with `lo <= hi`.
+///
+/// Boundary semantics are irrelevant for measure (single points have
+/// measure zero), so one representation serves both the half-open answer
+/// rectangles and the closed query rectangles.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either endpoint is NaN.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Length of the interval.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when the interval is a single point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Intersection with `other`, or `None` when disjoint (touching
+    /// endpoints yield a zero-length interval).
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval::new(lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// A union of 1-D intervals kept in *normalized* form: sorted by lower
+/// endpoint, pairwise disjoint, with touching intervals merged and empty
+/// ones dropped.
+#[derive(Clone, Default, PartialEq)]
+pub struct IntervalSet {
+    items: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet { items: Vec::new() }
+    }
+
+    /// Builds a normalized set from arbitrary (possibly overlapping,
+    /// unsorted, empty) intervals.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut items: Vec<Interval> = iter.into_iter().filter(|iv| !iv.is_empty()).collect();
+        items.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+        let mut merged: Vec<Interval> = Vec::with_capacity(items.len());
+        for iv in items {
+            match merged.last_mut() {
+                Some(last) if iv.lo <= last.hi => {
+                    if iv.hi > last.hi {
+                        last.hi = iv.hi;
+                    }
+                }
+                _ => merged.push(iv),
+            }
+        }
+        IntervalSet { items: merged }
+    }
+
+    /// The normalized intervals, sorted and disjoint.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.items
+    }
+
+    /// `true` when the set has measure zero.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total length (Lebesgue measure) of the set.
+    pub fn measure(&self) -> f64 {
+        self.items.iter().map(Interval::len).sum()
+    }
+
+    /// `true` when `x` lies in the set (closed semantics).
+    pub fn contains(&self, x: f64) -> bool {
+        // Binary search over the sorted, disjoint representation.
+        let idx = self.items.partition_point(|iv| iv.hi < x);
+        self.items.get(idx).is_some_and(|iv| iv.lo <= x && x <= iv.hi)
+    }
+
+    /// Intersection with another normalized set, by linear merge.
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.items.len() && j < other.items.len() {
+            let a = self.items[i];
+            let b = other.items[j];
+            if let Some(iv) = a.intersection(&b) {
+                if !iv.is_empty() {
+                    out.push(iv);
+                }
+            }
+            if a.hi <= b.hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { items: out }
+    }
+
+    /// Union with another normalized set.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.items.iter().chain(other.items.iter()).copied())
+    }
+
+    /// Measure of `self \ other` — computed as
+    /// `measure(self) − measure(self ∩ other)`; valid because both sets
+    /// are finite unions of intervals.
+    pub fn difference_measure(&self, other: &IntervalSet) -> f64 {
+        (self.measure() - self.intersection(other).measure()).max(0.0)
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ivs: &[(f64, f64)]) -> IntervalSet {
+        IntervalSet::from_intervals(ivs.iter().map(|&(a, b)| Interval::new(a, b)))
+    }
+
+    #[test]
+    fn normalization_merges_and_sorts() {
+        let s = set(&[(3.0, 4.0), (0.0, 1.0), (0.5, 2.0), (2.0, 2.5), (5.0, 5.0)]);
+        assert_eq!(s.intervals().len(), 2);
+        assert_eq!(s.intervals()[0], Interval::new(0.0, 2.5));
+        assert_eq!(s.intervals()[1], Interval::new(3.0, 4.0));
+        assert!((s.measure() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = set(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.measure(), 0.0);
+        assert!(!s.contains(0.0));
+    }
+
+    #[test]
+    fn contains_uses_closed_semantics() {
+        let s = set(&[(0.0, 1.0), (2.0, 3.0)]);
+        assert!(s.contains(0.0));
+        assert!(s.contains(1.0));
+        assert!(!s.contains(1.5));
+        assert!(s.contains(2.0));
+        assert!(!s.contains(3.1));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = set(&[(0.0, 2.0), (4.0, 6.0)]);
+        let b = set(&[(1.0, 5.0)]);
+        let i = a.intersection(&b);
+        assert_eq!(i.intervals(), set(&[(1.0, 2.0), (4.0, 5.0)]).intervals());
+        let u = a.union(&b);
+        assert_eq!(u.intervals(), set(&[(0.0, 6.0)]).intervals());
+    }
+
+    #[test]
+    fn difference_measure() {
+        let a = set(&[(0.0, 4.0)]);
+        let b = set(&[(1.0, 2.0), (3.0, 10.0)]);
+        assert!((a.difference_measure(&b) - 2.0).abs() < 1e-12);
+        assert!((b.difference_measure(&a) - 6.0).abs() < 1e-12);
+        // Difference with self is empty.
+        assert_eq!(a.difference_measure(&a), 0.0);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_empty() {
+        let a = set(&[(0.0, 1.0)]);
+        let b = set(&[(2.0, 3.0)]);
+        assert!(a.intersection(&b).is_empty());
+    }
+}

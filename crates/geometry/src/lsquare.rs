@@ -1,0 +1,137 @@
+//! The paper's `l`-square neighborhood (Definition 1).
+
+use crate::{Point, Rect};
+
+/// The `l`-square neighborhood `S_p^l` of a point `p`: the square of edge
+/// length `l` centered at `p` that **includes its right and top edges and
+/// excludes its left and bottom edges** (Definition 1 of the paper).
+///
+/// The half-open convention matters: it makes every object in the plane
+/// belong to exactly one square of any regular tiling, which is what lets
+/// the plane-sweep refinement treat enter/leave events consistently — an
+/// object at `x_o` is inside the band of center `x_c` exactly when
+/// `x_c ∈ [x_o − l/2, x_o + l/2)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LSquare {
+    /// Center point `p`.
+    pub center: Point,
+    /// Edge length `l` (> 0).
+    pub edge: f64,
+}
+
+impl LSquare {
+    /// Creates the `l`-square neighborhood of `center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not strictly positive and finite.
+    pub fn new(center: Point, edge: f64) -> Self {
+        assert!(
+            edge > 0.0 && edge.is_finite(),
+            "l-square edge must be positive and finite, got {edge}"
+        );
+        LSquare { center, edge }
+    }
+
+    /// Half the edge length, `l/2`.
+    #[inline]
+    pub fn half(&self) -> f64 {
+        self.edge / 2.0
+    }
+
+    /// Membership with the paper's half-open semantics: `q` is inside iff
+    /// `center.x − l/2 < q.x ≤ center.x + l/2` and likewise in Y.
+    #[inline]
+    pub fn contains(&self, q: Point) -> bool {
+        let h = self.half();
+        self.center.x - h < q.x
+            && q.x <= self.center.x + h
+            && self.center.y - h < q.y
+            && q.y <= self.center.y + h
+    }
+
+    /// The closed bounding rectangle of the square. Useful for issuing
+    /// range queries; the half-open membership must then be re-checked on
+    /// the results.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::centered_square(self.center, self.edge)
+    }
+
+    /// Area `l²`, the denominator of the paper's point density
+    /// `d_t(p) = n_t(S_p^l) / l²`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.edge * self.edge
+    }
+
+    /// Counts how many of `points` fall inside the square and divides by
+    /// `l²` — the *point density* of Definition 2, computed by brute
+    /// force. This is the reference implementation every indexed method is
+    /// tested against.
+    pub fn density_of(&self, points: &[Point]) -> f64 {
+        let n = points.iter().filter(|&&q| self.contains(q)).count();
+        n as f64 / self.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_edges() {
+        let s = LSquare::new(Point::new(0.0, 0.0), 2.0);
+        // Right and top edges included.
+        assert!(s.contains(Point::new(1.0, 0.0)));
+        assert!(s.contains(Point::new(0.0, 1.0)));
+        assert!(s.contains(Point::new(1.0, 1.0)));
+        // Left and bottom edges excluded.
+        assert!(!s.contains(Point::new(-1.0, 0.0)));
+        assert!(!s.contains(Point::new(0.0, -1.0)));
+        assert!(!s.contains(Point::new(-1.0, -1.0)));
+        // Interior.
+        assert!(s.contains(Point::ORIGIN));
+    }
+
+    #[test]
+    fn tiling_is_a_partition() {
+        // With edge 1 and centers on the integer lattice, every point
+        // belongs to exactly one square.
+        let centers: Vec<Point> = (-2..3)
+            .flat_map(|i| (-2..3).map(move |j| Point::new(i as f64, j as f64)))
+            .collect();
+        let probes = [
+            Point::new(0.5, 0.5),
+            Point::new(0.0, 0.0),
+            Point::new(-0.5, 1.0),
+            Point::new(1.5, -1.5),
+        ];
+        for q in probes {
+            let owners = centers
+                .iter()
+                .filter(|c| LSquare::new(**c, 1.0).contains(q))
+                .count();
+            assert_eq!(owners, 1, "point {q:?} owned by {owners} squares");
+        }
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let s = LSquare::new(Point::new(0.0, 0.0), 2.0);
+        let pts = vec![
+            Point::new(0.0, 0.0),   // in
+            Point::new(0.9, 0.9),   // in
+            Point::new(-1.0, 0.0),  // out (left edge)
+            Point::new(1.0, 1.0),   // in (top-right corner)
+            Point::new(3.0, 3.0),   // out
+        ];
+        assert_eq!(s.density_of(&pts), 3.0 / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge must be positive")]
+    fn rejects_nonpositive_edge() {
+        let _ = LSquare::new(Point::ORIGIN, 0.0);
+    }
+}

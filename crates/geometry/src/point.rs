@@ -1,0 +1,149 @@
+//! Points in the XY-plane.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A location (or velocity vector) in the XY-plane.
+///
+/// The same type doubles as a 2-D vector: the moving-object model stores
+/// velocities as `Point`s and advances positions with `p + v * dt`.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate (miles in the paper's setup).
+    pub x: f64,
+    /// Y coordinate (miles in the paper's setup).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper than [`distance`]
+    /// when only comparisons are needed).
+    ///
+    /// [`distance`]: Point::distance
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Chebyshev (L∞) distance to `other`; the natural metric for square
+    /// neighborhoods.
+    #[inline]
+    pub fn linf_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Euclidean norm when the point is interpreted as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Returns the vector scaled to unit length, or `None` for the zero
+    /// vector.
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(Point::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// Componentwise finiteness check; useful for validating external
+    /// updates before they enter an index.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_arithmetic() {
+        let p = Point::new(1.0, 2.0);
+        let v = Point::new(0.5, -1.0);
+        assert_eq!(p + v * 2.0, Point::new(2.0, 0.0));
+        assert_eq!(p - v, Point::new(0.5, 3.0));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.linf_distance(b), 4.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Point::new(3.0, 4.0);
+        let u = v.normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!(Point::ORIGIN.normalized().is_none());
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,283 @@
+//! Axis-aligned rectangles.
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle `[x_lo, x_hi] × [y_lo, y_hi]`.
+///
+/// Two containment flavors are exposed because the paper mixes them:
+///
+/// * [`contains`](Rect::contains) — closed on all edges, used for spatial
+///   range queries over the TPR-tree (an object sitting exactly on the
+///   query boundary must be retrieved so the refinement step can decide
+///   its half-open membership itself);
+/// * [`contains_half_open`](Rect::contains_half_open) — `[lo, hi)`
+///   semantics, used for answer rectangles so that abutting rectangles
+///   tile the plane without overlap.
+///
+/// Degenerate rectangles (zero width or height) are permitted; they have
+/// zero area and participate in sweeps harmlessly.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Smallest X coordinate.
+    pub x_lo: f64,
+    /// Smallest Y coordinate.
+    pub y_lo: f64,
+    /// Largest X coordinate.
+    pub x_hi: f64,
+    /// Largest Y coordinate.
+    pub y_hi: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left and upper-right corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_lo > x_hi` or `y_lo > y_hi`, or if any bound is NaN.
+    #[inline]
+    pub fn new(x_lo: f64, y_lo: f64, x_hi: f64, y_hi: f64) -> Self {
+        assert!(
+            x_lo <= x_hi && y_lo <= y_hi,
+            "malformed rect: [{x_lo}, {x_hi}] x [{y_lo}, {y_hi}]"
+        );
+        Rect { x_lo, y_lo, x_hi, y_hi }
+    }
+
+    /// Creates a rectangle from two corner points (in either order).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect::new(a.x.min(b.x), a.y.min(b.y), a.x.max(b.x), a.y.max(b.y))
+    }
+
+    /// The square of edge length `edge` centered at `center`.
+    pub fn centered_square(center: Point, edge: f64) -> Self {
+        let h = edge / 2.0;
+        Rect::new(center.x - h, center.y - h, center.x + h, center.y + h)
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn lo(&self) -> Point {
+        Point::new(self.x_lo, self.y_lo)
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn hi(&self) -> Point {
+        Point::new(self.x_hi, self.y_hi)
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.x_lo + self.x_hi) / 2.0, (self.y_lo + self.y_hi) / 2.0)
+    }
+
+    /// Width along X.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x_hi - self.x_lo
+    }
+
+    /// Height along Y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y_hi - self.y_lo
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half the perimeter (the R*-tree "margin" metric).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// `true` when the rectangle has zero area.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.width() == 0.0 || self.height() == 0.0
+    }
+
+    /// Closed containment: all four edges belong to the rectangle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.x_lo <= p.x && p.x <= self.x_hi && self.y_lo <= p.y && p.y <= self.y_hi
+    }
+
+    /// Half-open containment `[lo, hi)`: lower edges in, upper edges out.
+    #[inline]
+    pub fn contains_half_open(&self, p: Point) -> bool {
+        self.x_lo <= p.x && p.x < self.x_hi && self.y_lo <= p.y && p.y < self.y_hi
+    }
+
+    /// `true` when `other` lies entirely inside `self` (closed semantics).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x_lo <= other.x_lo
+            && other.x_hi <= self.x_hi
+            && self.y_lo <= other.y_lo
+            && other.y_hi <= self.y_hi
+    }
+
+    /// Closed intersection test (touching edges count as intersecting).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x_lo <= other.x_hi
+            && other.x_lo <= self.x_hi
+            && self.y_lo <= other.y_hi
+            && other.y_lo <= self.y_hi
+    }
+
+    /// Open intersection test: `true` only when the interiors overlap, i.e.
+    /// the common region has positive area.
+    #[inline]
+    pub fn overlaps_interior(&self, other: &Rect) -> bool {
+        self.x_lo < other.x_hi
+            && other.x_lo < self.x_hi
+            && self.y_lo < other.y_hi
+            && other.y_lo < self.y_hi
+    }
+
+    /// Intersection rectangle, or `None` when the rectangles are disjoint
+    /// (closed semantics: a shared edge yields a degenerate rectangle).
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.x_lo.max(other.x_lo),
+            self.y_lo.max(other.y_lo),
+            self.x_hi.min(other.x_hi),
+            self.y_hi.min(other.y_hi),
+        ))
+    }
+
+    /// Smallest rectangle enclosing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            x_lo: self.x_lo.min(other.x_lo),
+            y_lo: self.y_lo.min(other.y_lo),
+            x_hi: self.x_hi.max(other.x_hi),
+            y_hi: self.y_hi.max(other.y_hi),
+        }
+    }
+
+    /// Area of the intersection (0 when disjoint).
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = (self.x_hi.min(other.x_hi) - self.x_lo.max(other.x_lo)).max(0.0);
+        let h = (self.y_hi.min(other.y_hi) - self.y_lo.max(other.y_lo)).max(0.0);
+        w * h
+    }
+
+    /// Grows the rectangle by `delta` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative `delta` would invert the rectangle.
+    pub fn inflate(&self, delta: f64) -> Rect {
+        Rect::new(
+            self.x_lo - delta,
+            self.y_lo - delta,
+            self.x_hi + delta,
+            self.y_hi + delta,
+        )
+    }
+
+    /// Clamps the rectangle into `bounds`, returning `None` when they do
+    /// not intersect.
+    pub fn clipped_to(&self, bounds: &Rect) -> Option<Rect> {
+        self.intersection(bounds)
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}]x[{}, {}]",
+            self.x_lo, self.x_hi, self.y_lo, self.y_hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d)
+    }
+
+    #[test]
+    fn area_and_margin() {
+        let q = r(1.0, 2.0, 4.0, 6.0);
+        assert_eq!(q.area(), 12.0);
+        assert_eq!(q.margin(), 7.0);
+        assert_eq!(q.center(), Point::new(2.5, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed rect")]
+    fn rejects_inverted() {
+        let _ = r(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn containment_semantics() {
+        let q = r(0.0, 0.0, 1.0, 1.0);
+        // Closed: all edges in.
+        assert!(q.contains(Point::new(1.0, 1.0)));
+        assert!(q.contains(Point::new(0.0, 0.0)));
+        // Half-open: upper edges out.
+        assert!(q.contains_half_open(Point::new(0.0, 0.0)));
+        assert!(!q.contains_half_open(Point::new(1.0, 0.5)));
+        assert!(!q.contains_half_open(Point::new(0.5, 1.0)));
+    }
+
+    #[test]
+    fn intersection_flavors() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(2.0, 0.0, 4.0, 2.0); // shares an edge with a
+        assert!(a.intersects(&b));
+        assert!(!a.overlaps_interior(&b));
+        let i = a.intersection(&b).unwrap();
+        assert!(i.is_degenerate());
+        assert_eq!(a.intersection_area(&b), 0.0);
+
+        let c = r(1.0, 1.0, 3.0, 3.0);
+        assert!(a.overlaps_interior(&c));
+        assert_eq!(a.intersection_area(&c), 1.0);
+        assert_eq!(a.intersection(&c).unwrap(), r(1.0, 1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn union_encloses_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(5.0, -1.0, 6.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(0.0, -1.0, 6.0, 1.0));
+    }
+
+    #[test]
+    fn centered_square_and_inflate() {
+        let s = Rect::centered_square(Point::new(5.0, 5.0), 4.0);
+        assert_eq!(s, r(3.0, 3.0, 7.0, 7.0));
+        assert_eq!(s.inflate(1.0), r(2.0, 2.0, 8.0, 8.0));
+    }
+
+    #[test]
+    fn clipping() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(8.0, 8.0, 12.0, 12.0);
+        assert_eq!(b.clipped_to(&a).unwrap(), r(8.0, 8.0, 10.0, 10.0));
+        let far = r(20.0, 20.0, 21.0, 21.0);
+        assert!(far.clipped_to(&a).is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! Measurable unions of rectangles.
+//!
+//! PDR query answers are unions of axis-aligned rectangles, and the
+//! paper's accuracy metrics are ratios of areas of such unions and their
+//! set differences:
+//!
+//! ```text
+//! r_fp = area(D' \ D) / area(D)      (may exceed 1)
+//! r_fn = area(D \ D') / area(D)      (never exceeds 1)
+//! ```
+//!
+//! where `D` is the true dense region and `D'` the region a method
+//! reports. [`RegionSet`] supports exactly these measures via a vertical
+//! slab sweep: the union of distinct X coordinates of both operand sets
+//! cuts the plane into slabs inside which membership along Y is constant,
+//! so each slab reduces to 1-D [`IntervalSet`] arithmetic.
+
+use crate::{Interval, IntervalSet, Point, Rect, EPS};
+use std::fmt;
+
+/// A union of axis-aligned rectangles, treated as a point set with
+/// half-open `[lo, hi)` semantics (so abutting rectangles do not overlap).
+///
+/// The representation is a plain list of rectangles — possibly
+/// overlapping, possibly abutting. All measure operations are computed on
+/// the *union*, so duplicates and overlaps are harmless for correctness;
+/// [`coalesce`](RegionSet::coalesce) can be used to compact long strips
+/// produced by the plane-sweep refinement.
+#[derive(Clone, Default, PartialEq)]
+pub struct RegionSet {
+    rects: Vec<Rect>,
+}
+
+impl RegionSet {
+    /// The empty region.
+    pub fn new() -> Self {
+        RegionSet { rects: Vec::new() }
+    }
+
+    /// Builds a region from rectangles, dropping degenerate ones.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(iter: I) -> Self {
+        RegionSet {
+            rects: iter.into_iter().filter(|r| !r.is_degenerate()).collect(),
+        }
+    }
+
+    /// Adds one rectangle (ignored when degenerate).
+    pub fn push(&mut self, r: Rect) {
+        if !r.is_degenerate() {
+            self.rects.push(r);
+        }
+    }
+
+    /// Appends all rectangles of `other`.
+    pub fn extend_from(&mut self, other: &RegionSet) {
+        self.rects.extend_from_slice(&other.rects);
+    }
+
+    /// The underlying rectangles (overlaps permitted).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Number of stored rectangles (not a measure of the union).
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when no rectangles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Membership test (half-open `[lo, hi)` on each rectangle).
+    pub fn contains(&self, p: Point) -> bool {
+        self.rects.iter().any(|r| r.contains_half_open(p))
+    }
+
+    /// Bounding rectangle of the whole region, or `None` when empty.
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        let mut it = self.rects.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+
+    /// Area of the union of all stored rectangles.
+    pub fn area(&self) -> f64 {
+        slab_sweep(self, None, Mode::SelfArea)
+    }
+
+    /// Area of `self ∩ other` (as point sets).
+    pub fn intersection_area(&self, other: &RegionSet) -> f64 {
+        slab_sweep(self, Some(other), Mode::Intersection)
+    }
+
+    /// Area of `self \ other` (as point sets).
+    pub fn difference_area(&self, other: &RegionSet) -> f64 {
+        slab_sweep(self, Some(other), Mode::Difference)
+    }
+
+    /// Area of `self ∪ other`.
+    pub fn union_area(&self, other: &RegionSet) -> f64 {
+        self.area() + other.difference_area(self)
+    }
+
+    /// Symmetric-difference area, a convenient scalar distance between two
+    /// reported answer regions.
+    pub fn symmetric_difference_area(&self, other: &RegionSet) -> f64 {
+        self.difference_area(other) + other.difference_area(self)
+    }
+
+    /// Merges vertically-abutting rectangles that share the same X extent,
+    /// then horizontally-abutting ones sharing the same Y extent. The
+    /// plane-sweep refinement emits one rectangle per (x-strip, y-segment)
+    /// pair; coalescing typically shrinks its output by an order of
+    /// magnitude without changing the point set.
+    pub fn coalesce(&mut self) {
+        merge_axis(&mut self.rects, /*vertical=*/ true);
+        merge_axis(&mut self.rects, /*vertical=*/ false);
+    }
+}
+
+impl fmt::Debug for RegionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.rects.iter()).finish()
+    }
+}
+
+impl FromIterator<Rect> for RegionSet {
+    fn from_iter<T: IntoIterator<Item = Rect>>(iter: T) -> Self {
+        RegionSet::from_rects(iter)
+    }
+}
+
+enum Mode {
+    SelfArea,
+    Intersection,
+    Difference,
+}
+
+/// Vertical slab sweep over the union of X-event coordinates of both
+/// operands. Within a slab, each operand's footprint along Y is a fixed
+/// union of intervals, so the slab's contribution is
+/// `slab_width × measure(interval-set expression)`.
+fn slab_sweep(a: &RegionSet, b: Option<&RegionSet>, mode: Mode) -> f64 {
+    let mut xs: Vec<f64> = Vec::with_capacity(2 * (a.len() + b.map_or(0, RegionSet::len)));
+    for r in &a.rects {
+        xs.push(r.x_lo);
+        xs.push(r.x_hi);
+    }
+    if let Some(b) = b {
+        for r in &b.rects {
+            xs.push(r.x_lo);
+            xs.push(r.x_hi);
+        }
+    }
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|x, y| (*x - *y).abs() <= EPS);
+
+    let mut total = 0.0;
+    for w in xs.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        let width = x1 - x0;
+        if width <= 0.0 {
+            continue;
+        }
+        let mid = 0.5 * (x0 + x1);
+        let ya = slab_intervals(a, mid);
+        let contribution = match mode {
+            Mode::SelfArea => ya.measure(),
+            Mode::Intersection => {
+                let yb = slab_intervals(b.expect("binary mode needs rhs"), mid);
+                ya.intersection(&yb).measure()
+            }
+            Mode::Difference => {
+                let yb = slab_intervals(b.expect("binary mode needs rhs"), mid);
+                ya.difference_measure(&yb)
+            }
+        };
+        total += width * contribution;
+    }
+    total
+}
+
+/// Y-intervals of all rectangles of `set` whose X-extent covers `x`.
+fn slab_intervals(set: &RegionSet, x: f64) -> IntervalSet {
+    IntervalSet::from_intervals(
+        set.rects
+            .iter()
+            .filter(|r| r.x_lo <= x && x < r.x_hi)
+            .map(|r| Interval::new(r.y_lo, r.y_hi)),
+    )
+}
+
+/// One pass of rectangle merging. With `vertical = true`, merges pairs
+/// that share identical `[x_lo, x_hi]` and abut along Y; otherwise the
+/// transposed condition.
+fn merge_axis(rects: &mut Vec<Rect>, vertical: bool) {
+    if rects.len() < 2 {
+        return;
+    }
+    if vertical {
+        rects.sort_by(|a, b| {
+            a.x_lo
+                .total_cmp(&b.x_lo)
+                .then(a.x_hi.total_cmp(&b.x_hi))
+                .then(a.y_lo.total_cmp(&b.y_lo))
+        });
+    } else {
+        rects.sort_by(|a, b| {
+            a.y_lo
+                .total_cmp(&b.y_lo)
+                .then(a.y_hi.total_cmp(&b.y_hi))
+                .then(a.x_lo.total_cmp(&b.x_lo))
+        });
+    }
+    let mut out: Vec<Rect> = Vec::with_capacity(rects.len());
+    for &r in rects.iter() {
+        match out.last_mut() {
+            Some(last)
+                if vertical
+                    && (last.x_lo - r.x_lo).abs() <= EPS
+                    && (last.x_hi - r.x_hi).abs() <= EPS
+                    && r.y_lo <= last.y_hi + EPS =>
+            {
+                last.y_hi = last.y_hi.max(r.y_hi);
+            }
+            Some(last)
+                if !vertical
+                    && (last.y_lo - r.y_lo).abs() <= EPS
+                    && (last.y_hi - r.y_hi).abs() <= EPS
+                    && r.x_lo <= last.x_hi + EPS =>
+            {
+                last.x_hi = last.x_hi.max(r.x_hi);
+            }
+            _ => out.push(r),
+        }
+    }
+    *rects = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rects: &[(f64, f64, f64, f64)]) -> RegionSet {
+        RegionSet::from_rects(rects.iter().map(|&(a, b, c, d)| Rect::new(a, b, c, d)))
+    }
+
+    #[test]
+    fn union_area_deduplicates_overlap() {
+        // Two unit squares overlapping in a 0.5 x 1 strip.
+        let s = rs(&[(0.0, 0.0, 1.0, 1.0), (0.5, 0.0, 1.5, 1.0)]);
+        assert!((s.area() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_area_of_disjoint_adds() {
+        let s = rs(&[(0.0, 0.0, 1.0, 1.0), (5.0, 5.0, 7.0, 6.0)]);
+        assert!((s.area() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_do_not_double_count() {
+        let s = rs(&[(0.0, 0.0, 2.0, 2.0), (0.0, 0.0, 2.0, 2.0)]);
+        assert!((s.area() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_and_difference_areas() {
+        let a = rs(&[(0.0, 0.0, 2.0, 2.0)]);
+        let b = rs(&[(1.0, 1.0, 3.0, 3.0)]);
+        assert!((a.intersection_area(&b) - 1.0).abs() < 1e-12);
+        assert!((a.difference_area(&b) - 3.0).abs() < 1e-12);
+        assert!((b.difference_area(&a) - 3.0).abs() < 1e-12);
+        assert!((a.union_area(&b) - 7.0).abs() < 1e-12);
+        assert!((a.symmetric_difference_area(&b) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_with_superset_is_zero() {
+        let a = rs(&[(0.5, 0.5, 1.0, 1.0)]);
+        let b = rs(&[(0.0, 0.0, 2.0, 2.0)]);
+        assert_eq!(a.difference_area(&b), 0.0);
+    }
+
+    #[test]
+    fn l_shaped_region() {
+        // An L made of two rectangles sharing an edge.
+        let l = rs(&[(0.0, 0.0, 3.0, 1.0), (0.0, 1.0, 1.0, 3.0)]);
+        assert!((l.area() - 5.0).abs() < 1e-12);
+        assert!(l.contains(Point::new(0.5, 2.5)));
+        assert!(!l.contains(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn empty_regions() {
+        let e = RegionSet::new();
+        assert_eq!(e.area(), 0.0);
+        let a = rs(&[(0.0, 0.0, 1.0, 1.0)]);
+        assert_eq!(e.intersection_area(&a), 0.0);
+        assert_eq!(e.difference_area(&a), 0.0);
+        assert!((a.difference_area(&e) - 1.0).abs() < 1e-12);
+        assert!(e.bounding_rect().is_none());
+    }
+
+    #[test]
+    fn degenerate_rects_are_dropped() {
+        let s = rs(&[(0.0, 0.0, 0.0, 5.0), (1.0, 1.0, 1.0, 1.0)]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn coalesce_preserves_point_set() {
+        // A 3x3 block of unit cells, stored cell by cell.
+        let mut cells = RegionSet::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                cells.push(Rect::new(i as f64, j as f64, i as f64 + 1.0, j as f64 + 1.0));
+            }
+        }
+        let before_area = cells.area();
+        let block = rs(&[(0.0, 0.0, 3.0, 3.0)]);
+        cells.coalesce();
+        assert!(cells.len() < 9, "coalesce should merge cells, got {}", cells.len());
+        assert!((cells.area() - before_area).abs() < 1e-12);
+        assert!(cells.symmetric_difference_area(&block) < 1e-9);
+    }
+
+    #[test]
+    fn bounding_rect_covers_all() {
+        let s = rs(&[(0.0, 0.0, 1.0, 1.0), (4.0, -2.0, 5.0, 0.0)]);
+        assert_eq!(s.bounding_rect().unwrap(), Rect::new(0.0, -2.0, 5.0, 1.0));
+    }
+}

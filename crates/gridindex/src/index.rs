@@ -1,0 +1,491 @@
+//! The grid index proper.
+
+use crate::page::{MotionRecord, RecordPage};
+use pdr_geometry::{GridSpec, Point, Rect};
+use pdr_mobject::{MotionState, ObjectId, Timestamp};
+use pdr_storage::{BufferPool, Disk, IoStats, PageId};
+use std::collections::HashMap;
+
+/// Configuration of a [`GridIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct GridIndexConfig {
+    /// Side length of the covered square region.
+    pub extent: f64,
+    /// Buckets per side.
+    pub buckets_per_side: u32,
+    /// Buffer-pool capacity in pages.
+    pub buffer_pages: usize,
+}
+
+/// Per-bucket in-memory directory entry.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    /// First page of the chain, if any.
+    head: Option<PageId>,
+    /// Number of live records.
+    count: usize,
+    /// Velocity bounds of the residents (empty bucket: +inf/-inf).
+    vx_lo: f64,
+    vx_hi: f64,
+    vy_lo: f64,
+    vy_hi: f64,
+}
+
+impl Bucket {
+    fn empty() -> Self {
+        Bucket {
+            head: None,
+            count: 0,
+            vx_lo: f64::INFINITY,
+            vx_hi: f64::NEG_INFINITY,
+            vy_lo: f64::INFINITY,
+            vy_hi: f64::NEG_INFINITY,
+        }
+    }
+
+    fn absorb_velocity(&mut self, vx: f64, vy: f64) {
+        self.vx_lo = self.vx_lo.min(vx);
+        self.vx_hi = self.vx_hi.max(vx);
+        self.vy_lo = self.vy_lo.min(vy);
+        self.vy_hi = self.vy_hi.max(vy);
+    }
+
+    /// The bucket's spatial footprint at `dt` past the reference time:
+    /// its rectangle expanded by the residents' velocity bounds.
+    fn footprint_at(&self, rect: Rect, dt: f64) -> Option<Rect> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Rect {
+            x_lo: rect.x_lo + self.vx_lo.min(0.0) * dt,
+            y_lo: rect.y_lo + self.vy_lo.min(0.0) * dt,
+            x_hi: rect.x_hi + self.vx_hi.max(0.0) * dt,
+            y_hi: rect.y_hi + self.vy_hi.max(0.0) * dt,
+        })
+    }
+}
+
+/// A velocity-bounded grid index storing motions in per-bucket page
+/// chains behind an LRU buffer pool.
+///
+/// Objects are placed by their position at the index reference time
+/// `t_ref` (backward extrapolation is exact for linear motion, so any
+/// report can be anchored). Velocity bounds per bucket only ever grow
+/// between [`rebuild_bounds`](GridIndex::rebuild_bounds) calls — the
+/// classic trade-off of partition-based moving-object indexes.
+pub struct GridIndex {
+    pool: BufferPool,
+    spec: GridSpec,
+    t_ref: Timestamp,
+    buckets: Vec<Bucket>,
+    /// Object → bucket linear index (bottom-up deletion, mirroring the
+    /// TPR-tree's object→leaf map; update I/O is not charged).
+    bucket_of: HashMap<ObjectId, usize>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Creates an empty index anchored at `t_ref`.
+    pub fn new(cfg: GridIndexConfig, t_ref: Timestamp) -> Self {
+        let spec = GridSpec::unit_origin(cfg.extent, cfg.buckets_per_side);
+        GridIndex {
+            pool: BufferPool::new(Disk::new(), cfg.buffer_pages),
+            spec,
+            t_ref,
+            buckets: vec![Bucket::empty(); spec.cell_count()],
+            bucket_of: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The reference timestamp.
+    pub fn t_ref(&self) -> Timestamp {
+        self.t_ref
+    }
+
+    /// Buffer-pool I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the I/O counters.
+    pub fn reset_io_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    /// Pages currently allocated.
+    pub fn page_count(&self) -> usize {
+        self.pool.disk().allocated_pages()
+    }
+
+    fn dt(&self, t: Timestamp) -> f64 {
+        t as f64 - self.t_ref as f64
+    }
+
+    fn record_of(&self, id: ObjectId, m: &MotionState) -> MotionRecord {
+        let p = m.position_at(self.t_ref);
+        MotionRecord {
+            id,
+            x: p.x,
+            y: p.y,
+            vx: m.velocity.x,
+            vy: m.velocity.y,
+        }
+    }
+
+    /// Inserts a motion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the object is already indexed, or when its anchored
+    /// position falls outside the grid (callers clamp or filter objects
+    /// leaving the monitored region).
+    pub fn insert(&mut self, id: ObjectId, motion: &MotionState) {
+        assert!(
+            !self.bucket_of.contains_key(&id),
+            "object {id:?} already indexed; delete it first"
+        );
+        let rec = self.record_of(id, motion);
+        let cell = self
+            .spec
+            .locate(Point::new(rec.x, rec.y))
+            .unwrap_or_else(|| self.spec.locate_clamped(Point::new(rec.x, rec.y)));
+        let idx = self.spec.linear_index(cell);
+        // Find a page with room at the head of the chain, or prepend a
+        // fresh one (prepending keeps inserts O(1) pages).
+        let head = self.buckets[idx].head;
+        let target = match head {
+            Some(page) => {
+                let has_room = self
+                    .pool
+                    .read_page(page, |bytes| RecordPage::decode(bytes).has_room());
+                if has_room {
+                    Some(page)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        let page = match target {
+            Some(page) => page,
+            None => {
+                let fresh = self.pool.allocate_page();
+                let node = RecordPage {
+                    next: head,
+                    records: Vec::new(),
+                };
+                self.pool.overwrite_page(fresh, |bytes| node.encode(bytes));
+                self.buckets[idx].head = Some(fresh);
+                fresh
+            }
+        };
+        self.pool.write_page(page, |bytes| {
+            let mut node = RecordPage::decode(bytes);
+            node.records.push(rec);
+            node.encode(bytes);
+        });
+        self.buckets[idx].count += 1;
+        self.buckets[idx].absorb_velocity(rec.vx, rec.vy);
+        self.bucket_of.insert(id, idx);
+        self.len += 1;
+    }
+
+    /// Removes an object; returns `false` when it was not indexed.
+    ///
+    /// Velocity bounds are *not* shrunk on removal (they are rebuilt
+    /// wholesale by [`rebuild_bounds`](GridIndex::rebuild_bounds)); the
+    /// bounds stay sound, just conservative.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        let Some(idx) = self.bucket_of.remove(&id) else {
+            return false;
+        };
+        // Walk the chain; remove the record; if a page empties, unlink.
+        let mut prev: Option<PageId> = None;
+        let mut cur = self.buckets[idx].head;
+        while let Some(page) = cur {
+            let (found, next, now_empty) = self.pool.write_page(page, |bytes| {
+                let mut node = RecordPage::decode(bytes);
+                let pos = node.records.iter().position(|r| r.id == id);
+                let found = pos.is_some();
+                if let Some(pos) = pos {
+                    node.records.swap_remove(pos);
+                    node.encode(bytes);
+                }
+                (found, node.next, node.records.is_empty())
+            });
+            if found {
+                if now_empty {
+                    match prev {
+                        Some(p) => self.pool.write_page(p, |bytes| {
+                            let mut node = RecordPage::decode(bytes);
+                            node.next = next;
+                            node.encode(bytes);
+                        }),
+                        None => self.buckets[idx].head = next,
+                    }
+                    self.pool.free_page(page);
+                }
+                self.buckets[idx].count -= 1;
+                self.len -= 1;
+                return true;
+            }
+            prev = Some(page);
+            cur = next;
+        }
+        panic!("bucket_of desynchronized: {id:?} missing from bucket {idx}");
+    }
+
+    /// Re-reports an object's motion (delete + insert).
+    pub fn update(&mut self, id: ObjectId, motion: &MotionState) {
+        let existed = self.remove(id);
+        debug_assert!(existed, "update of unindexed object {id:?}");
+        self.insert(id, motion);
+    }
+
+    /// Predictive range query: all objects whose extrapolated position
+    /// at `t` lies in `rect` (closed semantics). Only buckets whose
+    /// velocity-expanded footprint reaches `rect` are scanned.
+    pub fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+        let dt = self.dt(t);
+        let mut out = Vec::new();
+        for cell in self.spec.all_cells() {
+            let idx = self.spec.linear_index(cell);
+            let Some(fp) = self.buckets[idx].footprint_at(self.spec.cell_rect(cell), dt) else {
+                continue;
+            };
+            if !fp.intersects(rect) {
+                continue;
+            }
+            let mut cur = self.buckets[idx].head;
+            while let Some(page) = cur {
+                let node = self.pool.read_page(page, RecordPage::decode);
+                for r in &node.records {
+                    let p = r.position_at(dt);
+                    if rect.contains(p) {
+                        out.push((r.id, p));
+                    }
+                }
+                cur = node.next;
+            }
+        }
+        out
+    }
+
+    /// Recomputes every bucket's velocity bounds from its residents.
+    /// Periodic rebuilds keep query expansion tight after churn.
+    pub fn rebuild_bounds(&mut self) {
+        for idx in 0..self.buckets.len() {
+            let head = self.buckets[idx].head;
+            let count = self.buckets[idx].count;
+            let mut fresh = Bucket::empty();
+            fresh.head = head;
+            fresh.count = count;
+            let mut cur = head;
+            while let Some(page) = cur {
+                let node = self.pool.read_page(page, RecordPage::decode);
+                for r in &node.records {
+                    fresh.absorb_velocity(r.vx, r.vy);
+                }
+                cur = node.next;
+            }
+            self.buckets[idx] = fresh;
+        }
+    }
+
+    /// Structural validation for tests: chains well-formed, counts and
+    /// the object map consistent, velocity bounds sound.
+    pub fn validate(&mut self) {
+        let mut seen = 0usize;
+        for idx in 0..self.buckets.len() {
+            let bucket = self.buckets[idx];
+            let mut chain_count = 0usize;
+            let mut cur = bucket.head;
+            while let Some(page) = cur {
+                let node = self.pool.read_page(page, RecordPage::decode);
+                assert!(
+                    cur == bucket.head || !node.records.is_empty(),
+                    "empty non-head page in bucket {idx}"
+                );
+                for r in &node.records {
+                    assert_eq!(
+                        self.bucket_of.get(&r.id).copied(),
+                        Some(idx),
+                        "bucket_of wrong for {:?}",
+                        r.id
+                    );
+                    assert!(
+                        r.vx >= bucket.vx_lo
+                            && r.vx <= bucket.vx_hi
+                            && r.vy >= bucket.vy_lo
+                            && r.vy <= bucket.vy_hi,
+                        "velocity bounds unsound in bucket {idx}"
+                    );
+                }
+                chain_count += node.records.len();
+                cur = node.next;
+            }
+            assert_eq!(chain_count, bucket.count, "count mismatch in bucket {idx}");
+            seen += chain_count;
+        }
+        assert_eq!(seen, self.len, "total count mismatch");
+        assert_eq!(self.bucket_of.len(), self.len, "object map size mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GridIndexConfig {
+        GridIndexConfig {
+            extent: 1000.0,
+            buckets_per_side: 10,
+            buffer_pages: 32,
+        }
+    }
+
+    fn motion(x: f64, y: f64, vx: f64, vy: f64) -> MotionState {
+        MotionState::new(Point::new(x, y), Point::new(vx, vy), 0)
+    }
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.0 >> 33) as f64 / (1u64 << 31) as f64
+        }
+    }
+
+    fn random_motions(n: usize, seed: u64) -> Vec<(ObjectId, MotionState)> {
+        let mut rng = Lcg(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    ObjectId(i as u64),
+                    motion(
+                        rng.next() * 1000.0,
+                        rng.next() * 1000.0,
+                        rng.next() * 4.0 - 2.0,
+                        rng.next() * 4.0 - 2.0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_query_matches_brute_force() {
+        let motions = random_motions(2000, 3);
+        let mut g = GridIndex::new(cfg(), 0);
+        for (id, m) in &motions {
+            g.insert(*id, m);
+        }
+        g.validate();
+        for qt in [0u64, 5, 12] {
+            let rect = Rect::new(200.0, 200.0, 450.0, 400.0);
+            let mut got: Vec<u64> = g.range_at(&rect, qt).into_iter().map(|(id, _)| id.0).collect();
+            got.sort_unstable();
+            let mut expect: Vec<u64> = motions
+                .iter()
+                .filter(|(_, m)| rect.contains(m.position_at(qt)))
+                .map(|(id, _)| id.0)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "t = {qt}");
+        }
+    }
+
+    #[test]
+    fn removals_and_updates() {
+        let motions = random_motions(800, 7);
+        let mut g = GridIndex::new(cfg(), 0);
+        for (id, m) in &motions {
+            g.insert(*id, m);
+        }
+        for (id, _) in motions.iter().take(300) {
+            assert!(g.remove(*id));
+        }
+        for (id, _) in motions.iter().skip(300).take(200) {
+            g.update(*id, &motion(500.0, 500.0, 0.0, 0.0));
+        }
+        g.validate();
+        assert_eq!(g.len(), 500);
+        let hits = g.range_at(&Rect::new(499.0, 499.0, 501.0, 501.0), 9);
+        assert_eq!(hits.len(), 200);
+        assert!(!g.remove(ObjectId(0)), "already removed");
+    }
+
+    #[test]
+    fn velocity_bounds_prune_buckets() {
+        // Stationary cluster far from the query: its bucket must not be
+        // read even for far-future timestamps.
+        let mut g = GridIndex::new(cfg(), 0);
+        for i in 0..50 {
+            g.insert(ObjectId(i), &motion(50.0, 50.0, 0.0, 0.0));
+        }
+        g.reset_io_stats();
+        let _ = g.range_at(&Rect::new(900.0, 900.0, 950.0, 950.0), 1000);
+        assert_eq!(
+            g.io_stats().logical_reads,
+            0,
+            "stationary far bucket should be pruned by velocity bounds"
+        );
+    }
+
+    #[test]
+    fn rebuild_bounds_tightens_after_churn() {
+        let mut g = GridIndex::new(cfg(), 0);
+        // A fast object inflates its bucket's bounds, then leaves.
+        g.insert(ObjectId(0), &motion(50.0, 50.0, 50.0, 50.0));
+        g.insert(ObjectId(1), &motion(50.0, 50.0, 0.0, 0.0));
+        g.remove(ObjectId(0));
+        // Stale bounds force a scan for a far query...
+        g.reset_io_stats();
+        let _ = g.range_at(&Rect::new(800.0, 800.0, 900.0, 900.0), 20);
+        let stale_reads = g.io_stats().logical_reads;
+        assert!(stale_reads > 0);
+        // ...until a rebuild prunes it again.
+        g.rebuild_bounds();
+        g.reset_io_stats();
+        let _ = g.range_at(&Rect::new(800.0, 800.0, 900.0, 900.0), 20);
+        assert_eq!(g.io_stats().logical_reads, 0);
+        g.validate();
+    }
+
+    #[test]
+    fn page_chains_grow_and_shrink() {
+        let mut g = GridIndex::new(cfg(), 0);
+        // 300 objects into one bucket: 3 pages.
+        for i in 0..300 {
+            g.insert(ObjectId(i), &motion(10.0, 10.0, 0.0, 0.0));
+        }
+        assert!(g.page_count() >= 3);
+        for i in 0..300 {
+            assert!(g.remove(ObjectId(i)));
+        }
+        g.validate();
+        assert!(g.is_empty());
+        assert_eq!(g.page_count(), 0, "all pages should be freed");
+    }
+
+    #[test]
+    fn objects_outside_grid_are_clamped() {
+        let mut g = GridIndex::new(cfg(), 0);
+        g.insert(ObjectId(1), &motion(-50.0, 500.0, 1.0, 0.0));
+        g.validate();
+        // Still findable once it enters the region.
+        let hits = g.range_at(&Rect::new(0.0, 450.0, 100.0, 550.0), 100);
+        assert_eq!(hits.len(), 1);
+    }
+}

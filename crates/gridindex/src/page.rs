@@ -1,0 +1,170 @@
+//! Bucket page layout.
+//!
+//! A bucket is a singly linked chain of pages. Each page stores:
+//!
+//! ```text
+//! offset 0   u32  next page id (u32::MAX = end of chain)
+//! offset 4   u16  record count
+//! offset 6   u16  reserved
+//! offset 8   records...
+//! ```
+//!
+//! A record is 40 bytes — object id plus position at the index
+//! reference time plus velocity — giving ⌊4088 / 40⌋ = 102 records per
+//! page, the same density as a TPR-tree leaf.
+
+use pdr_mobject::ObjectId;
+use pdr_storage::{PageId, PAGE_SIZE};
+
+const HEADER: usize = 8;
+const RECORD: usize = 40;
+
+/// Records stored per bucket page.
+pub const RECORDS_PER_PAGE: usize = (PAGE_SIZE - HEADER) / RECORD;
+
+/// Sentinel for "no next page".
+const NIL_PAGE: u32 = u32::MAX;
+
+/// One stored motion, anchored at the index reference time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MotionRecord {
+    /// Object identity.
+    pub id: ObjectId,
+    /// X position at the reference time.
+    pub x: f64,
+    /// Y position at the reference time.
+    pub y: f64,
+    /// X velocity.
+    pub vx: f64,
+    /// Y velocity.
+    pub vy: f64,
+}
+
+impl MotionRecord {
+    /// Position at offset `dt` past the reference time.
+    #[inline]
+    pub fn position_at(&self, dt: f64) -> pdr_geometry::Point {
+        pdr_geometry::Point::new(self.x + self.vx * dt, self.y + self.vy * dt)
+    }
+}
+
+/// In-memory image of one bucket page.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordPage {
+    /// Next page in the bucket chain.
+    pub next: Option<PageId>,
+    /// Stored records.
+    pub records: Vec<MotionRecord>,
+}
+
+impl RecordPage {
+    /// An empty page with no successor.
+    pub fn empty() -> Self {
+        RecordPage {
+            next: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// `true` when another record fits.
+    pub fn has_room(&self) -> bool {
+        self.records.len() < RECORDS_PER_PAGE
+    }
+
+    /// Serializes into a page buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when over capacity.
+    pub fn encode(&self, page: &mut [u8; PAGE_SIZE]) {
+        assert!(
+            self.records.len() <= RECORDS_PER_PAGE,
+            "bucket page overflow: {}",
+            self.records.len()
+        );
+        page.fill(0);
+        let next = self.next.map_or(NIL_PAGE, |p| p.0);
+        page[0..4].copy_from_slice(&next.to_le_bytes());
+        page[4..6].copy_from_slice(&(self.records.len() as u16).to_le_bytes());
+        for (i, r) in self.records.iter().enumerate() {
+            let o = HEADER + i * RECORD;
+            page[o..o + 8].copy_from_slice(&r.id.0.to_le_bytes());
+            page[o + 8..o + 16].copy_from_slice(&r.x.to_le_bytes());
+            page[o + 16..o + 24].copy_from_slice(&r.y.to_le_bytes());
+            page[o + 24..o + 32].copy_from_slice(&r.vx.to_le_bytes());
+            page[o + 32..o + 40].copy_from_slice(&r.vy.to_le_bytes());
+        }
+    }
+
+    /// Deserializes from a page buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an impossible record count.
+    pub fn decode(page: &[u8; PAGE_SIZE]) -> RecordPage {
+        let next_raw = u32::from_le_bytes(page[0..4].try_into().unwrap());
+        let count = u16::from_le_bytes(page[4..6].try_into().unwrap()) as usize;
+        assert!(count <= RECORDS_PER_PAGE, "corrupt bucket page count {count}");
+        let f64_at = |o: usize| f64::from_le_bytes(page[o..o + 8].try_into().unwrap());
+        let mut records = Vec::with_capacity(count);
+        for i in 0..count {
+            let o = HEADER + i * RECORD;
+            records.push(MotionRecord {
+                id: ObjectId(u64::from_le_bytes(page[o..o + 8].try_into().unwrap())),
+                x: f64_at(o + 8),
+                y: f64_at(o + 16),
+                vx: f64_at(o + 24),
+                vy: f64_at(o + 32),
+            });
+        }
+        RecordPage {
+            next: (next_raw != NIL_PAGE).then_some(PageId(next_raw)),
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, next: Option<PageId>) -> RecordPage {
+        RecordPage {
+            next,
+            records: (0..n)
+                .map(|i| MotionRecord {
+                    id: ObjectId(i as u64),
+                    x: i as f64,
+                    y: -(i as f64),
+                    vx: 0.5,
+                    vy: -0.5,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        for n in [0, 1, 50, RECORDS_PER_PAGE] {
+            for next in [None, Some(PageId(7))] {
+                let p = sample(n, next);
+                let mut buf = [0u8; PAGE_SIZE];
+                p.encode(&mut buf);
+                assert_eq!(RecordPage::decode(&buf), p);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_matches_tpr_leaf() {
+        assert_eq!(RECORDS_PER_PAGE, 102);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn encode_rejects_overflow() {
+        let p = sample(RECORDS_PER_PAGE + 1, None);
+        let mut buf = [0u8; PAGE_SIZE];
+        p.encode(&mut buf);
+    }
+}

@@ -1,0 +1,26 @@
+//! Density histograms over moving objects (Section 5.1 of the paper).
+//!
+//! A *density histogram* (DH) maintains, for each timestamp `t` in the
+//! horizon `[t_now, t_now + H]`, a counter per grid cell of the number
+//! of objects located in that cell at `t`. Updates apply the paper's
+//! insertion/deletion protocol: an insertion rasterizes the object's
+//! predicted trajectory over the horizon, incrementing one cell per
+//! timestamp; a deletion decrements the cells of the *old* trajectory.
+//!
+//! The histogram is the filter stage of the exact method and — used
+//! alone, by accepting or rejecting candidate cells wholesale — the
+//! "optimistic/pessimistic DH" baseline the paper evaluates against PA
+//! in Section 7.2.
+//!
+//! [`PrefixSum2d`] turns one timestamp's grid into O(1) rectangle sums,
+//! which the filter step uses to count conservative and expansive
+//! neighborhoods for every cell in O(m²) total.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dh;
+mod prefix;
+
+pub use dh::DensityHistogram;
+pub use prefix::PrefixSum2d;

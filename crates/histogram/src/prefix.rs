@@ -1,0 +1,137 @@
+//! 2-D prefix sums over one histogram plane.
+
+use pdr_geometry::CellId;
+
+/// Summed-area table over an `m × m` counter plane, giving O(1) sums
+/// over axis-aligned cell ranges.
+///
+/// The filter step needs, for every cell, the object count in its
+/// conservative and expansive neighborhoods (Definitions 6–7). With
+/// prefix sums the whole filter pass is O(m²) instead of
+/// O(m² · η²).
+pub struct PrefixSum2d {
+    m: usize,
+    /// `(m+1) × (m+1)` inclusive-exclusive table; entry `(r, c)` is the
+    /// sum over rows `< r` and cols `< c`.
+    sums: Vec<i64>,
+}
+
+impl PrefixSum2d {
+    /// Builds the table from a row-major `m × m` plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plane.len() != m²`.
+    pub fn build(m: u32, plane: &[i32]) -> Self {
+        let m = m as usize;
+        assert_eq!(plane.len(), m * m, "plane size mismatch");
+        let w = m + 1;
+        let mut sums = vec![0i64; w * w];
+        for r in 0..m {
+            let mut row_acc = 0i64;
+            for c in 0..m {
+                row_acc += plane[r * m + c] as i64;
+                sums[(r + 1) * w + (c + 1)] = sums[r * w + (c + 1)] + row_acc;
+            }
+        }
+        PrefixSum2d { m, sums }
+    }
+
+    /// Cells per side.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Sum over the inclusive cell range `cols [c0, c1] × rows [r0, r1]`,
+    /// clamped to the grid; an inverted (empty) range sums to zero.
+    pub fn range_sum(&self, c0: i64, r0: i64, c1: i64, r1: i64) -> i64 {
+        let m = self.m as i64;
+        let c0 = c0.max(0);
+        let r0 = r0.max(0);
+        let c1 = c1.min(m - 1);
+        let r1 = r1.min(m - 1);
+        if c0 > c1 || r0 > r1 {
+            return 0;
+        }
+        let w = self.m + 1;
+        let (c0, r0, c1, r1) = (c0 as usize, r0 as usize, c1 as usize, r1 as usize);
+        self.sums[(r1 + 1) * w + (c1 + 1)] + self.sums[r0 * w + c0]
+            - self.sums[r0 * w + (c1 + 1)]
+            - self.sums[(r1 + 1) * w + c0]
+    }
+
+    /// Sum over the square neighborhood of `center` spanning `± radius`
+    /// cells in both axes (inclusive), clamped to the grid.
+    pub fn square_sum(&self, center: CellId, radius: i64) -> i64 {
+        let (c, r) = (center.col as i64, center.row as i64);
+        self.range_sum(c - radius, r - radius, c + radius, r + radius)
+    }
+
+    /// Total over the whole plane.
+    pub fn total(&self) -> i64 {
+        let w = self.m + 1;
+        self.sums[w * w - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_4x4() -> Vec<i32> {
+        // Row-major, row 0 is the bottom row of the grid convention.
+        (1..=16).collect()
+    }
+
+    #[test]
+    fn range_sums_match_naive() {
+        let plane = plane_4x4();
+        let ps = PrefixSum2d::build(4, &plane);
+        for r0 in 0..4i64 {
+            for r1 in r0..4 {
+                for c0 in 0..4i64 {
+                    for c1 in c0..4 {
+                        let plane = &plane;
+                        let naive: i64 = (r0..=r1)
+                            .flat_map(|r| (c0..=c1).map(move |c| plane[(r * 4 + c) as usize] as i64))
+                            .sum();
+                        assert_eq!(ps.range_sum(c0, r0, c1, r1), naive);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamping_and_empty_ranges() {
+        let ps = PrefixSum2d::build(4, &plane_4x4());
+        assert_eq!(ps.range_sum(-5, -5, 10, 10), ps.total());
+        assert_eq!(ps.range_sum(2, 2, 1, 3), 0, "inverted range is empty");
+        assert_eq!(ps.range_sum(4, 0, 7, 3), 0, "fully out of grid");
+    }
+
+    #[test]
+    fn square_neighborhood() {
+        let ps = PrefixSum2d::build(4, &plane_4x4());
+        // Center (1,1) radius 1 covers cols 0..=2, rows 0..=2.
+        let expect: i64 = [1, 2, 3, 5, 6, 7, 9, 10, 11].iter().sum();
+        assert_eq!(ps.square_sum(CellId::new(1, 1), 1), expect);
+        // Radius 0 is the cell itself.
+        assert_eq!(ps.square_sum(CellId::new(2, 3), 0), (3 * 4 + 2 + 1) as i64);
+        // Corner with clamping.
+        let corner: i64 = [1, 2, 5, 6].iter().sum();
+        assert_eq!(ps.square_sum(CellId::new(0, 0), 1), corner);
+    }
+
+    #[test]
+    fn total_matches() {
+        let ps = PrefixSum2d::build(4, &plane_4x4());
+        assert_eq!(ps.total(), (1..=16).sum::<i64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "plane size mismatch")]
+    fn rejects_wrong_plane_size() {
+        let _ = PrefixSum2d::build(3, &plane_4x4());
+    }
+}

@@ -1,0 +1,32 @@
+//! Moving-object substrate for PDR queries.
+//!
+//! The paper (Section 4) assumes `n` objects moving linearly in an
+//! `L × L` region. Each object reports `(x, y, v_x, v_y)` to a central
+//! server; between reports its position is extrapolated as
+//! `x_t = x + (t − t_ref)·v_x`. Objects must re-report within the
+//! *maximum update time* `U`; queries may look up to the *prediction
+//! window* `W` into the future, so server-side structures cover the
+//! *time horizon* `H = U + W` timestamps past "now".
+//!
+//! This crate provides:
+//! * [`Timestamp`] / [`TimeHorizon`] — discrete time and the `U/W/H` split;
+//! * [`MotionState`] — a linear trajectory segment with extrapolation;
+//! * [`MovingObject`] / [`ObjectId`] — identified objects;
+//! * [`Update`] — the paper's insertion/deletion/movement update protocol
+//!   (Section 5.1), consumed by both the density histogram and the
+//!   Chebyshev density approximation;
+//! * [`ObjectTable`] — the server's current-motion table, which turns a
+//!   stream of movement reports into paired deletion+insertion updates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod motion;
+mod table;
+mod time;
+mod update;
+
+pub use motion::{MotionState, MovingObject, ObjectId};
+pub use table::ObjectTable;
+pub use time::{TimeHorizon, Timestamp};
+pub use update::{Update, UpdateKind};

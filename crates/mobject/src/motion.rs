@@ -1,0 +1,139 @@
+//! Linear motion states and identified moving objects.
+
+use crate::Timestamp;
+use pdr_geometry::Point;
+use std::fmt;
+
+/// Opaque identifier of a moving object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// One linear trajectory segment: at reference time `t_ref` the object
+/// was at `origin` moving with constant `velocity`, so its position at
+/// `t >= t_ref` is `origin + velocity · (t − t_ref)` (the paper's linear
+/// motion model, Section 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MotionState {
+    /// Reported position at `t_ref`.
+    pub origin: Point,
+    /// Constant velocity (distance units per timestamp).
+    pub velocity: Point,
+    /// Timestamp of the report.
+    pub t_ref: Timestamp,
+}
+
+impl MotionState {
+    /// Creates a motion state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when position or velocity is non-finite; garbage motions
+    /// must not reach server-side summaries, where they would silently
+    /// poison counters.
+    pub fn new(origin: Point, velocity: Point, t_ref: Timestamp) -> Self {
+        assert!(origin.is_finite(), "non-finite origin {origin:?}");
+        assert!(velocity.is_finite(), "non-finite velocity {velocity:?}");
+        MotionState {
+            origin,
+            velocity,
+            t_ref,
+        }
+    }
+
+    /// A motionless object at `origin`.
+    pub fn stationary(origin: Point, t_ref: Timestamp) -> Self {
+        MotionState::new(origin, Point::ORIGIN, t_ref)
+    }
+
+    /// Extrapolated position at timestamp `t`.
+    ///
+    /// Extrapolation is defined for any `t` (also `t < t_ref`, used when
+    /// a deletion must reconstruct positions from an old report), though
+    /// the protocol only queries `t >= t_ref`.
+    #[inline]
+    pub fn position_at(&self, t: Timestamp) -> Point {
+        let dt = t as f64 - self.t_ref as f64;
+        self.origin + self.velocity * dt
+    }
+
+    /// Re-anchors the motion to a later reference time without changing
+    /// the trajectory. Useful for normalizing reports before indexing.
+    pub fn rebased_to(&self, t: Timestamp) -> MotionState {
+        MotionState {
+            origin: self.position_at(t),
+            velocity: self.velocity,
+            t_ref: t,
+        }
+    }
+
+    /// Speed (velocity magnitude) per timestamp.
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.velocity.norm()
+    }
+}
+
+/// A moving object: an identifier plus its most recent motion report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MovingObject {
+    /// Stable identity across re-reports.
+    pub id: ObjectId,
+    /// Latest reported motion.
+    pub motion: MotionState,
+}
+
+impl MovingObject {
+    /// Creates a moving object.
+    pub fn new(id: ObjectId, motion: MotionState) -> Self {
+        MovingObject { id, motion }
+    }
+
+    /// Extrapolated position at timestamp `t`.
+    #[inline]
+    pub fn position_at(&self, t: Timestamp) -> Point {
+        self.motion.position_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation() {
+        let m = MotionState::new(Point::new(10.0, 20.0), Point::new(1.0, -2.0), 100);
+        assert_eq!(m.position_at(100), Point::new(10.0, 20.0));
+        assert_eq!(m.position_at(105), Point::new(15.0, 10.0));
+        // Backward extrapolation also works.
+        assert_eq!(m.position_at(99), Point::new(9.0, 22.0));
+    }
+
+    #[test]
+    fn rebase_preserves_trajectory() {
+        let m = MotionState::new(Point::new(0.0, 0.0), Point::new(2.0, 3.0), 10);
+        let r = m.rebased_to(15);
+        assert_eq!(r.t_ref, 15);
+        for t in 15..25 {
+            assert_eq!(m.position_at(t), r.position_at(t));
+        }
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let m = MotionState::stationary(Point::new(5.0, 5.0), 0);
+        assert_eq!(m.position_at(1_000_000), Point::new(5.0, 5.0));
+        assert_eq!(m.speed(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite velocity")]
+    fn rejects_nan_velocity() {
+        let _ = MotionState::new(Point::ORIGIN, Point::new(f64::NAN, 0.0), 0);
+    }
+}

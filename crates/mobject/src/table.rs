@@ -1,0 +1,135 @@
+//! The server's table of current motions.
+
+use crate::{MotionState, MovingObject, ObjectId, Timestamp, Update};
+use std::collections::HashMap;
+
+/// The server-side table mapping each live object to its current motion.
+///
+/// Its job is to turn client *reports* into the paper's update protocol:
+/// a movement report from an object already in the table becomes a
+/// deletion of the old motion followed by an insertion of the new one,
+/// both stamped `t_now`. Summary structures (density histogram, Chebyshev
+/// coefficients) and the TPR-tree consume the resulting [`Update`]s.
+#[derive(Default)]
+pub struct ObjectTable {
+    motions: HashMap<ObjectId, MotionState>,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ObjectTable::default()
+    }
+
+    /// Creates a table pre-sized for `n` objects.
+    pub fn with_capacity(n: usize) -> Self {
+        ObjectTable {
+            motions: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.motions.len()
+    }
+
+    /// `true` when no objects are live.
+    pub fn is_empty(&self) -> bool {
+        self.motions.is_empty()
+    }
+
+    /// Current motion of `id`, if live.
+    pub fn motion_of(&self, id: ObjectId) -> Option<MotionState> {
+        self.motions.get(&id).copied()
+    }
+
+    /// Applies a report: the object (re-)declares `motion` at `t_now`.
+    ///
+    /// Returns the protocol updates in application order — `[delete?,
+    /// insert]` — that downstream structures must apply.
+    pub fn report(&mut self, id: ObjectId, t_now: Timestamp, motion: MotionState) -> Vec<Update> {
+        let mut out = Vec::with_capacity(2);
+        if let Some(old) = self.motions.get(&id).copied() {
+            out.push(Update::delete(id, t_now, old));
+        }
+        let ins = Update::insert(id, t_now, motion);
+        self.motions.insert(id, ins.motion());
+        out.push(ins);
+        out
+    }
+
+    /// Removes an object entirely (it left the system). Returns the
+    /// deletion update, or `None` when the object was unknown.
+    pub fn retire(&mut self, id: ObjectId, t_now: Timestamp) -> Option<Update> {
+        let old = self.motions.remove(&id)?;
+        Some(Update::delete(id, t_now, old))
+    }
+
+    /// Snapshot of all live objects (order unspecified).
+    pub fn objects(&self) -> impl Iterator<Item = MovingObject> + '_ {
+        self.motions
+            .iter()
+            .map(|(&id, &motion)| MovingObject::new(id, motion))
+    }
+
+    /// Brute-force positions of all live objects at `t` — the ground
+    /// truth the indexed methods are validated against in tests.
+    pub fn positions_at(&self, t: Timestamp) -> Vec<pdr_geometry::Point> {
+        self.motions.values().map(|m| m.position_at(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UpdateKind;
+    use pdr_geometry::Point;
+
+    fn motion(x: f64, t: Timestamp) -> MotionState {
+        MotionState::new(Point::new(x, 0.0), Point::new(1.0, 0.0), t)
+    }
+
+    #[test]
+    fn first_report_is_plain_insert() {
+        let mut tab = ObjectTable::new();
+        let ups = tab.report(ObjectId(1), 10, motion(0.0, 10));
+        assert_eq!(ups.len(), 1);
+        assert!(matches!(ups[0].kind, UpdateKind::Insert { .. }));
+        assert_eq!(tab.len(), 1);
+    }
+
+    #[test]
+    fn movement_report_pairs_delete_and_insert() {
+        let mut tab = ObjectTable::new();
+        tab.report(ObjectId(1), 10, motion(0.0, 10));
+        let ups = tab.report(ObjectId(1), 20, motion(50.0, 20));
+        assert_eq!(ups.len(), 2);
+        match (&ups[0].kind, &ups[1].kind) {
+            (UpdateKind::Delete { old_motion }, UpdateKind::Insert { motion: new }) => {
+                assert_eq!(old_motion.t_ref, 10);
+                assert_eq!(new.t_ref, 20);
+                assert_eq!(new.origin, Point::new(50.0, 0.0));
+            }
+            other => panic!("unexpected update pair {other:?}"),
+        }
+        assert_eq!(tab.len(), 1);
+    }
+
+    #[test]
+    fn retire_removes_and_emits_delete() {
+        let mut tab = ObjectTable::new();
+        tab.report(ObjectId(7), 5, motion(1.0, 5));
+        let del = tab.retire(ObjectId(7), 9).unwrap();
+        assert!(matches!(del.kind, UpdateKind::Delete { .. }));
+        assert!(tab.is_empty());
+        assert!(tab.retire(ObjectId(7), 10).is_none());
+    }
+
+    #[test]
+    fn positions_extrapolate() {
+        let mut tab = ObjectTable::new();
+        tab.report(ObjectId(1), 0, motion(0.0, 0));
+        let pos = tab.positions_at(5);
+        assert_eq!(pos, vec![Point::new(5.0, 0.0)]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Discrete time and the `U / W / H` horizon split.
+
+/// A discrete timestamp. The paper's experiments use unit-length
+/// timestamps; queries and histogram slots are aligned to this grid.
+pub type Timestamp = u64;
+
+/// The time-horizon parameters of the paper (Section 4):
+///
+/// * `U` — *maximum update time*: every object re-reports its motion
+///   within `U` timestamps;
+/// * `W` — *prediction window*: a PDR query targets a timestamp at most
+///   `W` into the future;
+/// * `H = U + W` — *time horizon*: the farthest future timestamp any
+///   server-side summary must cover, because a motion reported now can
+///   stay un-refreshed for `U` steps and still be queried `W` ahead.
+///
+/// Per-timestamp structures (density histograms, Chebyshev coefficient
+/// sets) therefore keep `H + 1` slots, for `t ∈ [t_now, t_now + H]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeHorizon {
+    max_update_time: u64,
+    prediction_window: u64,
+}
+
+impl TimeHorizon {
+    /// The paper's default setup: `U = 60`, `W = 60`, `H = 120`
+    /// (mirroring the effective-density-query experiments of Jensen et
+    /// al. that the paper says it follows).
+    pub const PAPER_DEFAULT: TimeHorizon = TimeHorizon {
+        max_update_time: 60,
+        prediction_window: 60,
+    };
+
+    /// Creates a horizon from `U` and `W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both are zero (the horizon would cover no time).
+    pub fn new(max_update_time: u64, prediction_window: u64) -> Self {
+        assert!(
+            max_update_time + prediction_window > 0,
+            "time horizon must cover at least one timestamp"
+        );
+        TimeHorizon {
+            max_update_time,
+            prediction_window,
+        }
+    }
+
+    /// Maximum update time `U`.
+    #[inline]
+    pub fn max_update_time(&self) -> u64 {
+        self.max_update_time
+    }
+
+    /// Prediction window `W`.
+    #[inline]
+    pub fn prediction_window(&self) -> u64 {
+        self.prediction_window
+    }
+
+    /// Horizon length `H = U + W`.
+    #[inline]
+    pub fn h(&self) -> u64 {
+        self.max_update_time + self.prediction_window
+    }
+
+    /// Number of per-timestamp slots a summary structure needs:
+    /// `H + 1`, covering `t_now ..= t_now + H`.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.h() as usize + 1
+    }
+
+    /// `true` when a query at `q_t`, issued at `t_now`, falls inside the
+    /// horizon (`t_now <= q_t <= t_now + H`).
+    #[inline]
+    pub fn covers(&self, t_now: Timestamp, q_t: Timestamp) -> bool {
+        q_t >= t_now && q_t - t_now <= self.h()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default() {
+        let h = TimeHorizon::PAPER_DEFAULT;
+        assert_eq!(h.max_update_time(), 60);
+        assert_eq!(h.prediction_window(), 60);
+        assert_eq!(h.h(), 120);
+        assert_eq!(h.slot_count(), 121);
+    }
+
+    #[test]
+    fn coverage() {
+        let h = TimeHorizon::new(2, 3);
+        assert_eq!(h.h(), 5);
+        assert!(h.covers(10, 10));
+        assert!(h.covers(10, 15));
+        assert!(!h.covers(10, 16));
+        assert!(!h.covers(10, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestamp")]
+    fn rejects_zero_horizon() {
+        let _ = TimeHorizon::new(0, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The paper's location-update protocol (Section 5.1).
+
+use crate::{MotionState, ObjectId, Timestamp};
+
+/// What a location update does to the server's view of one object.
+///
+/// The paper distinguishes:
+/// * an **insertion** `(t_now, x, y, v_x, v_y)` — a new motion starts at
+///   `t_now`; summaries must add its trajectory over
+///   `[t_now, t_now + H]`;
+/// * a **deletion** `(t₁, t_now, x₁, y₁, v_x¹, v_y¹)` — a motion that was
+///   reported at `t₁` is retracted at `t_now`; summaries must subtract
+///   its trajectory over `[t_now, t₁ + H]` (positions extrapolated from
+///   the *old* report).
+///
+/// A *movement report* from a live object is simply a deletion of its old
+/// motion followed by an insertion of the new one; [`crate::ObjectTable`]
+/// performs that pairing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UpdateKind {
+    /// A new motion becomes current at [`Update::t_now`].
+    Insert {
+        /// The newly reported motion (with `t_ref == t_now`).
+        motion: MotionState,
+    },
+    /// The motion reported earlier is retracted at [`Update::t_now`].
+    Delete {
+        /// The motion being retracted (with its original `t_ref = t₁`).
+        old_motion: MotionState,
+    },
+}
+
+/// One update applied at server time `t_now`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Update {
+    /// Object the update concerns.
+    pub id: ObjectId,
+    /// Server time at which the update is applied.
+    pub t_now: Timestamp,
+    /// Insertion or deletion payload.
+    pub kind: UpdateKind,
+}
+
+impl Update {
+    /// Builds an insertion update; the motion is re-anchored to `t_now`
+    /// so `t_ref == t_now` as the protocol requires.
+    pub fn insert(id: ObjectId, t_now: Timestamp, motion: MotionState) -> Self {
+        Update {
+            id,
+            t_now,
+            kind: UpdateKind::Insert {
+                motion: motion.rebased_to(t_now),
+            },
+        }
+    }
+
+    /// Builds a deletion update retracting `old_motion` at `t_now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `old_motion.t_ref > t_now`: a motion cannot be
+    /// retracted before it was reported.
+    pub fn delete(id: ObjectId, t_now: Timestamp, old_motion: MotionState) -> Self {
+        assert!(
+            old_motion.t_ref <= t_now,
+            "cannot retract a motion from the future (t_ref {} > t_now {})",
+            old_motion.t_ref,
+            t_now
+        );
+        Update {
+            id,
+            t_now,
+            kind: UpdateKind::Delete { old_motion },
+        }
+    }
+
+    /// The timestamp range `[from, to]` over which a per-timestamp
+    /// summary structure must apply this update, given horizon `h`:
+    /// insertions cover `[t_now, t_now + H]`, deletions cover
+    /// `[t_now, t₁ + H]` where `t₁` is the old report time (positions
+    /// beyond `t₁ + H` were never added, so nothing is subtracted there).
+    ///
+    /// Returns `None` for a deletion whose old report has already aged
+    /// out entirely (`t₁ + H < t_now`) — a protocol violation the caller
+    /// may tolerate as a no-op.
+    pub fn affected_range(&self, h: u64) -> Option<(Timestamp, Timestamp)> {
+        match self.kind {
+            UpdateKind::Insert { .. } => Some((self.t_now, self.t_now + h)),
+            UpdateKind::Delete { old_motion } => {
+                let end = old_motion.t_ref + h;
+                if end < self.t_now {
+                    None
+                } else {
+                    Some((self.t_now, end))
+                }
+            }
+        }
+    }
+
+    /// The motion whose trajectory the summary must add or subtract.
+    pub fn motion(&self) -> MotionState {
+        match self.kind {
+            UpdateKind::Insert { motion } => motion,
+            UpdateKind::Delete { old_motion } => old_motion,
+        }
+    }
+
+    /// +1 for insertions, −1 for deletions — the counter delta the
+    /// density histogram applies per affected timestamp.
+    pub fn sign(&self) -> i64 {
+        match self.kind {
+            UpdateKind::Insert { .. } => 1,
+            UpdateKind::Delete { .. } => -1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_geometry::Point;
+
+    fn motion(t: Timestamp) -> MotionState {
+        MotionState::new(Point::new(1.0, 2.0), Point::new(0.5, 0.0), t)
+    }
+
+    #[test]
+    fn insert_covers_full_horizon() {
+        let u = Update::insert(ObjectId(1), 100, motion(100));
+        assert_eq!(u.affected_range(120), Some((100, 220)));
+        assert_eq!(u.sign(), 1);
+    }
+
+    #[test]
+    fn insert_rebases_motion() {
+        // A motion reported with an older t_ref is re-anchored.
+        let u = Update::insert(ObjectId(1), 100, motion(90));
+        let m = u.motion();
+        assert_eq!(m.t_ref, 100);
+        assert_eq!(m.origin, Point::new(6.0, 2.0)); // 1.0 + 0.5 * 10
+    }
+
+    #[test]
+    fn delete_covers_until_old_horizon_end() {
+        // Motion reported at t1 = 80, retracted at t_now = 100, H = 120:
+        // affected range is [100, 200].
+        let u = Update::delete(ObjectId(2), 100, motion(80));
+        assert_eq!(u.affected_range(120), Some((100, 200)));
+        assert_eq!(u.sign(), -1);
+    }
+
+    #[test]
+    fn stale_delete_is_noop() {
+        // Motion from t1 = 10 with H = 20 aged out at t = 30 < t_now.
+        let u = Update::delete(ObjectId(3), 100, motion(10));
+        assert_eq!(u.affected_range(20), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn delete_from_future_rejected() {
+        let _ = Update::delete(ObjectId(4), 50, motion(60));
+    }
+}

@@ -1,0 +1,153 @@
+//! The simulated raw device: an array of fixed-size pages.
+
+use std::fmt;
+
+/// Page size in bytes (Table 1 of the paper: 4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of an allocated disk page.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{}", self.0)
+    }
+}
+
+/// An in-memory simulated disk: pages are allocated from a grow-only
+/// arena with a free list, and read/write whole pages at a time.
+///
+/// The disk itself does no caching and no accounting — that is the
+/// buffer pool's job — so reading straight from [`Disk`] models an
+/// uncached random access.
+pub struct Disk {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    free: Vec<PageId>,
+}
+
+impl Disk {
+    /// Creates an empty disk.
+    pub fn new() -> Self {
+        Disk {
+            pages: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    /// Total bytes currently backing the disk.
+    pub fn size_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Allocates a zeroed page and returns its id. Freed pages are
+    /// recycled before the arena grows.
+    pub fn allocate(&mut self) -> PageId {
+        if let Some(id) = self.free.pop() {
+            self.pages[id.0 as usize].fill(0);
+            return id;
+        }
+        let id = PageId(
+            u32::try_from(self.pages.len()).expect("simulated disk exceeded 2^32 pages"),
+        );
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        id
+    }
+
+    /// Returns a page to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or an out-of-range id — both are bugs in
+    /// the caller that must not be masked.
+    pub fn free(&mut self, id: PageId) {
+        assert!(
+            (id.0 as usize) < self.pages.len(),
+            "free of unallocated page {id:?}"
+        );
+        assert!(!self.free.contains(&id), "double free of page {id:?}");
+        self.free.push(id);
+    }
+
+    /// Reads a whole page.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn read(&self, id: PageId) -> &[u8; PAGE_SIZE] {
+        &self.pages[id.0 as usize]
+    }
+
+    /// Overwrites a whole page.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn write(&mut self, id: PageId, data: &[u8; PAGE_SIZE]) {
+        self.pages[id.0 as usize].copy_from_slice(data);
+    }
+}
+
+impl Default for Disk {
+    fn default() -> Self {
+        Disk::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_round_trip() {
+        let mut d = Disk::new();
+        let a = d.allocate();
+        let b = d.allocate();
+        assert_ne!(a, b);
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        d.write(a, &page);
+        assert_eq!(d.read(a)[0], 0xAB);
+        assert_eq!(d.read(a)[PAGE_SIZE - 1], 0xCD);
+        assert_eq!(d.read(b)[0], 0); // untouched page stays zeroed
+    }
+
+    #[test]
+    fn free_pages_are_recycled_zeroed() {
+        let mut d = Disk::new();
+        let a = d.allocate();
+        let mut page = [0u8; PAGE_SIZE];
+        page[10] = 42;
+        d.write(a, &page);
+        d.free(a);
+        let b = d.allocate();
+        assert_eq!(a, b, "freed page should be recycled");
+        assert_eq!(d.read(b)[10], 0, "recycled page must be zeroed");
+        assert_eq!(d.allocated_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut d = Disk::new();
+        let a = d.allocate();
+        d.free(a);
+        d.free(a);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut d = Disk::new();
+        let ids: Vec<PageId> = (0..5).map(|_| d.allocate()).collect();
+        assert_eq!(d.allocated_pages(), 5);
+        assert_eq!(d.size_bytes(), 5 * PAGE_SIZE);
+        d.free(ids[2]);
+        assert_eq!(d.allocated_pages(), 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! An intrusive doubly-linked LRU list over frame indices.
+
+/// O(1) LRU ordering over the frame slots `0..capacity` of a buffer
+/// pool. The list stores only indices; the pool owns the frames.
+///
+/// Operations:
+/// * [`push_front`](LruList::push_front) — a slot becomes most recent;
+/// * [`touch`](LruList::touch) — move an in-list slot to the front;
+/// * [`pop_back`](LruList::pop_back) — evict the least recent slot;
+/// * [`remove`](LruList::remove) — unlink an arbitrary slot.
+///
+/// Implemented with `prev`/`next` index arrays and a `NIL` sentinel, so
+/// no allocation happens after construction.
+pub struct LruList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    in_list: Vec<bool>,
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruList {
+    /// Creates an empty list able to hold slots `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        LruList {
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            in_list: vec![false; capacity],
+        }
+    }
+
+    /// Number of slots currently linked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no slot is linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when `slot` is currently linked.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.in_list[slot]
+    }
+
+    /// Links `slot` as most-recently-used.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot is already linked (callers must
+    /// [`touch`](LruList::touch) instead) or out of range.
+    pub fn push_front(&mut self, slot: usize) {
+        assert!(!self.in_list[slot], "slot {slot} already in LRU list");
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
+        self.in_list[slot] = true;
+        self.len += 1;
+    }
+
+    /// Moves an already-linked `slot` to the most-recent position.
+    pub fn touch(&mut self, slot: usize) {
+        assert!(self.in_list[slot], "touch of unlinked slot {slot}");
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.in_list[slot] = false;
+        self.len -= 1;
+        self.push_front(slot);
+    }
+
+    /// Unlinks and returns the least-recently-used slot, or `None` when
+    /// empty.
+    pub fn pop_back(&mut self) -> Option<usize> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        self.unlink(slot);
+        self.in_list[slot] = false;
+        self.len -= 1;
+        Some(slot)
+    }
+
+    /// Unlinks an arbitrary slot (e.g. a frame invalidated by a page
+    /// free).
+    pub fn remove(&mut self, slot: usize) {
+        assert!(self.in_list[slot], "remove of unlinked slot {slot}");
+        self.unlink(slot);
+        self.in_list[slot] = false;
+        self.len -= 1;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[slot] = NIL;
+        self.next[slot] = NIL;
+    }
+
+    /// Slots from most to least recently used (test/debug helper).
+    pub fn iter_mru(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let s = cur;
+                cur = self.next[cur];
+                Some(s)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_mru_first() {
+        let mut l = LruList::new(4);
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![2, 1, 0]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = LruList::new(4);
+        for s in 0..4 {
+            l.push_front(s);
+        }
+        l.touch(1);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![1, 3, 2, 0]);
+        // Touching the head is a no-op.
+        l.touch(1);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn pop_back_evicts_lru() {
+        let mut l = LruList::new(3);
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        assert_eq!(l.pop_back(), Some(0));
+        assert_eq!(l.pop_back(), Some(1));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut l = LruList::new(3);
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        l.remove(1);
+        assert!(!l.contains(1));
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![2, 0]);
+        // Slot can be re-inserted after removal.
+        l.push_front(1);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in LRU list")]
+    fn double_push_panics() {
+        let mut l = LruList::new(2);
+        l.push_front(0);
+        l.push_front(0);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut l = LruList::new(1);
+        l.push_front(0);
+        l.touch(0);
+        assert_eq!(l.pop_back(), Some(0));
+        assert!(l.pop_back().is_none());
+        l.push_front(0);
+        l.remove(0);
+        assert!(l.is_empty());
+    }
+}

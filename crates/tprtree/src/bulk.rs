@@ -1,0 +1,236 @@
+//! Sort-tile-recursive (STR) bulk loading.
+//!
+//! The experiments index hundreds of thousands of motions before the
+//! measured phase begins; loading them one insert at a time is O(n log n)
+//! node rewrites. STR builds a packed tree in O(n log n) comparisons and
+//! O(n / fanout) page writes: sort by X at the horizon midpoint, slice
+//! into √(leaves) vertical strips, sort each strip by Y, and chunk into
+//! leaves; repeat one level up until a single node remains.
+
+use crate::node::{ChildEntry, LeafEntry, Node, INTERNAL_CAPACITY, LEAF_CAPACITY};
+use crate::tree::TprTree;
+use pdr_mobject::{MotionState, ObjectId};
+
+impl TprTree {
+    /// Bulk loads `objects` into an **empty** tree, filling nodes to
+    /// `fill_ratio` of capacity (≤ 1.0; ~0.7 leaves headroom for later
+    /// updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree is not empty, when `fill_ratio` is not in
+    /// `(0, 1]`, or on duplicate object ids.
+    pub fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], fill_ratio: f64) {
+        assert!(self.is_empty(), "bulk_load requires an empty tree");
+        assert!(
+            fill_ratio > 0.0 && fill_ratio <= 1.0,
+            "fill ratio must be in (0, 1], got {fill_ratio}"
+        );
+        if objects.is_empty() {
+            return;
+        }
+        let t_ref = self.t_ref();
+        let dt_mid = self.bulk_dt_mid();
+        let mut entries: Vec<LeafEntry> = objects
+            .iter()
+            .map(|(id, m)| {
+                let p = m.position_at(t_ref);
+                LeafEntry {
+                    id: *id,
+                    x: p.x,
+                    y: p.y,
+                    vx: m.velocity.x,
+                    vy: m.velocity.y,
+                }
+            })
+            .collect();
+
+        let per_leaf = ((LEAF_CAPACITY as f64 * fill_ratio) as usize).max(1);
+        let leaf_chunks = str_partition(
+            &mut entries,
+            per_leaf,
+            |e| e.x + e.vx * dt_mid,
+            |e| e.y + e.vy * dt_mid,
+        );
+
+        // Write leaves and collect their parent entries.
+        let old_root = self.bulk_take_root();
+        let mut level: Vec<ChildEntry> = Vec::with_capacity(leaf_chunks.len());
+        for chunk in leaf_chunks {
+            let node = Node::Leaf(chunk);
+            let page = self.bulk_alloc_page();
+            for e in node_leaf_entries(&node) {
+                let prev = self.bulk_set_leaf_of(e.id, page);
+                assert!(prev.is_none(), "duplicate object id {:?} in bulk load", e.id);
+            }
+            let tpbr = node.bounding_tpbr();
+            self.bulk_write_node(page, &node);
+            level.push(ChildEntry { page, tpbr });
+        }
+        self.bulk_free_page(old_root);
+
+        // Build internal levels bottom-up.
+        let per_internal = ((INTERNAL_CAPACITY as f64 * fill_ratio) as usize).max(2);
+        let mut height = 1u32;
+        while level.len() > 1 {
+            let chunks = str_partition(
+                &mut level,
+                per_internal,
+                |e| {
+                    let r = e.tpbr.rect_at(dt_mid);
+                    (r.x_lo + r.x_hi) / 2.0
+                },
+                |e| {
+                    let r = e.tpbr.rect_at(dt_mid);
+                    (r.y_lo + r.y_hi) / 2.0
+                },
+            );
+            let mut next: Vec<ChildEntry> = Vec::with_capacity(chunks.len());
+            for chunk in chunks {
+                let node = Node::Internal(chunk);
+                let page = self.bulk_alloc_page();
+                if let Node::Internal(children) = &node {
+                    for c in children {
+                        self.bulk_set_parent(c.page, page);
+                    }
+                }
+                let tpbr = node.bounding_tpbr();
+                self.bulk_write_node(page, &node);
+                next.push(ChildEntry { page, tpbr });
+            }
+            level = next;
+            height += 1;
+        }
+
+        self.bulk_finish(level[0].page, height, objects.len());
+    }
+}
+
+fn node_leaf_entries(node: &Node) -> &[LeafEntry] {
+    match node {
+        Node::Leaf(v) => v,
+        Node::Internal(_) => panic!("expected leaf"),
+    }
+}
+
+/// Sort-tile-recursive partition: returns chunks of at most `per_node`
+/// items, tiled so chunks are spatially coherent in both axes.
+fn str_partition<T: Clone>(
+    items: &mut [T],
+    per_node: usize,
+    key_x: impl Fn(&T) -> f64,
+    key_y: impl Fn(&T) -> f64,
+) -> Vec<Vec<T>> {
+    let n = items.len();
+    let node_count = n.div_ceil(per_node);
+    let slices = (node_count as f64).sqrt().ceil() as usize;
+    let per_slice = n.div_ceil(slices);
+    items.sort_by(|a, b| key_x(a).total_cmp(&key_x(b)));
+    let mut out = Vec::with_capacity(node_count);
+    for slice in items.chunks_mut(per_slice.max(1)) {
+        slice.sort_by(|a, b| key_y(a).total_cmp(&key_y(b)));
+        for chunk in slice.chunks(per_node) {
+            out.push(chunk.to_vec());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TprConfig;
+    use pdr_geometry::{Point, Rect};
+
+    fn random_motions(n: usize, seed: u64) -> Vec<(ObjectId, MotionState)> {
+        let mut s = seed;
+        let mut rng = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n)
+            .map(|i| {
+                (
+                    ObjectId(i as u64),
+                    MotionState::new(
+                        Point::new(rng() * 1000.0, rng() * 1000.0),
+                        Point::new(rng() * 4.0 - 2.0, rng() * 4.0 - 2.0),
+                        0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        let motions = random_motions(5000, 3);
+        let mut t = TprTree::new(TprConfig::default_with_horizon(10.0), 0);
+        t.bulk_load(&motions, 0.7);
+        t.validate();
+        assert_eq!(t.len(), 5000);
+        let rect = Rect::new(250.0, 250.0, 400.0, 400.0);
+        for qt in [0u64, 7] {
+            let mut got: Vec<ObjectId> =
+                t.range_at(&rect, qt).into_iter().map(|(id, _)| id).collect();
+            got.sort();
+            let mut expect: Vec<ObjectId> = motions
+                .iter()
+                .filter(|(_, m)| rect.contains(m.position_at(qt)))
+                .map(|(id, _)| *id)
+                .collect();
+            expect.sort();
+            assert_eq!(got, expect, "t={qt}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_then_updates() {
+        let motions = random_motions(1200, 11);
+        let mut t = TprTree::new(TprConfig::default_with_horizon(10.0), 0);
+        t.bulk_load(&motions, 0.7);
+        for (id, m) in motions.iter().take(200) {
+            let moved = MotionState::new(m.position_at(3), Point::new(0.0, 0.0), 3);
+            t.update(*id, &moved, 3);
+        }
+        for (id, _) in motions.iter().skip(200).take(100) {
+            assert!(t.remove(*id));
+        }
+        t.validate();
+        assert_eq!(t.len(), 1100);
+    }
+
+    #[test]
+    fn bulk_load_packs_tightly() {
+        let motions = random_motions(10_000, 17);
+        let mut t = TprTree::new(TprConfig::default_with_horizon(10.0), 0);
+        t.bulk_load(&motions, 0.7);
+        // ~10000 / (102*0.7 = 71) = 141 leaves (+ padding chunks), plus a
+        // couple of internal pages.
+        assert!(
+            t.page_count() < 200,
+            "expected tight packing, got {} pages",
+            t.page_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an empty tree")]
+    fn bulk_load_on_nonempty_rejected() {
+        let mut t = TprTree::new(TprConfig::default_with_horizon(10.0), 0);
+        t.insert(
+            ObjectId(1),
+            &MotionState::new(Point::new(0.0, 0.0), Point::ORIGIN, 0),
+            0,
+        );
+        t.bulk_load(&random_motions(10, 1), 0.7);
+    }
+
+    #[test]
+    fn empty_bulk_load_is_noop() {
+        let mut t = TprTree::new(TprConfig::default_with_horizon(10.0), 0);
+        t.bulk_load(&[], 0.7);
+        assert!(t.is_empty());
+        t.validate();
+    }
+}

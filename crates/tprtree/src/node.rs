@@ -1,0 +1,315 @@
+//! Node layout and page serialization.
+//!
+//! One node occupies exactly one 4 KiB page:
+//!
+//! ```text
+//! offset 0   u8   tag (0 = leaf, 1 = internal)
+//! offset 1   u8   reserved
+//! offset 2   u16  entry count (little endian)
+//! offset 4   u32  reserved
+//! offset 8   entries...
+//! ```
+//!
+//! * Leaf entry, 40 bytes: object id `u64`, position at the tree's
+//!   reference time (2 × `f64`), velocity (2 × `f64`).
+//! * Internal entry, 72 bytes: child page `u32` + 4 reserved bytes, then
+//!   the child's [`Tpbr`] (8 × `f64`).
+//!
+//! Capacities follow from the page size: ⌊4088 / 40⌋ = 102 motions per
+//! leaf, ⌊4088 / 72⌋ = 56 children per internal node — the fan-outs the
+//! paper's I/O numbers implicitly assume for a 4 KiB page.
+
+use crate::Tpbr;
+use pdr_mobject::ObjectId;
+use pdr_storage::{PageId, PAGE_SIZE};
+
+/// Bytes reserved for the node header.
+const HEADER: usize = 8;
+/// Serialized size of one leaf entry.
+const LEAF_ENTRY: usize = 40;
+/// Serialized size of one internal entry.
+const INTERNAL_ENTRY: usize = 72;
+
+/// Maximum motions per leaf page.
+pub const LEAF_CAPACITY: usize = (PAGE_SIZE - HEADER) / LEAF_ENTRY;
+/// Maximum children per internal page.
+pub const INTERNAL_CAPACITY: usize = (PAGE_SIZE - HEADER) / INTERNAL_ENTRY;
+
+/// One indexed motion, anchored at the tree's reference time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeafEntry {
+    /// Object identity.
+    pub id: ObjectId,
+    /// X position at the tree reference time.
+    pub x: f64,
+    /// Y position at the tree reference time.
+    pub y: f64,
+    /// X velocity.
+    pub vx: f64,
+    /// Y velocity.
+    pub vy: f64,
+}
+
+impl LeafEntry {
+    /// The entry's degenerate TPBR.
+    pub fn tpbr(&self) -> Tpbr {
+        Tpbr {
+            x_lo: self.x,
+            y_lo: self.y,
+            x_hi: self.x,
+            y_hi: self.y,
+            vx_lo: self.vx,
+            vy_lo: self.vy,
+            vx_hi: self.vx,
+            vy_hi: self.vy,
+        }
+    }
+
+    /// Position at offset `dt` past the tree reference time.
+    pub fn position_at(&self, dt: f64) -> pdr_geometry::Point {
+        pdr_geometry::Point::new(self.x + self.vx * dt, self.y + self.vy * dt)
+    }
+}
+
+/// A child pointer with its time-parameterized bounding rectangle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChildEntry {
+    /// Page of the child node.
+    pub page: PageId,
+    /// Conservative bound of the child's subtree.
+    pub tpbr: Tpbr,
+}
+
+/// An in-memory node, decoded from / encoded to one page.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// Bottom level: indexed motions.
+    Leaf(Vec<LeafEntry>),
+    /// Inner level: child pointers with TPBRs.
+    Internal(Vec<ChildEntry>),
+}
+
+impl Node {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(v) => v.len(),
+            Node::Internal(v) => v.len(),
+        }
+    }
+
+    /// `true` when the node stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// Capacity of this node kind.
+    pub fn capacity(&self) -> usize {
+        match self {
+            Node::Leaf(_) => LEAF_CAPACITY,
+            Node::Internal(_) => INTERNAL_CAPACITY,
+        }
+    }
+
+    /// The union TPBR over all entries (what the parent should store).
+    pub fn bounding_tpbr(&self) -> Tpbr {
+        match self {
+            Node::Leaf(v) => v.iter().fold(Tpbr::empty(), |acc, e| acc.union(&e.tpbr())),
+            Node::Internal(v) => v.iter().fold(Tpbr::empty(), |acc, e| acc.union(&e.tpbr)),
+        }
+    }
+
+    /// Serializes the node into a page buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node exceeds its capacity — overflow must be
+    /// resolved by a split before writing.
+    pub fn encode(&self, page: &mut [u8; PAGE_SIZE]) {
+        page.fill(0);
+        match self {
+            Node::Leaf(entries) => {
+                assert!(entries.len() <= LEAF_CAPACITY, "leaf overflow: {}", entries.len());
+                page[0] = 0;
+                page[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (i, e) in entries.iter().enumerate() {
+                    let o = HEADER + i * LEAF_ENTRY;
+                    page[o..o + 8].copy_from_slice(&e.id.0.to_le_bytes());
+                    page[o + 8..o + 16].copy_from_slice(&e.x.to_le_bytes());
+                    page[o + 16..o + 24].copy_from_slice(&e.y.to_le_bytes());
+                    page[o + 24..o + 32].copy_from_slice(&e.vx.to_le_bytes());
+                    page[o + 32..o + 40].copy_from_slice(&e.vy.to_le_bytes());
+                }
+            }
+            Node::Internal(entries) => {
+                assert!(
+                    entries.len() <= INTERNAL_CAPACITY,
+                    "internal overflow: {}",
+                    entries.len()
+                );
+                page[0] = 1;
+                page[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (i, e) in entries.iter().enumerate() {
+                    let o = HEADER + i * INTERNAL_ENTRY;
+                    page[o..o + 4].copy_from_slice(&e.page.0.to_le_bytes());
+                    let b = &e.tpbr;
+                    for (k, v) in [
+                        b.x_lo, b.y_lo, b.x_hi, b.y_hi, b.vx_lo, b.vy_lo, b.vx_hi, b.vy_hi,
+                    ]
+                    .iter()
+                    .enumerate()
+                    {
+                        let s = o + 8 + k * 8;
+                        page[s..s + 8].copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deserializes a node from a page buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt tag or an impossible entry count.
+    pub fn decode(page: &[u8; PAGE_SIZE]) -> Node {
+        let count = u16::from_le_bytes([page[2], page[3]]) as usize;
+        let f64_at = |o: usize| f64::from_le_bytes(page[o..o + 8].try_into().unwrap());
+        match page[0] {
+            0 => {
+                assert!(count <= LEAF_CAPACITY, "corrupt leaf count {count}");
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let o = HEADER + i * LEAF_ENTRY;
+                    entries.push(LeafEntry {
+                        id: ObjectId(u64::from_le_bytes(page[o..o + 8].try_into().unwrap())),
+                        x: f64_at(o + 8),
+                        y: f64_at(o + 16),
+                        vx: f64_at(o + 24),
+                        vy: f64_at(o + 32),
+                    });
+                }
+                Node::Leaf(entries)
+            }
+            1 => {
+                assert!(count <= INTERNAL_CAPACITY, "corrupt internal count {count}");
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let o = HEADER + i * INTERNAL_ENTRY;
+                    entries.push(ChildEntry {
+                        page: PageId(u32::from_le_bytes(page[o..o + 4].try_into().unwrap())),
+                        tpbr: Tpbr {
+                            x_lo: f64_at(o + 8),
+                            y_lo: f64_at(o + 16),
+                            x_hi: f64_at(o + 24),
+                            y_hi: f64_at(o + 32),
+                            vx_lo: f64_at(o + 40),
+                            vy_lo: f64_at(o + 48),
+                            vx_hi: f64_at(o + 56),
+                            vy_hi: f64_at(o + 64),
+                        },
+                    });
+                }
+                Node::Internal(entries)
+            }
+            tag => panic!("corrupt node tag {tag}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_follow_from_page_size() {
+        assert_eq!(LEAF_CAPACITY, 102);
+        assert_eq!(INTERNAL_CAPACITY, 56);
+    }
+
+    fn sample_leaf(n: usize) -> Node {
+        Node::Leaf(
+            (0..n)
+                .map(|i| LeafEntry {
+                    id: ObjectId(i as u64 * 7 + 1),
+                    x: i as f64 * 1.5,
+                    y: -(i as f64),
+                    vx: 0.25 * i as f64,
+                    vy: -0.5,
+                })
+                .collect(),
+        )
+    }
+
+    fn sample_internal(n: usize) -> Node {
+        Node::Internal(
+            (0..n)
+                .map(|i| ChildEntry {
+                    page: PageId(i as u32 + 100),
+                    tpbr: Tpbr {
+                        x_lo: i as f64,
+                        y_lo: i as f64 * 2.0,
+                        x_hi: i as f64 + 1.0,
+                        y_hi: i as f64 * 2.0 + 1.0,
+                        vx_lo: -1.0,
+                        vy_lo: -2.0,
+                        vx_hi: 1.0,
+                        vy_hi: 2.0,
+                    },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        for n in [0, 1, 50, LEAF_CAPACITY] {
+            let node = sample_leaf(n);
+            let mut page = [0u8; PAGE_SIZE];
+            node.encode(&mut page);
+            assert_eq!(Node::decode(&page), node);
+        }
+    }
+
+    #[test]
+    fn internal_round_trip() {
+        for n in [0, 1, 30, INTERNAL_CAPACITY] {
+            let node = sample_internal(n);
+            let mut page = [0u8; PAGE_SIZE];
+            node.encode(&mut page);
+            assert_eq!(Node::decode(&page), node);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf overflow")]
+    fn encode_rejects_overflow() {
+        let node = sample_leaf(LEAF_CAPACITY + 1);
+        let mut page = [0u8; PAGE_SIZE];
+        node.encode(&mut page);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt node tag")]
+    fn decode_rejects_corrupt_tag() {
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 9;
+        let _ = Node::decode(&page);
+    }
+
+    #[test]
+    fn bounding_tpbr_covers_entries() {
+        let node = sample_leaf(10);
+        let b = node.bounding_tpbr();
+        if let Node::Leaf(entries) = &node {
+            for e in entries {
+                assert!(b.contains_tpbr(&e.tpbr()));
+            }
+        }
+    }
+}

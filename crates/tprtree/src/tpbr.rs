@@ -1,0 +1,284 @@
+//! Time-parameterized bounding rectangles.
+
+use pdr_geometry::Rect;
+use pdr_mobject::MotionState;
+
+/// A time-parameterized bounding rectangle (TPBR): position bounds at
+/// the tree's reference time plus velocity bounds. At offset `dt` past
+/// the reference time the box is
+///
+/// ```text
+/// [x_lo + vx_lo·dt, x_hi + vx_hi·dt] × [y_lo + vy_lo·dt, y_hi + vy_hi·dt]
+/// ```
+///
+/// which conservatively contains every enclosed motion for all `dt ≥ 0`
+/// (and exactly traces a single motion for any `dt`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tpbr {
+    /// Lower X bound at the reference time.
+    pub x_lo: f64,
+    /// Lower Y bound at the reference time.
+    pub y_lo: f64,
+    /// Upper X bound at the reference time.
+    pub x_hi: f64,
+    /// Upper Y bound at the reference time.
+    pub y_hi: f64,
+    /// Lower bound of X velocities.
+    pub vx_lo: f64,
+    /// Lower bound of Y velocities.
+    pub vy_lo: f64,
+    /// Upper bound of X velocities.
+    pub vx_hi: f64,
+    /// Upper bound of Y velocities.
+    pub vy_hi: f64,
+}
+
+impl Tpbr {
+    /// The degenerate TPBR of a single motion, re-anchored to the
+    /// tree's reference time `t_ref` (backward extrapolation is exact
+    /// for a linear motion, so anchoring is always safe).
+    pub fn from_motion(m: &MotionState, t_ref: pdr_mobject::Timestamp) -> Self {
+        let p = m.position_at(t_ref);
+        Tpbr {
+            x_lo: p.x,
+            y_lo: p.y,
+            x_hi: p.x,
+            y_hi: p.y,
+            vx_lo: m.velocity.x,
+            vy_lo: m.velocity.y,
+            vx_hi: m.velocity.x,
+            vy_hi: m.velocity.y,
+        }
+    }
+
+    /// A TPBR that bounds nothing; the identity of [`union`](Tpbr::union).
+    pub fn empty() -> Self {
+        Tpbr {
+            x_lo: f64::INFINITY,
+            y_lo: f64::INFINITY,
+            x_hi: f64::NEG_INFINITY,
+            y_hi: f64::NEG_INFINITY,
+            vx_lo: f64::INFINITY,
+            vy_lo: f64::INFINITY,
+            vx_hi: f64::NEG_INFINITY,
+            vy_hi: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `true` when nothing has been unioned in yet.
+    pub fn is_empty(&self) -> bool {
+        self.x_lo > self.x_hi
+    }
+
+    /// Componentwise union: the smallest TPBR containing both.
+    pub fn union(&self, other: &Tpbr) -> Tpbr {
+        Tpbr {
+            x_lo: self.x_lo.min(other.x_lo),
+            y_lo: self.y_lo.min(other.y_lo),
+            x_hi: self.x_hi.max(other.x_hi),
+            y_hi: self.y_hi.max(other.y_hi),
+            vx_lo: self.vx_lo.min(other.vx_lo),
+            vy_lo: self.vy_lo.min(other.vy_lo),
+            vx_hi: self.vx_hi.max(other.vx_hi),
+            vy_hi: self.vy_hi.max(other.vy_hi),
+        }
+    }
+
+    /// The (static) rectangle at offset `dt` past the reference time.
+    pub fn rect_at(&self, dt: f64) -> Rect {
+        debug_assert!(!self.is_empty(), "rect_at on empty TPBR");
+        Rect {
+            x_lo: self.x_lo + self.vx_lo * dt,
+            y_lo: self.y_lo + self.vy_lo * dt,
+            x_hi: self.x_hi + self.vx_hi * dt,
+            y_hi: self.y_hi + self.vy_hi * dt,
+        }
+    }
+
+    /// `true` when the box at offset `dt` intersects `r` (closed
+    /// semantics, consistent with retrieving boundary objects for the
+    /// refinement step to re-filter).
+    pub fn intersects_at(&self, dt: f64, r: &Rect) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        self.x_lo + self.vx_lo * dt <= r.x_hi
+            && r.x_lo <= self.x_hi + self.vx_hi * dt
+            && self.y_lo + self.vy_lo * dt <= r.y_hi
+            && r.y_lo <= self.y_hi + self.vy_hi * dt
+    }
+
+    /// Area of the box at offset `dt`.
+    pub fn area_at(&self, dt: f64) -> f64 {
+        let w = (self.x_hi + self.vx_hi * dt) - (self.x_lo + self.vx_lo * dt);
+        let h = (self.y_hi + self.vy_hi * dt) - (self.y_lo + self.vy_lo * dt);
+        w.max(0.0) * h.max(0.0)
+    }
+
+    /// Integral of the box area over `dt ∈ [dt0, dt1]` — the TPR-tree's
+    /// insertion and split metric. With `w(dt) = w0 + dw·dt` and
+    /// `h(dt) = h0 + dh·dt` the integrand is a quadratic with
+    /// closed-form antiderivative.
+    pub fn integral_area(&self, dt0: f64, dt1: f64) -> f64 {
+        debug_assert!(dt0 <= dt1);
+        if self.is_empty() {
+            return 0.0;
+        }
+        let w0 = self.x_hi - self.x_lo;
+        let dw = self.vx_hi - self.vx_lo;
+        let h0 = self.y_hi - self.y_lo;
+        let dh = self.vy_hi - self.vy_lo;
+        // area(dt) = (w0 + dw·dt)(h0 + dh·dt)
+        //          = w0·h0 + (w0·dh + h0·dw)·dt + dw·dh·dt²
+        let a = w0 * h0;
+        let b = w0 * dh + h0 * dw;
+        let c = dw * dh;
+        let f = |t: f64| a * t + b * t * t / 2.0 + c * t * t * t / 3.0;
+        f(dt1) - f(dt0)
+    }
+
+    /// Integral of the box margin (half-perimeter) over `[dt0, dt1]`,
+    /// used for split-axis selection.
+    pub fn integral_margin(&self, dt0: f64, dt1: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let w0 = self.x_hi - self.x_lo;
+        let dw = self.vx_hi - self.vx_lo;
+        let h0 = self.y_hi - self.y_lo;
+        let dh = self.vy_hi - self.vy_lo;
+        let f = |t: f64| (w0 + h0) * t + (dw + dh) * t * t / 2.0;
+        f(dt1) - f(dt0)
+    }
+
+    /// Integral over `[dt0, dt1]` of the overlap area with `other`,
+    /// approximated by Simpson's rule on three sample instants. The
+    /// exact overlap is piecewise quadratic; three samples are the
+    /// standard engineering compromise for split scoring.
+    pub fn integral_overlap(&self, other: &Tpbr, dt0: f64, dt1: f64) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let mid = 0.5 * (dt0 + dt1);
+        let ov = |dt: f64| self.rect_at(dt).intersection_area(&other.rect_at(dt));
+        (dt1 - dt0) * (ov(dt0) + 4.0 * ov(mid) + ov(dt1)) / 6.0
+    }
+
+    /// `true` when `other` is contained in `self` for every `dt ≥ 0`
+    /// (position bounds contain at `dt = 0` and velocity bounds
+    /// dominate). Used by tree validation.
+    pub fn contains_tpbr(&self, other: &Tpbr) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        !self.is_empty()
+            && self.x_lo <= other.x_lo
+            && self.y_lo <= other.y_lo
+            && self.x_hi >= other.x_hi
+            && self.y_hi >= other.y_hi
+            && self.vx_lo <= other.vx_lo
+            && self.vy_lo <= other.vy_lo
+            && self.vx_hi >= other.vx_hi
+            && self.vy_hi >= other.vy_hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_geometry::Point;
+
+    fn motion(x: f64, y: f64, vx: f64, vy: f64) -> MotionState {
+        MotionState::new(Point::new(x, y), Point::new(vx, vy), 10)
+    }
+
+    #[test]
+    fn from_motion_traces_exactly() {
+        let m = motion(5.0, 5.0, 1.0, -2.0);
+        let b = Tpbr::from_motion(&m, 10);
+        for dt in [0.0, 1.0, 7.5] {
+            let r = b.rect_at(dt);
+            let p = m.position_at(10) + m.velocity * dt;
+            assert!((r.x_lo - p.x).abs() < 1e-12 && (r.x_hi - p.x).abs() < 1e-12);
+            assert!((r.y_lo - p.y).abs() < 1e-12 && (r.y_hi - p.y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_motion_reanchors_backwards() {
+        let m = motion(5.0, 5.0, 1.0, 0.0); // reported at t=10
+        let b = Tpbr::from_motion(&m, 0); // tree anchored at t=0
+        // At dt=10 (absolute t=10) the box must sit at the report point.
+        let r = b.rect_at(10.0);
+        assert!((r.x_lo - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_bounds_both_forever() {
+        let a = Tpbr::from_motion(&motion(0.0, 0.0, 1.0, 0.0), 10);
+        let b = Tpbr::from_motion(&motion(10.0, 10.0, -1.0, 2.0), 10);
+        let u = a.union(&b);
+        assert!(u.contains_tpbr(&a));
+        assert!(u.contains_tpbr(&b));
+        for dt in [0.0, 3.0, 50.0] {
+            assert!(u.rect_at(dt).contains_rect(&a.rect_at(dt)));
+            assert!(u.rect_at(dt).contains_rect(&b.rect_at(dt)));
+        }
+    }
+
+    #[test]
+    fn empty_identity() {
+        let e = Tpbr::empty();
+        assert!(e.is_empty());
+        let a = Tpbr::from_motion(&motion(1.0, 2.0, 0.0, 0.0), 10);
+        assert_eq!(e.union(&a), a);
+        assert_eq!(e.integral_area(0.0, 10.0), 0.0);
+        assert!(!e.intersects_at(0.0, &Rect::new(-100.0, -100.0, 100.0, 100.0)));
+    }
+
+    #[test]
+    fn intersects_at_moving_box() {
+        // Box starts at [0,1]x[0,1] moving +1/tick in x.
+        let mut b = Tpbr::from_motion(&motion(0.0, 0.0, 1.0, 0.0), 10);
+        b = b.union(&Tpbr::from_motion(&motion(1.0, 1.0, 1.0, 0.0), 10));
+        let query = Rect::new(10.0, 0.0, 11.0, 1.0);
+        assert!(!b.intersects_at(0.0, &query));
+        assert!(b.intersects_at(9.0, &query));
+        assert!(b.intersects_at(10.0, &query));
+        assert!(!b.intersects_at(12.0, &query));
+    }
+
+    #[test]
+    fn integral_area_closed_form_matches_numeric() {
+        let mut b = Tpbr::from_motion(&motion(0.0, 0.0, -1.0, 0.5), 10);
+        b = b.union(&Tpbr::from_motion(&motion(4.0, 3.0, 2.0, 1.5), 10));
+        let (dt0, dt1) = (0.0, 8.0);
+        let n = 20_000;
+        let mut numeric = 0.0;
+        for i in 0..n {
+            let t = dt0 + (dt1 - dt0) * (i as f64 + 0.5) / n as f64;
+            numeric += b.area_at(t) * (dt1 - dt0) / n as f64;
+        }
+        let exact = b.integral_area(dt0, dt1);
+        assert!(
+            (exact - numeric).abs() < 1e-3 * numeric.max(1.0),
+            "exact {exact} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn integral_margin_grows_with_velocity_spread() {
+        let tight = Tpbr::from_motion(&motion(0.0, 0.0, 1.0, 1.0), 10)
+            .union(&Tpbr::from_motion(&motion(1.0, 1.0, 1.0, 1.0), 10));
+        let spread = Tpbr::from_motion(&motion(0.0, 0.0, -1.0, -1.0), 10)
+            .union(&Tpbr::from_motion(&motion(1.0, 1.0, 3.0, 3.0), 10));
+        assert!(spread.integral_margin(0.0, 10.0) > tight.integral_margin(0.0, 10.0));
+    }
+
+    #[test]
+    fn integral_overlap_of_disjoint_diverging_is_zero() {
+        let a = Tpbr::from_motion(&motion(0.0, 0.0, -1.0, 0.0), 10);
+        let b = Tpbr::from_motion(&motion(10.0, 0.0, 1.0, 0.0), 10);
+        assert_eq!(a.integral_overlap(&b, 0.0, 10.0), 0.0);
+    }
+}

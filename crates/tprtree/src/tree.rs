@@ -1,0 +1,872 @@
+//! The TPR-tree proper: insertion, deletion, predictive range queries.
+
+use crate::node::{ChildEntry, LeafEntry, Node, INTERNAL_CAPACITY, LEAF_CAPACITY};
+use crate::Tpbr;
+use pdr_geometry::{Point, Rect};
+use pdr_mobject::{MotionState, ObjectId, Timestamp};
+use pdr_storage::{BufferPool, Disk, IoStats, PageId};
+use std::collections::HashMap;
+
+/// Tuning parameters of a [`TprTree`].
+#[derive(Clone, Copy, Debug)]
+pub struct TprConfig {
+    /// Buffer-pool capacity in pages (the paper: 10 % of the dataset).
+    pub buffer_pages: usize,
+    /// Minimum fill ratio before a node is condensed (classic 0.4).
+    pub min_fill_ratio: f64,
+    /// Length of the time-integral window used by insertion and split
+    /// metrics — the paper's horizon `H`.
+    pub horizon: f64,
+    /// When `false`, insertion/split metrics use the bounding-box area
+    /// at the *current* instant only (a plain R*-tree on current
+    /// positions) instead of the TPR-tree's time-integrated area. Kept
+    /// as an ablation knob: it shows why integrating over the horizon
+    /// matters for predictive queries.
+    pub integral_metrics: bool,
+}
+
+impl TprConfig {
+    /// A reasonable default: 256-page buffer, 40 % min fill, H = 120,
+    /// integrated metrics on.
+    pub fn default_with_horizon(horizon: f64) -> Self {
+        TprConfig {
+            buffer_pages: 256,
+            min_fill_ratio: 0.4,
+            horizon,
+            integral_metrics: true,
+        }
+    }
+}
+
+/// A TPR-tree storing one node per 4 KiB page through an LRU buffer
+/// pool, so query I/O is measured.
+///
+/// All TPBRs are anchored at the tree's `t_ref`; queries may target any
+/// `t ≥ t_ref`. Deletion is bottom-up via an in-memory object→leaf map
+/// (the paper does not charge update I/O, see crate docs).
+///
+/// ```
+/// use pdr_tprtree::{TprConfig, TprTree};
+/// use pdr_mobject::{MotionState, ObjectId};
+/// use pdr_geometry::{Point, Rect};
+///
+/// let mut tree = TprTree::new(TprConfig::default_with_horizon(60.0), 0);
+/// // An object at (100, 100) heading east at 2 per tick.
+/// tree.insert(
+///     ObjectId(1),
+///     &MotionState::new(Point::new(100.0, 100.0), Point::new(2.0, 0.0), 0),
+///     0,
+/// );
+///
+/// // Predictive query: where will it be at t = 25? At (150, 100).
+/// let hits = tree.range_at(&Rect::new(140.0, 90.0, 160.0, 110.0), 25);
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0].1, Point::new(150.0, 100.0));
+///
+/// // I/O through the buffer pool is counted.
+/// assert!(tree.io_stats().logical_reads > 0);
+/// ```
+pub struct TprTree {
+    pool: BufferPool,
+    cfg: TprConfig,
+    root: PageId,
+    /// 1 = the root is a leaf.
+    height: u32,
+    t_ref: Timestamp,
+    parents: HashMap<PageId, PageId>,
+    leaf_of: HashMap<ObjectId, PageId>,
+    len: usize,
+}
+
+impl TprTree {
+    /// Creates an empty tree anchored at `t_ref`.
+    pub fn new(cfg: TprConfig, t_ref: Timestamp) -> Self {
+        let mut pool = BufferPool::new(Disk::new(), cfg.buffer_pages);
+        let root = pool.allocate_page();
+        pool.overwrite_page(root, |page| Node::Leaf(Vec::new()).encode(page));
+        TprTree {
+            pool,
+            cfg,
+            root,
+            height: 1,
+            t_ref,
+            parents: HashMap::new(),
+            leaf_of: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The reference timestamp all TPBRs are anchored to.
+    pub fn t_ref(&self) -> Timestamp {
+        self.t_ref
+    }
+
+    /// Accumulated buffer-pool I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the I/O counters (call before a measured query).
+    pub fn reset_io_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    /// Number of pages the tree currently occupies on the simulated
+    /// disk — the basis for sizing the buffer at 10 % of the data.
+    pub fn page_count(&self) -> usize {
+        self.pool.disk().allocated_pages()
+    }
+
+    fn min_fill(&self, leaf: bool) -> usize {
+        let cap = if leaf { LEAF_CAPACITY } else { INTERNAL_CAPACITY };
+        ((cap as f64 * self.cfg.min_fill_ratio) as usize).max(if leaf { 1 } else { 2 })
+    }
+
+    fn dt(&self, t: Timestamp) -> f64 {
+        t as f64 - self.t_ref as f64
+    }
+
+    fn read_node(&mut self, page: PageId) -> Node {
+        self.pool.read_page(page, Node::decode)
+    }
+
+    fn write_node(&mut self, page: PageId, node: &Node) {
+        self.pool.write_page(page, |bytes| node.encode(bytes));
+    }
+
+    fn write_fresh_node(&mut self, page: PageId, node: &Node) {
+        self.pool.overwrite_page(page, |bytes| node.encode(bytes));
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Inserts a motion reported at `t_now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the object is already indexed — callers must pair
+    /// updates as delete + insert, mirroring the protocol.
+    pub fn insert(&mut self, id: ObjectId, motion: &MotionState, t_now: Timestamp) {
+        assert!(
+            !self.leaf_of.contains_key(&id),
+            "object {id:?} already indexed; delete it first"
+        );
+        let p = motion.position_at(self.t_ref);
+        let entry = LeafEntry {
+            id,
+            x: p.x,
+            y: p.y,
+            vx: motion.velocity.x,
+            vy: motion.velocity.y,
+        };
+        let dt0 = self.dt(t_now).max(0.0);
+        // Instantaneous mode shrinks the integral window to a sliver:
+        // integrals over [dt0, dt0 + eps] rank exactly like the area,
+        // margin and overlap at dt0 itself.
+        let dt1 = if self.cfg.integral_metrics {
+            dt0 + self.cfg.horizon
+        } else {
+            dt0 + 1e-3
+        };
+        if let Some(sibling) = self.insert_rec(self.root, self.height, entry, dt0, dt1) {
+            self.grow_root(sibling);
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert. `level` counts down to 1 at the leaves.
+    /// Returns the entry for a new sibling when `page` split.
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        level: u32,
+        entry: LeafEntry,
+        dt0: f64,
+        dt1: f64,
+    ) -> Option<ChildEntry> {
+        let mut node = self.read_node(page);
+        if level == 1 {
+            let Node::Leaf(ref mut entries) = node else {
+                panic!("leaf level holds a non-leaf node");
+            };
+            entries.push(entry);
+            self.leaf_of.insert(entry.id, page);
+            if entries.len() <= LEAF_CAPACITY {
+                self.write_node(page, &node);
+                return None;
+            }
+            let min_fill = self.min_fill(true);
+            let all = std::mem::take(entries);
+            let (g1, g2) = split_by_metric(all, |e| e.tpbr(), min_fill, dt0, dt1);
+            let new_page = self.pool.allocate_page();
+            for e in &g2 {
+                self.leaf_of.insert(e.id, new_page);
+            }
+            let n1 = Node::Leaf(g1);
+            let n2 = Node::Leaf(g2);
+            let sib = ChildEntry {
+                page: new_page,
+                tpbr: n2.bounding_tpbr(),
+            };
+            self.write_node(page, &n1);
+            self.write_fresh_node(new_page, &n2);
+            return Some(sib);
+        }
+
+        let Node::Internal(ref mut entries) = node else {
+            panic!("internal level holds a leaf node");
+        };
+        let idx = choose_subtree(entries, &entry.tpbr(), dt0, dt1);
+        let child_page = entries[idx].page;
+        let split = self.insert_rec(child_page, level - 1, entry, dt0, dt1);
+        // Re-read the child to tighten/refresh its TPBR after the
+        // insert (and possible split) rewrote it.
+        let child_node = self.read_node(child_page);
+        // `node` may be stale if the recursion touched this page; with
+        // one node per page and strictly descending recursion it cannot,
+        // so updating the in-memory copy is safe.
+        let Node::Internal(ref mut entries) = node else {
+            unreachable!()
+        };
+        entries[idx].tpbr = child_node.bounding_tpbr();
+        if let Some(sib) = split {
+            self.parents.insert(sib.page, page);
+            entries.push(sib);
+            if entries.len() > INTERNAL_CAPACITY {
+                let min_fill = self.min_fill(false);
+                let all = std::mem::take(entries);
+                let (g1, g2) = split_by_metric(all, |e| e.tpbr, min_fill, dt0, dt1);
+                let new_page = self.pool.allocate_page();
+                for e in &g2 {
+                    self.parents.insert(e.page, new_page);
+                }
+                let n1 = Node::Internal(g1);
+                let n2 = Node::Internal(g2);
+                let sib_entry = ChildEntry {
+                    page: new_page,
+                    tpbr: n2.bounding_tpbr(),
+                };
+                self.write_node(page, &n1);
+                self.write_fresh_node(new_page, &n2);
+                return Some(sib_entry);
+            }
+        }
+        self.write_node(page, &node);
+        None
+    }
+
+    fn grow_root(&mut self, sibling: ChildEntry) {
+        let old_root = self.root;
+        let old_node = self.read_node(old_root);
+        let new_root = self.pool.allocate_page();
+        let root_node = Node::Internal(vec![
+            ChildEntry {
+                page: old_root,
+                tpbr: old_node.bounding_tpbr(),
+            },
+            sibling,
+        ]);
+        self.write_fresh_node(new_root, &root_node);
+        self.parents.insert(old_root, new_root);
+        self.parents.insert(sibling.page, new_root);
+        self.root = new_root;
+        self.height += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Removes an object; returns `false` when it was not indexed.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        let Some(leaf_page) = self.leaf_of.remove(&id) else {
+            return false;
+        };
+        let mut node = self.read_node(leaf_page);
+        let Node::Leaf(ref mut entries) = node else {
+            panic!("leaf_of points to a non-leaf page");
+        };
+        let pos = entries
+            .iter()
+            .position(|e| e.id == id)
+            .expect("leaf_of desynchronized: object missing from its leaf");
+        entries.remove(pos);
+        self.len -= 1;
+        let underflow = entries.len() < self.min_fill(true) && leaf_page != self.root;
+        self.write_node(leaf_page, &node);
+        if underflow {
+            self.condense(leaf_page);
+        } else {
+            self.tighten_upwards(leaf_page);
+        }
+        true
+    }
+
+    /// Re-reports an object's motion: delete + insert, as the protocol
+    /// prescribes.
+    pub fn update(&mut self, id: ObjectId, motion: &MotionState, t_now: Timestamp) {
+        let existed = self.remove(id);
+        debug_assert!(existed, "update of unindexed object {id:?}");
+        self.insert(id, motion, t_now);
+    }
+
+    /// Recomputes bounding TPBRs from `page` up to the root.
+    fn tighten_upwards(&mut self, mut page: PageId) {
+        while let Some(&parent) = self.parents.get(&page) {
+            let child_tpbr = self.read_node(page).bounding_tpbr();
+            let mut pnode = self.read_node(parent);
+            let Node::Internal(ref mut entries) = pnode else {
+                panic!("parent is not internal");
+            };
+            let e = entries
+                .iter_mut()
+                .find(|e| e.page == page)
+                .expect("parent map desynchronized");
+            if e.tpbr == child_tpbr {
+                return; // already tight; ancestors unchanged too
+            }
+            e.tpbr = child_tpbr;
+            self.write_node(parent, &pnode);
+            page = parent;
+        }
+    }
+
+    /// Classic R-tree CondenseTree: the underflowed node is unlinked and
+    /// its remaining motions reinserted; underflow may cascade upward.
+    fn condense(&mut self, first_underflow: PageId) {
+        let mut orphans: Vec<LeafEntry> = Vec::new();
+        let mut page = first_underflow;
+        // Walk upward until the root or a node that no longer underflows.
+        while let Some(parent) = self.parents.get(&page).copied() {
+            let node = self.read_node(page);
+            let underflow = node.len() < self.min_fill(node.is_leaf());
+            if !underflow {
+                self.tighten_upwards(page);
+                break;
+            }
+            // Unlink from parent.
+            let mut pnode = self.read_node(parent);
+            let Node::Internal(ref mut pentries) = pnode else {
+                panic!("parent is not internal");
+            };
+            let pos = pentries
+                .iter()
+                .position(|e| e.page == page)
+                .expect("parent map desynchronized");
+            pentries.remove(pos);
+            self.write_node(parent, &pnode);
+            // Collect all descendant motions and free the subtree.
+            self.collect_subtree(page, &mut orphans);
+            page = parent;
+        }
+        self.shrink_root();
+        // Reinsert orphans. Reinsertion may split and grow the tree
+        // again; each orphan already carries tree-anchored coordinates.
+        let dt0 = 0.0;
+        let dt1 = self.cfg.horizon;
+        for e in orphans {
+            self.leaf_of.remove(&e.id);
+            if let Some(sib) = self.insert_rec(self.root, self.height, e, dt0, dt1) {
+                self.grow_root(sib);
+            }
+        }
+        self.shrink_root();
+    }
+
+    /// Frees `page` and its whole subtree, collecting every leaf entry.
+    fn collect_subtree(&mut self, page: PageId, out: &mut Vec<LeafEntry>) {
+        let node = self.read_node(page);
+        match node {
+            Node::Leaf(entries) => {
+                for e in &entries {
+                    self.leaf_of.remove(&e.id);
+                }
+                out.extend(entries);
+            }
+            Node::Internal(entries) => {
+                for e in entries {
+                    self.collect_subtree(e.page, out);
+                }
+            }
+        }
+        self.parents.remove(&page);
+        self.pool.free_page(page);
+    }
+
+    /// While the root is internal with a single child, hoist the child.
+    fn shrink_root(&mut self) {
+        loop {
+            let node = self.read_node(self.root);
+            match node {
+                Node::Internal(entries) if entries.len() == 1 => {
+                    let child = entries[0].page;
+                    self.parents.remove(&child);
+                    self.pool.free_page(self.root);
+                    self.root = child;
+                    self.height -= 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Predictive range query: all objects whose extrapolated position
+    /// at timestamp `t` lies in `rect` (closed semantics). I/O flows
+    /// through the buffer pool and is visible in
+    /// [`io_stats`](TprTree::io_stats).
+    pub fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+        let dt = self.dt(t);
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, self.height)];
+        while let Some((page, level)) = stack.pop() {
+            match self.read_node(page) {
+                Node::Leaf(entries) => {
+                    debug_assert_eq!(level, 1);
+                    for e in entries {
+                        let p = e.position_at(dt);
+                        if rect.contains(p) {
+                            out.push((e.id, p));
+                        }
+                    }
+                }
+                Node::Internal(entries) => {
+                    for e in entries {
+                        if e.tpbr.intersects_at(dt, rect) {
+                            stack.push((e.page, level - 1));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Extrapolated position of one object at `t`, if indexed.
+    pub fn position_of(&mut self, id: ObjectId, t: Timestamp) -> Option<Point> {
+        let leaf = *self.leaf_of.get(&id)?;
+        let dt = self.dt(t);
+        match self.read_node(leaf) {
+            Node::Leaf(entries) => entries
+                .iter()
+                .find(|e| e.id == id)
+                .map(|e| e.position_at(dt)),
+            _ => panic!("leaf_of points to a non-leaf page"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk-load plumbing (used by `bulk.rs`)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn bulk_dt_mid(&self) -> f64 {
+        self.cfg.horizon / 2.0
+    }
+
+    pub(crate) fn bulk_alloc_page(&mut self) -> PageId {
+        self.pool.allocate_page()
+    }
+
+    pub(crate) fn bulk_free_page(&mut self, page: PageId) {
+        self.pool.free_page(page);
+    }
+
+    pub(crate) fn bulk_write_node(&mut self, page: PageId, node: &Node) {
+        self.write_fresh_node(page, node);
+    }
+
+    pub(crate) fn bulk_set_leaf_of(&mut self, id: ObjectId, page: PageId) -> Option<PageId> {
+        self.leaf_of.insert(id, page)
+    }
+
+    pub(crate) fn bulk_set_parent(&mut self, child: PageId, parent: PageId) {
+        self.parents.insert(child, parent);
+    }
+
+    /// Hands the pre-existing empty root page to the bulk loader so it
+    /// can be recycled.
+    pub(crate) fn bulk_take_root(&mut self) -> PageId {
+        self.root
+    }
+
+    pub(crate) fn bulk_finish(&mut self, root: PageId, height: u32, len: usize) {
+        self.root = root;
+        self.height = height;
+        self.len = len;
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (tests/diagnostics)
+    // ------------------------------------------------------------------
+
+    /// Exhaustively checks structural invariants; panics on violation.
+    /// O(n) — intended for tests.
+    pub fn validate(&mut self) {
+        let root = self.root;
+        let height = self.height;
+        let count = self.validate_rec(root, height, None);
+        assert_eq!(count, self.len, "entry count mismatch");
+        assert_eq!(self.leaf_of.len(), self.len, "leaf_of size mismatch");
+    }
+
+    fn validate_rec(&mut self, page: PageId, level: u32, expected_parent: Option<PageId>) -> usize {
+        if let Some(p) = expected_parent {
+            assert_eq!(
+                self.parents.get(&page).copied(),
+                Some(p),
+                "parent map wrong for {page:?}"
+            );
+        }
+        match self.read_node(page) {
+            Node::Leaf(entries) => {
+                assert_eq!(level, 1, "leaf at wrong level");
+                for e in &entries {
+                    assert_eq!(
+                        self.leaf_of.get(&e.id).copied(),
+                        Some(page),
+                        "leaf_of wrong for {:?}",
+                        e.id
+                    );
+                }
+                entries.len()
+            }
+            Node::Internal(entries) => {
+                assert!(level > 1, "internal node at leaf level");
+                assert!(!entries.is_empty(), "empty internal node");
+                let mut total = 0;
+                for e in entries {
+                    let child = self.read_node(e.page);
+                    assert!(
+                        e.tpbr.contains_tpbr(&child.bounding_tpbr()),
+                        "parent TPBR does not bound child {:?}",
+                        e.page
+                    );
+                    total += self.validate_rec(e.page, level - 1, Some(page));
+                }
+                total
+            }
+        }
+    }
+}
+
+/// Picks the child whose TPBR needs the least integrated-area
+/// enlargement to absorb `t` (ties: smaller integrated area) — the
+/// TPR-tree analogue of the R-tree ChooseSubtree.
+fn choose_subtree(entries: &[ChildEntry], t: &Tpbr, dt0: f64, dt1: f64) -> usize {
+    debug_assert!(!entries.is_empty());
+    let mut best = 0;
+    let mut best_enlarge = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, e) in entries.iter().enumerate() {
+        let area = e.tpbr.integral_area(dt0, dt1);
+        let enlarged = e.tpbr.union(t).integral_area(dt0, dt1) - area;
+        if enlarged < best_enlarge || (enlarged == best_enlarge && area < best_area) {
+            best = i;
+            best_enlarge = enlarged;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// R*-style topological split with time-integrated metrics: the axis
+/// with the smallest total margin integral wins; within it, the
+/// distribution with the smallest overlap integral (ties: smallest area
+/// integral).
+fn split_by_metric<T: Clone>(
+    mut entries: Vec<T>,
+    tpbr_of: impl Fn(&T) -> Tpbr,
+    min_fill: usize,
+    dt0: f64,
+    dt1: f64,
+) -> (Vec<T>, Vec<T>) {
+    let n = entries.len();
+    debug_assert!(n >= 2 * min_fill, "cannot split {n} entries with min fill {min_fill}");
+    let dt_mid = 0.5 * (dt0 + dt1);
+
+    let score_axis = |sorted: &[T]| -> (f64, usize) {
+        // Prefix/suffix TPBR unions.
+        let mut prefix = Vec::with_capacity(n);
+        let mut acc = Tpbr::empty();
+        for e in sorted {
+            acc = acc.union(&tpbr_of(e));
+            prefix.push(acc);
+        }
+        let mut suffix = vec![Tpbr::empty(); n];
+        let mut acc = Tpbr::empty();
+        for i in (0..n).rev() {
+            acc = acc.union(&tpbr_of(&sorted[i]));
+            suffix[i] = acc;
+        }
+        let mut margin_sum = 0.0;
+        let mut best_k = min_fill;
+        let mut best_overlap = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for k in min_fill..=(n - min_fill) {
+            let g1 = &prefix[k - 1];
+            let g2 = &suffix[k];
+            margin_sum += g1.integral_margin(dt0, dt1) + g2.integral_margin(dt0, dt1);
+            let overlap = g1.integral_overlap(g2, dt0, dt1);
+            let area = g1.integral_area(dt0, dt1) + g2.integral_area(dt0, dt1);
+            if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
+                best_overlap = overlap;
+                best_area = area;
+                best_k = k;
+            }
+        }
+        (margin_sum, best_k)
+    };
+
+    // Axis X.
+    entries.sort_by(|a, b| {
+        let ra = tpbr_of(a).rect_at(dt_mid);
+        let rb = tpbr_of(b).rect_at(dt_mid);
+        (ra.x_lo + ra.x_hi).total_cmp(&(rb.x_lo + rb.x_hi))
+    });
+    let (margin_x, k_x) = score_axis(&entries);
+    let sorted_x = entries.clone();
+
+    // Axis Y.
+    entries.sort_by(|a, b| {
+        let ra = tpbr_of(a).rect_at(dt_mid);
+        let rb = tpbr_of(b).rect_at(dt_mid);
+        (ra.y_lo + ra.y_hi).total_cmp(&(rb.y_lo + rb.y_hi))
+    });
+    let (margin_y, k_y) = score_axis(&entries);
+
+    let (mut chosen, k) = if margin_x <= margin_y {
+        (sorted_x, k_x)
+    } else {
+        (entries, k_y)
+    };
+    let g2 = chosen.split_off(k);
+    (chosen, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn motion(x: f64, y: f64, vx: f64, vy: f64, t: Timestamp) -> MotionState {
+        MotionState::new(Point::new(x, y), Point::new(vx, vy), t)
+    }
+
+    fn tree() -> TprTree {
+        TprTree::new(
+            TprConfig {
+                buffer_pages: 64,
+                min_fill_ratio: 0.4,
+                horizon: 10.0,
+                integral_metrics: true,
+            },
+            0,
+        )
+    }
+
+    /// Deterministic LCG for reproducible pseudo-random motions.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.0 >> 33) as f64 / (1u64 << 31) as f64
+        }
+    }
+
+    fn random_motions(n: usize, seed: u64) -> Vec<(ObjectId, MotionState)> {
+        let mut rng = Lcg(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    ObjectId(i as u64),
+                    motion(
+                        rng.next_f64() * 1000.0,
+                        rng.next_f64() * 1000.0,
+                        rng.next_f64() * 4.0 - 2.0,
+                        rng.next_f64() * 4.0 - 2.0,
+                        0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn brute_force_range(
+        motions: &[(ObjectId, MotionState)],
+        rect: &Rect,
+        t: Timestamp,
+    ) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = motions
+            .iter()
+            .filter(|(_, m)| rect.contains(m.position_at(t)))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries_cleanly() {
+        let mut t = tree();
+        assert!(t.is_empty());
+        assert!(t.range_at(&Rect::new(0.0, 0.0, 1000.0, 1000.0), 5).is_empty());
+        assert!(!t.remove(ObjectId(1)));
+        t.validate();
+    }
+
+    #[test]
+    fn single_insert_and_query() {
+        let mut t = tree();
+        let m = motion(10.0, 10.0, 1.0, 0.0, 0);
+        t.insert(ObjectId(1), &m, 0);
+        assert_eq!(t.len(), 1);
+        // At t=5 the object is at (15, 10).
+        let hits = t.range_at(&Rect::new(14.0, 9.0, 16.0, 11.0), 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, ObjectId(1));
+        assert!((hits[0].1.x - 15.0).abs() < 1e-12);
+        // A region it has left is empty.
+        assert!(t.range_at(&Rect::new(9.0, 9.0, 11.0, 11.0), 5).is_empty());
+        t.validate();
+    }
+
+    #[test]
+    fn thousand_objects_match_brute_force() {
+        let motions = random_motions(1000, 42);
+        let mut t = tree();
+        for (id, m) in &motions {
+            t.insert(*id, m, 0);
+        }
+        t.validate();
+        assert!(t.height() >= 2, "1000 objects should overflow one leaf");
+        for (qt, rect) in [
+            (0u64, Rect::new(100.0, 100.0, 300.0, 300.0)),
+            (5, Rect::new(0.0, 0.0, 50.0, 1000.0)),
+            (10, Rect::new(500.0, 500.0, 510.0, 510.0)),
+        ] {
+            let mut got: Vec<ObjectId> =
+                t.range_at(&rect, qt).into_iter().map(|(id, _)| id).collect();
+            got.sort();
+            assert_eq!(got, brute_force_range(&motions, &rect, qt), "t={qt}");
+        }
+    }
+
+    #[test]
+    fn deletions_then_queries_match_brute_force() {
+        let motions = random_motions(600, 7);
+        let mut t = tree();
+        for (id, m) in &motions {
+            t.insert(*id, m, 0);
+        }
+        // Remove every third object.
+        let mut remaining = Vec::new();
+        for (i, (id, m)) in motions.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(t.remove(*id));
+            } else {
+                remaining.push((*id, *m));
+            }
+        }
+        t.validate();
+        assert_eq!(t.len(), remaining.len());
+        let rect = Rect::new(200.0, 200.0, 700.0, 700.0);
+        let mut got: Vec<ObjectId> = t.range_at(&rect, 8).into_iter().map(|(id, _)| id).collect();
+        got.sort();
+        assert_eq!(got, brute_force_range(&remaining, &rect, 8));
+    }
+
+    #[test]
+    fn updates_relocate_objects() {
+        let motions = random_motions(300, 99);
+        let mut t = tree();
+        for (id, m) in &motions {
+            t.insert(*id, m, 0);
+        }
+        // Everyone re-reports from a tight cluster at t=4.
+        for (id, _) in &motions {
+            t.update(*id, &motion(500.0, 500.0, 0.0, 0.0, 4), 4);
+        }
+        t.validate();
+        let hits = t.range_at(&Rect::new(499.0, 499.0, 501.0, 501.0), 6);
+        assert_eq!(hits.len(), 300);
+    }
+
+    #[test]
+    fn drain_to_empty() {
+        let motions = random_motions(400, 5);
+        let mut t = tree();
+        for (id, m) in &motions {
+            t.insert(*id, m, 0);
+        }
+        for (id, _) in &motions {
+            assert!(t.remove(*id));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.validate();
+        // Tree remains usable.
+        t.insert(ObjectId(9999), &motion(1.0, 1.0, 0.0, 0.0, 10), 10);
+        assert_eq!(t.len(), 1);
+        t.validate();
+    }
+
+    #[test]
+    fn query_io_is_counted() {
+        let motions = random_motions(2000, 13);
+        let mut t = TprTree::new(
+            TprConfig {
+                buffer_pages: 4, // tiny buffer to force misses
+                min_fill_ratio: 0.4,
+                horizon: 10.0,
+                integral_metrics: true,
+            },
+            0,
+        );
+        for (id, m) in &motions {
+            t.insert(*id, m, 0);
+        }
+        t.reset_io_stats();
+        let _ = t.range_at(&Rect::new(0.0, 0.0, 1000.0, 1000.0), 0);
+        let stats = t.io_stats();
+        assert!(stats.misses > 0, "full scan through a tiny pool must miss");
+        assert!(stats.logical_reads >= stats.misses);
+    }
+
+    #[test]
+    fn double_insert_panics() {
+        let mut t = tree();
+        t.insert(ObjectId(1), &motion(0.0, 0.0, 0.0, 0.0, 0), 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.insert(ObjectId(1), &motion(1.0, 1.0, 0.0, 0.0, 0), 0)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn position_of_extrapolates() {
+        let mut t = tree();
+        t.insert(ObjectId(3), &motion(2.0, 2.0, 1.0, 1.0, 0), 0);
+        let p = t.position_of(ObjectId(3), 4).unwrap();
+        assert_eq!(p, Point::new(6.0, 6.0));
+        assert!(t.position_of(ObjectId(4), 4).is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Structural stress tests for the TPR-tree through its public API.
+
+use pdr_geometry::{Point, Rect};
+use pdr_mobject::{MotionState, ObjectId};
+use pdr_tprtree::{Node, Tpbr, TprConfig, TprTree, LEAF_CAPACITY};
+
+fn tree(buffer_pages: usize) -> TprTree {
+    TprTree::new(
+        TprConfig {
+            buffer_pages,
+            min_fill_ratio: 0.4,
+            horizon: 20.0,
+            integral_metrics: true,
+        },
+        0,
+    )
+}
+
+fn motion(x: f64, y: f64, vx: f64, vy: f64) -> MotionState {
+    MotionState::new(Point::new(x, y), Point::new(vx, vy), 0)
+}
+
+#[test]
+fn split_exactly_at_capacity_boundary() {
+    let mut t = tree(32);
+    // Fill one leaf to capacity: height stays 1.
+    for i in 0..LEAF_CAPACITY {
+        t.insert(ObjectId(i as u64), &motion(i as f64, 0.0, 0.0, 0.0), 0);
+    }
+    assert_eq!(t.height(), 1);
+    t.validate();
+    // One more: split, height 2, both children within invariants.
+    t.insert(ObjectId(9999), &motion(500.0, 0.0, 0.0, 0.0), 0);
+    assert_eq!(t.height(), 2);
+    t.validate();
+    assert_eq!(t.len(), LEAF_CAPACITY + 1);
+}
+
+#[test]
+fn query_disjoint_from_everything_reads_only_the_root() {
+    let mut t = tree(64);
+    for i in 0..500 {
+        t.insert(
+            ObjectId(i),
+            &motion((i % 100) as f64, (i / 100) as f64, 0.0, 0.0),
+            0,
+        );
+    }
+    t.reset_io_stats();
+    let hits = t.range_at(&Rect::new(5000.0, 5000.0, 6000.0, 6000.0), 0);
+    assert!(hits.is_empty());
+    assert_eq!(
+        t.io_stats().logical_reads,
+        1,
+        "a fully disjoint query must prune at the root"
+    );
+}
+
+#[test]
+fn backward_anchored_motions_query_correctly() {
+    // Motions reported later than the tree anchor (t_ref = 0): backward
+    // extrapolation must keep queries exact at all timestamps >= report.
+    let mut t = tree(32);
+    let m = MotionState::new(Point::new(100.0, 100.0), Point::new(-1.0, 0.0), 10);
+    t.insert(ObjectId(1), &m, 10);
+    // At t = 15 the object is at (95, 100).
+    let hits = t.range_at(&Rect::new(94.0, 99.0, 96.0, 101.0), 15);
+    assert_eq!(hits.len(), 1);
+    assert!((hits[0].1.x - 95.0).abs() < 1e-9);
+}
+
+#[test]
+fn alternating_insert_delete_churn_keeps_invariants() {
+    let mut t = tree(48);
+    let mut live: Vec<ObjectId> = Vec::new();
+    let mut seed = 2u64;
+    let mut rng = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for round in 0..2000u64 {
+        if round % 3 == 2 && !live.is_empty() {
+            // Delete a pseudo-random live object.
+            let idx = (rng() * live.len() as f64) as usize % live.len();
+            let victim = live.swap_remove(idx);
+            assert!(t.remove(victim));
+        } else {
+            let id = ObjectId(round);
+            t.insert(
+                id,
+                &motion(rng() * 1000.0, rng() * 1000.0, rng() * 4.0 - 2.0, rng() * 4.0 - 2.0),
+                0,
+            );
+            live.push(id);
+        }
+        if round % 500 == 499 {
+            t.validate();
+        }
+    }
+    assert_eq!(t.len(), live.len());
+    t.validate();
+}
+
+#[test]
+fn tpbr_contains_is_reflexive_and_antisymmetric_enough() {
+    let a = Tpbr {
+        x_lo: 0.0,
+        y_lo: 0.0,
+        x_hi: 10.0,
+        y_hi: 10.0,
+        vx_lo: -1.0,
+        vy_lo: -1.0,
+        vx_hi: 1.0,
+        vy_hi: 1.0,
+    };
+    assert!(a.contains_tpbr(&a));
+    let tighter = Tpbr {
+        x_lo: 2.0,
+        y_lo: 2.0,
+        x_hi: 8.0,
+        y_hi: 8.0,
+        vx_lo: -0.5,
+        vy_lo: -0.5,
+        vx_hi: 0.5,
+        vy_hi: 0.5,
+    };
+    assert!(a.contains_tpbr(&tighter));
+    assert!(!tighter.contains_tpbr(&a));
+    // Everything contains the empty TPBR.
+    assert!(tighter.contains_tpbr(&Tpbr::empty()));
+}
+
+#[test]
+fn empty_node_has_empty_bound() {
+    assert!(Node::Leaf(Vec::new()).bounding_tpbr().is_empty());
+    assert!(Node::Internal(Vec::new()).bounding_tpbr().is_empty());
+}
+
+#[test]
+fn bulk_load_full_fill_ratio() {
+    // fill_ratio = 1.0 packs leaves completely and still queries right.
+    let motions: Vec<(ObjectId, MotionState)> = (0..1000)
+        .map(|i| {
+            (
+                ObjectId(i as u64),
+                motion((i % 50) as f64 * 20.0, (i / 50) as f64 * 50.0, 0.0, 0.0),
+            )
+        })
+        .collect();
+    let mut t = tree(64);
+    t.bulk_load(&motions, 1.0);
+    t.validate();
+    let hits = t.range_at(&Rect::new(0.0, 0.0, 1000.0, 1000.0), 0);
+    assert_eq!(hits.len(), 1000);
+}

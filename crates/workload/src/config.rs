@@ -1,0 +1,216 @@
+//! The experimental setup of Table 1.
+//!
+//! Values lost to the OCR of the source text were reconstructed from
+//! internal evidence (see DESIGN.md): `ρ = N·ϱ/10⁶` is stated outright;
+//! `U = W = 60` follows the effective-density-query setup the paper
+//! says it mirrors; the dataset names fix 40K/100K/500K.
+
+/// The full parameter table of the evaluation (Section 7, Table 1).
+/// Defaults mirror the paper's bold values.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Buffer size as a fraction of the dataset size.
+    pub buffer_fraction: f64,
+    /// Random disk access time in milliseconds.
+    pub random_io_ms: f64,
+    /// Maximum update interval `U` (timestamps).
+    pub max_update_time: u64,
+    /// Prediction window length `W` (timestamps).
+    pub prediction_window: u64,
+    /// Edge lengths `l` of the query square (miles).
+    pub edge_lengths: Vec<f64>,
+    /// Dataset sizes (number of objects).
+    pub object_counts: Vec<usize>,
+    /// Relative density thresholds ϱ.
+    pub relative_thresholds: Vec<f64>,
+    /// Polynomial grid sizes `g²` (number of polynomials).
+    pub polynomial_counts: Vec<u32>,
+    /// Polynomial degrees `k`.
+    pub polynomial_degrees: Vec<usize>,
+    /// Density-histogram cell counts `m²`.
+    pub histogram_cells: Vec<u32>,
+    /// Evaluation grid `m_d` per side for PA.
+    pub evaluation_grid: u32,
+    /// Side length of the plane (miles).
+    pub extent: f64,
+    /// Default dataset index into `object_counts`.
+    pub default_dataset: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            page_size: 4096,
+            buffer_fraction: 0.10,
+            random_io_ms: 10.0,
+            max_update_time: 60,
+            prediction_window: 60,
+            edge_lengths: vec![30.0, 60.0],
+            object_counts: vec![40_000, 100_000, 500_000],
+            relative_thresholds: vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            polynomial_counts: vec![400, 1600],
+            polynomial_degrees: vec![3, 4, 5],
+            histogram_cells: vec![10_000, 40_000, 62_500],
+            evaluation_grid: 1024,
+            extent: 1000.0,
+            default_dataset: 1,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The horizon `H = U + W`.
+    pub fn horizon(&self) -> u64 {
+        self.max_update_time + self.prediction_window
+    }
+
+    /// Default number of objects (CH100K).
+    pub fn default_objects(&self) -> usize {
+        self.object_counts[self.default_dataset]
+    }
+
+    /// Absolute threshold for a relative ϱ on `n` objects:
+    /// `ρ = n·ϱ / extent²`.
+    pub fn rho(&self, varrho: f64, n: usize) -> f64 {
+        n as f64 * varrho / (self.extent * self.extent)
+    }
+
+    /// Buffer pages for a dataset of `n` objects, sized at
+    /// `buffer_fraction` of the raw data (40-byte motion records).
+    pub fn buffer_pages(&self, n: usize) -> usize {
+        let data_bytes = n * 40;
+        ((data_bytes as f64 * self.buffer_fraction) / self.page_size as f64).ceil() as usize
+    }
+
+    /// Renders the setup as the paper's Table 1 (defaults in brackets).
+    pub fn render_table(&self) -> String {
+        let join = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let joinu = |v: &[u32]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut s = String::new();
+        s.push_str("Parameter                                | Value\n");
+        s.push_str("-----------------------------------------+---------------------------\n");
+        s.push_str(&format!(
+            "Page size                                | {} KiB\n",
+            self.page_size / 1024
+        ));
+        s.push_str(&format!(
+            "Buffer size                              | {:.0}% of dataset size\n",
+            self.buffer_fraction * 100.0
+        ));
+        s.push_str(&format!(
+            "Random disk access time                  | {} ms\n",
+            self.random_io_ms
+        ));
+        s.push_str(&format!(
+            "Maximum update interval (U)              | {}\n",
+            self.max_update_time
+        ));
+        s.push_str(&format!(
+            "Prediction window length (W)             | {}\n",
+            self.prediction_window
+        ));
+        s.push_str(&format!(
+            "Edge length of l-square (l)              | [{}], {}\n",
+            self.edge_lengths[0],
+            join(&self.edge_lengths[1..])
+        ));
+        s.push_str(&format!(
+            "Number of objects                        | {}\n",
+            self.object_counts
+                .iter()
+                .enumerate()
+                .map(|(i, n)| if i == self.default_dataset {
+                    format!("[{n}]")
+                } else {
+                    format!("{n}")
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!(
+            "Relative density threshold (varrho)      | {}\n",
+            join(&self.relative_thresholds)
+        ));
+        s.push_str(&format!(
+            "Num. of polynomials (g x g)              | [{}], {}\n",
+            self.polynomial_counts[0],
+            joinu(&self.polynomial_counts[1..])
+        ));
+        s.push_str(&format!(
+            "Degree of polynomial (k)                 | {}, [{}]\n",
+            joinu(
+                &self.polynomial_degrees[..self.polynomial_degrees.len() - 1]
+                    .iter()
+                    .map(|&d| d as u32)
+                    .collect::<Vec<_>>()
+            ),
+            self.polynomial_degrees[self.polynomial_degrees.len() - 1]
+        ));
+        s.push_str(&format!(
+            "Num. of cells in DH (m x m)              | [{}], {}\n",
+            self.histogram_cells[0],
+            joinu(&self.histogram_cells[1..])
+        ));
+        s.push_str(&format!(
+            "Grid for polynomial evaluation (m_d)     | {} x {}\n",
+            self.evaluation_grid, self.evaluation_grid
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.horizon(), 120);
+        assert_eq!(c.default_objects(), 100_000);
+        // rho for CH500K spans 0.5..2.5.
+        assert!((c.rho(1.0, 500_000) - 0.5).abs() < 1e-12);
+        assert!((c.rho(5.0, 500_000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_sizing() {
+        let c = ExperimentConfig::default();
+        // 100K objects x 40 B = 4 MB; 10% = 400 KiB ~ 98 pages.
+        let pages = c.buffer_pages(100_000);
+        assert!((90..=110).contains(&pages), "pages = {pages}");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = ExperimentConfig::default().render_table();
+        for needle in [
+            "Page size",
+            "Buffer size",
+            "Random disk access",
+            "Maximum update interval",
+            "Prediction window",
+            "Edge length",
+            "Number of objects",
+            "Relative density threshold",
+            "polynomials",
+            "Degree",
+            "cells in DH",
+            "polynomial evaluation",
+        ] {
+            assert!(t.contains(needle), "missing row {needle}\n{t}");
+        }
+    }
+}

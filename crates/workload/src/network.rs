@@ -1,0 +1,313 @@
+//! Synthetic hot-spot road networks.
+
+use pdr_geometry::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic network generator.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Side length of the covered square region.
+    pub extent: f64,
+    /// Number of intersection nodes.
+    pub nodes: usize,
+    /// Number of Gaussian hot-spots (the first is the "downtown" core
+    /// with the largest weight).
+    pub hotspots: usize,
+    /// Standard deviation of node placement around a hot-spot, as a
+    /// fraction of the extent.
+    pub spread: f64,
+    /// Fraction of nodes placed uniformly (rural background).
+    pub background: f64,
+    /// Edges per node (each node connects to its nearest neighbors).
+    pub degree: usize,
+}
+
+impl NetworkConfig {
+    /// A metro-like default on the paper's 1000-mile plane: 4000
+    /// intersections, a dominant core plus 7 satellites, 15 % rural.
+    pub fn metro(extent: f64) -> Self {
+        NetworkConfig {
+            extent,
+            nodes: 4000,
+            hotspots: 8,
+            spread: 0.045,
+            background: 0.15,
+            degree: 3,
+        }
+    }
+}
+
+/// An undirected road network: intersection positions plus adjacency.
+///
+/// The generator guarantees every node has at least one neighbor, so a
+/// simulated vehicle can always pick a next edge.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    extent: f64,
+    nodes: Vec<Point>,
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl RoadNetwork {
+    /// Generates a network deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 2 nodes or zero hot-spots.
+    pub fn generate(cfg: &NetworkConfig, seed: u64) -> Self {
+        assert!(cfg.nodes >= 2, "a network needs at least 2 nodes");
+        assert!(cfg.hotspots >= 1, "at least one hot-spot required");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Hot-spot centers: the core near the middle, satellites spread.
+        let mut centers = Vec::with_capacity(cfg.hotspots);
+        let mut weights = Vec::with_capacity(cfg.hotspots);
+        for i in 0..cfg.hotspots {
+            let c = if i == 0 {
+                Point::new(
+                    cfg.extent * rng.random_range(0.4..0.6),
+                    cfg.extent * rng.random_range(0.4..0.6),
+                )
+            } else {
+                Point::new(
+                    cfg.extent * rng.random_range(0.1..0.9),
+                    cfg.extent * rng.random_range(0.1..0.9),
+                )
+            };
+            centers.push(c);
+            // Core weight dominates; satellites fall off.
+            weights.push(if i == 0 { 4.0 } else { 1.0 });
+        }
+        let weight_sum: f64 = weights.iter().sum();
+
+        // Sample node positions.
+        let bounds = Rect::new(0.0, 0.0, cfg.extent, cfg.extent);
+        let sigma = cfg.spread * cfg.extent;
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        while nodes.len() < cfg.nodes {
+            let p = if rng.random_range(0.0..1.0) < cfg.background {
+                Point::new(
+                    rng.random_range(0.0..cfg.extent),
+                    rng.random_range(0.0..cfg.extent),
+                )
+            } else {
+                // Pick a hot-spot by weight; place around it.
+                let mut pick = rng.random_range(0.0..weight_sum);
+                let mut idx = 0;
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        idx = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let c = centers[idx];
+                Point::new(c.x + gauss(&mut rng) * sigma, c.y + gauss(&mut rng) * sigma)
+            };
+            if bounds.contains(p) {
+                nodes.push(p);
+            }
+        }
+
+        // k-nearest-neighbor edges via a uniform bucket grid.
+        let adjacency = knn_edges(&nodes, cfg.degree.max(1), cfg.extent);
+        RoadNetwork {
+            extent: cfg.extent,
+            nodes,
+            adjacency,
+        }
+    }
+
+    /// Side length of the covered region.
+    pub fn extent(&self) -> f64 {
+        self.extent
+    }
+
+    /// Number of intersections.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, node: u32) -> Point {
+        self.nodes[node as usize]
+    }
+
+    /// Neighbors of a node (never empty).
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        &self.adjacency[node as usize]
+    }
+
+    /// A uniformly random node id.
+    pub fn random_node(&self, rng: &mut StdRng) -> u32 {
+        rng.random_range(0..self.nodes.len() as u32)
+    }
+
+    /// A random node biased toward dense areas: sample two, keep the
+    /// one with more neighbors within `radius`. Cheap proxy for
+    /// population-weighted trip origins.
+    pub fn random_busy_node(&self, rng: &mut StdRng, radius: f64) -> u32 {
+        let a = self.random_node(rng);
+        let b = self.random_node(rng);
+        let near = |n: u32| {
+            let p = self.position(n);
+            self.nodes
+                .iter()
+                .filter(|q| p.distance_sq(**q) < radius * radius)
+                .count()
+        };
+        if near(a) >= near(b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+/// Box–Muller standard normal.
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Connects each node to its `k` nearest neighbors (symmetrized), via a
+/// bucket grid so generation stays O(n·k) in practice. Guarantees at
+/// least one neighbor per node by falling back to a linear scan for
+/// isolated nodes.
+fn knn_edges(nodes: &[Point], k: usize, extent: f64) -> Vec<Vec<u32>> {
+    let n = nodes.len();
+    let buckets_per_side = ((n as f64).sqrt() as usize).clamp(1, 512);
+    let cell = extent / buckets_per_side as f64;
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); buckets_per_side * buckets_per_side];
+    let bucket_of = |p: Point| {
+        let bx = ((p.x / cell) as usize).min(buckets_per_side - 1);
+        let by = ((p.y / cell) as usize).min(buckets_per_side - 1);
+        by * buckets_per_side + bx
+    };
+    for (i, p) in nodes.iter().enumerate() {
+        grid[bucket_of(*p)].push(i as u32);
+    }
+
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, p) in nodes.iter().enumerate() {
+        // Expand rings of buckets until we have enough candidates.
+        let bx = ((p.x / cell) as usize).min(buckets_per_side - 1) as i64;
+        let by = ((p.y / cell) as usize).min(buckets_per_side - 1) as i64;
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut ring = 1i64;
+        while candidates.len() <= k && (ring as usize) <= buckets_per_side {
+            candidates.clear();
+            for dy in -ring..=ring {
+                for dx in -ring..=ring {
+                    let (cx, cy) = (bx + dx, by + dy);
+                    if cx < 0 || cy < 0 || cx >= buckets_per_side as i64 || cy >= buckets_per_side as i64 {
+                        continue;
+                    }
+                    for &j in &grid[cy as usize * buckets_per_side + cx as usize] {
+                        if j as usize != i {
+                            candidates.push(j);
+                        }
+                    }
+                }
+            }
+            ring *= 2;
+        }
+        if candidates.len() < k {
+            // Sparse corner: fall back to all nodes.
+            candidates = (0..n as u32).filter(|&j| j as usize != i).collect();
+        }
+        candidates.sort_by(|&a, &b| {
+            p.distance_sq(nodes[a as usize])
+                .total_cmp(&p.distance_sq(nodes[b as usize]))
+        });
+        candidates.truncate(k);
+        for j in candidates {
+            if !adjacency[i].contains(&j) {
+                adjacency[i].push(j);
+            }
+            if !adjacency[j as usize].contains(&(i as u32)) {
+                adjacency[j as usize].push(i as u32);
+            }
+        }
+    }
+    adjacency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RoadNetwork {
+        RoadNetwork::generate(
+            &NetworkConfig {
+                extent: 1000.0,
+                nodes: 500,
+                hotspots: 4,
+                spread: 0.05,
+                background: 0.2,
+                degree: 3,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.node_count(), b.node_count());
+        for i in 0..a.node_count() as u32 {
+            assert_eq!(a.position(i), b.position(i));
+            assert_eq!(a.neighbors(i), b.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn all_nodes_in_bounds_and_connected() {
+        let net = small();
+        let bounds = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        for i in 0..net.node_count() as u32 {
+            assert!(bounds.contains(net.position(i)));
+            assert!(!net.neighbors(i).is_empty(), "node {i} isolated");
+            for &j in net.neighbors(i) {
+                assert!(
+                    net.neighbors(j).contains(&i),
+                    "edge {i}-{j} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn network_is_spatially_skewed() {
+        // Split the plane into 16 quadrant cells; the most populated
+        // cell should hold several times the average.
+        let net = small();
+        let mut counts = [0usize; 16];
+        for i in 0..net.node_count() as u32 {
+            let p = net.position(i);
+            let cx = ((p.x / 250.0) as usize).min(3);
+            let cy = ((p.y / 250.0) as usize).min(3);
+            counts[cy * 4 + cx] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let avg = net.node_count() / 16;
+        assert!(
+            max > 2 * avg,
+            "expected hot-spot skew, max cell {max} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn busy_node_bias() {
+        let net = small();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Smoke test: busy nodes exist and are valid ids.
+        for _ in 0..10 {
+            let n = net.random_busy_node(&mut rng, 50.0);
+            assert!((n as usize) < net.node_count());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Query workload generation (Section 7: "For each configuration, we
+//! ran a query workload and reported the average performance per
+//! query").
+
+use crate::config::ExperimentConfig;
+use pdr_mobject::Timestamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated PDR query instance: the three parameters of
+/// Definition 4, already resolved to an absolute threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuerySpec {
+    /// Absolute density threshold `ρ`.
+    pub rho: f64,
+    /// Relative threshold ϱ it was derived from.
+    pub varrho: f64,
+    /// Neighborhood edge length `l`.
+    pub l: f64,
+    /// Query timestamp, uniform in `[t_now, t_now + H]`.
+    pub q_t: Timestamp,
+}
+
+/// Generates the paper's query workload: each query draws `q_t`
+/// uniformly from the horizon window anchored at `t_now`, and cycles
+/// `l` and ϱ through the configured sets (so every combination is
+/// exercised evenly, as the figures require).
+pub fn query_workload(
+    cfg: &ExperimentConfig,
+    n_objects: usize,
+    t_now: Timestamp,
+    count: usize,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    assert!(count > 0, "empty workload requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = cfg.horizon();
+    (0..count)
+        .map(|i| {
+            let l = cfg.edge_lengths[i % cfg.edge_lengths.len()];
+            let varrho =
+                cfg.relative_thresholds[(i / cfg.edge_lengths.len()) % cfg.relative_thresholds.len()];
+            let q_t = t_now + rng.random_range(0..=h);
+            QuerySpec {
+                rho: cfg.rho(varrho, n_objects),
+                varrho,
+                l,
+                q_t,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_covers_parameter_sets() {
+        let cfg = ExperimentConfig::default();
+        let qs = query_workload(&cfg, 100_000, 50, 40, 7);
+        assert_eq!(qs.len(), 40);
+        // All l values and all varrho values appear.
+        for &l in &cfg.edge_lengths {
+            assert!(qs.iter().any(|q| q.l == l), "missing l = {l}");
+        }
+        for &v in &cfg.relative_thresholds {
+            assert!(qs.iter().any(|q| q.varrho == v), "missing varrho = {v}");
+        }
+        // Timestamps stay inside the horizon window.
+        for q in &qs {
+            assert!(q.q_t >= 50 && q.q_t <= 50 + cfg.horizon());
+            // rho resolves per the paper's formula.
+            let expect = 100_000.0 * q.varrho / (cfg.extent * cfg.extent);
+            assert!((q.rho - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = ExperimentConfig::default();
+        let a = query_workload(&cfg, 1000, 0, 10, 3);
+        let b = query_workload(&cfg, 1000, 0, 10, 3);
+        assert_eq!(a, b);
+        let c = query_workload(&cfg, 1000, 0, 10, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn rejects_zero_count() {
+        let cfg = ExperimentConfig::default();
+        let _ = query_workload(&cfg, 1000, 0, 0, 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Simple non-network generators for tests and ablations.
+
+use pdr_geometry::Point;
+use pdr_mobject::{MotionState, ObjectId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniformly distributed objects with uniform velocities in
+/// `[-v_max, v_max]` per axis. The unskewed control workload.
+pub fn uniform_population(
+    n: usize,
+    extent: f64,
+    v_max: f64,
+    seed: u64,
+    t_ref: Timestamp,
+) -> Vec<(ObjectId, MotionState)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let p = Point::new(rng.random_range(0.0..extent), rng.random_range(0.0..extent));
+            let v = Point::new(
+                rng.random_range(-v_max..=v_max),
+                rng.random_range(-v_max..=v_max),
+            );
+            (ObjectId(i as u64), MotionState::new(p, v, t_ref))
+        })
+        .collect()
+}
+
+/// Objects drawn from `clusters` Gaussian blobs (plus a uniform
+/// background fraction), with uniform velocities. A heavily skewed
+/// workload with controllable cluster geometry — the stress test for
+/// approximation accuracy.
+#[allow(clippy::too_many_arguments)] // a flat parameter list mirrors the generator's knobs
+pub fn gaussian_clusters(
+    n: usize,
+    extent: f64,
+    clusters: usize,
+    sigma: f64,
+    background: f64,
+    v_max: f64,
+    seed: u64,
+    t_ref: Timestamp,
+) -> Vec<(ObjectId, MotionState)> {
+    assert!(clusters >= 1, "at least one cluster required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| {
+            Point::new(
+                rng.random_range(0.15 * extent..0.85 * extent),
+                rng.random_range(0.15 * extent..0.85 * extent),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let p = if rng.random_range(0.0..1.0) < background {
+                Point::new(rng.random_range(0.0..extent), rng.random_range(0.0..extent))
+            } else {
+                let c = centers[rng.random_range(0..clusters)];
+                loop {
+                    let q = Point::new(c.x + gauss(&mut rng) * sigma, c.y + gauss(&mut rng) * sigma);
+                    if q.x >= 0.0 && q.x <= extent && q.y >= 0.0 && q.y <= extent {
+                        break q;
+                    }
+                }
+            };
+            let v = Point::new(
+                rng.random_range(-v_max..=v_max),
+                rng.random_range(-v_max..=v_max),
+            );
+            (ObjectId(i as u64), MotionState::new(p, v, t_ref))
+        })
+        .collect()
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fills_the_plane() {
+        let pop = uniform_population(4000, 100.0, 1.0, 1, 0);
+        assert_eq!(pop.len(), 4000);
+        // Quadrant counts roughly equal.
+        let mut q = [0usize; 4];
+        for (_, m) in &pop {
+            let i = (m.origin.x >= 50.0) as usize + 2 * (m.origin.y >= 50.0) as usize;
+            q[i] += 1;
+        }
+        for &c in &q {
+            assert!((800..=1200).contains(&c), "quadrants {q:?}");
+        }
+    }
+
+    #[test]
+    fn clusters_are_skewed() {
+        let pop = gaussian_clusters(4000, 1000.0, 3, 20.0, 0.1, 1.0, 2, 0);
+        // Count points within 60 units of the best cluster center found
+        // by sampling; expect a large share.
+        let dense_share = {
+            let mut best = 0;
+            for (_, probe) in pop.iter().take(50) {
+                let c = probe.origin;
+                let near = pop
+                    .iter()
+                    .filter(|(_, m)| m.origin.distance_sq(c) < 60.0 * 60.0)
+                    .count();
+                best = best.max(near);
+            }
+            best as f64 / pop.len() as f64
+        };
+        assert!(dense_share > 0.15, "expected clustering, share {dense_share}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = uniform_population(100, 100.0, 1.0, 7, 0);
+        let b = uniform_population(100, 100.0, 1.0, 7, 0);
+        assert_eq!(a, b);
+        let c = uniform_population(100, 100.0, 1.0, 8, 0);
+        assert_ne!(a, c);
+    }
+}

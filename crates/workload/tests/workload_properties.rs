@@ -1,0 +1,119 @@
+//! Workload-generator guarantees the experiments rely on.
+
+use pdr_geometry::Rect;
+use pdr_mobject::UpdateKind;
+use pdr_workload::config::ExperimentConfig;
+use pdr_workload::{
+    gaussian_clusters, query_workload, uniform_population, DatasetSpec, NetworkConfig,
+    RoadNetwork, TrafficSimulator,
+};
+
+#[test]
+fn dataset_specs_match_the_paper() {
+    assert_eq!(DatasetSpec::ALL[0].name, "CH40K");
+    assert_eq!(DatasetSpec::ALL[0].n_objects, 40_000);
+    assert_eq!(DatasetSpec::DEFAULT.name, "CH100K");
+    assert_eq!(DatasetSpec::ALL[2].n_objects, 500_000);
+}
+
+#[test]
+fn simulated_positions_never_escape_far() {
+    // Vehicles drive between in-bounds intersections, so extrapolated
+    // positions stay within the plane (up to one leg of overshoot,
+    // which the simulator prevents by re-reporting on arrival).
+    let net = RoadNetwork::generate(&NetworkConfig::metro(1000.0), 5);
+    let mut sim = TrafficSimulator::new(net, 500, 9, 10, 0);
+    let bounds = Rect::new(0.0, 0.0, 1000.0, 1000.0).inflate(5.0);
+    for _ in 0..40 {
+        sim.tick();
+        let t = sim.t_now();
+        for p in sim.positions_at(t) {
+            assert!(bounds.contains(p), "vehicle escaped to {p:?} at t={t}");
+        }
+    }
+}
+
+#[test]
+fn update_stream_is_protocol_clean() {
+    // Every deletion retracts the motion most recently inserted for
+    // that object — replaying the stream against a shadow map must
+    // never desynchronize.
+    use std::collections::HashMap;
+    let net = RoadNetwork::generate(&NetworkConfig::metro(500.0), 6);
+    let mut sim = TrafficSimulator::new(net, 300, 4, 6, 0);
+    let mut shadow: HashMap<u64, pdr_mobject::MotionState> = sim
+        .population()
+        .into_iter()
+        .map(|(id, m)| (id.0, m))
+        .collect();
+    for _ in 0..25 {
+        for u in sim.tick() {
+            match u.kind {
+                UpdateKind::Delete { old_motion } => {
+                    let prev = shadow.remove(&u.id.0).expect("delete of unknown object");
+                    assert_eq!(prev, old_motion, "deletion does not match last insertion");
+                }
+                UpdateKind::Insert { motion } => {
+                    let dup = shadow.insert(u.id.0, motion);
+                    assert!(dup.is_none(), "insert without prior delete");
+                }
+            }
+        }
+    }
+    assert_eq!(shadow.len(), 300, "every vehicle still live");
+}
+
+#[test]
+fn generators_respect_bounds_and_counts() {
+    let bounds = Rect::new(0.0, 0.0, 250.0, 250.0);
+    for pop in [
+        uniform_population(1000, 250.0, 2.0, 1, 5),
+        gaussian_clusters(1000, 250.0, 3, 10.0, 0.3, 2.0, 1, 5),
+    ] {
+        assert_eq!(pop.len(), 1000);
+        for (id, m) in &pop {
+            assert!(id.0 < 1000);
+            assert_eq!(m.t_ref, 5);
+            assert!(bounds.contains(m.origin), "origin {:?}", m.origin);
+            assert!(m.velocity.norm() <= 2.0 * std::f64::consts::SQRT_2 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn query_workload_rho_scales_with_objects() {
+    let cfg = ExperimentConfig::default();
+    let small = query_workload(&cfg, 10_000, 0, 10, 1);
+    let large = query_workload(&cfg, 100_000, 0, 10, 1);
+    for (a, b) in small.iter().zip(&large) {
+        assert_eq!(a.varrho, b.varrho);
+        assert!((b.rho / a.rho - 10.0).abs() < 1e-9, "rho must scale with N");
+    }
+}
+
+#[test]
+fn network_degree_bounds() {
+    let net = RoadNetwork::generate(
+        &NetworkConfig {
+            extent: 1000.0,
+            nodes: 800,
+            hotspots: 5,
+            spread: 0.05,
+            background: 0.2,
+            degree: 3,
+        },
+        12,
+    );
+    let mut total_degree = 0usize;
+    for i in 0..net.node_count() as u32 {
+        let d = net.neighbors(i).len();
+        assert!(d >= 1, "node {i} isolated");
+        total_degree += d;
+    }
+    // Symmetrized k-NN: average degree lands between k and ~2k.
+    let avg = total_degree as f64 / net.node_count() as f64;
+    assert!(
+        (3.0..=6.5).contains(&avg),
+        "average degree {avg} out of expected band"
+    );
+}

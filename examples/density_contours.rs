@@ -1,0 +1,76 @@
+//! Density contour maps from the approximate engine.
+//!
+//! Beyond the binary dense/sparse PDR answer, the Chebyshev surface
+//! gives a full density field; Section 6 of the paper points out that
+//! contour lines of this field "provide a clear overview of the
+//! distribution of moving objects". This example renders a coarse
+//! ASCII contour map of a clustered population and prints the
+//! extracted iso-lines.
+//!
+//! ```text
+//! cargo run --release --example density_contours
+//! ```
+
+use pdr::geometry::Point;
+use pdr::mobject::{TimeHorizon, Update};
+use pdr::workload::gaussian_clusters;
+use pdr::{PaConfig, PaEngine};
+
+fn main() {
+    let extent = 400.0;
+    let n = 12_000;
+    let population = gaussian_clusters(n, extent, 3, 20.0, 0.15, 1.0, 77, 0);
+
+    let mut pa = PaEngine::new(
+        PaConfig {
+            extent,
+            g: 8,
+            degree: 6,
+            l: 20.0,
+            horizon: TimeHorizon::new(5, 5),
+            m_d: 512,
+        },
+        0,
+    );
+    for (id, m) in &population {
+        pa.apply(&Update::insert(*id, 0, *m));
+    }
+
+    let q_t = 3;
+    // Average density over the plane; contour at multiples of it.
+    let avg = n as f64 / (extent * extent);
+    let levels = [2.0 * avg, 6.0 * avg, 12.0 * avg];
+
+    // ASCII heat map: one character per 8x8-mile cell.
+    println!("density map at t={q_t} (space < 2x avg, . < 6x, o < 12x, # above):");
+    let cells = 50usize;
+    let step = extent / cells as f64;
+    for row in (0..cells).rev() {
+        let mut line = String::with_capacity(cells);
+        for col in 0..cells {
+            let p = Point::new((col as f64 + 0.5) * step, (row as f64 + 0.5) * step);
+            let d = pa.density_at(p, q_t);
+            line.push(match d {
+                d if d >= levels[2] => '#',
+                d if d >= levels[1] => 'o',
+                d if d >= levels[0] => '.',
+                _ => ' ',
+            });
+        }
+        println!("  |{line}|");
+    }
+
+    for (i, &level) in levels.iter().enumerate() {
+        let contours = pa.contours(level, q_t, 160);
+        let closed = contours.iter().filter(|c| c.closed).count();
+        let total_len: f64 = contours.iter().map(|c| c.length()).sum();
+        println!(
+            "level {} ({:.1}x avg): {} contour lines ({} closed), total length {:.0} miles",
+            i + 1,
+            level / avg,
+            contours.len(),
+            closed,
+            total_len
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Side-by-side comparison of every dense-region method in the paper
+//! on one snapshot: exact FR, approximate PA, optimistic/pessimistic
+//! DH, and the two prior-work baselines (dense-cell and EDQ).
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use pdr::baselines::{dense_cell_query, edq_region, effective_density_query};
+use pdr::geometry::GridSpec;
+use pdr::mobject::{TimeHorizon, Update};
+use pdr::workload::gaussian_clusters;
+use pdr::{
+    accuracy, classify_cells, dh_optimistic, dh_pessimistic, FrConfig, FrEngine, PaConfig,
+    PaEngine, PdrQuery,
+};
+use std::time::Instant;
+
+fn main() {
+    let extent = 500.0;
+    let n = 15_000;
+    let population = gaussian_clusters(n, extent, 5, 15.0, 0.2, 1.0, 4, 0);
+    let horizon = TimeHorizon::new(10, 10);
+
+    let mut fr = FrEngine::new(
+        FrConfig {
+            extent,
+            m: 50,
+            horizon,
+            buffer_pages: 128,
+        },
+        0,
+    );
+    fr.bulk_load(&population, 0);
+
+    let l = 20.0;
+    let mut pa = PaEngine::new(
+        PaConfig {
+            extent,
+            g: 10,
+            degree: 5,
+            l,
+            horizon,
+            m_d: 512,
+        },
+        0,
+    );
+    for (id, m) in &population {
+        pa.apply(&Update::insert(*id, 0, *m));
+    }
+
+    let q_t = 5;
+    let rho = 15.0 / (l * l);
+    let q = PdrQuery::new(rho, l, q_t);
+    let positions: Vec<_> = population.iter().map(|(_, m)| m.position_at(q_t)).collect();
+
+    // Ground truth from the exact engine.
+    let t0 = Instant::now();
+    let truth = fr.query(&q);
+    let fr_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let pa_ans = pa.query(rho, q_t);
+    let pa_time = t0.elapsed();
+
+    let cls = classify_cells(fr.histogram().grid(), &fr.histogram().prefix_sums_at(q_t), &q);
+    let opt = dh_optimistic(&cls);
+    let pes = dh_pessimistic(&cls);
+
+    // Prior work: dense cells (cell edge = l) and EDQ squares.
+    let cell_grid = GridSpec::unit_origin(extent, (extent / l) as u32);
+    let cells = dense_cell_query(&positions, cell_grid, rho);
+    let bounds = cell_grid.bounds();
+    let edq = edq_region(&effective_density_query(&positions, &bounds, &q), l);
+
+    println!(
+        "snapshot: {n} objects, l = {l}, threshold = {} objects per neighborhood, q_t = {q_t}",
+        q.count_threshold()
+    );
+    println!(
+        "\n{:<16} {:>8} {:>12} {:>8} {:>8}  note",
+        "method", "regions", "area(mi2)", "r_fp", "r_fn"
+    );
+    let row = |name: &str, rs: &pdr::geometry::RegionSet, note: &str| {
+        let a = accuracy(&truth.regions, rs);
+        println!(
+            "{:<16} {:>8} {:>12.0} {:>8.3} {:>8.3}  {note}",
+            name,
+            rs.len(),
+            rs.area(),
+            a.r_fp,
+            a.r_fn
+        );
+    };
+    row(
+        "FR (exact)",
+        &truth.regions,
+        &format!("{:.1} ms + {} I/Os", fr_time.as_secs_f64() * 1e3, truth.io.misses),
+    );
+    row(
+        "PA",
+        &pa_ans.regions,
+        &format!("{:.1} ms, no I/O", pa_time.as_secs_f64() * 1e3),
+    );
+    row("optimistic DH", &opt, "never misses dense area");
+    row("pessimistic DH", &pes, "never over-reports");
+    row("dense cells", &cells, "answer loss at cell borders");
+    row("EDQ squares", &edq, "fixed-shape, non-overlapping");
+}

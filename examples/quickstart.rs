@@ -1,0 +1,59 @@
+//! Quickstart: load moving objects, ask for pointwise-dense regions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pdr::mobject::TimeHorizon;
+use pdr::workload::gaussian_clusters;
+use pdr::{FrConfig, FrEngine, PdrQuery};
+
+fn main() {
+    // 10 000 objects on a 1000 x 1000-mile plane, drawn from five
+    // Gaussian clusters over a uniform background, with velocities up
+    // to 1.5 miles per timestamp.
+    let population = gaussian_clusters(10_000, 1000.0, 5, 25.0, 0.25, 1.5, 7, 0);
+
+    // The exact filtering-refinement engine: a 100 x 100 density
+    // histogram for filtering, a TPR-tree for refinement.
+    let mut engine = FrEngine::new(
+        FrConfig {
+            extent: 1000.0,
+            m: 100,
+            horizon: TimeHorizon::new(20, 20),
+            buffer_pages: 256,
+        },
+        0,
+    );
+    engine.bulk_load(&population, 0);
+
+    // "Where will at least 15 objects share a 30 x 30-mile
+    // neighborhood, 10 timestamps from now?"
+    let l = 30.0;
+    let rho = 15.0 / (l * l);
+    let query = PdrQuery::new(rho, l, 10);
+    let answer = engine.query(&query);
+
+    println!(
+        "filter: {} accepted, {} rejected, {} candidate cells",
+        answer.accepts, answer.rejects, answer.candidates
+    );
+    println!(
+        "refinement: {} objects retrieved, {} buffer misses",
+        answer.objects_retrieved, answer.io.misses
+    );
+    println!(
+        "answer: {} rectangles covering {:.0} square miles",
+        answer.regions.len(),
+        answer.regions.area()
+    );
+    for (i, r) in answer.regions.rects().iter().take(10).enumerate() {
+        println!(
+            "  region {i}: [{:.1}, {:.1}] x [{:.1}, {:.1}]",
+            r.x_lo, r.x_hi, r.y_lo, r.y_hi
+        );
+    }
+    if answer.regions.len() > 10 {
+        println!("  ... and {} more", answer.regions.len() - 10);
+    }
+}

@@ -1,0 +1,95 @@
+//! Traffic hot-spot monitoring — the paper's motivating application.
+//!
+//! A traffic authority watches a metro road network and wants to warn
+//! commuters about congestion *before* it happens: every few minutes it
+//! asks "which regions will be dense W minutes from now?" using the
+//! fast approximate (PA) engine, falling back to the exact (FR) engine
+//! for the final alert decision.
+//!
+//! ```text
+//! cargo run --release --example traffic_hotspots
+//! ```
+
+use pdr::mobject::TimeHorizon;
+use pdr::workload::{NetworkConfig, RoadNetwork, TrafficSimulator};
+use pdr::{FrConfig, FrEngine, PaConfig, PaEngine, PdrQuery};
+
+fn main() {
+    let horizon = TimeHorizon::new(15, 15);
+    let extent = 1000.0;
+    let n = 20_000;
+
+    // The metro network and its vehicles.
+    let network = RoadNetwork::generate(&NetworkConfig::metro(extent), 2026);
+    let mut sim = TrafficSimulator::new(network, n, 99, horizon.max_update_time(), 0);
+
+    // Both engines, fed from the same update stream.
+    let mut fr = FrEngine::new(
+        FrConfig {
+            extent,
+            m: 100,
+            horizon,
+            buffer_pages: 256,
+        },
+        0,
+    );
+    let l = 30.0;
+    let mut pa = PaEngine::new(
+        PaConfig {
+            extent,
+            g: 20,
+            degree: 5,
+            l,
+            horizon,
+            m_d: 512,
+        },
+        0,
+    );
+    let population = sim.population();
+    fr.bulk_load(&population, 0);
+    for (id, m) in &population {
+        pa.apply(&pdr::mobject::Update::insert(*id, 0, *m));
+    }
+
+    // Congestion = 18+ vehicles in a 30x30-mile neighborhood.
+    let rho = 18.0 / (l * l);
+
+    println!("tick | screened(PA)        | confirmed(FR)       | PA err vs FR");
+    for round in 0..5u64 {
+        // Let traffic flow for 3 minutes.
+        for _ in 0..3 {
+            let t = sim.t_now() + 1;
+            fr.advance_to(t);
+            pa.advance_to(t);
+            for u in sim.tick() {
+                fr.apply(&u);
+                pa.apply(&u);
+            }
+        }
+        let t_now = sim.t_now();
+        let q_t = t_now + horizon.prediction_window(); // look W ahead
+
+        // Cheap screening pass with PA.
+        let screened = pa.query(rho, q_t);
+        // Exact confirmation with FR.
+        let confirmed = fr.query(&PdrQuery::new(rho, l, q_t));
+        let acc = pdr::accuracy(&confirmed.regions, &screened.regions);
+
+        println!(
+            "{:4} | {:3} regions {:7.0} mi2 | {:3} regions {:7.0} mi2 | fp {:.2} fn {:.2}",
+            round,
+            screened.regions.len(),
+            screened.regions.area(),
+            confirmed.regions.len(),
+            confirmed.regions.area(),
+            acc.r_fp,
+            acc.r_fn,
+        );
+        for r in confirmed.regions.rects().iter().take(3) {
+            println!(
+                "       alert: congestion predicted at t={} in [{:.0}, {:.0}] x [{:.0}, {:.0}]",
+                q_t, r.x_lo, r.x_hi, r.y_lo, r.y_hi
+            );
+        }
+    }
+}

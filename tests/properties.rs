@@ -1,0 +1,280 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's invariants.
+
+use pdr::chebyshev::{delta_coefficients, ChebyshevApprox, CoeffTriangle};
+use pdr::geometry::{Interval, IntervalSet, LSquare, Point, Rect, RegionSet};
+use pdr::mobject::{MotionState, ObjectId, Timestamp};
+use pdr::tprtree::{TprConfig, TprTree};
+use pdr::{refine_region_set, DenseThreshold};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Geometry: interval sets
+// ---------------------------------------------------------------------
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (-100.0f64..100.0, 0.0f64..50.0).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+}
+
+fn interval_set_strategy() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec(interval_strategy(), 0..12).prop_map(IntervalSet::from_intervals)
+}
+
+proptest! {
+    /// Normalization invariants: sorted, disjoint, non-empty items.
+    #[test]
+    fn interval_sets_are_normalized(s in interval_set_strategy()) {
+        let items = s.intervals();
+        for w in items.windows(2) {
+            prop_assert!(w[0].hi < w[1].lo, "not disjoint/sorted: {:?}", items);
+        }
+        for iv in items {
+            prop_assert!(iv.lo < iv.hi);
+        }
+    }
+
+    /// measure(A ∪ B) = measure(A) + measure(B) − measure(A ∩ B).
+    #[test]
+    fn interval_inclusion_exclusion(a in interval_set_strategy(), b in interval_set_strategy()) {
+        let lhs = a.union(&b).measure();
+        let rhs = a.measure() + b.measure() - a.intersection(&b).measure();
+        prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+    }
+
+    /// Difference measure is consistent with membership sampling.
+    #[test]
+    fn interval_difference_vs_membership(
+        a in interval_set_strategy(),
+        b in interval_set_strategy(),
+        xs in prop::collection::vec(-110.0f64..110.0, 20)
+    ) {
+        for x in xs {
+            let in_diff = a.contains(x) && !b.contains(x);
+            if in_diff {
+                // x sits in A\B, so the difference has positive measure
+                // unless x is a boundary point; tolerate by checking
+                // a small interval around x intersects A.
+                prop_assert!(a.difference_measure(&b) >= 0.0);
+            }
+        }
+        prop_assert!(a.difference_measure(&b) <= a.measure() + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geometry: region sets
+// ---------------------------------------------------------------------
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (0.0f64..90.0, 0.0f64..90.0, 0.1f64..40.0, 0.1f64..40.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn region_strategy() -> impl Strategy<Value = RegionSet> {
+    prop::collection::vec(rect_strategy(), 0..10).prop_map(RegionSet::from_rects)
+}
+
+proptest! {
+    /// area(A ∪ B) = area(A) + area(B) − area(A ∩ B).
+    #[test]
+    fn region_inclusion_exclusion(a in region_strategy(), b in region_strategy()) {
+        let lhs = a.union_area(&b);
+        let rhs = a.area() + b.area() - a.intersection_area(&b);
+        prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+    }
+
+    /// Differences are bounded and complementary:
+    /// area(A) = area(A∩B) + area(A\B).
+    #[test]
+    fn region_difference_partition(a in region_strategy(), b in region_strategy()) {
+        let total = a.intersection_area(&b) + a.difference_area(&b);
+        prop_assert!((total - a.area()).abs() < 1e-6);
+    }
+
+    /// Coalescing never changes the point set (checked by area of the
+    /// symmetric difference with the original).
+    #[test]
+    fn coalesce_preserves_point_set(a in region_strategy()) {
+        let mut c = a.clone();
+        c.coalesce();
+        prop_assert!(a.symmetric_difference_area(&c) < 1e-6);
+    }
+
+    /// Membership is consistent with measure: sampling points inside
+    /// the region keeps them inside the union with anything.
+    #[test]
+    fn region_membership_monotone(a in region_strategy(), b in region_strategy(),
+                                  px in 0.0f64..130.0, py in 0.0f64..130.0) {
+        let p = Point::new(px, py);
+        if a.contains(p) {
+            let mut u = a.clone();
+            u.extend_from(&b);
+            prop_assert!(u.contains(p));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The plane-sweep refinement vs brute force
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// On random scenes, the sweep's answer agrees pointwise with the
+    /// brute-force density definition.
+    #[test]
+    fn sweep_matches_brute_force(
+        pts in prop::collection::vec((0.0f64..30.0, 0.0f64..30.0), 0..60),
+        threshold in 1usize..6,
+        probes in prop::collection::vec((0.0f64..30.0, 0.0f64..30.0), 30)
+    ) {
+        let l = 5.0;
+        let target = Rect::new(0.0, 0.0, 30.0, 30.0);
+        let objects: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let region = refine_region_set(
+            &target,
+            &objects,
+            DenseThreshold::from_count(threshold as f64),
+            l,
+        );
+        for (px, py) in probes {
+            let p = Point::new(px, py);
+            let sq = LSquare::new(p, l);
+            let n = objects.iter().filter(|&&o| sq.contains(o)).count();
+            prop_assert_eq!(
+                region.contains(p),
+                n >= threshold,
+                "point {:?} with {} neighbors, threshold {}",
+                p, n, threshold
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TPR-tree vs brute force
+// ---------------------------------------------------------------------
+
+fn motion_strategy() -> impl Strategy<Value = MotionState> {
+    (0.0f64..1000.0, 0.0f64..1000.0, -2.0f64..2.0, -2.0f64..2.0)
+        .prop_map(|(x, y, vx, vy)| MotionState::new(Point::new(x, y), Point::new(vx, vy), 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Range queries after inserts and deletes match linear scan.
+    #[test]
+    fn tprtree_matches_linear_scan(
+        motions in prop::collection::vec(motion_strategy(), 1..250),
+        remove_mod in 2usize..5,
+        qt in 0u64..20,
+        (qx, qy, qw, qh) in (0.0f64..900.0, 0.0f64..900.0, 10.0f64..300.0, 10.0f64..300.0)
+    ) {
+        let mut tree = TprTree::new(
+            TprConfig {
+                buffer_pages: 16,
+                min_fill_ratio: 0.4,
+                horizon: 20.0,
+                integral_metrics: true,
+            },
+            0,
+        );
+        for (i, m) in motions.iter().enumerate() {
+            tree.insert(ObjectId(i as u64), m, 0);
+        }
+        let mut live: Vec<(ObjectId, MotionState)> = Vec::new();
+        for (i, m) in motions.iter().enumerate() {
+            if i % remove_mod == 0 {
+                prop_assert!(tree.remove(ObjectId(i as u64)));
+            } else {
+                live.push((ObjectId(i as u64), *m));
+            }
+        }
+        let rect = Rect::new(qx, qy, qx + qw, qy + qh);
+        let mut got: Vec<u64> = tree
+            .range_at(&rect, qt as Timestamp)
+            .into_iter()
+            .map(|(id, _)| id.0)
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<u64> = live
+            .iter()
+            .filter(|(_, m)| rect.contains(m.position_at(qt as Timestamp)))
+            .map(|(id, _)| id.0)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+        tree.validate();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chebyshev machinery
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Interval bounds are sound for random indicator-sum surfaces.
+    #[test]
+    fn chebyshev_bounds_sound(
+        boxes in prop::collection::vec(
+            (0.0f64..80.0, 0.0f64..80.0, 1.0f64..20.0, 1.0f64..20.0, -2.0f64..2.0), 1..6),
+        (rx, ry, rw, rh) in (0.0f64..80.0, 0.0f64..80.0, 1.0f64..20.0, 1.0f64..20.0),
+        samples in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 20)
+    ) {
+        let domain = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut f = ChebyshevApprox::zero(domain, 5);
+        for (x, y, w, h, weight) in boxes {
+            f.add_box(&Rect::new(x, y, x + w, y + h), weight);
+        }
+        let r = Rect::new(rx, ry, rx + rw, ry + rh);
+        let (lo, hi) = f.bounds(&r);
+        for (fx, fy) in samples {
+            let p = Point::new(r.x_lo + fx * r.width(), r.y_lo + fy * r.height());
+            let v = f.eval(p);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9,
+                "value {} outside [{}, {}] at {:?}", v, lo, hi, p);
+        }
+    }
+
+    /// Coefficient linearity: delta(A) + delta(B) applied in either
+    /// order gives the same surface.
+    #[test]
+    fn chebyshev_update_order_independent(
+        (x1, y1) in (0.0f64..0.5, 0.0f64..0.5),
+        (x2, y2) in (-0.5f64..0.0, -0.5f64..0.0),
+        w1 in 0.1f64..3.0,
+        w2 in 0.1f64..3.0
+    ) {
+        let a = delta_coefficients(4, x1 - 0.2, x1 + 0.2, y1 - 0.2, y1 + 0.2, w1);
+        let b = delta_coefficients(4, x2 - 0.2, x2 + 0.2, y2 - 0.2, y2 + 0.2, w2);
+        let mut ab = CoeffTriangle::zero(4);
+        ab.add_assign(&a);
+        ab.add_assign(&b);
+        let mut ba = CoeffTriangle::zero(4);
+        ba.add_assign(&b);
+        ba.add_assign(&a);
+        for (i, j, v) in ab.iter() {
+            prop_assert!((v - ba.get(i, j)).abs() < 1e-12);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Motion model
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Rebasing a motion never changes its trajectory.
+    #[test]
+    fn rebase_preserves_trajectory(
+        m in motion_strategy(),
+        t1 in 0u64..100,
+        probe in 0u64..200
+    ) {
+        let r = m.rebased_to(t1);
+        let a = m.position_at(probe);
+        let b = r.position_at(probe);
+        prop_assert!((a.x - b.x).abs() < 1e-6 && (a.y - b.y).abs() < 1e-6);
+    }
+}

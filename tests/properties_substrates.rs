@@ -1,0 +1,215 @@
+//! Property-based tests on the substrate crates: the buffer pool is
+//! checked against a shadow model, node pages round-trip, and the
+//! density histogram stays consistent with the object table under
+//! arbitrary update streams.
+
+use pdr::geometry::Point;
+use pdr::histogram::DensityHistogram;
+use pdr::mobject::{MotionState, ObjectId, ObjectTable, TimeHorizon};
+use pdr::storage::{BufferPool, Disk, PAGE_SIZE};
+use pdr::tprtree::{ChildEntry, LeafEntry, Node, Tpbr, INTERNAL_CAPACITY, LEAF_CAPACITY};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Buffer pool vs shadow model
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PoolOp {
+    /// Write `byte` at offset 0 of page `idx % live_pages`.
+    Write { idx: usize, byte: u8 },
+    /// Read page `idx % live_pages` and check its first byte.
+    Read { idx: usize },
+    /// Allocate a fresh page.
+    Alloc,
+    /// Flush everything to disk.
+    Flush,
+}
+
+fn pool_op_strategy() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (any::<usize>(), any::<u8>()).prop_map(|(idx, byte)| PoolOp::Write { idx, byte }),
+        any::<usize>().prop_map(|idx| PoolOp::Read { idx }),
+        Just(PoolOp::Alloc),
+        Just(PoolOp::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Whatever the access pattern and however small the pool, data
+    /// read back always matches a trivial shadow model.
+    #[test]
+    fn buffer_pool_matches_shadow(
+        capacity in 1usize..6,
+        ops in prop::collection::vec(pool_op_strategy(), 1..120)
+    ) {
+        let mut pool = BufferPool::new(Disk::new(), capacity);
+        let mut pages = vec![pool.allocate_page()];
+        let mut shadow: HashMap<u32, u8> = HashMap::new();
+        shadow.insert(pages[0].0, 0);
+        for op in ops {
+            match op {
+                PoolOp::Write { idx, byte } => {
+                    let page = pages[idx % pages.len()];
+                    pool.write_page(page, |bytes| bytes[0] = byte);
+                    shadow.insert(page.0, byte);
+                }
+                PoolOp::Read { idx } => {
+                    let page = pages[idx % pages.len()];
+                    let got = pool.read_page(page, |bytes| bytes[0]);
+                    prop_assert_eq!(got, shadow[&page.0], "page {:?}", page);
+                }
+                PoolOp::Alloc => {
+                    let page = pool.allocate_page();
+                    shadow.insert(page.0, 0);
+                    pages.push(page);
+                }
+                PoolOp::Flush => pool.flush_all(),
+            }
+        }
+        // After a final flush, the raw disk agrees everywhere.
+        pool.flush_all();
+        for (&page, &byte) in &shadow {
+            prop_assert_eq!(pool.disk().read(pdr::storage::PageId(page))[0], byte);
+        }
+        // Sanity of the counters.
+        let s = pool.stats();
+        prop_assert!(s.misses <= s.logical_reads);
+        prop_assert!(s.writebacks <= s.evictions);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node page serialization
+// ---------------------------------------------------------------------
+
+fn leaf_entry_strategy() -> impl Strategy<Value = LeafEntry> {
+    (any::<u64>(), -1e6f64..1e6, -1e6f64..1e6, -1e3f64..1e3, -1e3f64..1e3).prop_map(
+        |(id, x, y, vx, vy)| LeafEntry {
+            id: ObjectId(id),
+            x,
+            y,
+            vx,
+            vy,
+        },
+    )
+}
+
+fn child_entry_strategy() -> impl Strategy<Value = ChildEntry> {
+    (
+        any::<u32>(),
+        -1e6f64..1e6,
+        -1e6f64..1e6,
+        0.0f64..1e3,
+        0.0f64..1e3,
+        -1e2f64..0.0,
+        -1e2f64..0.0,
+        0.0f64..1e2,
+        0.0f64..1e2,
+    )
+        .prop_map(|(page, x, y, w, h, vxl, vyl, vxh, vyh)| ChildEntry {
+            page: pdr::storage::PageId(page),
+            tpbr: Tpbr {
+                x_lo: x,
+                y_lo: y,
+                x_hi: x + w,
+                y_hi: y + h,
+                vx_lo: vxl,
+                vy_lo: vyl,
+                vx_hi: vxh,
+                vy_hi: vyh,
+            },
+        })
+}
+
+proptest! {
+    /// Any leaf within capacity round-trips bit-exactly through a page.
+    #[test]
+    fn leaf_page_round_trip(entries in prop::collection::vec(leaf_entry_strategy(), 0..=LEAF_CAPACITY)) {
+        let node = Node::Leaf(entries);
+        let mut page = [0u8; PAGE_SIZE];
+        node.encode(&mut page);
+        prop_assert_eq!(Node::decode(&page), node);
+    }
+
+    /// Any internal node within capacity round-trips bit-exactly.
+    #[test]
+    fn internal_page_round_trip(entries in prop::collection::vec(child_entry_strategy(), 0..=INTERNAL_CAPACITY)) {
+        let node = Node::Internal(entries);
+        let mut page = [0u8; PAGE_SIZE];
+        node.encode(&mut page);
+        prop_assert_eq!(Node::decode(&page), node);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Density histogram under arbitrary update streams
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum StreamOp {
+    Report { obj: u8, x: f64, y: f64, vx: f64, vy: f64 },
+    Retire { obj: u8 },
+    Advance { by: u8 },
+}
+
+fn stream_op_strategy() -> impl Strategy<Value = StreamOp> {
+    prop_oneof![
+        4 => (any::<u8>(), 0.0f64..100.0, 0.0f64..100.0, -2.0f64..2.0, -2.0f64..2.0)
+            .prop_map(|(obj, x, y, vx, vy)| StreamOp::Report { obj: obj % 16, x, y, vx, vy }),
+        1 => any::<u8>().prop_map(|obj| StreamOp::Retire { obj: obj % 16 }),
+        1 => (1u8..3).prop_map(|by| StreamOp::Advance { by }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// After any legal mix of reports, retirements and time advances:
+    /// counters stay non-negative, and the per-timestamp totals match
+    /// the live object table (objects inside the region).
+    #[test]
+    fn histogram_consistent_with_table(ops in prop::collection::vec(stream_op_strategy(), 1..60)) {
+        let horizon = TimeHorizon::new(3, 3);
+        let mut h = DensityHistogram::new(100.0, 10, horizon, 0);
+        let mut table = ObjectTable::new();
+        let mut t_now = 0u64;
+        for op in ops {
+            match op {
+                StreamOp::Report { obj, x, y, vx, vy } => {
+                    let motion = MotionState::new(Point::new(x, y), Point::new(vx, vy), t_now);
+                    for u in table.report(ObjectId(obj as u64), t_now, motion) {
+                        h.apply(&u);
+                    }
+                }
+                StreamOp::Retire { obj } => {
+                    if let Some(u) = table.retire(ObjectId(obj as u64), t_now) {
+                        h.apply(&u);
+                    }
+                }
+                StreamOp::Advance { by } => {
+                    t_now += by as u64;
+                    h.advance_to(t_now);
+                }
+            }
+        }
+        h.validate_non_negative();
+        // Check totals for every timestamp still in the window; only
+        // motions reported within U of t are guaranteed correct, which
+        // in this stream is all of them because ObjectTable holds the
+        // current motion for each object.
+        let bounds = h.grid().bounds();
+        for t in t_now..=t_now + horizon.h() {
+            let expected = table
+                .objects()
+                .filter(|o| {
+                    // Only motions whose horizon still covers t
+                    // contribute counters there.
+                    t <= o.motion.t_ref + horizon.h() && bounds.contains(o.position_at(t))
+                })
+                .count() as i64;
+            prop_assert_eq!(h.total_at(t), expected, "t = {}", t);
+        }
+    }
+}
