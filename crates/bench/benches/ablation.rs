@@ -10,15 +10,16 @@
 //!   time-integrated metrics vs instantaneous-area metrics;
 //! * `refinement_index` — per-candidate-cell range-query cost of the
 //!   TPR-tree vs the velocity-bounded grid index.
+//!
+//! Plain `harness = false` timing (no external benchmark framework).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pdr_bench::{build_fr, build_pa, build_workload, Scale};
+use pdr_bench::{build_fr, build_pa, build_workload, quick_bench, Scale};
 use pdr_core::{classify_cells, refine_region, DenseThreshold, PdrQuery};
 use pdr_geometry::{LSquare, Point, Rect};
 use pdr_tprtree::{TprConfig, TprTree};
 use std::hint::black_box;
 
-fn ablations(c: &mut Criterion) {
+fn main() {
     let mut cfg = Scale::Quick.config();
     cfg.max_update_time = 8;
     cfg.prediction_window = 8;
@@ -31,22 +32,18 @@ fn ablations(c: &mut Criterion) {
     let q = PdrQuery::new(rho, l, q_t);
 
     // -- filter: prefix sums vs naive summation ------------------------
-    let mut group = c.benchmark_group("filter_prefix_vs_naive");
-    group.sample_size(20);
-    group.bench_function("prefix", |b| {
+    println!("== filter_prefix_vs_naive ==");
+    {
         let grid = fr.histogram().grid();
-        b.iter(|| {
+        quick_bench("prefix", 20, || {
             let sums = fr.histogram().prefix_sums_at(q_t);
-            black_box(classify_cells(grid, &sums, &q).candidate_count())
-        })
-    });
-    group.bench_function("naive", |b| {
-        let grid = fr.histogram().grid();
+            black_box(classify_cells(grid, &sums, &q).candidate_count());
+        });
         let m = grid.cells_per_side() as i64;
         let plane = fr.histogram().plane_at(q_t);
         // eta_h for l = 30, l_c = 10.
         let eta = 2i64;
-        b.iter(|| {
+        quick_bench("naive", 20, || {
             let mut candidates = 0usize;
             for row in 0..m {
                 for col in 0..m {
@@ -61,64 +58,58 @@ fn ablations(c: &mut Criterion) {
                     }
                 }
             }
-            black_box(candidates)
-        })
-    });
-    group.finish();
+            black_box(candidates);
+        });
+    }
 
     // -- refinement: plane sweep vs grid counting ----------------------
-    let mut group = c.benchmark_group("refine_sweep_vs_grid");
-    group.sample_size(20);
+    println!("== refine_sweep_vs_grid ==");
     // A dense candidate-cell-like scene: 300 points in a 10x10 target.
     let target = Rect::new(0.0, 0.0, 10.0, 10.0);
     let mut seed = 9u64;
     let mut rng = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as f64 / (1u64 << 31) as f64
     };
     let pts: Vec<Point> = (0..300)
         .map(|_| Point::new(rng() * 40.0 - 15.0, rng() * 40.0 - 15.0))
         .collect();
     let thr = DenseThreshold::from_count(8.0);
-    group.bench_function("sweep", |b| {
-        b.iter(|| black_box(refine_region(&target, &pts, thr, 6.0).len()))
+    quick_bench("sweep", 20, || {
+        black_box(refine_region(&target, pts.clone(), thr, 6.0).len());
     });
-    group.bench_function("grid64", |b| {
+    quick_bench("grid64", 20, || {
         // 64x64 point grid over the target; per point O(n) counting.
-        b.iter(|| {
-            let mut dense = 0usize;
-            for i in 0..64 {
-                for j in 0..64 {
-                    let p = Point::new(
-                        target.x_lo + (i as f64 + 0.5) * target.width() / 64.0,
-                        target.y_lo + (j as f64 + 0.5) * target.height() / 64.0,
-                    );
-                    let sq = LSquare::new(p, 6.0);
-                    if thr.met_by(pts.iter().filter(|&&o| sq.contains(o)).count()) {
-                        dense += 1;
-                    }
+        let mut dense = 0usize;
+        for i in 0..64 {
+            for j in 0..64 {
+                let p = Point::new(
+                    target.x_lo + (i as f64 + 0.5) * target.width() / 64.0,
+                    target.y_lo + (j as f64 + 0.5) * target.height() / 64.0,
+                );
+                let sq = LSquare::new(p, 6.0);
+                if thr.met_by(pts.iter().filter(|&&o| sq.contains(o)).count()) {
+                    dense += 1;
                 }
             }
-            black_box(dense)
-        })
+        }
+        black_box(dense);
     });
-    group.finish();
 
     // -- PA: branch-and-bound vs exhaustive grid scan ------------------
     let pa = build_pa(&cfg, &w, l, 20, 5);
-    let mut group = c.benchmark_group("pa_bnb_vs_grid");
-    group.sample_size(10);
-    group.bench_function("bnb", |b| {
-        b.iter(|| black_box(pa.query(rho, q_t).regions.len()))
+    println!("== pa_bnb_vs_grid ==");
+    quick_bench("bnb", 10, || {
+        black_box(pa.query(rho, q_t).regions.len());
     });
-    group.bench_function("grid_scan", |b| {
-        b.iter(|| black_box(pa.query_grid_scan(rho, q_t).regions.len()))
+    quick_bench("grid_scan", 10, || {
+        black_box(pa.query_grid_scan(rho, q_t).regions.len());
     });
-    group.finish();
 
     // -- TPR-tree: integrated vs instantaneous insertion metrics -------
-    let mut group = c.benchmark_group("tpr_insert_metric");
-    group.sample_size(10);
+    println!("== tpr_insert_metric ==");
     let query_rect = Rect::new(400.0, 400.0, 500.0, 500.0);
     for (name, integral) in [("integral", true), ("instant", false)] {
         let mut tree = TprTree::new(
@@ -133,8 +124,8 @@ fn ablations(c: &mut Criterion) {
         for (id, m) in &w.population {
             tree.insert(*id, m, 0);
         }
-        group.bench_function(format!("predictive_query_{name}"), |b| {
-            b.iter(|| black_box(tree.range_at(&query_rect, cfg.horizon()).len()))
+        quick_bench(&format!("predictive_query_{name}"), 10, || {
+            black_box(tree.range_at(&query_rect, cfg.horizon()).len());
         });
         tree.reset_io_stats();
         let _ = tree.range_at(&query_rect, cfg.horizon());
@@ -143,7 +134,6 @@ fn ablations(c: &mut Criterion) {
             tree.io_stats().logical_reads
         );
     }
-    group.finish();
 
     // -- refinement index: TPR-tree vs velocity-bounded grid -----------
     // The refinement step issues one small range query per candidate
@@ -170,43 +160,37 @@ fn ablations(c: &mut Criterion) {
             Rect::new(x, y, x + 10.0, y + 10.0).inflate(l / 2.0)
         })
         .collect();
-    let mut group = c.benchmark_group("refinement_index");
-    group.sample_size(10);
-    group.bench_function("tpr_tree", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for r in &cells {
-                n += tpr.range_at(r, q_t).len();
-            }
-            black_box(n)
-        })
-    });
-    group.bench_function("grid_index", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for r in &cells {
-                n += gidx.range_at(r, q_t).len();
-            }
-            black_box(n)
-        })
-    });
-    group.finish();
-    for (name, io) in [("tpr", {
-        tpr.reset_io_stats();
+    println!("== refinement_index ==");
+    quick_bench("tpr_tree", 10, || {
+        let mut n = 0usize;
         for r in &cells {
-            let _ = tpr.range_at(r, q_t);
+            n += tpr.range_at(r, q_t).len();
         }
-        tpr.io_stats().logical_reads
-    }), ("grid", {
-        gidx.reset_io_stats();
+        black_box(n);
+    });
+    quick_bench("grid_index", 10, || {
+        let mut n = 0usize;
         for r in &cells {
-            let _ = gidx.range_at(r, q_t);
+            n += gidx.range_at(r, q_t).len();
         }
-        gidx.io_stats().logical_reads
-    })] {
+        black_box(n);
+    });
+    for (name, io) in [
+        ("tpr", {
+            tpr.reset_io_stats();
+            for r in &cells {
+                let _ = tpr.range_at(r, q_t);
+            }
+            tpr.io_stats().logical_reads
+        }),
+        ("grid", {
+            gidx.reset_io_stats();
+            for r in &cells {
+                let _ = gidx.range_at(r, q_t);
+            }
+            gidx.io_stats().logical_reads
+        }),
+    ] {
         eprintln!("refinement_index/{name}: {io} page reads for 64 candidate cells");
     }
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

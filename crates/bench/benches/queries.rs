@@ -1,13 +1,13 @@
 //! Query-side micro-benchmarks backing Figures 9(a) and 10(a)/(b):
 //! PA branch-and-bound vs DH classification vs full FR queries, across
-//! density thresholds.
+//! density thresholds. Plain `harness = false` timing (no external
+//! benchmark framework — the registry is unreachable offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdr_bench::{build_fr, build_pa, build_workload, Scale};
+use pdr_bench::{build_fr, build_pa, build_workload, quick_bench, Scale};
 use pdr_core::{classify_cells, PdrQuery};
 use std::hint::black_box;
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let mut cfg = Scale::Quick.config();
     cfg.max_update_time = 8;
     cfg.prediction_window = 8;
@@ -18,56 +18,45 @@ fn bench_queries(c: &mut Criterion) {
     let pa = build_pa(&cfg, &w, l, 20, 5);
     let q_t = cfg.horizon() / 2;
 
-    let mut group = c.benchmark_group("fig9a_query_cpu");
-    group.sample_size(20);
+    println!("== fig9a_query_cpu ==");
     for varrho in [1.0, 3.0, 5.0] {
         let rho = cfg.rho(varrho, n);
-        group.bench_with_input(BenchmarkId::new("pa_bnb", varrho), &rho, |b, &rho| {
-            b.iter(|| black_box(pa.query(rho, q_t).regions.len()))
+        quick_bench(&format!("pa_bnb/{varrho}"), 20, || {
+            black_box(pa.query(rho, q_t).regions.len());
         });
-        group.bench_with_input(BenchmarkId::new("dh_classify", varrho), &rho, |b, &rho| {
-            let grid = fr.histogram().grid();
-            let q = PdrQuery::new(rho, l, q_t);
-            b.iter(|| {
-                let sums = fr.histogram().prefix_sums_at(q_t);
-                black_box(classify_cells(grid, &sums, &q).candidate_count())
-            })
+        let grid = fr.histogram().grid();
+        let q = PdrQuery::new(rho, l, q_t);
+        quick_bench(&format!("dh_classify/{varrho}"), 20, || {
+            let sums = fr.histogram().prefix_sums_at(q_t);
+            black_box(classify_cells(grid, &sums, &q).candidate_count());
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fig10a_total_cost");
-    group.sample_size(10);
+    println!("== fig10a_total_cost ==");
     for varrho in [1.0, 3.0, 5.0] {
         let rho = cfg.rho(varrho, n);
-        group.bench_with_input(BenchmarkId::new("fr_full", varrho), &rho, |b, &rho| {
-            let q = PdrQuery::new(rho, l, q_t);
-            b.iter(|| black_box(fr.query(&q).regions.len()))
+        let q = PdrQuery::new(rho, l, q_t);
+        quick_bench(&format!("fr_full/{varrho}"), 10, || {
+            black_box(fr.query(&q).regions.len());
         });
-        group.bench_with_input(BenchmarkId::new("pa_full", varrho), &rho, |b, &rho| {
-            b.iter(|| black_box(pa.query(rho, q_t).regions.len()))
+        quick_bench(&format!("pa_full/{varrho}"), 10, || {
+            black_box(pa.query(rho, q_t).regions.len());
         });
     }
-    group.finish();
 
     // Figure 10(b): FR cost grows with the dataset, PA stays flat.
-    let mut group = c.benchmark_group("fig10b_dataset_scaling");
-    group.sample_size(10);
+    println!("== fig10b_dataset_scaling ==");
     for n in [5_000usize, 20_000] {
         let w = build_workload(&cfg, n, 7);
         let mut fr = build_fr(&cfg, &w, 100);
         let pa = build_pa(&cfg, &w, l, 20, 5);
         let rho = cfg.rho(2.0, n);
         let q = PdrQuery::new(rho, l, q_t);
-        group.bench_with_input(BenchmarkId::new("fr_full", n), &n, |b, _| {
-            b.iter(|| black_box(fr.query(&q).regions.len()))
+        quick_bench(&format!("fr_full/{n}"), 10, || {
+            black_box(fr.query(&q).regions.len());
         });
-        group.bench_with_input(BenchmarkId::new("pa_full", n), &n, |b, _| {
-            b.iter(|| black_box(pa.query(rho, q_t).regions.len()))
+        quick_bench(&format!("pa_full/{n}"), 10, || {
+            black_box(pa.query(rho, q_t).regions.len());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

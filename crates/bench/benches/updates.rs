@@ -1,14 +1,13 @@
 //! Update-side micro-benchmarks backing Figure 9(b): per-location-update
 //! maintenance of the density histogram, the Chebyshev coefficients and
-//! the TPR-tree.
+//! the TPR-tree. Plain `harness = false` timing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pdr_bench::{build_histogram, build_pa, build_workload, Scale};
+use pdr_bench::{build_histogram, build_pa, build_workload, quick_bench, Scale};
 use pdr_mobject::{Update, UpdateKind};
 use pdr_tprtree::{TprConfig, TprTree};
 use std::hint::black_box;
 
-fn bench_updates(c: &mut Criterion) {
+fn main() {
     let mut cfg = Scale::Quick.config();
     cfg.max_update_time = 8;
     cfg.prediction_window = 8;
@@ -37,46 +36,36 @@ fn bench_updates(c: &mut Criterion) {
     let mut pa = build_pa(&cfg, &w, 30.0, 20, 5);
     pa.advance_to(w.sim.t_now());
 
-    let mut group = c.benchmark_group("fig9b_per_update_cpu");
-    group.sample_size(20);
-    group.bench_function("dh_apply", |b| {
-        b.iter(|| {
-            for u in &updates {
-                h.apply(black_box(u));
-            }
-            // Undo to keep counters bounded across iterations.
-            for u in &updates {
-                h.apply(&invert(u));
-            }
-        })
+    println!("== fig9b_per_update_cpu ==");
+    quick_bench("dh_apply", 20, || {
+        for u in &updates {
+            h.apply(black_box(u));
+        }
+        // Undo to keep counters bounded across iterations.
+        for u in &updates {
+            h.apply(&invert(u));
+        }
     });
-    group.bench_function("pa_apply", |b| {
-        b.iter(|| {
-            for u in updates.iter().take(400) {
-                pa.apply(black_box(u));
-            }
-            for u in updates.iter().take(400) {
-                pa.apply(&invert(u));
-            }
-        })
+    quick_bench("pa_apply", 20, || {
+        for u in updates.iter().take(400) {
+            pa.apply(black_box(u));
+        }
+        for u in updates.iter().take(400) {
+            pa.apply(&invert(u));
+        }
     });
-    group.finish();
 
     // TPR-tree update throughput (delete + insert), not part of the
     // paper's charged costs but a substrate sanity check.
-    let mut group = c.benchmark_group("tpr_update");
-    group.sample_size(10);
-    group.bench_function("update_1k", |b| {
-        let mut tree = TprTree::new(TprConfig::default_with_horizon(cfg.horizon() as f64), 0);
-        tree.bulk_load(&w.population, 0.7);
-        b.iter(|| {
-            for (id, m) in w.population.iter().take(1_000) {
-                tree.update(*id, m, 0);
-            }
-            black_box(tree.len())
-        })
+    println!("== tpr_update ==");
+    let mut tree = TprTree::new(TprConfig::default_with_horizon(cfg.horizon() as f64), 0);
+    tree.bulk_load(&w.population, 0.7);
+    quick_bench("update_1k", 10, || {
+        for (id, m) in w.population.iter().take(1_000) {
+            tree.update(*id, m, 0);
+        }
+        black_box(tree.len());
     });
-    group.finish();
 }
 
 /// Swaps insert/delete so a batch can be applied and rolled back.
@@ -86,6 +75,3 @@ fn invert(u: &Update) -> Update {
         UpdateKind::Delete { old_motion } => Update::insert(u.id, u.t_now, old_motion),
     }
 }
-
-criterion_group!(benches, bench_updates);
-criterion_main!(benches);

@@ -192,11 +192,7 @@ fn fig1_3() {
         t.row(&[
             "1(c) local density".into(),
             "PDR".into(),
-            format!(
-                "pocket {:?} excluded: {}",
-                pocket,
-                !pdr.contains(pocket)
-            ),
+            format!("pocket {:?} excluded: {}", pocket, !pdr.contains(pocket)),
         ]);
     }
     finish(&t, "fig1_3");
@@ -298,7 +294,11 @@ fn fig8ab(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
             for &q_t in &q_ts {
                 let q = PdrQuery::new(rho, l, q_t);
                 let truth = fr.query(&q).regions;
-                let cls = classify_cells(fr.histogram().grid(), &fr.histogram().prefix_sums_at(q_t), &q);
+                let cls = classify_cells(
+                    fr.histogram().grid(),
+                    &fr.histogram().prefix_sums_at(q_t),
+                    &q,
+                );
                 let pa_acc = accuracy(&truth, &pa.query(rho, q_t).regions);
                 let opt_acc = accuracy(&truth, &dh_optimistic(&cls));
                 let pes_acc = accuracy(&truth, &dh_pessimistic(&cls));
@@ -424,7 +424,10 @@ fn fig8cd(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
 // ---------------------------------------------------------------------
 
 fn fig9a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
-    banner("fig9a", "query CPU vs varrho: PA vs DH (classification only)");
+    banner(
+        "fig9a",
+        "query CPU vs varrho: PA vs DH (classification only)",
+    );
     let n = cfg.default_objects();
     let w = build_workload(cfg, n, seed);
     let fr = build_fr(cfg, &w, 100);
@@ -442,7 +445,11 @@ fn fig9a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
                 let (_, d) = time_it(|| pa.query(rho, q_t));
                 pa_ms += d.as_secs_f64() * 1e3;
                 let (_, d) = time_it(|| {
-                    classify_cells(fr.histogram().grid(), &fr.histogram().prefix_sums_at(q_t), &q)
+                    classify_cells(
+                        fr.histogram().grid(),
+                        &fr.histogram().prefix_sums_at(q_t),
+                        &q,
+                    )
                 });
                 dh_ms += d.as_secs_f64() * 1e3;
             }
@@ -518,7 +525,10 @@ fn fig9b(cfg: &ExperimentConfig, seed: u64) {
 // ---------------------------------------------------------------------
 
 fn fig10a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
-    banner("fig10a", "total query cost vs varrho: PA vs FR (CPU + 10ms/IO)");
+    banner(
+        "fig10a",
+        "total query cost vs varrho: PA vs FR (CPU + 10ms/IO)",
+    );
     let n = cfg.default_objects();
     let w = build_workload(cfg, n, seed);
     let mut fr = build_fr(cfg, &w, 100);
@@ -562,7 +572,10 @@ fn fig10a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
 // ---------------------------------------------------------------------
 
 fn fig10b(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
-    banner("fig10b", "total query cost vs dataset size (l = 30, varrho = 2)");
+    banner(
+        "fig10b",
+        "total query cost vs dataset size (l = 30, varrho = 2)",
+    );
     let l = cfg.edge_lengths[0];
     let q_ts = query_timestamps(cfg, scale.queries_per_point());
     let model = CostModel {
@@ -648,6 +661,7 @@ fn ablation_refinement_index(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
         m: 100,
         horizon: TimeHorizon::new(cfg.max_update_time, cfg.prediction_window),
         buffer_pages: cfg.buffer_pages(n).max(8),
+        threads: 1,
     };
     let mut fr_tpr = FrEngine::new(fr_cfg, 0);
     fr_tpr.bulk_load(&w.population, 0);
@@ -667,7 +681,14 @@ fn ablation_refinement_index(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
     let model = CostModel {
         random_io_ms: cfg.random_io_ms,
     };
-    let mut t = Table::new(&["varrho", "TPR_ms", "TPR_io", "Grid_ms", "Grid_io", "answers_equal"]);
+    let mut t = Table::new(&[
+        "varrho",
+        "TPR_ms",
+        "TPR_io",
+        "Grid_ms",
+        "Grid_io",
+        "answers_equal",
+    ]);
     for &varrho in &[1.0, 3.0, 5.0] {
         let rho = cfg.rho(varrho, n);
         let (mut a_ms, mut a_io) = (0.0, 0u64);

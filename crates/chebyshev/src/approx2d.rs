@@ -261,13 +261,8 @@ mod tests {
         let w = 0.7;
         let mut inc = ChebyshevApprox::zero(domain(), 6);
         inc.add_box(&bx, w);
-        let fitted = ChebyshevApprox::fit(domain(), 6, 1024, |p| {
-            if bx.contains(p) {
-                w
-            } else {
-                0.0
-            }
-        });
+        let fitted =
+            ChebyshevApprox::fit(domain(), 6, 1024, |p| if bx.contains(p) { w } else { 0.0 });
         for (i, j, a) in inc.coeffs().iter() {
             let b = fitted.coeffs().get(i, j);
             assert!(

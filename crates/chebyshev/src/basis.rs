@@ -222,8 +222,14 @@ mod tests {
                     seen_lo = seen_lo.min(v);
                     seen_hi = seen_hi.max(v);
                 }
-                assert!(seen_lo - lo < 0.05, "lower bound too loose for T_{i} on [{z0},{z1}]");
-                assert!(hi - seen_hi < 0.05, "upper bound too loose for T_{i} on [{z0},{z1}]");
+                assert!(
+                    seen_lo - lo < 0.05,
+                    "lower bound too loose for T_{i} on [{z0},{z1}]"
+                );
+                assert!(
+                    hi - seen_hi < 0.05,
+                    "upper bound too loose for T_{i} on [{z0},{z1}]"
+                );
             }
         }
     }

@@ -200,7 +200,10 @@ pub fn top_k_peaks<F: BoundedField>(
             Rect::new(cx, cy, rect.x_hi, rect.y_hi),
         ] {
             let (_, qub) = field.value_bounds(&quad);
-            heap.push(Entry { ub: qub, rect: quad });
+            heap.push(Entry {
+                ub: qub,
+                rect: quad,
+            });
         }
     }
     // Peaks were found in UB order; report in decreasing value order.
@@ -235,8 +238,12 @@ mod tests {
             let dy = (r.y_lo - self.peak.y).max(self.peak.y - r.y_hi).max(0.0);
             let dmin = dx.max(dy);
             // Max L-inf distance: farthest corner.
-            let fx = (self.peak.x - r.x_lo).abs().max((r.x_hi - self.peak.x).abs());
-            let fy = (self.peak.y - r.y_lo).abs().max((r.y_hi - self.peak.y).abs());
+            let fx = (self.peak.x - r.x_lo)
+                .abs()
+                .max((r.x_hi - self.peak.x).abs());
+            let fy = (self.peak.y - r.y_lo)
+                .abs()
+                .max((r.y_hi - self.peak.y).abs());
             let dmax = fx.max(fy);
             (self.h - dmax, self.h - dmin)
         }
@@ -337,7 +344,10 @@ mod tests {
     fn top_k_finds_both_peaks_tallest_first() {
         let field = TwoCones {
             domain: Rect::new(0.0, 0.0, 64.0, 64.0),
-            peaks: [(Point::new(16.0, 16.0), 10.0), (Point::new(48.0, 48.0), 7.0)],
+            peaks: [
+                (Point::new(16.0, 16.0), 10.0),
+                (Point::new(48.0, 48.0), 7.0),
+            ],
         };
         let cfg = BnbConfig { min_edge: 0.5 };
         let found = top_k_peaks(&field, 2, &cfg, 5.0);
@@ -353,7 +363,10 @@ mod tests {
     fn separation_suppresses_shoulder_peaks() {
         let field = TwoCones {
             domain: Rect::new(0.0, 0.0, 64.0, 64.0),
-            peaks: [(Point::new(30.0, 30.0), 10.0), (Point::new(33.0, 30.0), 9.0)],
+            peaks: [
+                (Point::new(30.0, 30.0), 10.0),
+                (Point::new(33.0, 30.0), 9.0),
+            ],
         };
         let cfg = BnbConfig { min_edge: 0.5 };
         // With separation 10, the second cone (3 away) is suppressed;

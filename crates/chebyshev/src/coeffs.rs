@@ -57,7 +57,11 @@ impl CoeffTriangle {
 
     #[inline]
     fn index(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i + j <= self.degree, "({i},{j}) outside degree-{} triangle", self.degree);
+        debug_assert!(
+            i + j <= self.degree,
+            "({i},{j}) outside degree-{} triangle",
+            self.degree
+        );
         i * (self.degree + 1) - i * (i.saturating_sub(1)) / 2 + j
     }
 
@@ -189,7 +193,11 @@ impl CoeffTriangle {
     ///
     /// Panics when the length does not match the degree.
     pub fn from_raw(degree: usize, a: Vec<f64>) -> Self {
-        assert_eq!(a.len(), Self::len_for(degree), "raw coefficient length mismatch");
+        assert_eq!(
+            a.len(),
+            Self::len_for(degree),
+            "raw coefficient length mismatch"
+        );
         CoeffTriangle { degree, a }
     }
 
@@ -369,7 +377,9 @@ mod tests {
         let mut t = CoeffTriangle::zero(5);
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..=5 {

@@ -82,17 +82,12 @@ pub fn contour_lines(
             let x0 = domain.x_lo + ix as f64 * step_x;
             let y0 = domain.y_lo + iy as f64 * step_y;
             let corners = [
-                Point::new(x0, y0),                    // bottom-left
-                Point::new(x0 + step_x, y0),           // bottom-right
-                Point::new(x0 + step_x, y0 + step_y),  // top-right
-                Point::new(x0, y0 + step_y),           // top-left
+                Point::new(x0, y0),                   // bottom-left
+                Point::new(x0 + step_x, y0),          // bottom-right
+                Point::new(x0 + step_x, y0 + step_y), // top-right
+                Point::new(x0, y0 + step_y),          // top-left
             ];
-            let f = [
-                v(ix, iy),
-                v(ix + 1, iy),
-                v(ix + 1, iy + 1),
-                v(ix, iy + 1),
-            ];
+            let f = [v(ix, iy), v(ix + 1, iy), v(ix + 1, iy + 1), v(ix, iy + 1)];
             // Case index: bit set when the corner is >= the level.
             let mut case = 0usize;
             for (bit, &fv) in f.iter().enumerate() {
@@ -161,7 +156,10 @@ fn stitch(mut segments: Vec<(Point, Point)>, tol: f64) -> Vec<Contour> {
 fn stitch_inner(segments: Vec<(Point, Point)>, tol: f64) -> Vec<Contour> {
     use std::collections::HashMap;
     let quant = |p: Point| -> (i64, i64) {
-        ((p.x / tol.max(1e-12)).round() as i64, (p.y / tol.max(1e-12)).round() as i64)
+        (
+            (p.x / tol.max(1e-12)).round() as i64,
+            (p.y / tol.max(1e-12)).round() as i64,
+        )
     };
     // endpoint key -> list of (segment index, which end).
     let mut ends: HashMap<(i64, i64), Vec<(usize, bool)>> = HashMap::new();
@@ -181,7 +179,11 @@ fn stitch_inner(segments: Vec<(Point, Point)>, tol: f64) -> Vec<Contour> {
         // Extend forward from the tail, then backward from the head.
         for forward in [true, false] {
             loop {
-                let tip = if forward { *line.last().unwrap() } else { line[0] };
+                let tip = if forward {
+                    *line.last().unwrap()
+                } else {
+                    line[0]
+                };
                 let Some(cands) = ends.get(&quant(tip)) else {
                     break;
                 };

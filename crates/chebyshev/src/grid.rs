@@ -52,7 +52,10 @@ impl PolyGrid {
     /// Total number of stored coefficients across all tiles — the
     /// paper's storage unit `g²(k+1)(k+2)/2` per timestamp.
     pub fn coefficient_count(&self) -> usize {
-        self.cells.iter().map(ChebyshevApprox::coefficient_count).sum()
+        self.cells
+            .iter()
+            .map(ChebyshevApprox::coefficient_count)
+            .sum()
     }
 
     /// Adds `weight · 1_box` to the field; only tiles overlapping the
@@ -140,9 +143,7 @@ impl PolyGrid {
 
     /// Serializes the grid's coefficients into a versioned checkpoint.
     pub fn serialize(&self) -> Vec<u8> {
-        let mut w = pdr_storage::ByteWriter::with_capacity(
-            32 + 8 * self.coefficient_count(),
-        );
+        let mut w = pdr_storage::ByteWriter::with_capacity(32 + 8 * self.coefficient_count());
         w.put_bytes(b"PDRG");
         w.put_u16(1);
         w.put_f64(self.spec.bounds().width());

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pdrcli generate --objects 10000 --extent 1000 --seed 7 --out objects.csv
-//! pdrcli query    --data objects.csv --extent 1000 --l 30 --count 15 --at 10 [--method fr|pa]
+//! pdrcli query    --data objects.csv --extent 1000 --l 30 --count 15 --at 10 [--method fr|pa] [--threads N]
 //! pdrcli hotspots --data objects.csv --extent 1000 --l 30 --at 10 --top 5
 //! ```
 //!
@@ -45,7 +45,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
-         pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa]\n  \
+         pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -65,6 +65,7 @@ struct Options {
     at: Timestamp,
     method: String,
     top: usize,
+    threads: usize,
 }
 
 impl Options {
@@ -81,6 +82,7 @@ impl Options {
             at: 0,
             method: "fr".into(),
             top: 5,
+            threads: 0, // refinement workers: 0 = one per core
         };
         let mut i = 0;
         while i < args.len() {
@@ -101,6 +103,7 @@ impl Options {
                 "--at" => o.at = value.parse().map_err(|_| bad(key))?,
                 "--method" => o.method = value.clone(),
                 "--top" => o.top = value.parse().map_err(|_| bad(key))?,
+                "--threads" => o.threads = value.parse().map_err(|_| bad(key))?,
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 2;
@@ -197,6 +200,7 @@ fn cmd_query(o: &Options) -> Result<(), String> {
                     m,
                     horizon: horizon_for(o.at),
                     buffer_pages: 512,
+                    threads: o.threads,
                 },
                 0,
             );
@@ -270,7 +274,12 @@ fn cmd_hotspots(o: &Options) -> Result<(), String> {
         pa.apply(&Update::insert(*id, 0, *m));
     }
     let peaks = pa.top_k_dense(o.top, o.at, 2.0 * o.l);
-    println!("# top {} density peaks at t = {} (l = {})", peaks.len(), o.at, o.l);
+    println!(
+        "# top {} density peaks at t = {} (l = {})",
+        peaks.len(),
+        o.at,
+        o.l
+    );
     println!("rank,x,y,density,objects_per_neighborhood");
     for (i, (r, d)) in peaks.iter().enumerate() {
         let c = r.center();

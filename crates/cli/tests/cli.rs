@@ -29,7 +29,11 @@ fn generate_query_hotspots_round_trip() {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The CSV parses back: header + 2000 rows of 5 fields.
     let text = std::fs::read_to_string(&data).unwrap();
@@ -39,12 +43,25 @@ fn generate_query_hotspots_round_trip() {
     // FR query produces a CSV of rectangles.
     let out = pdrcli()
         .args([
-            "query", "--data", data.to_str().unwrap(), "--extent", "400", "--l", "20",
-            "--count", "10", "--at", "5",
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--extent",
+            "400",
+            "--l",
+            "20",
+            "--count",
+            "10",
+            "--at",
+            "5",
         ])
         .output()
         .expect("run query");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("x_lo,y_lo,x_hi,y_hi"));
     let rects = stdout.lines().filter(|l| !l.starts_with('#')).count();
@@ -53,8 +70,19 @@ fn generate_query_hotspots_round_trip() {
     // PA agrees on the rough amount of dense area.
     let out_pa = pdrcli()
         .args([
-            "query", "--data", data.to_str().unwrap(), "--extent", "400", "--l", "20",
-            "--count", "10", "--at", "5", "--method", "pa",
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--extent",
+            "400",
+            "--l",
+            "20",
+            "--count",
+            "10",
+            "--at",
+            "5",
+            "--method",
+            "pa",
         ])
         .output()
         .expect("run pa query");
@@ -63,8 +91,17 @@ fn generate_query_hotspots_round_trip() {
     // Hotspots lists k ranked peaks.
     let out = pdrcli()
         .args([
-            "hotspots", "--data", data.to_str().unwrap(), "--extent", "400", "--l", "20",
-            "--at", "5", "--top", "3",
+            "hotspots",
+            "--data",
+            data.to_str().unwrap(),
+            "--extent",
+            "400",
+            "--l",
+            "20",
+            "--at",
+            "5",
+            "--top",
+            "3",
         ])
         .output()
         .expect("run hotspots");
@@ -89,7 +126,17 @@ fn helpful_errors() {
 
     // Missing data file.
     let out = pdrcli()
-        .args(["query", "--data", "/nonexistent/x.csv", "--l", "10", "--count", "5", "--at", "0"])
+        .args([
+            "query",
+            "--data",
+            "/nonexistent/x.csv",
+            "--l",
+            "10",
+            "--count",
+            "5",
+            "--at",
+            "0",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -101,7 +148,17 @@ fn rejects_malformed_csv() {
     let data = tmp_path("bad.csv");
     std::fs::write(&data, "id,x,y,vx,vy\n1,2,3\n").unwrap();
     let out = pdrcli()
-        .args(["query", "--data", data.to_str().unwrap(), "--l", "10", "--count", "5", "--at", "0"])
+        .args([
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--l",
+            "10",
+            "--count",
+            "5",
+            "--at",
+            "0",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

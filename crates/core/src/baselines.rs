@@ -230,7 +230,9 @@ mod tests {
         let mut positions = Vec::new();
         let mut seed = 3u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64
         };
         for _ in 0..200 {
@@ -243,7 +245,10 @@ mod tests {
             for b in squares.iter().skip(i + 1) {
                 let ra = Rect::centered_square(a.center, 3.0);
                 let rb = Rect::centered_square(b.center, 3.0);
-                assert!(!ra.overlaps_interior(&rb), "overlap between {a:?} and {b:?}");
+                assert!(
+                    !ra.overlaps_interior(&rb),
+                    "overlap between {a:?} and {b:?}"
+                );
             }
             assert!(a.count as f64 >= q.count_threshold() - 1e-9);
         }
@@ -256,7 +261,9 @@ mod tests {
         let mut positions = Vec::new();
         let mut seed = 11u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64
         };
         for i in 0..150 {

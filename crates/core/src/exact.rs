@@ -15,11 +15,7 @@ pub fn point_density(p: Point, l: f64, objects: &[Point]) -> f64 {
 /// ground truth `D` used for `r_fp` / `r_fn` (the FR engine computes
 /// the same set faster by filtering first; equality of the two is a
 /// tested invariant).
-pub fn exact_dense_regions(
-    objects: &[Point],
-    bounds: &Rect,
-    query: &PdrQuery,
-) -> RegionSet {
+pub fn exact_dense_regions(objects: &[Point], bounds: &Rect, query: &PdrQuery) -> RegionSet {
     let threshold = DenseThreshold::of(query);
     // Only objects within bounds ⊕ l/2 can influence any in-bounds point.
     let inflated = bounds.inflate(query.l / 2.0);
@@ -28,7 +24,7 @@ pub fn exact_dense_regions(
         .copied()
         .filter(|p| inflated.contains(*p))
         .collect();
-    let mut rs = RegionSet::from_rects(refine_region(bounds, &relevant, threshold, query.l));
+    let mut rs = RegionSet::from_rects(refine_region(bounds, relevant, threshold, query.l));
     rs.coalesce();
     rs
 }
@@ -81,7 +77,11 @@ mod tests {
 
     #[test]
     fn density_counts_half_open() {
-        let objects = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(-1.0, 0.0)];
+        let objects = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(-1.0, 0.0),
+        ];
         // l = 2 around origin: contains (0,0) and (1,1); excludes (-1,0).
         assert_eq!(point_density(Point::ORIGIN, 2.0, &objects), 2.0 / 4.0);
     }

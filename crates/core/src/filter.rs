@@ -87,7 +87,11 @@ pub fn classify_cells(grid: GridSpec, sums: &PrefixSum2d, query: &PdrQuery) -> C
         "filter requires cell edge l_c ({l_c}) <= l/2 ({})",
         query.l / 2.0
     );
-    assert_eq!(sums.m(), grid.cells_per_side() as usize, "grid/sums mismatch");
+    assert_eq!(
+        sums.m(),
+        grid.cells_per_side() as usize,
+        "grid/sums mismatch"
+    );
     let beta = query.l / (2.0 * l_c);
     let eta_l = beta.floor() as i64;
     let eta_h = beta.ceil() as i64;
@@ -175,7 +179,9 @@ mod tests {
         let mut pts = Vec::new();
         let mut seed = 31u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64
         };
         for _ in 0..120 {
@@ -198,20 +204,20 @@ mod tests {
                 CellClass::Accept => {
                     // Sample points: all must be dense.
                     for (fx, fy) in [(0.1, 0.1), (0.5, 0.5), (0.9, 0.9)] {
-                        let p = Point::new(
-                            r.x_lo + fx * r.width(),
-                            r.y_lo + fy * r.height(),
+                        let p = Point::new(r.x_lo + fx * r.width(), r.y_lo + fy * r.height());
+                        assert!(
+                            oracle.is_dense(p, &q),
+                            "accepted cell has sparse point {p:?}"
                         );
-                        assert!(oracle.is_dense(p, &q), "accepted cell has sparse point {p:?}");
                     }
                 }
                 CellClass::Reject => {
                     for (fx, fy) in [(0.1, 0.1), (0.5, 0.5), (0.9, 0.9)] {
-                        let p = Point::new(
-                            r.x_lo + fx * r.width(),
-                            r.y_lo + fy * r.height(),
+                        let p = Point::new(r.x_lo + fx * r.width(), r.y_lo + fy * r.height());
+                        assert!(
+                            !oracle.is_dense(p, &q),
+                            "rejected cell has dense point {p:?}"
                         );
-                        assert!(!oracle.is_dense(p, &q), "rejected cell has dense point {p:?}");
                     }
                 }
                 CellClass::Candidate => {}

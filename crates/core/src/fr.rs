@@ -1,11 +1,15 @@
 //! The exact filtering–refinement engine (Section 5).
 
-use crate::{classify_cells, refine_region, CellClass, DenseThreshold, PdrQuery, RangeIndex};
-use pdr_geometry::{Point, RegionSet};
-use pdr_histogram::DensityHistogram;
+use crate::{
+    classify_cells, refine_region, CellClass, Classification, DenseThreshold, PdrQuery, RangeIndex,
+};
+use pdr_geometry::{CellId, GridSpec, Point, Rect, RegionSet};
+use pdr_histogram::{DensityHistogram, PrefixSum2d};
 use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update, UpdateKind};
 use pdr_storage::{CostModel, IoStats};
 use pdr_tprtree::{TprConfig, TprTree};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of an [`FrEngine`].
@@ -19,6 +23,11 @@ pub struct FrConfig {
     pub horizon: TimeHorizon,
     /// TPR-tree buffer pool size in pages (paper: 10 % of the data).
     pub buffer_pages: usize,
+    /// Refinement worker threads; `0` means one per available core.
+    /// Candidate cells are fanned out across this many workers, each
+    /// running its range queries and plane sweeps independently; the
+    /// answer is bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl FrConfig {
@@ -29,6 +38,7 @@ impl FrConfig {
             m: 100,
             horizon: TimeHorizon::PAPER_DEFAULT,
             buffer_pages: 1024,
+            threads: 0,
         }
     }
 }
@@ -60,6 +70,57 @@ impl FrAnswer {
     }
 }
 
+/// Counters for the per-timestamp classification cache: how many times
+/// the engine actually rebuilt derived state (as opposed to serving it
+/// from cache). Exposed so tests can assert cache behavior — e.g. an
+/// interval query over `n` distinct timestamps performs exactly `n`
+/// prefix-sum builds, not one per snapshot re-visit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrCacheCounters {
+    /// `prefix_sums_at` invocations that hit the histogram.
+    pub sums_recomputes: u64,
+    /// `classify_cells` invocations that walked all `m²` cells.
+    pub classify_recomputes: u64,
+}
+
+/// Derived per-timestamp state, valid for exactly one histogram epoch:
+/// any [`DensityHistogram::apply`] or advance bumps the epoch and the
+/// next lookup drops everything. Prefix sums depend only on `q_t`;
+/// classifications additionally depend on the query's `(ρ, l)` (keyed
+/// by their bit patterns, so `0.05` and `0.05000…1` are distinct).
+struct ClassificationCache {
+    epoch: u64,
+    sums: HashMap<Timestamp, Arc<PrefixSum2d>>,
+    classes: HashMap<(Timestamp, u64, u64), Arc<Classification>>,
+    counters: FrCacheCounters,
+}
+
+/// Bound on distinct `(q_t, ρ, l)` classification entries kept; beyond
+/// this the map is cleared (ad-hoc query mixes should not grow memory
+/// without bound, while any realistic monitoring loop stays far below).
+const MAX_CLASS_ENTRIES: usize = 256;
+
+impl ClassificationCache {
+    fn new() -> Self {
+        ClassificationCache {
+            epoch: 0,
+            sums: HashMap::new(),
+            classes: HashMap::new(),
+            counters: FrCacheCounters::default(),
+        }
+    }
+
+    /// Drops every cached entry when the histogram has mutated since
+    /// the entries were built. Counters survive invalidation.
+    fn sync_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.sums.clear();
+            self.classes.clear();
+            self.epoch = epoch;
+        }
+    }
+}
+
 /// The exact PDR query engine: density histogram for filtering, a
 /// pluggable [`RangeIndex`] (TPR-tree by default) plus plane sweep for
 /// refinement.
@@ -67,6 +128,7 @@ pub struct FrEngine<I: RangeIndex = TprTree> {
     cfg: FrConfig,
     histogram: DensityHistogram,
     tree: I,
+    cache: ClassificationCache,
 }
 
 impl FrEngine<TprTree> {
@@ -100,6 +162,7 @@ impl<I: RangeIndex> FrEngine<I> {
             cfg,
             histogram,
             tree: index,
+            cache: ClassificationCache::new(),
         }
     }
 
@@ -138,6 +201,7 @@ impl<I: RangeIndex> FrEngine<I> {
             cfg,
             histogram,
             tree: index,
+            cache: ClassificationCache::new(),
         }
     }
 
@@ -172,8 +236,7 @@ impl<I: RangeIndex> FrEngine<I> {
     pub fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
         assert!(self.is_empty(), "bulk_load requires an empty engine");
         for (id, m) in objects {
-            self.histogram
-                .apply(&Update::insert(*id, t_now, *m));
+            self.histogram.apply(&Update::insert(*id, t_now, *m));
         }
         self.tree.load(objects, t_now);
     }
@@ -195,7 +258,62 @@ impl<I: RangeIndex> FrEngine<I> {
         self.histogram.advance_to(t_now);
     }
 
+    /// Cumulative cache-miss counters of the classification cache.
+    pub fn cache_counters(&self) -> FrCacheCounters {
+        self.cache.counters
+    }
+
+    /// Prefix sums of timestamp `q_t`'s plane, cached per histogram
+    /// epoch.
+    fn cached_sums(&mut self, q_t: Timestamp) -> Arc<PrefixSum2d> {
+        self.cache.sync_epoch(self.histogram.epoch());
+        if let Some(s) = self.cache.sums.get(&q_t) {
+            return Arc::clone(s);
+        }
+        self.cache.counters.sums_recomputes += 1;
+        let s = Arc::new(self.histogram.prefix_sums_at(q_t));
+        self.cache.sums.insert(q_t, Arc::clone(&s));
+        s
+    }
+
+    /// Filter-step classification for `q`, cached per histogram epoch
+    /// and `(q_t, ρ, l)`.
+    fn cached_classification(&mut self, q: &PdrQuery) -> Arc<Classification> {
+        self.cache.sync_epoch(self.histogram.epoch());
+        let key = (q.q_t, q.rho.to_bits(), q.l.to_bits());
+        if let Some(c) = self.cache.classes.get(&key) {
+            return Arc::clone(c);
+        }
+        let sums = self.cached_sums(q.q_t);
+        self.cache.counters.classify_recomputes += 1;
+        let cls = Arc::new(classify_cells(self.histogram.grid(), &sums, q));
+        if self.cache.classes.len() >= MAX_CLASS_ENTRIES {
+            self.cache.classes.clear();
+        }
+        self.cache.classes.insert(key, Arc::clone(&cls));
+        cls
+    }
+
+    /// Number of refinement workers for a query with `candidates`
+    /// candidate cells.
+    fn worker_count(&self, candidates: usize) -> usize {
+        let configured = if self.cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.cfg.threads
+        };
+        configured.min(candidates).max(1)
+    }
+
     /// Evaluates a snapshot PDR query exactly (Algorithms 1–3).
+    ///
+    /// The filter step is served from the per-timestamp classification
+    /// cache when the histogram has not mutated since it was built; the
+    /// refinement step fans candidate cells out across
+    /// [`FrConfig::threads`] workers. Chunks are contiguous runs of the
+    /// row-major candidate list and are merged back in chunk order, so
+    /// the rectangle sequence — and therefore the coalesced answer — is
+    /// identical for every worker count.
     ///
     /// # Panics
     ///
@@ -204,8 +322,7 @@ impl<I: RangeIndex> FrEngine<I> {
     pub fn query(&mut self, q: &PdrQuery) -> FrAnswer {
         let start = Instant::now();
         let grid = self.histogram.grid();
-        let sums = self.histogram.prefix_sums_at(q.q_t);
-        let cls = classify_cells(grid, &sums, q);
+        let cls = self.cached_classification(q);
         let threshold = DenseThreshold::of(q);
 
         let mut regions = RegionSet::new();
@@ -214,16 +331,35 @@ impl<I: RangeIndex> FrEngine<I> {
         }
 
         self.tree.reset_io_stats();
-        let mut objects_retrieved = 0usize;
-        for cell in cls.cells_of(CellClass::Candidate) {
-            let target = grid.cell_rect(cell);
-            let s = target.inflate(q.l / 2.0);
-            let hits = self.tree.range_at(&s, q.q_t);
-            objects_retrieved += hits.len();
-            let positions: Vec<Point> = hits.into_iter().map(|(_, p)| p).collect();
-            for r in refine_region(&target, &positions, threshold, q.l) {
-                regions.push(r);
+        let candidates: Vec<CellId> = cls.cells_of(CellClass::Candidate).collect();
+        let workers = self.worker_count(candidates.len());
+        let (rects, objects_retrieved, io) = if workers <= 1 {
+            refine_chunk(&self.tree, grid, &candidates, q, threshold)
+        } else {
+            let chunk_len = candidates.len().div_ceil(workers);
+            let tree = &self.tree;
+            let per_chunk: Vec<(Vec<Rect>, usize, IoStats)> = std::thread::scope(|s| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk_len)
+                    .map(|chunk| s.spawn(move || refine_chunk(tree, grid, chunk, q, threshold)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("refinement worker panicked"))
+                    .collect()
+            });
+            let mut rects = Vec::new();
+            let mut retrieved = 0usize;
+            let mut io = IoStats::default();
+            for (r, n, i) in per_chunk {
+                rects.extend(r);
+                retrieved += n;
+                io += i;
             }
+            (rects, retrieved, io)
+        };
+        for r in rects {
+            regions.push(r);
         }
         regions.coalesce();
         FrAnswer {
@@ -232,23 +368,80 @@ impl<I: RangeIndex> FrEngine<I> {
             rejects: cls.reject_count(),
             candidates: cls.candidate_count(),
             objects_retrieved,
-            io: self.tree.io_stats(),
+            io,
             cpu: start.elapsed(),
         }
     }
 
     /// Interval PDR query (Definition 5): the union of snapshot answers
     /// over `q_t ∈ [from, to]`.
-    pub fn interval_query(&mut self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
+    ///
+    /// Snapshot rectangles accumulate in one reused scratch buffer and
+    /// are folded into the result with an incremental coalesce every
+    /// [`INTERVAL_COALESCE_EVERY`] timestamps, keeping the working set
+    /// proportional to a few snapshots instead of the whole interval.
+    /// The per-timestamp classification cache makes the repeated filter
+    /// passes O(1) after the first visit of each timestamp.
+    pub fn interval_query(
+        &mut self,
+        rho: f64,
+        l: f64,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> RegionSet {
         assert!(from <= to, "empty interval");
         let mut out = RegionSet::new();
+        let mut scratch: Vec<Rect> = Vec::new();
+        let mut pending = 0u32;
         for t in from..=to {
             let ans = self.query(&PdrQuery::new(rho, l, t));
-            out.extend_from(&ans.regions);
+            scratch.extend_from_slice(ans.regions.rects());
+            pending += 1;
+            if pending == INTERVAL_COALESCE_EVERY {
+                for r in scratch.drain(..) {
+                    out.push(r);
+                }
+                out.coalesce();
+                pending = 0;
+            }
+        }
+        for r in scratch.drain(..) {
+            out.push(r);
         }
         out.coalesce();
         out
     }
+}
+
+/// How many snapshots an interval query buffers before folding them
+/// into the running union: large enough to amortize the coalesce, small
+/// enough that the scratch buffer never holds more than a handful of
+/// snapshots' rectangles.
+pub const INTERVAL_COALESCE_EVERY: u32 = 4;
+
+/// Refines one contiguous chunk of candidate cells: per cell, a range
+/// query over the `l/2`-inflated cell followed by the plane sweep.
+/// Self-contained per chunk (own I/O collector, own rectangle list) so
+/// chunks can run on separate threads and still merge deterministically.
+fn refine_chunk<I: RangeIndex>(
+    tree: &I,
+    grid: GridSpec,
+    cells: &[CellId],
+    q: &PdrQuery,
+    threshold: DenseThreshold,
+) -> (Vec<Rect>, usize, IoStats) {
+    let mut rects = Vec::new();
+    let mut retrieved = 0usize;
+    let mut io = IoStats::default();
+    for &cell in cells {
+        let target = grid.cell_rect(cell);
+        let s = target.inflate(q.l / 2.0);
+        let hits = tree.range_at_collect(&s, q.q_t, &mut io);
+        retrieved += hits.len();
+        let positions: Vec<Point> = hits.into_iter().map(|(_, p)| p).collect();
+        rects.extend(refine_region(&target, positions, threshold, q.l));
+    }
+    (rects, retrieved, io)
 }
 
 #[cfg(test)]
@@ -263,13 +456,17 @@ mod tests {
             m: 20, // l_c = 10
             horizon: TimeHorizon::new(3, 3),
             buffer_pages: 64,
+            threads: 1,
         }
     }
 
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> f64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (self.0 >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -423,5 +620,105 @@ mod tests {
         let ans = fr.query(&PdrQuery::new(0.5, 20.0, 0));
         assert!(ans.regions.is_empty());
         assert_eq!(ans.accepts, 0);
+    }
+
+    /// The tentpole determinism guarantee: the parallel pipeline must be
+    /// rectangle-for-rectangle identical to the serial oracle, for any
+    /// worker count, including the merged I/O attribution.
+    #[test]
+    fn parallel_answer_identical_to_serial_oracle() {
+        let pop = clustered_population(2000, 13);
+        let mut serial = FrEngine::new(
+            FrConfig {
+                threads: 1,
+                ..cfg()
+            },
+            0,
+        );
+        serial.bulk_load(&pop, 0);
+        let q = PdrQuery::new(0.05, 20.0, 2);
+        let base = serial.query(&q);
+        assert!(
+            base.candidates >= 2,
+            "need several candidate cells to exercise the fan-out, got {}",
+            base.candidates
+        );
+        for threads in [2usize, 8] {
+            let mut fr = FrEngine::new(FrConfig { threads, ..cfg() }, 0);
+            fr.bulk_load(&pop, 0);
+            let ans = fr.query(&q);
+            assert_eq!(
+                ans.regions.rects(),
+                base.regions.rects(),
+                "answer diverged at threads = {threads}"
+            );
+            assert_eq!(ans.objects_retrieved, base.objects_retrieved);
+            assert_eq!(ans.candidates, base.candidates);
+            assert_eq!(
+                ans.io, base.io,
+                "merged per-thread I/O diverged at threads = {threads}"
+            );
+        }
+    }
+
+    /// An update between two queries at the same `q_t` must invalidate
+    /// the classification cache: the second answer reflects the update.
+    #[test]
+    fn cache_invalidated_by_updates() {
+        let pop = clustered_population(300, 55);
+        let mut fr = FrEngine::new(cfg(), 0);
+        fr.bulk_load(&pop, 0);
+        let q = PdrQuery::new(0.05, 20.0, 1); // threshold = 20 objects
+        let before = fr.query(&q);
+
+        // A repeat of the same query is served from cache...
+        let counters = fr.cache_counters();
+        let repeat = fr.query(&q);
+        assert_eq!(fr.cache_counters(), counters, "repeat query recomputed");
+        assert_eq!(repeat.regions.rects(), before.regions.rects());
+
+        // ...but a burst of inserts at one spot invalidates it and the
+        // new mass shows up in the answer at the same q_t.
+        let spot = Point::new(170.0, 30.0);
+        assert!(!before.regions.contains(spot), "spot dense too early");
+        for i in 0..40u64 {
+            fr.apply(&Update::insert(
+                ObjectId(1_000_000 + i),
+                0,
+                MotionState::stationary(spot, 0),
+            ));
+        }
+        let after = fr.query(&q);
+        assert!(
+            fr.cache_counters().sums_recomputes > counters.sums_recomputes,
+            "update did not invalidate the cache"
+        );
+        assert!(
+            after.regions.contains(spot),
+            "post-update query missed the new cluster"
+        );
+    }
+
+    /// An interval query over 16 distinct timestamps builds prefix sums
+    /// and classifications exactly once per timestamp, and a repeat of
+    /// the same interval recomputes nothing at all.
+    #[test]
+    fn interval_query_computes_each_timestamp_once() {
+        let pop = clustered_population(400, 7);
+        let cfg16 = FrConfig {
+            horizon: TimeHorizon::new(8, 8), // covers q_t in [0, 16]
+            ..cfg()
+        };
+        let mut fr = FrEngine::new(cfg16, 0);
+        fr.bulk_load(&pop, 0);
+        let c0 = fr.cache_counters();
+        let first = fr.interval_query(0.05, 20.0, 0, 15);
+        let c1 = fr.cache_counters();
+        assert_eq!(c1.sums_recomputes - c0.sums_recomputes, 16);
+        assert_eq!(c1.classify_recomputes - c0.classify_recomputes, 16);
+
+        let second = fr.interval_query(0.05, 20.0, 0, 15);
+        assert_eq!(fr.cache_counters(), c1, "repeat interval recomputed");
+        assert!(first.symmetric_difference_area(&second) < 1e-9);
     }
 }

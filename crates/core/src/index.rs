@@ -6,6 +6,11 @@
 //! accounting, captured by [`RangeIndex`]; the exact engine is generic
 //! over it, with the TPR-tree as the paper's (default) choice and the
 //! velocity-bounded grid index as the drop-in alternative.
+//!
+//! Range queries go through `&self` so a shared index can serve several
+//! refinement threads at once (`Sync` is a supertrait); each query
+//! reports the I/O it performed into a caller-supplied [`IoStats`]
+//! collector, which parallel callers merge at the end.
 
 use pdr_geometry::{Point, Rect};
 use pdr_mobject::{MotionState, ObjectId, Timestamp};
@@ -13,7 +18,10 @@ use pdr_storage::IoStats;
 
 /// A disk-backed index over moving objects supporting predictive range
 /// queries, as required by the FR refinement step.
-pub trait RangeIndex {
+///
+/// `Sync` is required so the parallel refinement pipeline can share
+/// `&self` across `std::thread::scope` workers.
+pub trait RangeIndex: Sync {
     /// Inserts a motion reported at `t_now`.
     fn insert(&mut self, id: ObjectId, motion: &MotionState, t_now: Timestamp);
 
@@ -21,8 +29,22 @@ pub trait RangeIndex {
     fn remove(&mut self, id: ObjectId) -> bool;
 
     /// All objects whose extrapolated position at `t` lies in `rect`
-    /// (closed semantics).
-    fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)>;
+    /// (closed semantics). The I/O charged to this query is added to
+    /// `io`; implementations also accumulate it in their global
+    /// [`io_stats`](RangeIndex::io_stats).
+    fn range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Vec<(ObjectId, Point)>;
+
+    /// [`range_at_collect`](RangeIndex::range_at_collect) without a
+    /// collector, for callers that only need the global counters.
+    fn range_at(&self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+        let mut io = IoStats::default();
+        self.range_at_collect(rect, t, &mut io)
+    }
 
     /// Loads an initial population into an empty index. The default
     /// implementation inserts one by one; packed loaders override it.
@@ -44,7 +66,7 @@ pub trait RangeIndex {
     fn io_stats(&self) -> IoStats;
 
     /// Zeroes the I/O counters (called before each measured query).
-    fn reset_io_stats(&mut self);
+    fn reset_io_stats(&self);
 }
 
 impl RangeIndex for pdr_tprtree::TprTree {
@@ -56,8 +78,13 @@ impl RangeIndex for pdr_tprtree::TprTree {
         pdr_tprtree::TprTree::remove(self, id)
     }
 
-    fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
-        pdr_tprtree::TprTree::range_at(self, rect, t)
+    fn range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Vec<(ObjectId, Point)> {
+        pdr_tprtree::TprTree::range_at_collect(self, rect, t, io)
     }
 
     fn load(&mut self, objects: &[(ObjectId, MotionState)], _t_now: Timestamp) {
@@ -73,7 +100,7 @@ impl RangeIndex for pdr_tprtree::TprTree {
         pdr_tprtree::TprTree::io_stats(self)
     }
 
-    fn reset_io_stats(&mut self) {
+    fn reset_io_stats(&self) {
         pdr_tprtree::TprTree::reset_io_stats(self);
     }
 }
@@ -87,8 +114,13 @@ impl RangeIndex for pdr_gridindex::GridIndex {
         pdr_gridindex::GridIndex::remove(self, id)
     }
 
-    fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
-        pdr_gridindex::GridIndex::range_at(self, rect, t)
+    fn range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Vec<(ObjectId, Point)> {
+        pdr_gridindex::GridIndex::range_at_collect(self, rect, t, io)
     }
 
     fn len(&self) -> usize {
@@ -99,7 +131,7 @@ impl RangeIndex for pdr_gridindex::GridIndex {
         pdr_gridindex::GridIndex::io_stats(self)
     }
 
-    fn reset_io_stats(&mut self) {
+    fn reset_io_stats(&self) {
         pdr_gridindex::GridIndex::reset_io_stats(self);
     }
 }
@@ -113,7 +145,9 @@ mod tests {
     fn motions(n: usize) -> Vec<(ObjectId, MotionState)> {
         let mut seed = 99u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64
         };
         (0..n)
@@ -136,10 +170,8 @@ mod tests {
     #[test]
     fn implementations_agree_through_the_trait() {
         let pop = motions(1500);
-        let mut tpr: Box<dyn RangeIndex> = Box::new(TprTree::new(
-            TprConfig::default_with_horizon(20.0),
-            0,
-        ));
+        let mut tpr: Box<dyn RangeIndex> =
+            Box::new(TprTree::new(TprConfig::default_with_horizon(20.0), 0));
         let mut grid: Box<dyn RangeIndex> = Box::new(GridIndex::new(
             GridIndexConfig {
                 extent: 1000.0,
@@ -157,11 +189,35 @@ mod tests {
         }
         for t in [0u64, 10] {
             let rect = Rect::new(300.0, 300.0, 600.0, 500.0);
-            let mut a: Vec<u64> = tpr.range_at(&rect, t).into_iter().map(|(i, _)| i.0).collect();
-            let mut b: Vec<u64> = grid.range_at(&rect, t).into_iter().map(|(i, _)| i.0).collect();
+            let mut a: Vec<u64> = tpr
+                .range_at(&rect, t)
+                .into_iter()
+                .map(|(i, _)| i.0)
+                .collect();
+            let mut b: Vec<u64> = grid
+                .range_at(&rect, t)
+                .into_iter()
+                .map(|(i, _)| i.0)
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "t = {t}");
         }
+    }
+
+    /// The collector sees the same I/O the global counters record for a
+    /// single query on an otherwise idle index.
+    #[test]
+    fn collectors_match_global_stats() {
+        let pop = motions(1500);
+        let mut tpr = TprTree::new(TprConfig::default_with_horizon(20.0), 0);
+        RangeIndex::load(&mut tpr, &pop, 0);
+        tpr.reset_io_stats();
+        let mut io = IoStats::default();
+        let hits =
+            RangeIndex::range_at_collect(&tpr, &Rect::new(0.0, 0.0, 500.0, 500.0), 5, &mut io);
+        assert!(!hits.is_empty());
+        assert!(io.logical_reads > 0);
+        assert_eq!(io, RangeIndex::io_stats(&tpr));
     }
 }

@@ -44,7 +44,7 @@ mod sweep;
 pub use dh_answers::{dh_optimistic, dh_pessimistic};
 pub use exact::{exact_dense_regions, point_density, ExactOracle};
 pub use filter::{classify_cells, CellClass, Classification};
-pub use fr::{FrAnswer, FrConfig, FrEngine};
+pub use fr::{FrAnswer, FrCacheCounters, FrConfig, FrEngine, INTERVAL_COALESCE_EVERY};
 pub use index::RangeIndex;
 pub use metrics::{accuracy, Accuracy};
 pub use pa::{PaAnswer, PaConfig, PaEngine};

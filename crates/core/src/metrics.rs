@@ -22,7 +22,10 @@ pub struct Accuracy {
 
 impl Accuracy {
     /// Perfect agreement.
-    pub const EXACT: Accuracy = Accuracy { r_fp: 0.0, r_fn: 0.0 };
+    pub const EXACT: Accuracy = Accuracy {
+        r_fp: 0.0,
+        r_fn: 0.0,
+    };
 }
 
 /// Computes the accuracy of `reported` against `truth`.

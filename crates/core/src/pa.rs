@@ -314,11 +314,7 @@ impl PaEngine {
             }
             grids.push(grid);
         }
-        Ok(PaEngine {
-            cfg,
-            t_base,
-            grids,
-        })
+        Ok(PaEngine { cfg, t_base, grids })
     }
 
     /// The `k` highest-density spots at timestamp `t`, at least
@@ -330,12 +326,7 @@ impl PaEngine {
     /// # Panics
     ///
     /// Panics when `t` is outside the horizon window.
-    pub fn top_k_dense(
-        &self,
-        k: usize,
-        t: Timestamp,
-        min_separation: f64,
-    ) -> Vec<(Rect, f64)> {
+    pub fn top_k_dense(&self, k: usize, t: Timestamp, min_separation: f64) -> Vec<(Rect, f64)> {
         assert!(self.covers(t), "timestamp {t} outside horizon");
         let cfg = BnbConfig::for_grid(self.cfg.extent, self.cfg.m_d);
         self.grids[self.slot_of(t)].top_k_peaks(k, &cfg, min_separation)
@@ -406,7 +397,10 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> f64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (self.0 >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -611,8 +605,8 @@ mod tests {
         let pop = population(600, 41);
         let pa = loaded_engine(&pop);
         for rect in [
-            Rect::new(40.0, 40.0, 120.0, 120.0), // hot cluster area
-            Rect::new(0.0, 0.0, 200.0, 200.0),   // whole plane
+            Rect::new(40.0, 40.0, 120.0, 120.0),   // hot cluster area
+            Rect::new(0.0, 0.0, 200.0, 200.0),     // whole plane
             Rect::new(150.0, 150.0, 200.0, 200.0), // sparse corner
         ] {
             // Blur-corrected truth: count objects in the rect expanded

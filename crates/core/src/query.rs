@@ -22,7 +22,10 @@ impl PdrQuery {
     ///
     /// Panics when `ρ < 0` or `l ≤ 0`.
     pub fn new(rho: f64, l: f64, q_t: Timestamp) -> Self {
-        assert!(rho >= 0.0 && rho.is_finite(), "density threshold must be >= 0");
+        assert!(
+            rho >= 0.0 && rho.is_finite(),
+            "density threshold must be >= 0"
+        );
         assert!(l > 0.0 && l.is_finite(), "edge length must be positive");
         PdrQuery { rho, l, q_t }
     }
@@ -38,7 +41,13 @@ impl PdrQuery {
     /// with `n` objects in a region of area `extent²`, the absolute
     /// threshold is `ρ = n·ϱ / extent²` (Section 7: ϱ ∈ 1..=5 gives
     /// ρ ∈ 0.5..=2.5 for CH500K on the 1000-mile plane).
-    pub fn from_relative(varrho: f64, n_objects: usize, extent: f64, l: f64, q_t: Timestamp) -> Self {
+    pub fn from_relative(
+        varrho: f64,
+        n_objects: usize,
+        extent: f64,
+        l: f64,
+        q_t: Timestamp,
+    ) -> Self {
         let rho = n_objects as f64 * varrho / (extent * extent);
         PdrQuery::new(rho, l, q_t)
     }

@@ -25,11 +25,17 @@ use pdr_geometry::{Point, Rect, RegionSet};
 /// object position within `target.inflate(l/2)` (a superset is fine;
 /// objects further out cannot affect any point of `target`).
 ///
+/// Takes the positions by value and sorts them in place: refinement
+/// callers build a fresh position vector per candidate cell anyway, so
+/// handing it over avoids a second allocation + copy per cell (the old
+/// slice signature cloned internally). Borrowing callers go through
+/// [`refine_region_set`], which pays the one copy explicitly.
+///
 /// Returns half-open `[lo, hi)` rectangles, not yet coalesced (callers
 /// merging several cells coalesce once at the end).
 pub fn refine_region(
     target: &Rect,
-    objects: &[Point],
+    objects: Vec<Point>,
     threshold: DenseThreshold,
     l: f64,
 ) -> Vec<Rect> {
@@ -44,8 +50,8 @@ pub fn refine_region(
     }
     let half = l / 2.0;
 
-    // Objects sorted by x for the band sweep.
-    let mut by_x: Vec<Point> = objects.to_vec();
+    // Objects sorted by x for the band sweep (in place — we own them).
+    let mut by_x = objects;
     by_x.sort_by(|a, b| a.x.total_cmp(&b.x));
 
     // Stopping events along X, clamped to the target.
@@ -142,14 +148,15 @@ fn sweep_y(
     }
 }
 
-/// Convenience wrapper returning a coalesced [`RegionSet`].
+/// Convenience wrapper over borrowed positions returning a coalesced
+/// [`RegionSet`]. This is the one place that copies the slice.
 pub fn refine_region_set(
     target: &Rect,
     objects: &[Point],
     threshold: DenseThreshold,
     l: f64,
 ) -> RegionSet {
-    let mut rs = RegionSet::from_rects(refine_region(target, objects, threshold, l));
+    let mut rs = RegionSet::from_rects(refine_region(target, objects.to_vec(), threshold, l));
     rs.coalesce();
     rs
 }
@@ -168,7 +175,7 @@ mod tests {
     fn empty_when_too_few_objects() {
         let target = Rect::new(0.0, 0.0, 10.0, 10.0);
         let objects = vec![Point::new(5.0, 5.0)];
-        assert!(refine_region(&target, &objects, thresh(2.0), 2.0).is_empty());
+        assert!(refine_region(&target, objects, thresh(2.0), 2.0).is_empty());
     }
 
     #[test]
@@ -182,10 +189,7 @@ mod tests {
         let objects = vec![q; 4];
         let rs = refine_region_set(&target, &objects, thresh(4.0), 2.0);
         let truth = RegionSet::from_rects([Rect::new(4.0, 4.0, 6.0, 6.0)]);
-        assert!(
-            rs.symmetric_difference_area(&truth) < 1e-9,
-            "got {rs:?}"
-        );
+        assert!(rs.symmetric_difference_area(&truth) < 1e-9, "got {rs:?}");
     }
 
     #[test]
@@ -213,7 +217,9 @@ mod tests {
         let rs = refine_region_set(&target, objects, thresh(k), l);
         let mut seed = 0xDEADBEEFu64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64
         };
         for _ in 0..samples {
@@ -239,7 +245,9 @@ mod tests {
     fn matches_brute_force_on_random_scenes() {
         let mut seed = 424242u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64
         };
         for scene in 0..5 {
@@ -283,9 +291,9 @@ mod tests {
         // threshold 2.5 means 3 objects needed.
         let target = Rect::new(0.0, 0.0, 10.0, 10.0);
         let two = vec![Point::new(5.0, 5.0); 2];
-        assert!(refine_region(&target, &two, thresh(2.5), 2.0).is_empty());
+        assert!(refine_region(&target, two, thresh(2.5), 2.0).is_empty());
         let three = vec![Point::new(5.0, 5.0); 3];
-        assert!(!refine_region(&target, &three, thresh(2.5), 2.0).is_empty());
+        assert!(!refine_region(&target, three, thresh(2.5), 2.0).is_empty());
     }
 
     #[test]

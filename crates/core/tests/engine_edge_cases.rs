@@ -15,6 +15,7 @@ fn fr() -> FrEngine {
             m: 20, // l_c = 5
             horizon: TimeHorizon::new(4, 4),
             buffer_pages: 32,
+            threads: 1,
         },
         0,
     )
@@ -52,7 +53,11 @@ fn filter_at_exact_l_equals_two_cell_edges() {
         &q,
     );
     // The cell holding all 10 objects is provably dense.
-    let cell = engine.histogram().grid().locate(Point::new(52.5, 52.5)).unwrap();
+    let cell = engine
+        .histogram()
+        .grid()
+        .locate(Point::new(52.5, 52.5))
+        .unwrap();
     assert_eq!(cls.class_of(cell), CellClass::Accept);
 }
 
@@ -104,7 +109,13 @@ fn zero_threshold_makes_everything_dense() {
 fn dh_answers_bracket_the_exact_answer() {
     // pessimistic ⊆ exact ⊆ optimistic, pointwise via areas.
     let pop: Vec<_> = (0..150)
-        .map(|i| stationary(i, 20.0 + (i % 30) as f64 * 2.0, 40.0 + (i / 30) as f64 * 3.0))
+        .map(|i| {
+            stationary(
+                i,
+                20.0 + (i % 30) as f64 * 2.0,
+                40.0 + (i / 30) as f64 * 3.0,
+            )
+        })
         .collect();
     let mut engine = fr();
     engine.bulk_load(&pop, 0);
@@ -176,7 +187,13 @@ fn histogram_and_pa_share_protocol_semantics() {
     let mut h = DensityHistogram::new(100.0, 20, TimeHorizon::new(4, 4), 0);
     let mut p = pa();
     let pop: Vec<_> = (0..100)
-        .map(|i| stationary(i, 25.0 + (i % 10) as f64 * 5.0, 25.0 + (i / 10) as f64 * 5.0))
+        .map(|i| {
+            stationary(
+                i,
+                25.0 + (i % 10) as f64 * 5.0,
+                25.0 + (i / 10) as f64 * 5.0,
+            )
+        })
         .collect();
     for (id, m) in &pop {
         let u = Update::insert(*id, 0, *m);

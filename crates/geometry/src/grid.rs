@@ -115,7 +115,10 @@ impl GridSpec {
     ///
     /// Panics when the cell is out of range.
     pub fn cell_rect(&self, cell: CellId) -> Rect {
-        assert!(cell.col < self.m && cell.row < self.m, "cell out of range: {cell:?}");
+        assert!(
+            cell.col < self.m && cell.row < self.m,
+            "cell out of range: {cell:?}"
+        );
         let e = self.cell_edge();
         let x = self.origin.x + cell.col as f64 * e;
         let y = self.origin.y + cell.row as f64 * e;
@@ -133,7 +136,10 @@ impl GridSpec {
     #[inline]
     pub fn cell_of_index(&self, idx: usize) -> CellId {
         debug_assert!(idx < self.cell_count());
-        CellId::new((idx % self.m as usize) as u32, (idx / self.m as usize) as u32)
+        CellId::new(
+            (idx % self.m as usize) as u32,
+            (idx / self.m as usize) as u32,
+        )
     }
 
     /// All cells whose rectangles intersect `r` (closed semantics),
@@ -145,9 +151,11 @@ impl GridSpec {
         // rectangles sitting exactly on a cell border also see the cell
         // they merely touch (closed semantics); the intersects filter
         // below keeps the result exact.
-        let lo_col = ((((r.x_lo - self.origin.x) / e).floor() - 1.0).max(0.0) as u32).min(self.m - 1);
+        let lo_col =
+            ((((r.x_lo - self.origin.x) / e).floor() - 1.0).max(0.0) as u32).min(self.m - 1);
         let hi_col = ((((r.x_hi - self.origin.x) / e).ceil() + 1.0).max(0.0) as u32).min(self.m);
-        let lo_row = ((((r.y_lo - self.origin.y) / e).floor() - 1.0).max(0.0) as u32).min(self.m - 1);
+        let lo_row =
+            ((((r.y_lo - self.origin.y) / e).floor() - 1.0).max(0.0) as u32).min(self.m - 1);
         let hi_row = ((((r.y_hi - self.origin.y) / e).ceil() + 1.0).max(0.0) as u32).min(self.m);
         let (lo_col, hi_col, lo_row, hi_row, grid) = (lo_col, hi_col, lo_row, hi_row, *self);
         let r = *r;
@@ -200,7 +208,10 @@ mod tests {
     fn locate_clamped_snaps_to_border() {
         let g = grid();
         assert_eq!(g.locate_clamped(Point::new(-5.0, 50.0)), CellId::new(0, 5));
-        assert_eq!(g.locate_clamped(Point::new(150.0, 150.0)), CellId::new(9, 9));
+        assert_eq!(
+            g.locate_clamped(Point::new(150.0, 150.0)),
+            CellId::new(9, 9)
+        );
     }
 
     #[test]

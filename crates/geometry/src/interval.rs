@@ -115,7 +115,9 @@ impl IntervalSet {
     pub fn contains(&self, x: f64) -> bool {
         // Binary search over the sorted, disjoint representation.
         let idx = self.items.partition_point(|iv| iv.hi < x);
-        self.items.get(idx).is_some_and(|iv| iv.lo <= x && x <= iv.hi)
+        self.items
+            .get(idx)
+            .is_some_and(|iv| iv.lo <= x && x <= iv.hi)
     }
 
     /// Intersection with another normalized set, by linear merge.

@@ -120,11 +120,11 @@ mod tests {
     fn density_matches_definition() {
         let s = LSquare::new(Point::new(0.0, 0.0), 2.0);
         let pts = vec![
-            Point::new(0.0, 0.0),   // in
-            Point::new(0.9, 0.9),   // in
-            Point::new(-1.0, 0.0),  // out (left edge)
-            Point::new(1.0, 1.0),   // in (top-right corner)
-            Point::new(3.0, 3.0),   // out
+            Point::new(0.0, 0.0),  // in
+            Point::new(0.9, 0.9),  // in
+            Point::new(-1.0, 0.0), // out (left edge)
+            Point::new(1.0, 1.0),  // in (top-right corner)
+            Point::new(3.0, 3.0),  // out
         ];
         assert_eq!(s.density_of(&pts), 3.0 / 4.0);
     }

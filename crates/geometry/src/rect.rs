@@ -41,7 +41,12 @@ impl Rect {
             x_lo <= x_hi && y_lo <= y_hi,
             "malformed rect: [{x_lo}, {x_hi}] x [{y_lo}, {y_hi}]"
         );
-        Rect { x_lo, y_lo, x_hi, y_hi }
+        Rect {
+            x_lo,
+            y_lo,
+            x_hi,
+            y_hi,
+        }
     }
 
     /// Creates a rectangle from two corner points (in either order).

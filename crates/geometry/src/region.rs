@@ -319,13 +319,22 @@ mod tests {
         let mut cells = RegionSet::new();
         for i in 0..3 {
             for j in 0..3 {
-                cells.push(Rect::new(i as f64, j as f64, i as f64 + 1.0, j as f64 + 1.0));
+                cells.push(Rect::new(
+                    i as f64,
+                    j as f64,
+                    i as f64 + 1.0,
+                    j as f64 + 1.0,
+                ));
             }
         }
         let before_area = cells.area();
         let block = rs(&[(0.0, 0.0, 3.0, 3.0)]);
         cells.coalesce();
-        assert!(cells.len() < 9, "coalesce should merge cells, got {}", cells.len());
+        assert!(
+            cells.len() < 9,
+            "coalesce should merge cells, got {}",
+            cells.len()
+        );
         assert!((cells.area() - before_area).abs() < 1e-12);
         assert!(cells.symmetric_difference_area(&block) < 1e-9);
     }

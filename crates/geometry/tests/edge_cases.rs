@@ -27,7 +27,11 @@ fn lsquare_bounding_rect_is_closed_cover() {
     let bb = s.bounding_rect();
     assert_eq!(bb, Rect::new(3.0, 3.0, 7.0, 7.0));
     // Everything the half-open square contains is inside the closed box.
-    for p in [Point::new(7.0, 7.0), Point::new(3.1, 3.1), Point::new(5.0, 5.0)] {
+    for p in [
+        Point::new(7.0, 7.0),
+        Point::new(3.1, 3.1),
+        Point::new(5.0, 5.0),
+    ] {
         if s.contains(p) {
             assert!(bb.contains(p));
         }
@@ -86,10 +90,7 @@ fn region_contains_respects_half_open_edges() {
     assert!(!r.contains(Point::new(0.0, 1.0)));
     // Two abutting rects: the shared edge belongs to exactly the right
     // one, so the union contains it once.
-    let r2 = RegionSet::from_rects([
-        Rect::new(0.0, 0.0, 1.0, 1.0),
-        Rect::new(1.0, 0.0, 2.0, 1.0),
-    ]);
+    let r2 = RegionSet::from_rects([Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(1.0, 0.0, 2.0, 1.0)]);
     assert!(r2.contains(Point::new(1.0, 0.5)));
 }
 

@@ -119,13 +119,13 @@ impl GridIndex {
     }
 
     /// Zeroes the I/O counters.
-    pub fn reset_io_stats(&mut self) {
+    pub fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
     /// Pages currently allocated.
     pub fn page_count(&self) -> usize {
-        self.pool.disk().allocated_pages()
+        self.pool.allocated_pages()
     }
 
     fn dt(&self, t: Timestamp) -> f64 {
@@ -256,7 +256,23 @@ impl GridIndex {
     /// Predictive range query: all objects whose extrapolated position
     /// at `t` lies in `rect` (closed semantics). Only buckets whose
     /// velocity-expanded footprint reaches `rect` are scanned.
-    pub fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+    ///
+    /// Takes `&self`: the buffer pool's interior mutex makes concurrent
+    /// range queries from several threads safe on a shared index.
+    pub fn range_at(&self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+        let mut io = IoStats::default();
+        self.range_at_collect(rect, t, &mut io)
+    }
+
+    /// Like [`range_at`](GridIndex::range_at), additionally adding the
+    /// I/O this query performed to `io` — the per-query/per-thread
+    /// collector merged by parallel callers.
+    pub fn range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Vec<(ObjectId, Point)> {
         let dt = self.dt(t);
         let mut out = Vec::new();
         for cell in self.spec.all_cells() {
@@ -269,7 +285,7 @@ impl GridIndex {
             }
             let mut cur = self.buckets[idx].head;
             while let Some(page) = cur {
-                let node = self.pool.read_page(page, RecordPage::decode);
+                let node = self.pool.read_page_tracked(page, io, RecordPage::decode);
                 for r in &node.records {
                     let p = r.position_at(dt);
                     if rect.contains(p) {
@@ -305,7 +321,7 @@ impl GridIndex {
 
     /// Structural validation for tests: chains well-formed, counts and
     /// the object map consistent, velocity bounds sound.
-    pub fn validate(&mut self) {
+    pub fn validate(&self) {
         let mut seen = 0usize;
         for idx in 0..self.buckets.len() {
             let bucket = self.buckets[idx];
@@ -362,7 +378,10 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> f64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (self.0 >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -394,7 +413,11 @@ mod tests {
         g.validate();
         for qt in [0u64, 5, 12] {
             let rect = Rect::new(200.0, 200.0, 450.0, 400.0);
-            let mut got: Vec<u64> = g.range_at(&rect, qt).into_iter().map(|(id, _)| id.0).collect();
+            let mut got: Vec<u64> = g
+                .range_at(&rect, qt)
+                .into_iter()
+                .map(|(id, _)| id.0)
+                .collect();
             got.sort_unstable();
             let mut expect: Vec<u64> = motions
                 .iter()

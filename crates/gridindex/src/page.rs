@@ -104,7 +104,10 @@ impl RecordPage {
     pub fn decode(page: &[u8; PAGE_SIZE]) -> RecordPage {
         let next_raw = u32::from_le_bytes(page[0..4].try_into().unwrap());
         let count = u16::from_le_bytes(page[4..6].try_into().unwrap()) as usize;
-        assert!(count <= RECORDS_PER_PAGE, "corrupt bucket page count {count}");
+        assert!(
+            count <= RECORDS_PER_PAGE,
+            "corrupt bucket page count {count}"
+        );
         let f64_at = |o: usize| f64::from_le_bytes(page[o..o + 8].try_into().unwrap());
         let mut records = Vec::with_capacity(count);
         for i in 0..count {

@@ -43,6 +43,11 @@ pub struct DensityHistogram {
     t_base: Timestamp,
     /// `slots × m²` counters, slot-major.
     counts: Vec<i32>,
+    /// Monotone mutation counter: bumped whenever the counters can have
+    /// changed ([`apply`](Self::apply), [`advance_to`](Self::advance_to)).
+    /// Derived per-timestamp state (prefix sums, classifications) cached
+    /// under an epoch stays valid exactly while the epoch is unchanged.
+    epoch: u64,
 }
 
 impl DensityHistogram {
@@ -56,7 +61,18 @@ impl DensityHistogram {
             horizon,
             t_base: t_start,
             counts,
+            epoch: 0,
         }
+    }
+
+    /// The histogram's mutation epoch. Any two calls returning the same
+    /// value bracket a span in which no counter changed, so snapshots
+    /// derived from the planes (prefix sums, cell classifications) can
+    /// be cached keyed on `(t, epoch)`. Restored histograms restart at
+    /// epoch 0 — the epoch identifies states *within* one instance's
+    /// lifetime, not across checkpoints.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The grid specification (cell geometry).
@@ -140,6 +156,7 @@ impl DensityHistogram {
         }
         let motion = update.motion();
         let sign = update.sign() as i32;
+        self.epoch += 1;
         for t in from..=to {
             let pos = motion.position_at(t);
             if let Some(cell) = self.grid.locate(pos) {
@@ -160,6 +177,9 @@ impl DensityHistogram {
         assert!(t_new >= self.t_base, "time cannot move backwards");
         let slots = self.horizon.slot_count() as u64;
         let steps = t_new - self.t_base;
+        if steps > 0 {
+            self.epoch += 1;
+        }
         if steps >= slots {
             // The entire window expired.
             self.counts.fill(0);
@@ -245,6 +265,7 @@ impl DensityHistogram {
             horizon,
             t_base,
             counts,
+            epoch: 0,
         })
     }
 
@@ -333,7 +354,11 @@ mod tests {
     #[test]
     fn advance_recycles_slots_zeroed() {
         let mut h = dh();
-        h.apply(&Update::insert(ObjectId(1), 0, motion(50.0, 50.0, 0.0, 0.0, 0)));
+        h.apply(&Update::insert(
+            ObjectId(1),
+            0,
+            motion(50.0, 50.0, 0.0, 0.0, 0),
+        ));
         assert_eq!(h.total_at(5), 1);
         h.advance_to(3);
         // Old slots 0..2 recycled as 6..8; they must be empty.
@@ -349,7 +374,11 @@ mod tests {
     #[test]
     fn advance_past_entire_window_clears_all() {
         let mut h = dh();
-        h.apply(&Update::insert(ObjectId(1), 0, motion(50.0, 50.0, 0.0, 0.0, 0)));
+        h.apply(&Update::insert(
+            ObjectId(1),
+            0,
+            motion(50.0, 50.0, 0.0, 0.0, 0),
+        ));
         h.advance_to(100);
         for t in 100..=105u64 {
             assert_eq!(h.total_at(t), 0);
@@ -402,8 +431,16 @@ mod tests {
     #[test]
     fn checkpoint_round_trip() {
         let mut h = dh();
-        h.apply(&Update::insert(ObjectId(1), 0, motion(5.0, 5.0, 10.0, 0.0, 0)));
-        h.apply(&Update::insert(ObjectId(2), 0, motion(55.0, 55.0, 0.0, 0.0, 0)));
+        h.apply(&Update::insert(
+            ObjectId(1),
+            0,
+            motion(5.0, 5.0, 10.0, 0.0, 0),
+        ));
+        h.apply(&Update::insert(
+            ObjectId(2),
+            0,
+            motion(55.0, 55.0, 0.0, 0.0, 0),
+        ));
         h.advance_to(2);
         let bytes = h.serialize();
         let restored = DensityHistogram::deserialize(&bytes).unwrap();

@@ -93,7 +93,9 @@ mod tests {
                     for c1 in c0..4 {
                         let plane = &plane;
                         let naive: i64 = (r0..=r1)
-                            .flat_map(|r| (c0..=c1).map(move |c| plane[(r * 4 + c) as usize] as i64))
+                            .flat_map(|r| {
+                                (c0..=c1).map(move |c| plane[(r * 4 + c) as usize] as i64)
+                            })
                             .sum();
                         assert_eq!(ps.range_sum(c0, r0, c1, r1), naive);
                     }

@@ -3,6 +3,7 @@
 use crate::lru::LruList;
 use crate::{Disk, PageId, PAGE_SIZE};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// I/O counters accumulated by a [`BufferPool`].
 ///
@@ -31,6 +32,24 @@ impl IoStats {
     }
 }
 
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.logical_reads += rhs.logical_reads;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+        self.writebacks += rhs.writebacks;
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+
+    fn add(mut self, rhs: IoStats) -> IoStats {
+        self += rhs;
+        self
+    }
+}
+
 struct Frame {
     page: PageId,
     dirty: bool,
@@ -46,10 +65,18 @@ struct Frame {
 /// faithfully. Capacity is given in pages; the paper sizes it at 10 % of
 /// the dataset.
 ///
+/// All access methods take `&self`: the pool's state lives behind an
+/// internal mutex, so a shared pool can serve page reads from several
+/// query threads at once (each access is serialized, but callers never
+/// need `&mut`). Per-caller I/O attribution is available through
+/// [`read_page_tracked`](BufferPool::read_page_tracked), which adds the
+/// access's counters to a caller-supplied collector on top of the
+/// global [`stats`](BufferPool::stats).
+///
 /// ```
 /// use pdr_storage::{BufferPool, Disk};
 ///
-/// let mut pool = BufferPool::new(Disk::new(), 2);
+/// let pool = BufferPool::new(Disk::new(), 2);
 /// let a = pool.allocate_page();
 /// pool.write_page(a, |bytes| bytes[0] = 42);
 /// assert_eq!(pool.read_page(a, |bytes| bytes[0]), 42);
@@ -57,6 +84,11 @@ struct Frame {
 /// assert_eq!(pool.stats().misses, 1);
 /// ```
 pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+struct PoolInner {
     disk: Disk,
     capacity: usize,
     frames: Vec<Frame>,
@@ -76,14 +108,21 @@ impl BufferPool {
     pub fn new(disk: Disk, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         BufferPool {
-            disk,
             capacity,
-            frames: Vec::with_capacity(capacity),
-            map: HashMap::with_capacity(capacity),
-            lru: LruList::new(capacity),
-            free_slots: Vec::new(),
-            stats: IoStats::default(),
+            inner: Mutex::new(PoolInner {
+                disk,
+                capacity,
+                frames: Vec::with_capacity(capacity),
+                map: HashMap::with_capacity(capacity),
+                lru: LruList::new(capacity),
+                free_slots: Vec::new(),
+                stats: IoStats::default(),
+            }),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.inner.lock().expect("buffer pool poisoned")
     }
 
     /// Pool capacity in pages.
@@ -93,70 +132,83 @@ impl BufferPool {
 
     /// Accumulated I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.lock().stats
     }
 
     /// Zeroes the counters (e.g. between the build phase and a measured
     /// query).
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+    pub fn reset_stats(&self) {
+        self.lock().stats = IoStats::default();
     }
 
     /// Allocates a fresh page on the underlying disk. The new page is
     /// *not* faulted in; the first access will count as a miss unless it
     /// is a `write_page` that populates it.
-    pub fn allocate_page(&mut self) -> PageId {
-        self.disk.allocate()
+    pub fn allocate_page(&self) -> PageId {
+        self.lock().disk.allocate()
     }
 
     /// Frees `page`, dropping any cached frame without write-back.
-    pub fn free_page(&mut self, page: PageId) {
-        if let Some(slot) = self.map.remove(&page) {
-            self.lru.remove(slot);
-            self.free_slots.push(slot);
+    pub fn free_page(&self, page: PageId) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.map.remove(&page) {
+            inner.lru.remove(slot);
+            inner.free_slots.push(slot);
             // Mark the frame as vacated; its data is garbage now.
-            self.frames[slot].dirty = false;
+            inner.frames[slot].dirty = false;
         }
-        self.disk.free(page);
+        inner.disk.free(page);
     }
 
     /// Reads `page` through the cache and hands the bytes to `f`.
-    pub fn read_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> R {
-        let slot = self.fault_in(page, /*load=*/ true);
-        f(&self.frames[slot].data)
+    pub fn read_page<R>(&self, page: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> R {
+        let mut inner = self.lock();
+        let slot = inner.fault_in(page, /*load=*/ true, None);
+        f(&inner.frames[slot].data)
+    }
+
+    /// Like [`read_page`](BufferPool::read_page), additionally adding
+    /// this access's counters (logical read, miss, any eviction and
+    /// write-back it triggered) to `io`. The global
+    /// [`stats`](BufferPool::stats) are updated as well, so per-query
+    /// collectors and whole-pool accounting stay consistent.
+    pub fn read_page_tracked<R>(
+        &self,
+        page: PageId,
+        io: &mut IoStats,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> R {
+        let mut inner = self.lock();
+        let slot = inner.fault_in(page, /*load=*/ true, Some(io));
+        f(&inner.frames[slot].data)
     }
 
     /// Gives `f` mutable access to `page` through the cache and marks
     /// the frame dirty. The previous contents are loaded first, so
     /// read-modify-write is safe.
-    pub fn write_page<R>(
-        &mut self,
-        page: PageId,
-        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
-    ) -> R {
-        let slot = self.fault_in(page, /*load=*/ true);
-        self.frames[slot].dirty = true;
-        f(&mut self.frames[slot].data)
+    pub fn write_page<R>(&self, page: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> R {
+        let mut inner = self.lock();
+        let slot = inner.fault_in(page, /*load=*/ true, None);
+        inner.frames[slot].dirty = true;
+        f(&mut inner.frames[slot].data)
     }
 
     /// Like [`write_page`](BufferPool::write_page) but for a page whose
     /// previous contents are irrelevant (fresh allocation): the frame is
     /// zeroed instead of read, so no miss is charged.
-    pub fn overwrite_page<R>(
-        &mut self,
-        page: PageId,
-        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
-    ) -> R {
-        let slot = self.fault_in(page, /*load=*/ false);
-        self.frames[slot].dirty = true;
-        f(&mut self.frames[slot].data)
+    pub fn overwrite_page<R>(&self, page: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> R {
+        let mut inner = self.lock();
+        let slot = inner.fault_in(page, /*load=*/ false, None);
+        inner.frames[slot].dirty = true;
+        f(&mut inner.frames[slot].data)
     }
 
     /// Writes every dirty frame back to disk (without evicting).
-    pub fn flush_all(&mut self) {
-        for frame in &mut self.frames {
+    pub fn flush_all(&self) {
+        let inner = &mut *self.lock();
+        for frame in &mut inner.frames {
             if frame.dirty {
-                self.disk.write(frame.page, &frame.data);
+                inner.disk.write(frame.page, &frame.data);
                 frame.dirty = false;
             }
         }
@@ -164,18 +216,41 @@ impl BufferPool {
 
     /// Number of distinct pages currently resident.
     pub fn resident_pages(&self) -> usize {
-        self.map.len()
+        self.lock().map.len()
     }
 
-    /// Read-only access to the underlying disk (tests, diagnostics).
-    pub fn disk(&self) -> &Disk {
-        &self.disk
+    /// Runs `f` with read-only access to the underlying disk (tests,
+    /// diagnostics). The pool lock is held for the duration of `f`.
+    pub fn with_disk<R>(&self, f: impl FnOnce(&Disk) -> R) -> R {
+        f(&self.lock().disk)
     }
 
+    /// Pages currently allocated on the underlying disk.
+    pub fn allocated_pages(&self) -> usize {
+        self.lock().disk.allocated_pages()
+    }
+}
+
+impl PoolInner {
     /// Ensures `page` is resident and returns its frame slot. `load`
     /// decides whether a miss reads from disk (normal) or zero-fills
-    /// (fresh page about to be fully overwritten).
-    fn fault_in(&mut self, page: PageId, load: bool) -> usize {
+    /// (fresh page about to be fully overwritten). When `track` is
+    /// given, the counters charged for this access are also added to
+    /// it.
+    fn fault_in(&mut self, page: PageId, load: bool, track: Option<&mut IoStats>) -> usize {
+        let before = self.stats;
+        let slot = self.fault_in_untracked(page, load);
+        if let Some(io) = track {
+            let after = self.stats;
+            io.logical_reads += after.logical_reads - before.logical_reads;
+            io.misses += after.misses - before.misses;
+            io.evictions += after.evictions - before.evictions;
+            io.writebacks += after.writebacks - before.writebacks;
+        }
+        slot
+    }
+
+    fn fault_in_untracked(&mut self, page: PageId, load: bool) -> usize {
         self.stats.logical_reads += 1;
         if let Some(&slot) = self.map.get(&page) {
             self.lru.touch(slot);
@@ -234,7 +309,7 @@ mod tests {
 
     #[test]
     fn hit_after_miss() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate_page();
         p.read_page(a, |_| ());
         p.read_page(a, |_| ());
@@ -246,7 +321,7 @@ mod tests {
 
     #[test]
     fn writes_survive_eviction() {
-        let mut p = pool(1);
+        let p = pool(1);
         let a = p.allocate_page();
         let b = p.allocate_page();
         p.write_page(a, |bytes| bytes[0] = 7);
@@ -258,17 +333,17 @@ mod tests {
 
     #[test]
     fn overwrite_page_charges_no_read_miss() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate_page();
         p.overwrite_page(a, |bytes| bytes[1] = 9);
         assert_eq!(p.stats().misses, 0);
         p.flush_all();
-        assert_eq!(p.disk().read(a)[1], 9);
+        assert_eq!(p.with_disk(|d| d.read(a)[1]), 9);
     }
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate_page();
         let b = p.allocate_page();
         let c = p.allocate_page();
@@ -286,7 +361,7 @@ mod tests {
 
     #[test]
     fn free_page_drops_frame_without_writeback() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate_page();
         p.write_page(a, |bytes| bytes[0] = 1);
         p.free_page(a);
@@ -300,20 +375,20 @@ mod tests {
 
     #[test]
     fn flush_all_persists_dirty_frames() {
-        let mut p = pool(4);
+        let p = pool(4);
         let ids: Vec<PageId> = (0..3).map(|_| p.allocate_page()).collect();
         for (i, &id) in ids.iter().enumerate() {
             p.write_page(id, |bytes| bytes[0] = i as u8 + 1);
         }
         p.flush_all();
         for (i, &id) in ids.iter().enumerate() {
-            assert_eq!(p.disk().read(id)[0], i as u8 + 1);
+            assert_eq!(p.with_disk(|d| d.read(id)[0]), i as u8 + 1);
         }
     }
 
     #[test]
     fn workload_larger_than_pool_thrashes_predictably() {
-        let mut p = pool(4);
+        let p = pool(4);
         let ids: Vec<PageId> = (0..8).map(|_| p.allocate_page()).collect();
         // Two sequential sweeps over 8 pages with 4 frames: every access
         // misses (classic LRU sequential flooding).
@@ -323,5 +398,74 @@ mod tests {
             }
         }
         assert_eq!(p.stats().misses, 16);
+    }
+
+    #[test]
+    fn tracked_reads_attribute_io_to_the_collector() {
+        let p = pool(1);
+        let a = p.allocate_page();
+        let b = p.allocate_page();
+        p.write_page(a, |bytes| bytes[0] = 1);
+        p.reset_stats();
+        let mut io = IoStats::default();
+        // Miss on b (evicting dirty a → write-back), then a hit.
+        p.read_page_tracked(b, &mut io, |_| ());
+        p.read_page_tracked(b, &mut io, |_| ());
+        assert_eq!(io.logical_reads, 2);
+        assert_eq!(io.misses, 1);
+        assert_eq!(io.evictions, 1);
+        assert_eq!(io.writebacks, 1);
+        // The global counters saw the same traffic.
+        assert_eq!(p.stats(), io);
+        // Untracked traffic does not leak into the collector.
+        p.read_page(a, |_| ());
+        assert_eq!(io.logical_reads, 2);
+    }
+
+    #[test]
+    fn stats_merge_with_add() {
+        let a = IoStats {
+            logical_reads: 3,
+            misses: 1,
+            evictions: 1,
+            writebacks: 0,
+        };
+        let b = IoStats {
+            logical_reads: 2,
+            misses: 2,
+            evictions: 0,
+            writebacks: 1,
+        };
+        let sum = a + b;
+        assert_eq!(sum.logical_reads, 5);
+        assert_eq!(sum.misses, 3);
+        assert_eq!(sum.evictions, 1);
+        assert_eq!(sum.writebacks, 1);
+    }
+
+    #[test]
+    fn shared_pool_serves_concurrent_readers() {
+        let p = pool(8);
+        let pages: Vec<PageId> = (0..8)
+            .map(|i| {
+                let id = p.allocate_page();
+                p.write_page(id, |bytes| bytes[0] = i as u8);
+                id
+            })
+            .collect();
+        p.reset_stats();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut io = IoStats::default();
+                    for (i, &id) in pages.iter().enumerate() {
+                        let got = p.read_page_tracked(id, &mut io, |bytes| bytes[0]);
+                        assert_eq!(got, i as u8);
+                    }
+                    assert_eq!(io.logical_reads, 8);
+                });
+            }
+        });
+        assert_eq!(p.stats().logical_reads, 4 * 8);
     }
 }

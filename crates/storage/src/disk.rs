@@ -52,9 +52,8 @@ impl Disk {
             self.pages[id.0 as usize].fill(0);
             return id;
         }
-        let id = PageId(
-            u32::try_from(self.pages.len()).expect("simulated disk exceeded 2^32 pages"),
-        );
+        let id =
+            PageId(u32::try_from(self.pages.len()).expect("simulated disk exceeded 2^32 pages"));
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
         id
     }

@@ -61,7 +61,11 @@ impl TprTree {
             let page = self.bulk_alloc_page();
             for e in node_leaf_entries(&node) {
                 let prev = self.bulk_set_leaf_of(e.id, page);
-                assert!(prev.is_none(), "duplicate object id {:?} in bulk load", e.id);
+                assert!(
+                    prev.is_none(),
+                    "duplicate object id {:?} in bulk load",
+                    e.id
+                );
             }
             let tpbr = node.bounding_tpbr();
             self.bulk_write_node(page, &node);
@@ -145,7 +149,9 @@ mod tests {
     fn random_motions(n: usize, seed: u64) -> Vec<(ObjectId, MotionState)> {
         let mut s = seed;
         let mut rng = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as f64 / (1u64 << 31) as f64
         };
         (0..n)
@@ -171,8 +177,11 @@ mod tests {
         assert_eq!(t.len(), 5000);
         let rect = Rect::new(250.0, 250.0, 400.0, 400.0);
         for qt in [0u64, 7] {
-            let mut got: Vec<ObjectId> =
-                t.range_at(&rect, qt).into_iter().map(|(id, _)| id).collect();
+            let mut got: Vec<ObjectId> = t
+                .range_at(&rect, qt)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
             got.sort();
             let mut expect: Vec<ObjectId> = motions
                 .iter()

@@ -134,7 +134,11 @@ impl Node {
         page.fill(0);
         match self {
             Node::Leaf(entries) => {
-                assert!(entries.len() <= LEAF_CAPACITY, "leaf overflow: {}", entries.len());
+                assert!(
+                    entries.len() <= LEAF_CAPACITY,
+                    "leaf overflow: {}",
+                    entries.len()
+                );
                 page[0] = 0;
                 page[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
                 for (i, e) in entries.iter().enumerate() {

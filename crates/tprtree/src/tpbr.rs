@@ -208,7 +208,7 @@ mod tests {
     fn from_motion_reanchors_backwards() {
         let m = motion(5.0, 5.0, 1.0, 0.0); // reported at t=10
         let b = Tpbr::from_motion(&m, 0); // tree anchored at t=0
-        // At dt=10 (absolute t=10) the box must sit at the report point.
+                                          // At dt=10 (absolute t=10) the box must sit at the report point.
         let r = b.rect_at(10.0);
         assert!((r.x_lo - 5.0).abs() < 1e-12);
     }

@@ -81,7 +81,7 @@ pub struct TprTree {
 impl TprTree {
     /// Creates an empty tree anchored at `t_ref`.
     pub fn new(cfg: TprConfig, t_ref: Timestamp) -> Self {
-        let mut pool = BufferPool::new(Disk::new(), cfg.buffer_pages);
+        let pool = BufferPool::new(Disk::new(), cfg.buffer_pages);
         let root = pool.allocate_page();
         pool.overwrite_page(root, |page| Node::Leaf(Vec::new()).encode(page));
         TprTree {
@@ -122,18 +122,22 @@ impl TprTree {
     }
 
     /// Zeroes the I/O counters (call before a measured query).
-    pub fn reset_io_stats(&mut self) {
+    pub fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
     /// Number of pages the tree currently occupies on the simulated
     /// disk — the basis for sizing the buffer at 10 % of the data.
     pub fn page_count(&self) -> usize {
-        self.pool.disk().allocated_pages()
+        self.pool.allocated_pages()
     }
 
     fn min_fill(&self, leaf: bool) -> usize {
-        let cap = if leaf { LEAF_CAPACITY } else { INTERNAL_CAPACITY };
+        let cap = if leaf {
+            LEAF_CAPACITY
+        } else {
+            INTERNAL_CAPACITY
+        };
         ((cap as f64 * self.cfg.min_fill_ratio) as usize).max(if leaf { 1 } else { 2 })
     }
 
@@ -141,8 +145,12 @@ impl TprTree {
         t as f64 - self.t_ref as f64
     }
 
-    fn read_node(&mut self, page: PageId) -> Node {
+    fn read_node(&self, page: PageId) -> Node {
         self.pool.read_page(page, Node::decode)
+    }
+
+    fn read_node_tracked(&self, page: PageId, io: &mut IoStats) -> Node {
+        self.pool.read_page_tracked(page, io, Node::decode)
     }
 
     fn write_node(&mut self, page: PageId, node: &Node) {
@@ -435,12 +443,29 @@ impl TprTree {
     /// at timestamp `t` lies in `rect` (closed semantics). I/O flows
     /// through the buffer pool and is visible in
     /// [`io_stats`](TprTree::io_stats).
-    pub fn range_at(&mut self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+    ///
+    /// Takes `&self`: the buffer pool's interior mutex makes concurrent
+    /// range queries from several threads safe on a shared tree.
+    pub fn range_at(&self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
+        let mut io = IoStats::default();
+        self.range_at_collect(rect, t, &mut io)
+    }
+
+    /// Like [`range_at`](TprTree::range_at), additionally adding the
+    /// I/O this query performed to `io` — the per-query/per-thread
+    /// collector merged by parallel callers. Global
+    /// [`io_stats`](TprTree::io_stats) accumulate the same traffic.
+    pub fn range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Vec<(ObjectId, Point)> {
         let dt = self.dt(t);
         let mut out = Vec::new();
         let mut stack = vec![(self.root, self.height)];
         while let Some((page, level)) = stack.pop() {
-            match self.read_node(page) {
+            match self.read_node_tracked(page, io) {
                 Node::Leaf(entries) => {
                     debug_assert_eq!(level, 1);
                     for e in entries {
@@ -463,7 +488,7 @@ impl TprTree {
     }
 
     /// Extrapolated position of one object at `t`, if indexed.
-    pub fn position_of(&mut self, id: ObjectId, t: Timestamp) -> Option<Point> {
+    pub fn position_of(&self, id: ObjectId, t: Timestamp) -> Option<Point> {
         let leaf = *self.leaf_of.get(&id)?;
         let dt = self.dt(t);
         match self.read_node(leaf) {
@@ -521,7 +546,7 @@ impl TprTree {
 
     /// Exhaustively checks structural invariants; panics on violation.
     /// O(n) — intended for tests.
-    pub fn validate(&mut self) {
+    pub fn validate(&self) {
         let root = self.root;
         let height = self.height;
         let count = self.validate_rec(root, height, None);
@@ -529,7 +554,7 @@ impl TprTree {
         assert_eq!(self.leaf_of.len(), self.len, "leaf_of size mismatch");
     }
 
-    fn validate_rec(&mut self, page: PageId, level: u32, expected_parent: Option<PageId>) -> usize {
+    fn validate_rec(&self, page: PageId, level: u32, expected_parent: Option<PageId>) -> usize {
         if let Some(p) = expected_parent {
             assert_eq!(
                 self.parents.get(&page).copied(),
@@ -601,7 +626,10 @@ fn split_by_metric<T: Clone>(
     dt1: f64,
 ) -> (Vec<T>, Vec<T>) {
     let n = entries.len();
-    debug_assert!(n >= 2 * min_fill, "cannot split {n} entries with min fill {min_fill}");
+    debug_assert!(
+        n >= 2 * min_fill,
+        "cannot split {n} entries with min fill {min_fill}"
+    );
     let dt_mid = 0.5 * (dt0 + dt1);
 
     let score_axis = |sorted: &[T]| -> (f64, usize) {
@@ -687,7 +715,10 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next_f64(&mut self) -> f64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (self.0 >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -728,7 +759,9 @@ mod tests {
     fn empty_tree_queries_cleanly() {
         let mut t = tree();
         assert!(t.is_empty());
-        assert!(t.range_at(&Rect::new(0.0, 0.0, 1000.0, 1000.0), 5).is_empty());
+        assert!(t
+            .range_at(&Rect::new(0.0, 0.0, 1000.0, 1000.0), 5)
+            .is_empty());
         assert!(!t.remove(ObjectId(1)));
         t.validate();
     }
@@ -763,8 +796,11 @@ mod tests {
             (5, Rect::new(0.0, 0.0, 50.0, 1000.0)),
             (10, Rect::new(500.0, 500.0, 510.0, 510.0)),
         ] {
-            let mut got: Vec<ObjectId> =
-                t.range_at(&rect, qt).into_iter().map(|(id, _)| id).collect();
+            let mut got: Vec<ObjectId> = t
+                .range_at(&rect, qt)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
             got.sort();
             assert_eq!(got, brute_force_range(&motions, &rect, qt), "t={qt}");
         }

@@ -75,7 +75,9 @@ fn alternating_insert_delete_churn_keeps_invariants() {
     let mut live: Vec<ObjectId> = Vec::new();
     let mut seed = 2u64;
     let mut rng = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as f64 / (1u64 << 31) as f64
     };
     for round in 0..2000u64 {
@@ -88,7 +90,12 @@ fn alternating_insert_delete_churn_keeps_invariants() {
             let id = ObjectId(round);
             t.insert(
                 id,
-                &motion(rng() * 1000.0, rng() * 1000.0, rng() * 4.0 - 2.0, rng() * 4.0 - 2.0),
+                &motion(
+                    rng() * 1000.0,
+                    rng() * 1000.0,
+                    rng() * 4.0 - 2.0,
+                    rng() * 4.0 - 2.0,
+                ),
                 0,
             );
             live.push(id);

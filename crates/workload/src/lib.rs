@@ -25,10 +25,12 @@
 pub mod config;
 mod network;
 mod queries;
-mod simulator;
+pub mod rng;
 mod simple;
+mod simulator;
 
 pub use network::{NetworkConfig, RoadNetwork};
 pub use queries::{query_workload, QuerySpec};
+pub use rng::StdRng;
 pub use simple::{gaussian_clusters, uniform_population};
 pub use simulator::{DatasetSpec, TrafficSimulator};

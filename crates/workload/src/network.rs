@@ -1,8 +1,7 @@
 //! Synthetic hot-spot road networks.
 
+use crate::rng::StdRng;
 use pdr_geometry::{Point, Rect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the synthetic network generator.
 #[derive(Clone, Copy, Debug)]
@@ -202,7 +201,11 @@ fn knn_edges(nodes: &[Point], k: usize, extent: f64) -> Vec<Vec<u32>> {
             for dy in -ring..=ring {
                 for dx in -ring..=ring {
                     let (cx, cy) = (bx + dx, by + dy);
-                    if cx < 0 || cy < 0 || cx >= buckets_per_side as i64 || cy >= buckets_per_side as i64 {
+                    if cx < 0
+                        || cy < 0
+                        || cx >= buckets_per_side as i64
+                        || cy >= buckets_per_side as i64
+                    {
                         continue;
                     }
                     for &j in &grid[cy as usize * buckets_per_side + cx as usize] {
@@ -272,10 +275,7 @@ mod tests {
             assert!(bounds.contains(net.position(i)));
             assert!(!net.neighbors(i).is_empty(), "node {i} isolated");
             for &j in net.neighbors(i) {
-                assert!(
-                    net.neighbors(j).contains(&i),
-                    "edge {i}-{j} not symmetric"
-                );
+                assert!(net.neighbors(j).contains(&i), "edge {i}-{j} not symmetric");
             }
         }
     }

@@ -3,9 +3,8 @@
 //! query").
 
 use crate::config::ExperimentConfig;
+use crate::rng::StdRng;
 use pdr_mobject::Timestamp;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One generated PDR query instance: the three parameters of
 /// Definition 4, already resolved to an absolute threshold.
@@ -38,8 +37,8 @@ pub fn query_workload(
     (0..count)
         .map(|i| {
             let l = cfg.edge_lengths[i % cfg.edge_lengths.len()];
-            let varrho =
-                cfg.relative_thresholds[(i / cfg.edge_lengths.len()) % cfg.relative_thresholds.len()];
+            let varrho = cfg.relative_thresholds
+                [(i / cfg.edge_lengths.len()) % cfg.relative_thresholds.len()];
             let q_t = t_now + rng.random_range(0..=h);
             QuerySpec {
                 rho: cfg.rho(varrho, n_objects),

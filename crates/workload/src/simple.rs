@@ -1,9 +1,8 @@
 //! Simple non-network generators for tests and ablations.
 
+use crate::rng::StdRng;
 use pdr_geometry::Point;
 use pdr_mobject::{MotionState, ObjectId, Timestamp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Uniformly distributed objects with uniform velocities in
 /// `[-v_max, v_max]` per axis. The unskewed control workload.
@@ -59,7 +58,8 @@ pub fn gaussian_clusters(
             } else {
                 let c = centers[rng.random_range(0..clusters)];
                 loop {
-                    let q = Point::new(c.x + gauss(&mut rng) * sigma, c.y + gauss(&mut rng) * sigma);
+                    let q =
+                        Point::new(c.x + gauss(&mut rng) * sigma, c.y + gauss(&mut rng) * sigma);
                     if q.x >= 0.0 && q.x <= extent && q.y >= 0.0 && q.y <= extent {
                         break q;
                     }
@@ -116,7 +116,10 @@ mod tests {
             }
             best as f64 / pop.len() as f64
         };
-        assert!(dense_share > 0.15, "expected clustering, share {dense_share}");
+        assert!(
+            dense_share > 0.15,
+            "expected clustering, share {dense_share}"
+        );
     }
 
     #[test]

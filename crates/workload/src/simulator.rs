@@ -1,10 +1,9 @@
 //! Network-constrained traffic simulation.
 
+use crate::rng::StdRng;
 use crate::RoadNetwork;
 use pdr_geometry::Point;
 use pdr_mobject::{MotionState, ObjectId, ObjectTable, Timestamp, Update};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Named dataset sizes of Section 7 (CH40K / CH100K / CH500K).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,9 +17,18 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// The paper's three datasets.
     pub const ALL: [DatasetSpec; 3] = [
-        DatasetSpec { name: "CH40K", n_objects: 40_000 },
-        DatasetSpec { name: "CH100K", n_objects: 100_000 },
-        DatasetSpec { name: "CH500K", n_objects: 500_000 },
+        DatasetSpec {
+            name: "CH40K",
+            n_objects: 40_000,
+        },
+        DatasetSpec {
+            name: "CH100K",
+            n_objects: 100_000,
+        },
+        DatasetSpec {
+            name: "CH500K",
+            n_objects: 500_000,
+        },
     ];
 
     /// The default dataset (CH100K).
@@ -62,7 +70,13 @@ impl TrafficSimulator {
 
     /// Creates a simulator with `n` vehicles placed at (busy-biased)
     /// network nodes, all reporting their initial motion at `t_start`.
-    pub fn new(network: RoadNetwork, n: usize, seed: u64, max_update_time: u64, t_start: Timestamp) -> Self {
+    pub fn new(
+        network: RoadNetwork,
+        n: usize,
+        seed: u64,
+        max_update_time: u64,
+        t_start: Timestamp,
+    ) -> Self {
         let mut sim = TrafficSimulator {
             network,
             table: ObjectTable::with_capacity(n),
@@ -73,7 +87,9 @@ impl TrafficSimulator {
         };
         for i in 0..n {
             let id = ObjectId(i as u64);
-            let origin = sim.network.random_busy_node(&mut sim.rng, sim.network.extent() * 0.05);
+            let origin = sim
+                .network
+                .random_busy_node(&mut sim.rng, sim.network.extent() * 0.05);
             let (motion, vehicle) = sim.plan_leg(sim.network.position(origin), origin, t_start);
             sim.table.report(id, t_start, motion);
             sim.vehicles.push(vehicle);
@@ -137,11 +153,8 @@ impl TrafficSimulator {
     /// Snapshot of every vehicle's current motion — the initial bulk
     /// load for the engines.
     pub fn population(&self) -> Vec<(ObjectId, MotionState)> {
-        let mut v: Vec<(ObjectId, MotionState)> = self
-            .table
-            .objects()
-            .map(|o| (o.id, o.motion))
-            .collect();
+        let mut v: Vec<(ObjectId, MotionState)> =
+            self.table.objects().map(|o| (o.id, o.motion)).collect();
         v.sort_by_key(|(id, _)| *id);
         v
     }
@@ -297,10 +310,7 @@ mod tests {
             }
         }
         for (i, &t) in last_seen.iter().enumerate() {
-            assert!(
-                12 - t <= 5,
-                "vehicle {i} silent since t={t} (U violated)"
-            );
+            assert!(12 - t <= 5, "vehicle {i} silent since t={t} (U violated)");
         }
     }
 

@@ -4,8 +4,8 @@ use pdr_geometry::Rect;
 use pdr_mobject::UpdateKind;
 use pdr_workload::config::ExperimentConfig;
 use pdr_workload::{
-    gaussian_clusters, query_workload, uniform_population, DatasetSpec, NetworkConfig,
-    RoadNetwork, TrafficSimulator,
+    gaussian_clusters, query_workload, uniform_population, DatasetSpec, NetworkConfig, RoadNetwork,
+    TrafficSimulator,
 };
 
 #[test]

@@ -30,6 +30,7 @@ fn main() {
         m: 50,
         horizon,
         buffer_pages: 128,
+        threads: 1,
     };
     let mut fr = FrEngine::new(cfg, 0);
     let mut pa = PaEngine::new(

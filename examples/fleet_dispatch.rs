@@ -27,6 +27,7 @@ fn main() {
             m: 50, // 10-mile cells
             horizon: TimeHorizon::new(10, 10),
             buffer_pages: 256,
+            threads: 1,
         },
         0,
     );

@@ -28,6 +28,7 @@ fn main() {
             m: 50,
             horizon,
             buffer_pages: 128,
+            threads: 1,
         },
         0,
     );
@@ -63,7 +64,11 @@ fn main() {
     let pa_ans = pa.query(rho, q_t);
     let pa_time = t0.elapsed();
 
-    let cls = classify_cells(fr.histogram().grid(), &fr.histogram().prefix_sums_at(q_t), &q);
+    let cls = classify_cells(
+        fr.histogram().grid(),
+        &fr.histogram().prefix_sums_at(q_t),
+        &q,
+    );
     let opt = dh_optimistic(&cls);
     let pes = dh_pessimistic(&cls);
 
@@ -95,7 +100,11 @@ fn main() {
     row(
         "FR (exact)",
         &truth.regions,
-        &format!("{:.1} ms + {} I/Os", fr_time.as_secs_f64() * 1e3, truth.io.misses),
+        &format!(
+            "{:.1} ms + {} I/Os",
+            fr_time.as_secs_f64() * 1e3,
+            truth.io.misses
+        ),
     );
     row(
         "PA",

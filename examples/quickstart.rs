@@ -22,6 +22,7 @@ fn main() {
             m: 100,
             horizon: TimeHorizon::new(20, 20),
             buffer_pages: 256,
+            threads: 1,
         },
         0,
     );

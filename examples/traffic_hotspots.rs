@@ -30,6 +30,7 @@ fn main() {
             m: 100,
             horizon,
             buffer_pages: 256,
+            threads: 1,
         },
         0,
     );

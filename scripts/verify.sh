@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Repo verification: format, lints (best-effort offline), tier-1 build+test.
+#
+#   scripts/verify.sh          # everything
+#   scripts/verify.sh --fast   # skip the release build
+#
+# Clippy is best-effort: on a fully offline container a missing
+# component must not mask real test failures, so its absence is
+# reported but not fatal. Everything else is strict.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+fail=0
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+if ! cargo fmt --all -- --check; then
+    echo "FAIL: formatting (run 'cargo fmt --all')"
+    fail=1
+fi
+
+step "cargo clippy (best-effort)"
+if cargo clippy --version >/dev/null 2>&1; then
+    if ! cargo clippy --workspace --all-targets -- -D warnings; then
+        echo "FAIL: clippy"
+        fail=1
+    fi
+else
+    echo "clippy unavailable in this toolchain; skipping"
+fi
+
+if [ "$fast" -eq 0 ]; then
+    step "cargo build --release (tier-1)"
+    if ! cargo build --release; then
+        echo "FAIL: release build"
+        fail=1
+    fi
+fi
+
+step "cargo test -q (tier-1)"
+if ! cargo test -q; then
+    echo "FAIL: tier-1 tests"
+    fail=1
+fi
+
+step "cargo test -q --workspace"
+if ! cargo test -q --workspace; then
+    echo "FAIL: workspace tests"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "verify: FAILED"
+    exit 1
+fi
+echo
+echo "verify: OK"

@@ -30,6 +30,7 @@
 //!         m: 100,
 //!         horizon: TimeHorizon::new(10, 10),
 //!         buffer_pages: 256,
+//!         threads: 0, // refinement workers: one per core
 //!     },
 //!     0,
 //! );
@@ -52,7 +53,8 @@
 pub use pdr_core::{
     accuracy, classify_cells, dh_optimistic, dh_pessimistic, exact_dense_regions, point_density,
     refine_region, refine_region_set, Accuracy, CellClass, Classification, DenseThreshold,
-    ExactOracle, FrAnswer, FrConfig, FrEngine, PaAnswer, PaConfig, PaEngine, PdrQuery, RangeIndex,
+    ExactOracle, FrAnswer, FrCacheCounters, FrConfig, FrEngine, PaAnswer, PaConfig, PaEngine,
+    PdrQuery, RangeIndex, INTERVAL_COALESCE_EVERY,
 };
 
 /// Prior-work baselines (dense-cell and effective-density queries).

@@ -23,6 +23,7 @@ fn fr_engine() -> FrEngine {
             m: 50,
             horizon: horizon(),
             buffer_pages: 64,
+            threads: 1,
         },
         0,
     )
@@ -84,10 +85,7 @@ fn simulated_traffic_pipeline() {
         let fr_ans = fr.query(&q);
 
         // FR must be exact.
-        let oracle = ExactOracle::new(
-            Rect::new(0.0, 0.0, EXTENT, EXTENT),
-            sim.positions_at(q_t),
-        );
+        let oracle = ExactOracle::new(Rect::new(0.0, 0.0, EXTENT, EXTENT), sim.positions_at(q_t));
         let truth = oracle.dense_regions(&q);
         let acc = accuracy(&truth, &fr_ans.regions);
         assert!(
@@ -118,8 +116,14 @@ fn dh_one_sided_guarantees_end_to_end() {
         let cls = classify_cells(fr.histogram().grid(), &fr.histogram().prefix_sums_at(4), &q);
         let opt = accuracy(&truth, &dh_optimistic(&cls));
         let pes = accuracy(&truth, &dh_pessimistic(&cls));
-        assert!(opt.r_fn < 1e-9, "optimistic DH missed dense area at varrho={varrho}");
-        assert!(pes.r_fp < 1e-9, "pessimistic DH over-reported at varrho={varrho}");
+        assert!(
+            opt.r_fn < 1e-9,
+            "optimistic DH missed dense area at varrho={varrho}"
+        );
+        assert!(
+            pes.r_fp < 1e-9,
+            "pessimistic DH over-reported at varrho={varrho}"
+        );
     }
 }
 
@@ -191,6 +195,7 @@ fn fr_answers_independent_of_refinement_index() {
         m: 50,
         horizon: horizon(),
         buffer_pages: 64,
+        threads: 1,
     };
     let mut fr_tpr = FrEngine::new(cfg, 0);
     let grid = GridIndex::new(
@@ -233,8 +238,5 @@ fn memory_formulas() {
     );
     let pa = pa_engine();
     // (H+1) x g^2 x (k+1)(k+2)/2 x 8 bytes.
-    assert_eq!(
-        pa.memory_bytes(),
-        horizon().slot_count() * 100 * 21 * 8
-    );
+    assert_eq!(pa.memory_bytes(), horizon().slot_count() * 100 * 21 * 8);
 }

@@ -26,6 +26,7 @@ fn engines(n: usize, seed: u64) -> (FrEngine, PaEngine, Vec<Point>) {
             m: 50,
             horizon,
             buffer_pages: (n / 400).max(8),
+            threads: 1,
         },
         0,
     );
@@ -69,8 +70,7 @@ fn pdr_answer_generalizes_prior_work() {
     }
 
     // EDQ squares.
-    let squares =
-        pdr::baselines::effective_density_query(&positions, &grid.bounds(), &q);
+    let squares = pdr::baselines::effective_density_query(&positions, &grid.bounds(), &q);
     assert!(!squares.is_empty(), "scene should contain dense squares");
     for s in &squares {
         assert!(
@@ -92,7 +92,9 @@ fn answers_are_complete_and_locally_dense() {
     let regions = fr.query(&q).regions;
     let mut seed = 1234u64;
     let mut rng = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as f64 / (1u64 << 31) as f64
     };
     let threshold = q.count_threshold();
@@ -193,24 +195,21 @@ fn figure1_scenes_through_the_engine() {
             m: 50,
             horizon: TimeHorizon::new(2, 2),
             buffer_pages: 16,
+            threads: 1,
         },
         0,
     );
-    let pop: Vec<(ObjectId, MotionState)> = [
-        (99.0, 99.0),
-        (101.0, 99.0),
-        (99.0, 101.0),
-        (101.0, 101.0),
-    ]
-    .iter()
-    .enumerate()
-    .map(|(i, &(x, y))| {
-        (
-            ObjectId(i as u64),
-            MotionState::stationary(Point::new(x, y), 0),
-        )
-    })
-    .collect();
+    let pop: Vec<(ObjectId, MotionState)> =
+        [(99.0, 99.0), (101.0, 99.0), (99.0, 101.0), (101.0, 101.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                (
+                    ObjectId(i as u64),
+                    MotionState::stationary(Point::new(x, y), 0),
+                )
+            })
+            .collect();
     fr.bulk_load(&pop, 0);
     let q = PdrQuery::new(4.0 / (L * L), L, 1);
     let ans = fr.query(&q);

@@ -1,83 +1,63 @@
-//! Property-based tests on the substrate crates: the buffer pool is
-//! checked against a shadow model, node pages round-trip, and the
-//! density histogram stays consistent with the object table under
-//! arbitrary update streams.
+//! Randomized tests on the substrate crates: the buffer pool is checked
+//! against a shadow model, node pages round-trip, and the density
+//! histogram stays consistent with the object table under arbitrary
+//! update streams. Inputs come from the in-repo deterministic PRNG so
+//! the suite builds offline and failures reproduce from fixed seeds.
 
 use pdr::geometry::Point;
 use pdr::histogram::DensityHistogram;
 use pdr::mobject::{MotionState, ObjectId, ObjectTable, TimeHorizon};
-use pdr::storage::{BufferPool, Disk, PAGE_SIZE};
+use pdr::storage::{BufferPool, Disk, PageId, PAGE_SIZE};
 use pdr::tprtree::{ChildEntry, LeafEntry, Node, Tpbr, INTERNAL_CAPACITY, LEAF_CAPACITY};
-use proptest::prelude::*;
+use pdr::workload::StdRng;
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------
 // Buffer pool vs shadow model
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Debug)]
-enum PoolOp {
-    /// Write `byte` at offset 0 of page `idx % live_pages`.
-    Write { idx: usize, byte: u8 },
-    /// Read page `idx % live_pages` and check its first byte.
-    Read { idx: usize },
-    /// Allocate a fresh page.
-    Alloc,
-    /// Flush everything to disk.
-    Flush,
-}
-
-fn pool_op_strategy() -> impl Strategy<Value = PoolOp> {
-    prop_oneof![
-        (any::<usize>(), any::<u8>()).prop_map(|(idx, byte)| PoolOp::Write { idx, byte }),
-        any::<usize>().prop_map(|idx| PoolOp::Read { idx }),
-        Just(PoolOp::Alloc),
-        Just(PoolOp::Flush),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    /// Whatever the access pattern and however small the pool, data
-    /// read back always matches a trivial shadow model.
-    #[test]
-    fn buffer_pool_matches_shadow(
-        capacity in 1usize..6,
-        ops in prop::collection::vec(pool_op_strategy(), 1..120)
-    ) {
-        let mut pool = BufferPool::new(Disk::new(), capacity);
+/// Whatever the access pattern and however small the pool, data read
+/// back always matches a trivial shadow model.
+#[test]
+fn buffer_pool_matches_shadow() {
+    let mut rng = StdRng::seed_from_u64(0xB001);
+    for _ in 0..64 {
+        let capacity = rng.random_range(1..6usize);
+        let ops = rng.random_range(1..120usize);
+        let pool = BufferPool::new(Disk::new(), capacity);
         let mut pages = vec![pool.allocate_page()];
         let mut shadow: HashMap<u32, u8> = HashMap::new();
         shadow.insert(pages[0].0, 0);
-        for op in ops {
-            match op {
-                PoolOp::Write { idx, byte } => {
-                    let page = pages[idx % pages.len()];
+        for _ in 0..ops {
+            match rng.random_range(0..4usize) {
+                0 => {
+                    let page = pages[rng.random_range(0..pages.len())];
+                    let byte = rng.random_range(0..256u32) as u8;
                     pool.write_page(page, |bytes| bytes[0] = byte);
                     shadow.insert(page.0, byte);
                 }
-                PoolOp::Read { idx } => {
-                    let page = pages[idx % pages.len()];
+                1 => {
+                    let page = pages[rng.random_range(0..pages.len())];
                     let got = pool.read_page(page, |bytes| bytes[0]);
-                    prop_assert_eq!(got, shadow[&page.0], "page {:?}", page);
+                    assert_eq!(got, shadow[&page.0], "page {page:?}");
                 }
-                PoolOp::Alloc => {
+                2 => {
                     let page = pool.allocate_page();
                     shadow.insert(page.0, 0);
                     pages.push(page);
                 }
-                PoolOp::Flush => pool.flush_all(),
+                _ => pool.flush_all(),
             }
         }
         // After a final flush, the raw disk agrees everywhere.
         pool.flush_all();
         for (&page, &byte) in &shadow {
-            prop_assert_eq!(pool.disk().read(pdr::storage::PageId(page))[0], byte);
+            assert_eq!(pool.with_disk(|d| d.read(PageId(page))[0]), byte);
         }
         // Sanity of the counters.
         let s = pool.stats();
-        prop_assert!(s.misses <= s.logical_reads);
-        prop_assert!(s.writebacks <= s.evictions);
+        assert!(s.misses <= s.logical_reads);
+        assert!(s.writebacks <= s.evictions);
     }
 }
 
@@ -85,62 +65,61 @@ proptest! {
 // Node page serialization
 // ---------------------------------------------------------------------
 
-fn leaf_entry_strategy() -> impl Strategy<Value = LeafEntry> {
-    (any::<u64>(), -1e6f64..1e6, -1e6f64..1e6, -1e3f64..1e3, -1e3f64..1e3).prop_map(
-        |(id, x, y, vx, vy)| LeafEntry {
-            id: ObjectId(id),
-            x,
-            y,
-            vx,
-            vy,
+fn rand_leaf_entry(rng: &mut StdRng) -> LeafEntry {
+    LeafEntry {
+        id: ObjectId(rng.random_range(0..u64::MAX)),
+        x: rng.random_range(-1e6..1e6),
+        y: rng.random_range(-1e6..1e6),
+        vx: rng.random_range(-1e3..1e3),
+        vy: rng.random_range(-1e3..1e3),
+    }
+}
+
+fn rand_child_entry(rng: &mut StdRng) -> ChildEntry {
+    let x = rng.random_range(-1e6..1e6);
+    let y = rng.random_range(-1e6..1e6);
+    let w = rng.random_range(0.0..1e3);
+    let h = rng.random_range(0.0..1e3);
+    ChildEntry {
+        page: PageId(rng.random_range(0..u32::MAX)),
+        tpbr: Tpbr {
+            x_lo: x,
+            y_lo: y,
+            x_hi: x + w,
+            y_hi: y + h,
+            vx_lo: rng.random_range(-1e2..0.0),
+            vy_lo: rng.random_range(-1e2..0.0),
+            vx_hi: rng.random_range(0.0..1e2),
+            vy_hi: rng.random_range(0.0..1e2),
         },
-    )
+    }
 }
 
-fn child_entry_strategy() -> impl Strategy<Value = ChildEntry> {
-    (
-        any::<u32>(),
-        -1e6f64..1e6,
-        -1e6f64..1e6,
-        0.0f64..1e3,
-        0.0f64..1e3,
-        -1e2f64..0.0,
-        -1e2f64..0.0,
-        0.0f64..1e2,
-        0.0f64..1e2,
-    )
-        .prop_map(|(page, x, y, w, h, vxl, vyl, vxh, vyh)| ChildEntry {
-            page: pdr::storage::PageId(page),
-            tpbr: Tpbr {
-                x_lo: x,
-                y_lo: y,
-                x_hi: x + w,
-                y_hi: y + h,
-                vx_lo: vxl,
-                vy_lo: vyl,
-                vx_hi: vxh,
-                vy_hi: vyh,
-            },
-        })
-}
-
-proptest! {
-    /// Any leaf within capacity round-trips bit-exactly through a page.
-    #[test]
-    fn leaf_page_round_trip(entries in prop::collection::vec(leaf_entry_strategy(), 0..=LEAF_CAPACITY)) {
+/// Any leaf within capacity round-trips bit-exactly through a page.
+#[test]
+fn leaf_page_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xB002);
+    for _ in 0..256 {
+        let n = rng.random_range(0..=LEAF_CAPACITY as u64) as usize;
+        let entries: Vec<LeafEntry> = (0..n).map(|_| rand_leaf_entry(&mut rng)).collect();
         let node = Node::Leaf(entries);
         let mut page = [0u8; PAGE_SIZE];
         node.encode(&mut page);
-        prop_assert_eq!(Node::decode(&page), node);
+        assert_eq!(Node::decode(&page), node);
     }
+}
 
-    /// Any internal node within capacity round-trips bit-exactly.
-    #[test]
-    fn internal_page_round_trip(entries in prop::collection::vec(child_entry_strategy(), 0..=INTERNAL_CAPACITY)) {
+/// Any internal node within capacity round-trips bit-exactly.
+#[test]
+fn internal_page_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xB003);
+    for _ in 0..256 {
+        let n = rng.random_range(0..=INTERNAL_CAPACITY as u64) as usize;
+        let entries: Vec<ChildEntry> = (0..n).map(|_| rand_child_entry(&mut rng)).collect();
         let node = Node::Internal(entries);
         let mut page = [0u8; PAGE_SIZE];
         node.encode(&mut page);
-        prop_assert_eq!(Node::decode(&page), node);
+        assert_eq!(Node::decode(&page), node);
     }
 }
 
@@ -148,48 +127,40 @@ proptest! {
 // Density histogram under arbitrary update streams
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Debug)]
-enum StreamOp {
-    Report { obj: u8, x: f64, y: f64, vx: f64, vy: f64 },
-    Retire { obj: u8 },
-    Advance { by: u8 },
-}
-
-fn stream_op_strategy() -> impl Strategy<Value = StreamOp> {
-    prop_oneof![
-        4 => (any::<u8>(), 0.0f64..100.0, 0.0f64..100.0, -2.0f64..2.0, -2.0f64..2.0)
-            .prop_map(|(obj, x, y, vx, vy)| StreamOp::Report { obj: obj % 16, x, y, vx, vy }),
-        1 => any::<u8>().prop_map(|obj| StreamOp::Retire { obj: obj % 16 }),
-        1 => (1u8..3).prop_map(|by| StreamOp::Advance { by }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    /// After any legal mix of reports, retirements and time advances:
-    /// counters stay non-negative, and the per-timestamp totals match
-    /// the live object table (objects inside the region).
-    #[test]
-    fn histogram_consistent_with_table(ops in prop::collection::vec(stream_op_strategy(), 1..60)) {
+/// After any legal mix of reports, retirements and time advances:
+/// counters stay non-negative, and the per-timestamp totals match the
+/// live object table (objects inside the region).
+#[test]
+fn histogram_consistent_with_table() {
+    let mut rng = StdRng::seed_from_u64(0xB004);
+    for _ in 0..48 {
         let horizon = TimeHorizon::new(3, 3);
         let mut h = DensityHistogram::new(100.0, 10, horizon, 0);
         let mut table = ObjectTable::new();
         let mut t_now = 0u64;
-        for op in ops {
-            match op {
-                StreamOp::Report { obj, x, y, vx, vy } => {
-                    let motion = MotionState::new(Point::new(x, y), Point::new(vx, vy), t_now);
-                    for u in table.report(ObjectId(obj as u64), t_now, motion) {
+        let ops = rng.random_range(1..60usize);
+        for _ in 0..ops {
+            // Reports dominate 4:1:1, mirroring the old weighted mix.
+            match rng.random_range(0..6usize) {
+                0..=3 => {
+                    let obj = rng.random_range(0..16u64);
+                    let motion = MotionState::new(
+                        Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)),
+                        Point::new(rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)),
+                        t_now,
+                    );
+                    for u in table.report(ObjectId(obj), t_now, motion) {
                         h.apply(&u);
                     }
                 }
-                StreamOp::Retire { obj } => {
-                    if let Some(u) = table.retire(ObjectId(obj as u64), t_now) {
+                4 => {
+                    let obj = rng.random_range(0..16u64);
+                    if let Some(u) = table.retire(ObjectId(obj), t_now) {
                         h.apply(&u);
                     }
                 }
-                StreamOp::Advance { by } => {
-                    t_now += by as u64;
+                _ => {
+                    t_now += rng.random_range(1..3u64);
                     h.advance_to(t_now);
                 }
             }
@@ -209,7 +180,7 @@ proptest! {
                     t <= o.motion.t_ref + horizon.h() && bounds.contains(o.position_at(t))
                 })
                 .count() as i64;
-            prop_assert_eq!(h.total_at(t), expected, "t = {}", t);
+            assert_eq!(h.total_at(t), expected, "t = {t}");
         }
     }
 }
