@@ -76,7 +76,7 @@ fn main() {
     // accepted outright, their rims are left for refinement.
     let q = PdrQuery::new(60.0 / 900.0, 30.0, 2);
 
-    let mut serial = engine(1, &pop);
+    let serial = engine(1, &pop);
     let base = serial.query(&q);
     println!(
         "candidate cells: {} (accepts {}, rejects {})",
@@ -90,7 +90,7 @@ fn main() {
 
     let mut results = Vec::new();
     for threads in [1usize, 2, 4, 8] {
-        let mut fr = engine(threads, &pop);
+        let fr = engine(threads, &pop);
         let ans = fr.query(&q);
         assert_eq!(
             ans.regions.rects(),

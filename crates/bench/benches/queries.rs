@@ -13,7 +13,7 @@ fn main() {
     cfg.prediction_window = 8;
     let n = 20_000;
     let w = build_workload(&cfg, n, 7);
-    let mut fr = build_fr(&cfg, &w, 100);
+    let fr = build_fr(&cfg, &w, 100);
     let l = 30.0;
     let pa = build_pa(&cfg, &w, l, 20, 5);
     let q_t = cfg.horizon() / 2;
@@ -48,7 +48,7 @@ fn main() {
     println!("== fig10b_dataset_scaling ==");
     for n in [5_000usize, 20_000] {
         let w = build_workload(&cfg, n, 7);
-        let mut fr = build_fr(&cfg, &w, 100);
+        let fr = build_fr(&cfg, &w, 100);
         let pa = build_pa(&cfg, &w, l, 20, 5);
         let rho = cfg.rho(2.0, n);
         let q = PdrQuery::new(rho, l, q_t);

@@ -12,12 +12,10 @@
 //! EXPERIMENTS.md.
 
 use pdr_bench::{
-    build_fr, build_histogram, build_pa, build_workload, f3, query_timestamps, time_it, Scale,
-    Table,
+    build_engine, build_pa, build_workload, cost_engine, f3, fr_config, pa_config,
+    query_timestamps, score_engine, time_it, truth_pairs, Scale, Table,
 };
-use pdr_core::{
-    accuracy, classify_cells, dh_optimistic, dh_pessimistic, exact_dense_regions, PdrQuery,
-};
+use pdr_core::{accuracy, exact_dense_regions, DhMode, EngineSpec, PdrQuery};
 use pdr_geometry::{Point, Rect};
 use pdr_mobject::Update;
 use pdr_storage::CostModel;
@@ -206,8 +204,10 @@ fn fig7(cfg: &ExperimentConfig, seed: u64) {
     banner("fig7", "example: snapshot + dense regions (FR exact vs PA)");
     let n = cfg.object_counts[0]; // the CH40K example
     let w = build_workload(cfg, n, seed);
-    let mut fr = build_fr(cfg, &w, 100);
+    let fr = build_engine(&EngineSpec::Fr(fr_config(cfg, n, 100)), &w);
     let l = cfg.edge_lengths[0];
+    // Concrete PA: the picture needs the rho iso-contour, which only
+    // the concrete engine exposes.
     let pa = build_pa(cfg, &w, l, 20, 5);
     let q_t = cfg.horizon() / 2;
     let q = PdrQuery::new(cfg.rho(2.0, n), l, q_t);
@@ -280,47 +280,27 @@ fn fig8ab(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
     );
     let n = cfg.default_objects();
     let w = build_workload(cfg, n, seed);
-    let mut fr = build_fr(cfg, &w, 100); // truth provider + DH(m=100)
+    let fr = build_engine(&EngineSpec::Fr(fr_config(cfg, n, 100)), &w); // truth provider
+    let dh = fr_config(cfg, n, 100); // DH(m=100), same histogram shape
+    let dh_opt = build_engine(&EngineSpec::Dh(dh, DhMode::Optimistic), &w);
+    let dh_pes = build_engine(&EngineSpec::Dh(dh, DhMode::Pessimistic), &w);
     let q_ts = query_timestamps(cfg, scale.queries_per_point());
+    let model = CostModel {
+        random_io_ms: cfg.random_io_ms,
+    };
 
     let mut ta = Table::new(&["l", "varrho", "r_fp_PA", "r_fp_optDH"]);
     let mut tb = Table::new(&["l", "varrho", "r_fn_PA", "r_fn_pesDH"]);
     for &l in &cfg.edge_lengths {
-        let pa = build_pa(cfg, &w, l, 20, 5);
+        let pa = build_engine(&EngineSpec::Pa(pa_config(cfg, l, 20, 5)), &w);
         for &varrho in &cfg.relative_thresholds {
             let rho = cfg.rho(varrho, n);
-            let mut sums = [0.0f64; 4];
-            let mut counts = [0usize; 4];
-            for &q_t in &q_ts {
-                let q = PdrQuery::new(rho, l, q_t);
-                let truth = fr.query(&q).regions;
-                let cls = classify_cells(
-                    fr.histogram().grid(),
-                    &fr.histogram().prefix_sums_at(q_t),
-                    &q,
-                );
-                let pa_acc = accuracy(&truth, &pa.query(rho, q_t).regions);
-                let opt_acc = accuracy(&truth, &dh_optimistic(&cls));
-                let pes_acc = accuracy(&truth, &dh_pessimistic(&cls));
-                for (i, v) in [pa_acc.r_fp, opt_acc.r_fp, pa_acc.r_fn, pes_acc.r_fn]
-                    .into_iter()
-                    .enumerate()
-                {
-                    if v.is_finite() {
-                        sums[i] += v;
-                        counts[i] += 1;
-                    }
-                }
-            }
-            let avg = |i: usize| {
-                if counts[i] == 0 {
-                    f64::NAN
-                } else {
-                    sums[i] / counts[i] as f64
-                }
-            };
-            ta.row(&[f3(l), f3(varrho), f3(avg(0)), f3(avg(1))]);
-            tb.row(&[f3(l), f3(varrho), f3(avg(2)), f3(avg(3))]);
+            let queries = truth_pairs(fr.as_ref(), rho, l, &q_ts);
+            let pa_s = score_engine(pa.as_ref(), &queries, &model);
+            let opt_s = score_engine(dh_opt.as_ref(), &queries, &model);
+            let pes_s = score_engine(dh_pes.as_ref(), &queries, &model);
+            ta.row(&[f3(l), f3(varrho), f3(pa_s.r_fp), f3(opt_s.r_fp)]);
+            tb.row(&[f3(l), f3(varrho), f3(pa_s.r_fn), f3(pes_s.r_fn)]);
         }
     }
     println!("-- fig8a: false positive ratio --");
@@ -337,81 +317,51 @@ fn fig8cd(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
     banner("fig8cd", "error ratio vs memory (l = 30, varrho = 2)");
     let n = cfg.default_objects();
     let w = build_workload(cfg, n, seed);
-    let mut fr = build_fr(cfg, &w, 100);
+    let fr = build_engine(&EngineSpec::Fr(fr_config(cfg, n, 100)), &w);
     let l = cfg.edge_lengths[0];
     let rho = cfg.rho(2.0, n);
     let q_ts = query_timestamps(cfg, scale.queries_per_point());
+    let model = CostModel {
+        random_io_ms: cfg.random_io_ms,
+    };
 
     let mut tc = Table::new(&["method", "config", "memory_MB", "r_fp"]);
     let mut td = Table::new(&["method", "config", "memory_MB", "r_fn"]);
 
     // Truth per timestamp (reused across all configurations).
-    let truths: Vec<_> = q_ts
-        .iter()
-        .map(|&q_t| (q_t, fr.query(&PdrQuery::new(rho, l, q_t)).regions))
-        .collect();
+    let queries = truth_pairs(fr.as_ref(), rho, l, &q_ts);
+    let mb = |bytes: usize| f3(bytes as f64 / (1024.0 * 1024.0));
 
-    // DH sweeps.
+    // DH sweeps over histogram resolution.
     for &cells in &cfg.histogram_cells {
         let m = (cells as f64).sqrt() as u32;
-        let h = build_histogram(cfg, &w, m);
-        let mem = h.memory_bytes() as f64 / (1024.0 * 1024.0);
-        let mut fp = (0.0, 0usize);
-        let mut fnr = (0.0, 0usize);
-        for (q_t, truth) in &truths {
-            let q = PdrQuery::new(rho, l, *q_t);
-            let cls = classify_cells(h.grid(), &h.prefix_sums_at(*q_t), &q);
-            let a_opt = accuracy(truth, &dh_optimistic(&cls));
-            let a_pes = accuracy(truth, &dh_pessimistic(&cls));
-            if a_opt.r_fp.is_finite() {
-                fp.0 += a_opt.r_fp;
-                fp.1 += 1;
-            }
-            fnr.0 += a_pes.r_fn;
-            fnr.1 += 1;
-        }
+        let dh = fr_config(cfg, n, m);
+        let opt = build_engine(&EngineSpec::Dh(dh, DhMode::Optimistic), &w);
+        let pes = build_engine(&EngineSpec::Dh(dh, DhMode::Pessimistic), &w);
+        let opt_s = score_engine(opt.as_ref(), &queries, &model);
+        let pes_s = score_engine(pes.as_ref(), &queries, &model);
         tc.row(&[
             "optimistic-DH".into(),
             format!("m2={cells}"),
-            f3(mem),
-            f3(fp.0 / fp.1.max(1) as f64),
+            mb(opt.stats().memory_bytes),
+            f3(opt_s.r_fp),
         ]);
         td.row(&[
             "pessimistic-DH".into(),
             format!("m2={cells}"),
-            f3(mem),
-            f3(fnr.0 / fnr.1.max(1) as f64),
+            mb(pes.stats().memory_bytes),
+            f3(pes_s.r_fn),
         ]);
     }
 
     // PA sweeps over (g, k).
     let variants: Vec<(u32, usize)> = vec![(10, 3), (20, 3), (20, 4), (20, 5), (40, 5)];
     for (g, k) in variants {
-        let pa = build_pa(cfg, &w, l, g, k);
-        let mem = pa.memory_bytes() as f64 / (1024.0 * 1024.0);
-        let mut fp = (0.0, 0usize);
-        let mut fnr = (0.0, 0usize);
-        for (q_t, truth) in &truths {
-            let a = accuracy(truth, &pa.query(rho, *q_t).regions);
-            if a.r_fp.is_finite() {
-                fp.0 += a.r_fp;
-                fp.1 += 1;
-            }
-            fnr.0 += a.r_fn;
-            fnr.1 += 1;
-        }
-        tc.row(&[
-            "PA".into(),
-            format!("g={g},k={k}"),
-            f3(mem),
-            f3(fp.0 / fp.1.max(1) as f64),
-        ]);
-        td.row(&[
-            "PA".into(),
-            format!("g={g},k={k}"),
-            f3(mem),
-            f3(fnr.0 / fnr.1.max(1) as f64),
-        ]);
+        let pa = build_engine(&EngineSpec::Pa(pa_config(cfg, l, g, k)), &w);
+        let s = score_engine(pa.as_ref(), &queries, &model);
+        let mem = mb(pa.stats().memory_bytes);
+        tc.row(&["PA".into(), format!("g={g},k={k}"), mem.clone(), f3(s.r_fp)]);
+        td.row(&["PA".into(), format!("g={g},k={k}"), mem, f3(s.r_fn)]);
     }
     println!("-- fig8c: r_fp vs memory --");
     finish(&tc, "fig8c");
@@ -426,39 +376,29 @@ fn fig8cd(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
 fn fig9a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
     banner(
         "fig9a",
-        "query CPU vs varrho: PA vs DH (classification only)",
+        "query CPU vs varrho: PA vs DH (classification + answer assembly)",
     );
     let n = cfg.default_objects();
     let w = build_workload(cfg, n, seed);
-    let fr = build_fr(cfg, &w, 100);
+    let dh = build_engine(
+        &EngineSpec::Dh(fr_config(cfg, n, 100), DhMode::Optimistic),
+        &w,
+    );
     let q_ts = query_timestamps(cfg, scale.queries_per_point());
+    let model = CostModel {
+        random_io_ms: cfg.random_io_ms,
+    };
 
     let mut t = Table::new(&["l", "varrho", "PA_ms", "DH_ms"]);
     for &l in &cfg.edge_lengths {
-        let pa = build_pa(cfg, &w, l, 20, 5);
+        let pa = build_engine(&EngineSpec::Pa(pa_config(cfg, l, 20, 5)), &w);
         for &varrho in &cfg.relative_thresholds {
             let rho = cfg.rho(varrho, n);
-            let mut pa_ms = 0.0;
-            let mut dh_ms = 0.0;
-            for &q_t in &q_ts {
-                let q = PdrQuery::new(rho, l, q_t);
-                let (_, d) = time_it(|| pa.query(rho, q_t));
-                pa_ms += d.as_secs_f64() * 1e3;
-                let (_, d) = time_it(|| {
-                    classify_cells(
-                        fr.histogram().grid(),
-                        &fr.histogram().prefix_sums_at(q_t),
-                        &q,
-                    )
-                });
-                dh_ms += d.as_secs_f64() * 1e3;
-            }
-            t.row(&[
-                f3(l),
-                f3(varrho),
-                f3(pa_ms / q_ts.len() as f64),
-                f3(dh_ms / q_ts.len() as f64),
-            ]);
+            let queries: Vec<PdrQuery> =
+                q_ts.iter().map(|&q_t| PdrQuery::new(rho, l, q_t)).collect();
+            let pa_s = cost_engine(pa.as_ref(), &queries, &model);
+            let dh_s = cost_engine(dh.as_ref(), &queries, &model);
+            t.row(&[f3(l), f3(varrho), f3(pa_s.cpu_ms), f3(dh_s.cpu_ms)]);
         }
     }
     finish(&t, "fig9a");
@@ -472,46 +412,35 @@ fn fig9b(cfg: &ExperimentConfig, seed: u64) {
     banner("fig9b", "maintenance CPU per location update: PA vs DH");
     let n = cfg.default_objects().min(50_000);
     let mut w = build_workload(cfg, n, seed);
-    let mut h = build_histogram(cfg, &w, 100);
-    let mut pa = build_pa(cfg, &w, cfg.edge_lengths[0], 20, 5);
 
     // Collect a real update stream from the simulator.
     let mut updates: Vec<Update> = Vec::new();
     while updates.len() < 20_000 {
-        let t = w.sim.t_now() + 1;
-        h.advance_to(t);
-        pa.advance_to(t);
         let batch = w.sim.tick();
         updates.extend(batch.iter().copied());
-        for u in &batch {
-            h.apply(u);
-            pa.apply(u);
-        }
         if w.sim.t_now() > 10 * cfg.horizon() {
             break; // safety net for tiny workloads
         }
     }
-    // Measure on a fresh pass over the recorded stream, advancing each
-    // structure's window with the stream so every update does the full
+    // Measure a fresh pass over the recorded stream, advancing each
+    // engine's window with the stream so every update does the full
     // steady-state amount of work.
-    let mut h2 = build_histogram(cfg, &w, 100);
-    let (_, dh_time) = time_it(|| {
-        for u in &updates {
-            if u.t_now > h2.t_base() {
-                h2.advance_to(u.t_now);
+    let replay = |spec: EngineSpec| {
+        let mut e = build_engine(&spec, &w);
+        let mut t_base = 0;
+        let (_, d) = time_it(|| {
+            for u in &updates {
+                if u.t_now > t_base {
+                    e.advance_to(u.t_now);
+                    t_base = u.t_now;
+                }
+                e.apply_batch(std::slice::from_ref(u));
             }
-            h2.apply(u);
-        }
-    });
-    let mut pa2 = build_pa(cfg, &w, cfg.edge_lengths[0], 20, 5);
-    let (_, pa_time) = time_it(|| {
-        for u in &updates {
-            if u.t_now > pa2.t_base() {
-                pa2.advance_to(u.t_now);
-            }
-            pa2.apply(u);
-        }
-    });
+        });
+        d
+    };
+    let dh_time = replay(EngineSpec::Dh(fr_config(cfg, n, 100), DhMode::Optimistic));
+    let pa_time = replay(EngineSpec::Pa(pa_config(cfg, cfg.edge_lengths[0], 20, 5)));
 
     let mut t = Table::new(&["method", "updates", "us_per_update"]);
     let per = |d: std::time::Duration| d.as_secs_f64() * 1e6 / updates.len() as f64;
@@ -531,7 +460,7 @@ fn fig10a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
     );
     let n = cfg.default_objects();
     let w = build_workload(cfg, n, seed);
-    let mut fr = build_fr(cfg, &w, 100);
+    let fr = build_engine(&EngineSpec::Fr(fr_config(cfg, n, 100)), &w);
     let q_ts = query_timestamps(cfg, scale.queries_per_point());
     let model = CostModel {
         random_io_ms: cfg.random_io_ms,
@@ -539,28 +468,19 @@ fn fig10a(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
 
     let mut t = Table::new(&["l", "varrho", "PA_ms", "FR_ms", "FR_io"]);
     for &l in &cfg.edge_lengths {
-        let pa = build_pa(cfg, &w, l, 20, 5);
+        let pa = build_engine(&EngineSpec::Pa(pa_config(cfg, l, 20, 5)), &w);
         for &varrho in &cfg.relative_thresholds {
             let rho = cfg.rho(varrho, n);
-            let mut pa_ms = 0.0;
-            let mut fr_ms = 0.0;
-            let mut fr_io = 0u64;
-            for &q_t in &q_ts {
-                let q = PdrQuery::new(rho, l, q_t);
-                let (ans, d) = time_it(|| pa.query(rho, q_t));
-                let _ = ans;
-                pa_ms += d.as_secs_f64() * 1e3;
-                let ans = fr.query(&q);
-                fr_ms += ans.total_ms(&model);
-                fr_io += ans.io.misses + ans.io.writebacks;
-            }
-            let k = q_ts.len() as f64;
+            let queries: Vec<PdrQuery> =
+                q_ts.iter().map(|&q_t| PdrQuery::new(rho, l, q_t)).collect();
+            let pa_s = cost_engine(pa.as_ref(), &queries, &model);
+            let fr_s = cost_engine(fr.as_ref(), &queries, &model);
             t.row(&[
                 f3(l),
                 f3(varrho),
-                f3(pa_ms / k),
-                f3(fr_ms / k),
-                format!("{:.1}", fr_io as f64 / k),
+                f3(pa_s.cpu_ms),
+                f3(fr_s.total_ms),
+                format!("{:.1}", fr_s.io),
             ]);
         }
     }
@@ -584,26 +504,17 @@ fn fig10b(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
     let mut t = Table::new(&["objects", "PA_ms", "FR_ms", "FR_io"]);
     for &n in &cfg.object_counts {
         let w = build_workload(cfg, n, seed);
-        let mut fr = build_fr(cfg, &w, 100);
-        let pa = build_pa(cfg, &w, l, 20, 5);
+        let fr = build_engine(&EngineSpec::Fr(fr_config(cfg, n, 100)), &w);
+        let pa = build_engine(&EngineSpec::Pa(pa_config(cfg, l, 20, 5)), &w);
         let rho = cfg.rho(2.0, n);
-        let mut pa_ms = 0.0;
-        let mut fr_ms = 0.0;
-        let mut fr_io = 0u64;
-        for &q_t in &q_ts {
-            let q = PdrQuery::new(rho, l, q_t);
-            let (_, d) = time_it(|| pa.query(rho, q_t));
-            pa_ms += d.as_secs_f64() * 1e3;
-            let ans = fr.query(&q);
-            fr_ms += ans.total_ms(&model);
-            fr_io += ans.io.misses + ans.io.writebacks;
-        }
-        let k = q_ts.len() as f64;
+        let queries: Vec<PdrQuery> = q_ts.iter().map(|&q_t| PdrQuery::new(rho, l, q_t)).collect();
+        let pa_s = cost_engine(pa.as_ref(), &queries, &model);
+        let fr_s = cost_engine(fr.as_ref(), &queries, &model);
         t.row(&[
             n.to_string(),
-            f3(pa_ms / k),
-            f3(fr_ms / k),
-            format!("{:.1}", fr_io as f64 / k),
+            f3(pa_s.cpu_ms),
+            f3(fr_s.total_ms),
+            format!("{:.1}", fr_s.io),
         ]);
     }
     finish(&t, "fig10b");
@@ -620,22 +531,25 @@ fn ablation_poly_grid(cfg: &ExperimentConfig, seed: u64) {
     );
     let n = cfg.default_objects().min(20_000);
     let w = build_workload(cfg, n, seed);
-    let mut fr = build_fr(cfg, &w, 100);
+    let fr = build_engine(&EngineSpec::Fr(fr_config(cfg, n, 100)), &w);
     let l = cfg.edge_lengths[0];
     let rho = cfg.rho(2.0, n);
     let q_t = cfg.horizon() / 2;
-    let truth = fr.query(&PdrQuery::new(rho, l, q_t)).regions;
+    let queries = truth_pairs(fr.as_ref(), rho, l, &[q_t]);
+    let model = CostModel {
+        random_io_ms: cfg.random_io_ms,
+    };
 
     let mut t = Table::new(&["g", "k", "memory_MB", "r_fp", "r_fn"]);
     for (g, k) in [(1u32, 5usize), (1, 8), (5, 5), (20, 5), (40, 5)] {
-        let pa = build_pa(cfg, &w, l, g, k);
-        let a = accuracy(&truth, &pa.query(rho, q_t).regions);
+        let pa = build_engine(&EngineSpec::Pa(pa_config(cfg, l, g, k)), &w);
+        let s = score_engine(pa.as_ref(), &queries, &model);
         t.row(&[
             g.to_string(),
             k.to_string(),
-            f3(pa.memory_bytes() as f64 / (1024.0 * 1024.0)),
-            f3(a.r_fp),
-            f3(a.r_fn),
+            f3(pa.stats().memory_bytes as f64 / (1024.0 * 1024.0)),
+            f3(s.r_fp),
+            f3(s.r_fn),
         ]);
     }
     finish(&t, "ablation_poly_grid");
@@ -650,31 +564,17 @@ fn ablation_refinement_index(cfg: &ExperimentConfig, scale: Scale, seed: u64) {
         "ablation_refinement_index",
         "FR total query cost: TPR-tree vs grid refinement index",
     );
-    use pdr_core::{FrConfig, FrEngine};
-    use pdr_gridindex::{GridIndex, GridIndexConfig};
-    use pdr_mobject::TimeHorizon;
-
     let n = cfg.default_objects();
     let w = build_workload(cfg, n, seed);
-    let fr_cfg = FrConfig {
-        extent: cfg.extent,
-        m: 100,
-        horizon: TimeHorizon::new(cfg.max_update_time, cfg.prediction_window),
-        buffer_pages: cfg.buffer_pages(n).max(8),
-        threads: 1,
-    };
-    let mut fr_tpr = FrEngine::new(fr_cfg, 0);
-    fr_tpr.bulk_load(&w.population, 0);
-    let grid = GridIndex::new(
-        GridIndexConfig {
-            extent: cfg.extent,
+    let fr_cfg = fr_config(cfg, n, 100);
+    let fr_tpr = build_engine(&EngineSpec::Fr(fr_cfg), &w);
+    let fr_grid = build_engine(
+        &EngineSpec::FrGrid {
+            fr: fr_cfg,
             buckets_per_side: 32,
-            buffer_pages: cfg.buffer_pages(n).max(8),
         },
-        0,
+        &w,
     );
-    let mut fr_grid = FrEngine::with_index(fr_cfg, grid, 0);
-    fr_grid.bulk_load(&w.population, 0);
 
     let l = cfg.edge_lengths[0];
     let q_ts = query_timestamps(cfg, scale.queries_per_point());

@@ -3,17 +3,28 @@
 //! ```text
 //! pdrcli generate --objects 10000 --extent 1000 --seed 7 --out objects.csv
 //! pdrcli query    --data objects.csv --extent 1000 --l 30 --count 15 --at 10 [--method fr|pa] [--threads N]
+//! pdrcli serve    --objects 5000 --extent 1000 --ticks 20 --l 30 --count 15 [--seed S]
 //! pdrcli hotspots --data objects.csv --extent 1000 --l 30 --at 10 --top 5
 //! ```
 //!
 //! Datasets are CSV with header `id,x,y,vx,vy` (positions at t = 0).
-//! `query` prints the dense rectangles; `hotspots` prints the top-k
-//! density peaks from the approximate engine.
+//! `query` prints the dense rectangles; `serve` runs simulated traffic
+//! through every engine behind the shared [`ServeDriver`] and reports
+//! per-engine load; `hotspots` prints the top-k density peaks from the
+//! approximate engine.
+//!
+//! All engines are constructed through [`EngineSpec`] and queried
+//! through the [`DensityEngine`] trait — the CLI never touches
+//! concrete engine wiring.
 
-use pdr_core::{FrConfig, FrEngine, PaConfig, PaEngine, PdrQuery};
+use pdr_core::{EngineSpec, FrConfig, PaConfig, PaEngine, PdrQuery};
 use pdr_geometry::Point;
 use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update};
-use pdr_workload::gaussian_clusters;
+use pdr_storage::CostModel;
+use pdr_workload::{
+    gaussian_clusters, NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver,
+    TrafficSimulator,
+};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -29,6 +40,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "query" => cmd_query(&opts),
+        "serve" => cmd_serve(&opts),
         "hotspots" => cmd_hotspots(&opts),
         other => return usage(&format!("unknown subcommand {other}")),
     };
@@ -46,6 +58,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
+         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -66,6 +79,7 @@ struct Options {
     method: String,
     top: usize,
     threads: usize,
+    ticks: u64,
 }
 
 impl Options {
@@ -83,6 +97,7 @@ impl Options {
             method: "fr".into(),
             top: 5,
             threads: 0, // refinement workers: 0 = one per core
+            ticks: 20,
         };
         let mut i = 0;
         while i < args.len() {
@@ -104,6 +119,7 @@ impl Options {
                 "--method" => o.method = value.clone(),
                 "--top" => o.top = value.parse().map_err(|_| bad(key))?,
                 "--threads" => o.threads = value.parse().map_err(|_| bad(key))?,
+                "--ticks" => o.ticks = value.parse().map_err(|_| bad(key))?,
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 2;
@@ -181,6 +197,32 @@ fn horizon_for(at: Timestamp) -> TimeHorizon {
     TimeHorizon::new(half, half)
 }
 
+/// Resolves a method name to a declarative engine spec; every engine
+/// the CLI runs is built from one of these.
+fn engine_spec(method: &str, o: &Options, horizon: TimeHorizon) -> Result<EngineSpec, String> {
+    match method {
+        "fr" => {
+            let m = ((2.0 * o.extent / o.l).ceil() as u32).clamp(10, 400);
+            Ok(EngineSpec::Fr(FrConfig {
+                extent: o.extent,
+                m,
+                horizon,
+                buffer_pages: 512,
+                threads: o.threads,
+            }))
+        }
+        "pa" => Ok(EngineSpec::Pa(PaConfig {
+            extent: o.extent,
+            g: 20,
+            degree: 5,
+            l: o.l,
+            horizon,
+            m_d: 512,
+        })),
+        other => Err(format!("unknown method {other} (fr|pa)")),
+    }
+}
+
 fn cmd_query(o: &Options) -> Result<(), String> {
     let pop = load_data(o)?;
     let q = PdrQuery::new(o.count / (o.l * o.l), o.l, o.at);
@@ -191,46 +233,21 @@ fn cmd_query(o: &Options) -> Result<(), String> {
         o.count,
         o.at
     );
-    let regions = match o.method.as_str() {
-        "fr" => {
-            let m = ((2.0 * o.extent / o.l).ceil() as u32).clamp(10, 400);
-            let mut fr = FrEngine::new(
-                FrConfig {
-                    extent: o.extent,
-                    m,
-                    horizon: horizon_for(o.at),
-                    buffer_pages: 512,
-                    threads: o.threads,
-                },
-                0,
-            );
-            fr.bulk_load(&pop, 0);
-            let ans = fr.query(&q);
-            println!(
-                "# FR: {} accepts, {} candidates, {} buffer misses",
-                ans.accepts, ans.candidates, ans.io.misses
-            );
-            ans.regions
-        }
-        "pa" => {
-            let mut pa = PaEngine::new(
-                PaConfig {
-                    extent: o.extent,
-                    g: 20,
-                    degree: 5,
-                    l: o.l,
-                    horizon: horizon_for(o.at),
-                    m_d: 512,
-                },
-                0,
-            );
-            for (id, m) in &pop {
-                pa.apply(&Update::insert(*id, 0, *m));
-            }
-            pa.query(q.rho, o.at).regions
-        }
-        other => return Err(format!("unknown method {other} (fr|pa)")),
-    };
+    let mut engine = engine_spec(&o.method, o, horizon_for(o.at))?.build(0);
+    engine.bulk_load(&pop, 0);
+    let ans = engine.query(&q);
+    let stats = engine.stats();
+    println!(
+        "# {}: exact = {}, {} buffer misses, {} bytes resident",
+        engine.name(),
+        ans.exact,
+        ans.io.misses,
+        stats.memory_bytes
+    );
+    // Wall-clock goes to stderr: stdout must stay byte-identical
+    // across runs and thread counts.
+    eprintln!("# cpu = {:.2} ms", ans.cpu.as_secs_f64() * 1e3);
+    let regions = ans.regions;
     let mut out = std::io::BufWriter::new(std::io::stdout().lock());
     let write = (|| -> std::io::Result<()> {
         writeln!(
@@ -246,6 +263,69 @@ fn cmd_query(o: &Options) -> Result<(), String> {
         out.flush()
     })();
     tolerate_broken_pipe(write)
+}
+
+fn cmd_serve(o: &Options) -> Result<(), String> {
+    if o.ticks == 0 {
+        return Err("serve requires --ticks >= 1".into());
+    }
+    let network = RoadNetwork::generate(&NetworkConfig::metro(o.extent), o.seed);
+    let horizon = TimeHorizon::new(10, 10);
+    let sim = TrafficSimulator::new(
+        network,
+        o.objects,
+        o.seed ^ 0x5eed,
+        horizon.max_update_time(),
+        0,
+    );
+    let rho = o.count / (o.l * o.l);
+
+    // Both engines, built declaratively, served by the one driver.
+    let mut driver = ServeDriver::new(sim, CostModel::PAPER_DEFAULT)
+        .with_engine("fr", engine_spec("fr", o, horizon)?.build(0))
+        .with_engine("pa", engine_spec("pa", o, horizon)?.build(0));
+    driver.bootstrap();
+
+    // Query mix: now / mid-window / full prediction window ahead.
+    // Offsets stay within W: a report may be up to U old, so its
+    // horizon coverage only guarantees [now, now + W].
+    let w = horizon.prediction_window();
+    let specs: Vec<QuerySpec> = [0, w / 2, w]
+        .into_iter()
+        .map(|dt| QuerySpec {
+            rho,
+            varrho: 0.0,
+            l: o.l,
+            q_t: dt,
+        })
+        .collect();
+    let mix = QueryMix::new(specs, 0, 2).with_accuracy();
+    let report = driver.run(o.ticks, &mix);
+
+    println!(
+        "# served {} ticks, {} objects, {} protocol updates, {} queries per engine",
+        report.ticks,
+        o.objects,
+        report.updates,
+        report.engines.first().map_or(0, |e| e.queries)
+    );
+    println!("engine,queries,mean_total_ms,ingest_ms,io_misses,r_fp,r_fn,updates,missed_deletes,memory_bytes");
+    for e in &report.engines {
+        println!(
+            "{},{},{:.3},{:.3},{},{:.4},{:.4},{},{},{}",
+            e.label,
+            e.queries,
+            e.mean_total_ms(),
+            e.ingest_ms,
+            e.io.misses,
+            e.mean_r_fp(),
+            e.mean_r_fn(),
+            e.stats.updates_applied,
+            e.stats.missed_deletes,
+            e.stats.memory_bytes
+        );
+    }
+    Ok(())
 }
 
 /// Treats a closed downstream pipe (`pdrcli ... | head`) as success.

@@ -1,0 +1,706 @@
+//! The unified engine plane: one trait every density-query method
+//! implements, so ingest and serving are written once.
+//!
+//! The paper evaluates four parallel stacks — exact FR (Section 5),
+//! approximate PA (Section 6), the brute-force oracle, and the
+//! prior-work baselines — and before this module every consumer
+//! (`pdrcli`, the benches, the experiment binaries) hand-wired each of
+//! them separately. [`DensityEngine`] collapses that into a single
+//! contract:
+//!
+//! * **ingest is exclusive** — [`apply_batch`](DensityEngine::apply_batch)
+//!   and [`advance_to`](DensityEngine::advance_to) take `&mut self`, so
+//!   the type system guarantees no query observes a half-applied batch;
+//! * **queries are shared** — [`query`](DensityEngine::query) takes
+//!   `&self`, and every implementation is `Sync`, so any number of
+//!   threads may query one engine concurrently between batches. The FR
+//!   engine keeps its per-timestamp classification cache behind a
+//!   `RwLock` keyed by the histogram epoch, so concurrent readers still
+//!   compute each `(timestamp, ρ, l)` classification at most once;
+//! * **cost is uniform** — every answer is an [`EngineAnswer`] carrying
+//!   the region plus CPU time and buffer-pool I/O, convertible to the
+//!   paper's total-cost metric via [`EngineAnswer::total_ms`];
+//! * **health is uniform** — [`stats`](DensityEngine::stats) exposes
+//!   update counts, anomaly counts (missed deletes) and resident
+//!   memory for any engine behind the trait.
+//!
+//! [`EngineSpec`] is the declarative constructor: a serve driver or CLI
+//! names the engines it wants and gets `Box<dyn DensityEngine>`s back,
+//! never touching concrete types.
+
+use crate::{
+    baselines, classify_cells, dh_optimistic, dh_pessimistic, ExactOracle, FrConfig, FrEngine,
+    PaConfig, PaEngine, PdrQuery, RangeIndex,
+};
+use pdr_geometry::{GridSpec, Rect, RegionSet};
+use pdr_histogram::DensityHistogram;
+use pdr_mobject::{MotionState, ObjectId, ObjectTable, Timestamp, Update};
+use pdr_storage::{CostModel, IoStats};
+use std::time::{Duration, Instant};
+
+/// Coalesce cadence for the default interval-query implementation
+/// (mirrors [`INTERVAL_COALESCE_EVERY`](crate::INTERVAL_COALESCE_EVERY)).
+const DEFAULT_INTERVAL_COALESCE_EVERY: u32 = 4;
+
+/// One engine's answer to a PDR query, in units every method shares.
+#[derive(Clone, Debug)]
+pub struct EngineAnswer {
+    /// The reported dense region.
+    pub regions: RegionSet,
+    /// Wall-clock CPU time of the query.
+    pub cpu: Duration,
+    /// Buffer-pool I/O incurred (zero for memory-resident methods).
+    pub io: IoStats,
+    /// `true` when the method is exact (FR, oracle); `false` for
+    /// approximate or lossy methods (PA, DH, the baselines).
+    pub exact: bool,
+}
+
+impl EngineAnswer {
+    /// Total query cost in milliseconds under `model`:
+    /// `CPU + random-I/O charge` (the paper's Figure 10 metric).
+    pub fn total_ms(&self, model: &CostModel) -> f64 {
+        self.cpu.as_secs_f64() * 1e3 + model.io_ms(&self.io)
+    }
+}
+
+/// Uniform health/accounting snapshot of an engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Protocol updates applied over the engine's lifetime.
+    pub updates_applied: u64,
+    /// Deletions that did not match any indexed object — each one is a
+    /// tolerated but logged anomaly (client retraction of a report the
+    /// server never saw, or a bug upstream).
+    pub missed_deletes: u64,
+    /// Resident bytes of the engine's summary structures.
+    pub memory_bytes: usize,
+    /// Live objects the engine currently accounts for.
+    pub objects: usize,
+}
+
+/// A density-query engine: ingest protocol updates exclusively, answer
+/// PDR queries shared.
+///
+/// # Contract
+///
+/// * [`query`](Self::query) and [`interval_query`](Self::interval_query)
+///   take `&self` and must be safe to call from many threads at once
+///   (`Sync` is a supertrait); repeated identical queries between two
+///   batches return identical answers.
+/// * [`apply_batch`](Self::apply_batch) applies updates in order;
+///   [`advance_to`](Self::advance_to) moves the engine's time horizon
+///   forward and must be called before applying a batch stamped with
+///   the new timestamp.
+/// * Methods with a fixed neighborhood edge (PA) answer for their
+///   configured `l` and ignore the query's; exact methods honor the
+///   query's `l` exactly. [`EngineAnswer::exact`] tells consumers
+///   which case they got.
+pub trait DensityEngine: Send + Sync {
+    /// Short stable name for tables and logs (`"fr"`, `"pa"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Loads an initial population into an empty engine. The default
+    /// turns the population into insertion updates; engines with packed
+    /// loaders override it.
+    fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
+        let updates: Vec<Update> = objects
+            .iter()
+            .map(|(id, m)| Update::insert(*id, t_now, *m))
+            .collect();
+        self.apply_batch(&updates);
+    }
+
+    /// Applies one tick's protocol updates, in order.
+    fn apply_batch(&mut self, updates: &[Update]);
+
+    /// Advances the engine's time horizon to `t_now`.
+    fn advance_to(&mut self, t_now: Timestamp);
+
+    /// Answers a snapshot PDR query.
+    fn query(&self, q: &PdrQuery) -> EngineAnswer;
+
+    /// The union of snapshot answers over `from..=to` (Definition 5).
+    /// The default evaluates each timestamp through
+    /// [`query`](Self::query); engines with incremental interval plans
+    /// override it.
+    fn interval_query(&self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
+        let mut acc = RegionSet::new();
+        let mut since_coalesce = 0u32;
+        for t in from..=to {
+            let ans = self.query(&PdrQuery::new(rho, l, t));
+            for r in ans.regions.rects() {
+                acc.push(*r);
+            }
+            since_coalesce += 1;
+            if since_coalesce >= DEFAULT_INTERVAL_COALESCE_EVERY {
+                acc.coalesce();
+                since_coalesce = 0;
+            }
+        }
+        acc.coalesce();
+        acc
+    }
+
+    /// Uniform health/accounting snapshot.
+    fn stats(&self) -> EngineStats;
+}
+
+impl<I: RangeIndex + Send> DensityEngine for FrEngine<I> {
+    fn name(&self) -> &'static str {
+        "fr"
+    }
+
+    fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
+        FrEngine::bulk_load(self, objects, t_now);
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        for u in updates {
+            self.apply(u);
+        }
+    }
+
+    fn advance_to(&mut self, t_now: Timestamp) {
+        FrEngine::advance_to(self, t_now);
+    }
+
+    fn query(&self, q: &PdrQuery) -> EngineAnswer {
+        let a = FrEngine::query(self, q);
+        EngineAnswer {
+            regions: a.regions,
+            cpu: a.cpu,
+            io: a.io,
+            exact: true,
+        }
+    }
+
+    fn interval_query(&self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
+        FrEngine::interval_query(self, rho, l, from, to)
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            updates_applied: self.updates_applied(),
+            missed_deletes: self.missed_deletes(),
+            memory_bytes: self.histogram().memory_bytes(),
+            objects: self.len(),
+        }
+    }
+}
+
+impl DensityEngine for PaEngine {
+    fn name(&self) -> &'static str {
+        "pa"
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        for u in updates {
+            self.apply(u);
+        }
+    }
+
+    fn advance_to(&mut self, t_now: Timestamp) {
+        PaEngine::advance_to(self, t_now);
+    }
+
+    /// Answers for the engine's *configured* `l` (the PA surface is
+    /// maintained for one neighborhood edge); the query's `l` is
+    /// ignored, and `exact` is `false` accordingly.
+    fn query(&self, q: &PdrQuery) -> EngineAnswer {
+        let a = PaEngine::query(self, q.rho, q.q_t);
+        EngineAnswer {
+            regions: a.regions,
+            cpu: a.cpu,
+            io: IoStats::default(),
+            exact: false,
+        }
+    }
+
+    fn interval_query(&self, rho: f64, _l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
+        PaEngine::interval_query(self, rho, from, to)
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            updates_applied: self.updates_applied(),
+            missed_deletes: 0,
+            memory_bytes: self.memory_bytes(),
+            objects: self.live_objects().max(0) as usize,
+        }
+    }
+}
+
+impl DensityEngine for ExactOracle {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        for u in updates {
+            self.apply(u);
+        }
+    }
+
+    fn advance_to(&mut self, _t_now: Timestamp) {
+        // Brute force extrapolates on demand; no horizon to advance.
+    }
+
+    fn query(&self, q: &PdrQuery) -> EngineAnswer {
+        let start = Instant::now();
+        let regions = self.dense_regions_at(q);
+        EngineAnswer {
+            regions,
+            cpu: start.elapsed(),
+            io: IoStats::default(),
+            exact: true,
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            updates_applied: self.updates_applied(),
+            missed_deletes: self.missed_deletes(),
+            memory_bytes: (self.positions().len() + self.live_objects())
+                * std::mem::size_of::<pdr_geometry::Point>(),
+            objects: self.positions().len() + self.live_objects(),
+        }
+    }
+}
+
+/// Shared scaffolding of the table-backed wrapper engines (baselines
+/// and oracle-style methods that recompute from live positions).
+struct LiveTable {
+    table: ObjectTable,
+    updates_applied: u64,
+    missed_deletes: u64,
+}
+
+impl LiveTable {
+    fn new() -> Self {
+        LiveTable {
+            table: ObjectTable::new(),
+            updates_applied: 0,
+            missed_deletes: 0,
+        }
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        for u in updates {
+            self.updates_applied += 1;
+            if !self.table.apply(u) {
+                self.missed_deletes += 1;
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            updates_applied: self.updates_applied,
+            missed_deletes: self.missed_deletes,
+            memory_bytes: self.table.len() * std::mem::size_of::<(ObjectId, MotionState)>(),
+            objects: self.table.len(),
+        }
+    }
+}
+
+/// The dense-cell baseline (Hadjieleftheriou et al.) as an engine:
+/// maintains live motions in an [`ObjectTable`] and reports grid cells
+/// whose own density clears the threshold. Exists so the paper's
+/// answer-loss comparison runs through the same serve plane as FR/PA.
+pub struct DenseCellEngine {
+    grid: GridSpec,
+    live: LiveTable,
+}
+
+impl DenseCellEngine {
+    /// Creates the baseline over a fixed reporting grid.
+    pub fn new(grid: GridSpec) -> Self {
+        DenseCellEngine {
+            grid,
+            live: LiveTable::new(),
+        }
+    }
+}
+
+impl DensityEngine for DenseCellEngine {
+    fn name(&self) -> &'static str {
+        "dense-cell"
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        self.live.apply_batch(updates);
+    }
+
+    fn advance_to(&mut self, _t_now: Timestamp) {}
+
+    fn query(&self, q: &PdrQuery) -> EngineAnswer {
+        let start = Instant::now();
+        let positions = self.live.table.positions_at(q.q_t);
+        let regions = baselines::dense_cell_query(&positions, self.grid, q.rho);
+        EngineAnswer {
+            regions,
+            cpu: start.elapsed(),
+            io: IoStats::default(),
+            exact: false,
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.live.stats()
+    }
+}
+
+/// The effective-density-query baseline (Jensen et al.) as an engine:
+/// greedy disjoint `l × l` squares over live positions, reported as the
+/// union region.
+pub struct EdqEngine {
+    bounds: Rect,
+    live: LiveTable,
+}
+
+impl EdqEngine {
+    /// Creates the baseline over the monitored region.
+    pub fn new(bounds: Rect) -> Self {
+        EdqEngine {
+            bounds,
+            live: LiveTable::new(),
+        }
+    }
+}
+
+impl DensityEngine for EdqEngine {
+    fn name(&self) -> &'static str {
+        "edq"
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        self.live.apply_batch(updates);
+    }
+
+    fn advance_to(&mut self, _t_now: Timestamp) {}
+
+    fn query(&self, q: &PdrQuery) -> EngineAnswer {
+        let start = Instant::now();
+        let positions = self.live.table.positions_at(q.q_t);
+        let squares = baselines::effective_density_query(&positions, &self.bounds, q);
+        EngineAnswer {
+            regions: baselines::edq_region(&squares, q.l),
+            cpu: start.elapsed(),
+            io: IoStats::default(),
+            exact: false,
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.live.stats()
+    }
+}
+
+/// Forcing strategy of a stand-alone density-histogram engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DhMode {
+    /// Candidates count as dense: no false negatives (Section 7.2).
+    Optimistic,
+    /// Candidates are dropped: no false positives.
+    Pessimistic,
+}
+
+/// The filter step used *as the whole method* (the "DH" rows of
+/// Figure 8), behind the engine plane so the accuracy sweeps compare it
+/// through the same driver as PA.
+pub struct DhEngine {
+    histogram: DensityHistogram,
+    mode: DhMode,
+    updates_applied: u64,
+    live: i64,
+}
+
+impl DhEngine {
+    /// Creates a stand-alone DH engine. Reuses [`FrConfig`] for the
+    /// grid/horizon shape; the index-related fields are ignored.
+    pub fn new(cfg: FrConfig, mode: DhMode, t_start: Timestamp) -> Self {
+        DhEngine {
+            histogram: DensityHistogram::new(cfg.extent, cfg.m, cfg.horizon, t_start),
+            mode,
+            updates_applied: 0,
+            live: 0,
+        }
+    }
+
+    /// The underlying histogram (for memory sweeps).
+    pub fn histogram(&self) -> &DensityHistogram {
+        &self.histogram
+    }
+}
+
+impl DensityEngine for DhEngine {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            DhMode::Optimistic => "dh-opt",
+            DhMode::Pessimistic => "dh-pess",
+        }
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        for u in updates {
+            self.updates_applied += 1;
+            self.live += u.sign();
+            self.histogram.apply(u);
+        }
+    }
+
+    fn advance_to(&mut self, t_now: Timestamp) {
+        self.histogram.advance_to(t_now);
+    }
+
+    fn query(&self, q: &PdrQuery) -> EngineAnswer {
+        let start = Instant::now();
+        let sums = self.histogram.prefix_sums_at(q.q_t);
+        let cls = classify_cells(self.histogram.grid(), &sums, q);
+        let regions = match self.mode {
+            DhMode::Optimistic => dh_optimistic(&cls),
+            DhMode::Pessimistic => dh_pessimistic(&cls),
+        };
+        EngineAnswer {
+            regions,
+            cpu: start.elapsed(),
+            io: IoStats::default(),
+            exact: false,
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            updates_applied: self.updates_applied,
+            missed_deletes: 0,
+            memory_bytes: self.histogram.memory_bytes(),
+            objects: self.live.max(0) as usize,
+        }
+    }
+}
+
+/// Declarative engine construction: consumers (CLI, benches, serve
+/// drivers) name what they want and receive trait objects, never
+/// touching concrete engine types.
+#[derive(Clone, Debug)]
+pub enum EngineSpec {
+    /// Exact FR over the TPR-tree (the paper's default).
+    Fr(FrConfig),
+    /// Exact FR over the velocity-bounded grid index ablation.
+    FrGrid {
+        /// FR configuration (histogram, horizon, buffer pool).
+        fr: FrConfig,
+        /// Grid-index buckets per side.
+        buckets_per_side: u32,
+    },
+    /// Approximate PA (Chebyshev surface).
+    Pa(PaConfig),
+    /// Brute-force oracle over live updates.
+    Oracle {
+        /// Monitored region.
+        bounds: Rect,
+    },
+    /// Dense-cell prior-work baseline.
+    DenseCell {
+        /// Reporting grid.
+        grid: GridSpec,
+    },
+    /// Effective-density-query prior-work baseline.
+    Edq {
+        /// Monitored region.
+        bounds: Rect,
+    },
+    /// Stand-alone density histogram, forced optimistic or pessimistic.
+    Dh(FrConfig, DhMode),
+}
+
+impl EngineSpec {
+    /// The name the built engine will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineSpec::Fr(_) => "fr",
+            EngineSpec::FrGrid { .. } => "fr",
+            EngineSpec::Pa(_) => "pa",
+            EngineSpec::Oracle { .. } => "oracle",
+            EngineSpec::DenseCell { .. } => "dense-cell",
+            EngineSpec::Edq { .. } => "edq",
+            EngineSpec::Dh(_, DhMode::Optimistic) => "dh-opt",
+            EngineSpec::Dh(_, DhMode::Pessimistic) => "dh-pess",
+        }
+    }
+
+    /// Builds the engine, empty, with its horizon starting at `t_start`.
+    pub fn build(&self, t_start: Timestamp) -> Box<dyn DensityEngine> {
+        match self {
+            EngineSpec::Fr(cfg) => Box::new(FrEngine::new(*cfg, t_start)),
+            EngineSpec::FrGrid {
+                fr,
+                buckets_per_side,
+            } => {
+                let grid = pdr_gridindex::GridIndex::new(
+                    pdr_gridindex::GridIndexConfig {
+                        extent: fr.extent,
+                        buckets_per_side: *buckets_per_side,
+                        buffer_pages: fr.buffer_pages,
+                    },
+                    t_start,
+                );
+                Box::new(FrEngine::with_index(*fr, grid, t_start))
+            }
+            EngineSpec::Pa(cfg) => Box::new(PaEngine::new(*cfg, t_start)),
+            EngineSpec::Oracle { bounds } => Box::new(ExactOracle::new(*bounds, Vec::new())),
+            EngineSpec::DenseCell { grid } => Box::new(DenseCellEngine::new(*grid)),
+            EngineSpec::Edq { bounds } => Box::new(EdqEngine::new(*bounds)),
+            EngineSpec::Dh(cfg, mode) => Box::new(DhEngine::new(*cfg, *mode, t_start)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_geometry::Point;
+    use pdr_mobject::TimeHorizon;
+
+    fn small_fr_cfg() -> FrConfig {
+        FrConfig {
+            extent: 100.0,
+            // Cell edge 100/20 = 5 ≤ l/2 for the l = 10..12 queries below.
+            m: 20,
+            horizon: TimeHorizon::new(4, 4),
+            buffer_pages: 32,
+            threads: 1,
+        }
+    }
+
+    fn population(n: usize) -> Vec<(ObjectId, MotionState)> {
+        let mut seed = 42u64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n)
+            .map(|i| {
+                (
+                    ObjectId(i as u64),
+                    MotionState::new(
+                        Point::new(rng() * 100.0, rng() * 100.0),
+                        Point::new(rng() * 2.0 - 1.0, rng() * 2.0 - 1.0),
+                        0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_spec_builds_and_serves_the_same_script() {
+        let bounds = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let specs = [
+            EngineSpec::Fr(small_fr_cfg()),
+            EngineSpec::FrGrid {
+                fr: small_fr_cfg(),
+                buckets_per_side: 8,
+            },
+            EngineSpec::Pa(PaConfig {
+                extent: 100.0,
+                g: 5,
+                degree: 4,
+                l: 10.0,
+                horizon: TimeHorizon::new(4, 4),
+                m_d: 100,
+            }),
+            EngineSpec::Oracle { bounds },
+            EngineSpec::DenseCell {
+                grid: GridSpec::unit_origin(100.0, 10),
+            },
+            EngineSpec::Edq { bounds },
+            EngineSpec::Dh(small_fr_cfg(), DhMode::Optimistic),
+            EngineSpec::Dh(small_fr_cfg(), DhMode::Pessimistic),
+        ];
+        let pop = population(120);
+        let q = PdrQuery::new(4.0 / 100.0, 10.0, 2);
+        for spec in &specs {
+            let mut eng = spec.build(0);
+            assert_eq!(eng.name(), spec.name());
+            eng.bulk_load(&pop, 0);
+            let stats = eng.stats();
+            assert_eq!(stats.updates_applied, 120, "{}", eng.name());
+            assert_eq!(stats.missed_deletes, 0, "{}", eng.name());
+            let a1 = eng.query(&q);
+            let a2 = eng.query(&q);
+            assert_eq!(
+                a1.regions.rects(),
+                a2.regions.rects(),
+                "{}: repeated query must be deterministic",
+                eng.name()
+            );
+            // Ingest continues to work after queries.
+            eng.advance_to(1);
+            eng.apply_batch(&[Update::insert(
+                ObjectId(10_000),
+                1,
+                MotionState::stationary(Point::new(50.0, 50.0), 1),
+            )]);
+            assert_eq!(eng.stats().updates_applied, 121, "{}", eng.name());
+        }
+    }
+
+    #[test]
+    fn exact_engines_agree_and_flag_exactness() {
+        let bounds = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let pop = population(200);
+        let mut fr = EngineSpec::Fr(small_fr_cfg()).build(0);
+        let mut oracle = EngineSpec::Oracle { bounds }.build(0);
+        fr.bulk_load(&pop, 0);
+        oracle.bulk_load(&pop, 0);
+        for q_t in 0..3u64 {
+            let q = PdrQuery::new(5.0 / 100.0, 12.0, q_t);
+            let a = fr.query(&q);
+            let b = oracle.query(&q);
+            assert!(a.exact && b.exact);
+            assert!(
+                a.regions.symmetric_difference_area(&b.regions) < 1e-9,
+                "FR and oracle disagree at t={q_t}"
+            );
+        }
+    }
+
+    #[test]
+    fn missed_deletes_are_counted_not_fatal() {
+        let mut eng = EngineSpec::Fr(small_fr_cfg()).build(0);
+        let phantom = Update::delete(
+            ObjectId(777),
+            0,
+            MotionState::stationary(Point::new(5.0, 5.0), 0),
+        );
+        eng.apply_batch(&[phantom]);
+        let stats = eng.stats();
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(stats.missed_deletes, 1);
+    }
+
+    #[test]
+    fn default_interval_query_unions_snapshots() {
+        let bounds = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut oracle = EngineSpec::Oracle { bounds }.build(0);
+        // One stationary cluster: dense at every timestamp.
+        let pop: Vec<(ObjectId, MotionState)> = (0..6)
+            .map(|i| {
+                (
+                    ObjectId(i),
+                    MotionState::stationary(Point::new(40.0, 40.0), 0),
+                )
+            })
+            .collect();
+        oracle.bulk_load(&pop, 0);
+        let region = oracle.interval_query(5.0 / 100.0, 10.0, 0, 5);
+        assert!(region.contains(Point::new(40.0, 40.0)));
+        let snap = oracle.query(&PdrQuery::new(5.0 / 100.0, 10.0, 3));
+        // The interval union covers any single snapshot.
+        assert!(region.area() >= snap.regions.area() - 1e-9);
+    }
+}

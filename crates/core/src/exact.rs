@@ -3,6 +3,7 @@
 
 use crate::{refine_region, DenseThreshold, PdrQuery};
 use pdr_geometry::{LSquare, Point, Rect, RegionSet};
+use pdr_mobject::{ObjectTable, Timestamp, Update};
 
 /// The point density of Definition 2, computed by brute force:
 /// `d(p) = n(S_p^l) / l²`.
@@ -29,18 +30,88 @@ pub fn exact_dense_regions(objects: &[Point], bounds: &Rect, query: &PdrQuery) -
     rs
 }
 
-/// A snapshot oracle bundling object positions with query helpers;
+/// A brute-force oracle bundling object positions with query helpers;
 /// used pervasively in tests and in the accuracy experiments, where
 /// every method's answer is compared against `ExactOracle::dense_regions`.
+///
+/// The oracle serves two roles:
+///
+/// * a **frozen snapshot** (its original form): `new` captures fixed
+///   positions and [`dense_regions`](Self::dense_regions) /
+///   [`density_at`](Self::density_at) / [`is_dense`](Self::is_dense)
+///   answer against exactly that snapshot;
+/// * a **live engine** (the [`DensityEngine`](crate::DensityEngine)
+///   plane): protocol updates fed through [`apply`](Self::apply) are
+///   replayed into an internal [`ObjectTable`], and
+///   [`dense_regions_at`](Self::dense_regions_at) answers against the
+///   frozen snapshot *plus* the live objects extrapolated to the query
+///   timestamp.
+///
+/// Existing snapshot users never call `apply`, so their behavior is
+/// unchanged.
 pub struct ExactOracle {
     bounds: Rect,
     positions: Vec<Point>,
+    table: ObjectTable,
+    updates_applied: u64,
+    missed_deletes: u64,
 }
 
 impl ExactOracle {
     /// Creates an oracle over a snapshot of object positions.
     pub fn new(bounds: Rect, positions: Vec<Point>) -> Self {
-        ExactOracle { bounds, positions }
+        ExactOracle {
+            bounds,
+            positions,
+            table: ObjectTable::new(),
+            updates_applied: 0,
+            missed_deletes: 0,
+        }
+    }
+
+    /// Applies one protocol update to the live object table.
+    pub fn apply(&mut self, update: &Update) {
+        self.updates_applied += 1;
+        // `ObjectTable::apply` only reports failure for deletions of
+        // unknown objects, so a `false` here is exactly a missed delete.
+        if !self.table.apply(update) {
+            self.missed_deletes += 1;
+        }
+    }
+
+    /// Protocol updates applied via [`apply`](Self::apply).
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Deletions of objects the live table did not hold.
+    pub fn missed_deletes(&self) -> u64 {
+        self.missed_deletes
+    }
+
+    /// Live objects in the update-fed table (excludes the frozen
+    /// snapshot positions).
+    pub fn live_objects(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Every position the oracle knows at timestamp `t`: the frozen
+    /// snapshot plus the live objects extrapolated to `t`.
+    pub fn positions_at(&self, t: Timestamp) -> Vec<Point> {
+        let mut all = self.positions.clone();
+        all.extend(self.table.positions_at(t));
+        all
+    }
+
+    /// The exact dense region at the query's timestamp, over frozen ∪
+    /// extrapolated live objects. Equals
+    /// [`dense_regions`](Self::dense_regions) when no updates were
+    /// applied.
+    pub fn dense_regions_at(&self, query: &PdrQuery) -> RegionSet {
+        if self.table.is_empty() {
+            return self.dense_regions(query);
+        }
+        exact_dense_regions(&self.positions_at(query.q_t), &self.bounds, query)
     }
 
     /// The monitored region.

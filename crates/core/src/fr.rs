@@ -9,7 +9,7 @@ use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update, UpdateK
 use pdr_storage::{CostModel, IoStats};
 use pdr_tprtree::{TprConfig, TprTree};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Configuration of an [`FrEngine`].
@@ -121,14 +121,28 @@ impl ClassificationCache {
     }
 }
 
+/// How many missed deletes are reported on stderr before the engine
+/// goes quiet and only counts (the counter in
+/// [`missed_deletes`](FrEngine::missed_deletes) never stops).
+const MISSED_DELETE_LOG_LIMIT: u64 = 8;
+
 /// The exact PDR query engine: density histogram for filtering, a
 /// pluggable [`RangeIndex`] (TPR-tree by default) plus plane sweep for
 /// refinement.
+///
+/// Queries take `&self`: the per-timestamp classification cache lives
+/// behind an `RwLock`, so any number of threads can query one shared
+/// engine concurrently (cache hits take the read lock only; the first
+/// visit of a timestamp computes under the write lock, exactly once).
+/// Updates still take `&mut self`, which statically excludes them from
+/// overlapping with in-flight queries.
 pub struct FrEngine<I: RangeIndex = TprTree> {
     cfg: FrConfig,
     histogram: DensityHistogram,
     tree: I,
-    cache: ClassificationCache,
+    cache: RwLock<ClassificationCache>,
+    updates_applied: u64,
+    missed_deletes: u64,
 }
 
 impl FrEngine<TprTree> {
@@ -162,7 +176,9 @@ impl<I: RangeIndex> FrEngine<I> {
             cfg,
             histogram,
             tree: index,
-            cache: ClassificationCache::new(),
+            cache: RwLock::new(ClassificationCache::new()),
+            updates_applied: 0,
+            missed_deletes: 0,
         }
     }
 
@@ -201,7 +217,9 @@ impl<I: RangeIndex> FrEngine<I> {
             cfg,
             histogram,
             tree: index,
-            cache: ClassificationCache::new(),
+            cache: RwLock::new(ClassificationCache::new()),
+            updates_applied: 0,
+            missed_deletes: 0,
         }
     }
 
@@ -239,16 +257,34 @@ impl<I: RangeIndex> FrEngine<I> {
             self.histogram.apply(&Update::insert(*id, t_now, *m));
         }
         self.tree.load(objects, t_now);
+        self.updates_applied += objects.len() as u64;
     }
 
     /// Applies one protocol update to both structures.
+    ///
+    /// A deletion whose object is missing from the refinement index is
+    /// a tree-vs-histogram desync anomaly. It is *counted* (see
+    /// [`missed_deletes`](Self::missed_deletes) and `EngineStats`) and
+    /// logged for the first few occurrences, never silently dropped —
+    /// release builds previously lost the signal entirely behind a
+    /// `debug_assert!`.
     pub fn apply(&mut self, update: &Update) {
+        self.updates_applied += 1;
         self.histogram.apply(update);
         match update.kind {
             UpdateKind::Insert { motion } => self.tree.insert(update.id, &motion, update.t_now),
             UpdateKind::Delete { .. } => {
                 let removed = self.tree.remove(update.id);
-                debug_assert!(removed, "delete of unindexed object {:?}", update.id);
+                if !removed {
+                    self.missed_deletes += 1;
+                    if self.missed_deletes <= MISSED_DELETE_LOG_LIMIT {
+                        eprintln!(
+                            "pdr-core[fr]: anomaly #{}: delete of unindexed object {:?} at t={} \
+                             (histogram and refinement index may now disagree)",
+                            self.missed_deletes, update.id, update.t_now
+                        );
+                    }
+                }
             }
         }
     }
@@ -258,39 +294,68 @@ impl<I: RangeIndex> FrEngine<I> {
         self.histogram.advance_to(t_now);
     }
 
-    /// Cumulative cache-miss counters of the classification cache.
-    pub fn cache_counters(&self) -> FrCacheCounters {
-        self.cache.counters
+    /// Deletions that did not find their object in the refinement index
+    /// (cumulative). Nonzero values indicate an update-protocol
+    /// violation upstream; the histogram side of such a delete was
+    /// still applied, so answers may under-count until the motion ages
+    /// out of the horizon.
+    pub fn missed_deletes(&self) -> u64 {
+        self.missed_deletes
     }
 
-    /// Prefix sums of timestamp `q_t`'s plane, cached per histogram
-    /// epoch.
-    fn cached_sums(&mut self, q_t: Timestamp) -> Arc<PrefixSum2d> {
-        self.cache.sync_epoch(self.histogram.epoch());
-        if let Some(s) = self.cache.sums.get(&q_t) {
-            return Arc::clone(s);
-        }
-        self.cache.counters.sums_recomputes += 1;
-        let s = Arc::new(self.histogram.prefix_sums_at(q_t));
-        self.cache.sums.insert(q_t, Arc::clone(&s));
-        s
+    /// Protocol updates applied so far (inserts + deletes, including
+    /// the bulk-load inserts).
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Cumulative cache-miss counters of the classification cache.
+    pub fn cache_counters(&self) -> FrCacheCounters {
+        self.cache.read().expect("cache lock poisoned").counters
     }
 
     /// Filter-step classification for `q`, cached per histogram epoch
-    /// and `(q_t, ρ, l)`.
-    fn cached_classification(&mut self, q: &PdrQuery) -> Arc<Classification> {
-        self.cache.sync_epoch(self.histogram.epoch());
+    /// and `(q_t, ρ, l)`; prefix sums are cached per `(epoch, q_t)`.
+    ///
+    /// Double-checked locking: the fast path takes the read lock only,
+    /// so concurrent cache hits never serialize. On a miss the write
+    /// lock is taken and the cache re-checked before computing, which
+    /// guarantees **at most one** prefix-sum build and one
+    /// classification walk per distinct key, no matter how many threads
+    /// race on the first visit. Updates go through `&mut self`, so the
+    /// histogram cannot mutate (and the epoch cannot move) while any
+    /// query holds `&self`.
+    fn cached_classification(&self, q: &PdrQuery) -> Arc<Classification> {
+        let epoch = self.histogram.epoch();
         let key = (q.q_t, q.rho.to_bits(), q.l.to_bits());
-        if let Some(c) = self.cache.classes.get(&key) {
+        {
+            let cache = self.cache.read().expect("cache lock poisoned");
+            if cache.epoch == epoch {
+                if let Some(c) = cache.classes.get(&key) {
+                    return Arc::clone(c);
+                }
+            }
+        }
+        let mut cache = self.cache.write().expect("cache lock poisoned");
+        cache.sync_epoch(epoch);
+        if let Some(c) = cache.classes.get(&key) {
             return Arc::clone(c);
         }
-        let sums = self.cached_sums(q.q_t);
-        self.cache.counters.classify_recomputes += 1;
+        let sums = match cache.sums.get(&q.q_t) {
+            Some(s) => Arc::clone(s),
+            None => {
+                cache.counters.sums_recomputes += 1;
+                let s = Arc::new(self.histogram.prefix_sums_at(q.q_t));
+                cache.sums.insert(q.q_t, Arc::clone(&s));
+                s
+            }
+        };
+        cache.counters.classify_recomputes += 1;
         let cls = Arc::new(classify_cells(self.histogram.grid(), &sums, q));
-        if self.cache.classes.len() >= MAX_CLASS_ENTRIES {
-            self.cache.classes.clear();
+        if cache.classes.len() >= MAX_CLASS_ENTRIES {
+            cache.classes.clear();
         }
-        self.cache.classes.insert(key, Arc::clone(&cls));
+        cache.classes.insert(key, Arc::clone(&cls));
         cls
     }
 
@@ -315,11 +380,16 @@ impl<I: RangeIndex> FrEngine<I> {
     /// the rectangle sequence — and therefore the coalesced answer — is
     /// identical for every worker count.
     ///
+    /// Takes `&self`: any number of threads may query one shared
+    /// engine concurrently, and every answer is bit-identical to the
+    /// single-threaded result (the cache serves clones of immutable
+    /// `Arc`ed state; refinement chunking is deterministic).
+    ///
     /// # Panics
     ///
     /// Panics when `q.q_t` is outside the current horizon window or the
     /// histogram grid is too coarse for `q.l` (cell edge must be ≤ l/2).
-    pub fn query(&mut self, q: &PdrQuery) -> FrAnswer {
+    pub fn query(&self, q: &PdrQuery) -> FrAnswer {
         let start = Instant::now();
         let grid = self.histogram.grid();
         let cls = self.cached_classification(q);
@@ -382,13 +452,7 @@ impl<I: RangeIndex> FrEngine<I> {
     /// proportional to a few snapshots instead of the whole interval.
     /// The per-timestamp classification cache makes the repeated filter
     /// passes O(1) after the first visit of each timestamp.
-    pub fn interval_query(
-        &mut self,
-        rho: f64,
-        l: f64,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> RegionSet {
+    pub fn interval_query(&self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
         assert!(from <= to, "empty interval");
         let mut out = RegionSet::new();
         let mut scratch: Vec<Rect> = Vec::new();
@@ -606,7 +670,7 @@ mod tests {
             },
             0,
         );
-        let mut restored = FrEngine::restore(cfg(), restored_hist, fresh_tree, &pop);
+        let restored = FrEngine::restore(cfg(), restored_hist, fresh_tree, &pop);
         let after = restored.query(&q).regions;
         assert!(
             before.symmetric_difference_area(&after) < 1e-9,
@@ -616,7 +680,7 @@ mod tests {
 
     #[test]
     fn empty_engine_returns_empty() {
-        let mut fr = FrEngine::new(cfg(), 0);
+        let fr = FrEngine::new(cfg(), 0);
         let ans = fr.query(&PdrQuery::new(0.5, 20.0, 0));
         assert!(ans.regions.is_empty());
         assert_eq!(ans.accepts, 0);

@@ -26,12 +26,46 @@
 //! prior-work baselines the introduction criticizes ([`baselines`]),
 //! the `r_fp` / `r_fn` accuracy metrics ([`accuracy`]), and an exact
 //! brute-force reference ([`ExactOracle`]).
+//!
+//! # Architecture: the engine plane
+//!
+//! All methods sit behind one trait, [`DensityEngine`], which fixes the
+//! ingest/query contract for the whole system:
+//!
+//! ```text
+//!              reports                 protocol updates
+//!   clients ───────────► ObjectTable ─────────────────► ServeDriver
+//!                                                            │ apply_batch(&mut) / advance_to(&mut)
+//!                        ┌───────────────┬─────────────┬─────┴────────┬──────────────┐
+//!                        ▼               ▼             ▼              ▼              ▼
+//!                    FrEngine        PaEngine     ExactOracle    DhEngine     baselines
+//!                        ▲               ▲             ▲              ▲              ▲
+//!                        └───────────────┴─────────────┴──────────────┴──────────────┘
+//!                                       query(&self) → EngineAnswer
+//! ```
+//!
+//! * **Writes are exclusive.** [`DensityEngine::apply_batch`] and
+//!   [`DensityEngine::advance_to`] take `&mut self`; a batch is fully
+//!   applied before any query can run.
+//! * **Reads are shared.** [`DensityEngine::query`] takes `&self` and
+//!   every engine is `Sync`, so one engine instance serves any number
+//!   of concurrent query threads between batches. The FR engine keeps
+//!   its per-timestamp classification cache behind a `RwLock` keyed by
+//!   the histogram epoch (double-checked locking), so concurrent
+//!   readers get bit-identical answers and each distinct
+//!   `(timestamp, ρ, l)` is classified at most once.
+//! * **Construction is declarative.** [`EngineSpec`] builds any engine
+//!   as a `Box<dyn DensityEngine>`; the serve driver in `pdr-workload`
+//!   owns a traffic simulator and pumps each tick's updates into every
+//!   boxed engine, then runs a query mix — the CLI, benches and
+//!   experiments all ride that one driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
 mod dh_answers;
+mod engine;
 mod exact;
 mod filter;
 mod fr;
@@ -42,6 +76,10 @@ mod query;
 mod sweep;
 
 pub use dh_answers::{dh_optimistic, dh_pessimistic};
+pub use engine::{
+    DenseCellEngine, DensityEngine, DhEngine, DhMode, EdqEngine, EngineAnswer, EngineSpec,
+    EngineStats,
+};
 pub use exact::{exact_dense_regions, point_density, ExactOracle};
 pub use filter::{classify_cells, CellClass, Classification};
 pub use fr::{FrAnswer, FrCacheCounters, FrConfig, FrEngine, INTERVAL_COALESCE_EVERY};

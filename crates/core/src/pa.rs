@@ -96,6 +96,8 @@ pub struct PaEngine {
     cfg: PaConfig,
     t_base: Timestamp,
     grids: Vec<PolyGrid>,
+    updates_applied: u64,
+    live: i64,
 }
 
 impl PaEngine {
@@ -109,6 +111,8 @@ impl PaEngine {
             cfg,
             t_base: t_start,
             grids,
+            updates_applied: 0,
+            live: 0,
         }
     }
 
@@ -145,6 +149,8 @@ impl PaEngine {
     /// timestamp, deposit `±1/l²` over the object's `l`-square onto that
     /// timestamp's polynomial grid.
     pub fn apply(&mut self, update: &Update) {
+        self.updates_applied += 1;
+        self.live += update.sign();
         let h = self.cfg.horizon.h();
         let Some((from, to)) = update.affected_range(h) else {
             return;
@@ -314,7 +320,25 @@ impl PaEngine {
             }
             grids.push(grid);
         }
-        Ok(PaEngine { cfg, t_base, grids })
+        Ok(PaEngine {
+            cfg,
+            t_base,
+            grids,
+            updates_applied: 0,
+            live: 0,
+        })
+    }
+
+    /// Protocol updates applied since construction (or restore —
+    /// counters, like the histogram epoch, are not checkpointed).
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Net live objects implied by the update stream (inserts minus
+    /// deletes); the surface itself stores no per-object state.
+    pub fn live_objects(&self) -> i64 {
+        self.live
     }
 
     /// The `k` highest-density spots at timestamp `t`, at least
@@ -558,6 +582,62 @@ mod tests {
             MotionState::stationary(Point::new(10.0, 10.0), 1),
         ));
         assert!(restored.density_at(Point::new(10.0, 10.0), 3) > 0.0);
+    }
+
+    /// Satellite of the engine-plane refactor: the checkpoint must be
+    /// faithful not just for a freshly bulk-loaded engine, but after a
+    /// realistic served life — movement reports (delete+insert pairs)
+    /// across several ticks, each preceded by a horizon advance.
+    #[test]
+    fn checkpoint_round_trip_after_update_stream_and_advance() {
+        use pdr_mobject::ObjectTable;
+        let pop = population(250, 71);
+        let mut table = ObjectTable::new();
+        let mut pa = PaEngine::new(cfg(), 0);
+        for (id, m) in &pop {
+            for u in table.report(*id, 0, *m) {
+                pa.apply(&u);
+            }
+        }
+        // Three ticks: advance the horizon, then half the objects
+        // re-report with perturbed motions (a delete+insert pair each).
+        let mut rng = Lcg(123);
+        for t in 1..=3u64 {
+            pa.advance_to(t);
+            for (id, m) in pop.iter().filter(|(id, _)| id.0 % 2 == 0) {
+                let moved = MotionState::new(
+                    m.position_at(t),
+                    Point::new(rng.next() * 2.0 - 1.0, rng.next() * 2.0 - 1.0),
+                    t,
+                );
+                for u in table.report(*id, t, moved) {
+                    pa.apply(&u);
+                }
+            }
+        }
+        assert!(pa.updates_applied() > pop.len() as u64);
+
+        let restored = PaEngine::deserialize(&pa.serialize()).unwrap();
+        assert_eq!(restored.t_base(), 3);
+        // Coefficients are checkpointed bit-exactly, so the restored
+        // surface — and every answer derived from it — is identical
+        // across the whole covered window.
+        for t in 3..=9u64 {
+            for &rho in &[0.02, 0.05, 0.1] {
+                let a = pa.query(rho, t).regions;
+                let b = restored.query(rho, t).regions;
+                assert_eq!(a.rects(), b.rects(), "answers differ at t={t}, rho={rho}");
+            }
+            let probe = Point::new(80.0, 80.0);
+            assert_eq!(
+                pa.density_at(probe, t).to_bits(),
+                restored.density_at(probe, t).to_bits(),
+                "surface differs at t={t}"
+            );
+        }
+        // Counters are engine-lifetime accounting, not surface state:
+        // a restored engine restarts them (like the histogram epoch).
+        assert_eq!(restored.updates_applied(), 0);
     }
 
     #[test]

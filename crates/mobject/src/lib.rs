@@ -27,6 +27,6 @@ mod time;
 mod update;
 
 pub use motion::{MotionState, MovingObject, ObjectId};
-pub use table::ObjectTable;
+pub use table::{ObjectTable, ReportUpdates};
 pub use time::{TimeHorizon, Timestamp};
 pub use update::{Update, UpdateKind};

@@ -1,7 +1,71 @@
 //! The server's table of current motions.
 
-use crate::{MotionState, MovingObject, ObjectId, Timestamp, Update};
+use crate::{MotionState, MovingObject, ObjectId, Timestamp, Update, UpdateKind};
 use std::collections::HashMap;
+
+/// The protocol updates produced by one report — at most a deletion of
+/// the old motion followed by the insertion of the new one.
+///
+/// A report can never produce more than two updates, so this is a
+/// fixed-size inline buffer rather than a heap `Vec`: the update path
+/// runs once per vehicle per tick and must not allocate. It derefs to
+/// `&[Update]` and iterates by value, so existing `Vec`-shaped callers
+/// (`for u in table.report(..)`, `updates.extend(table.report(..))`,
+/// `ups[0]`, `ups.len()`) keep working unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct ReportUpdates {
+    items: [Update; 2],
+    len: u8,
+}
+
+impl ReportUpdates {
+    /// A plain insertion (first report of an object).
+    fn insert_only(insert: Update) -> Self {
+        ReportUpdates {
+            items: [insert, insert],
+            len: 1,
+        }
+    }
+
+    /// A movement report: delete of the old motion, then the insert.
+    fn delete_insert(delete: Update, insert: Update) -> Self {
+        ReportUpdates {
+            items: [delete, insert],
+            len: 2,
+        }
+    }
+
+    /// The updates in application order.
+    pub fn as_slice(&self) -> &[Update] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for ReportUpdates {
+    type Target = [Update];
+
+    fn deref(&self) -> &[Update] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for ReportUpdates {
+    type Item = Update;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Update, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a ReportUpdates {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// The server-side table mapping each live object to its current motion.
 ///
@@ -46,16 +110,31 @@ impl ObjectTable {
     /// Applies a report: the object (re-)declares `motion` at `t_now`.
     ///
     /// Returns the protocol updates in application order — `[delete?,
-    /// insert]` — that downstream structures must apply.
-    pub fn report(&mut self, id: ObjectId, t_now: Timestamp, motion: MotionState) -> Vec<Update> {
-        let mut out = Vec::with_capacity(2);
-        if let Some(old) = self.motions.get(&id).copied() {
-            out.push(Update::delete(id, t_now, old));
-        }
+    /// insert]` — that downstream structures must apply, as an inline
+    /// [`ReportUpdates`] pair (no allocation).
+    pub fn report(&mut self, id: ObjectId, t_now: Timestamp, motion: MotionState) -> ReportUpdates {
+        let old = self.motions.get(&id).copied();
         let ins = Update::insert(id, t_now, motion);
         self.motions.insert(id, ins.motion());
-        out.push(ins);
-        out
+        match old {
+            Some(old) => ReportUpdates::delete_insert(Update::delete(id, t_now, old), ins),
+            None => ReportUpdates::insert_only(ins),
+        }
+    }
+
+    /// Applies one protocol update to the table itself — the mirror of
+    /// [`report`](Self::report) for consumers that *receive* an update
+    /// stream instead of producing one (the exact oracle and baseline
+    /// engines replay the served stream through a table of their own).
+    /// Returns `false` for a deletion of an unknown object.
+    pub fn apply(&mut self, update: &Update) -> bool {
+        match update.kind {
+            UpdateKind::Insert { motion } => {
+                self.motions.insert(update.id, motion);
+                true
+            }
+            UpdateKind::Delete { .. } => self.motions.remove(&update.id).is_some(),
+        }
     }
 
     /// Removes an object entirely (it left the system). Returns the
@@ -123,6 +202,41 @@ mod tests {
         assert!(matches!(del.kind, UpdateKind::Delete { .. }));
         assert!(tab.is_empty());
         assert!(tab.retire(ObjectId(7), 10).is_none());
+    }
+
+    #[test]
+    fn report_updates_iterate_and_slice_in_order() {
+        let mut tab = ObjectTable::new();
+        tab.report(ObjectId(1), 0, motion(0.0, 0));
+        let ups = tab.report(ObjectId(1), 5, motion(9.0, 5));
+        // Deref/slice view and by-value iteration agree, in protocol order.
+        assert_eq!(ups.as_slice().len(), 2);
+        let collected: Vec<Update> = ups.into_iter().collect();
+        assert_eq!(collected.as_slice(), ups.as_slice());
+        assert!(matches!(ups[0].kind, UpdateKind::Delete { .. }));
+        assert!(matches!(ups[1].kind, UpdateKind::Insert { .. }));
+        let mut extended: Vec<Update> = Vec::new();
+        extended.extend(ups);
+        assert_eq!(extended.len(), 2);
+    }
+
+    #[test]
+    fn apply_replays_a_report_stream() {
+        let mut producer = ObjectTable::new();
+        let mut mirror = ObjectTable::new();
+        for u in producer.report(ObjectId(1), 0, motion(0.0, 0)) {
+            assert!(mirror.apply(&u));
+        }
+        for u in producer.report(ObjectId(1), 4, motion(8.0, 4)) {
+            assert!(mirror.apply(&u));
+        }
+        assert_eq!(mirror.len(), 1);
+        assert_eq!(
+            mirror.motion_of(ObjectId(1)),
+            producer.motion_of(ObjectId(1))
+        );
+        // Deleting an unknown object is a tolerated no-op.
+        assert!(!mirror.apply(&Update::delete(ObjectId(9), 5, motion(0.0, 5))));
     }
 
     #[test]

@@ -26,11 +26,13 @@ pub mod config;
 mod network;
 mod queries;
 pub mod rng;
+mod serve;
 mod simple;
 mod simulator;
 
 pub use network::{NetworkConfig, RoadNetwork};
 pub use queries::{query_workload, QuerySpec};
 pub use rng::StdRng;
+pub use serve::{EngineLoad, QueryMix, ServeDriver, ServeReport};
 pub use simple::{gaussian_clusters, uniform_population};
 pub use simulator::{DatasetSpec, TrafficSimulator};

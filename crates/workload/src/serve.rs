@@ -1,0 +1,447 @@
+//! The shared ingest/serve driver: one loop that pumps simulator
+//! ticks into any set of [`DensityEngine`]s and runs a query mix
+//! against them.
+//!
+//! Before this module every consumer — `pdrcli`, the benches, the
+//! experiment binaries — hand-wired its own advance/apply/query loop
+//! per engine. [`ServeDriver`] is that loop, written once:
+//!
+//! ```text
+//!   TrafficSimulator ──tick()──► Vec<Update> ──apply_batch──► engine 1
+//!            │                                      ├────────► engine 2
+//!            │                                      └────────► …
+//!            └──positions_at(q_t)──► ground truth ──accuracy──┘
+//! ```
+//!
+//! Per tick the driver advances every engine's horizon *first*, then
+//! applies the tick's updates (which are stamped with the new
+//! timestamp), then executes the next slice of the query mix against
+//! every engine through `&self` — the engines' shared-read contract.
+//! Optionally each answer is scored against the brute-force ground
+//! truth computed from the simulator's own object table.
+
+use crate::simulator::TrafficSimulator;
+use crate::QuerySpec;
+use pdr_core::{accuracy, exact_dense_regions, DensityEngine, EngineStats, PdrQuery};
+use pdr_geometry::{Rect, RegionSet};
+use pdr_mobject::Timestamp;
+use pdr_storage::{CostModel, IoStats};
+use std::time::Instant;
+
+/// The query side of a serve run: which queries to execute, how many
+/// per tick, and whether to score answers against ground truth.
+#[derive(Clone, Debug)]
+pub struct QueryMix {
+    specs: Vec<QuerySpec>,
+    anchor: Timestamp,
+    per_tick: usize,
+    measure_accuracy: bool,
+}
+
+impl QueryMix {
+    /// Creates a mix from generated query specs. `anchor` is the
+    /// `t_now` the specs were generated for: at serve time each spec's
+    /// timestamp is re-anchored to the current tick, so its horizon
+    /// offset (`q_t - anchor`) is preserved as the clock advances.
+    ///
+    /// Mid-stream, a report may be up to `U` ticks old, so its horizon
+    /// coverage `[t_report, t_report + H]` only guarantees
+    /// `[now, now + W]`. Keep offsets within the prediction window `W`
+    /// — offsets in `(W, H]` are answerable right after a bulk load but
+    /// degrade into false negatives once the update stream ages.
+    pub fn new(specs: Vec<QuerySpec>, anchor: Timestamp, per_tick: usize) -> Self {
+        assert!(!specs.is_empty(), "empty query mix");
+        QueryMix {
+            specs,
+            anchor,
+            per_tick,
+            measure_accuracy: false,
+        }
+    }
+
+    /// Also score every answer against the brute-force ground truth
+    /// (adds an exact sweep per query — fine for experiment scales).
+    pub fn with_accuracy(mut self) -> Self {
+        self.measure_accuracy = true;
+        self
+    }
+
+    /// The underlying specs.
+    pub fn specs(&self) -> &[QuerySpec] {
+        &self.specs
+    }
+}
+
+/// Per-engine accumulated load over a serve run.
+#[derive(Clone, Debug)]
+pub struct EngineLoad {
+    /// Engine label (unique within the driver).
+    pub label: String,
+    /// Engine-reported name (`"fr"`, `"pa"`, …).
+    pub engine: &'static str,
+    /// Queries executed.
+    pub queries: u64,
+    /// Summed query CPU milliseconds.
+    pub cpu_ms: f64,
+    /// Summed buffer-pool I/O across queries.
+    pub io: IoStats,
+    /// Summed total cost (CPU + I/O charge) under the run's cost model.
+    pub total_ms: f64,
+    /// Milliseconds spent applying update batches.
+    pub ingest_ms: f64,
+    /// Summed false-positive ratio `r_fp` (when accuracy is measured).
+    pub r_fp_sum: f64,
+    /// Summed false-negative ratio `r_fn` (when accuracy is measured).
+    pub r_fn_sum: f64,
+    /// Queries that were scored against ground truth.
+    pub scored: u64,
+    /// Final engine stats snapshot.
+    pub stats: EngineStats,
+}
+
+impl EngineLoad {
+    fn new(label: String, engine: &'static str) -> Self {
+        EngineLoad {
+            label,
+            engine,
+            queries: 0,
+            cpu_ms: 0.0,
+            io: IoStats::default(),
+            total_ms: 0.0,
+            ingest_ms: 0.0,
+            r_fp_sum: 0.0,
+            r_fn_sum: 0.0,
+            scored: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Mean total query cost in milliseconds.
+    pub fn mean_total_ms(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_ms / self.queries as f64
+        }
+    }
+
+    /// Mean false-positive ratio over scored queries.
+    pub fn mean_r_fp(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.r_fp_sum / self.scored as f64
+        }
+    }
+
+    /// Mean false-negative ratio over scored queries.
+    pub fn mean_r_fn(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.r_fn_sum / self.scored as f64
+        }
+    }
+}
+
+/// Result of a serve run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Ticks driven.
+    pub ticks: u64,
+    /// Protocol updates the simulator emitted (and every engine
+    /// applied).
+    pub updates: u64,
+    /// Per-engine accumulated load, in registration order.
+    pub engines: Vec<EngineLoad>,
+}
+
+struct Served {
+    label: String,
+    engine: Box<dyn DensityEngine>,
+    load: EngineLoad,
+}
+
+/// Owns a [`TrafficSimulator`] and any number of boxed engines; drives
+/// ingest and queries through the [`DensityEngine`] contract only.
+pub struct ServeDriver {
+    sim: TrafficSimulator,
+    engines: Vec<Served>,
+    model: CostModel,
+    cursor: usize,
+}
+
+impl ServeDriver {
+    /// Creates a driver around a simulator; costs are charged under
+    /// `model`.
+    pub fn new(sim: TrafficSimulator, model: CostModel) -> Self {
+        ServeDriver {
+            sim,
+            engines: Vec::new(),
+            model,
+            cursor: 0,
+        }
+    }
+
+    /// Registers an engine under `label` (builder style).
+    pub fn with_engine(mut self, label: &str, engine: Box<dyn DensityEngine>) -> Self {
+        self.add_engine(label, engine);
+        self
+    }
+
+    /// Registers an engine under `label`.
+    pub fn add_engine(&mut self, label: &str, engine: Box<dyn DensityEngine>) {
+        assert!(
+            self.engines.iter().all(|s| s.label != label),
+            "duplicate engine label {label:?}"
+        );
+        let name = engine.name();
+        self.engines.push(Served {
+            label: label.to_string(),
+            engine,
+            load: EngineLoad::new(label.to_string(), name),
+        });
+    }
+
+    /// The simulator (read access: population, positions, time).
+    pub fn simulator(&self) -> &TrafficSimulator {
+        &self.sim
+    }
+
+    /// The engine registered under `label`, if any.
+    pub fn engine(&self, label: &str) -> Option<&dyn DensityEngine> {
+        self.engines
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.engine.as_ref())
+    }
+
+    /// The monitored region (the simulator network's square extent).
+    pub fn bounds(&self) -> Rect {
+        let extent = self.sim.network().extent();
+        Rect::new(0.0, 0.0, extent, extent)
+    }
+
+    /// Bulk-loads the simulator's current population into every engine.
+    /// Call once, before ticking.
+    pub fn bootstrap(&mut self) {
+        let pop = self.sim.population();
+        let t = self.sim.t_now();
+        for s in &mut self.engines {
+            let start = Instant::now();
+            s.engine.bulk_load(&pop, t);
+            s.load.ingest_ms += start.elapsed().as_secs_f64() * 1e3;
+        }
+    }
+
+    /// Drives one simulator tick through every engine: advances each
+    /// horizon to the new timestamp, then applies the tick's updates.
+    /// Returns the number of protocol updates applied.
+    pub fn tick(&mut self) -> usize {
+        let t_next = self.sim.t_now() + 1;
+        for s in &mut self.engines {
+            let start = Instant::now();
+            s.engine.advance_to(t_next);
+            s.load.ingest_ms += start.elapsed().as_secs_f64() * 1e3;
+        }
+        let updates = self.sim.tick();
+        for s in &mut self.engines {
+            let start = Instant::now();
+            s.engine.apply_batch(&updates);
+            s.load.ingest_ms += start.elapsed().as_secs_f64() * 1e3;
+        }
+        updates.len()
+    }
+
+    /// Brute-force ground truth for `q` from the simulator's own table.
+    pub fn ground_truth(&self, q: &PdrQuery) -> RegionSet {
+        exact_dense_regions(&self.sim.positions_at(q.q_t), &self.bounds(), q)
+    }
+
+    /// Executes one query against every engine, accumulating load (and
+    /// accuracy when `truth` is given). Returns the answers in engine
+    /// registration order.
+    pub fn query_all(&mut self, q: &PdrQuery, truth: Option<&RegionSet>) -> Vec<RegionSet> {
+        let model = self.model;
+        let mut answers = Vec::with_capacity(self.engines.len());
+        for s in &mut self.engines {
+            let a = s.engine.query(q);
+            s.load.queries += 1;
+            s.load.cpu_ms += a.cpu.as_secs_f64() * 1e3;
+            s.load.io.logical_reads += a.io.logical_reads;
+            s.load.io.misses += a.io.misses;
+            s.load.io.evictions += a.io.evictions;
+            s.load.io.writebacks += a.io.writebacks;
+            s.load.total_ms += a.total_ms(&model);
+            if let Some(truth) = truth {
+                let acc = accuracy(truth, &a.regions);
+                s.load.r_fp_sum += acc.r_fp;
+                s.load.r_fn_sum += acc.r_fn;
+                s.load.scored += 1;
+            }
+            answers.push(a.regions);
+        }
+        answers
+    }
+
+    /// The serve loop: `ticks` simulator ticks, executing
+    /// `mix.per_tick` queries from the mix after each tick (cycling
+    /// through the mix, re-anchored to the current clock). Returns the
+    /// accumulated report; the driver can keep running afterwards.
+    pub fn run(&mut self, ticks: u64, mix: &QueryMix) -> ServeReport {
+        let mut updates = 0u64;
+        for _ in 0..ticks {
+            updates += self.tick() as u64;
+            let now = self.sim.t_now();
+            for _ in 0..mix.per_tick {
+                let spec = mix.specs[self.cursor % mix.specs.len()];
+                self.cursor += 1;
+                let q_t = now + spec.q_t.saturating_sub(mix.anchor);
+                let q = PdrQuery::new(spec.rho, spec.l, q_t);
+                let truth = mix.measure_accuracy.then(|| self.ground_truth(&q));
+                self.query_all(&q, truth.as_ref());
+            }
+        }
+        ServeReport {
+            ticks,
+            updates,
+            engines: self
+                .engines
+                .iter()
+                .map(|s| {
+                    let mut load = s.load.clone();
+                    load.stats = s.engine.stats();
+                    load
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkConfig, RoadNetwork};
+    use pdr_core::{EngineSpec, FrConfig, PaConfig};
+    use pdr_mobject::TimeHorizon;
+
+    fn driver(n: usize) -> ServeDriver {
+        let net = RoadNetwork::generate(
+            &NetworkConfig {
+                extent: 200.0,
+                nodes: 150,
+                hotspots: 3,
+                spread: 0.05,
+                background: 0.2,
+                degree: 3,
+            },
+            13,
+        );
+        let sim = TrafficSimulator::new(net, n, 17, 4, 0);
+        let horizon = TimeHorizon::new(4, 4);
+        let fr = FrConfig {
+            extent: 200.0,
+            m: 40,
+            horizon,
+            buffer_pages: 64,
+            threads: 1,
+        };
+        let pa = PaConfig {
+            extent: 200.0,
+            g: 5,
+            degree: 4,
+            l: 20.0,
+            horizon,
+            m_d: 100,
+        };
+        ServeDriver::new(sim, CostModel::PAPER_DEFAULT)
+            .with_engine("fr", EngineSpec::Fr(fr).build(0))
+            .with_engine("pa", EngineSpec::Pa(pa).build(0))
+    }
+
+    fn mix() -> QueryMix {
+        let specs: Vec<QuerySpec> = (0..4)
+            .map(|i| QuerySpec {
+                rho: 6.0 / 400.0,
+                varrho: 1.0,
+                l: 20.0,
+                q_t: i % 4,
+            })
+            .collect();
+        QueryMix::new(specs, 0, 2)
+    }
+
+    #[test]
+    fn serve_loop_feeds_every_engine_identically() {
+        let mut d = driver(300);
+        d.bootstrap();
+        let report = d.run(5, &mix());
+        assert_eq!(report.ticks, 5);
+        assert!(report.updates > 0, "5 ticks with U=4 must emit reports");
+        assert_eq!(report.engines.len(), 2);
+        let expected_updates = 300 + report.updates;
+        for load in &report.engines {
+            assert_eq!(
+                load.stats.updates_applied, expected_updates,
+                "{}: every engine must see bootstrap + all tick updates",
+                load.label
+            );
+            assert_eq!(load.stats.missed_deletes, 0, "{}", load.label);
+            assert_eq!(load.queries, 10, "{}", load.label);
+            assert!(load.ingest_ms >= 0.0 && load.total_ms >= 0.0);
+        }
+        assert_eq!(report.engines[0].engine, "fr");
+        assert_eq!(report.engines[1].engine, "pa");
+    }
+
+    #[test]
+    fn accuracy_scoring_favors_the_exact_engine() {
+        let mut d = driver(400);
+        d.bootstrap();
+        let report = d.run(3, &mix().with_accuracy());
+        let fr = &report.engines[0];
+        let pa = &report.engines[1];
+        assert_eq!(fr.scored, 6);
+        assert_eq!(pa.scored, 6);
+        // FR is exact: both error ratios are (numerically) zero.
+        assert!(
+            fr.mean_r_fp() < 1e-9 && fr.mean_r_fn() < 1e-9,
+            "FR must match ground truth exactly (r_fp {}, r_fn {})",
+            fr.mean_r_fp(),
+            fr.mean_r_fn()
+        );
+        // PA is approximate: finite, typically nonzero error.
+        assert!(pa.mean_r_fp().is_finite() && pa.mean_r_fn().is_finite());
+    }
+
+    #[test]
+    fn query_all_preserves_registration_order_and_truth_is_exact() {
+        let mut d = driver(200);
+        d.bootstrap();
+        d.tick();
+        let q = PdrQuery::new(6.0 / 400.0, 20.0, d.simulator().t_now());
+        let truth = d.ground_truth(&q);
+        let answers = d.query_all(&q, Some(&truth));
+        assert_eq!(answers.len(), 2);
+        // FR (registered first) equals the ground truth region.
+        assert!(answers[0].symmetric_difference_area(&truth) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate engine label")]
+    fn duplicate_labels_are_rejected() {
+        let net = RoadNetwork::generate(&NetworkConfig::metro(100.0), 1);
+        let sim = TrafficSimulator::new(net, 10, 1, 4, 0);
+        let horizon = TimeHorizon::new(2, 2);
+        let cfg = FrConfig {
+            extent: 100.0,
+            m: 20,
+            horizon,
+            buffer_pages: 16,
+            threads: 1,
+        };
+        let _ = ServeDriver::new(sim, CostModel::PAPER_DEFAULT)
+            .with_engine("fr", EngineSpec::Fr(cfg).build(0))
+            .with_engine("fr", EngineSpec::Fr(cfg).build(0));
+    }
+}

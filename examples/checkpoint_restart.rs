@@ -89,7 +89,7 @@ fn main() {
     // The motion table survives in the upstream system of record; the
     // index rebuilds from it in one bulk load.
     let current_motions = sim.population();
-    let mut fr2 = FrEngine::restore(cfg, restored_hist, fresh_tree, &current_motions);
+    let fr2 = FrEngine::restore(cfg, restored_hist, fresh_tree, &current_motions);
     let pa2 = PaEngine::deserialize(&pa_bytes).expect("PA checkpoint");
 
     let after_fr = fr2.query(&q).regions;

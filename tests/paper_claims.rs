@@ -53,7 +53,7 @@ fn engines(n: usize, seed: u64) -> (FrEngine, PaEngine, Vec<Point>) {
 /// (generality, Section 3.1), at full engine scale.
 #[test]
 fn pdr_answer_generalizes_prior_work() {
-    let (mut fr, _, positions) = engines(5000, 3);
+    let (fr, _, positions) = engines(5000, 3);
     let rho = 12.0 / (L * L);
     let q = PdrQuery::new(rho, L, 3);
     let pdr_regions = fr.query(&q).regions;
@@ -86,7 +86,7 @@ fn pdr_answer_generalizes_prior_work() {
 /// sampled dense point is missing (completeness + local density).
 #[test]
 fn answers_are_complete_and_locally_dense() {
-    let (mut fr, _, positions) = engines(4000, 7);
+    let (fr, _, positions) = engines(4000, 7);
     let rho = 10.0 / (L * L);
     let q = PdrQuery::new(rho, L, 3);
     let regions = fr.query(&q).regions;
@@ -115,7 +115,7 @@ fn answers_are_complete_and_locally_dense() {
 /// and stays within a tolerable error.
 #[test]
 fn pa_is_fast_and_tolerably_accurate() {
-    let (mut fr, pa, _) = engines(8000, 11);
+    let (fr, pa, _) = engines(8000, 11);
     let rho = 12.0 / (L * L);
     let q = PdrQuery::new(rho, L, 3);
     let truth = fr.query(&q);
@@ -143,8 +143,8 @@ fn pa_is_fast_and_tolerably_accurate() {
 /// depend on it (only on the polynomial count).
 #[test]
 fn scaling_with_dataset_size() {
-    let (mut fr_small, pa_small, _) = engines(2000, 13);
-    let (mut fr_big, pa_big, _) = engines(16000, 13);
+    let (fr_small, pa_small, _) = engines(2000, 13);
+    let (fr_big, pa_big, _) = engines(16000, 13);
     let q_small = PdrQuery::new(2.0 * 2000.0 / (EXTENT * EXTENT), L, 3);
     let q_big = PdrQuery::new(2.0 * 16000.0 / (EXTENT * EXTENT), L, 3);
 
