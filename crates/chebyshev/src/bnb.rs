@@ -74,21 +74,52 @@ impl BnbConfig {
     }
 }
 
+/// Node accounting of one branch-and-bound run: where the recursion
+/// spent its bound evaluations. `expanded` is the total number of nodes
+/// visited (each costs one interval-bound evaluation — the quantity
+/// that makes the PA query cost threshold-dependent, Figure 9(a));
+/// `accepted` / `pruned` count the nodes whose interval bound decided
+/// them outright, and `leaf_evals` counts the resolution-limit leaves
+/// that fell back to a center-point evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BnbStats {
+    /// Nodes visited (= interval-bound evaluations performed).
+    pub expanded: u64,
+    /// Nodes accepted whole because their lower bound cleared `tau`.
+    pub accepted: u64,
+    /// Nodes pruned whole because their upper bound fell below `tau`.
+    pub pruned: u64,
+    /// Leaf nodes classified by their center value.
+    pub leaf_evals: u64,
+}
+
+impl std::ops::AddAssign for BnbStats {
+    fn add_assign(&mut self, rhs: BnbStats) {
+        self.expanded += rhs.expanded;
+        self.accepted += rhs.accepted;
+        self.pruned += rhs.pruned;
+        self.leaf_evals += rhs.leaf_evals;
+    }
+}
+
 /// Returns the region where `field ≥ tau`, as a union of rectangles,
 /// following the paper's recursion: if the lower bound over a region
 /// clears `tau` the whole region is accepted; if the upper bound is
 /// below `tau` it is pruned; otherwise the region splits in four, until
 /// [`BnbConfig::min_edge`], where the center value decides.
 ///
-/// Also returns the number of bound evaluations performed, the quantity
-/// that makes the PA query cost *threshold-dependent* (Figure 9(a): the
-/// higher `tau`, the earlier whole subtrees prune).
-pub fn superlevel_set<F: BoundedField>(field: &F, tau: f64, cfg: &BnbConfig) -> (RegionSet, u64) {
+/// Also returns the [`BnbStats`] node accounting; `stats.expanded` is
+/// the bound-evaluation count earlier revisions returned bare.
+pub fn superlevel_set<F: BoundedField>(
+    field: &F,
+    tau: f64,
+    cfg: &BnbConfig,
+) -> (RegionSet, BnbStats) {
     let mut out = RegionSet::new();
-    let mut evals = 0u64;
-    recurse(field, tau, cfg, &field.domain(), &mut out, &mut evals);
+    let mut stats = BnbStats::default();
+    recurse(field, tau, cfg, &field.domain(), &mut out, &mut stats);
     out.coalesce();
-    (out, evals)
+    (out, stats)
 }
 
 fn recurse<F: BoundedField>(
@@ -97,18 +128,21 @@ fn recurse<F: BoundedField>(
     cfg: &BnbConfig,
     r: &Rect,
     out: &mut RegionSet,
-    evals: &mut u64,
+    stats: &mut BnbStats,
 ) {
-    *evals += 1;
+    stats.expanded += 1;
     let (lo, hi) = field.value_bounds(r);
     if lo >= tau {
+        stats.accepted += 1;
         out.push(*r);
         return;
     }
     if hi < tau {
+        stats.pruned += 1;
         return;
     }
     if r.width().max(r.height()) <= cfg.min_edge {
+        stats.leaf_evals += 1;
         let c = r.center();
         if field.value(c.x, c.y) >= tau {
             out.push(*r);
@@ -123,7 +157,7 @@ fn recurse<F: BoundedField>(
         Rect::new(r.x_lo, cy, cx, r.y_hi),
         Rect::new(cx, cy, r.x_hi, r.y_hi),
     ] {
-        recurse(field, tau, cfg, &quad, out, evals);
+        recurse(field, tau, cfg, &quad, out, stats);
     }
 }
 
@@ -273,10 +307,12 @@ mod tests {
             peak: Point::new(10.0, 10.0),
             h: 5.0,
         };
-        let (region, evals) = superlevel_set(&cone, 6.0, &BnbConfig { min_edge: 0.5 });
+        let (region, stats) = superlevel_set(&cone, 6.0, &BnbConfig { min_edge: 0.5 });
         assert!(region.is_empty());
         // Pruned at the very first bound check.
-        assert_eq!(evals, 1);
+        assert_eq!(stats.expanded, 1);
+        assert_eq!(stats.pruned, 1);
+        assert_eq!(stats.accepted + stats.leaf_evals, 0);
     }
 
     #[test]
@@ -287,9 +323,10 @@ mod tests {
             peak: Point::new(16.0, 16.0),
             h: 100.0,
         };
-        let (region, evals) = superlevel_set(&cone, 10.0, &BnbConfig { min_edge: 0.5 });
+        let (region, stats) = superlevel_set(&cone, 10.0, &BnbConfig { min_edge: 0.5 });
         assert!((region.area() - d.area()).abs() < 1e-9);
-        assert_eq!(evals, 1, "entire domain accepted at the root");
+        assert_eq!(stats.expanded, 1, "entire domain accepted at the root");
+        assert_eq!(stats.accepted, 1);
     }
 
     #[test]
@@ -300,12 +337,24 @@ mod tests {
             h: 10.0,
         };
         let cfg = BnbConfig { min_edge: 0.25 };
-        let (_, evals_low) = superlevel_set(&cone, 2.0, &cfg);
-        let (_, evals_high) = superlevel_set(&cone, 9.0, &cfg);
+        let (_, stats_low) = superlevel_set(&cone, 2.0, &cfg);
+        let (_, stats_high) = superlevel_set(&cone, 9.0, &cfg);
         assert!(
-            evals_high < evals_low,
-            "expected fewer bound evaluations at higher threshold ({evals_high} vs {evals_low})"
+            stats_high.expanded < stats_low.expanded,
+            "expected fewer bound evaluations at higher threshold ({} vs {})",
+            stats_high.expanded,
+            stats_low.expanded
         );
+        // Every node is decided exactly one way.
+        for s in [stats_low, stats_high] {
+            let children = s.expanded - 1; // all but the root are children
+            assert_eq!(children % 4, 0, "quadtree children come in fours");
+            assert_eq!(
+                s.accepted + s.pruned + s.leaf_evals + children / 4,
+                s.expanded,
+                "accounting must partition the visited nodes: {s:?}"
+            );
+        }
     }
 
     /// A two-cone field with peaks of different heights: top-2 must

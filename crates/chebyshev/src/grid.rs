@@ -106,18 +106,18 @@ impl PolyGrid {
     }
 
     /// The region where the field is at least `tau`: per-tile
-    /// branch-and-bound, unioned. Returns the region and the total
-    /// number of bound evaluations.
-    pub fn superlevel_set(&self, tau: f64, cfg: &BnbConfig) -> (RegionSet, u64) {
+    /// branch-and-bound, unioned. Returns the region and the summed
+    /// [`crate::BnbStats`] node accounting across every tile.
+    pub fn superlevel_set(&self, tau: f64, cfg: &BnbConfig) -> (RegionSet, crate::BnbStats) {
         let mut out = RegionSet::new();
-        let mut evals = 0;
+        let mut stats = crate::BnbStats::default();
         for cell in self.cells.iter() {
-            let (r, e) = crate::superlevel_set(cell, tau, cfg);
-            evals += e;
+            let (r, s) = crate::superlevel_set(cell, tau, cfg);
+            stats += s;
             out.extend_from(&r);
         }
         out.coalesce();
-        (out, evals)
+        (out, stats)
     }
 
     /// Closed-form integral of the field over `r` (clipped to the

@@ -38,7 +38,7 @@ mod grid;
 
 pub use approx2d::ChebyshevApprox;
 pub use basis::{cos_range, eval_t, eval_t_all, integral_t, t_range};
-pub use bnb::{superlevel_set, top_k_peaks, BnbConfig, BoundedField};
+pub use bnb::{superlevel_set, top_k_peaks, BnbConfig, BnbStats, BoundedField};
 pub use coeffs::{delta_coefficients, CoeffTriangle};
 pub use contour::{contour_lines, Contour};
 pub use grid::PolyGrid;

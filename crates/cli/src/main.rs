@@ -3,7 +3,7 @@
 //! ```text
 //! pdrcli generate --objects 10000 --extent 1000 --seed 7 --out objects.csv
 //! pdrcli query    --data objects.csv --extent 1000 --l 30 --count 15 --at 10 [--method fr|pa] [--threads N]
-//! pdrcli serve    --objects 5000 --extent 1000 --ticks 20 --l 30 --count 15 [--seed S]
+//! pdrcli serve    --objects 5000 --extent 1000 --ticks 20 --l 30 --count 15 [--seed S] [--metrics FILE]
 //! pdrcli hotspots --data objects.csv --extent 1000 --l 30 --at 10 --top 5
 //! ```
 //!
@@ -58,7 +58,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
-         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N]\n  \
+         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--metrics FILE]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -80,6 +80,7 @@ struct Options {
     top: usize,
     threads: usize,
     ticks: u64,
+    metrics: Option<String>,
 }
 
 impl Options {
@@ -98,6 +99,7 @@ impl Options {
             top: 5,
             threads: 0, // refinement workers: 0 = one per core
             ticks: 20,
+            metrics: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -120,6 +122,7 @@ impl Options {
                 "--top" => o.top = value.parse().map_err(|_| bad(key))?,
                 "--threads" => o.threads = value.parse().map_err(|_| bad(key))?,
                 "--ticks" => o.ticks = value.parse().map_err(|_| bad(key))?,
+                "--metrics" => o.metrics = Some(value.clone()),
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 2;
@@ -324,6 +327,11 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             e.stats.missed_deletes,
             e.stats.memory_bytes
         );
+    }
+    if let Some(path) = &o.metrics {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("writing metrics to {path}: {e}"))?;
+        eprintln!("# metrics written to {path}");
     }
     Ok(())
 }

@@ -114,6 +114,64 @@ fn generate_query_hotspots_round_trip() {
 }
 
 #[test]
+fn serve_metrics_dumps_observability_json() {
+    let metrics = tmp_path("metrics.json");
+    let out = pdrcli()
+        .args([
+            "serve",
+            "--objects",
+            "800",
+            "--extent",
+            "400",
+            "--ticks",
+            "6",
+            "--l",
+            "20",
+            "--count",
+            "8",
+            "--seed",
+            "11",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run serve");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("engine,queries"), "CSV header missing");
+
+    let json = std::fs::read_to_string(&metrics).expect("metrics file written");
+    // Required schema keys: driver tick timings, per-engine latency
+    // quantiles, FR stage timings, PA branch-and-bound counters, and
+    // the unbounded-r_fp accuracy counter.
+    for key in [
+        "\"ticks\":6",
+        "\"tick_ingest_us\":",
+        "\"tick_query_us\":",
+        "\"engines\":[",
+        "\"latency_us\":",
+        "\"p50_us\":",
+        "\"p99_us\":",
+        "\"unbounded_r_fp\":",
+        "\"stages\":",
+        "\"classify\":",
+        "\"sweep\":",
+        "\"bnb_expanded\":",
+        "\"queries_served\":",
+        "\"physical_ios\":",
+    ] {
+        assert!(json.contains(key), "metrics JSON lacks {key}:\n{json}");
+    }
+    // Valid JSON tokens only: non-finite floats must be null.
+    assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
 fn helpful_errors() {
     // Missing subcommand.
     let out = pdrcli().output().unwrap();

@@ -28,6 +28,7 @@
 //! names the engines it wants and gets `Box<dyn DensityEngine>`s back,
 //! never touching concrete types.
 
+use crate::obs::ObsReport;
 use crate::{
     baselines, classify_cells, dh_optimistic, dh_pessimistic, ExactOracle, FrConfig, FrEngine,
     PaConfig, PaEngine, PdrQuery, RangeIndex,
@@ -77,6 +78,9 @@ pub struct EngineStats {
     pub memory_bytes: usize,
     /// Live objects the engine currently accounts for.
     pub objects: usize,
+    /// Snapshot queries answered over the engine's lifetime. Engines
+    /// without per-query accounting (oracle, baselines, DH) report 0.
+    pub queries_served: u64,
 }
 
 /// A density-query engine: ingest protocol updates exclusively, answer
@@ -144,6 +148,18 @@ pub trait DensityEngine: Send + Sync {
 
     /// Uniform health/accounting snapshot.
     fn stats(&self) -> EngineStats;
+
+    /// Instrumentation snapshot: internal counters plus per-stage
+    /// latency histograms (see [`crate::obs`]). The default — for
+    /// engines without instrumentation — is the empty report.
+    fn obs(&self) -> ObsReport {
+        ObsReport::default()
+    }
+
+    /// Enables or disables instrumentation recording (engines that have
+    /// it start enabled). Purely observational either way: answers are
+    /// bit-identical with recording on or off. The default is a no-op.
+    fn set_obs_enabled(&mut self, _on: bool) {}
 }
 
 impl<I: RangeIndex + Send> DensityEngine for FrEngine<I> {
@@ -185,7 +201,16 @@ impl<I: RangeIndex + Send> DensityEngine for FrEngine<I> {
             missed_deletes: self.missed_deletes(),
             memory_bytes: self.histogram().memory_bytes(),
             objects: self.len(),
+            queries_served: self.queries_served(),
         }
+    }
+
+    fn obs(&self) -> ObsReport {
+        self.obs_report()
+    }
+
+    fn set_obs_enabled(&mut self, on: bool) {
+        FrEngine::set_obs_enabled(self, on);
     }
 }
 
@@ -227,7 +252,16 @@ impl DensityEngine for PaEngine {
             missed_deletes: 0,
             memory_bytes: self.memory_bytes(),
             objects: self.live_objects().max(0) as usize,
+            queries_served: self.queries_served(),
         }
+    }
+
+    fn obs(&self) -> ObsReport {
+        self.obs_report()
+    }
+
+    fn set_obs_enabled(&mut self, on: bool) {
+        PaEngine::set_obs_enabled(self, on);
     }
 }
 
@@ -264,6 +298,7 @@ impl DensityEngine for ExactOracle {
             memory_bytes: (self.positions().len() + self.live_objects())
                 * std::mem::size_of::<pdr_geometry::Point>(),
             objects: self.positions().len() + self.live_objects(),
+            queries_served: 0,
         }
     }
 }
@@ -300,6 +335,7 @@ impl LiveTable {
             missed_deletes: self.missed_deletes,
             memory_bytes: self.table.len() * std::mem::size_of::<(ObjectId, MotionState)>(),
             objects: self.table.len(),
+            queries_served: 0,
         }
     }
 }
@@ -476,6 +512,7 @@ impl DensityEngine for DhEngine {
             missed_deletes: 0,
             memory_bytes: self.histogram.memory_bytes(),
             objects: self.live.max(0) as usize,
+            queries_served: 0,
         }
     }
 }

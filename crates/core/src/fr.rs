@@ -1,5 +1,6 @@
 //! The exact filtering–refinement engine (Section 5).
 
+use crate::obs::{Counter, Histogram, ObsReport};
 use crate::{
     classify_cells, refine_region, CellClass, Classification, DenseThreshold, PdrQuery, RangeIndex,
 };
@@ -121,6 +122,55 @@ impl ClassificationCache {
     }
 }
 
+/// FR-side instrumentation: per-stage latency (filter classification,
+/// per-cell range queries, plane sweeps, final merge/coalesce) and cell
+/// accounting. Histograms record through `&self` with atomics, so the
+/// refinement workers — which share the engine across scoped threads —
+/// feed the same histograms without synchronization beyond the atomic
+/// adds. Recording never changes any answer.
+#[derive(Debug, Default)]
+struct FrObs {
+    enabled: bool,
+    queries: Counter,
+    candidate_cells: Counter,
+    accepted_cells: Counter,
+    rejected_cells: Counter,
+    objects_retrieved: Counter,
+    classify_time: Histogram,
+    range_time: Histogram,
+    sweep_time: Histogram,
+    merge_time: Histogram,
+    query_time: Histogram,
+}
+
+impl FrObs {
+    fn on() -> Self {
+        FrObs {
+            enabled: true,
+            ..FrObs::default()
+        }
+    }
+
+    fn report(&self) -> ObsReport {
+        ObsReport {
+            counters: vec![
+                ("queries", self.queries.get()),
+                ("candidate_cells", self.candidate_cells.get()),
+                ("accepted_cells", self.accepted_cells.get()),
+                ("rejected_cells", self.rejected_cells.get()),
+                ("objects_retrieved", self.objects_retrieved.get()),
+            ],
+            stages: vec![
+                ("classify", self.classify_time.snapshot()),
+                ("range", self.range_time.snapshot()),
+                ("sweep", self.sweep_time.snapshot()),
+                ("merge", self.merge_time.snapshot()),
+                ("query", self.query_time.snapshot()),
+            ],
+        }
+    }
+}
+
 /// How many missed deletes are reported on stderr before the engine
 /// goes quiet and only counts (the counter in
 /// [`missed_deletes`](FrEngine::missed_deletes) never stops).
@@ -143,6 +193,7 @@ pub struct FrEngine<I: RangeIndex = TprTree> {
     cache: RwLock<ClassificationCache>,
     updates_applied: u64,
     missed_deletes: u64,
+    obs: FrObs,
 }
 
 impl FrEngine<TprTree> {
@@ -179,6 +230,7 @@ impl<I: RangeIndex> FrEngine<I> {
             cache: RwLock::new(ClassificationCache::new()),
             updates_applied: 0,
             missed_deletes: 0,
+            obs: FrObs::on(),
         }
     }
 
@@ -220,7 +272,26 @@ impl<I: RangeIndex> FrEngine<I> {
             cache: RwLock::new(ClassificationCache::new()),
             updates_applied: 0,
             missed_deletes: 0,
+            obs: FrObs::on(),
         }
+    }
+
+    /// Snapshot of the engine's instrumentation (stage latencies, cell
+    /// accounting). The `queries` counter always runs; every other
+    /// value stays zero while observability is disabled.
+    pub fn obs_report(&self) -> ObsReport {
+        self.obs.report()
+    }
+
+    /// Snapshot queries answered over the engine's lifetime.
+    pub fn queries_served(&self) -> u64 {
+        self.obs.queries.get()
+    }
+
+    /// Turns instrumentation on or off (on by default). Disabling skips
+    /// even the clock reads; answers are identical either way.
+    pub fn set_obs_enabled(&mut self, on: bool) {
+        self.obs.enabled = on;
     }
 
     /// The engine configuration.
@@ -390,9 +461,13 @@ impl<I: RangeIndex> FrEngine<I> {
     /// Panics when `q.q_t` is outside the current horizon window or the
     /// histogram grid is too coarse for `q.l` (cell edge must be ≤ l/2).
     pub fn query(&self, q: &PdrQuery) -> FrAnswer {
+        let _qt = self.obs.query_time.timer(self.obs.enabled);
         let start = Instant::now();
         let grid = self.histogram.grid();
-        let cls = self.cached_classification(q);
+        let cls = {
+            let _t = self.obs.classify_time.timer(self.obs.enabled);
+            self.cached_classification(q)
+        };
         let threshold = DenseThreshold::of(q);
 
         let mut regions = RegionSet::new();
@@ -403,15 +478,18 @@ impl<I: RangeIndex> FrEngine<I> {
         self.tree.reset_io_stats();
         let candidates: Vec<CellId> = cls.cells_of(CellClass::Candidate).collect();
         let workers = self.worker_count(candidates.len());
+        let obs = self.obs.enabled.then_some(&self.obs);
         let (rects, objects_retrieved, io) = if workers <= 1 {
-            refine_chunk(&self.tree, grid, &candidates, q, threshold)
+            refine_chunk(&self.tree, grid, &candidates, q, threshold, obs)
         } else {
             let chunk_len = candidates.len().div_ceil(workers);
             let tree = &self.tree;
             let per_chunk: Vec<(Vec<Rect>, usize, IoStats)> = std::thread::scope(|s| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk_len)
-                    .map(|chunk| s.spawn(move || refine_chunk(tree, grid, chunk, q, threshold)))
+                    .map(|chunk| {
+                        s.spawn(move || refine_chunk(tree, grid, chunk, q, threshold, obs))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -428,10 +506,20 @@ impl<I: RangeIndex> FrEngine<I> {
             }
             (rects, retrieved, io)
         };
-        for r in rects {
-            regions.push(r);
+        {
+            let _t = self.obs.merge_time.timer(self.obs.enabled);
+            for r in rects {
+                regions.push(r);
+            }
+            regions.coalesce();
         }
-        regions.coalesce();
+        self.obs.queries.inc();
+        if self.obs.enabled {
+            self.obs.accepted_cells.add(cls.accept_count() as u64);
+            self.obs.rejected_cells.add(cls.reject_count() as u64);
+            self.obs.candidate_cells.add(cls.candidate_count() as u64);
+            self.obs.objects_retrieved.add(objects_retrieved as u64);
+        }
         FrAnswer {
             regions,
             accepts: cls.accept_count(),
@@ -487,12 +575,15 @@ pub const INTERVAL_COALESCE_EVERY: u32 = 4;
 /// query over the `l/2`-inflated cell followed by the plane sweep.
 /// Self-contained per chunk (own I/O collector, own rectangle list) so
 /// chunks can run on separate threads and still merge deterministically.
+/// When `obs` is set, each cell's range query and plane sweep record
+/// into the shared (atomic) stage histograms.
 fn refine_chunk<I: RangeIndex>(
     tree: &I,
     grid: GridSpec,
     cells: &[CellId],
     q: &PdrQuery,
     threshold: DenseThreshold,
+    obs: Option<&FrObs>,
 ) -> (Vec<Rect>, usize, IoStats) {
     let mut rects = Vec::new();
     let mut retrieved = 0usize;
@@ -500,8 +591,12 @@ fn refine_chunk<I: RangeIndex>(
     for &cell in cells {
         let target = grid.cell_rect(cell);
         let s = target.inflate(q.l / 2.0);
-        let hits = tree.range_at_collect(&s, q.q_t, &mut io);
+        let hits = {
+            let _t = obs.map(|o| o.range_time.timer(true));
+            tree.range_at_collect(&s, q.q_t, &mut io)
+        };
         retrieved += hits.len();
+        let _t = obs.map(|o| o.sweep_time.timer(true));
         let positions: Vec<Point> = hits.into_iter().map(|(_, p)| p).collect();
         rects.extend(refine_region(&target, positions, threshold, q.l));
     }

@@ -71,6 +71,7 @@ mod filter;
 mod fr;
 mod index;
 mod metrics;
+pub mod obs;
 mod pa;
 mod query;
 mod sweep;
@@ -85,6 +86,7 @@ pub use filter::{classify_cells, CellClass, Classification};
 pub use fr::{FrAnswer, FrCacheCounters, FrConfig, FrEngine, INTERVAL_COALESCE_EVERY};
 pub use index::RangeIndex;
 pub use metrics::{accuracy, Accuracy};
+pub use obs::{Counter, Histogram, HistogramSnapshot, ObsReport, StageTimer};
 pub use pa::{PaAnswer, PaConfig, PaEngine};
 pub use query::{DenseThreshold, PdrQuery};
 pub use sweep::{refine_region, refine_region_set};

@@ -1,0 +1,395 @@
+//! Dependency-free observability primitives for the engine plane.
+//!
+//! The serve loop's only visibility used to be a flat per-engine cost
+//! sum; attributing *where* FR/PA time goes (filter vs. range query vs.
+//! sweep vs. merge, bound evaluations vs. prunes) needs per-stage
+//! instrumentation. The build is fully offline, so this module
+//! re-implements the minimal useful subset of a metrics library with
+//! nothing but `std`:
+//!
+//! * [`Counter`] — a monotonic atomic counter;
+//! * [`Histogram`] — a log₂-bucketed latency histogram over nanosecond
+//!   samples, readable as p50/p95/p99/max quantiles;
+//! * [`StageTimer`] — a scoped timer that records its elapsed time into
+//!   a histogram on drop (and compiles down to nothing when the owner
+//!   is disabled);
+//! * [`ObsReport`] / [`HistogramSnapshot`] — plain-data snapshots that
+//!   engines surface through [`DensityEngine::obs`] and the serve
+//!   driver serializes to JSON.
+//!
+//! Everything records through `&self` (interior atomics), so query
+//! paths — which take `&self` and may run on many threads — can be
+//! instrumented without changing their signatures. Instrumentation
+//! never influences answers: it only ever *reads* the clock and *adds*
+//! to counters, and every engine exposes a switch
+//! ([`DensityEngine::set_obs_enabled`]) that skips even the clock reads
+//! so the identity `answers(obs on) == answers(obs off)` is testable.
+//!
+//! [`DensityEngine::obs`]: crate::DensityEngine::obs
+//! [`DensityEngine::set_obs_enabled`]: crate::DensityEngine::set_obs_enabled
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic counter, incrementable through `&self`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets; bucket `i ≥ 1` holds samples in
+/// `[2^(i−1), 2^i)` nanoseconds, bucket 0 holds zero. 64 buckets cover
+/// the whole `u64` nanosecond range.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of nanosecond samples.
+///
+/// Recording is lock-free (`&self`, relaxed atomics) and O(1): a sample
+/// lands in the bucket of its bit length. Quantiles are therefore
+/// approximate — a reported quantile is the midpoint of its bucket's
+/// range, so it is correct within a factor of two — while `count`,
+/// `sum` (hence the mean) and `max` are exact. That trade-off is the
+/// standard one for production latency tracking; the alternative
+/// (storing samples) has unbounded memory.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one duration sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one raw nanosecond sample.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Starts a scoped timer recording into this histogram on drop; a
+    /// disabled timer never reads the clock.
+    pub fn timer(&self, enabled: bool) -> StageTimer<'_> {
+        StageTimer {
+            hist: self,
+            start: enabled.then(Instant::now),
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The quantile estimate for `q ∈ [0, 1]`, in nanoseconds: the
+    /// midpoint of the bucket holding the rank-`⌈q·count⌉` sample,
+    /// clamped to the exact observed maximum. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let max = self.max_ns.load(Ordering::Relaxed) as f64;
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                // Midpoint of [2^(i-1), 2^i), never past the true max.
+                let mid = 1.5 * (1u64 << (i - 1)) as f64;
+                return mid.min(max);
+            }
+        }
+        max
+    }
+
+    /// A plain-data snapshot (microsecond units) for reports.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let mean_ns = if count == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64
+        };
+        HistogramSnapshot {
+            count,
+            mean_us: mean_ns / 1e3,
+            p50_us: self.quantile_ns(0.50) / 1e3,
+            p95_us: self.quantile_ns(0.95) / 1e3,
+            p99_us: self.quantile_ns(0.99) / 1e3,
+            max_us: self.max_ns.load(Ordering::Relaxed) as f64 / 1e3,
+        }
+    }
+}
+
+/// A scoped stage timer: created by [`Histogram::timer`], records the
+/// elapsed wall-clock time into its histogram when dropped. When
+/// created disabled it holds no start time and drops for free.
+#[must_use = "a timer records on drop; binding it to _ drops immediately"]
+pub struct StageTimer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl StageTimer<'_> {
+    /// Stops the timer now (equivalent to dropping it).
+    pub fn stop(self) {}
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed());
+        }
+    }
+}
+
+/// Plain-data view of a [`Histogram`], in microseconds.
+///
+/// `count`, `mean_us` and `max_us` are exact; the quantiles are bucket
+/// midpoints (correct within 2×, see [`Histogram`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact mean, microseconds.
+    pub mean_us: f64,
+    /// Median estimate, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile estimate, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile estimate, microseconds.
+    pub p99_us: f64,
+    /// Exact maximum, microseconds.
+    pub max_us: f64,
+}
+
+impl HistogramSnapshot {
+    /// Serializes as a JSON object
+    /// `{"count":…,"mean_us":…,"p50_us":…,"p95_us":…,"p99_us":…,"max_us":…}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            self.count,
+            json_f64(self.mean_us),
+            json_f64(self.p50_us),
+            json_f64(self.p95_us),
+            json_f64(self.p99_us),
+            json_f64(self.max_us)
+        )
+    }
+}
+
+/// Formats an `f64` as a JSON number (3 decimals); non-finite values —
+/// which JSON cannot represent — become `null`.
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A named snapshot of one engine's instrumentation: monotonic counters
+/// plus per-stage latency histograms, in the order the engine chose.
+/// The empty report (engines without instrumentation) is `default()`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsReport {
+    /// `(name, value)` monotonic counters.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, snapshot)` per-stage latency histograms.
+    pub stages: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl ObsReport {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a stage histogram by name.
+    pub fn stage(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, s)| s)
+    }
+
+    /// Serializes as `{"counters":{…},"stages":{…}}`.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("\"{n}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let stages = self
+            .stages
+            .iter()
+            .map(|(n, s)| format!("\"{n}\":{}", s.to_json()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"counters\":{{{counters}}},\"stages\":{{{stages}}}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracket_the_samples() {
+        let h = Histogram::new();
+        // 100 samples: 1 µs .. 100 µs.
+        for i in 1..=100u64 {
+            h.record_ns(i * 1_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9, "mean is exact");
+        assert!((s.max_us - 100.0).abs() < 1e-9, "max is exact");
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.max_us);
+        // Log buckets: each quantile within 2x of the true one.
+        assert!(s.p50_us >= 25.0 && s.p50_us <= 100.0, "p50 {}", s.p50_us);
+        assert!(s.p99_us >= 49.5 && s.p99_us <= 100.0, "p99 {}", s.p99_us);
+    }
+
+    #[test]
+    fn single_sample_quantiles_equal_the_sample_max() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(7));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        // All quantiles clamp to the exact max.
+        assert!((s.max_us - 7.0).abs() < 1e-3);
+        assert!(s.p50_us <= s.max_us && s.p99_us <= s.max_us);
+    }
+
+    #[test]
+    fn zero_samples_hit_bucket_zero() {
+        let h = Histogram::new();
+        h.record_ns(0);
+        h.record_ns(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_ns(0.5), 0.0);
+    }
+
+    #[test]
+    fn timer_records_once_and_disabled_timer_records_nothing() {
+        let h = Histogram::new();
+        {
+            let _t = h.timer(true);
+            std::hint::black_box(());
+        }
+        assert_eq!(h.count(), 1);
+        {
+            let _t = h.timer(false);
+        }
+        assert_eq!(h.count(), 1, "disabled timer must not record");
+    }
+
+    #[test]
+    fn histogram_is_safe_to_record_concurrently() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_ns(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn report_lookup_and_json() {
+        let report = ObsReport {
+            counters: vec![("queries", 3), ("cells", 17)],
+            stages: vec![("classify", HistogramSnapshot::default())],
+        };
+        assert_eq!(report.counter("cells"), Some(17));
+        assert_eq!(report.counter("absent"), None);
+        assert!(report.stage("classify").is_some());
+        let json = report.to_json();
+        assert!(json.contains("\"queries\":3"));
+        assert!(json.contains("\"classify\":{\"count\":0"));
+        assert!(!json.contains("inf") && !json.contains("NaN"));
+    }
+
+    #[test]
+    fn json_f64_never_emits_invalid_tokens() {
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.500");
+    }
+}

@@ -1,9 +1,50 @@
 //! The approximate polynomial-approximation engine (Section 6).
 
+use crate::obs::{Counter, Histogram, ObsReport};
 use pdr_chebyshev::{BnbConfig, PolyGrid};
 use pdr_geometry::{Point, Rect, RegionSet};
 use pdr_mobject::{TimeHorizon, Timestamp, Update};
 use std::time::{Duration, Instant};
+
+/// PA-side instrumentation: where branch-and-bound spends its nodes and
+/// where wall-clock goes. Counters record through `&self` (queries are
+/// shared); recording never changes any answer.
+#[derive(Debug, Default)]
+struct PaObs {
+    enabled: bool,
+    queries: Counter,
+    bnb_expanded: Counter,
+    bnb_accepted: Counter,
+    bnb_pruned: Counter,
+    bnb_leaf_evals: Counter,
+    query_time: Histogram,
+    apply_time: Histogram,
+}
+
+impl PaObs {
+    fn on() -> Self {
+        PaObs {
+            enabled: true,
+            ..PaObs::default()
+        }
+    }
+
+    fn report(&self) -> ObsReport {
+        ObsReport {
+            counters: vec![
+                ("queries", self.queries.get()),
+                ("bnb_expanded", self.bnb_expanded.get()),
+                ("bnb_accepted", self.bnb_accepted.get()),
+                ("bnb_pruned", self.bnb_pruned.get()),
+                ("bnb_leaf_evals", self.bnb_leaf_evals.get()),
+            ],
+            stages: vec![
+                ("query", self.query_time.snapshot()),
+                ("apply", self.apply_time.snapshot()),
+            ],
+        }
+    }
+}
 
 /// Configuration of a [`PaEngine`].
 ///
@@ -98,6 +139,7 @@ pub struct PaEngine {
     grids: Vec<PolyGrid>,
     updates_applied: u64,
     live: i64,
+    obs: PaObs,
 }
 
 impl PaEngine {
@@ -113,7 +155,28 @@ impl PaEngine {
             grids,
             updates_applied: 0,
             live: 0,
+            obs: PaObs::on(),
         }
+    }
+
+    /// Snapshot of the engine's instrumentation (bnb node accounting,
+    /// query/apply latency). The `queries` counter always runs; every
+    /// other value stays zero while observability is disabled.
+    pub fn obs_report(&self) -> ObsReport {
+        self.obs.report()
+    }
+
+    /// Snapshot queries answered over the engine's lifetime (not
+    /// counting the [`query_grid_scan`](Self::query_grid_scan) ablation
+    /// path).
+    pub fn queries_served(&self) -> u64 {
+        self.obs.queries.get()
+    }
+
+    /// Turns instrumentation on or off (on by default). Disabling skips
+    /// even the clock reads; answers are identical either way.
+    pub fn set_obs_enabled(&mut self, on: bool) {
+        self.obs.enabled = on;
     }
 
     /// The engine configuration.
@@ -149,6 +212,7 @@ impl PaEngine {
     /// timestamp, deposit `±1/l²` over the object's `l`-square onto that
     /// timestamp's polynomial grid.
     pub fn apply(&mut self, update: &Update) {
+        let _t = self.obs.apply_time.timer(self.obs.enabled);
         self.updates_applied += 1;
         self.live += update.sign();
         let h = self.cfg.horizon.h();
@@ -203,12 +267,20 @@ impl PaEngine {
     /// `l` is fixed by the engine configuration.
     pub fn query(&self, rho: f64, q_t: Timestamp) -> PaAnswer {
         assert!(self.covers(q_t), "timestamp {q_t} outside horizon");
+        let _t = self.obs.query_time.timer(self.obs.enabled);
         let start = Instant::now();
         let cfg = BnbConfig::for_grid(self.cfg.extent, self.cfg.m_d);
-        let (regions, bound_evals) = self.grids[self.slot_of(q_t)].superlevel_set(rho, &cfg);
+        let (regions, bnb) = self.grids[self.slot_of(q_t)].superlevel_set(rho, &cfg);
+        self.obs.queries.inc();
+        if self.obs.enabled {
+            self.obs.bnb_expanded.add(bnb.expanded);
+            self.obs.bnb_accepted.add(bnb.accepted);
+            self.obs.bnb_pruned.add(bnb.pruned);
+            self.obs.bnb_leaf_evals.add(bnb.leaf_evals);
+        }
         PaAnswer {
             regions,
-            bound_evals,
+            bound_evals: bnb.expanded,
             cpu: start.elapsed(),
         }
     }
@@ -326,6 +398,7 @@ impl PaEngine {
             grids,
             updates_applied: 0,
             live: 0,
+            obs: PaObs::on(),
         })
     }
 

@@ -297,6 +297,122 @@ mod tests {
     }
 
     #[test]
+    fn boundary_ties_single_object_half_open_square() {
+        // One object at (10, 10), l = 4, threshold 1. By Definition 1 an
+        // object q is inside the square of center c iff c − 2 < q ≤ c + 2
+        // per axis, so the dense centers form exactly the half-open
+        // square [8, 12) × [8, 12): the *lower* boundary is dense (the
+        // object sits on the included top/right edge of that center's
+        // square) and the *upper* boundary is not. All coordinates are
+        // small integers with l = 4.0, so every event value (q ± l/2) is
+        // exact in floating point and the ties are genuine.
+        let target = Rect::new(0.0, 0.0, 20.0, 20.0);
+        let objects = vec![Point::new(10.0, 10.0)];
+        let rs = refine_region_set(&target, &objects, thresh(1.0), 4.0);
+        assert!((rs.area() - 16.0).abs() < 1e-9, "area {}", rs.area());
+        // Exactly on the lower-left corner / edges: dense.
+        assert!(rs.contains(Point::new(8.0, 8.0)));
+        assert!(rs.contains(Point::new(8.0, 10.0)));
+        assert!(rs.contains(Point::new(10.0, 8.0)));
+        // Exactly on the upper-right edges: not dense.
+        assert!(!rs.contains(Point::new(12.0, 10.0)));
+        assert!(!rs.contains(Point::new(10.0, 12.0)));
+        assert!(!rs.contains(Point::new(12.0, 12.0)));
+        // Mixed corners: one axis in, one out.
+        assert!(!rs.contains(Point::new(8.0, 12.0)));
+        assert!(!rs.contains(Point::new(12.0, 8.0)));
+    }
+
+    #[test]
+    fn boundary_ties_match_half_open_membership_pointwise() {
+        // A tie-heavy lattice scene: objects on integer multiples of
+        // l/2, so the stopping events of different objects coincide and
+        // probe centers land exactly on x_c ± l/2 of several objects at
+        // once. Every event coordinate (and every segment midpoint) is
+        // cross-validated point-by-point against LSquare::contains.
+        let l = 4.0;
+        let half = l / 2.0;
+        let target = Rect::new(0.0, 0.0, 16.0, 16.0);
+        let objects = vec![
+            Point::new(4.0, 4.0),
+            Point::new(8.0, 4.0),
+            Point::new(4.0, 8.0),
+            Point::new(8.0, 8.0),
+            Point::new(6.0, 6.0),
+            Point::new(12.0, 12.0),
+        ];
+        // Probe coordinates: every stopping event q ± l/2 (clamped into
+        // the target) plus midpoints between consecutive events.
+        let mut coords: Vec<f64> = vec![target.x_lo, target.x_hi];
+        for p in &objects {
+            for c in [p.x - half, p.x + half, p.y - half, p.y + half] {
+                if c >= target.x_lo && c <= target.x_hi {
+                    coords.push(c);
+                }
+            }
+        }
+        coords.sort_by(f64::total_cmp);
+        coords.dedup();
+        let mids: Vec<f64> = coords.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
+        coords.extend(mids);
+
+        for k in [1.0, 2.0, 3.0, 4.0] {
+            let rs = refine_region_set(&target, &objects, thresh(k), l);
+            for &x in &coords {
+                for &y in &coords {
+                    let p = Point::new(x, y);
+                    let n = objects
+                        .iter()
+                        .filter(|&&o| LSquare::new(p, l).contains(o))
+                        .count();
+                    assert_eq!(
+                        rs.contains(p),
+                        thresh(k).met_by(n),
+                        "tie point {p:?}: {n} objects in square, threshold {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn objects_exactly_on_band_edges_count_asymmetrically() {
+        // Two objects straddling a probe center at exactly ± l/2: the one
+        // at center + l/2 is on the included edge, the one at center − l/2
+        // on the excluded edge. With threshold 2 the probe is dense only
+        // where both objects fall inside, which by the half-open rule is
+        // the strip [6, 8) × [4, 12) ∩ ... — cross-check pointwise.
+        let l = 4.0;
+        let target = Rect::new(0.0, 0.0, 16.0, 16.0);
+        let objects = vec![Point::new(6.0, 8.0), Point::new(10.0, 8.0)];
+        let rs = refine_region_set(&target, &objects, thresh(2.0), l);
+        // Center (8, 8): objects at x = 6 (= 8 − 2, excluded edge) and
+        // x = 10 (= 8 + 2, included edge) → only one inside → not dense.
+        assert!(!rs.contains(Point::new(8.0, 8.0)));
+        // Center (8 − ulp-free step, i.e. 7.0): objects at 6 and 10 with
+        // 5 < 6 ≤ 9 true but 5 < 10 ≤ 9 false → still one → not dense.
+        assert!(!rs.contains(Point::new(7.0, 8.0)));
+        // No center can hold both: they are exactly l apart and the
+        // square is half-open, so the dense set is empty.
+        assert!(rs.is_empty(), "{rs:?}");
+
+        // Move the right object 1 closer: centers in [8, 9) × [6, 10)
+        // hold both (q − l/2 ≤ c < q + l/2 for q = 6 gives c ∈ [4, 8);
+        // for q = 9 gives c ∈ [7, 11); x-intersection [7, 8)).
+        let objects = vec![Point::new(6.0, 8.0), Point::new(9.0, 8.0)];
+        let rs = refine_region_set(&target, &objects, thresh(2.0), l);
+        assert!(rs.contains(Point::new(7.0, 8.0)));
+        assert!(!rs.contains(Point::new(8.0, 8.0)), "c = 8 loses q = 6");
+        assert!(!rs.contains(Point::new(7.0, 5.75)), "below the y band");
+        for r in rs.rects() {
+            assert!(
+                (r.x_lo - 7.0).abs() < 1e-12 && (r.x_hi - 8.0).abs() < 1e-12,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
     fn arbitrary_shape_regions_emerge() {
         // Two overlapping clusters produce an L-ish/elongated region,
         // demonstrating "arbitrary shape and size" (Figure 3).

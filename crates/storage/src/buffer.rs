@@ -30,6 +30,13 @@ impl IoStats {
             1.0 - self.misses as f64 / self.logical_reads as f64
         }
     }
+
+    /// Physical random I/Os implied by the counters: each miss is one
+    /// random read, each write-back one random write. This is the count
+    /// the paper's cost model charges per-access time for.
+    pub fn physical_ios(&self) -> u64 {
+        self.misses + self.writebacks
+    }
 }
 
 impl std::ops::AddAssign for IoStats {

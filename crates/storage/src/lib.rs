@@ -44,7 +44,7 @@ impl CostModel {
     /// random read; each write-back of a dirty evictee is one random
     /// write.
     pub fn io_ms(&self, stats: &IoStats) -> f64 {
-        (stats.misses + stats.writebacks) as f64 * self.random_io_ms
+        stats.physical_ios() as f64 * self.random_io_ms
     }
 }
 

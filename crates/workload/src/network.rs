@@ -191,34 +191,57 @@ fn knn_edges(nodes: &[Point], k: usize, extent: f64) -> Vec<Vec<u32>> {
 
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, p) in nodes.iter().enumerate() {
-        // Expand rings of buckets until we have enough candidates.
+        // Expand bucket shells outward until the k-th nearest candidate
+        // is provably closer than anything still unexplored. Buckets at
+        // Chebyshev bucket-distance > radius only hold points farther
+        // than `radius · cell` from `p` (a point in a bucket at index
+        // distance b is at least `(b − 1) · cell` away), so once
+        // `d_k ≤ radius · cell` no unexplored node can displace the
+        // current top k. Stopping at the first shell with > k
+        // candidates instead — the old rule — can miss a true nearest
+        // neighbor one shell out while a farther same-shell candidate
+        // makes the cut.
         let bx = ((p.x / cell) as usize).min(buckets_per_side - 1) as i64;
         let by = ((p.y / cell) as usize).min(buckets_per_side - 1) as i64;
+        let side = buckets_per_side as i64;
         let mut candidates: Vec<u32> = Vec::new();
-        let mut ring = 1i64;
-        while candidates.len() <= k && (ring as usize) <= buckets_per_side {
-            candidates.clear();
-            for dy in -ring..=ring {
-                for dx in -ring..=ring {
-                    let (cx, cy) = (bx + dx, by + dy);
-                    if cx < 0
-                        || cy < 0
-                        || cx >= buckets_per_side as i64
-                        || cy >= buckets_per_side as i64
-                    {
+        let mut radius = 0i64;
+        loop {
+            // Collect the shell of buckets at exactly `radius`.
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    if dx.abs().max(dy.abs()) != radius {
                         continue;
                     }
-                    for &j in &grid[cy as usize * buckets_per_side + cx as usize] {
+                    let (cx, cy) = (bx + dx, by + dy);
+                    if cx < 0 || cy < 0 || cx >= side || cy >= side {
+                        continue;
+                    }
+                    for &j in &grid[cy as usize * side as usize + cx as usize] {
                         if j as usize != i {
                             candidates.push(j);
                         }
                     }
                 }
             }
-            ring *= 2;
+            if candidates.len() >= k {
+                let mut dists: Vec<f64> = candidates
+                    .iter()
+                    .map(|&j| p.distance_sq(nodes[j as usize]))
+                    .collect();
+                let (_, kth, _) = dists.select_nth_unstable_by(k - 1, |a, b| a.total_cmp(b));
+                let safe = radius as f64 * cell;
+                if *kth <= safe * safe {
+                    break;
+                }
+            }
+            if radius >= side {
+                break; // whole grid swept
+            }
+            radius += 1;
         }
         if candidates.len() < k {
-            // Sparse corner: fall back to all nodes.
+            // Sparse network: fall back to all nodes.
             candidates = (0..n as u32).filter(|&j| j as usize != i).collect();
         }
         candidates.sort_by(|&a, &b| {
@@ -298,6 +321,56 @@ mod tests {
             max > 2 * avg,
             "expected hot-spot skew, max cell {max} vs avg {avg}"
         );
+    }
+
+    /// Cross-check the bucket-grid kNN against brute force: for every
+    /// node, all strictly-closer nodes than its true k-th nearest must
+    /// be adjacent, and at least k neighbors lie within that radius.
+    /// (The grid used to stop at the first bucket ring holding > k
+    /// candidates, which can miss a true nearest neighbor sitting just
+    /// outside the ring while a farther in-ring candidate makes the
+    /// cut.)
+    #[test]
+    fn knn_edges_match_brute_force() {
+        let k = 4usize;
+        let net = RoadNetwork::generate(
+            &NetworkConfig {
+                extent: 500.0,
+                nodes: 200,
+                hotspots: 3,
+                spread: 0.04,
+                background: 0.25,
+                degree: k,
+            },
+            99,
+        );
+        for i in 0..net.node_count() as u32 {
+            let p = net.position(i);
+            let mut ds: Vec<(u32, f64)> = (0..net.node_count() as u32)
+                .filter(|&j| j != i)
+                .map(|j| (j, p.distance_sq(net.position(j))))
+                .collect();
+            ds.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let d_k = ds[k - 1].1;
+            for &(j, d) in ds.iter().take_while(|&&(_, d)| d < d_k) {
+                assert!(
+                    net.neighbors(i).contains(&j),
+                    "node {i} is missing true nearest neighbor {j} \
+                     (d = {:.2} < k-th nearest {:.2})",
+                    d.sqrt(),
+                    d_k.sqrt()
+                );
+            }
+            let within = net
+                .neighbors(i)
+                .iter()
+                .filter(|&&j| p.distance_sq(net.position(j)) <= d_k)
+                .count();
+            assert!(
+                within >= k,
+                "node {i}: only {within} neighbors within its true k-NN radius"
+            );
+        }
     }
 
     #[test]

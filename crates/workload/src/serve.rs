@@ -22,6 +22,7 @@
 
 use crate::simulator::TrafficSimulator;
 use crate::QuerySpec;
+use pdr_core::obs::{json_f64, Histogram, HistogramSnapshot, ObsReport};
 use pdr_core::{accuracy, exact_dense_regions, DensityEngine, EngineStats, PdrQuery};
 use pdr_geometry::{Rect, RegionSet};
 use pdr_mobject::Timestamp;
@@ -89,14 +90,26 @@ pub struct EngineLoad {
     pub total_ms: f64,
     /// Milliseconds spent applying update batches.
     pub ingest_ms: f64,
-    /// Summed false-positive ratio `r_fp` (when accuracy is measured).
+    /// Summed false-positive ratio `r_fp` over the scored queries whose
+    /// ratio was *bounded* (see [`unbounded_r_fp`](Self::unbounded_r_fp)).
     pub r_fp_sum: f64,
     /// Summed false-negative ratio `r_fn` (when accuracy is measured).
     pub r_fn_sum: f64,
     /// Queries that were scored against ground truth.
     pub scored: u64,
+    /// Scored queries whose `r_fp` was unbounded: the ground truth was
+    /// empty but the engine reported a nonempty region, so the ratio
+    /// `area(D'∖D)/area(D)` is +∞. Summing those into
+    /// [`r_fp_sum`](Self::r_fp_sum) would poison every later mean, so
+    /// they are counted here instead and excluded from the sum.
+    pub unbounded_r_fp: u64,
     /// Final engine stats snapshot.
     pub stats: EngineStats,
+    /// Per-query CPU latency distribution over the run.
+    pub latency: HistogramSnapshot,
+    /// Final engine instrumentation snapshot (stage latencies, internal
+    /// counters); empty for engines without instrumentation.
+    pub obs: ObsReport,
 }
 
 impl EngineLoad {
@@ -112,7 +125,10 @@ impl EngineLoad {
             r_fp_sum: 0.0,
             r_fn_sum: 0.0,
             scored: 0,
+            unbounded_r_fp: 0,
             stats: EngineStats::default(),
+            latency: HistogramSnapshot::default(),
+            obs: ObsReport::default(),
         }
     }
 
@@ -125,12 +141,17 @@ impl EngineLoad {
         }
     }
 
-    /// Mean false-positive ratio over scored queries.
+    /// Mean false-positive ratio over the scored queries with a
+    /// *bounded* ratio — always finite. Queries whose truth was empty
+    /// while the engine reported something are excluded from the mean
+    /// and counted in [`unbounded_r_fp`](Self::unbounded_r_fp); report
+    /// that count alongside the mean when it is nonzero.
     pub fn mean_r_fp(&self) -> f64 {
-        if self.scored == 0 {
+        let bounded = self.scored - self.unbounded_r_fp;
+        if bounded == 0 {
             0.0
         } else {
-            self.r_fp_sum / self.scored as f64
+            self.r_fp_sum / bounded as f64
         }
     }
 
@@ -152,14 +173,100 @@ pub struct ServeReport {
     /// Protocol updates the simulator emitted (and every engine
     /// applied).
     pub updates: u64,
+    /// Per-tick ingest time (horizon advance + batch apply across all
+    /// engines) distribution.
+    pub tick_ingest: HistogramSnapshot,
+    /// Per-tick query-slice time (the whole mix slice across all
+    /// engines, including ground-truth computation when scoring).
+    pub tick_query: HistogramSnapshot,
     /// Per-engine accumulated load, in registration order.
     pub engines: Vec<EngineLoad>,
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn io_json(io: &IoStats) -> String {
+    format!(
+        "{{\"logical_reads\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{},\"physical_ios\":{}}}",
+        io.logical_reads,
+        io.misses,
+        io.evictions,
+        io.writebacks,
+        io.physical_ios()
+    )
+}
+
+impl ServeReport {
+    /// Serializes the whole report as a JSON document (no external
+    /// dependencies — see `pdr_core::obs`). The schema is documented in
+    /// `EXPERIMENTS.md`; `pdrcli serve --metrics <path>` writes exactly
+    /// this string, and the benches and experiment binaries reuse it.
+    pub fn to_json(&self) -> String {
+        let engines = self
+            .engines
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"label\":{},\"engine\":{},\"queries\":{},\"cpu_ms\":{},\"total_ms\":{},\
+                     \"ingest_ms\":{},\"scored\":{},\"unbounded_r_fp\":{},\"mean_r_fp\":{},\
+                     \"mean_r_fn\":{},\"io\":{},\"latency_us\":{},\"stats\":{{\
+                     \"updates_applied\":{},\"missed_deletes\":{},\"memory_bytes\":{},\
+                     \"objects\":{},\"queries_served\":{}}},\"obs\":{}}}",
+                    json_str(&e.label),
+                    json_str(e.engine),
+                    e.queries,
+                    json_f64(e.cpu_ms),
+                    json_f64(e.total_ms),
+                    json_f64(e.ingest_ms),
+                    e.scored,
+                    e.unbounded_r_fp,
+                    json_f64(e.mean_r_fp()),
+                    json_f64(e.mean_r_fn()),
+                    io_json(&e.io),
+                    e.latency.to_json(),
+                    e.stats.updates_applied,
+                    e.stats.missed_deletes,
+                    e.stats.memory_bytes,
+                    e.stats.objects,
+                    e.stats.queries_served,
+                    e.obs.to_json(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"ticks\":{},\"updates\":{},\"tick_ingest_us\":{},\"tick_query_us\":{},\"engines\":[{}]}}",
+            self.ticks,
+            self.updates,
+            self.tick_ingest.to_json(),
+            self.tick_query.to_json(),
+            engines
+        )
+    }
 }
 
 struct Served {
     label: String,
     engine: Box<dyn DensityEngine>,
     load: EngineLoad,
+    latency: Histogram,
 }
 
 /// Owns a [`TrafficSimulator`] and any number of boxed engines; drives
@@ -169,6 +276,8 @@ pub struct ServeDriver {
     engines: Vec<Served>,
     model: CostModel,
     cursor: usize,
+    tick_ingest: Histogram,
+    tick_query: Histogram,
 }
 
 impl ServeDriver {
@@ -180,6 +289,8 @@ impl ServeDriver {
             engines: Vec::new(),
             model,
             cursor: 0,
+            tick_ingest: Histogram::new(),
+            tick_query: Histogram::new(),
         }
     }
 
@@ -200,6 +311,7 @@ impl ServeDriver {
             label: label.to_string(),
             engine,
             load: EngineLoad::new(label.to_string(), name),
+            latency: Histogram::new(),
         });
     }
 
@@ -268,14 +380,19 @@ impl ServeDriver {
             let a = s.engine.query(q);
             s.load.queries += 1;
             s.load.cpu_ms += a.cpu.as_secs_f64() * 1e3;
-            s.load.io.logical_reads += a.io.logical_reads;
-            s.load.io.misses += a.io.misses;
-            s.load.io.evictions += a.io.evictions;
-            s.load.io.writebacks += a.io.writebacks;
+            s.load.io += a.io;
             s.load.total_ms += a.total_ms(&model);
+            s.latency.record(a.cpu);
             if let Some(truth) = truth {
                 let acc = accuracy(truth, &a.regions);
-                s.load.r_fp_sum += acc.r_fp;
+                // An empty truth with a nonempty report makes r_fp +∞
+                // (`pdr_core::accuracy`). One such query must not poison
+                // the running sum — count it separately instead.
+                if acc.r_fp.is_finite() {
+                    s.load.r_fp_sum += acc.r_fp;
+                } else {
+                    s.load.unbounded_r_fp += 1;
+                }
                 s.load.r_fn_sum += acc.r_fn;
                 s.load.scored += 1;
             }
@@ -291,8 +408,11 @@ impl ServeDriver {
     pub fn run(&mut self, ticks: u64, mix: &QueryMix) -> ServeReport {
         let mut updates = 0u64;
         for _ in 0..ticks {
+            let ingest_start = Instant::now();
             updates += self.tick() as u64;
+            self.tick_ingest.record(ingest_start.elapsed());
             let now = self.sim.t_now();
+            let query_start = Instant::now();
             for _ in 0..mix.per_tick {
                 let spec = mix.specs[self.cursor % mix.specs.len()];
                 self.cursor += 1;
@@ -301,16 +421,25 @@ impl ServeDriver {
                 let truth = mix.measure_accuracy.then(|| self.ground_truth(&q));
                 self.query_all(&q, truth.as_ref());
             }
+            self.tick_query.record(query_start.elapsed());
         }
+        self.report(ticks, updates)
+    }
+
+    fn report(&self, ticks: u64, updates: u64) -> ServeReport {
         ServeReport {
             ticks,
             updates,
+            tick_ingest: self.tick_ingest.snapshot(),
+            tick_query: self.tick_query.snapshot(),
             engines: self
                 .engines
                 .iter()
                 .map(|s| {
                     let mut load = s.load.clone();
                     load.stats = s.engine.stats();
+                    load.latency = s.latency.snapshot();
+                    load.obs = s.engine.obs();
                     load
                 })
                 .collect(),
@@ -322,8 +451,9 @@ impl ServeDriver {
 mod tests {
     use super::*;
     use crate::{NetworkConfig, RoadNetwork};
-    use pdr_core::{EngineSpec, FrConfig, PaConfig};
-    use pdr_mobject::TimeHorizon;
+    use pdr_core::{EngineAnswer, EngineSpec, FrConfig, PaConfig};
+    use pdr_mobject::{TimeHorizon, Update};
+    use std::time::Duration;
 
     fn driver(n: usize) -> ServeDriver {
         let net = RoadNetwork::generate(
@@ -425,6 +555,136 @@ mod tests {
         assert_eq!(answers.len(), 2);
         // FR (registered first) equals the ground truth region.
         assert!(answers[0].symmetric_difference_area(&truth) < 1e-9);
+    }
+
+    /// A deterministic engine that always reports one fixed rectangle,
+    /// so the empty-truth / nonempty-report case is exercised without
+    /// depending on an approximate engine's numerical wiggle.
+    struct StubEngine {
+        rect: Rect,
+        updates: u64,
+    }
+
+    impl DensityEngine for StubEngine {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+        fn apply_batch(&mut self, updates: &[Update]) {
+            self.updates += updates.len() as u64;
+        }
+        fn advance_to(&mut self, _t_now: Timestamp) {}
+        fn query(&self, _q: &PdrQuery) -> EngineAnswer {
+            EngineAnswer {
+                regions: RegionSet::from_rects([self.rect]),
+                cpu: Duration::from_micros(1),
+                io: IoStats::default(),
+                exact: false,
+            }
+        }
+        fn stats(&self) -> EngineStats {
+            EngineStats {
+                updates_applied: self.updates,
+                ..EngineStats::default()
+            }
+        }
+    }
+
+    /// Regression: a scored query with empty ground truth and a
+    /// nonempty report has `r_fp = +∞`. The serve loop used to add it
+    /// straight into `r_fp_sum`, turning every subsequent `mean_r_fp`
+    /// into +∞ for the rest of the run. It must instead be counted in
+    /// `unbounded_r_fp` and excluded from the (finite) mean.
+    #[test]
+    fn empty_truth_queries_do_not_poison_mean_r_fp() {
+        let net = RoadNetwork::generate(&NetworkConfig::metro(200.0), 5);
+        let sim = TrafficSimulator::new(net, 50, 23, 4, 0);
+        let mut d = ServeDriver::new(sim, CostModel::PAPER_DEFAULT)
+            .with_engine(
+                "stub",
+                Box::new(StubEngine {
+                    rect: Rect::new(10.0, 10.0, 30.0, 30.0),
+                    updates: 0,
+                }),
+            )
+            .with_engine(
+                "fr",
+                EngineSpec::Fr(FrConfig {
+                    extent: 200.0,
+                    m: 40,
+                    horizon: TimeHorizon::new(4, 4),
+                    buffer_pages: 64,
+                    threads: 1,
+                })
+                .build(0),
+            );
+        d.bootstrap();
+        // ρ = 10 objects per unit² is unreachable with 50 objects on a
+        // 200×200 plane: ground truth is empty at every query.
+        let specs = vec![QuerySpec {
+            rho: 10.0,
+            varrho: 1.0,
+            l: 20.0,
+            q_t: 0,
+        }];
+        let report = d.run(4, &QueryMix::new(specs, 0, 2).with_accuracy());
+        let stub = &report.engines[0];
+        assert_eq!(stub.scored, 8);
+        assert_eq!(
+            stub.unbounded_r_fp, 8,
+            "every scored stub query has empty truth + nonempty report"
+        );
+        assert_eq!(stub.r_fp_sum, 0.0, "unbounded ratios must not be summed");
+        assert!(
+            stub.mean_r_fp().is_finite(),
+            "mean_r_fp poisoned: {}",
+            stub.mean_r_fp()
+        );
+        // FR reports empty for an empty truth: bounded, exact, zero.
+        let fr = &report.engines[1];
+        assert_eq!(fr.unbounded_r_fp, 0);
+        assert!(fr.mean_r_fp().is_finite() && fr.mean_r_fp() < 1e-9);
+        // The JSON report carries the unbounded count per engine.
+        let json = report.to_json();
+        assert!(json.contains("\"unbounded_r_fp\":8"));
+        assert!(!json.contains("inf"), "JSON must stay parseable: {json}");
+    }
+
+    #[test]
+    fn report_json_exposes_stage_timings_and_quantiles() {
+        let mut d = driver(300);
+        d.bootstrap();
+        let report = d.run(4, &mix().with_accuracy());
+        // Engine-level instrumentation made it into the report...
+        let fr = &report.engines[0];
+        assert_eq!(fr.latency.count, 8, "one latency sample per query");
+        assert!(fr.obs.counter("queries") == Some(8));
+        assert!(fr.obs.stage("classify").is_some());
+        assert_eq!(fr.stats.queries_served, 8);
+        let pa = &report.engines[1];
+        assert!(
+            pa.obs.counter("bnb_expanded").unwrap() > 0,
+            "PA must report branch-and-bound node counts"
+        );
+        assert_eq!(report.tick_ingest.count, 4, "one ingest sample per tick");
+        assert_eq!(report.tick_query.count, 4);
+        // ...and the JSON schema carries every required key.
+        let json = report.to_json();
+        for key in [
+            "\"ticks\":4",
+            "\"engines\":[",
+            "\"tick_ingest_us\":",
+            "\"tick_query_us\":",
+            "\"latency_us\":",
+            "\"p99_us\":",
+            "\"unbounded_r_fp\":",
+            "\"classify\":",
+            "\"bnb_expanded\":",
+            "\"queries_served\":",
+            "\"physical_ios\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("inf") && !json.contains("NaN"));
     }
 
     #[test]

@@ -38,6 +38,34 @@ if [ "$fast" -eq 0 ]; then
         echo "FAIL: release build"
         fail=1
     fi
+
+    step "pdrcli serve --metrics smoke (10 ticks)"
+    # The root package build above does not cover pdr-cli (the root
+    # manifest is the facade package); build the binary explicitly.
+    if ! cargo build --release -p pdr-cli; then
+        echo "FAIL: pdr-cli release build"
+        fail=1
+    fi
+    metrics_json="$(mktemp /tmp/pdr-metrics.XXXXXX.json)"
+    if ! target/release/pdrcli serve --objects 800 --extent 400 --ticks 10 \
+            --l 20 --count 8 --seed 11 --metrics "$metrics_json" >/dev/null; then
+        echo "FAIL: pdrcli serve --metrics exited nonzero"
+        fail=1
+    else
+        # The dump must carry the full observability schema: driver tick
+        # timings, per-engine latency quantiles, FR stage timings, PA
+        # branch-and-bound counters, and the accuracy poisoning guard.
+        for key in '"ticks":10' '"tick_ingest_us":' '"tick_query_us":' \
+                   '"engines":[' '"latency_us":' '"p99_us":' '"stages":' \
+                   '"classify":' '"bnb_expanded":' '"unbounded_r_fp":' \
+                   '"queries_served":' '"physical_ios":'; do
+            if ! grep -qF "$key" "$metrics_json"; then
+                echo "FAIL: metrics JSON lacks $key"
+                fail=1
+            fi
+        done
+    fi
+    rm -f "$metrics_json"
 fi
 
 step "cargo test -q (tier-1)"
