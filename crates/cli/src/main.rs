@@ -3,7 +3,7 @@
 //! ```text
 //! pdrcli generate --objects 10000 --extent 1000 --seed 7 --out objects.csv
 //! pdrcli query    --data objects.csv --extent 1000 --l 30 --count 15 --at 10 [--method fr|pa] [--threads N]
-//! pdrcli serve    --objects 5000 --extent 1000 --ticks 20 --l 30 --count 15 [--seed S] [--metrics FILE]
+//! pdrcli serve    --objects 5000 --extent 1000 --ticks 20 --l 30 --count 15 [--seed S] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N]
 //! pdrcli hotspots --data objects.csv --extent 1000 --l 30 --at 10 --top 5
 //! ```
 //!
@@ -13,6 +13,14 @@
 //! per-engine load; `hotspots` prints the top-k density peaks from the
 //! approximate engine.
 //!
+//! `serve --fault-plan FILE` installs a deterministic fault-injection
+//! schedule beneath the FR engine's storage plane (see
+//! [`FaultPlan::parse`] for the grammar) and turns on write-ahead
+//! journaling so detected corruption and ingest crashes recover from
+//! the latest checkpoint. Pair it with `--buffer-pages` small enough
+//! that the index actually pages — a pool that fits the working set
+//! never performs the physical I/O faults are injected into.
+//!
 //! All engines are constructed through [`EngineSpec`] and queried
 //! through the [`DensityEngine`] trait — the CLI never touches
 //! concrete engine wiring.
@@ -20,7 +28,7 @@
 use pdr_core::{EngineSpec, FrConfig, PaConfig, PaEngine, PdrQuery};
 use pdr_geometry::Point;
 use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update};
-use pdr_storage::CostModel;
+use pdr_storage::{CostModel, FaultPlan};
 use pdr_workload::{
     gaussian_clusters, NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver,
     TrafficSimulator,
@@ -58,7 +66,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
-         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--metrics FILE]\n  \
+         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -81,6 +89,9 @@ struct Options {
     threads: usize,
     ticks: u64,
     metrics: Option<String>,
+    fault_plan: Option<String>,
+    buffer_pages: usize,
+    journal: u64,
 }
 
 impl Options {
@@ -100,6 +111,9 @@ impl Options {
             threads: 0, // refinement workers: 0 = one per core
             ticks: 20,
             metrics: None,
+            fault_plan: None,
+            buffer_pages: 512,
+            journal: 5, // checkpoint cadence in ticks; 0 = no journal
         };
         let mut i = 0;
         while i < args.len() {
@@ -123,6 +137,9 @@ impl Options {
                 "--threads" => o.threads = value.parse().map_err(|_| bad(key))?,
                 "--ticks" => o.ticks = value.parse().map_err(|_| bad(key))?,
                 "--metrics" => o.metrics = Some(value.clone()),
+                "--fault-plan" => o.fault_plan = Some(value.clone()),
+                "--buffer-pages" => o.buffer_pages = value.parse().map_err(|_| bad(key))?,
+                "--journal" => o.journal = value.parse().map_err(|_| bad(key))?,
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 2;
@@ -210,7 +227,7 @@ fn engine_spec(method: &str, o: &Options, horizon: TimeHorizon) -> Result<Engine
                 extent: o.extent,
                 m,
                 horizon,
-                buffer_pages: 512,
+                buffer_pages: o.buffer_pages,
                 threads: o.threads,
             }))
         }
@@ -289,6 +306,21 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         .with_engine("pa", engine_spec("pa", o, horizon)?.build(0));
     driver.bootstrap();
 
+    if let Some(path) = &o.fault_plan {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading fault plan {path}: {e}"))?;
+        let plan = FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        // Journal first: the checkpoint + WAL make detected corruption
+        // and ingest crashes recoverable once faults start firing.
+        // `--journal 0` turns recovery off, so persistent faults take
+        // the engine offline-degraded instead.
+        if o.journal > 0 {
+            driver.enable_journal(o.journal);
+        }
+        driver.install_fault_plan("fr", plan);
+        eprintln!("# fault plan {path} installed beneath the fr storage plane");
+    }
+
     // Query mix: now / mid-window / full prediction window ahead.
     // Offsets stay within W: a report may be up to U old, so its
     // horizon coverage only guarantees [now, now + W].
@@ -327,6 +359,22 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             e.stats.missed_deletes,
             e.stats.memory_bytes
         );
+    }
+    if o.fault_plan.is_some() {
+        println!("engine,faults_injected,crc_failures,retries,recoveries,degraded_queries,failed_queries,deadline_misses");
+        for e in &report.engines {
+            println!(
+                "{},{},{},{},{},{},{},{}",
+                e.label,
+                e.faults.injected(),
+                e.faults.crc_failures,
+                e.retries,
+                e.recoveries,
+                e.degraded_queries,
+                e.failed_queries,
+                e.deadline_misses
+            );
+        }
     }
     if let Some(path) = &o.metrics {
         std::fs::write(path, report.to_json())

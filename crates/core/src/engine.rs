@@ -29,14 +29,17 @@
 //! never touching concrete types.
 
 use crate::obs::ObsReport;
+use crate::wal::{open_checkpoint, seal_checkpoint, RecoverError};
 use crate::{
     baselines, classify_cells, dh_optimistic, dh_pessimistic, ExactOracle, FrConfig, FrEngine,
     PaConfig, PaEngine, PdrQuery, RangeIndex,
 };
 use pdr_geometry::{GridSpec, Rect, RegionSet};
 use pdr_histogram::DensityHistogram;
-use pdr_mobject::{MotionState, ObjectId, ObjectTable, Timestamp, Update};
-use pdr_storage::{CostModel, IoStats};
+use pdr_mobject::{
+    screen_batch, MotionState, ObjectId, ObjectTable, TimeHorizon, Timestamp, Update,
+};
+use pdr_storage::{CostModel, FaultPlan, FaultStats, IoStats, StorageError};
 use std::time::{Duration, Instant};
 
 /// Coalesce cadence for the default interval-query implementation
@@ -74,6 +77,10 @@ pub struct EngineStats {
     /// tolerated but logged anomaly (client retraction of a report the
     /// server never saw, or a bug upstream).
     pub missed_deletes: u64,
+    /// Reports rejected by input screening (non-finite motions,
+    /// duplicate insertions in one batch, timestamps outside the
+    /// horizon) — counted and skipped, never applied.
+    pub rejected_updates: u64,
     /// Resident bytes of the engine's summary structures.
     pub memory_bytes: usize,
     /// Live objects the engine currently accounts for.
@@ -124,6 +131,49 @@ pub trait DensityEngine: Send + Sync {
     /// Answers a snapshot PDR query.
     fn query(&self, q: &PdrQuery) -> EngineAnswer;
 
+    /// Fallible [`query`](Self::query): surfaces storage faults as a
+    /// typed [`StorageError`] instead of panicking. The default wraps
+    /// the infallible path, correct for memory-resident engines whose
+    /// queries cannot fail.
+    fn try_query(&self, q: &PdrQuery) -> Result<EngineAnswer, StorageError> {
+        Ok(self.query(q))
+    }
+
+    /// Best-effort answer that avoids the failing storage plane — for
+    /// FR, the optimistic filter-only answer (a superset of the exact
+    /// one). `None` when the engine has no degraded mode; serving then
+    /// fails the query instead of degrading it. Degraded answers are
+    /// never flagged `exact`.
+    fn degraded_query(&self, _q: &PdrQuery) -> Option<EngineAnswer> {
+        None
+    }
+
+    /// Sealed, checksummed snapshot of the engine's durable state, or
+    /// `None` for engines without checkpoint support. Feeding the bytes
+    /// to [`restore_from`](Self::restore_from) on a same-configured
+    /// engine reproduces bit-identical answers.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores the engine in place from [`checkpoint`](Self::checkpoint)
+    /// bytes. The default — for engines without checkpoint support —
+    /// reports [`RecoverError::Unsupported`].
+    fn restore_from(&mut self, _bytes: &[u8]) -> Result<(), RecoverError> {
+        Err(RecoverError::Unsupported)
+    }
+
+    /// Installs a fault-injection plan beneath the engine's storage
+    /// plane. A no-op (the default) for memory-resident engines.
+    fn set_fault_plan(&self, _plan: FaultPlan) {}
+
+    /// Counters of injected faults and detected checksum failures on
+    /// the engine's storage plane. All zeros for memory-resident
+    /// engines.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
     /// The union of snapshot answers over `from..=to` (Definition 5).
     /// The default evaluates each timestamp through
     /// [`query`](Self::query); engines with incremental interval plans
@@ -162,6 +212,27 @@ pub trait DensityEngine: Send + Sync {
     fn set_obs_enabled(&mut self, _on: bool) {}
 }
 
+/// Applies a batch with input screening: reports rejected by
+/// [`screen_batch`] are skipped, accepted ones applied in order.
+/// Returns the number of rejects (`screen_batch` yields indices in
+/// ascending order, so one forward cursor suffices).
+fn apply_screened(
+    updates: &[Update],
+    window: Option<(Timestamp, TimeHorizon)>,
+    mut apply: impl FnMut(&Update),
+) -> u64 {
+    let rejected = screen_batch(updates, window);
+    let mut next = 0usize;
+    for (i, u) in updates.iter().enumerate() {
+        if next < rejected.len() && rejected[next].0 == i {
+            next += 1;
+            continue;
+        }
+        apply(u);
+    }
+    rejected.len() as u64
+}
+
 impl<I: RangeIndex + Send> DensityEngine for FrEngine<I> {
     fn name(&self) -> &'static str {
         "fr"
@@ -172,9 +243,9 @@ impl<I: RangeIndex + Send> DensityEngine for FrEngine<I> {
     }
 
     fn apply_batch(&mut self, updates: &[Update]) {
-        for u in updates {
-            self.apply(u);
-        }
+        let window = Some((self.histogram().t_base(), self.config().horizon));
+        let rejects = apply_screened(updates, window, |u| self.apply(u));
+        self.note_rejected(rejects);
     }
 
     fn advance_to(&mut self, t_now: Timestamp) {
@@ -191,6 +262,42 @@ impl<I: RangeIndex + Send> DensityEngine for FrEngine<I> {
         }
     }
 
+    fn try_query(&self, q: &PdrQuery) -> Result<EngineAnswer, StorageError> {
+        let a = FrEngine::try_query(self, q)?;
+        Ok(EngineAnswer {
+            regions: a.regions,
+            cpu: a.cpu,
+            io: a.io,
+            exact: true,
+        })
+    }
+
+    fn degraded_query(&self, q: &PdrQuery) -> Option<EngineAnswer> {
+        let a = FrEngine::degraded_query(self, q);
+        Some(EngineAnswer {
+            regions: a.regions,
+            cpu: a.cpu,
+            io: a.io,
+            exact: false,
+        })
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.checkpoint_bytes())
+    }
+
+    fn restore_from(&mut self, bytes: &[u8]) -> Result<(), RecoverError> {
+        self.restore_from_bytes(bytes)
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        FrEngine::set_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FrEngine::fault_stats(self)
+    }
+
     fn interval_query(&self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
         FrEngine::interval_query(self, rho, l, from, to)
     }
@@ -199,6 +306,7 @@ impl<I: RangeIndex + Send> DensityEngine for FrEngine<I> {
         EngineStats {
             updates_applied: self.updates_applied(),
             missed_deletes: self.missed_deletes(),
+            rejected_updates: self.rejected_updates(),
             memory_bytes: self.histogram().memory_bytes(),
             objects: self.len(),
             queries_served: self.queries_served(),
@@ -220,9 +328,9 @@ impl DensityEngine for PaEngine {
     }
 
     fn apply_batch(&mut self, updates: &[Update]) {
-        for u in updates {
-            self.apply(u);
-        }
+        let window = Some((self.t_base(), self.config().horizon));
+        let rejects = apply_screened(updates, window, |u| self.apply(u));
+        self.note_rejected(rejects);
     }
 
     fn advance_to(&mut self, t_now: Timestamp) {
@@ -246,10 +354,27 @@ impl DensityEngine for PaEngine {
         PaEngine::interval_query(self, rho, from, to)
     }
 
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(seal_checkpoint(&self.serialize()))
+    }
+
+    fn restore_from(&mut self, bytes: &[u8]) -> Result<(), RecoverError> {
+        let payload = open_checkpoint(bytes)?;
+        let restored = PaEngine::deserialize(payload)?;
+        if restored.config() != self.config() {
+            return Err(RecoverError::Mismatch(
+                "PA config disagrees with checkpoint",
+            ));
+        }
+        *self = restored;
+        Ok(())
+    }
+
     fn stats(&self) -> EngineStats {
         EngineStats {
             updates_applied: self.updates_applied(),
             missed_deletes: 0,
+            rejected_updates: self.rejected_updates(),
             memory_bytes: self.memory_bytes(),
             objects: self.live_objects().max(0) as usize,
             queries_served: self.queries_served(),
@@ -295,6 +420,7 @@ impl DensityEngine for ExactOracle {
         EngineStats {
             updates_applied: self.updates_applied(),
             missed_deletes: self.missed_deletes(),
+            rejected_updates: 0,
             memory_bytes: (self.positions().len() + self.live_objects())
                 * std::mem::size_of::<pdr_geometry::Point>(),
             objects: self.positions().len() + self.live_objects(),
@@ -309,6 +435,7 @@ struct LiveTable {
     table: ObjectTable,
     updates_applied: u64,
     missed_deletes: u64,
+    rejected_updates: u64,
 }
 
 impl LiveTable {
@@ -317,22 +444,31 @@ impl LiveTable {
             table: ObjectTable::new(),
             updates_applied: 0,
             missed_deletes: 0,
+            rejected_updates: 0,
         }
     }
 
     fn apply_batch(&mut self, updates: &[Update]) {
-        for u in updates {
-            self.updates_applied += 1;
-            if !self.table.apply(u) {
-                self.missed_deletes += 1;
+        // No horizon to screen against (the table extrapolates on
+        // demand) — only the structural checks apply.
+        let table = &mut self.table;
+        let mut applied = 0u64;
+        let mut missed = 0u64;
+        self.rejected_updates += apply_screened(updates, None, |u| {
+            applied += 1;
+            if !table.apply(u) {
+                missed += 1;
             }
-        }
+        });
+        self.updates_applied += applied;
+        self.missed_deletes += missed;
     }
 
     fn stats(&self) -> EngineStats {
         EngineStats {
             updates_applied: self.updates_applied,
             missed_deletes: self.missed_deletes,
+            rejected_updates: self.rejected_updates,
             memory_bytes: self.table.len() * std::mem::size_of::<(ObjectId, MotionState)>(),
             objects: self.table.len(),
             queries_served: 0,
@@ -449,6 +585,7 @@ pub struct DhEngine {
     histogram: DensityHistogram,
     mode: DhMode,
     updates_applied: u64,
+    rejected_updates: u64,
     live: i64,
 }
 
@@ -460,6 +597,7 @@ impl DhEngine {
             histogram: DensityHistogram::new(cfg.extent, cfg.m, cfg.horizon, t_start),
             mode,
             updates_applied: 0,
+            rejected_updates: 0,
             live: 0,
         }
     }
@@ -479,11 +617,17 @@ impl DensityEngine for DhEngine {
     }
 
     fn apply_batch(&mut self, updates: &[Update]) {
-        for u in updates {
-            self.updates_applied += 1;
-            self.live += u.sign();
-            self.histogram.apply(u);
-        }
+        let window = Some((self.histogram.t_base(), self.histogram.horizon()));
+        let histogram = &mut self.histogram;
+        let mut applied = 0u64;
+        let mut live = 0i64;
+        self.rejected_updates += apply_screened(updates, window, |u| {
+            applied += 1;
+            live += u.sign();
+            histogram.apply(u);
+        });
+        self.updates_applied += applied;
+        self.live += live;
     }
 
     fn advance_to(&mut self, t_now: Timestamp) {
@@ -510,6 +654,7 @@ impl DensityEngine for DhEngine {
         EngineStats {
             updates_applied: self.updates_applied,
             missed_deletes: 0,
+            rejected_updates: self.rejected_updates,
             memory_bytes: self.histogram.memory_bytes(),
             objects: self.live.max(0) as usize,
             queries_served: 0,

@@ -1,13 +1,17 @@
 //! The exact filtering–refinement engine (Section 5).
 
 use crate::obs::{Counter, Histogram, ObsReport};
+use crate::wal::{open_checkpoint, seal_checkpoint, RecoverError};
 use crate::{
-    classify_cells, refine_region, CellClass, Classification, DenseThreshold, PdrQuery, RangeIndex,
+    classify_cells, dh_optimistic, refine_region, CellClass, Classification, DenseThreshold,
+    PdrQuery, RangeIndex,
 };
 use pdr_geometry::{CellId, GridSpec, Point, Rect, RegionSet};
 use pdr_histogram::{DensityHistogram, PrefixSum2d};
 use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update, UpdateKind};
-use pdr_storage::{CostModel, IoStats};
+use pdr_storage::{
+    ByteReader, ByteWriter, CostModel, FaultPlan, FaultStats, IoStats, StorageError,
+};
 use pdr_tprtree::{TprConfig, TprTree};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -190,9 +194,18 @@ pub struct FrEngine<I: RangeIndex = TprTree> {
     cfg: FrConfig,
     histogram: DensityHistogram,
     tree: I,
+    /// Shadow of the refinement index's contents (the ObjectTable view
+    /// of this engine) — what a checkpoint serializes, and what a
+    /// restore bulk-loads the rebuilt index from.
+    motions: HashMap<ObjectId, MotionState>,
+    /// The timestamp the refinement index was anchored at; restores
+    /// re-anchor the rebuilt index here so extrapolation arithmetic —
+    /// and therefore every query answer — is bit-identical.
+    t_start: Timestamp,
     cache: RwLock<ClassificationCache>,
     updates_applied: u64,
     missed_deletes: u64,
+    rejected_updates: u64,
     obs: FrObs,
 }
 
@@ -227,9 +240,12 @@ impl<I: RangeIndex> FrEngine<I> {
             cfg,
             histogram,
             tree: index,
+            motions: HashMap::new(),
+            t_start,
             cache: RwLock::new(ClassificationCache::new()),
             updates_applied: 0,
             missed_deletes: 0,
+            rejected_updates: 0,
             obs: FrObs::on(),
         }
     }
@@ -269,9 +285,12 @@ impl<I: RangeIndex> FrEngine<I> {
             cfg,
             histogram,
             tree: index,
+            motions: objects.iter().copied().collect(),
+            t_start: t_now,
             cache: RwLock::new(ClassificationCache::new()),
             updates_applied: 0,
             missed_deletes: 0,
+            rejected_updates: 0,
             obs: FrObs::on(),
         }
     }
@@ -326,6 +345,9 @@ impl<I: RangeIndex> FrEngine<I> {
         assert!(self.is_empty(), "bulk_load requires an empty engine");
         for (id, m) in objects {
             self.histogram.apply(&Update::insert(*id, t_now, *m));
+            // Store exactly what the index receives (the *unrebased*
+            // motion), so a restore rebuilds bit-identical leaf entries.
+            self.motions.insert(*id, *m);
         }
         self.tree.load(objects, t_now);
         self.updates_applied += objects.len() as u64;
@@ -343,8 +365,12 @@ impl<I: RangeIndex> FrEngine<I> {
         self.updates_applied += 1;
         self.histogram.apply(update);
         match update.kind {
-            UpdateKind::Insert { motion } => self.tree.insert(update.id, &motion, update.t_now),
+            UpdateKind::Insert { motion } => {
+                self.motions.insert(update.id, motion);
+                self.tree.insert(update.id, &motion, update.t_now)
+            }
             UpdateKind::Delete { .. } => {
+                self.motions.remove(&update.id);
                 let removed = self.tree.remove(update.id);
                 if !removed {
                     self.missed_deletes += 1;
@@ -378,6 +404,19 @@ impl<I: RangeIndex> FrEngine<I> {
     /// the bulk-load inserts).
     pub fn updates_applied(&self) -> u64 {
         self.updates_applied
+    }
+
+    /// Reports rejected by input screening (non-finite motions,
+    /// duplicate ids in one batch, timestamps outside the horizon),
+    /// counted by the batch ingest path instead of asserting.
+    pub fn rejected_updates(&self) -> u64 {
+        self.rejected_updates
+    }
+
+    /// Adds `n` to the rejected-reports counter (called by the batch
+    /// ingest path after screening).
+    pub fn note_rejected(&mut self, n: u64) {
+        self.rejected_updates += n;
     }
 
     /// Cumulative cache-miss counters of the classification cache.
@@ -459,8 +498,20 @@ impl<I: RangeIndex> FrEngine<I> {
     /// # Panics
     ///
     /// Panics when `q.q_t` is outside the current horizon window or the
-    /// histogram grid is too coarse for `q.l` (cell edge must be ≤ l/2).
+    /// histogram grid is too coarse for `q.l` (cell edge must be ≤ l/2),
+    /// and on storage faults — callers that want to handle faults use
+    /// [`try_query`](FrEngine::try_query).
     pub fn query(&self, q: &PdrQuery) -> FrAnswer {
+        self.try_query(q)
+            .unwrap_or_else(|e| panic!("unhandled storage fault: {e}"))
+    }
+
+    /// Fallible [`query`](FrEngine::query): refinement range queries go
+    /// through the index's fallible read path, so an injected or real
+    /// storage fault surfaces as a typed [`StorageError`] instead of a
+    /// panic. The filter step never touches the disk (the histogram is
+    /// in memory), so errors can only originate in refinement.
+    pub fn try_query(&self, q: &PdrQuery) -> Result<FrAnswer, StorageError> {
         let _qt = self.obs.query_time.timer(self.obs.enabled);
         let start = Instant::now();
         let grid = self.histogram.grid();
@@ -480,11 +531,11 @@ impl<I: RangeIndex> FrEngine<I> {
         let workers = self.worker_count(candidates.len());
         let obs = self.obs.enabled.then_some(&self.obs);
         let (rects, objects_retrieved, io) = if workers <= 1 {
-            refine_chunk(&self.tree, grid, &candidates, q, threshold, obs)
+            refine_chunk(&self.tree, grid, &candidates, q, threshold, obs)?
         } else {
             let chunk_len = candidates.len().div_ceil(workers);
             let tree = &self.tree;
-            let per_chunk: Vec<(Vec<Rect>, usize, IoStats)> = std::thread::scope(|s| {
+            let per_chunk: Vec<RefineResult> = std::thread::scope(|s| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk_len)
                     .map(|chunk| {
@@ -499,7 +550,8 @@ impl<I: RangeIndex> FrEngine<I> {
             let mut rects = Vec::new();
             let mut retrieved = 0usize;
             let mut io = IoStats::default();
-            for (r, n, i) in per_chunk {
+            for chunk in per_chunk {
+                let (r, n, i) = chunk?;
                 rects.extend(r);
                 retrieved += n;
                 io += i;
@@ -520,13 +572,34 @@ impl<I: RangeIndex> FrEngine<I> {
             self.obs.candidate_cells.add(cls.candidate_count() as u64);
             self.obs.objects_retrieved.add(objects_retrieved as u64);
         }
-        FrAnswer {
+        Ok(FrAnswer {
             regions,
             accepts: cls.accept_count(),
             rejects: cls.reject_count(),
             candidates: cls.candidate_count(),
             objects_retrieved,
             io,
+            cpu: start.elapsed(),
+        })
+    }
+
+    /// Filter-only degraded answer for `q`: the optimistic DH answer
+    /// (accept ∪ candidate cells, coalesced) computed purely from the
+    /// in-memory histogram. Never touches the index, so it succeeds even
+    /// when the storage plane is persistently failing. The answer is a
+    /// superset of the exact one (no false negatives) but may include
+    /// candidate cells that refinement would have trimmed.
+    pub fn degraded_query(&self, q: &PdrQuery) -> FrAnswer {
+        let start = Instant::now();
+        let cls = self.cached_classification(q);
+        let regions = dh_optimistic(&cls);
+        FrAnswer {
+            regions,
+            accepts: cls.accept_count(),
+            rejects: cls.reject_count(),
+            candidates: cls.candidate_count(),
+            objects_retrieved: 0,
+            io: IoStats::default(),
             cpu: start.elapsed(),
         }
     }
@@ -563,6 +636,103 @@ impl<I: RangeIndex> FrEngine<I> {
         out.coalesce();
         out
     }
+
+    /// Serializes the engine's durable state into a sealed, checksummed
+    /// checkpoint: the density histogram, the horizon anchor, the
+    /// update counters, and the motion table *exactly as the index
+    /// received it* (unrebased reports), so
+    /// [`restore_from_bytes`](FrEngine::restore_from_bytes) rebuilds
+    /// bit-identical leaf entries and therefore bit-identical answers.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"FRCK");
+        w.put_u16(1);
+        w.put_u64(self.t_start);
+        w.put_u64(self.updates_applied);
+        w.put_u64(self.missed_deletes);
+        w.put_u64(self.rejected_updates);
+        let mut motions: Vec<(ObjectId, MotionState)> =
+            self.motions.iter().map(|(id, m)| (*id, *m)).collect();
+        motions.sort_unstable_by_key(|(id, _)| *id);
+        w.put_u64(motions.len() as u64);
+        for (id, m) in &motions {
+            w.put_u64(id.0);
+            w.put_f64(m.origin.x);
+            w.put_f64(m.origin.y);
+            w.put_f64(m.velocity.x);
+            w.put_f64(m.velocity.y);
+            w.put_u64(m.t_ref);
+        }
+        // Histogram bytes go last: they are self-delimiting via their
+        // own header, so the reader just hands over the remainder.
+        w.put_bytes(&self.histogram.serialize());
+        seal_checkpoint(&w.into_bytes())
+    }
+
+    /// Restores the engine in place from [`checkpoint_bytes`]
+    /// (FrEngine::checkpoint_bytes) output: the histogram is swapped
+    /// in, the refinement index is reset onto a *fresh* simulated
+    /// device (discarding any fault plan along with the failed one) and
+    /// re-loaded from the checkpointed motion table, and the
+    /// classification cache is dropped. Afterwards every query answer
+    /// is bit-identical to the pre-crash engine's.
+    pub fn restore_from_bytes(&mut self, bytes: &[u8]) -> Result<(), RecoverError> {
+        let payload = open_checkpoint(bytes)?;
+        let mut r = ByteReader::new(payload);
+        r.expect_magic(b"FRCK")?;
+        if r.get_u16()? != 1 {
+            return Err(RecoverError::Unsupported);
+        }
+        let t_start = r.get_u64()?;
+        let updates_applied = r.get_u64()?;
+        let missed_deletes = r.get_u64()?;
+        let rejected_updates = r.get_u64()?;
+        let count = r.get_u64()? as usize;
+        let mut motions: Vec<(ObjectId, MotionState)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = ObjectId(r.get_u64()?);
+            let origin = Point::new(r.get_f64()?, r.get_f64()?);
+            let velocity = Point::new(r.get_f64()?, r.get_f64()?);
+            let t_ref = r.get_u64()?;
+            let m = MotionState::try_new(id, origin, velocity, t_ref)
+                .map_err(|_| RecoverError::Mismatch("non-finite motion in checkpoint"))?;
+            motions.push((id, m));
+        }
+        let hist_bytes = &payload[payload.len() - r.remaining()..];
+        let histogram = DensityHistogram::deserialize(hist_bytes)?;
+        if histogram.grid().cells_per_side() != self.cfg.m {
+            return Err(RecoverError::Mismatch(
+                "histogram grid disagrees with config",
+            ));
+        }
+        if histogram.horizon() != self.cfg.horizon {
+            return Err(RecoverError::Mismatch(
+                "histogram horizon disagrees with config",
+            ));
+        }
+        self.tree.reset(t_start);
+        self.tree.load(&motions, histogram.t_base());
+        self.histogram = histogram;
+        self.motions = motions.into_iter().collect();
+        self.t_start = t_start;
+        self.updates_applied = updates_applied;
+        self.missed_deletes = missed_deletes;
+        self.rejected_updates = rejected_updates;
+        self.cache = RwLock::new(ClassificationCache::new());
+        Ok(())
+    }
+
+    /// Installs a fault-injection plan beneath the refinement index's
+    /// storage (filter-step answers are in-memory and never fault).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.tree.set_fault_plan(plan);
+    }
+
+    /// Injected-fault / checksum-failure counters of the refinement
+    /// index's storage plane.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.tree.fault_stats()
+    }
 }
 
 /// How many snapshots an interval query buffers before folding them
@@ -573,6 +743,10 @@ pub const INTERVAL_COALESCE_EVERY: u32 = 4;
 
 /// Refines one contiguous chunk of candidate cells: per cell, a range
 /// query over the `l/2`-inflated cell followed by the plane sweep.
+/// One refinement chunk's yield: dense rectangles, objects retrieved,
+/// and the chunk's own I/O — or the storage fault that aborted it.
+type RefineResult = Result<(Vec<Rect>, usize, IoStats), StorageError>;
+
 /// Self-contained per chunk (own I/O collector, own rectangle list) so
 /// chunks can run on separate threads and still merge deterministically.
 /// When `obs` is set, each cell's range query and plane sweep record
@@ -584,7 +758,7 @@ fn refine_chunk<I: RangeIndex>(
     q: &PdrQuery,
     threshold: DenseThreshold,
     obs: Option<&FrObs>,
-) -> (Vec<Rect>, usize, IoStats) {
+) -> RefineResult {
     let mut rects = Vec::new();
     let mut retrieved = 0usize;
     let mut io = IoStats::default();
@@ -593,14 +767,14 @@ fn refine_chunk<I: RangeIndex>(
         let s = target.inflate(q.l / 2.0);
         let hits = {
             let _t = obs.map(|o| o.range_time.timer(true));
-            tree.range_at_collect(&s, q.q_t, &mut io)
+            tree.try_range_at_collect(&s, q.q_t, &mut io)?
         };
         retrieved += hits.len();
         let _t = obs.map(|o| o.sweep_time.timer(true));
         let positions: Vec<Point> = hits.into_iter().map(|(_, p)| p).collect();
         rects.extend(refine_region(&target, positions, threshold, q.l));
     }
-    (rects, retrieved, io)
+    Ok((rects, retrieved, io))
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 
 use pdr_geometry::{Point, Rect};
 use pdr_mobject::{MotionState, ObjectId, Timestamp};
-use pdr_storage::IoStats;
+use pdr_storage::{FaultPlan, FaultStats, IoStats, StorageError};
 
 /// A disk-backed index over moving objects supporting predictive range
 /// queries, as required by the FR refinement step.
@@ -39,11 +39,42 @@ pub trait RangeIndex: Sync {
         io: &mut IoStats,
     ) -> Vec<(ObjectId, Point)>;
 
+    /// Fallible [`range_at_collect`](RangeIndex::range_at_collect):
+    /// surfaces storage faults as a typed [`StorageError`] instead of
+    /// panicking. The default wraps the infallible path, which is
+    /// correct for backends that cannot fail.
+    fn try_range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Result<Vec<(ObjectId, Point)>, StorageError> {
+        Ok(self.range_at_collect(rect, t, io))
+    }
+
     /// [`range_at_collect`](RangeIndex::range_at_collect) without a
     /// collector, for callers that only need the global counters.
     fn range_at(&self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
         let mut io = IoStats::default();
         self.range_at_collect(rect, t, &mut io)
+    }
+
+    /// Discards all contents and backing storage, re-anchoring the
+    /// empty index at `t_ref` — crash recovery resets the index onto a
+    /// fresh simulated device before re-loading the checkpointed
+    /// population. Any installed fault plan is discarded too.
+    fn reset(&mut self, t_ref: Timestamp);
+
+    /// Installs a fault-injection plan beneath the index's storage.
+    /// The default is a no-op for backends without a storage plane.
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        let _ = plan;
+    }
+
+    /// Counters of injected faults and detected checksum failures on
+    /// the index's storage. The default reports all zeros.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
     }
 
     /// Loads an initial population into an empty index. The default
@@ -87,6 +118,15 @@ impl RangeIndex for pdr_tprtree::TprTree {
         pdr_tprtree::TprTree::range_at_collect(self, rect, t, io)
     }
 
+    fn try_range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Result<Vec<(ObjectId, Point)>, StorageError> {
+        pdr_tprtree::TprTree::try_range_at_collect(self, rect, t, io)
+    }
+
     fn load(&mut self, objects: &[(ObjectId, MotionState)], _t_now: Timestamp) {
         // STR bulk loading packs ~70 % full, leaving update headroom.
         self.bulk_load(objects, 0.7);
@@ -102,6 +142,18 @@ impl RangeIndex for pdr_tprtree::TprTree {
 
     fn reset_io_stats(&self) {
         pdr_tprtree::TprTree::reset_io_stats(self);
+    }
+
+    fn reset(&mut self, t_ref: Timestamp) {
+        pdr_tprtree::TprTree::reset(self, t_ref);
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        pdr_tprtree::TprTree::set_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        pdr_tprtree::TprTree::fault_stats(self)
     }
 }
 
@@ -123,6 +175,15 @@ impl RangeIndex for pdr_gridindex::GridIndex {
         pdr_gridindex::GridIndex::range_at_collect(self, rect, t, io)
     }
 
+    fn try_range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Result<Vec<(ObjectId, Point)>, StorageError> {
+        pdr_gridindex::GridIndex::try_range_at_collect(self, rect, t, io)
+    }
+
     fn len(&self) -> usize {
         pdr_gridindex::GridIndex::len(self)
     }
@@ -133,6 +194,18 @@ impl RangeIndex for pdr_gridindex::GridIndex {
 
     fn reset_io_stats(&self) {
         pdr_gridindex::GridIndex::reset_io_stats(self);
+    }
+
+    fn reset(&mut self, t_ref: Timestamp) {
+        pdr_gridindex::GridIndex::reset(self, t_ref);
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        pdr_gridindex::GridIndex::set_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        pdr_gridindex::GridIndex::fault_stats(self)
     }
 }
 

@@ -75,6 +75,7 @@ pub mod obs;
 mod pa;
 mod query;
 mod sweep;
+mod wal;
 
 pub use dh_answers::{dh_optimistic, dh_pessimistic};
 pub use engine::{
@@ -90,3 +91,11 @@ pub use obs::{Counter, Histogram, HistogramSnapshot, ObsReport, StageTimer};
 pub use pa::{PaAnswer, PaConfig, PaEngine};
 pub use query::{DenseThreshold, PdrQuery};
 pub use sweep::{refine_region, refine_region_set};
+pub use wal::{
+    open_checkpoint, record_boundaries, replay, seal_checkpoint, RecoverError, Wal, WalRecord,
+    WalReplay,
+};
+
+// Fault-injection surface of the storage plane, re-exported so engine
+// users need not depend on `pdr-storage` directly.
+pub use pdr_storage::{FaultPlan, FaultPlanError, FaultStats, StorageError};

@@ -51,7 +51,7 @@ impl PaObs {
 /// Unlike FR, the approximate method fixes the neighborhood edge `l` at
 /// construction time: the maintained surface *is* the density for that
 /// `l` (the paper justifies this with PA's much lower query cost).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PaConfig {
     /// Side length `L` of the monitored square region.
     pub extent: f64,
@@ -138,6 +138,7 @@ pub struct PaEngine {
     t_base: Timestamp,
     grids: Vec<PolyGrid>,
     updates_applied: u64,
+    rejected_updates: u64,
     live: i64,
     obs: PaObs,
 }
@@ -154,6 +155,7 @@ impl PaEngine {
             t_base: t_start,
             grids,
             updates_applied: 0,
+            rejected_updates: 0,
             live: 0,
             obs: PaObs::on(),
         }
@@ -397,6 +399,7 @@ impl PaEngine {
             t_base,
             grids,
             updates_applied: 0,
+            rejected_updates: 0,
             live: 0,
             obs: PaObs::on(),
         })
@@ -406,6 +409,17 @@ impl PaEngine {
     /// counters, like the histogram epoch, are not checkpointed).
     pub fn updates_applied(&self) -> u64 {
         self.updates_applied
+    }
+
+    /// Reports rejected by input screening (see
+    /// [`pdr_mobject::screen_batch`]), counted by the batch ingest path.
+    pub fn rejected_updates(&self) -> u64 {
+        self.rejected_updates
+    }
+
+    /// Adds `n` to the rejected-reports counter.
+    pub fn note_rejected(&mut self, n: u64) {
+        self.rejected_updates += n;
     }
 
     /// Net live objects implied by the update stream (inserts minus

@@ -3,7 +3,7 @@
 use crate::page::{MotionRecord, RecordPage};
 use pdr_geometry::{GridSpec, Point, Rect};
 use pdr_mobject::{MotionState, ObjectId, Timestamp};
-use pdr_storage::{BufferPool, Disk, IoStats, PageId};
+use pdr_storage::{BufferPool, Disk, FaultPlan, FaultStats, IoStats, PageId, StorageError};
 use std::collections::HashMap;
 
 /// Configuration of a [`GridIndex`].
@@ -75,6 +75,7 @@ impl Bucket {
 /// classic trade-off of partition-based moving-object indexes.
 pub struct GridIndex {
     pool: BufferPool,
+    cfg: GridIndexConfig,
     spec: GridSpec,
     t_ref: Timestamp,
     buckets: Vec<Bucket>,
@@ -90,6 +91,7 @@ impl GridIndex {
         let spec = GridSpec::unit_origin(cfg.extent, cfg.buckets_per_side);
         GridIndex {
             pool: BufferPool::new(Disk::new(), cfg.buffer_pages),
+            cfg,
             spec,
             t_ref,
             buckets: vec![Bucket::empty(); spec.cell_count()],
@@ -273,6 +275,20 @@ impl GridIndex {
         t: Timestamp,
         io: &mut IoStats,
     ) -> Vec<(ObjectId, Point)> {
+        self.try_range_at_collect(rect, t, io)
+            .unwrap_or_else(|e| panic!("unhandled storage fault: {e}"))
+    }
+
+    /// Fallible [`range_at_collect`](GridIndex::range_at_collect):
+    /// returns the typed [`StorageError`] when a page read fails or
+    /// fails checksum verification (only possible when a [`FaultPlan`]
+    /// is installed on the pool), instead of panicking.
+    pub fn try_range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Result<Vec<(ObjectId, Point)>, StorageError> {
         let dt = self.dt(t);
         let mut out = Vec::new();
         for cell in self.spec.all_cells() {
@@ -285,7 +301,9 @@ impl GridIndex {
             }
             let mut cur = self.buckets[idx].head;
             while let Some(page) = cur {
-                let node = self.pool.read_page_tracked(page, io, RecordPage::decode);
+                let node = self
+                    .pool
+                    .try_read_page_tracked(page, io, RecordPage::decode)?;
                 for r in &node.records {
                     let p = r.position_at(dt);
                     if rect.contains(p) {
@@ -295,7 +313,26 @@ impl GridIndex {
                 cur = node.next;
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Discards all contents and storage, re-anchoring the empty index
+    /// at `t_ref` on a fresh simulated device (recovery rebuilds it
+    /// from checkpointed motions). Any installed fault plan is
+    /// discarded with the device.
+    pub fn reset(&mut self, t_ref: Timestamp) {
+        *self = GridIndex::new(self.cfg, t_ref);
+    }
+
+    /// Installs a [`FaultPlan`] on the index's buffer pool.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.pool.set_fault_plan(plan);
+    }
+
+    /// Counters of injected faults / detected checksum failures on the
+    /// index's storage.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.pool.fault_stats()
     }
 
     /// Recomputes every bucket's velocity bounds from its residents.

@@ -25,8 +25,10 @@ mod motion;
 mod table;
 mod time;
 mod update;
+mod validate;
 
 pub use motion::{MotionState, MovingObject, ObjectId};
 pub use table::{ObjectTable, ReportUpdates};
 pub use time::{TimeHorizon, Timestamp};
 pub use update::{Update, UpdateKind};
+pub use validate::{screen_batch, screen_update, ReportError};

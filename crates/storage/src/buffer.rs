@@ -1,5 +1,6 @@
 //! Fixed-capacity LRU buffer pool with miss accounting.
 
+use crate::fault::{FaultPlan, FaultStats, StorageError};
 use crate::lru::LruList;
 use crate::{Disk, PageId, PAGE_SIZE};
 use std::collections::HashMap;
@@ -129,7 +130,15 @@ impl BufferPool {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
-        self.inner.lock().expect("buffer pool poisoned")
+        // Recover the guard on poisoning: the pool state is a plain LRU
+        // cache over an in-memory disk, every mutation of which
+        // (counter bumps, list relinks, whole-page copies) leaves it
+        // structurally valid, so a panic in *another* thread — e.g. a
+        // caller's closure panicking inside `read_page` — must not
+        // wedge every subsequent query on this pool.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Pool capacity in pages.
@@ -168,10 +177,32 @@ impl BufferPool {
     }
 
     /// Reads `page` through the cache and hands the bytes to `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a storage fault. Faults only exist when a
+    /// [`FaultPlan`] is installed; fault-aware callers use
+    /// [`try_read_page`](BufferPool::try_read_page).
     pub fn read_page<R>(&self, page: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> R {
+        self.try_read_page(page, f)
+            .unwrap_or_else(|e| panic!("unhandled storage fault: {e}"))
+    }
+
+    /// Fallible [`read_page`](BufferPool::read_page): returns the
+    /// typed [`StorageError`] instead of panicking when the physical
+    /// read fails, the page fails checksum verification, or a dirty
+    /// eviction's write-back fails. On error the pool is unchanged
+    /// apart from its counters (the evicted-candidate frame stays
+    /// resident and dirty), so a transient fault can simply be
+    /// retried.
+    pub fn try_read_page<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
         let mut inner = self.lock();
-        let slot = inner.fault_in(page, /*load=*/ true, None);
-        f(&inner.frames[slot].data)
+        let slot = inner.fault_in(page, /*load=*/ true, None)?;
+        Ok(f(&inner.frames[slot].data))
     }
 
     /// Like [`read_page`](BufferPool::read_page), additionally adding
@@ -185,40 +216,119 @@ impl BufferPool {
         io: &mut IoStats,
         f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
     ) -> R {
+        self.try_read_page_tracked(page, io, f)
+            .unwrap_or_else(|e| panic!("unhandled storage fault: {e}"))
+    }
+
+    /// Fallible [`read_page_tracked`](BufferPool::read_page_tracked).
+    /// The access's counters are attributed to `io` even when the
+    /// access fails (the attempt was real I/O traffic).
+    pub fn try_read_page_tracked<R>(
+        &self,
+        page: PageId,
+        io: &mut IoStats,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
         let mut inner = self.lock();
-        let slot = inner.fault_in(page, /*load=*/ true, Some(io));
-        f(&inner.frames[slot].data)
+        let slot = inner.fault_in(page, /*load=*/ true, Some(io))?;
+        Ok(f(&inner.frames[slot].data))
     }
 
     /// Gives `f` mutable access to `page` through the cache and marks
     /// the frame dirty. The previous contents are loaded first, so
     /// read-modify-write is safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a storage fault; see
+    /// [`try_write_page`](BufferPool::try_write_page).
     pub fn write_page<R>(&self, page: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> R {
+        self.try_write_page(page, f)
+            .unwrap_or_else(|e| panic!("unhandled storage fault: {e}"))
+    }
+
+    /// Fallible [`write_page`](BufferPool::write_page). Note that with
+    /// write-back caching the *disk* write of this page happens later
+    /// (at eviction or [`try_flush_all`](BufferPool::try_flush_all));
+    /// the errors surfaced here come from faulting the page in.
+    pub fn try_write_page<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
         let mut inner = self.lock();
-        let slot = inner.fault_in(page, /*load=*/ true, None);
+        let slot = inner.fault_in(page, /*load=*/ true, None)?;
         inner.frames[slot].dirty = true;
-        f(&mut inner.frames[slot].data)
+        Ok(f(&mut inner.frames[slot].data))
     }
 
     /// Like [`write_page`](BufferPool::write_page) but for a page whose
     /// previous contents are irrelevant (fresh allocation): the frame is
     /// zeroed instead of read, so no miss is charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a storage fault; see
+    /// [`try_overwrite_page`](BufferPool::try_overwrite_page).
     pub fn overwrite_page<R>(&self, page: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> R {
+        self.try_overwrite_page(page, f)
+            .unwrap_or_else(|e| panic!("unhandled storage fault: {e}"))
+    }
+
+    /// Fallible [`overwrite_page`](BufferPool::overwrite_page): the
+    /// only possible error is a failed write-back while evicting a
+    /// dirty victim to make room.
+    pub fn try_overwrite_page<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
         let mut inner = self.lock();
-        let slot = inner.fault_in(page, /*load=*/ false, None);
+        let slot = inner.fault_in(page, /*load=*/ false, None)?;
         inner.frames[slot].dirty = true;
-        f(&mut inner.frames[slot].data)
+        Ok(f(&mut inner.frames[slot].data))
     }
 
     /// Writes every dirty frame back to disk (without evicting).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a storage fault; see
+    /// [`try_flush_all`](BufferPool::try_flush_all).
     pub fn flush_all(&self) {
+        self.try_flush_all()
+            .unwrap_or_else(|e| panic!("unhandled storage fault: {e}"))
+    }
+
+    /// Fallible [`flush_all`](BufferPool::flush_all): stops at the
+    /// first write failure, leaving that frame (and any not yet
+    /// reached) dirty so a retry flushes exactly the remainder.
+    pub fn try_flush_all(&self) -> Result<(), StorageError> {
         let inner = &mut *self.lock();
         for frame in &mut inner.frames {
             if frame.dirty {
-                inner.disk.write(frame.page, &frame.data);
+                inner.disk.try_write(frame.page, &frame.data)?;
                 frame.dirty = false;
             }
         }
+        Ok(())
+    }
+
+    /// Installs a [`FaultPlan`] on the underlying disk; subsequent
+    /// physical reads and writes consult it.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.lock().disk.set_fault_plan(plan);
+    }
+
+    /// Removes any installed fault plan (the device behaves cleanly
+    /// again; counters are kept).
+    pub fn clear_fault_plan(&self) {
+        self.lock().disk.clear_fault_plan();
+    }
+
+    /// Counters of injected faults and detected checksum failures.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.lock().disk.fault_stats()
     }
 
     /// Number of distinct pages currently resident.
@@ -244,9 +354,14 @@ impl PoolInner {
     /// (fresh page about to be fully overwritten). When `track` is
     /// given, the counters charged for this access are also added to
     /// it.
-    fn fault_in(&mut self, page: PageId, load: bool, track: Option<&mut IoStats>) -> usize {
+    fn fault_in(
+        &mut self,
+        page: PageId,
+        load: bool,
+        track: Option<&mut IoStats>,
+    ) -> Result<usize, StorageError> {
         let before = self.stats;
-        let slot = self.fault_in_untracked(page, load);
+        let result = self.fault_in_untracked(page, load);
         if let Some(io) = track {
             let after = self.stats;
             io.logical_reads += after.logical_reads - before.logical_reads;
@@ -254,21 +369,29 @@ impl PoolInner {
             io.evictions += after.evictions - before.evictions;
             io.writebacks += after.writebacks - before.writebacks;
         }
-        slot
+        result
     }
 
-    fn fault_in_untracked(&mut self, page: PageId, load: bool) -> usize {
+    fn fault_in_untracked(&mut self, page: PageId, load: bool) -> Result<usize, StorageError> {
         self.stats.logical_reads += 1;
         if let Some(&slot) = self.map.get(&page) {
             self.lru.touch(slot);
-            return slot;
+            return Ok(slot);
         }
         if load {
             self.stats.misses += 1;
         }
-        let slot = self.acquire_slot();
+        let slot = self.acquire_slot()?;
         if load {
-            self.frames[slot].data.copy_from_slice(self.disk.read(page));
+            match self.disk.try_read(page) {
+                Ok(data) => self.frames[slot].data.copy_from_slice(data),
+                Err(e) => {
+                    // Return the vacated slot so it is not leaked; the
+                    // miss stays counted (the attempt hit the device).
+                    self.free_slots.push(slot);
+                    return Err(e);
+                }
+            }
         } else {
             self.frames[slot].data.fill(0);
         }
@@ -276,14 +399,17 @@ impl PoolInner {
         self.frames[slot].dirty = false;
         self.map.insert(page, slot);
         self.lru.push_front(slot);
-        slot
+        Ok(slot)
     }
 
     /// Finds a frame slot: reuse a vacated slot, grow up to capacity, or
-    /// evict the LRU frame (writing it back when dirty).
-    fn acquire_slot(&mut self) -> usize {
+    /// evict the LRU frame (writing it back when dirty). When the
+    /// victim's write-back fails, the victim is kept resident (re-linked
+    /// most-recent, still dirty) and the error is propagated — a retry
+    /// will pick a different victim or, for a transient fault, succeed.
+    fn acquire_slot(&mut self) -> Result<usize, StorageError> {
         if let Some(slot) = self.free_slots.pop() {
-            return slot;
+            return Ok(slot);
         }
         if self.frames.len() < self.capacity {
             self.frames.push(Frame {
@@ -291,18 +417,26 @@ impl PoolInner {
                 dirty: false,
                 data: Box::new([0u8; PAGE_SIZE]),
             });
-            return self.frames.len() - 1;
+            return Ok(self.frames.len() - 1);
         }
         let victim = self.lru.pop_back().expect("pool full but LRU empty");
-        self.stats.evictions += 1;
         let frame = &mut self.frames[victim];
         if frame.dirty {
-            self.stats.writebacks += 1;
-            self.disk.write(frame.page, &frame.data);
-            frame.dirty = false;
+            match self.disk.try_write(frame.page, &frame.data) {
+                Ok(()) => {
+                    self.stats.writebacks += 1;
+                    frame.dirty = false;
+                }
+                Err(e) => {
+                    self.lru.push_front(victim);
+                    return Err(e);
+                }
+            }
         }
-        self.map.remove(&frame.page);
-        victim
+        self.stats.evictions += 1;
+        let page = self.frames[victim].page;
+        self.map.remove(&page);
+        Ok(victim)
     }
 }
 
@@ -448,6 +582,88 @@ mod tests {
         assert_eq!(sum.misses, 3);
         assert_eq!(sum.evictions, 1);
         assert_eq!(sum.writebacks, 1);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_caller_closure() {
+        // Regression: a panic while holding the pool lock used to
+        // poison the mutex and wedge every subsequent query.
+        let p = pool(2);
+        let a = p.allocate_page();
+        p.write_page(a, |bytes| bytes[0] = 5);
+        let result =
+            std::thread::scope(|s| s.spawn(|| p.read_page(a, |_| panic!("caller bug"))).join());
+        assert!(
+            result.is_err(),
+            "the closure's panic propagates to its thread"
+        );
+        // The pool still serves reads and its state is intact.
+        assert_eq!(p.read_page(a, |bytes| bytes[0]), 5);
+        p.flush_all();
+        assert_eq!(p.with_disk(|d| d.read(a)[0]), 5);
+    }
+
+    #[test]
+    fn transient_read_fault_surfaces_then_retry_succeeds() {
+        use crate::FaultPlan;
+        let p = pool(2);
+        let a = p.allocate_page();
+        p.write_page(a, |bytes| bytes[0] = 3);
+        p.flush_all();
+        // Drop the frame so the next read is a physical miss.
+        let b = p.allocate_page();
+        let c = p.allocate_page();
+        p.read_page(b, |_| ());
+        p.read_page(c, |_| ());
+        p.set_fault_plan(FaultPlan::default().with_read_fault(1, 1));
+        let mut io = IoStats::default();
+        let err = p.try_read_page_tracked(a, &mut io, |_| ()).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(io.misses, 1, "the failed attempt is still attributed");
+        assert_eq!(
+            p.try_read_page(a, |bytes| bytes[0])
+                .expect("retry succeeds"),
+            3
+        );
+        assert_eq!(p.fault_stats().read_faults, 1);
+    }
+
+    #[test]
+    fn failed_eviction_writeback_keeps_the_victim_dirty() {
+        use crate::FaultPlan;
+        let p = pool(1);
+        let a = p.allocate_page();
+        let b = p.allocate_page();
+        p.write_page(a, |bytes| bytes[0] = 9);
+        p.set_fault_plan(FaultPlan::default().with_write_fault(1, 1));
+        // Reading b must evict dirty a; the write-back fails once.
+        let err = p.try_read_page(b, |_| ()).unwrap_err();
+        assert!(matches!(err, StorageError::WriteFailed { .. }));
+        // a is still resident and dirty — nothing was lost.
+        assert_eq!(p.try_read_page(a, |bytes| bytes[0]).expect("hit"), 9);
+        // The retry succeeds (transient fault consumed).
+        p.try_read_page(b, |_| ()).expect("retry evicts cleanly");
+        p.flush_all();
+        assert_eq!(p.with_disk(|d| d.read(a)[0]), 9);
+    }
+
+    #[test]
+    fn torn_writeback_is_caught_on_the_next_physical_read() {
+        use crate::FaultPlan;
+        let p = pool(1);
+        let a = p.allocate_page();
+        let b = p.allocate_page();
+        p.write_page(a, |bytes| bytes[PAGE_SIZE - 1] = 0xEE);
+        p.set_fault_plan(FaultPlan::default().with_torn_write(1, None));
+        // Evicting a tears its write-back, silently.
+        p.try_read_page(b, |_| ())
+            .expect("torn write-back looks clean");
+        assert_eq!(p.fault_stats().torn_writes, 1);
+        // Faulting a back in detects the corruption instead of
+        // consuming the half-written page.
+        let err = p.try_read_page(a, |_| ()).unwrap_err();
+        assert!(err.is_corruption());
+        assert_eq!(p.fault_stats().crc_failures, 1);
     }
 
     #[test]

@@ -1,6 +1,15 @@
 //! The simulated raw device: an array of fixed-size pages.
 
+use crate::codec::crc32;
+use crate::fault::{FaultPlan, FaultStats, StorageError, WriteVerdict, TORN_WRITE_PREFIX};
 use std::fmt;
+use std::sync::OnceLock;
+
+/// CRC32 of an all-zero page (every fresh allocation).
+fn zero_page_crc() -> u32 {
+    static CRC: OnceLock<u32> = OnceLock::new();
+    *CRC.get_or_init(|| crc32(&[0u8; PAGE_SIZE]))
+}
 
 /// Page size in bytes (Table 1 of the paper: 4 KiB).
 pub const PAGE_SIZE: usize = 4096;
@@ -21,9 +30,22 @@ impl fmt::Debug for PageId {
 /// The disk itself does no caching and no accounting — that is the
 /// buffer pool's job — so reading straight from [`Disk`] models an
 /// uncached random access.
+///
+/// Every page carries a sidecar CRC32 checksum recorded at write time
+/// (modelling a checksum embedded in the page's first sector). The
+/// fallible paths — [`try_read`](Disk::try_read) /
+/// [`try_write`](Disk::try_write) — verify it and consult an optional
+/// [`FaultPlan`], returning a typed [`StorageError`] instead of
+/// panicking or silently consuming corrupt data.
 pub struct Disk {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Checksum of what each page *should* contain. A torn write
+    /// records the checksum of the full intended content while only a
+    /// prefix reaches the page, so the next read detects the tear.
+    crcs: Vec<u32>,
     free: Vec<PageId>,
+    plan: Option<FaultPlan>,
+    faults: FaultStats,
 }
 
 impl Disk {
@@ -31,8 +53,28 @@ impl Disk {
     pub fn new() -> Self {
         Disk {
             pages: Vec::new(),
+            crcs: Vec::new(),
             free: Vec::new(),
+            plan: None,
+            faults: FaultStats::default(),
         }
+    }
+
+    /// Installs (or replaces) the fault plan consulted by
+    /// [`try_read`](Disk::try_read) / [`try_write`](Disk::try_write).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_fault_plan(&mut self) {
+        self.plan = None;
+    }
+
+    /// Counters of faults injected (and checksum failures detected) so
+    /// far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
     }
 
     /// Number of live (allocated, not freed) pages.
@@ -50,11 +92,13 @@ impl Disk {
     pub fn allocate(&mut self) -> PageId {
         if let Some(id) = self.free.pop() {
             self.pages[id.0 as usize].fill(0);
+            self.crcs[id.0 as usize] = zero_page_crc();
             return id;
         }
         let id =
             PageId(u32::try_from(self.pages.len()).expect("simulated disk exceeded 2^32 pages"));
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.crcs.push(zero_page_crc());
         id
     }
 
@@ -89,6 +133,77 @@ impl Disk {
     /// Panics on an out-of-range id.
     pub fn write(&mut self, id: PageId, data: &[u8; PAGE_SIZE]) {
         self.pages[id.0 as usize].copy_from_slice(data);
+        self.crcs[id.0 as usize] = crc32(data);
+    }
+
+    /// Fallible read: consults the fault plan, then verifies the page
+    /// against its recorded checksum. This is the path the buffer pool
+    /// uses for every physical read.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on an out-of-range id — that is a caller bug, not
+    /// an injectable device fault.
+    pub fn try_read(&mut self, id: PageId) -> Result<&[u8; PAGE_SIZE], StorageError> {
+        assert!(
+            (id.0 as usize) < self.pages.len(),
+            "read of unallocated page {id:?}"
+        );
+        if let Some(plan) = self.plan.as_mut() {
+            if let Some(transient) = plan.check_read(id) {
+                self.faults.read_faults += 1;
+                return Err(StorageError::ReadFailed {
+                    page: id,
+                    transient,
+                });
+            }
+        }
+        let data = &self.pages[id.0 as usize];
+        if crc32(data.as_slice()) != self.crcs[id.0 as usize] {
+            self.faults.crc_failures += 1;
+            return Err(StorageError::Corrupt { page: id });
+        }
+        Ok(data)
+    }
+
+    /// Fallible write: consults the fault plan. A torn write silently
+    /// persists only the first [`TORN_WRITE_PREFIX`] bytes while
+    /// recording the checksum of the full intended content — the
+    /// damage surfaces as [`StorageError::Corrupt`] on the next
+    /// [`try_read`](Disk::try_read).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id (caller bug).
+    pub fn try_write(&mut self, id: PageId, data: &[u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        assert!(
+            (id.0 as usize) < self.pages.len(),
+            "write of unallocated page {id:?}"
+        );
+        let verdict = match self.plan.as_mut() {
+            Some(plan) => plan.check_write(id),
+            None => WriteVerdict::Ok,
+        };
+        match verdict {
+            WriteVerdict::Ok => {
+                self.write(id, data);
+                Ok(())
+            }
+            WriteVerdict::Torn => {
+                self.faults.torn_writes += 1;
+                self.pages[id.0 as usize][..TORN_WRITE_PREFIX]
+                    .copy_from_slice(&data[..TORN_WRITE_PREFIX]);
+                self.crcs[id.0 as usize] = crc32(data);
+                Ok(())
+            }
+            WriteVerdict::Fail { transient } => {
+                self.faults.write_faults += 1;
+                Err(StorageError::WriteFailed {
+                    page: id,
+                    transient,
+                })
+            }
+        }
     }
 }
 
@@ -101,6 +216,7 @@ impl Default for Disk {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultStats, StorageError};
 
     #[test]
     fn allocate_read_write_round_trip() {
@@ -138,6 +254,88 @@ mod tests {
         let a = d.allocate();
         d.free(a);
         d.free(a);
+    }
+
+    #[test]
+    fn try_read_is_clean_without_a_plan() {
+        let mut d = Disk::new();
+        let a = d.allocate();
+        let mut page = [0u8; PAGE_SIZE];
+        page[3] = 9;
+        d.try_write(a, &page).expect("write succeeds");
+        assert_eq!(d.try_read(a).expect("read succeeds")[3], 9);
+        assert_eq!(d.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn planned_read_fault_then_recovers() {
+        let mut d = Disk::new();
+        let a = d.allocate();
+        d.set_fault_plan(FaultPlan::default().with_read_fault(1, 2));
+        let err = d.try_read(a).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::ReadFailed {
+                page: a,
+                transient: true
+            }
+        );
+        assert!(err.is_transient());
+        assert!(d.try_read(a).is_err(), "burst of two");
+        assert!(d.try_read(a).is_ok(), "transient fault clears");
+        assert_eq!(d.fault_stats().read_faults, 2);
+    }
+
+    #[test]
+    fn torn_write_detected_by_crc_on_read() {
+        let mut d = Disk::new();
+        let a = d.allocate();
+        d.set_fault_plan(FaultPlan::default().with_torn_write(1, None));
+        let mut page = [0xAAu8; PAGE_SIZE];
+        page[PAGE_SIZE - 1] = 0xBB;
+        // The torn write itself reports success.
+        d.try_write(a, &page).expect("torn write is silent");
+        assert_eq!(d.fault_stats().torn_writes, 1);
+        // The tail never reached the platter; CRC catches it.
+        let err = d.try_read(a).unwrap_err();
+        assert_eq!(err, StorageError::Corrupt { page: a });
+        assert!(!err.is_transient());
+        assert!(err.is_corruption());
+        assert_eq!(d.fault_stats().crc_failures, 1);
+        // Re-writing the page (e.g. recovery) repairs it.
+        d.try_write(a, &page).expect("second write is clean");
+        assert_eq!(d.try_read(a).expect("repaired")[PAGE_SIZE - 1], 0xBB);
+    }
+
+    #[test]
+    fn write_fault_reported() {
+        let mut d = Disk::new();
+        let a = d.allocate();
+        d.set_fault_plan(FaultPlan::default().with_write_fault(1, 1));
+        let page = [1u8; PAGE_SIZE];
+        let err = d.try_write(a, &page).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::WriteFailed {
+                page: a,
+                transient: true
+            }
+        );
+        // The page is untouched by the failed write.
+        assert_eq!(d.try_read(a).expect("still readable")[0], 0);
+        d.try_write(a, &page).expect("retry succeeds");
+    }
+
+    #[test]
+    fn recycled_pages_have_a_fresh_checksum() {
+        let mut d = Disk::new();
+        let a = d.allocate();
+        let page = [7u8; PAGE_SIZE];
+        d.try_write(a, &page).expect("write");
+        d.free(a);
+        let b = d.allocate();
+        assert_eq!(a, b);
+        assert_eq!(d.try_read(b).expect("zeroed page verifies")[0], 0);
     }
 
     #[test]

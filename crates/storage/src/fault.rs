@@ -1,0 +1,658 @@
+//! Deterministic fault injection for the simulated storage plane.
+//!
+//! A [`FaultPlan`] is a declarative, seeded schedule of storage faults
+//! injected beneath the [`BufferPool`](crate::BufferPool) at the
+//! [`Disk`](crate::Disk) layer. Faults are *deterministic*: the same
+//! plan against the same I/O sequence injects the same faults, so every
+//! failure scenario in the test suite and the serve smoke is
+//! reproducible. Three kinds of faults are modelled:
+//!
+//! * **read faults** — the device refuses to return a page
+//!   ([`StorageError::ReadFailed`]), either transiently (a bounded
+//!   number of times; a retry succeeds) or permanently;
+//! * **write faults** — the device refuses a page write
+//!   ([`StorageError::WriteFailed`]);
+//! * **torn writes** — the write *appears* to succeed but only a prefix
+//!   of the page reaches the platter. The damage is silent at write
+//!   time and is detected on a later read by the per-page CRC32
+//!   checksum as [`StorageError::Corrupt`] — corruption is detected,
+//!   never consumed.
+//!
+//! Plans can be built programmatically ([`FaultPlan::new`] +
+//! [`FaultPlan::with_rule`]) or parsed from a small text format
+//! ([`FaultPlan::parse`]), one rule per line:
+//!
+//! ```text
+//! # transient: reads 5..7 (1-based) fail, retries after that succeed
+//! read nth=5 times=3
+//! # permanent: every read of page 7 fails forever
+//! read page=7 permanent
+//! # the 2nd disk write is torn (first sector only reaches disk)
+//! torn write nth=2
+//! # seeded probabilistic faults: each read fails with p=0.01,
+//! # at most 4 injections
+//! seed 42
+//! read prob=0.01 times=4
+//! ```
+
+use crate::{PageId, PAGE_SIZE};
+use std::fmt;
+
+/// Bytes of a torn write that actually reach the disk (the first
+/// "sector" of the 4 KiB page). The stored checksum covers the full
+/// intended page, so the next read detects the tear.
+pub const TORN_WRITE_PREFIX: usize = 512;
+
+/// Typed error for the fallible storage paths, replacing panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The device failed to read `page`. `transient` faults succeed
+    /// when retried; permanent ones never do.
+    ReadFailed {
+        /// Page whose read failed.
+        page: PageId,
+        /// Whether a retry can succeed.
+        transient: bool,
+    },
+    /// The device failed to write `page`.
+    WriteFailed {
+        /// Page whose write failed.
+        page: PageId,
+        /// Whether a retry can succeed.
+        transient: bool,
+    },
+    /// The page's content does not match its recorded CRC32 checksum
+    /// (e.g. after a torn write). The damage is on the platter:
+    /// retrying the read returns the same error, but restoring the
+    /// data from a checkpoint can repair it.
+    Corrupt {
+        /// Page whose checksum verification failed.
+        page: PageId,
+    },
+}
+
+impl StorageError {
+    /// `true` when simply retrying the same operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        match *self {
+            StorageError::ReadFailed { transient, .. } => transient,
+            StorageError::WriteFailed { transient, .. } => transient,
+            StorageError::Corrupt { .. } => false,
+        }
+    }
+
+    /// `true` for checksum failures, which re-writing the data (e.g.
+    /// restoring from a checkpoint) can repair — unlike a device that
+    /// permanently refuses reads.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StorageError::Corrupt { .. })
+    }
+
+    /// The page the error refers to.
+    pub fn page(&self) -> PageId {
+        match *self {
+            StorageError::ReadFailed { page, .. }
+            | StorageError::WriteFailed { page, .. }
+            | StorageError::Corrupt { page } => page,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StorageError::ReadFailed { page, transient } => {
+                let kind = if transient { "transient" } else { "permanent" };
+                write!(f, "{kind} read failure on {page:?}")
+            }
+            StorageError::WriteFailed { page, transient } => {
+                let kind = if transient { "transient" } else { "permanent" };
+                write!(f, "{kind} write failure on {page:?}")
+            }
+            StorageError::Corrupt { page } => write!(f, "checksum mismatch on {page:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Counters for faults the plan actually injected (and checksum
+/// failures the CRC layer caught), surfaced through the pool and the
+/// serve metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Read operations failed by the plan.
+    pub read_faults: u64,
+    /// Write operations failed by the plan.
+    pub write_faults: u64,
+    /// Writes silently torn by the plan.
+    pub torn_writes: u64,
+    /// Reads that failed CRC32 verification.
+    pub crc_failures: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected by the plan (checksum failures are a
+    /// *consequence* of torn writes, not an extra injection).
+    pub fn injected(&self) -> u64 {
+        self.read_faults + self.write_faults + self.torn_writes
+    }
+}
+
+impl std::ops::AddAssign for FaultStats {
+    fn add_assign(&mut self, rhs: FaultStats) {
+        self.read_faults += rhs.read_faults;
+        self.write_faults += rhs.write_faults;
+        self.torn_writes += rhs.torn_writes;
+        self.crc_failures += rhs.crc_failures;
+    }
+}
+
+/// Which operation a rule applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultOp {
+    Read,
+    Write,
+}
+
+/// How often a rule keeps firing once its trigger matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Budget {
+    /// Fires at most this many times (transient).
+    Count(u64),
+    /// Fires forever (permanent).
+    Permanent,
+}
+
+/// One declarative fault rule. Built through [`FaultPlan`] helpers or
+/// the plan-file parser.
+#[derive(Clone, Debug)]
+struct FaultRule {
+    op: FaultOp,
+    /// Restrict the rule to one page (otherwise any page matches).
+    page: Option<u32>,
+    /// Fire on the Nth matching operation (1-based) and, with a
+    /// `Count(k)` budget, on the k-1 operations after it.
+    nth: Option<u64>,
+    /// Fire on every Nth matching operation.
+    every: Option<u64>,
+    /// Fire with this probability (seeded, deterministic).
+    prob: Option<f64>,
+    /// Torn write instead of an error (write rules only).
+    torn: bool,
+    budget: Budget,
+    // --- runtime state ---
+    /// Matching operations seen so far.
+    seen: u64,
+    /// Times this rule has fired.
+    fired: u64,
+}
+
+impl FaultRule {
+    /// Decides whether the rule fires for the next matching op.
+    /// Advances `seen` and, when firing, `fired`.
+    fn check(&mut self, page: PageId, rng: &mut u64) -> bool {
+        if let Some(p) = self.page {
+            if p != page.0 {
+                return false;
+            }
+        }
+        self.seen += 1;
+        let armed = match self.budget {
+            Budget::Count(k) => self.fired < k,
+            Budget::Permanent => true,
+        };
+        if !armed {
+            return false;
+        }
+        let hit = if let Some(n) = self.nth {
+            // `times=k` extends the burst to ops n..n+k.
+            match self.budget {
+                Budget::Count(k) => self.seen >= n && self.seen < n + k,
+                Budget::Permanent => self.seen >= n,
+            }
+        } else if let Some(e) = self.every {
+            e > 0 && self.seen.is_multiple_of(e)
+        } else if let Some(p) = self.prob {
+            next_unit(rng) < p
+        } else {
+            // Bare page/op rule: every matching op.
+            true
+        };
+        if hit {
+            self.fired += 1;
+        }
+        hit
+    }
+}
+
+/// xorshift64* step returning a uniform draw in `[0, 1)`.
+fn next_unit(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A seeded, declarative schedule of storage faults. Install it on a
+/// pool with [`BufferPool::set_fault_plan`](crate::BufferPool::set_fault_plan);
+/// the [`Disk`](crate::Disk) consults it on every physical read and
+/// write.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    rng: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0x5EED_CAFE)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given probability seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            rules: Vec::new(),
+            // xorshift state must be non-zero.
+            rng: seed | 1,
+        }
+    }
+
+    /// `true` when the plan has no rules at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of rules in the plan.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Adds a transient read fault burst: matching reads number
+    /// `nth..nth+times` (1-based) fail; later reads succeed.
+    pub fn with_read_fault(mut self, nth: u64, times: u64) -> Self {
+        self.rules.push(FaultRule {
+            op: FaultOp::Read,
+            page: None,
+            nth: Some(nth),
+            every: None,
+            prob: None,
+            torn: false,
+            budget: Budget::Count(times),
+            seen: 0,
+            fired: 0,
+        });
+        self
+    }
+
+    /// Adds a permanent read fault on one page: every read of `page`
+    /// fails forever.
+    pub fn with_permanent_page_fault(mut self, page: u32) -> Self {
+        self.rules.push(FaultRule {
+            op: FaultOp::Read,
+            page: Some(page),
+            nth: None,
+            every: None,
+            prob: None,
+            torn: false,
+            budget: Budget::Permanent,
+            seen: 0,
+            fired: 0,
+        });
+        self
+    }
+
+    /// Adds a permanent read fault on *every* page: the device refuses
+    /// all physical reads from the `nth` one on.
+    pub fn with_permanent_read_fault(mut self, nth: u64) -> Self {
+        self.rules.push(FaultRule {
+            op: FaultOp::Read,
+            page: None,
+            nth: Some(nth),
+            every: None,
+            prob: None,
+            torn: false,
+            budget: Budget::Permanent,
+            seen: 0,
+            fired: 0,
+        });
+        self
+    }
+
+    /// Adds a transient write fault burst analogous to
+    /// [`with_read_fault`](Self::with_read_fault).
+    pub fn with_write_fault(mut self, nth: u64, times: u64) -> Self {
+        self.rules.push(FaultRule {
+            op: FaultOp::Write,
+            page: None,
+            nth: Some(nth),
+            every: None,
+            prob: None,
+            torn: false,
+            budget: Budget::Count(times),
+            seen: 0,
+            fired: 0,
+        });
+        self
+    }
+
+    /// Adds a torn write: the `nth` matching write (optionally
+    /// restricted to `page`) silently persists only its first
+    /// [`TORN_WRITE_PREFIX`] bytes.
+    pub fn with_torn_write(mut self, nth: u64, page: Option<u32>) -> Self {
+        self.rules.push(FaultRule {
+            op: FaultOp::Write,
+            page,
+            nth: Some(nth),
+            every: None,
+            prob: None,
+            torn: true,
+            budget: Budget::Count(1),
+            seen: 0,
+            fired: 0,
+        });
+        self
+    }
+
+    /// Parses the plan-file format: one rule per line, `#` comments and
+    /// blank lines ignored. Grammar per line:
+    ///
+    /// ```text
+    /// seed <u64>
+    /// [torn] read|write [page=<u32>] [nth=<u64>] [every=<u64>] [prob=<f64>]
+    ///        [times=<u64>] [permanent]
+    /// ```
+    ///
+    /// `times` defaults to 1; `permanent` makes the rule fire forever;
+    /// `torn` is only valid on `write` rules.
+    pub fn parse(text: &str) -> Result<FaultPlan, FaultPlanError> {
+        let mut plan = FaultPlan::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace().peekable();
+            let first = words.next().expect("non-empty line has a word");
+            if first == "seed" {
+                let v = words.next().ok_or(FaultPlanError {
+                    line: line_no,
+                    what: "seed needs a value",
+                })?;
+                let seed: u64 = v.parse().map_err(|_| FaultPlanError {
+                    line: line_no,
+                    what: "bad seed value",
+                })?;
+                plan.rng = seed | 1;
+                continue;
+            }
+            let (torn, op_word) = if first == "torn" {
+                let op = words.next().ok_or(FaultPlanError {
+                    line: line_no,
+                    what: "torn needs write",
+                })?;
+                (true, op)
+            } else {
+                (false, first)
+            };
+            let op = match op_word {
+                "read" => FaultOp::Read,
+                "write" => FaultOp::Write,
+                _ => {
+                    return Err(FaultPlanError {
+                        line: line_no,
+                        what: "expected read or write",
+                    })
+                }
+            };
+            if torn && op != FaultOp::Write {
+                return Err(FaultPlanError {
+                    line: line_no,
+                    what: "torn is write-only",
+                });
+            }
+            let mut rule = FaultRule {
+                op,
+                page: None,
+                nth: None,
+                every: None,
+                prob: None,
+                torn,
+                budget: Budget::Count(1),
+                seen: 0,
+                fired: 0,
+            };
+            for word in words {
+                if word == "permanent" {
+                    rule.budget = Budget::Permanent;
+                    continue;
+                }
+                let (key, value) = word.split_once('=').ok_or(FaultPlanError {
+                    line: line_no,
+                    what: "expected key=value",
+                })?;
+                match key {
+                    "page" => {
+                        rule.page = Some(value.parse().map_err(|_| FaultPlanError {
+                            line: line_no,
+                            what: "bad page value",
+                        })?)
+                    }
+                    "nth" => {
+                        rule.nth = Some(value.parse().map_err(|_| FaultPlanError {
+                            line: line_no,
+                            what: "bad nth value",
+                        })?)
+                    }
+                    "every" => {
+                        rule.every = Some(value.parse().map_err(|_| FaultPlanError {
+                            line: line_no,
+                            what: "bad every value",
+                        })?)
+                    }
+                    "prob" => {
+                        let p: f64 = value.parse().map_err(|_| FaultPlanError {
+                            line: line_no,
+                            what: "bad prob value",
+                        })?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(FaultPlanError {
+                                line: line_no,
+                                what: "prob outside [0, 1]",
+                            });
+                        }
+                        rule.prob = Some(p);
+                    }
+                    "times" => {
+                        if rule.budget == Budget::Permanent {
+                            return Err(FaultPlanError {
+                                line: line_no,
+                                what: "times conflicts with permanent",
+                            });
+                        }
+                        rule.budget = Budget::Count(value.parse().map_err(|_| FaultPlanError {
+                            line: line_no,
+                            what: "bad times value",
+                        })?);
+                    }
+                    _ => {
+                        return Err(FaultPlanError {
+                            line: line_no,
+                            what: "unknown key",
+                        })
+                    }
+                }
+            }
+            if torn && rule.budget == Budget::Permanent {
+                return Err(FaultPlanError {
+                    line: line_no,
+                    what: "torn cannot be permanent",
+                });
+            }
+            plan.rules.push(rule);
+        }
+        Ok(plan)
+    }
+
+    /// Consults the plan for a physical read of `page`. `Some(true)`
+    /// means a transient fault, `Some(false)` permanent.
+    pub(crate) fn check_read(&mut self, page: PageId) -> Option<bool> {
+        let mut rng = self.rng;
+        let mut verdict = None;
+        for rule in self.rules.iter_mut().filter(|r| r.op == FaultOp::Read) {
+            if rule.check(page, &mut rng) {
+                let transient = rule.budget != Budget::Permanent;
+                // Permanent verdicts dominate transient ones.
+                verdict = Some(verdict.unwrap_or(true) && transient);
+            }
+        }
+        self.rng = rng;
+        verdict
+    }
+
+    /// Consults the plan for a physical write of `page`. Returns what
+    /// should happen to the write.
+    pub(crate) fn check_write(&mut self, page: PageId) -> WriteVerdict {
+        let mut rng = self.rng;
+        let mut verdict = WriteVerdict::Ok;
+        for rule in self.rules.iter_mut().filter(|r| r.op == FaultOp::Write) {
+            if rule.check(page, &mut rng) {
+                if rule.torn {
+                    if verdict == WriteVerdict::Ok {
+                        verdict = WriteVerdict::Torn;
+                    }
+                } else {
+                    let transient = rule.budget != Budget::Permanent;
+                    verdict = match verdict {
+                        WriteVerdict::Fail { transient: t } => WriteVerdict::Fail {
+                            transient: t && transient,
+                        },
+                        _ => WriteVerdict::Fail { transient },
+                    };
+                }
+            }
+        }
+        self.rng = rng;
+        verdict
+    }
+}
+
+/// Outcome of consulting the plan for a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WriteVerdict {
+    Ok,
+    Torn,
+    Fail { transient: bool },
+}
+
+/// Parse error for the plan-file format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlanError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub what: &'static str,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Compile-time sanity: a torn prefix must fit in a page.
+const _: () = assert!(TORN_WRITE_PREFIX < PAGE_SIZE);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_burst_fires_exactly_times() {
+        let mut plan = FaultPlan::default().with_read_fault(3, 2);
+        let pg = PageId(0);
+        let hits: Vec<bool> = (0..6).map(|_| plan.check_read(pg).is_some()).collect();
+        assert_eq!(hits, [false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn permanent_page_rule_only_hits_that_page() {
+        let mut plan = FaultPlan::default().with_permanent_page_fault(7);
+        assert_eq!(plan.check_read(PageId(3)), None);
+        assert_eq!(plan.check_read(PageId(7)), Some(false), "permanent");
+        assert_eq!(plan.check_read(PageId(7)), Some(false), "still failing");
+    }
+
+    #[test]
+    fn torn_write_verdict() {
+        let mut plan = FaultPlan::default().with_torn_write(2, None);
+        assert_eq!(plan.check_write(PageId(0)), WriteVerdict::Ok);
+        assert_eq!(plan.check_write(PageId(1)), WriteVerdict::Torn);
+        assert_eq!(plan.check_write(PageId(1)), WriteVerdict::Ok, "one-shot");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let text = "\
+# a comment
+seed 99
+
+read nth=5 times=3   # trailing comment
+read page=7 permanent
+torn write nth=1
+write every=4 times=2
+read prob=0.5 times=1
+";
+        let plan = FaultPlan::parse(text).expect("plan parses");
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(FaultPlan::parse("torn read nth=1").is_err());
+        assert!(FaultPlan::parse("fail nth=1").is_err());
+        assert!(FaultPlan::parse("read nth=x").is_err());
+        assert!(FaultPlan::parse("read prob=1.5").is_err());
+        assert!(FaultPlan::parse("torn write nth=1 permanent").is_err());
+        let err = FaultPlan::parse("read nth=1\nwrite bogus").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_and_comment_only_plans_are_clean() {
+        let plan = FaultPlan::parse("# nothing\n\n").expect("parses");
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn every_rule_fires_periodically() {
+        let mut plan = FaultPlan::parse("write every=3 times=2").expect("parses");
+        let hits: Vec<bool> = (0..9)
+            .map(|_| plan.check_write(PageId(0)) != WriteVerdict::Ok)
+            .collect();
+        assert_eq!(
+            hits,
+            [false, false, true, false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn prob_rule_is_deterministic_for_a_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut plan =
+                FaultPlan::parse(&format!("seed {seed}\nread prob=0.3 times=1000")).unwrap();
+            (0..64)
+                .map(|_| plan.check_read(PageId(0)).is_some())
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+    }
+}

@@ -22,11 +22,13 @@
 mod buffer;
 mod codec;
 mod disk;
+mod fault;
 mod lru;
 
 pub use buffer::{BufferPool, IoStats};
-pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use codec::{crc32, ByteReader, ByteWriter, CodecError};
 pub use disk::{Disk, PageId, PAGE_SIZE};
+pub use fault::{FaultPlan, FaultPlanError, FaultStats, StorageError, TORN_WRITE_PREFIX};
 pub use lru::LruList;
 
 /// Converts I/O counts into the paper's time units.

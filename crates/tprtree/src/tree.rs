@@ -4,7 +4,7 @@ use crate::node::{ChildEntry, LeafEntry, Node, INTERNAL_CAPACITY, LEAF_CAPACITY}
 use crate::Tpbr;
 use pdr_geometry::{Point, Rect};
 use pdr_mobject::{MotionState, ObjectId, Timestamp};
-use pdr_storage::{BufferPool, Disk, IoStats, PageId};
+use pdr_storage::{BufferPool, Disk, FaultPlan, FaultStats, IoStats, PageId, StorageError};
 use std::collections::HashMap;
 
 /// Tuning parameters of a [`TprTree`].
@@ -147,10 +147,6 @@ impl TprTree {
 
     fn read_node(&self, page: PageId) -> Node {
         self.pool.read_page(page, Node::decode)
-    }
-
-    fn read_node_tracked(&self, page: PageId, io: &mut IoStats) -> Node {
-        self.pool.read_page_tracked(page, io, Node::decode)
     }
 
     fn write_node(&mut self, page: PageId, node: &Node) {
@@ -461,11 +457,25 @@ impl TprTree {
         t: Timestamp,
         io: &mut IoStats,
     ) -> Vec<(ObjectId, Point)> {
+        self.try_range_at_collect(rect, t, io)
+            .unwrap_or_else(|e| panic!("unhandled storage fault: {e}"))
+    }
+
+    /// Fallible [`range_at_collect`](TprTree::range_at_collect):
+    /// returns the typed [`StorageError`] when a node read fails or a
+    /// page fails checksum verification (only possible when a
+    /// [`FaultPlan`] is installed on the pool), instead of panicking.
+    pub fn try_range_at_collect(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+    ) -> Result<Vec<(ObjectId, Point)>, StorageError> {
         let dt = self.dt(t);
         let mut out = Vec::new();
         let mut stack = vec![(self.root, self.height)];
         while let Some((page, level)) = stack.pop() {
-            match self.read_node_tracked(page, io) {
+            match self.pool.try_read_page_tracked(page, io, Node::decode)? {
                 Node::Leaf(entries) => {
                     debug_assert_eq!(level, 1);
                     for e in entries {
@@ -484,7 +494,26 @@ impl TprTree {
                 }
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Discards all contents and storage, re-anchoring the empty tree
+    /// at `t_ref` on a fresh simulated device (recovery rebuilds the
+    /// index from checkpointed motions). Any installed fault plan is
+    /// discarded with the device.
+    pub fn reset(&mut self, t_ref: Timestamp) {
+        *self = TprTree::new(self.cfg, t_ref);
+    }
+
+    /// Installs a [`FaultPlan`] on the tree's buffer pool.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.pool.set_fault_plan(plan);
+    }
+
+    /// Counters of injected faults / detected checksum failures on the
+    /// tree's storage.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.pool.fault_stats()
     }
 
     /// Extrapolated position of one object at `t`, if indexed.

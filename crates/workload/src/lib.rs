@@ -33,6 +33,6 @@ mod simulator;
 pub use network::{NetworkConfig, RoadNetwork};
 pub use queries::{query_workload, QuerySpec};
 pub use rng::StdRng;
-pub use serve::{EngineLoad, QueryMix, ServeDriver, ServeReport};
+pub use serve::{EngineLoad, FaultPolicy, QueryMix, ServeDriver, ServeReport};
 pub use simple::{gaussian_clusters, uniform_population};
 pub use simulator::{DatasetSpec, TrafficSimulator};

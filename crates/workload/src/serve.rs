@@ -23,11 +23,14 @@
 use crate::simulator::TrafficSimulator;
 use crate::QuerySpec;
 use pdr_core::obs::{json_f64, Histogram, HistogramSnapshot, ObsReport};
-use pdr_core::{accuracy, exact_dense_regions, DensityEngine, EngineStats, PdrQuery};
+use pdr_core::{
+    accuracy, exact_dense_regions, replay, DensityEngine, EngineAnswer, EngineStats, PdrQuery, Wal,
+    WalRecord,
+};
 use pdr_geometry::{Rect, RegionSet};
 use pdr_mobject::Timestamp;
-use pdr_storage::{CostModel, IoStats};
-use std::time::Instant;
+use pdr_storage::{CostModel, FaultPlan, FaultStats, IoStats};
+use std::time::{Duration, Instant};
 
 /// The query side of a serve run: which queries to execute, how many
 /// per tick, and whether to score answers against ground truth.
@@ -73,6 +76,40 @@ impl QueryMix {
     }
 }
 
+/// How the serve loop reacts to storage faults: bounded retry with
+/// seeded jittered backoff for transient faults, checkpoint+WAL
+/// recovery for detected corruption, graceful degradation otherwise,
+/// all under an optional per-query deadline.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPolicy {
+    /// Query attempts before giving up on transient faults (counting
+    /// the first try).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, in microseconds; doubles
+    /// per attempt.
+    pub backoff_base_us: u64,
+    /// Backoff ceiling in microseconds.
+    pub backoff_cap_us: u64,
+    /// Seed of the jitter generator — runs with the same seed, plan
+    /// and workload retry at identical points.
+    pub seed: u64,
+    /// Per-query deadline: when retries/recovery would exceed it, the
+    /// query degrades immediately and the miss is counted.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_attempts: 4,
+            backoff_base_us: 50,
+            backoff_cap_us: 2_000,
+            seed: 0x5EED,
+            deadline: Some(Duration::from_millis(250)),
+        }
+    }
+}
+
 /// Per-engine accumulated load over a serve run.
 #[derive(Clone, Debug)]
 pub struct EngineLoad {
@@ -103,6 +140,23 @@ pub struct EngineLoad {
     /// [`r_fp_sum`](Self::r_fp_sum) would poison every later mean, so
     /// they are counted here instead and excluded from the sum.
     pub unbounded_r_fp: u64,
+    /// Query attempts repeated after a transient storage fault.
+    pub retries: u64,
+    /// Checkpoint+WAL recoveries performed after detected corruption.
+    pub recoveries: u64,
+    /// Queries answered by the filter-only degraded path after
+    /// retries/recovery could not produce an exact answer.
+    pub degraded_queries: u64,
+    /// Queries that produced no answer at all (fault persisted and the
+    /// engine has no degraded mode).
+    pub failed_queries: u64,
+    /// Queries whose deadline expired during retries/recovery.
+    pub deadline_misses: u64,
+    /// Injected-fault / checksum-failure counters from the engine's
+    /// storage plane.
+    pub faults: FaultStats,
+    /// Recovery-time distribution (restore + WAL tail replay).
+    pub recovery_us: HistogramSnapshot,
     /// Final engine stats snapshot.
     pub stats: EngineStats,
     /// Per-query CPU latency distribution over the run.
@@ -126,6 +180,13 @@ impl EngineLoad {
             r_fn_sum: 0.0,
             scored: 0,
             unbounded_r_fp: 0,
+            retries: 0,
+            recoveries: 0,
+            degraded_queries: 0,
+            failed_queries: 0,
+            deadline_misses: 0,
+            faults: FaultStats::default(),
+            recovery_us: HistogramSnapshot::default(),
             stats: EngineStats::default(),
             latency: HistogramSnapshot::default(),
             obs: ObsReport::default(),
@@ -202,6 +263,17 @@ fn json_str(s: &str) -> String {
     out
 }
 
+fn faults_json(f: &FaultStats) -> String {
+    format!(
+        "{{\"read_faults\":{},\"write_faults\":{},\"torn_writes\":{},\"crc_failures\":{},\"injected\":{}}}",
+        f.read_faults,
+        f.write_faults,
+        f.torn_writes,
+        f.crc_failures,
+        f.injected()
+    )
+}
+
 fn io_json(io: &IoStats) -> String {
     format!(
         "{{\"logical_reads\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{},\"physical_ios\":{}}}",
@@ -226,9 +298,12 @@ impl ServeReport {
                 format!(
                     "{{\"label\":{},\"engine\":{},\"queries\":{},\"cpu_ms\":{},\"total_ms\":{},\
                      \"ingest_ms\":{},\"scored\":{},\"unbounded_r_fp\":{},\"mean_r_fp\":{},\
-                     \"mean_r_fn\":{},\"io\":{},\"latency_us\":{},\"stats\":{{\
-                     \"updates_applied\":{},\"missed_deletes\":{},\"memory_bytes\":{},\
-                     \"objects\":{},\"queries_served\":{}}},\"obs\":{}}}",
+                     \"mean_r_fn\":{},\"io\":{},\"latency_us\":{},\
+                     \"retries\":{},\"recoveries\":{},\"degraded_queries\":{},\
+                     \"failed_queries\":{},\"deadline_misses\":{},\"faults\":{},\
+                     \"recovery_us\":{},\"stats\":{{\
+                     \"updates_applied\":{},\"missed_deletes\":{},\"rejected_updates\":{},\
+                     \"memory_bytes\":{},\"objects\":{},\"queries_served\":{}}},\"obs\":{}}}",
                     json_str(&e.label),
                     json_str(e.engine),
                     e.queries,
@@ -241,8 +316,16 @@ impl ServeReport {
                     json_f64(e.mean_r_fn()),
                     io_json(&e.io),
                     e.latency.to_json(),
+                    e.retries,
+                    e.recoveries,
+                    e.degraded_queries,
+                    e.failed_queries,
+                    e.deadline_misses,
+                    faults_json(&e.faults),
+                    e.recovery_us.to_json(),
                     e.stats.updates_applied,
                     e.stats.missed_deletes,
+                    e.stats.rejected_updates,
                     e.stats.memory_bytes,
                     e.stats.objects,
                     e.stats.queries_served,
@@ -251,10 +334,13 @@ impl ServeReport {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let faults_injected: u64 = self.engines.iter().map(|e| e.faults.injected()).sum();
         format!(
-            "{{\"ticks\":{},\"updates\":{},\"tick_ingest_us\":{},\"tick_query_us\":{},\"engines\":[{}]}}",
+            "{{\"ticks\":{},\"updates\":{},\"faults_injected\":{},\"tick_ingest_us\":{},\
+             \"tick_query_us\":{},\"engines\":[{}]}}",
             self.ticks,
             self.updates,
+            faults_injected,
             self.tick_ingest.to_json(),
             self.tick_query.to_json(),
             engines
@@ -267,6 +353,23 @@ struct Served {
     engine: Box<dyn DensityEngine>,
     load: EngineLoad,
     latency: Histogram,
+    recovery: Histogram,
+    /// Latest sealed checkpoint and the WAL offset it replays from.
+    checkpoint: Option<(usize, Vec<u8>)>,
+    /// Set when the engine's device failed persistently and could not
+    /// be recovered: ingest stops (the device is unusable) and every
+    /// query is answered by the filter-only degraded path from the
+    /// last consistent in-memory density surface.
+    degraded_mode: bool,
+}
+
+/// The journal a fault-tolerant serve run keeps: protocol records are
+/// appended *before* each engine mutation, engine checkpoints are taken
+/// every `every` ticks.
+struct Journal {
+    wal: Wal,
+    every: u64,
+    ticks_since_checkpoint: u64,
 }
 
 /// Owns a [`TrafficSimulator`] and any number of boxed engines; drives
@@ -278,12 +381,16 @@ pub struct ServeDriver {
     cursor: usize,
     tick_ingest: Histogram,
     tick_query: Histogram,
+    policy: FaultPolicy,
+    journal: Option<Journal>,
+    rng: u64,
 }
 
 impl ServeDriver {
     /// Creates a driver around a simulator; costs are charged under
     /// `model`.
     pub fn new(sim: TrafficSimulator, model: CostModel) -> Self {
+        let policy = FaultPolicy::default();
         ServeDriver {
             sim,
             engines: Vec::new(),
@@ -291,6 +398,57 @@ impl ServeDriver {
             cursor: 0,
             tick_ingest: Histogram::new(),
             tick_query: Histogram::new(),
+            policy,
+            journal: None,
+            rng: policy.seed | 1,
+        }
+    }
+
+    /// Sets the fault-handling policy (builder style).
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self.rng = policy.seed | 1;
+        self
+    }
+
+    /// Turns on write-ahead journaling with an engine checkpoint every
+    /// `every` ticks. Checkpoint-capable engines become recoverable:
+    /// when a query hits detected corruption, the driver restores the
+    /// latest checkpoint, replays the WAL tail and retries. Engines
+    /// without checkpoint support keep degrading instead.
+    pub fn enable_journal(&mut self, every: u64) {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.journal = Some(Journal {
+            wal: Wal::new(),
+            every,
+            ticks_since_checkpoint: 0,
+        });
+        self.checkpoint_engines();
+    }
+
+    /// Installs a fault-injection plan beneath the storage plane of the
+    /// engine registered under `label`. `false` when no such engine.
+    pub fn install_fault_plan(&self, label: &str, plan: FaultPlan) -> bool {
+        match self.engines.iter().find(|s| s.label == label) {
+            Some(s) => {
+                s.engine.set_fault_plan(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Takes a fresh checkpoint of every checkpoint-capable engine,
+    /// anchored at the current WAL offset. No-op without a journal.
+    fn checkpoint_engines(&mut self) {
+        let Some(j) = self.journal.as_ref() else {
+            return;
+        };
+        let offset = j.wal.offset();
+        for s in &mut self.engines {
+            if let Some(bytes) = s.engine.checkpoint() {
+                s.checkpoint = Some((offset, bytes));
+            }
         }
     }
 
@@ -312,6 +470,9 @@ impl ServeDriver {
             engine,
             load: EngineLoad::new(label.to_string(), name),
             latency: Histogram::new(),
+            recovery: Histogram::new(),
+            checkpoint: None,
+            degraded_mode: false,
         });
     }
 
@@ -344,6 +505,9 @@ impl ServeDriver {
             s.engine.bulk_load(&pop, t);
             s.load.ingest_ms += start.elapsed().as_secs_f64() * 1e3;
         }
+        // The bulk load is not WAL-recorded (it would dwarf the log);
+        // a post-bootstrap checkpoint makes it recoverable instead.
+        self.checkpoint_engines();
     }
 
     /// Drives one simulator tick through every engine: advances each
@@ -351,16 +515,39 @@ impl ServeDriver {
     /// Returns the number of protocol updates applied.
     pub fn tick(&mut self) -> usize {
         let t_next = self.sim.t_now() + 1;
+        if let Some(j) = self.journal.as_mut() {
+            j.wal.append_advance(t_next);
+        }
+        let wal = self.journal.as_ref().map(|j| &j.wal);
         for s in &mut self.engines {
             let start = Instant::now();
-            s.engine.advance_to(t_next);
+            ingest_or_recover(s, wal, |e| e.advance_to(t_next));
             s.load.ingest_ms += start.elapsed().as_secs_f64() * 1e3;
         }
         let updates = self.sim.tick();
+        if let Some(j) = self.journal.as_mut() {
+            j.wal.append_batch(&updates);
+        }
+        let wal = self.journal.as_ref().map(|j| &j.wal);
         for s in &mut self.engines {
             let start = Instant::now();
-            s.engine.apply_batch(&updates);
+            ingest_or_recover(s, wal, |e| e.apply_batch(&updates));
             s.load.ingest_ms += start.elapsed().as_secs_f64() * 1e3;
+        }
+        let checkpoint_due = match self.journal.as_mut() {
+            Some(j) => {
+                j.ticks_since_checkpoint += 1;
+                if j.ticks_since_checkpoint >= j.every {
+                    j.ticks_since_checkpoint = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        };
+        if checkpoint_due {
+            self.checkpoint_engines();
         }
         updates.len()
     }
@@ -375,9 +562,12 @@ impl ServeDriver {
     /// registration order.
     pub fn query_all(&mut self, q: &PdrQuery, truth: Option<&RegionSet>) -> Vec<RegionSet> {
         let model = self.model;
+        let policy = self.policy;
+        let wal = self.journal.as_ref().map(|j| &j.wal);
+        let rng = &mut self.rng;
         let mut answers = Vec::with_capacity(self.engines.len());
         for s in &mut self.engines {
-            let a = s.engine.query(q);
+            let a = serve_with_faults(s, q, &policy, wal, rng);
             s.load.queries += 1;
             s.load.cpu_ms += a.cpu.as_secs_f64() * 1e3;
             s.load.io += a.io;
@@ -439,11 +629,165 @@ impl ServeDriver {
                     let mut load = s.load.clone();
                     load.stats = s.engine.stats();
                     load.latency = s.latency.snapshot();
+                    load.recovery_us = s.recovery.snapshot();
+                    // `load.faults` already holds counters banked from
+                    // devices replaced by recovery; add the live one.
+                    load.faults += s.engine.fault_stats();
                     load.obs = s.engine.obs();
                     load
                 })
                 .collect(),
         }
+    }
+}
+
+/// Seeded jittered exponential backoff before retry `attempt`
+/// (xorshift64*, the same generator family the fault plan uses).
+fn backoff(policy: &FaultPolicy, attempt: u32, rng: &mut u64) {
+    let base = policy
+        .backoff_base_us
+        .saturating_mul(1u64 << attempt.min(16));
+    let delay = base.min(policy.backoff_cap_us.max(policy.backoff_base_us));
+    if delay == 0 {
+        return;
+    }
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let x = rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let jittered = delay / 2 + x % (delay / 2 + 1);
+    std::thread::sleep(Duration::from_micros(jittered));
+}
+
+/// Restores `s` from its latest checkpoint and replays the WAL tail,
+/// banking the failed device's fault counters first (the restore
+/// replaces the device, and its counters with it). Returns `false`
+/// when the engine has no checkpoint or the checkpoint fails to
+/// verify; the recovery counter and time histogram record successes.
+fn recover_engine(s: &mut Served, wal: &Wal) -> bool {
+    let Some((offset, bytes)) = s.checkpoint.clone() else {
+        return false;
+    };
+    let rec_start = Instant::now();
+    s.load.faults += s.engine.fault_stats();
+    if s.engine.restore_from(&bytes).is_err() {
+        return false;
+    }
+    let tail = replay(&wal.bytes()[offset..]).expect("in-memory WAL cannot tear");
+    for r in &tail.records {
+        match r {
+            WalRecord::Advance(t) => s.engine.advance_to(*t),
+            WalRecord::Batch(b) => s.engine.apply_batch(b),
+        }
+    }
+    s.load.recoveries += 1;
+    s.recovery.record(rec_start.elapsed());
+    true
+}
+
+/// Runs one ingest mutation, treating an engine panic as a simulated
+/// crash. The ingest path reads through the infallible pool API, so an
+/// injected fault surfaces as a panic mid-mutation; the WAL record for
+/// the mutation was appended *before* it ran, so restoring the
+/// checkpoint and replaying the tail lands the engine exactly where a
+/// clean apply would have. Without a journal (or without a checkpoint)
+/// the panic propagates unchanged. The caught engine may hold broken
+/// invariants, but recovery discards its entire state, so none can be
+/// observed — which is what makes the `AssertUnwindSafe` sound.
+fn ingest_or_recover(
+    s: &mut Served,
+    wal: Option<&Wal>,
+    apply: impl FnOnce(&mut dyn DensityEngine),
+) {
+    if s.degraded_mode {
+        return;
+    }
+    let before = s.engine.fault_stats();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        apply(s.engine.as_mut());
+    }));
+    if let Err(payload) = outcome {
+        if s.engine.fault_stats() == before {
+            // Not our injection: a genuine bug must stay loud.
+            std::panic::resume_unwind(payload);
+        }
+        if !wal.is_some_and(|w| recover_engine(s, w)) {
+            // Fault-caused but unrecoverable (no journal, or the
+            // checkpoint failed to verify): take the engine offline and
+            // keep serving degraded instead of dropping the tick.
+            s.degraded_mode = true;
+        }
+    }
+}
+
+/// Answers the query by the degraded path, or fails it: a filter-only
+/// superset answer when the engine has one, an empty region otherwise.
+fn degrade(s: &mut Served, q: &PdrQuery) -> EngineAnswer {
+    match s.engine.degraded_query(q) {
+        Some(a) => {
+            s.load.degraded_queries += 1;
+            a
+        }
+        None => {
+            s.load.failed_queries += 1;
+            EngineAnswer {
+                regions: RegionSet::new(),
+                cpu: Duration::ZERO,
+                io: IoStats::default(),
+                exact: false,
+            }
+        }
+    }
+}
+
+/// One query under the fault policy: retry transient faults with
+/// backoff, recover from detected corruption via checkpoint + WAL tail
+/// (once per query), degrade otherwise — all bounded by the deadline.
+fn serve_with_faults(
+    s: &mut Served,
+    q: &PdrQuery,
+    policy: &FaultPolicy,
+    wal: Option<&Wal>,
+    rng: &mut u64,
+) -> EngineAnswer {
+    if s.degraded_mode {
+        return degrade(s, q);
+    }
+    let start = Instant::now();
+    let mut attempts = 1u32;
+    let mut recovered = false;
+    loop {
+        let err = match s.engine.try_query(q) {
+            Ok(a) => return a,
+            Err(e) => e,
+        };
+        if policy.deadline.is_some_and(|d| start.elapsed() >= d) {
+            s.load.deadline_misses += 1;
+            return degrade(s, q);
+        }
+        if err.is_transient() && attempts < policy.max_attempts {
+            attempts += 1;
+            s.load.retries += 1;
+            backoff(policy, attempts, rng);
+            continue;
+        }
+        if err.is_corruption() && !recovered {
+            // Corruption is repairable by rewriting the data; a device
+            // refusing reads is not — those degrade below. The restored
+            // index lives on a fresh simulated device, so the fault
+            // plan (a schedule for the *failed* device) is gone.
+            if wal.is_some_and(|w| recover_engine(s, w)) {
+                recovered = true;
+                continue;
+            }
+        }
+        if !err.is_transient() {
+            // A device refusing service permanently (or corruption
+            // with no checkpoint to restore) won't heal between
+            // queries: go offline-degraded instead of re-probing it.
+            s.degraded_mode = true;
+        }
+        return degrade(s, q);
     }
 }
 
@@ -703,5 +1047,143 @@ mod tests {
         let _ = ServeDriver::new(sim, CostModel::PAPER_DEFAULT)
             .with_engine("fr", EngineSpec::Fr(cfg).build(0))
             .with_engine("fr", EngineSpec::Fr(cfg).build(0));
+    }
+
+    /// FR-only driver on a tiny 4-page buffer pool, so queries do real
+    /// physical I/O. Fault plans only fire on physical reads and
+    /// write-backs; a pool that fits the working set never faults.
+    fn faulty_driver(n: usize) -> ServeDriver {
+        let net = RoadNetwork::generate(&NetworkConfig::metro(200.0), 29);
+        let sim = TrafficSimulator::new(net, n, 31, 4, 0);
+        let fr = FrConfig {
+            extent: 200.0,
+            m: 40,
+            horizon: TimeHorizon::new(4, 4),
+            buffer_pages: 4,
+            threads: 1,
+        };
+        ServeDriver::new(sim, CostModel::PAPER_DEFAULT)
+            .with_engine("fr", EngineSpec::Fr(fr).build(0))
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_to_an_exact_answer() {
+        let mut d = faulty_driver(800);
+        d.bootstrap();
+        d.tick();
+        d.tick();
+        assert!(d.install_fault_plan("fr", FaultPlan::new(7).with_read_fault(1, 2)));
+        let q = PdrQuery::new(6.0 / 400.0, 20.0, d.simulator().t_now());
+        let truth = d.ground_truth(&q);
+        let answers = d.query_all(&q, None);
+        let load = &d.engines[0].load;
+        assert!(load.retries >= 1, "transient faults must be retried");
+        assert_eq!(load.degraded_queries, 0);
+        assert_eq!(load.failed_queries, 0);
+        assert!(d.engines[0].engine.fault_stats().read_faults >= 1);
+        assert!(
+            answers[0].symmetric_difference_area(&truth) < 1e-9,
+            "a retried query must still be exact"
+        );
+    }
+
+    #[test]
+    fn persistent_read_faults_degrade_to_a_filter_only_answer() {
+        let mut d = faulty_driver(800);
+        d.bootstrap();
+        d.tick();
+        assert!(d.install_fault_plan("fr", FaultPlan::new(7).with_permanent_read_fault(1)));
+        let q = PdrQuery::new(6.0 / 400.0, 20.0, d.simulator().t_now());
+        let answers = d.query_all(&q, None);
+        let load = &d.engines[0].load;
+        assert!(
+            load.degraded_queries >= 1,
+            "a persistent fault must degrade, not panic or hang"
+        );
+        assert_eq!(load.failed_queries, 0, "FR has a DH filter-only fallback");
+        // The degraded answer is the DH optimistic superset — possibly
+        // empty, never a crash.
+        assert_eq!(answers.len(), 1);
+        // Every fault-plane key makes it into the metrics JSON.
+        let json = d.run(0, &mix()).to_json();
+        for key in [
+            "\"retries\":",
+            "\"recoveries\":",
+            "\"degraded_queries\":",
+            "\"failed_queries\":",
+            "\"deadline_misses\":",
+            "\"faults\":",
+            "\"read_faults\":",
+            "\"faults_injected\":",
+            "\"recovery_us\":",
+            "\"rejected_updates\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn torn_write_corruption_triggers_checkpoint_recovery() {
+        let mut d = faulty_driver(800);
+        d.bootstrap();
+        d.enable_journal(1);
+        d.tick();
+        d.tick();
+        assert!(d.install_fault_plan("fr", FaultPlan::new(7).with_torn_write(1, None)));
+        // Queries page the tree through the tiny pool: a dirty eviction
+        // writes back, the write is torn, and a later read of that page
+        // fails its checksum. The serve loop must restore the latest
+        // checkpoint, replay the WAL tail, and still answer exactly.
+        let q = PdrQuery::new(6.0 / 400.0, 20.0, d.simulator().t_now());
+        let mut recovered = false;
+        for _ in 0..50 {
+            let truth = d.ground_truth(&q);
+            let answers = d.query_all(&q, None);
+            assert!(
+                answers[0].symmetric_difference_area(&truth) < 1e-9,
+                "answers must stay exact through the recovery"
+            );
+            if d.engines[0].load.recoveries > 0 {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "the torn write never surfaced as a recovery");
+        let load = &d.engines[0].load;
+        assert_eq!(load.degraded_queries, 0, "recovery must beat degradation");
+        assert_eq!(load.failed_queries, 0);
+        assert!(d.engines[0].recovery.snapshot().count >= 1);
+        // The failed device's counters were banked before recovery
+        // replaced it, so the report still shows what went wrong.
+        let mut faults = d.engines[0].load.faults;
+        faults += d.engines[0].engine.fault_stats();
+        assert!(faults.crc_failures >= 1);
+        assert!(faults.torn_writes >= 1);
+    }
+
+    #[test]
+    fn ingest_crash_under_permanent_faults_recovers_from_the_journal() {
+        let mut d = faulty_driver(800);
+        d.bootstrap();
+        d.enable_journal(1);
+        d.tick();
+        assert!(d.install_fault_plan("fr", FaultPlan::new(7).with_permanent_read_fault(1)));
+        // Ingest reads through the infallible pool API, so the fault
+        // surfaces as a panic mid-mutation — a simulated crash. The WAL
+        // record was appended before the mutation ran, so the driver
+        // must recover to exactly the state a clean apply would reach.
+        let n = d.tick();
+        assert!(n > 0, "the tick itself must still make progress");
+        assert!(
+            d.engines[0].load.recoveries >= 1,
+            "the crashed ingest must recover from checkpoint + WAL"
+        );
+        // The restored engine is on a fresh device (no fault plan):
+        // serving continues exactly.
+        let q = PdrQuery::new(6.0 / 400.0, 20.0, d.simulator().t_now());
+        let truth = d.ground_truth(&q);
+        let answers = d.query_all(&q, None);
+        assert!(answers[0].symmetric_difference_area(&truth) < 1e-9);
+        assert_eq!(d.engines[0].load.degraded_queries, 0);
     }
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo verification: format, lints (best-effort offline), tier-1 build+test.
 #
-#   scripts/verify.sh          # everything
-#   scripts/verify.sh --fast   # skip the release build
+#   scripts/verify.sh                # everything
+#   scripts/verify.sh --fast         # skip the release build
+#   scripts/verify.sh --fault-matrix # only the fault-injection serve matrix
 #
 # Clippy is best-effort: on a fully offline container a missing
 # component must not mask real test failures, so its absence is
@@ -11,10 +12,86 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
+only_faults=0
 [ "${1:-}" = "--fast" ] && fast=1
+[ "${1:-}" = "--fault-matrix" ] && only_faults=1
 fail=0
 
 step() { printf '\n==> %s\n' "$*"; }
+
+# 10-tick serve smoke under one canned fault plan. Fails on a nonzero
+# exit (an unhandled panic aborts the process), on missing fault-plane
+# keys in the metrics JSON, and on any extra per-plan grep assertions
+# passed as "must-match regex" / "!forbidden regex" arguments.
+fault_case() {
+    plan="$1"; shift
+    journal_flags=""
+    case "$plan" in persistent-read) journal_flags="--journal 0";; esac
+    out="$(mktemp /tmp/pdr-fault.XXXXXX.json)"
+    # shellcheck disable=SC2086
+    if ! target/release/pdrcli serve --objects 2000 --extent 500 --ticks 10 \
+            --l 30 --count 12 --seed 11 --buffer-pages 8 $journal_flags \
+            --fault-plan "plans/$plan.plan" --metrics "$out" >/dev/null 2>&1; then
+        echo "FAIL: fault plan $plan: serve exited nonzero (panic?)"
+        fail=1
+        rm -f "$out"
+        return
+    fi
+    for key in '"degraded_queries":' '"recoveries":' '"retries":' \
+               '"failed_queries":' '"deadline_misses":' '"faults":' \
+               '"recovery_us":' '"faults_injected":'; do
+        if ! grep -qF "$key" "$out"; then
+            echo "FAIL: fault plan $plan: metrics JSON lacks $key"
+            fail=1
+        fi
+    done
+    for assertion in "$@"; do
+        case "$assertion" in
+            '!'*)
+                if grep -qE "${assertion#!}" "$out"; then
+                    echo "FAIL: fault plan $plan: metrics match forbidden ${assertion#!}"
+                    fail=1
+                fi
+                ;;
+            *)
+                if ! grep -qE "$assertion" "$out"; then
+                    echo "FAIL: fault plan $plan: metrics lack $assertion"
+                    fail=1
+                fi
+                ;;
+        esac
+    done
+    rm -f "$out"
+}
+
+fault_matrix() {
+    step "fault-injection serve matrix (plans/*.plan, 10 ticks each)"
+    if ! cargo build --release -p pdr-cli; then
+        echo "FAIL: pdr-cli release build"
+        fail=1
+        return
+    fi
+    # Clean plan: nothing injected, nothing degraded.
+    fault_case clean '"faults_injected":0' '!"degraded_queries":[1-9]'
+    # Transient reads: retried to exact answers, never degraded.
+    fault_case transient-reads '!"degraded_queries":[1-9]'
+    # Torn write: detected via CRC and recovered from checkpoint + WAL.
+    fault_case torn-write '"recoveries":[1-9]' '!"degraded_queries":[1-9]'
+    # Persistent device failure without a journal: degraded, not dead.
+    fault_case persistent-read '"degraded_queries":[1-9]'
+}
+
+if [ "$only_faults" -eq 1 ]; then
+    fault_matrix
+    if [ "$fail" -ne 0 ]; then
+        echo
+        echo "verify: FAILED"
+        exit 1
+    fi
+    echo
+    echo "verify: OK"
+    exit 0
+fi
 
 step "cargo fmt --check"
 if ! cargo fmt --all -- --check; then
@@ -66,6 +143,8 @@ if [ "$fast" -eq 0 ]; then
         done
     fi
     rm -f "$metrics_json"
+
+    fault_matrix
 fi
 
 step "cargo test -q (tier-1)"
