@@ -78,7 +78,7 @@ fn main() {
         .collect();
     let thr = DenseThreshold::from_count(8.0);
     quick_bench("sweep", 20, || {
-        black_box(refine_region(&target, pts.clone(), thr, 6.0).len());
+        black_box(refine_region(&target, &mut pts.clone(), thr, 6.0).len());
     });
     quick_bench("grid64", 20, || {
         // 64x64 point grid over the target; per point O(n) counting.

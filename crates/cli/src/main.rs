@@ -66,7 +66,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
-         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS]\n  \
+         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -92,6 +92,8 @@ struct Options {
     fault_plan: Option<String>,
     buffer_pages: usize,
     journal: u64,
+    /// Shard grid `(sx, sy)` for `serve`; `None` = unsharded engines.
+    shards: Option<(u32, u32)>,
 }
 
 impl Options {
@@ -114,6 +116,7 @@ impl Options {
             fault_plan: None,
             buffer_pages: 512,
             journal: 5, // checkpoint cadence in ticks; 0 = no journal
+            shards: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -140,6 +143,15 @@ impl Options {
                 "--fault-plan" => o.fault_plan = Some(value.clone()),
                 "--buffer-pages" => o.buffer_pages = value.parse().map_err(|_| bad(key))?,
                 "--journal" => o.journal = value.parse().map_err(|_| bad(key))?,
+                "--shards" => {
+                    let (sx, sy) = value.split_once(['x', 'X']).ok_or_else(|| bad(key))?;
+                    let sx: u32 = sx.parse().map_err(|_| bad(key))?;
+                    let sy: u32 = sy.parse().map_err(|_| bad(key))?;
+                    if sx == 0 || sy == 0 {
+                        return Err(bad(key));
+                    }
+                    o.shards = Some((sx, sy));
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 2;
@@ -301,10 +313,28 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     let rho = o.count / (o.l * o.l);
 
     // Both engines, built declaratively, served by the one driver.
+    // `--shards SxS` wraps each spec in the shared-nothing shard router
+    // (`EngineSpec::Sharded`): same answers rect-for-rect, per-shard
+    // storage/WAL, and a per-shard block in the metrics JSON.
+    let spec_for = |method: &str| -> Result<EngineSpec, String> {
+        let inner = engine_spec(method, o, horizon)?;
+        Ok(match o.shards {
+            Some((sx, sy)) => EngineSpec::Sharded {
+                inner: Box::new(inner),
+                sx,
+                sy,
+                l_max: o.l,
+            },
+            None => inner,
+        })
+    };
     let mut driver = ServeDriver::new(sim, CostModel::PAPER_DEFAULT)
-        .with_engine("fr", engine_spec("fr", o, horizon)?.build(0))
-        .with_engine("pa", engine_spec("pa", o, horizon)?.build(0));
+        .with_engine("fr", spec_for("fr")?.build(0))
+        .with_engine("pa", spec_for("pa")?.build(0));
     driver.bootstrap();
+    if let Some((sx, sy)) = o.shards {
+        eprintln!("# engines sharded {sx}x{sy} (halo l/2, per-shard WAL segments)");
+    }
 
     if let Some(path) = &o.fault_plan {
         let text =
@@ -342,17 +372,17 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         report.ticks,
         o.objects,
         report.updates,
-        report.engines.first().map_or(0, |e| e.queries)
+        report.engines.first().map_or(0, |e| e.score.queries)
     );
     println!("engine,queries,mean_total_ms,ingest_ms,io_misses,r_fp,r_fn,updates,missed_deletes,memory_bytes");
     for e in &report.engines {
         println!(
             "{},{},{:.3},{:.3},{},{:.4},{:.4},{},{},{}",
             e.label,
-            e.queries,
+            e.score.queries,
             e.mean_total_ms(),
             e.ingest_ms,
-            e.io.misses,
+            e.score.io.misses,
             e.mean_r_fp(),
             e.mean_r_fn(),
             e.stats.updates_applied,

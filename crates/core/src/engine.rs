@@ -188,11 +188,11 @@ pub trait DensityEngine: Send + Sync {
             }
             since_coalesce += 1;
             if since_coalesce >= DEFAULT_INTERVAL_COALESCE_EVERY {
-                acc.coalesce();
+                acc.canonicalize();
                 since_coalesce = 0;
             }
         }
-        acc.coalesce();
+        acc.canonicalize();
         acc
     }
 
@@ -210,6 +210,14 @@ pub trait DensityEngine: Send + Sync {
     /// it start enabled). Purely observational either way: answers are
     /// bit-identical with recording on or off. The default is a no-op.
     fn set_obs_enabled(&mut self, _on: bool) {}
+
+    /// Per-shard metrics as a JSON array, or `None` for unsharded
+    /// engines. A sharded plane reports one block per shard (tile,
+    /// degraded flag, WAL segment size, object count, obs counters);
+    /// the serve report surfaces it under a `"shards"` key.
+    fn shard_metrics_json(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Applies a batch with input screening: reports rejected by
@@ -695,6 +703,27 @@ pub enum EngineSpec {
     },
     /// Stand-alone density histogram, forced optimistic or pessimistic.
     Dh(FrConfig, DhMode),
+    /// Shared-nothing sharded plane over an inner engine: `sx × sy`
+    /// spatial shards, each a full-domain inner engine fed the routed
+    /// subset of traffic within its halo, merged with the canonical
+    /// clipped union (see [`crate::ShardedEngine`]).
+    ///
+    /// `l_max` is the largest neighborhood edge queries will use; the
+    /// halo is sized `l_max/2 + 2·pitch` (pitch = the inner structure's
+    /// cell edge), which is exactly what boundary exactness needs.
+    /// Queries with `l > l_max` may lose density at cut lines. The EDQ
+    /// baseline is *not* decomposable (its greedy packing is global);
+    /// sharding it yields a different — still approximate — packing.
+    Sharded {
+        /// The engine each shard runs (nesting `Sharded` is rejected).
+        inner: Box<EngineSpec>,
+        /// Shards along X.
+        sx: u32,
+        /// Shards along Y.
+        sy: u32,
+        /// Largest query neighborhood edge the halo must cover.
+        l_max: f64,
+    },
 }
 
 impl EngineSpec {
@@ -709,7 +738,75 @@ impl EngineSpec {
             EngineSpec::Edq { .. } => "edq",
             EngineSpec::Dh(_, DhMode::Optimistic) => "dh-opt",
             EngineSpec::Dh(_, DhMode::Pessimistic) => "dh-pess",
+            EngineSpec::Sharded { inner, .. } => match inner.name() {
+                "fr" => "sharded-fr",
+                "pa" => "sharded-pa",
+                "oracle" => "sharded-oracle",
+                "dense-cell" => "sharded-dense-cell",
+                "edq" => "sharded-edq",
+                "dh-opt" => "sharded-dh-opt",
+                "dh-pess" => "sharded-dh-pess",
+                _ => "sharded",
+            },
         }
+    }
+
+    /// The finite domain the engine monitors (the sharded plane cuts
+    /// this into tiles).
+    fn domain_bounds(&self) -> Rect {
+        match self {
+            EngineSpec::Fr(cfg) | EngineSpec::FrGrid { fr: cfg, .. } | EngineSpec::Dh(cfg, _) => {
+                Rect::new(0.0, 0.0, cfg.extent, cfg.extent)
+            }
+            EngineSpec::Pa(cfg) => Rect::new(0.0, 0.0, cfg.extent, cfg.extent),
+            EngineSpec::Oracle { bounds } | EngineSpec::Edq { bounds } => *bounds,
+            EngineSpec::DenseCell { grid } => grid.bounds(),
+            EngineSpec::Sharded { inner, .. } => inner.domain_bounds(),
+        }
+    }
+
+    /// The edge length of the engine's summary-structure cell — the
+    /// classification/deposit reach a shard halo must add on top of
+    /// `l_max/2` (zero for structure-free engines).
+    fn structure_pitch(&self) -> f64 {
+        match self {
+            EngineSpec::Fr(cfg) | EngineSpec::FrGrid { fr: cfg, .. } | EngineSpec::Dh(cfg, _) => {
+                cfg.extent / cfg.m as f64
+            }
+            EngineSpec::Pa(cfg) => cfg.extent / cfg.g as f64,
+            EngineSpec::Oracle { .. } | EngineSpec::Edq { .. } => 0.0,
+            EngineSpec::DenseCell { grid } => grid.cell_edge(),
+            EngineSpec::Sharded { inner, .. } => inner.structure_pitch(),
+        }
+    }
+
+    /// The time horizon updates are screened against (engines without
+    /// one route by the paper default, a superset — harmless).
+    fn routing_horizon(&self) -> pdr_mobject::TimeHorizon {
+        match self {
+            EngineSpec::Fr(cfg) | EngineSpec::FrGrid { fr: cfg, .. } | EngineSpec::Dh(cfg, _) => {
+                cfg.horizon
+            }
+            EngineSpec::Pa(cfg) => cfg.horizon,
+            EngineSpec::Sharded { inner, .. } => inner.routing_horizon(),
+            _ => pdr_mobject::TimeHorizon::PAPER_DEFAULT,
+        }
+    }
+
+    /// The inner spec one shard of an `shards`-way plane runs: the
+    /// global buffer pool is divided across shards (shared-nothing) and
+    /// refinement threads drop to 1 — parallelism comes from the shard
+    /// fan-out instead.
+    fn per_shard_spec(&self, shards: usize) -> EngineSpec {
+        let mut spec = self.clone();
+        match &mut spec {
+            EngineSpec::Fr(cfg) | EngineSpec::FrGrid { fr: cfg, .. } | EngineSpec::Dh(cfg, _) => {
+                cfg.buffer_pages = (cfg.buffer_pages / shards).max(8);
+                cfg.threads = 1;
+            }
+            _ => {}
+        }
+        spec
     }
 
     /// Builds the engine, empty, with its horizon starting at `t_start`.
@@ -735,6 +832,39 @@ impl EngineSpec {
             EngineSpec::DenseCell { grid } => Box::new(DenseCellEngine::new(*grid)),
             EngineSpec::Edq { bounds } => Box::new(EdqEngine::new(*bounds)),
             EngineSpec::Dh(cfg, mode) => Box::new(DhEngine::new(*cfg, *mode, t_start)),
+            EngineSpec::Sharded {
+                inner,
+                sx,
+                sy,
+                l_max,
+            } => {
+                assert!(
+                    !matches!(**inner, EngineSpec::Sharded { .. }),
+                    "nested sharding is not supported"
+                );
+                assert!(
+                    l_max.is_finite() && *l_max > 0.0,
+                    "l_max must be a positive finite edge length"
+                );
+                let shards = (*sx as usize) * (*sy as usize);
+                let halo = l_max / 2.0 + 2.0 * inner.structure_pitch();
+                let map = crate::ShardMap::new(inner.domain_bounds(), *sx, *sy, halo);
+                let per_shard = inner.per_shard_spec(shards);
+                let threads = match **inner {
+                    EngineSpec::Fr(cfg)
+                    | EngineSpec::FrGrid { fr: cfg, .. }
+                    | EngineSpec::Dh(cfg, _) => cfg.threads,
+                    _ => 0,
+                };
+                Box::new(crate::ShardedEngine::new(
+                    self.name(),
+                    map,
+                    inner.routing_horizon(),
+                    t_start,
+                    threads,
+                    |_| per_shard.build(t_start),
+                ))
+            }
         }
     }
 }

@@ -20,12 +20,12 @@ pub fn exact_dense_regions(objects: &[Point], bounds: &Rect, query: &PdrQuery) -
     let threshold = DenseThreshold::of(query);
     // Only objects within bounds ⊕ l/2 can influence any in-bounds point.
     let inflated = bounds.inflate(query.l / 2.0);
-    let relevant: Vec<Point> = objects
+    let mut relevant: Vec<Point> = objects
         .iter()
         .copied()
         .filter(|p| inflated.contains(*p))
         .collect();
-    let mut rs = RegionSet::from_rects(refine_region(bounds, relevant, threshold, query.l));
+    let mut rs = RegionSet::from_rects(refine_region(bounds, &mut relevant, threshold, query.l));
     rs.coalesce();
     rs
 }

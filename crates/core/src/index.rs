@@ -52,6 +52,26 @@ pub trait RangeIndex: Sync {
         Ok(self.range_at_collect(rect, t, io))
     }
 
+    /// [`try_range_at_collect`](RangeIndex::try_range_at_collect) into a
+    /// caller-owned buffer, replacing its contents. The FR refinement
+    /// loop issues one range query per candidate cell and reuses a
+    /// single buffer across all of them, so the per-cell result
+    /// allocation disappears (the buffer only grows when a cell yields
+    /// more hits than any earlier one). The default clears and refills
+    /// from the allocating path — correct for any backend; both bundled
+    /// indexes override it with genuinely buffer-filling walks.
+    fn try_range_at_into(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+        out: &mut Vec<(ObjectId, Point)>,
+    ) -> Result<(), StorageError> {
+        out.clear();
+        out.extend(self.try_range_at_collect(rect, t, io)?);
+        Ok(())
+    }
+
     /// [`range_at_collect`](RangeIndex::range_at_collect) without a
     /// collector, for callers that only need the global counters.
     fn range_at(&self, rect: &Rect, t: Timestamp) -> Vec<(ObjectId, Point)> {
@@ -127,6 +147,16 @@ impl RangeIndex for pdr_tprtree::TprTree {
         pdr_tprtree::TprTree::try_range_at_collect(self, rect, t, io)
     }
 
+    fn try_range_at_into(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+        out: &mut Vec<(ObjectId, Point)>,
+    ) -> Result<(), StorageError> {
+        pdr_tprtree::TprTree::try_range_at_into(self, rect, t, io, out)
+    }
+
     fn load(&mut self, objects: &[(ObjectId, MotionState)], _t_now: Timestamp) {
         // STR bulk loading packs ~70 % full, leaving update headroom.
         self.bulk_load(objects, 0.7);
@@ -182,6 +212,16 @@ impl RangeIndex for pdr_gridindex::GridIndex {
         io: &mut IoStats,
     ) -> Result<Vec<(ObjectId, Point)>, StorageError> {
         pdr_gridindex::GridIndex::try_range_at_collect(self, rect, t, io)
+    }
+
+    fn try_range_at_into(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+        out: &mut Vec<(ObjectId, Point)>,
+    ) -> Result<(), StorageError> {
+        pdr_gridindex::GridIndex::try_range_at_into(self, rect, t, io, out)
     }
 
     fn len(&self) -> usize {

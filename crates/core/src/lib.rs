@@ -74,6 +74,7 @@ mod metrics;
 pub mod obs;
 mod pa;
 mod query;
+mod shard;
 mod sweep;
 mod wal;
 
@@ -86,14 +87,16 @@ pub use exact::{exact_dense_regions, point_density, ExactOracle};
 pub use filter::{classify_cells, CellClass, Classification};
 pub use fr::{FrAnswer, FrCacheCounters, FrConfig, FrEngine, INTERVAL_COALESCE_EVERY};
 pub use index::RangeIndex;
-pub use metrics::{accuracy, Accuracy};
+pub use metrics::{accuracy, Accuracy, Scoreboard};
 pub use obs::{Counter, Histogram, HistogramSnapshot, ObsReport, StageTimer};
 pub use pa::{PaAnswer, PaConfig, PaEngine};
 pub use query::{DenseThreshold, PdrQuery};
+pub use shard::{ShardMap, ShardedEngine};
 pub use sweep::{refine_region, refine_region_set};
 pub use wal::{
-    open_checkpoint, record_boundaries, replay, seal_checkpoint, RecoverError, Wal, WalRecord,
-    WalReplay,
+    encode_segment_header, open_checkpoint, record_boundaries, replay, replay_any, seal_checkpoint,
+    segment_name, RecoverError, SegmentHeader, Wal, WalRecord, WalReplay, LEGACY_JOURNAL_NAME,
+    SEGMENT_HEADER_LEN,
 };
 
 // Fault-injection surface of the storage plane, re-exported so engine

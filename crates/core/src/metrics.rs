@@ -1,6 +1,8 @@
-//! The paper's accuracy metrics (Section 7.2).
+//! The paper's accuracy metrics (Section 7.2) and the shared
+//! per-query-batch rollup ([`Scoreboard`]) behind every scoring loop.
 
 use pdr_geometry::RegionSet;
+use pdr_storage::IoStats;
 
 /// False-positive / false-negative area ratios of a reported answer
 /// `D'` against the true dense region `D`:
@@ -47,6 +49,95 @@ pub fn accuracy(truth: &RegionSet, reported: &RegionSet) -> Accuracy {
     Accuracy {
         r_fp: reported.difference_area(truth) / denom,
         r_fn: truth.difference_area(reported) / denom,
+    }
+}
+
+/// Accumulated per-query cost and accuracy over a batch of queries.
+///
+/// One rollup type shared by every scoring loop in the system — the
+/// bench scorecards (`pdr-bench`) and the serve driver's per-engine
+/// load (`pdr-workload`) — so the bounded/unbounded `r_fp` bookkeeping
+/// lives in exactly one place.
+///
+/// Cost and accuracy are recorded independently: every executed query
+/// calls [`record_cost`](Scoreboard::record_cost); only queries with
+/// ground truth also call [`record_accuracy`](Scoreboard::record_accuracy).
+///
+/// An empty truth with a nonempty report makes `r_fp` +∞
+/// ([`accuracy`]). One such query must not poison the running sum, so
+/// unbounded ratios are counted in
+/// [`unbounded_r_fp`](Scoreboard::unbounded_r_fp) and excluded from
+/// [`r_fp_sum`](Scoreboard::r_fp_sum); the means report `None` when no
+/// query qualifies, letting callers pick their own sentinel (the bench
+/// tables print NaN, the serve report prints 0).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scoreboard {
+    /// Queries whose cost was recorded.
+    pub queries: u64,
+    /// Summed query CPU milliseconds.
+    pub cpu_ms: f64,
+    /// Summed total (CPU + modeled I/O charge) milliseconds.
+    pub total_ms: f64,
+    /// Summed buffer-pool I/O across queries.
+    pub io: IoStats,
+    /// Queries that were scored against ground truth.
+    pub scored: u64,
+    /// Summed `r_fp` over the scored queries whose ratio was *bounded*.
+    pub r_fp_sum: f64,
+    /// Summed `r_fn` over scored queries (always bounded: `r_fn ≤ 1`).
+    pub r_fn_sum: f64,
+    /// Scored queries whose `r_fp` was unbounded (empty ground truth,
+    /// nonempty report).
+    pub unbounded_r_fp: u64,
+}
+
+impl Scoreboard {
+    /// Records the cost of one executed query.
+    pub fn record_cost(&mut self, cpu_ms: f64, total_ms: f64, io: IoStats) {
+        self.queries += 1;
+        self.cpu_ms += cpu_ms;
+        self.total_ms += total_ms;
+        self.io += io;
+    }
+
+    /// Records one query's accuracy against ground truth.
+    pub fn record_accuracy(&mut self, a: Accuracy) {
+        self.scored += 1;
+        if a.r_fp.is_finite() {
+            self.r_fp_sum += a.r_fp;
+        } else {
+            self.unbounded_r_fp += 1;
+        }
+        self.r_fn_sum += a.r_fn;
+    }
+
+    /// Mean `r_fp` over the scored queries with a bounded ratio —
+    /// always finite. `None` when no scored query had a bounded ratio;
+    /// report [`unbounded_r_fp`](Scoreboard::unbounded_r_fp) alongside
+    /// the mean when it is nonzero.
+    pub fn mean_r_fp(&self) -> Option<f64> {
+        let bounded = self.scored - self.unbounded_r_fp;
+        (bounded > 0).then(|| self.r_fp_sum / bounded as f64)
+    }
+
+    /// Mean `r_fn` over scored queries; `None` when nothing was scored.
+    pub fn mean_r_fn(&self) -> Option<f64> {
+        (self.scored > 0).then(|| self.r_fn_sum / self.scored as f64)
+    }
+
+    /// Mean per-query CPU milliseconds (0 when no query ran).
+    pub fn mean_cpu_ms(&self) -> f64 {
+        self.cpu_ms / self.queries.max(1) as f64
+    }
+
+    /// Mean per-query total cost in milliseconds (0 when no query ran).
+    pub fn mean_total_ms(&self) -> f64 {
+        self.total_ms / self.queries.max(1) as f64
+    }
+
+    /// Mean per-query physical I/Os (misses + writebacks).
+    pub fn mean_physical_ios(&self) -> f64 {
+        self.io.physical_ios() as f64 / self.queries.max(1) as f64
     }
 }
 
@@ -109,5 +200,49 @@ mod tests {
         let truth = rs(&[(0.0, 0.0, 4.0, 4.0)]);
         let a = accuracy(&truth, &RegionSet::new());
         assert!((a.r_fn - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoreboard_excludes_unbounded_ratios_from_the_mean() {
+        let mut sb = Scoreboard::default();
+        assert_eq!(sb.mean_r_fp(), None);
+        assert_eq!(sb.mean_r_fn(), None);
+        sb.record_accuracy(Accuracy {
+            r_fp: 1.0,
+            r_fn: 0.5,
+        });
+        sb.record_accuracy(Accuracy {
+            r_fp: f64::INFINITY,
+            r_fn: 0.0,
+        });
+        sb.record_accuracy(Accuracy {
+            r_fp: 3.0,
+            r_fn: 0.25,
+        });
+        assert_eq!(sb.scored, 3);
+        assert_eq!(sb.unbounded_r_fp, 1);
+        assert_eq!(sb.mean_r_fp(), Some(2.0));
+        assert_eq!(sb.mean_r_fn(), Some(0.25));
+        assert_eq!(sb.r_fp_sum, 4.0, "unbounded ratios must not be summed");
+    }
+
+    #[test]
+    fn scoreboard_cost_means_are_zero_with_no_queries() {
+        let sb = Scoreboard::default();
+        assert_eq!(sb.mean_cpu_ms(), 0.0);
+        assert_eq!(sb.mean_total_ms(), 0.0);
+        assert_eq!(sb.mean_physical_ios(), 0.0);
+        let mut sb = sb;
+        let io = IoStats {
+            logical_reads: 4,
+            misses: 3,
+            evictions: 0,
+            writebacks: 1,
+        };
+        sb.record_cost(2.0, 6.0, io);
+        sb.record_cost(4.0, 10.0, IoStats::default());
+        assert_eq!(sb.mean_cpu_ms(), 3.0);
+        assert_eq!(sb.mean_total_ms(), 8.0);
+        assert_eq!(sb.mean_physical_ios(), 2.0);
     }
 }

@@ -1,0 +1,782 @@
+//! The shared-nothing sharded engine plane.
+//!
+//! The PDR machinery is embarrassingly partitionable in space: a point
+//! `p` is ρ-dense from objects within `l/2` of `p` (plus one structure
+//! cell of classification slack), so a shard that *owns* a sub-rectangle
+//! of the domain can answer exactly for every owned point as long as it
+//! also sees the **ghost objects** within a halo of its cut lines.
+//!
+//! * [`ShardMap`] — a regular `Sx × Sy` partition of the domain. Each
+//!   shard owns one sub-rectangle (edge shards own out to infinity, so
+//!   the owned rectangles tile the whole plane) and ingests everything
+//!   whose trajectory passes within `halo` of it.
+//! * [`ShardedEngine`] — implements [`DensityEngine`] over a vector of
+//!   inner engines, one per shard, each with its own buffer pool, WAL
+//!   segment, checkpoint, and fault scope:
+//!   - `apply_batch` screens once at the router, then routes each
+//!     update by [`Update::routing_bbox`] to its owner shard **and**
+//!     every shard whose halo the trajectory crosses (one routing pass
+//!     computes the complete target set, so an object crossing a cut is
+//!     delivered at most once per shard);
+//!   - `query`/`interval_query` fan out across a scoped worker pool,
+//!     clip every per-shard answer to the shard's owned rectangle, and
+//!     merge through [`RegionSet::union_disjoint_clipped`] — because
+//!     the merge canonicalizes, the answer is a **bit-identical**
+//!     rectangle list to `canonicalize(unsharded answer)` at any shard
+//!     count (boundary-sweep tested for FR and PA);
+//!   - crash recovery is *shard-local*: a corrupted shard restores its
+//!     own checkpoint and replays its own WAL segment; a shard that
+//!     stays broken is stickily degraded and serves its sub-domain with
+//!     the inner engine's filter-only answer while every other shard
+//!     keeps serving exactly.
+//!
+//! # Exactness invariant
+//!
+//! With halo `≥ l/2 + 2 · pitch` (pitch = the inner engine's structure
+//! cell edge), any structure cell intersecting the owned rectangle has
+//! bit-identical contents on the shard and on an unsharded engine:
+//! objects that can contribute to such a cell lie within
+//! `l/2 + pitch` of the owned rectangle plus one cell of overhang, all
+//! inside the ingest region. FR classification is integer counting and
+//! PA tile sums add the identical contribution subsequence in the
+//! identical order (unrouted updates touch no relevant tile at all), so
+//! the per-shard answer restricted to the owned rectangle equals the
+//! unsharded answer restricted to it *as a point set* — and the
+//! canonicalizing merge turns point-set equality into rectangle-list
+//! equality.
+
+use crate::engine::{DensityEngine, EngineAnswer, EngineStats};
+use crate::obs::ObsReport;
+use crate::wal::{
+    open_checkpoint, replay, seal_checkpoint, segment_name, RecoverError, SegmentHeader, Wal,
+    WalRecord,
+};
+use crate::PdrQuery;
+use pdr_geometry::{Rect, RegionSet};
+use pdr_mobject::{screen_batch, MotionState, ObjectId, TimeHorizon, Timestamp, Update};
+use pdr_storage::{crc32, ByteReader, ByteWriter, FaultPlan, FaultStats, IoStats, StorageError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Instant;
+
+/// A regular `Sx × Sy` spatial partition of the monitored domain with a
+/// halo of ghost coverage around every cut line.
+///
+/// Interior cuts replicate the grid arithmetic of the engine structures
+/// (`lo + k * (extent / s)`), though exactness does not depend on cut
+/// alignment — the merge canonicalizes. Edge shards own out to
+/// ±infinity so that engine answers slightly overhanging the nominal
+/// domain (grid arithmetic may round the last cell past `extent`) are
+/// never lost to clipping.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMap {
+    bounds: Rect,
+    sx: u32,
+    sy: u32,
+    halo: f64,
+}
+
+impl ShardMap {
+    /// Creates a map of `sx × sy` shards over `bounds` with ghost
+    /// coverage `halo` around every cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shard axis is zero or the halo is not a finite
+    /// non-negative width.
+    pub fn new(bounds: Rect, sx: u32, sy: u32, halo: f64) -> Self {
+        assert!(sx >= 1 && sy >= 1, "shard grid must be at least 1x1");
+        assert!(
+            halo.is_finite() && halo >= 0.0,
+            "halo must be finite and non-negative, got {halo}"
+        );
+        ShardMap {
+            bounds,
+            sx,
+            sy,
+            halo,
+        }
+    }
+
+    /// Total number of shards.
+    pub fn shards(&self) -> usize {
+        (self.sx as usize) * (self.sy as usize)
+    }
+
+    /// Shards per side, `(sx, sy)`.
+    pub fn grid(&self) -> (u32, u32) {
+        (self.sx, self.sy)
+    }
+
+    /// The halo width around every cut line.
+    pub fn halo(&self) -> f64 {
+        self.halo
+    }
+
+    /// The nominal (finite) domain the map partitions.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    fn cut_x(&self, k: u32) -> f64 {
+        self.bounds.x_lo + k as f64 * (self.bounds.width() / self.sx as f64)
+    }
+
+    fn cut_y(&self, k: u32) -> f64 {
+        self.bounds.y_lo + k as f64 * (self.bounds.height() / self.sy as f64)
+    }
+
+    /// The finite tile of shard `i` (row-major: `i = row * sx + col`),
+    /// for display and metrics.
+    pub fn tile(&self, i: usize) -> Rect {
+        let (col, row) = (i as u32 % self.sx, i as u32 / self.sx);
+        Rect::new(
+            self.cut_x(col),
+            self.cut_y(row),
+            if col + 1 == self.sx {
+                self.bounds.x_hi
+            } else {
+                self.cut_x(col + 1)
+            },
+            if row + 1 == self.sy {
+                self.bounds.y_hi
+            } else {
+                self.cut_y(row + 1)
+            },
+        )
+    }
+
+    /// The rectangle shard `i` *owns* — its tile with outer edges
+    /// extended to ±infinity, so the owned rectangles of all shards
+    /// tile the entire plane. Per-shard answers are clipped to this.
+    pub fn owned(&self, i: usize) -> Rect {
+        let (col, row) = (i as u32 % self.sx, i as u32 / self.sx);
+        Rect::new(
+            if col == 0 {
+                f64::NEG_INFINITY
+            } else {
+                self.cut_x(col)
+            },
+            if row == 0 {
+                f64::NEG_INFINITY
+            } else {
+                self.cut_y(row)
+            },
+            if col + 1 == self.sx {
+                f64::INFINITY
+            } else {
+                self.cut_x(col + 1)
+            },
+            if row + 1 == self.sy {
+                f64::INFINITY
+            } else {
+                self.cut_y(row + 1)
+            },
+        )
+    }
+
+    /// The region shard `i` ingests: its owned rectangle inflated by
+    /// the halo. An update is routed to shard `i` iff its
+    /// [`Update::routing_bbox`] intersects this (closed semantics —
+    /// touching the halo edge still routes, a superset of what
+    /// exactness needs).
+    pub fn ingest_region(&self, i: usize) -> Rect {
+        self.owned(i).inflate(self.halo)
+    }
+
+    /// Indices of every shard whose ingest region intersects `bbox`.
+    pub fn route(&self, bbox: &Rect) -> impl Iterator<Item = usize> + '_ {
+        let bbox = *bbox;
+        (0..self.shards()).filter(move |&i| self.ingest_region(i).intersects(&bbox))
+    }
+}
+
+/// Everything one shard owns: its engine, its WAL segment, and its
+/// latest checkpoint (with the segment offset it replays from).
+struct ShardState {
+    engine: Box<dyn DensityEngine>,
+    wal: Wal,
+    checkpoint: Option<Vec<u8>>,
+    checkpoint_offset: usize,
+}
+
+/// A shared-nothing sharded engine plane, itself a [`DensityEngine`].
+///
+/// Fault scoping: [`set_fault_plan`](DensityEngine::set_fault_plan)
+/// installs the plan beneath **shard 0 only**, so fault injection
+/// exercises partial degradation — the faulted shard recovers or
+/// degrades while every other shard keeps serving exactly. Use
+/// [`set_shard_fault_plan`](ShardedEngine::set_shard_fault_plan) to
+/// target a specific shard.
+pub struct ShardedEngine {
+    name: &'static str,
+    map: ShardMap,
+    horizon: TimeHorizon,
+    t_base: Timestamp,
+    threads: usize,
+    shards: Vec<RwLock<ShardState>>,
+    degraded: Vec<AtomicBool>,
+    updates_applied: u64,
+    rejected_updates: u64,
+    queries_served: AtomicU64,
+}
+
+impl ShardedEngine {
+    /// Builds the plane: `build(i)` constructs shard `i`'s inner engine
+    /// (each one a full-domain engine that will simply see a routed
+    /// subset of the traffic).
+    pub fn new(
+        name: &'static str,
+        map: ShardMap,
+        horizon: TimeHorizon,
+        t_start: Timestamp,
+        threads: usize,
+        mut build: impl FnMut(usize) -> Box<dyn DensityEngine>,
+    ) -> Self {
+        let n = map.shards();
+        let shards = (0..n)
+            .map(|i| {
+                let header = SegmentHeader {
+                    shard: i as u32,
+                    shards: n as u32,
+                };
+                let wal = Wal::new_segment(header);
+                let checkpoint_offset = wal.offset();
+                RwLock::new(ShardState {
+                    engine: build(i),
+                    wal,
+                    checkpoint: None,
+                    checkpoint_offset,
+                })
+            })
+            .collect();
+        ShardedEngine {
+            name,
+            map,
+            horizon,
+            t_base: t_start,
+            threads,
+            shards,
+            degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            updates_applied: 0,
+            rejected_updates: 0,
+            queries_served: AtomicU64::new(0),
+        }
+    }
+
+    /// The spatial partition this plane serves.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// `true` when shard `i` is stickily degraded.
+    pub fn shard_degraded(&self, i: usize) -> bool {
+        self.degraded[i].load(Ordering::Acquire)
+    }
+
+    /// Installs a fault plan beneath one specific shard's storage.
+    pub fn set_shard_fault_plan(&self, shard: usize, plan: FaultPlan) {
+        self.read_shard(shard).engine.set_fault_plan(plan);
+    }
+
+    /// Re-checkpoints every shard and marks its WAL segment position,
+    /// bounding shard-local replay work. Called automatically after
+    /// [`bulk_load`](DensityEngine::bulk_load).
+    pub fn refresh_checkpoints(&mut self) {
+        for lock in &self.shards {
+            let mut s = lock.write().unwrap_or_else(|p| p.into_inner());
+            if let Some(cp) = s.engine.checkpoint() {
+                s.checkpoint = Some(cp);
+                s.checkpoint_offset = s.wal.offset();
+            }
+        }
+    }
+
+    fn workers(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
+    fn read_shard(&self, i: usize) -> std::sync::RwLockReadGuard<'_, ShardState> {
+        self.shards[i].read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Runs `f(i)` for every shard, fanning out across at most
+    /// `workers()` scoped threads; results come back in shard order and
+    /// a child panic is re-raised with its original payload (so the
+    /// serve loop's fault-caused-panic detection keeps working).
+    fn fan_out<R: Send>(&self, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let n = self.shards.len();
+        let workers = self.workers().min(n);
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let chunk_len = n.div_ceil(workers);
+        let mut payload = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = out
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(w, chunk)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(f(w * chunk_len + j));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(p) = h.join() {
+                    payload.get_or_insert(p);
+                }
+            }
+        });
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every shard slot filled"))
+            .collect()
+    }
+
+    /// Shard-local crash recovery: restore the shard's checkpoint and
+    /// replay its WAL segment tail. The rest of the plane is untouched.
+    fn recover_shard(&self, i: usize) -> Result<(), ()> {
+        let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+        let ShardState {
+            engine,
+            wal,
+            checkpoint,
+            checkpoint_offset,
+        } = &mut *s;
+        let Some(cp) = checkpoint.as_deref() else {
+            return Err(());
+        };
+        engine.restore_from(cp).map_err(|_| ())?;
+        let tail = replay(&wal.bytes()[*checkpoint_offset..]).map_err(|_| ())?;
+        for rec in tail.records {
+            match rec {
+                WalRecord::Advance(t) => engine.advance_to(t),
+                WalRecord::Batch(batch) => engine.apply_batch(&batch),
+            }
+        }
+        Ok(())
+    }
+
+    /// The degraded answer for shard `i`, or the error that forced it.
+    fn degraded_shard_answer(
+        &self,
+        i: usize,
+        q: &PdrQuery,
+        err: StorageError,
+    ) -> Result<EngineAnswer, StorageError> {
+        match self.read_shard(i).engine.degraded_query(q) {
+            Some(a) => Ok(a),
+            None => Err(err),
+        }
+    }
+
+    /// One shard's (unclipped) answer: healthy shards answer exactly;
+    /// corruption triggers shard-local recovery and one retry; a shard
+    /// that stays broken on a non-transient fault is stickily degraded
+    /// and serves filter-only from then on. Transient faults propagate
+    /// so the caller can retry the whole query under its own policy.
+    fn shard_query(&self, i: usize, q: &PdrQuery) -> Result<EngineAnswer, StorageError> {
+        if self.degraded[i].load(Ordering::Acquire) {
+            let synthetic = StorageError::ReadFailed {
+                page: pdr_storage::PageId(0),
+                transient: false,
+            };
+            return self.degraded_shard_answer(i, q, synthetic);
+        }
+        let err = match self.read_shard(i).engine.try_query(q) {
+            Ok(a) => return Ok(a),
+            Err(e) => e,
+        };
+        if err.is_transient() {
+            return Err(err);
+        }
+        if err.is_corruption() && self.recover_shard(i).is_ok() {
+            if let Ok(a) = self.read_shard(i).engine.try_query(q) {
+                return Ok(a);
+            }
+        }
+        self.degraded[i].store(true, Ordering::Release);
+        self.degraded_shard_answer(i, q, err)
+    }
+
+    /// Merges per-shard answers: clip to owned rectangles, canonical
+    /// union, accumulate I/O, AND together exactness.
+    fn merge(&self, parts: Vec<EngineAnswer>, started: Instant) -> EngineAnswer {
+        let mut io = IoStats::default();
+        let mut exact = true;
+        for a in &parts {
+            io += a.io;
+            exact &= a.exact;
+        }
+        let regions = RegionSet::union_disjoint_clipped(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (&a.regions, self.map.owned(i))),
+        );
+        EngineAnswer {
+            regions,
+            cpu: started.elapsed(),
+            io,
+            exact,
+        }
+    }
+
+    fn route_targets(&self, u: &Update) -> impl Iterator<Item = usize> + '_ {
+        let bbox = u.routing_bbox(self.horizon.h());
+        self.map.route(&bbox)
+    }
+}
+
+fn finite(m: &MotionState) -> bool {
+    m.origin.x.is_finite()
+        && m.origin.y.is_finite()
+        && m.velocity.x.is_finite()
+        && m.velocity.y.is_finite()
+}
+
+impl DensityEngine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
+        let h = self.horizon.h();
+        let mut per_shard: Vec<Vec<(ObjectId, MotionState)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for &(id, m) in objects {
+            if !finite(&m) {
+                // Route to shard 0 so the inner screening rejects (and
+                // counts) the report exactly once.
+                per_shard[0].push((id, m));
+                continue;
+            }
+            let bbox = Rect::from_corners(m.position_at(m.t_ref), m.position_at(m.t_ref + h));
+            for i in self.map.route(&bbox) {
+                per_shard[i].push((id, m));
+            }
+        }
+        self.updates_applied += objects.len() as u64;
+        let per_shard = &per_shard;
+        self.fan_out(|i| {
+            let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+            s.engine.bulk_load(&per_shard[i], t_now);
+        });
+        self.refresh_checkpoints();
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        // Screen once at the router (the same window the inner engines
+        // enforce) so rejects are counted exactly once, then route the
+        // accepted traffic. One pass computes each update's complete
+        // target set, so re-routing at a cut crossing never duplicates
+        // a delivery within a shard.
+        let rejected = screen_batch(updates, Some((self.t_base, self.horizon)));
+        self.rejected_updates += rejected.len() as u64;
+        let mut per_shard: Vec<Vec<Update>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut next = 0usize;
+        for (idx, u) in updates.iter().enumerate() {
+            if next < rejected.len() && rejected[next].0 == idx {
+                next += 1;
+                continue;
+            }
+            self.updates_applied += 1;
+            for i in self.route_targets(u) {
+                per_shard[i].push(*u);
+            }
+        }
+        let per_shard = &per_shard;
+        self.fan_out(|i| {
+            if per_shard[i].is_empty() {
+                return;
+            }
+            let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+            s.wal.append_batch(&per_shard[i]);
+            s.engine.apply_batch(&per_shard[i]);
+        });
+    }
+
+    fn advance_to(&mut self, t_now: Timestamp) {
+        self.t_base = t_now;
+        self.fan_out(|i| {
+            let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+            s.wal.append_advance(t_now);
+            s.engine.advance_to(t_now);
+        });
+    }
+
+    fn query(&self, q: &PdrQuery) -> EngineAnswer {
+        self.try_query(q)
+            .expect("sharded query hit a storage fault; use try_query when serving with faults")
+    }
+
+    fn try_query(&self, q: &PdrQuery) -> Result<EngineAnswer, StorageError> {
+        let started = Instant::now();
+        let results = self.fan_out(|i| self.shard_query(i, q));
+        let mut parts = Vec::with_capacity(results.len());
+        for r in results {
+            parts.push(r?);
+        }
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        Ok(self.merge(parts, started))
+    }
+
+    fn degraded_query(&self, q: &PdrQuery) -> Option<EngineAnswer> {
+        let started = Instant::now();
+        let results = self.fan_out(|i| self.read_shard(i).engine.degraded_query(q));
+        let parts: Option<Vec<EngineAnswer>> = results.into_iter().collect();
+        let mut merged = self.merge(parts?, started);
+        merged.exact = false;
+        Some(merged)
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        // Compose the per-shard checkpoints into one sealed container:
+        // [count u32] then per shard [len u64][crc u32][bytes].
+        let mut w = ByteWriter::new();
+        w.put_u32(self.shards.len() as u32);
+        for i in 0..self.shards.len() {
+            let cp = self.read_shard(i).engine.checkpoint()?;
+            w.put_u64(cp.len() as u64);
+            w.put_u32(crc32(&cp));
+            w.put_bytes(&cp);
+        }
+        Some(seal_checkpoint(&w.into_bytes()))
+    }
+
+    fn restore_from(&mut self, bytes: &[u8]) -> Result<(), RecoverError> {
+        let payload = open_checkpoint(bytes)?;
+        let mut r = ByteReader::new(payload);
+        let n = r.get_u32()? as usize;
+        if n != self.shards.len() {
+            return Err(RecoverError::Mismatch(
+                "checkpoint was taken at a different shard count",
+            ));
+        }
+        let mut pos = payload.len() - r.remaining();
+        for i in 0..n {
+            let mut r = ByteReader::new(&payload[pos..]);
+            let len = r.get_u64()? as usize;
+            let crc = r.get_u32()?;
+            let header = 12;
+            let slice = payload
+                .get(pos + header..pos + header + len)
+                .ok_or(RecoverError::Codec(pdr_storage::CodecError::UnexpectedEof))?;
+            if crc32(slice) != crc {
+                return Err(RecoverError::Codec(pdr_storage::CodecError::Corrupt(
+                    "per-shard checkpoint checksum mismatch",
+                )));
+            }
+            pos += header + len;
+            let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+            s.engine.restore_from(slice)?;
+            s.checkpoint = Some(slice.to_vec());
+            s.wal = Wal::new_segment(SegmentHeader {
+                shard: i as u32,
+                shards: n as u32,
+            });
+            s.checkpoint_offset = s.wal.offset();
+            self.degraded[i].store(false, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        // Scoped to shard 0: fault injection exercises *partial*
+        // degradation — only the faulted shard's sub-domain degrades.
+        self.set_shard_fault_plan(0, plan);
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for i in 0..self.shards.len() {
+            total += self.read_shard(i).engine.fault_stats();
+        }
+        total
+    }
+
+    fn interval_query(&self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
+        let parts = self.fan_out(|i| {
+            if self.degraded[i].load(Ordering::Acquire) {
+                // Filter-only union over the interval for a lost shard.
+                let mut acc = RegionSet::new();
+                for t in from..=to {
+                    if let Some(a) = self
+                        .read_shard(i)
+                        .engine
+                        .degraded_query(&PdrQuery::new(rho, l, t))
+                    {
+                        acc.extend_from(&a.regions);
+                    }
+                }
+                acc
+            } else {
+                self.read_shard(i).engine.interval_query(rho, l, from, to)
+            }
+        });
+        RegionSet::union_disjoint_clipped(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, rs)| (rs, self.map.owned(i))),
+        )
+    }
+
+    fn stats(&self) -> EngineStats {
+        // Router-level counts for protocol totals (each input update
+        // counted once, however many shards it was replicated to);
+        // shard sums for capacity numbers (`objects` therefore counts
+        // halo ghosts once per replica — it measures shard load, not
+        // distinct objects).
+        let mut memory_bytes = 0usize;
+        let mut objects = 0usize;
+        let mut missed_deletes = 0u64;
+        let mut inner_rejected = 0u64;
+        for i in 0..self.shards.len() {
+            let st = self.read_shard(i).engine.stats();
+            memory_bytes += st.memory_bytes;
+            objects += st.objects;
+            missed_deletes += st.missed_deletes;
+            inner_rejected += st.rejected_updates;
+        }
+        EngineStats {
+            updates_applied: self.updates_applied,
+            missed_deletes,
+            rejected_updates: self.rejected_updates + inner_rejected,
+            memory_bytes,
+            objects,
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+        }
+    }
+
+    fn obs(&self) -> ObsReport {
+        // Counters sum across shards; per-stage latency detail lives in
+        // `shard_metrics_json` (histogram snapshots do not merge).
+        let mut counters: Vec<(&'static str, u64)> = Vec::new();
+        for i in 0..self.shards.len() {
+            for (name, v) in self.read_shard(i).engine.obs().counters {
+                match counters.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, total)) => *total += v,
+                    None => counters.push((name, v)),
+                }
+            }
+        }
+        ObsReport {
+            counters,
+            stages: Vec::new(),
+        }
+    }
+
+    fn set_obs_enabled(&mut self, on: bool) {
+        for lock in &self.shards {
+            let mut s = lock.write().unwrap_or_else(|p| p.into_inner());
+            s.engine.set_obs_enabled(on);
+        }
+    }
+
+    fn shard_metrics_json(&self) -> Option<String> {
+        let blocks: Vec<String> = (0..self.shards.len())
+            .map(|i| {
+                let s = self.read_shard(i);
+                let st = s.engine.stats();
+                let tile = self.map.tile(i);
+                format!(
+                    "{{\"shard\":{i},\"segment\":\"{}\",\"tile\":[{},{},{},{}],\
+                     \"degraded\":{},\"wal_records\":{},\"wal_bytes\":{},\
+                     \"objects\":{},\"updates_applied\":{},\"queries_served\":{},\
+                     \"faults\":{},\"obs\":{}}}",
+                    segment_name(i as u32),
+                    crate::obs::json_f64(tile.x_lo),
+                    crate::obs::json_f64(tile.y_lo),
+                    crate::obs::json_f64(tile.x_hi),
+                    crate::obs::json_f64(tile.y_hi),
+                    self.degraded[i].load(Ordering::Acquire),
+                    s.wal.records(),
+                    s.wal.bytes().len(),
+                    st.objects,
+                    st.updates_applied,
+                    st.queries_served,
+                    s.engine.fault_stats().injected(),
+                    s.engine.obs().to_json(),
+                )
+            })
+            .collect();
+        Some(format!("[{}]", blocks.join(",")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdr_geometry::Point;
+
+    fn map_2x2() -> ShardMap {
+        ShardMap::new(Rect::new(0.0, 0.0, 100.0, 100.0), 2, 2, 10.0)
+    }
+
+    #[test]
+    fn owned_rects_tile_the_plane() {
+        let map = map_2x2();
+        assert_eq!(map.shards(), 4);
+        // Every point belongs to exactly one owned rect (half-open).
+        for &p in &[
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(49.999, 50.0),
+            Point::new(-1e9, 1e9),
+            Point::new(120.0, -3.0),
+        ] {
+            let owners: Vec<usize> = (0..4)
+                .filter(|&i| map.owned(i).contains_half_open(p))
+                .collect();
+            assert_eq!(owners.len(), 1, "point {p:?} owned by {owners:?}");
+        }
+        // Tiles are finite and cover the nominal bounds.
+        let mut area = 0.0;
+        for i in 0..4 {
+            area += map.tile(i).area();
+        }
+        assert!((area - 100.0 * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn routing_includes_halo_neighbors() {
+        let map = map_2x2();
+        // A box strictly inside shard 0's tile, far from cuts: one target.
+        let inner = Rect::new(10.0, 10.0, 20.0, 20.0);
+        assert_eq!(map.route(&inner).collect::<Vec<_>>(), vec![0]);
+        // A box within halo distance of the x = 50 cut: shards 0 and 1.
+        let near_cut = Rect::new(41.0, 10.0, 45.0, 20.0);
+        assert_eq!(map.route(&near_cut).collect::<Vec<_>>(), vec![0, 1]);
+        // A box on the cut crossing: all four.
+        let center = Rect::new(49.0, 49.0, 51.0, 51.0);
+        assert_eq!(map.route(&center).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // Outside the nominal bounds still routes (edge shards own the
+        // plane out to infinity).
+        let outside = Rect::new(150.0, 150.0, 160.0, 160.0);
+        assert_eq!(map.route(&outside).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn one_by_one_map_routes_everything_to_shard_zero() {
+        let map = ShardMap::new(Rect::new(0.0, 0.0, 100.0, 100.0), 1, 1, 0.0);
+        let anywhere = Rect::new(-1e12, -1e12, 1e12, 1e12);
+        assert_eq!(map.route(&anywhere).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            map.route(&Rect::new(3.0, 3.0, 4.0, 4.0))
+                .collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+}

@@ -25,17 +25,17 @@ use pdr_geometry::{Point, Rect, RegionSet};
 /// object position within `target.inflate(l/2)` (a superset is fine;
 /// objects further out cannot affect any point of `target`).
 ///
-/// Takes the positions by value and sorts them in place: refinement
-/// callers build a fresh position vector per candidate cell anyway, so
-/// handing it over avoids a second allocation + copy per cell (the old
-/// slice signature cloned internally). Borrowing callers go through
-/// [`refine_region_set`], which pays the one copy explicitly.
+/// Sorts `objects` in place through the mutable borrow: the refinement
+/// hot loop refills one positions buffer per candidate cell and hands
+/// the same buffer here every time, so no per-cell vector is allocated.
+/// Borrowing callers go through [`refine_region_set`], which pays the
+/// one copy explicitly.
 ///
 /// Returns half-open `[lo, hi)` rectangles, not yet coalesced (callers
 /// merging several cells coalesce once at the end).
 pub fn refine_region(
     target: &Rect,
-    objects: Vec<Point>,
+    objects: &mut [Point],
     threshold: DenseThreshold,
     l: f64,
 ) -> Vec<Rect> {
@@ -50,15 +50,15 @@ pub fn refine_region(
     }
     let half = l / 2.0;
 
-    // Objects sorted by x for the band sweep (in place — we own them).
-    let mut by_x = objects;
+    // Objects sorted by x for the band sweep (in the caller's buffer).
+    let by_x = objects;
     by_x.sort_by(|a, b| a.x.total_cmp(&b.x));
 
     // Stopping events along X, clamped to the target.
     let mut xs: Vec<f64> = Vec::with_capacity(2 * by_x.len() + 2);
     xs.push(target.x_lo);
     xs.push(target.x_hi);
-    for p in &by_x {
+    for p in by_x.iter() {
         for e in [p.x - half, p.x + half] {
             if e > target.x_lo && e < target.x_hi {
                 xs.push(e);
@@ -156,7 +156,8 @@ pub fn refine_region_set(
     threshold: DenseThreshold,
     l: f64,
 ) -> RegionSet {
-    let mut rs = RegionSet::from_rects(refine_region(target, objects.to_vec(), threshold, l));
+    let mut owned = objects.to_vec();
+    let mut rs = RegionSet::from_rects(refine_region(target, &mut owned, threshold, l));
     rs.coalesce();
     rs
 }
@@ -174,8 +175,8 @@ mod tests {
     #[test]
     fn empty_when_too_few_objects() {
         let target = Rect::new(0.0, 0.0, 10.0, 10.0);
-        let objects = vec![Point::new(5.0, 5.0)];
-        assert!(refine_region(&target, objects, thresh(2.0), 2.0).is_empty());
+        let mut objects = vec![Point::new(5.0, 5.0)];
+        assert!(refine_region(&target, &mut objects, thresh(2.0), 2.0).is_empty());
     }
 
     #[test]
@@ -290,10 +291,10 @@ mod tests {
     fn fractional_threshold() {
         // threshold 2.5 means 3 objects needed.
         let target = Rect::new(0.0, 0.0, 10.0, 10.0);
-        let two = vec![Point::new(5.0, 5.0); 2];
-        assert!(refine_region(&target, two, thresh(2.5), 2.0).is_empty());
-        let three = vec![Point::new(5.0, 5.0); 3];
-        assert!(!refine_region(&target, three, thresh(2.5), 2.0).is_empty());
+        let mut two = vec![Point::new(5.0, 5.0); 2];
+        assert!(refine_region(&target, &mut two, thresh(2.5), 2.0).is_empty());
+        let mut three = vec![Point::new(5.0, 5.0); 3];
+        assert!(!refine_region(&target, &mut three, thresh(2.5), 2.0).is_empty());
     }
 
     #[test]

@@ -214,6 +214,86 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, CodecError> {
 }
 
 // ---------------------------------------------------------------------
+// Per-shard WAL segments
+// ---------------------------------------------------------------------
+
+/// Magic prefix of a per-shard WAL *segment*. A legacy single-file
+/// journal starts with a frame length (a small little-endian `u32`), so
+/// the two layouts are unambiguous: `b"PDWS"` decodes as the
+/// implausible frame length `0x5357_4450` (> 1 GiB), which
+/// [`replay`] treats as a torn tail rather than data, and no real
+/// frame can start with these bytes.
+const SEG_MAGIC: &[u8; 4] = b"PDWS";
+const SEG_VERSION: u16 = 1;
+
+/// Identity of one per-shard WAL segment, stored in its header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Index of the shard that owns this segment.
+    pub shard: u32,
+    /// Total shard count of the plane that wrote it (a rebuilt plane
+    /// with a different shard grid must not replay foreign segments).
+    pub shards: u32,
+}
+
+/// Encoded byte length of a segment header.
+pub const SEGMENT_HEADER_LEN: usize = 4 + 2 + 4 + 4;
+
+/// File name of shard `shard`'s WAL segment. The legacy single-file
+/// journal is [`LEGACY_JOURNAL_NAME`]; segment names embed a zero-padded
+/// shard index behind a distinct `.seg` infix, so no shard count can
+/// ever produce the legacy name (regression-tested).
+pub fn segment_name(shard: u32) -> String {
+    format!("journal.seg{shard:04}.wal")
+}
+
+/// The single-file journal name used before the plane was sharded.
+pub const LEGACY_JOURNAL_NAME: &str = "journal.wal";
+
+/// Encodes a segment header (prepend to an empty segment's bytes).
+pub fn encode_segment_header(h: SegmentHeader) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(SEGMENT_HEADER_LEN);
+    w.put_bytes(SEG_MAGIC);
+    w.put_u16(SEG_VERSION);
+    w.put_u32(h.shard);
+    w.put_u32(h.shards);
+    w.into_bytes()
+}
+
+/// Replays either layout: a headered per-shard segment (returns its
+/// [`SegmentHeader`]) or a legacy headerless journal (returns `None`).
+/// This is the migration shim — a plane upgraded to per-shard segments
+/// keeps reading journals written before the upgrade.
+pub fn replay_any(bytes: &[u8]) -> Result<(Option<SegmentHeader>, WalReplay), CodecError> {
+    if bytes.len() >= SEGMENT_HEADER_LEN && &bytes[..4] == SEG_MAGIC {
+        let mut r = ByteReader::new(&bytes[..SEGMENT_HEADER_LEN]);
+        r.expect_magic(SEG_MAGIC)?;
+        let version = r.get_u16()?;
+        if version != SEG_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let header = SegmentHeader {
+            shard: r.get_u32()?,
+            shards: r.get_u32()?,
+        };
+        return Ok((Some(header), replay(&bytes[SEGMENT_HEADER_LEN..])?));
+    }
+    Ok((None, replay(bytes)?))
+}
+
+impl Wal {
+    /// An empty per-shard segment: its byte stream starts with the
+    /// encoded [`SegmentHeader`], so it can never be confused with (or
+    /// overwrite the meaning of) a legacy journal.
+    pub fn new_segment(header: SegmentHeader) -> Self {
+        Wal {
+            bytes: encode_segment_header(header),
+            records: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Checkpoint container
 // ---------------------------------------------------------------------
 
@@ -342,6 +422,77 @@ mod tests {
         let replay_rot = replay(&bitrot).expect("checksum failure is a torn tail");
         assert_eq!(replay_rot.records, vec![WalRecord::Advance(1)]);
         assert!(replay_rot.torn_bytes > 0);
+    }
+
+    #[test]
+    fn segment_names_cannot_collide_with_legacy_journal() {
+        // Sweep a generous shard range: every segment name is distinct
+        // and none equals the legacy single-file journal name.
+        let mut seen = std::collections::HashSet::new();
+        for shard in 0..4096u32 {
+            let name = segment_name(shard);
+            assert_ne!(name, LEGACY_JOURNAL_NAME, "shard {shard}");
+            assert!(seen.insert(name), "duplicate segment name for {shard}");
+        }
+    }
+
+    #[test]
+    fn replay_any_reads_both_layouts() {
+        // New layout: headered per-shard segment.
+        let header = SegmentHeader {
+            shard: 3,
+            shards: 8,
+        };
+        let mut seg = Wal::new_segment(header);
+        seg.append_advance(7);
+        seg.append_batch(&sample_updates());
+        let (got, rep) = replay_any(seg.bytes()).expect("segment decodes");
+        assert_eq!(got, Some(header));
+        assert_eq!(rep.records.len(), 2);
+        assert_eq!(rep.records[0], WalRecord::Advance(7));
+
+        // Old layout: the same records written by a pre-shard journal
+        // are still replayed by the upgraded reader (migration shim).
+        let mut legacy = Wal::new();
+        legacy.append_advance(7);
+        legacy.append_batch(&sample_updates());
+        let (none, rep_legacy) = replay_any(legacy.bytes()).expect("legacy decodes");
+        assert_eq!(none, None);
+        assert_eq!(rep_legacy.records, rep.records);
+
+        // A legacy reader fed a headered segment must not misparse it
+        // as records: the magic is an implausible frame length, so it
+        // reads as an all-torn tail, never as garbage updates.
+        let as_legacy = replay(seg.bytes()).expect("not a format error");
+        assert!(as_legacy.records.is_empty());
+        assert_eq!(as_legacy.torn_bytes, seg.bytes().len());
+
+        // Version gate.
+        let mut bad = seg.bytes().to_vec();
+        bad[4] = 9;
+        assert_eq!(replay_any(&bad).unwrap_err(), CodecError::BadVersion(9));
+    }
+
+    #[test]
+    fn segment_header_survives_torn_tail() {
+        let mut seg = Wal::new_segment(SegmentHeader {
+            shard: 0,
+            shards: 2,
+        });
+        seg.append_advance(1);
+        seg.append_batch(&sample_updates());
+        let full = seg.bytes().to_vec();
+        let torn = &full[..full.len() - 3];
+        let (h, rep) = replay_any(torn).expect("torn tail tolerated");
+        assert_eq!(
+            h,
+            Some(SegmentHeader {
+                shard: 0,
+                shards: 2
+            })
+        );
+        assert_eq!(rep.records, vec![WalRecord::Advance(1)]);
+        assert!(rep.torn_bytes > 0);
     }
 
     #[test]

@@ -118,6 +118,113 @@ impl RegionSet {
         merge_axis(&mut self.rects, /*vertical=*/ true);
         merge_axis(&mut self.rects, /*vertical=*/ false);
     }
+
+    /// Rewrites the set into its *canonical maximal-slab decomposition*:
+    /// disjoint rectangles, each spanning a maximal X-run over which the
+    /// union's Y-cross-section is one fixed maximal interval, sorted by
+    /// `(x_lo, y_lo)`.
+    ///
+    /// The result depends only on the union **as a point set** — not on
+    /// how it was cut into rectangles. This is the property the sharded
+    /// engine plane relies on: [`coalesce`](RegionSet::coalesce) is *not*
+    /// confluent under re-cutting (merging cells `[0,1]×[0,1]`,
+    /// `[1,2]×[0,1]`, `[1,2]×[1,2]` vertically-first joins a different
+    /// pair depending on which shard cut separated them), whereas two
+    /// canonicalized sets covering the same points are bit-identical
+    /// rectangle lists. All comparisons are exact (`f64::total_cmp`), no
+    /// epsilon: shards hand back coordinates copied from the same
+    /// arithmetic the unsharded engine performs.
+    pub fn canonicalize(&mut self) {
+        self.rects.retain(|r| !r.is_degenerate());
+        if self.rects.len() < 2 {
+            self.rects
+                .sort_by(|a, b| a.x_lo.total_cmp(&b.x_lo).then(a.y_lo.total_cmp(&b.y_lo)));
+            return;
+        }
+        let mut xs: Vec<f64> = Vec::with_capacity(2 * self.rects.len());
+        for r in &self.rects {
+            xs.push(r.x_lo);
+            xs.push(r.x_hi);
+        }
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| a.total_cmp(b).is_eq());
+
+        let mut out: Vec<Rect> = Vec::new();
+        // Rectangles still extendable rightward (their y-run persisted
+        // through the previous slab).
+        let mut open: Vec<Rect> = Vec::new();
+        let mut spans: Vec<(f64, f64)> = Vec::new();
+        for w in xs.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            if x0 >= x1 {
+                continue; // e.g. the zero-width -0.0 / +0.0 slab
+            }
+            // Maximal disjoint Y-runs of the union inside this slab.
+            spans.clear();
+            spans.extend(
+                self.rects
+                    .iter()
+                    .filter(|r| r.x_lo <= x0 && x0 < r.x_hi)
+                    .map(|r| (r.y_lo, r.y_hi)),
+            );
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            let mut runs: Vec<(f64, f64)> = Vec::with_capacity(spans.len());
+            for &(lo, hi) in &spans {
+                match runs.last_mut() {
+                    // Half-open semantics: overlapping *or* abutting runs merge.
+                    Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                    _ => runs.push((lo, hi)),
+                }
+            }
+            // Extend a surviving identical run across the slab boundary,
+            // otherwise open a fresh rectangle; unmatched leftovers close.
+            let mut next_open: Vec<Rect> = Vec::with_capacity(runs.len());
+            for &(lo, hi) in &runs {
+                let carried = open
+                    .iter()
+                    .position(|r| r.x_hi == x0 && r.y_lo == lo && r.y_hi == hi);
+                match carried {
+                    Some(i) => {
+                        let mut r = open.swap_remove(i);
+                        r.x_hi = x1;
+                        next_open.push(r);
+                    }
+                    None => next_open.push(Rect::new(x0, lo, x1, hi)),
+                }
+            }
+            out.append(&mut open);
+            open = next_open;
+        }
+        out.append(&mut open);
+        out.sort_by(|a, b| a.x_lo.total_cmp(&b.x_lo).then(a.y_lo.total_cmp(&b.y_lo)));
+        self.rects = out;
+    }
+
+    /// Boundary-aware merge of per-shard answers: clips each partial
+    /// answer to the rectangle its shard *owns* (shards also see halo
+    /// objects, so their raw answers overhang their cut lines), unions
+    /// the disjoint clipped pieces, and canonicalizes.
+    ///
+    /// Because [`canonicalize`](RegionSet::canonicalize) depends only on
+    /// the point set, the merged answer is a bit-identical rectangle list
+    /// to `canonicalize(unsharded answer)` whenever every shard computed
+    /// the exact dense region over its owned sub-rectangle — at *any*
+    /// shard count, including 1.
+    pub fn union_disjoint_clipped<'a, I>(parts: I) -> RegionSet
+    where
+        I: IntoIterator<Item = (&'a RegionSet, Rect)>,
+    {
+        let mut merged = RegionSet::new();
+        for (set, owned) in parts {
+            for r in &set.rects {
+                if let Some(clipped) = r.intersection(&owned) {
+                    merged.push(clipped); // push drops degenerate slivers
+                }
+            }
+        }
+        merged.canonicalize();
+        merged
+    }
 }
 
 impl fmt::Debug for RegionSet {
@@ -337,6 +444,101 @@ mod tests {
         );
         assert!((cells.area() - before_area).abs() < 1e-12);
         assert!(cells.symmetric_difference_area(&block) < 1e-9);
+    }
+
+    #[test]
+    fn canonicalize_is_cut_invariant_where_coalesce_is_not() {
+        // The non-confluence counterexample: an L of three unit cells.
+        // Global coalesce (vertical first) joins B+C; a shard cut at
+        // y = 1 keeps C alone and joins A+B horizontally instead. Same
+        // point set, different lists.
+        let a = (0.0, 0.0, 1.0, 1.0);
+        let b = (1.0, 0.0, 2.0, 1.0);
+        let c = (1.0, 1.0, 2.0, 2.0);
+        let mut global = rs(&[a, b, c]);
+        global.coalesce();
+        let mut bottom = rs(&[a, b]);
+        bottom.coalesce();
+        let mut top = rs(&[c]);
+        top.coalesce();
+        let mut recombined = bottom.clone();
+        recombined.extend_from(&top);
+        assert_ne!(global.rects(), recombined.rects(), "premise of the test");
+
+        let mut g = global.clone();
+        g.canonicalize();
+        let mut r = recombined.clone();
+        r.canonicalize();
+        assert_eq!(g.rects(), r.rects());
+        assert!((g.area() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonicalize_preserves_point_set_and_sorts() {
+        let mut s = rs(&[
+            (0.0, 0.0, 2.0, 2.0),
+            (1.0, 1.0, 3.0, 3.0), // overlaps the first
+            (2.0, 0.0, 3.0, 1.0),
+            (5.0, 5.0, 6.0, 6.0),
+        ]);
+        let before = s.clone();
+        s.canonicalize();
+        assert!(s.symmetric_difference_area(&before) < 1e-12);
+        // Disjoint output, sorted by (x_lo, y_lo).
+        for (i, a) in s.rects().iter().enumerate() {
+            for b in &s.rects()[i + 1..] {
+                assert!(!a.overlaps_interior(b), "{a:?} overlaps {b:?}");
+            }
+        }
+        let mut sorted = s.rects().to_vec();
+        sorted.sort_by(|a, b| a.x_lo.total_cmp(&b.x_lo).then(a.y_lo.total_cmp(&b.y_lo)));
+        assert_eq!(s.rects(), sorted.as_slice());
+        // Idempotent.
+        let mut again = s.clone();
+        again.canonicalize();
+        assert_eq!(again.rects(), s.rects());
+    }
+
+    #[test]
+    fn canonicalize_rejoins_spurious_cuts() {
+        // One 3x1 bar chopped into three pieces at arbitrary places,
+        // plus a decoy above that introduces extra x-events.
+        let mut s = rs(&[
+            (0.0, 0.0, 1.25, 1.0),
+            (1.25, 0.0, 2.5, 1.0),
+            (2.5, 0.0, 3.0, 1.0),
+            (0.5, 4.0, 2.75, 5.0),
+        ]);
+        s.canonicalize();
+        assert_eq!(
+            s.rects(),
+            &[
+                Rect::new(0.0, 0.0, 3.0, 1.0),
+                Rect::new(0.5, 4.0, 2.75, 5.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn union_disjoint_clipped_matches_canonical_whole() {
+        // A blobby answer; shard it with a 2x2 cut at (1.1, 0.7) where
+        // each "shard answer" is the whole thing (halo overhang) clipped
+        // coarsely, and check the merge equals the canonical whole.
+        let whole = rs(&[
+            (0.0, 0.0, 2.0, 1.0),
+            (0.5, 1.0, 1.5, 2.0),
+            (1.4, 0.2, 2.4, 1.4),
+        ]);
+        let cuts = [
+            Rect::new(f64::NEG_INFINITY, f64::NEG_INFINITY, 1.1, 0.7),
+            Rect::new(1.1, f64::NEG_INFINITY, f64::INFINITY, 0.7),
+            Rect::new(f64::NEG_INFINITY, 0.7, 1.1, f64::INFINITY),
+            Rect::new(1.1, 0.7, f64::INFINITY, f64::INFINITY),
+        ];
+        let merged = RegionSet::union_disjoint_clipped(cuts.iter().map(|&owned| (&whole, owned)));
+        let mut canonical = whole.clone();
+        canonical.canonicalize();
+        assert_eq!(merged.rects(), canonical.rects());
     }
 
     #[test]

@@ -289,8 +289,24 @@ impl GridIndex {
         t: Timestamp,
         io: &mut IoStats,
     ) -> Result<Vec<(ObjectId, Point)>, StorageError> {
-        let dt = self.dt(t);
         let mut out = Vec::new();
+        self.try_range_at_into(rect, t, io, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`try_range_at_collect`](GridIndex::try_range_at_collect) into a
+    /// caller-owned buffer, replacing its contents — lets the refinement
+    /// hot loop reuse one hit buffer across candidate cells instead of
+    /// allocating a fresh result vector per cell.
+    pub fn try_range_at_into(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+        out: &mut Vec<(ObjectId, Point)>,
+    ) -> Result<(), StorageError> {
+        out.clear();
+        let dt = self.dt(t);
         for cell in self.spec.all_cells() {
             let idx = self.spec.linear_index(cell);
             let Some(fp) = self.buckets[idx].footprint_at(self.spec.cell_rect(cell), dt) else {
@@ -313,7 +329,7 @@ impl GridIndex {
                 cur = node.next;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Discards all contents and storage, re-anchoring the empty index

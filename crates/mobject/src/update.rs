@@ -97,6 +97,29 @@ impl Update {
         }
     }
 
+    /// Axis-aligned bounding box of the *full* trajectory of this
+    /// update's motion over horizon `h`: the positions swept over
+    /// `[t_ref, t_ref + h]`. Motion is linear, so the box of the two
+    /// endpoint positions covers every intermediate timestamp.
+    ///
+    /// This is the routing key of the sharded engine plane: an update is
+    /// delivered to every shard whose ingest region (owned rectangle
+    /// inflated by the halo width) intersects this box. Deliberately a
+    /// *superset* of the box of [`affected_range`](Update::affected_range)
+    /// for deletions — routing the retraction by the old motion's full
+    /// span guarantees it reaches **exactly** the shards that received
+    /// the matching insertion (same motion, same box), so no shard is
+    /// left holding a stale trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the motion is non-finite; screen such reports out
+    /// before routing.
+    pub fn routing_bbox(&self, h: u64) -> pdr_geometry::Rect {
+        let m = self.motion();
+        pdr_geometry::Rect::from_corners(m.position_at(m.t_ref), m.position_at(m.t_ref + h))
+    }
+
     /// The motion whose trajectory the summary must add or subtract.
     pub fn motion(&self) -> MotionState {
         match self.kind {
@@ -160,5 +183,19 @@ mod tests {
     #[should_panic(expected = "future")]
     fn delete_from_future_rejected() {
         let _ = Update::delete(ObjectId(4), 50, motion(60));
+    }
+
+    #[test]
+    fn routing_bbox_is_identical_for_insert_and_matching_delete() {
+        // Insert at (1, 2) moving +0.5/tick in x over [100, 120].
+        let u = Update::insert(ObjectId(1), 100, motion(100));
+        let b = u.routing_bbox(20);
+        assert_eq!((b.x_lo, b.x_hi), (1.0, 11.0));
+        assert_eq!((b.y_lo, b.y_hi), (2.0, 2.0));
+
+        // The retraction routes by the old motion's full span, so it
+        // reaches exactly the shards the insertion reached.
+        let d = Update::delete(ObjectId(1), 110, motion(100));
+        assert_eq!(d.routing_bbox(20), b);
     }
 }

@@ -471,8 +471,26 @@ impl TprTree {
         t: Timestamp,
         io: &mut IoStats,
     ) -> Result<Vec<(ObjectId, Point)>, StorageError> {
-        let dt = self.dt(t);
         let mut out = Vec::new();
+        self.try_range_at_into(rect, t, io, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`try_range_at_collect`](TprTree::try_range_at_collect) into a
+    /// caller-owned buffer, replacing its contents. The refinement hot
+    /// loop issues one range query per candidate cell; filling a reused
+    /// buffer keeps that loop free of per-cell result allocations (the
+    /// buffer only reallocates when a cell yields more hits than any
+    /// earlier one).
+    pub fn try_range_at_into(
+        &self,
+        rect: &Rect,
+        t: Timestamp,
+        io: &mut IoStats,
+        out: &mut Vec<(ObjectId, Point)>,
+    ) -> Result<(), StorageError> {
+        out.clear();
+        let dt = self.dt(t);
         let mut stack = vec![(self.root, self.height)];
         while let Some((page, level)) = stack.pop() {
             match self.pool.try_read_page_tracked(page, io, Node::decode)? {
@@ -494,7 +512,7 @@ impl TprTree {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Discards all contents and storage, re-anchoring the empty tree

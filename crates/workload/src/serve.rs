@@ -24,8 +24,8 @@ use crate::simulator::TrafficSimulator;
 use crate::QuerySpec;
 use pdr_core::obs::{json_f64, Histogram, HistogramSnapshot, ObsReport};
 use pdr_core::{
-    accuracy, exact_dense_regions, replay, DensityEngine, EngineAnswer, EngineStats, PdrQuery, Wal,
-    WalRecord,
+    accuracy, exact_dense_regions, replay, DensityEngine, EngineAnswer, EngineStats, PdrQuery,
+    Scoreboard, Wal, WalRecord,
 };
 use pdr_geometry::{Rect, RegionSet};
 use pdr_mobject::Timestamp;
@@ -117,29 +117,12 @@ pub struct EngineLoad {
     pub label: String,
     /// Engine-reported name (`"fr"`, `"pa"`, …).
     pub engine: &'static str,
-    /// Queries executed.
-    pub queries: u64,
-    /// Summed query CPU milliseconds.
-    pub cpu_ms: f64,
-    /// Summed buffer-pool I/O across queries.
-    pub io: IoStats,
-    /// Summed total cost (CPU + I/O charge) under the run's cost model.
-    pub total_ms: f64,
+    /// Per-query cost and accuracy rollup (executed/scored counts,
+    /// summed cost, bounded/unbounded `r_fp` bookkeeping) — the shared
+    /// [`Scoreboard`] used by the bench scorecards too.
+    pub score: Scoreboard,
     /// Milliseconds spent applying update batches.
     pub ingest_ms: f64,
-    /// Summed false-positive ratio `r_fp` over the scored queries whose
-    /// ratio was *bounded* (see [`unbounded_r_fp`](Self::unbounded_r_fp)).
-    pub r_fp_sum: f64,
-    /// Summed false-negative ratio `r_fn` (when accuracy is measured).
-    pub r_fn_sum: f64,
-    /// Queries that were scored against ground truth.
-    pub scored: u64,
-    /// Scored queries whose `r_fp` was unbounded: the ground truth was
-    /// empty but the engine reported a nonempty region, so the ratio
-    /// `area(D'∖D)/area(D)` is +∞. Summing those into
-    /// [`r_fp_sum`](Self::r_fp_sum) would poison every later mean, so
-    /// they are counted here instead and excluded from the sum.
-    pub unbounded_r_fp: u64,
     /// Query attempts repeated after a transient storage fault.
     pub retries: u64,
     /// Checkpoint+WAL recoveries performed after detected corruption.
@@ -164,6 +147,10 @@ pub struct EngineLoad {
     /// Final engine instrumentation snapshot (stage latencies, internal
     /// counters); empty for engines without instrumentation.
     pub obs: ObsReport,
+    /// Per-shard metrics block (raw JSON array) for sharded engines;
+    /// `None` for unsharded ones. See
+    /// `pdr_core::DensityEngine::shard_metrics_json`.
+    pub shards: Option<String>,
 }
 
 impl EngineLoad {
@@ -171,15 +158,8 @@ impl EngineLoad {
         EngineLoad {
             label,
             engine,
-            queries: 0,
-            cpu_ms: 0.0,
-            io: IoStats::default(),
-            total_ms: 0.0,
+            score: Scoreboard::default(),
             ingest_ms: 0.0,
-            r_fp_sum: 0.0,
-            r_fn_sum: 0.0,
-            scored: 0,
-            unbounded_r_fp: 0,
             retries: 0,
             recoveries: 0,
             degraded_queries: 0,
@@ -190,39 +170,28 @@ impl EngineLoad {
             stats: EngineStats::default(),
             latency: HistogramSnapshot::default(),
             obs: ObsReport::default(),
+            shards: None,
         }
     }
 
     /// Mean total query cost in milliseconds.
     pub fn mean_total_ms(&self) -> f64 {
-        if self.queries == 0 {
-            0.0
-        } else {
-            self.total_ms / self.queries as f64
-        }
+        self.score.mean_total_ms()
     }
 
     /// Mean false-positive ratio over the scored queries with a
-    /// *bounded* ratio — always finite. Queries whose truth was empty
-    /// while the engine reported something are excluded from the mean
-    /// and counted in [`unbounded_r_fp`](Self::unbounded_r_fp); report
-    /// that count alongside the mean when it is nonzero.
+    /// *bounded* ratio — always finite (0 when nothing qualified).
+    /// Queries whose truth was empty while the engine reported
+    /// something are excluded from the mean and counted in
+    /// [`Scoreboard::unbounded_r_fp`]; report that count alongside the
+    /// mean when it is nonzero.
     pub fn mean_r_fp(&self) -> f64 {
-        let bounded = self.scored - self.unbounded_r_fp;
-        if bounded == 0 {
-            0.0
-        } else {
-            self.r_fp_sum / bounded as f64
-        }
+        self.score.mean_r_fp().unwrap_or(0.0)
     }
 
-    /// Mean false-negative ratio over scored queries.
+    /// Mean false-negative ratio over scored queries (0 when none).
     pub fn mean_r_fn(&self) -> f64 {
-        if self.scored == 0 {
-            0.0
-        } else {
-            self.r_fn_sum / self.scored as f64
-        }
+        self.score.mean_r_fn().unwrap_or(0.0)
     }
 }
 
@@ -295,6 +264,11 @@ impl ServeReport {
             .engines
             .iter()
             .map(|e| {
+                let shards = e
+                    .shards
+                    .as_ref()
+                    .map(|s| format!(",\"shards\":{s}"))
+                    .unwrap_or_default();
                 format!(
                     "{{\"label\":{},\"engine\":{},\"queries\":{},\"cpu_ms\":{},\"total_ms\":{},\
                      \"ingest_ms\":{},\"scored\":{},\"unbounded_r_fp\":{},\"mean_r_fp\":{},\
@@ -303,18 +277,18 @@ impl ServeReport {
                      \"failed_queries\":{},\"deadline_misses\":{},\"faults\":{},\
                      \"recovery_us\":{},\"stats\":{{\
                      \"updates_applied\":{},\"missed_deletes\":{},\"rejected_updates\":{},\
-                     \"memory_bytes\":{},\"objects\":{},\"queries_served\":{}}},\"obs\":{}}}",
+                     \"memory_bytes\":{},\"objects\":{},\"queries_served\":{}}},\"obs\":{}{}}}",
                     json_str(&e.label),
                     json_str(e.engine),
-                    e.queries,
-                    json_f64(e.cpu_ms),
-                    json_f64(e.total_ms),
+                    e.score.queries,
+                    json_f64(e.score.cpu_ms),
+                    json_f64(e.score.total_ms),
                     json_f64(e.ingest_ms),
-                    e.scored,
-                    e.unbounded_r_fp,
+                    e.score.scored,
+                    e.score.unbounded_r_fp,
                     json_f64(e.mean_r_fp()),
                     json_f64(e.mean_r_fn()),
-                    io_json(&e.io),
+                    io_json(&e.score.io),
                     e.latency.to_json(),
                     e.retries,
                     e.recoveries,
@@ -330,6 +304,7 @@ impl ServeReport {
                     e.stats.objects,
                     e.stats.queries_served,
                     e.obs.to_json(),
+                    shards,
                 )
             })
             .collect::<Vec<_>>()
@@ -568,23 +543,12 @@ impl ServeDriver {
         let mut answers = Vec::with_capacity(self.engines.len());
         for s in &mut self.engines {
             let a = serve_with_faults(s, q, &policy, wal, rng);
-            s.load.queries += 1;
-            s.load.cpu_ms += a.cpu.as_secs_f64() * 1e3;
-            s.load.io += a.io;
-            s.load.total_ms += a.total_ms(&model);
+            s.load
+                .score
+                .record_cost(a.cpu.as_secs_f64() * 1e3, a.total_ms(&model), a.io);
             s.latency.record(a.cpu);
             if let Some(truth) = truth {
-                let acc = accuracy(truth, &a.regions);
-                // An empty truth with a nonempty report makes r_fp +∞
-                // (`pdr_core::accuracy`). One such query must not poison
-                // the running sum — count it separately instead.
-                if acc.r_fp.is_finite() {
-                    s.load.r_fp_sum += acc.r_fp;
-                } else {
-                    s.load.unbounded_r_fp += 1;
-                }
-                s.load.r_fn_sum += acc.r_fn;
-                s.load.scored += 1;
+                s.load.score.record_accuracy(accuracy(truth, &a.regions));
             }
             answers.push(a.regions);
         }
@@ -634,6 +598,7 @@ impl ServeDriver {
                     // devices replaced by recovery; add the live one.
                     load.faults += s.engine.fault_stats();
                     load.obs = s.engine.obs();
+                    load.shards = s.engine.shard_metrics_json();
                     load
                 })
                 .collect(),
@@ -861,8 +826,8 @@ mod tests {
                 load.label
             );
             assert_eq!(load.stats.missed_deletes, 0, "{}", load.label);
-            assert_eq!(load.queries, 10, "{}", load.label);
-            assert!(load.ingest_ms >= 0.0 && load.total_ms >= 0.0);
+            assert_eq!(load.score.queries, 10, "{}", load.label);
+            assert!(load.ingest_ms >= 0.0 && load.score.total_ms >= 0.0);
         }
         assert_eq!(report.engines[0].engine, "fr");
         assert_eq!(report.engines[1].engine, "pa");
@@ -875,8 +840,8 @@ mod tests {
         let report = d.run(3, &mix().with_accuracy());
         let fr = &report.engines[0];
         let pa = &report.engines[1];
-        assert_eq!(fr.scored, 6);
-        assert_eq!(pa.scored, 6);
+        assert_eq!(fr.score.scored, 6);
+        assert_eq!(pa.score.scored, 6);
         // FR is exact: both error ratios are (numerically) zero.
         assert!(
             fr.mean_r_fp() < 1e-9 && fr.mean_r_fn() < 1e-9,
@@ -972,12 +937,15 @@ mod tests {
         }];
         let report = d.run(4, &QueryMix::new(specs, 0, 2).with_accuracy());
         let stub = &report.engines[0];
-        assert_eq!(stub.scored, 8);
+        assert_eq!(stub.score.scored, 8);
         assert_eq!(
-            stub.unbounded_r_fp, 8,
+            stub.score.unbounded_r_fp, 8,
             "every scored stub query has empty truth + nonempty report"
         );
-        assert_eq!(stub.r_fp_sum, 0.0, "unbounded ratios must not be summed");
+        assert_eq!(
+            stub.score.r_fp_sum, 0.0,
+            "unbounded ratios must not be summed"
+        );
         assert!(
             stub.mean_r_fp().is_finite(),
             "mean_r_fp poisoned: {}",
@@ -985,7 +953,7 @@ mod tests {
         );
         // FR reports empty for an empty truth: bounded, exact, zero.
         let fr = &report.engines[1];
-        assert_eq!(fr.unbounded_r_fp, 0);
+        assert_eq!(fr.score.unbounded_r_fp, 0);
         assert!(fr.mean_r_fp().is_finite() && fr.mean_r_fp() < 1e-9);
         // The JSON report carries the unbounded count per engine.
         let json = report.to_json();

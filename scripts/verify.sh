@@ -4,6 +4,7 @@
 #   scripts/verify.sh                # everything
 #   scripts/verify.sh --fast         # skip the release build
 #   scripts/verify.sh --fault-matrix # only the fault-injection serve matrix
+#   scripts/verify.sh --sharded-smoke # only the sharded serve smokes
 #
 # Clippy is best-effort: on a fully offline container a missing
 # component must not mask real test failures, so its absence is
@@ -13,8 +14,10 @@ cd "$(dirname "$0")/.."
 
 fast=0
 only_faults=0
+only_sharded=0
 [ "${1:-}" = "--fast" ] && fast=1
 [ "${1:-}" = "--fault-matrix" ] && only_faults=1
+[ "${1:-}" = "--sharded-smoke" ] && only_sharded=1
 fail=0
 
 step() { printf '\n==> %s\n' "$*"; }
@@ -81,6 +84,83 @@ fault_matrix() {
     fault_case persistent-read '"degraded_queries":[1-9]'
 }
 
+# Sharded serve plane: a clean 2x2 run must emit the per-shard metrics
+# block (one entry per shard, private WAL segments, no degradation),
+# and a persistent fault — scoped to shard 0 by the router — must stay
+# confined to that shard while the plane keeps serving every query.
+# (A plan armed before the serve loop fires on the ingest path and is
+# handled by the driver's crash protocol before any query runs, so the
+# query-path "exactly one shard degrades" invariant is pinned by the
+# crates/core/tests/shard_faults.rs integration test instead.)
+sharded_smoke() {
+    step "sharded serve smoke (--shards 2x2, 10 ticks)"
+    if ! cargo build --release -p pdr-cli; then
+        echo "FAIL: pdr-cli release build"
+        fail=1
+        return
+    fi
+    out="$(mktemp /tmp/pdr-sharded.XXXXXX.json)"
+    if ! target/release/pdrcli serve --objects 800 --extent 400 --ticks 10 \
+            --l 20 --count 8 --seed 11 --shards 2x2 --metrics "$out" >/dev/null; then
+        echo "FAIL: sharded serve exited nonzero"
+        fail=1
+    else
+        for key in '"shards":[' '"shard":0' '"shard":3' \
+                   '"segment":"journal.seg0003.wal"' '"tile":[' \
+                   '"wal_records":' '"updates_applied":'; do
+            if ! grep -qF "$key" "$out"; then
+                echo "FAIL: sharded metrics JSON lacks $key"
+                fail=1
+            fi
+        done
+        if grep -qF '"degraded":true' "$out"; then
+            echo "FAIL: clean sharded run reports a degraded shard"
+            fail=1
+        fi
+    fi
+    rm -f "$out"
+
+    step "sharded fault smoke (persistent fault confined to one shard)"
+    out="$(mktemp /tmp/pdr-sharded-fault.XXXXXX.json)"
+    if ! target/release/pdrcli serve --objects 2000 --extent 500 --ticks 10 \
+            --l 30 --count 12 --seed 11 --buffer-pages 8 --journal 0 \
+            --shards 2x2 --fault-plan plans/persistent-read.plan \
+            --metrics "$out" >/dev/null 2>&1; then
+        echo "FAIL: sharded fault serve exited nonzero (panic?)"
+        fail=1
+    else
+        # Exactly one shard (fr's shard 0) absorbs the injected fault;
+        # every other per-shard "faults" counter stays 0.
+        faulted="$(grep -oE '"faults":[0-9]+' "$out" | grep -cv '"faults":0')"
+        if [ "$faulted" != "1" ]; then
+            echo "FAIL: expected the fault confined to 1 shard, got $faulted"
+            fail=1
+        fi
+        # The plane degrades gracefully and never drops a query.
+        if ! grep -qE '"degraded_queries":[1-9]' "$out"; then
+            echo "FAIL: persistent sharded fault did not degrade serving"
+            fail=1
+        fi
+        if grep -qE '"failed_queries":[1-9]' "$out"; then
+            echo "FAIL: sharded fault run dropped queries"
+            fail=1
+        fi
+    fi
+    rm -f "$out"
+}
+
+if [ "$only_sharded" -eq 1 ]; then
+    sharded_smoke
+    if [ "$fail" -ne 0 ]; then
+        echo
+        echo "verify: FAILED"
+        exit 1
+    fi
+    echo
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$only_faults" -eq 1 ]; then
     fault_matrix
     if [ "$fail" -ne 0 ]; then
@@ -144,6 +224,7 @@ if [ "$fast" -eq 0 ]; then
     fi
     rm -f "$metrics_json"
 
+    sharded_smoke
     fault_matrix
 fi
 
