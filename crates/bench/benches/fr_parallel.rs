@@ -6,6 +6,11 @@
 //! workers, checks the answers are rectangle-for-rectangle identical,
 //! and writes the medians to `BENCH_fr_parallel.json`.
 //!
+//! Refinement chunks run on the shared persistent work-stealing
+//! [`Executor`](pdr_core::Executor) (not per-query spawned threads);
+//! the JSON records the pool size and the spawn-vs-pool dispatch delta
+//! alongside the medians.
+//!
 //! Usage: `cargo bench --bench fr_parallel [-- <n_objects> <samples>]`
 //! (defaults: 100 000 objects, 5 samples per thread count). The JSON
 //! records `available_parallelism` — on a single-core host the parallel
@@ -110,8 +115,11 @@ fn main() {
         .filter(|(t, _)| *t >= 4)
         .map(|&(_, ms)| ms)
         .fold(f64::INFINITY, f64::min);
+    let pool_workers = pdr_core::Executor::global().workers();
+    let dispatch = pdr_bench::dispatch_json(16, samples);
     let json = format!(
         "{{\n  \"n\": {n},\n  \"samples\": {samples},\n  \"available_parallelism\": {cores},\n  \
+         \"pool_workers\": {pool_workers},\n  \"dispatch\": {dispatch},\n  \
          \"candidate_cells\": {cands},\n  \"answers_identical\": true,\n  \"results\": [\n{rows}\n  ],\n  \
          \"speedup_threads_ge_4_vs_serial\": {speedup:.3}\n}}\n",
         cands = base.candidates,

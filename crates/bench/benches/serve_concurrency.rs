@@ -1,0 +1,127 @@
+//! Concurrent-client serving bench.
+//!
+//! Drives identical serve runs at 1, 2, 4 and 8 concurrent clients —
+//! every client issuing its own per-tick query slice against the
+//! shared FR engine through the read-only query contract, so client
+//! concurrency composes with the intra-query parallelism on the shared
+//! persistent [`Executor`](pdr_core::Executor) — and writes per-client
+//! and per-engine latency quantiles (p50/p95/p99, from the obs
+//! histograms) to `BENCH_serve_concurrency.json`.
+//!
+//! Usage: `cargo bench --bench serve_concurrency [-- <n_objects>
+//! <ticks>]` (defaults: 2 000 objects, 2 ticks — serve queries cost
+//! seconds each on a single-core host and the load is multiplied by
+//! the client count, so the defaults are deliberately small). Total
+//! query load
+//! scales with the client count (each client serves a full slice), so
+//! per-request latency under contention is the number to watch, not
+//! throughput. The JSON records `available_parallelism`,
+//! `pool_workers`, and the spawn-vs-pool dispatch delta; on a
+//! single-core host added clients only contend and the file says so.
+
+use pdr_core::{EngineSpec, Executor, FrConfig};
+use pdr_mobject::TimeHorizon;
+use pdr_storage::CostModel;
+use pdr_workload::{
+    NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver, TrafficSimulator,
+};
+
+const EXTENT: f64 = 600.0;
+const L: f64 = 30.0;
+
+fn driver(n: usize) -> ServeDriver {
+    let net = RoadNetwork::generate(&NetworkConfig::metro(EXTENT), 21);
+    let horizon = TimeHorizon::new(8, 8);
+    let sim = TrafficSimulator::new(net, n, 21 ^ 0x5eed, horizon.max_update_time(), 0);
+    let fr = EngineSpec::Fr(FrConfig {
+        extent: EXTENT,
+        m: 40,
+        horizon,
+        buffer_pages: 1024,
+        threads: 0,
+    });
+    let mut d = ServeDriver::new(sim, CostModel::PAPER_DEFAULT).with_engine("fr", fr.build(0));
+    d.bootstrap();
+    d
+}
+
+fn mix(clients: usize) -> QueryMix {
+    let specs: Vec<QuerySpec> = [0u64, 4, 8]
+        .into_iter()
+        .map(|dt| QuerySpec {
+            rho: 40.0 / (L * L),
+            varrho: 0.0,
+            l: L,
+            q_t: dt,
+        })
+        .collect();
+    QueryMix::new(specs, 0, 2).with_clients(clients)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).filter(|a| !a.starts_with("--"));
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let ticks: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let pool_workers = Executor::global().workers();
+    println!(
+        "serve_concurrency: n = {n}, ticks = {ticks}, cores = {cores}, pool_workers = {pool_workers}"
+    );
+
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        let mut d = driver(n);
+        let (report, wall) = pdr_bench::time_it(|| d.run(ticks, &mix(clients)));
+        let engine = &report.engines[0];
+        // Engine-side CPU latency is recorded identically at every
+        // client count; the per-client histograms add the wall-clock
+        // view (queueing included) for the concurrent runs.
+        let per_client = if report.clients.is_empty() {
+            String::from("[]")
+        } else {
+            let items: Vec<String> = report
+                .clients
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"client\": {}, \"queries\": {}, \"deadline_misses\": {}, \
+                         \"latency_us\": {}}}",
+                        c.client,
+                        c.queries,
+                        c.deadline_misses,
+                        c.latency.to_json()
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(", "))
+        };
+        println!(
+            "clients={clients:<2} wall {:>8.1} ms  engine p50/p95/p99 us: {:.0}/{:.0}/{:.0}",
+            wall.as_secs_f64() * 1e3,
+            engine.latency.p50_us,
+            engine.latency.p95_us,
+            engine.latency.p99_us
+        );
+        rows.push(format!(
+            "    {{\"clients\": {clients}, \"queries\": {}, \"wall_ms\": {:.1}, \
+             \"engine_latency_us\": {}, \"per_client\": {per_client}}}",
+            engine.score.queries,
+            wall.as_secs_f64() * 1e3,
+            engine.latency.to_json()
+        ));
+    }
+
+    let dispatch = pdr_bench::dispatch_json(16, 3);
+    let json = format!(
+        "{{\n  \"n\": {n},\n  \"ticks\": {ticks},\n  \"available_parallelism\": {cores},\n  \
+         \"pool_workers\": {pool_workers},\n  \"dispatch\": {dispatch},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    // Cargo runs benches with the package directory as cwd; anchor the
+    // artifact at the workspace root so it lands in a stable place.
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve_concurrency.json");
+    std::fs::write(&out, &json).expect("write BENCH_serve_concurrency.json");
+    println!("wrote {}:\n{json}", out.display());
+}

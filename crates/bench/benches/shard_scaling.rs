@@ -7,6 +7,11 @@
 //! identical to the unsharded one, and writes the medians to
 //! `BENCH_shard_scaling.json`.
 //!
+//! Both the query fan-out and the per-shard ingest apply run on the
+//! shared persistent work-stealing [`Executor`](pdr_core::Executor);
+//! the JSON records the pool size, the spawn-vs-pool dispatch delta,
+//! and separate query/ingest speedups at ≥ 4 shards.
+//!
 //! Usage: `cargo bench --bench shard_scaling [-- <n_objects> <samples>]`
 //! (defaults: 60 000 objects, 3 samples per shard count). Ingest medians
 //! include engine construction — a fresh plane is built per sample, so
@@ -140,11 +145,22 @@ fn main() {
         .filter(|(s, ..)| *s >= 4)
         .map(|&(.., q_ms)| q_ms)
         .fold(f64::INFINITY, f64::min);
+    let one_shard_ingest = results[0].3;
+    let best_multi_ingest = results
+        .iter()
+        .filter(|(s, ..)| *s >= 4)
+        .map(|&(_, _, _, i_ms, _)| i_ms)
+        .fold(f64::INFINITY, f64::min);
+    let pool_workers = pdr_core::Executor::global().workers();
+    let dispatch = pdr_bench::dispatch_json(16, samples);
     let json = format!(
         "{{\n  \"n\": {n},\n  \"samples\": {samples},\n  \"available_parallelism\": {cores},\n  \
+         \"pool_workers\": {pool_workers},\n  \"dispatch\": {dispatch},\n  \
          \"answer_rects\": {rects},\n  \"answers_identical\": true,\n  \"results\": [\n{rows}\n  ],\n  \
-         \"query_speedup_shards_ge_4_vs_1\": {speedup:.3}\n}}\n",
+         \"query_speedup_shards_ge_4_vs_1\": {speedup:.3},\n  \
+         \"ingest_speedup_shards_ge_4_vs_1\": {ingest_speedup:.3}\n}}\n",
         rects = base.regions.len(),
+        ingest_speedup = one_shard_ingest / best_multi_ingest,
         rows = results
             .iter()
             .map(|(s, sx, sy, i_ms, q_ms)| format!(

@@ -30,8 +30,8 @@ use pdr_geometry::Point;
 use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update};
 use pdr_storage::{CostModel, FaultPlan};
 use pdr_workload::{
-    gaussian_clusters, NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver,
-    TrafficSimulator,
+    gaussian_clusters, net::Json, FaultPolicy, NetClient, NetServer, NetServerConfig,
+    NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver, TrafficSimulator,
 };
 use std::io::Write;
 use std::process::ExitCode;
@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "query" => cmd_query(&opts),
         "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
         "hotspots" => cmd_hotspots(&opts),
         other => return usage(&format!("unknown subcommand {other}")),
     };
@@ -66,7 +67,9 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
-         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS]\n  \
+         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--clients N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS]\n  \
+         pdrcli serve --listen ADDR [--port-file FILE] [--capacity N] [--deadline-ms N] [--objects N ...]\n  \
+         pdrcli client --connect ADDR [--ticks T] [--queries M] [--l EDGE] [--count MIN_OBJECTS]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -94,6 +97,20 @@ struct Options {
     journal: u64,
     /// Shard grid `(sx, sy)` for `serve`; `None` = unsharded engines.
     shards: Option<(u32, u32)>,
+    /// `serve`: expose the driver over TCP instead of the local loop.
+    listen: Option<String>,
+    /// `serve --listen`: write the bound address here once listening.
+    port_file: Option<String>,
+    /// `serve --listen`: admission capacity (queries in flight).
+    capacity: usize,
+    /// `serve` (local loop): concurrent clients per tick.
+    clients: usize,
+    /// `client`: server address to connect to.
+    connect: Option<String>,
+    /// `client`: checked queries per tick.
+    queries: usize,
+    /// `serve --listen`: per-query deadline override in ms (0 = none).
+    deadline_ms: Option<u64>,
 }
 
 impl Options {
@@ -117,6 +134,13 @@ impl Options {
             buffer_pages: 512,
             journal: 5, // checkpoint cadence in ticks; 0 = no journal
             shards: None,
+            listen: None,
+            port_file: None,
+            capacity: 32,
+            clients: 1,
+            connect: None,
+            queries: 4,
+            deadline_ms: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -143,6 +167,18 @@ impl Options {
                 "--fault-plan" => o.fault_plan = Some(value.clone()),
                 "--buffer-pages" => o.buffer_pages = value.parse().map_err(|_| bad(key))?,
                 "--journal" => o.journal = value.parse().map_err(|_| bad(key))?,
+                "--listen" => o.listen = Some(value.clone()),
+                "--port-file" => o.port_file = Some(value.clone()),
+                "--capacity" => o.capacity = value.parse().map_err(|_| bad(key))?,
+                "--clients" => {
+                    o.clients = value.parse().map_err(|_| bad(key))?;
+                    if o.clients == 0 {
+                        return Err(bad(key));
+                    }
+                }
+                "--connect" => o.connect = Some(value.clone()),
+                "--queries" => o.queries = value.parse().map_err(|_| bad(key))?,
+                "--deadline-ms" => o.deadline_ms = Some(value.parse().map_err(|_| bad(key))?),
                 "--shards" => {
                     let (sx, sy) = value.split_once(['x', 'X']).ok_or_else(|| bad(key))?;
                     let sx: u32 = sx.parse().map_err(|_| bad(key))?;
@@ -351,6 +387,10 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         eprintln!("# fault plan {path} installed beneath the fr storage plane");
     }
 
+    if let Some(addr) = &o.listen {
+        return serve_tcp(o, driver, addr);
+    }
+
     // Query mix: now / mid-window / full prediction window ahead.
     // Offsets stay within W: a report may be up to U old, so its
     // horizon coverage only guarantees [now, now + W].
@@ -364,7 +404,12 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             q_t: dt,
         })
         .collect();
-    let mix = QueryMix::new(specs, 0, 2).with_accuracy();
+    let mix = QueryMix::new(specs, 0, 2)
+        .with_accuracy()
+        .with_clients(o.clients);
+    if o.clients > 1 {
+        eprintln!("# {} concurrent clients per tick", o.clients);
+    }
     let report = driver.run(o.ticks, &mix);
 
     println!(
@@ -411,6 +456,89 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             .map_err(|e| format!("writing metrics to {path}: {e}"))?;
         eprintln!("# metrics written to {path}");
     }
+    Ok(())
+}
+
+/// `serve --listen`: hands the bootstrapped driver to the TCP
+/// front-end and blocks until a protocol `shutdown` op. The bound
+/// address goes to stdout (and `--port-file` when given) so scripts
+/// binding port 0 can find the server; the final line is the server's
+/// drain summary (`served`, `rejected_admissions`, `leaked_workers`).
+///
+/// There is no signal handler (that would need a dependency or
+/// `unsafe`): SIGTERM simply kills the process, while scripted clean
+/// shutdown goes through the protocol op.
+fn serve_tcp(o: &Options, driver: ServeDriver, addr: &str) -> Result<(), String> {
+    let cfg = NetServerConfig {
+        capacity: o.capacity,
+        shutdown_pool: true,
+        ..NetServerConfig::default()
+    };
+    let mut policy = FaultPolicy::default();
+    if let Some(ms) = o.deadline_ms {
+        policy.deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    let server =
+        NetServer::bind(addr, driver, policy, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| format!("reading bound address: {e}"))?;
+    println!("# listening on {bound} (capacity {})", o.capacity);
+    std::io::stdout().flush().ok();
+    if let Some(path) = &o.port_file {
+        std::fs::write(path, bound.to_string())
+            .map_err(|e| format!("writing port file {path}: {e}"))?;
+    }
+    let summary = server.serve();
+    println!("{summary}");
+    Ok(())
+}
+
+/// `client --connect`: drives a serving front-end through `--ticks`
+/// rounds of tick + `--queries` checked queries, asserting every
+/// answer is exact against the server-side ground truth, then prints
+/// the server metrics and requests a clean shutdown.
+fn cmd_client(o: &Options) -> Result<(), String> {
+    let addr = o.connect.as_ref().ok_or("client requires --connect")?;
+    let mut c = NetClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let rho = o.count / (o.l * o.l);
+    let ok = |r: &Json| r.get("ok").and_then(Json::as_bool) == Some(true);
+    let mut checked = 0u64;
+    for tick in 0..o.ticks {
+        let r = c
+            .request("{\"op\":\"tick\"}")
+            .map_err(|e| format!("tick: {e}"))?;
+        if !ok(&r) {
+            return Err(format!("tick {tick} failed: {r:?}"));
+        }
+        // Offsets span the serve horizon's prediction window (W = 10).
+        for k in 0..o.queries {
+            let q_t = [0u64, 5, 10][k % 3];
+            let body = format!(
+                "{{\"op\":\"check\",\"rho\":{rho},\"l\":{},\"q_t\":{q_t}}}",
+                o.l
+            );
+            let r = c.request(&body).map_err(|e| format!("check: {e}"))?;
+            if !ok(&r) {
+                return Err(format!("check failed at tick {tick}: {r:?}"));
+            }
+            if r.get("exact").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("inexact answer at tick {tick}: {r:?}"));
+            }
+            checked += 1;
+        }
+    }
+    let metrics = c
+        .request_raw("{\"op\":\"metrics\"}")
+        .map_err(|e| format!("metrics: {e}"))?;
+    println!("{metrics}");
+    let r = c
+        .request("{\"op\":\"shutdown\"}")
+        .map_err(|e| format!("shutdown: {e}"))?;
+    if !ok(&r) {
+        return Err(format!("shutdown refused: {r:?}"));
+    }
+    println!("# {checked} checked queries, all exact; shutdown requested");
     Ok(())
 }
 

@@ -241,7 +241,7 @@ fn apply_screened(
     rejected.len() as u64
 }
 
-impl<I: RangeIndex + Send> DensityEngine for FrEngine<I> {
+impl<I: RangeIndex> DensityEngine for FrEngine<I> {
     fn name(&self) -> &'static str {
         "fr"
     }
@@ -794,15 +794,17 @@ impl EngineSpec {
     }
 
     /// The inner spec one shard of an `shards`-way plane runs: the
-    /// global buffer pool is divided across shards (shared-nothing) and
-    /// refinement threads drop to 1 — parallelism comes from the shard
-    /// fan-out instead.
+    /// global buffer pool is divided across shards (shared-nothing).
+    /// Refinement parallelism is kept as configured — the shard fan-out
+    /// and the inner refinement scopes nest on the same shared
+    /// [`Executor`](crate::exec::Executor), so there is no
+    /// oversubscription to work around (inner threads used to be pinned
+    /// to 1 here when every scope spawned its own threads).
     fn per_shard_spec(&self, shards: usize) -> EngineSpec {
         let mut spec = self.clone();
         match &mut spec {
             EngineSpec::Fr(cfg) | EngineSpec::FrGrid { fr: cfg, .. } | EngineSpec::Dh(cfg, _) => {
                 cfg.buffer_pages = (cfg.buffer_pages / shards).max(8);
-                cfg.threads = 1;
             }
             _ => {}
         }

@@ -1,0 +1,594 @@
+//! The persistent work-stealing executor every parallel code path in
+//! the engine plane runs on.
+//!
+//! Before this module, FR candidate-cell refinement and the sharded
+//! plane's fan-out each spawned fresh `std::thread::scope` workers *per
+//! query* — at service rates the spawn/join cost dominates, and nested
+//! parallelism (sharded plane outside, FR refinement inside) had to pin
+//! the inner engines to one thread to avoid oversubscription. This
+//! module replaces both with one long-lived pool:
+//!
+//! * **Fixed worker threads** created once (default: cores − 1, the
+//!   caller thread participates too), idling via `park`/`unpark` —
+//!   an idle pool burns no CPU.
+//! * **Per-worker deques + a global injector.** A submitted task group
+//!   is advertised to the workers' deques and the injector; a worker
+//!   pops its own deque from the back, then the injector, then *steals*
+//!   from a sibling's front.
+//! * **Scoped task groups with deterministic merge.** [`Executor::scope`]
+//!   runs `f(0..n)` and returns the results **in index order**, so the
+//!   callers' merge step (refinement chunks, shard answers) is a pure
+//!   function of the task index — answers are bit-identical at every
+//!   pool size, including zero workers (the caller runs everything
+//!   inline).
+//! * **Nested scopes compose.** Tasks are claimed by index from a
+//!   shared cursor, and the scope caller always helps drain its own
+//!   group before waiting, so completion never depends on a pool
+//!   worker being available: a worker running a shard query may open an
+//!   inner refinement scope without deadlock, at any pool size.
+//! * **Panic transparency.** A panicking task's payload is captured and
+//!   re-raised on the scope caller with [`std::panic::resume_unwind`],
+//!   preserving the serve driver's fault-caused-panic crash protocol.
+//!
+//! Jobs are advertised to workers as `Weak` references: the scope
+//! caller holds the only strong reference, and reclaims sole ownership
+//! (`Arc::try_unwrap`) before returning. Everything a task closure
+//! captured — including `Arc`s of engine internals — is therefore
+//! dropped by the time `scope` returns, which is what lets engines hand
+//! `Arc` clones of their read-side state to `'static` task closures and
+//! still mutate that state through `Arc::get_mut` afterwards.
+//!
+//! Instrumentation (scope/task/steal counters, parked time, queue
+//! depth) goes through [`crate::obs`] primitives and is purely
+//! observational: disabling it skips even the clock reads, and answers
+//! are bit-identical either way.
+
+use crate::obs::{Counter, ObsReport};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::thread::{JoinHandle, Thread};
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the global pool's worker count
+/// (benches and CI use it to pin the pool size; `0` forces inline
+/// execution).
+pub const POOL_WORKERS_ENV: &str = "PDR_POOL_WORKERS";
+
+/// How long an idle worker sleeps between wake-up checks. Parked
+/// workers are unparked eagerly on submission; the timeout only bounds
+/// the steal latency of the case "every advertised worker is busy while
+/// an unadvertised one naps".
+const PARK_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// A group of homogeneous tasks `f(0), …, f(n-1)` shared between the
+/// scope caller and the pool workers. Tasks are claimed by index from
+/// `cursor` (fine-grained stealing: whoever is free takes the next
+/// index); results land in their slot, so the merge order is fixed by
+/// construction no matter which thread ran what.
+struct TaskGroup<R, F> {
+    f: F,
+    total: usize,
+    cursor: AtomicUsize,
+    done: AtomicUsize,
+    results: Mutex<Vec<Option<R>>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The scope caller, unparked when the last task finishes.
+    waiter: Thread,
+    finished: AtomicBool,
+}
+
+impl<R, F> TaskGroup<R, F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    fn run_one(&self, i: usize) {
+        // AssertUnwindSafe: a panicking task's partial state is only
+        // its result slot, which stays `None` and is never observed —
+        // the scope re-raises the payload instead of returning results.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.f)(i)));
+        match out {
+            Ok(r) => {
+                let mut slots = self.results.lock().unwrap_or_else(|p| p.into_inner());
+                slots[i] = Some(r);
+            }
+            Err(payload) => {
+                let mut first = self.panic.lock().unwrap_or_else(|p| p.into_inner());
+                first.get_or_insert(payload);
+            }
+        }
+        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.finished.store(true, Ordering::Release);
+            self.waiter.unpark();
+        }
+    }
+}
+
+/// Type-erased view of a [`TaskGroup`] a worker can drain.
+trait GroupRun: Send + Sync {
+    /// Claims and runs task indices until the group is exhausted.
+    fn run_to_exhaustion(&self);
+}
+
+impl<R, F> GroupRun for TaskGroup<R, F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    fn run_to_exhaustion(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            self.run_one(i);
+        }
+    }
+}
+
+/// A job advertisement: weak so that a drained group — whose caller has
+/// already left its scope — costs a failed upgrade, not a leaked
+/// closure. The scope caller holding the only strong reference is the
+/// invariant that makes `Arc::try_unwrap` at scope exit succeed.
+type Job = Weak<dyn GroupRun>;
+
+/// One worker's slot: its deque, its parked flag, and its thread handle
+/// for unparking (filled in by the worker itself on startup).
+struct WorkerSlot {
+    deque: Mutex<VecDeque<Job>>,
+    parked: AtomicBool,
+    thread: OnceLock<Thread>,
+}
+
+/// Executor instrumentation: pure observation, never scheduling input.
+#[derive(Default)]
+struct ExecObs {
+    enabled: AtomicBool,
+    scopes: Counter,
+    tasks: Counter,
+    inline_tasks: Counter,
+    steals: Counter,
+    unparks: Counter,
+    parked_us: Counter,
+}
+
+struct Inner {
+    slots: Vec<WorkerSlot>,
+    injector: Mutex<VecDeque<Job>>,
+    shutdown: AtomicBool,
+    /// Round-robin start for job advertisement.
+    next: AtomicUsize,
+    obs: ExecObs,
+}
+
+impl Inner {
+    /// Next job for worker `idx`: own deque from the back (LIFO — a
+    /// nested scope's job is hottest), then the injector, then steal
+    /// from a sibling's front (FIFO — the oldest, least contended end).
+    fn find_job(&self, idx: usize) -> Option<Job> {
+        if let Some(j) = self.slots[idx]
+            .deque
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_back()
+        {
+            return Some(j);
+        }
+        if let Some(j) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front()
+        {
+            return Some(j);
+        }
+        let n = self.slots.len();
+        for k in 1..n {
+            let victim = (idx + k) % n;
+            if let Some(j) = self.slots[victim]
+                .deque
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
+            {
+                self.obs.steals.inc();
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        if !self
+            .injector
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_empty()
+        {
+            return true;
+        }
+        self.slots
+            .iter()
+            .any(|s| !s.deque.lock().unwrap_or_else(|p| p.into_inner()).is_empty())
+    }
+
+    /// Advertises `job` to `copies` workers (round-robin) and once to
+    /// the injector, unparking every targeted worker that was asleep.
+    /// A job is a claim loop over a shared cursor, so advertising it
+    /// several times costs duplicate no-op visits, never duplicate
+    /// task runs.
+    fn advertise(&self, job: &Job, copies: usize) {
+        let n = self.slots.len();
+        if n == 0 {
+            return;
+        }
+        self.injector
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push_back(job.clone());
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for k in 0..copies.min(n) {
+            let idx = (start + k) % n;
+            let slot = &self.slots[idx];
+            slot.deque
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(job.clone());
+            if slot.parked.swap(false, Ordering::AcqRel) {
+                if let Some(t) = slot.thread.get() {
+                    t.unpark();
+                    self.obs.unparks.inc();
+                }
+            }
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>, idx: usize) {
+        let _ = self.slots[idx].thread.set(std::thread::current());
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(job) = self.find_job(idx) {
+                if let Some(group) = job.upgrade() {
+                    group.run_to_exhaustion();
+                }
+                continue;
+            }
+            // Idle: publish the parked flag, then double-check — work
+            // submitted between the check and `park` leaves an unpark
+            // token, so the park returns immediately (no lost wakeup).
+            let slot = &self.slots[idx];
+            slot.parked.store(true, Ordering::Release);
+            if self.has_work() || self.shutdown.load(Ordering::Acquire) {
+                slot.parked.store(false, Ordering::Release);
+                continue;
+            }
+            let t0 = self.obs.enabled.load(Ordering::Relaxed).then(Instant::now);
+            std::thread::park_timeout(PARK_TIMEOUT);
+            if let Some(t0) = t0 {
+                self.obs.parked_us.add(t0.elapsed().as_micros() as u64);
+            }
+            slot.parked.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// The work-stealing pool. One global instance ([`Executor::global`])
+/// serves every engine; tests and the TCP front-end may own private
+/// instances ([`Executor::new`]) to pin the worker count or to verify
+/// clean joins at shutdown.
+pub struct Executor {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Creates a pool with exactly `workers` threads. `0` is valid and
+    /// means every scope runs inline on its caller.
+    pub fn new(workers: usize) -> Self {
+        let inner = Arc::new(Inner {
+            slots: (0..workers)
+                .map(|_| WorkerSlot {
+                    deque: Mutex::new(VecDeque::new()),
+                    parked: AtomicBool::new(false),
+                    thread: OnceLock::new(),
+                })
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            shutdown: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+            obs: ExecObs {
+                enabled: AtomicBool::new(true),
+                ..ExecObs::default()
+            },
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("pdr-exec-{i}"))
+                    .spawn(move || inner.worker_loop(i))
+                    .expect("spawning executor worker")
+            })
+            .collect();
+        Executor {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The process-wide pool every engine routes through. Sized from
+    /// [`POOL_WORKERS_ENV`] when set, otherwise `cores − 1` (the scope
+    /// caller is the remaining runnable thread). Created on first use;
+    /// lives for the process unless [`shutdown`](Executor::shutdown) is
+    /// called (after which scopes run inline).
+    pub fn global() -> &'static Executor {
+        static GLOBAL: OnceLock<Executor> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var(POOL_WORKERS_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(0, |n| n.get().saturating_sub(1))
+                });
+            Executor::new(workers)
+        })
+    }
+
+    /// Number of pool worker threads (spawned; some may be parked).
+    pub fn workers(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Runs `f(0), …, f(n-1)` across the pool (the caller participates)
+    /// and returns the results in index order. With no workers — pool
+    /// size 0, or after shutdown — everything runs inline on the
+    /// caller, same results, same order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panicking task's payload on the caller.
+    pub fn scope<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        self.inner.obs.scopes.inc();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 || self.workers() == 0 || self.inner.shutdown.load(Ordering::Acquire) {
+            self.inner.obs.inline_tasks.add(n as u64);
+            return (0..n).map(f).collect();
+        }
+        self.inner.obs.tasks.add(n as u64);
+        let group = Arc::new(TaskGroup {
+            f,
+            total: n,
+            cursor: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            panic: Mutex::new(None),
+            waiter: std::thread::current(),
+            finished: AtomicBool::new(false),
+        });
+        let job: Job = Arc::downgrade(&group) as Job;
+        // The caller takes one task's worth of the work itself, so at
+        // most n − 1 helpers are useful.
+        self.inner.advertise(&job, n - 1);
+        group.run_to_exhaustion();
+        while !group.finished.load(Ordering::Acquire) {
+            // Tasks claimed by workers are still running; the last one
+            // unparks us. `finished` is set before the unpark, so a
+            // wakeup between the check and the park is never lost.
+            std::thread::park();
+        }
+        // Reclaim sole ownership. A worker may still hold a transient
+        // strong reference (upgraded the job, found the cursor
+        // exhausted, about to drop) — wait it out; both sides are
+        // lock-free and the window is a few instructions.
+        let mut group = group;
+        let group = loop {
+            match Arc::try_unwrap(group) {
+                Ok(g) => break g,
+                Err(g) => {
+                    group = g;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        if let Some(payload) = group.panic.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            std::panic::resume_unwind(payload);
+        }
+        group
+            .results
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
+            .into_iter()
+            .map(|slot| slot.expect("every finished task filled its result slot"))
+            .collect()
+    }
+
+    /// Current number of advertised jobs across the injector and every
+    /// worker deque (a sampled gauge; stale advertisements of drained
+    /// groups count until a worker visits them).
+    pub fn queue_depth(&self) -> usize {
+        let inner = &self.inner;
+        let mut depth = inner
+            .injector
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len();
+        for s in &inner.slots {
+            depth += s.deque.lock().unwrap_or_else(|p| p.into_inner()).len();
+        }
+        depth
+    }
+
+    /// Enables or disables executor instrumentation (on by default).
+    /// Purely observational — scheduling and answers are identical
+    /// either way; disabling skips the park-time clock reads.
+    pub fn set_obs_enabled(&self, on: bool) {
+        self.inner.obs.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Instrumentation snapshot: worker/queue gauges plus scope, task,
+    /// steal, unpark and parked-time counters.
+    pub fn obs_report(&self) -> ObsReport {
+        let obs = &self.inner.obs;
+        ObsReport {
+            counters: vec![
+                ("pool_workers", self.workers() as u64),
+                ("queue_depth", self.queue_depth() as u64),
+                ("scopes", obs.scopes.get()),
+                ("tasks", obs.tasks.get()),
+                ("inline_tasks", obs.inline_tasks.get()),
+                ("steals", obs.steals.get()),
+                ("unparks", obs.unparks.get()),
+                ("parked_us", obs.parked_us.get()),
+            ],
+            stages: Vec::new(),
+        }
+    }
+
+    /// Stops and joins every worker thread, returning how many joined.
+    /// Scopes submitted afterwards run inline on their callers. The TCP
+    /// front-end calls this on graceful shutdown and asserts
+    /// `joined == workers()` — a worker that fails to join would be a
+    /// leak.
+    pub fn shutdown(&self) -> usize {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for slot in &self.inner.slots {
+            if let Some(t) = slot.thread.get() {
+                t.unpark();
+            }
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(|p| p.into_inner()));
+        let mut joined = 0usize;
+        for h in handles {
+            if h.join().is_ok() {
+                joined += 1;
+            }
+        }
+        joined
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Private pools (tests, benches) must not leak their workers.
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_returns_results_in_index_order() {
+        let pool = Executor::new(3);
+        for n in [0usize, 1, 2, 7, 64] {
+            let out = pool.scope(n, |i| i * i);
+            assert_eq!(out, (0..n).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline_with_identical_results() {
+        let inline = Executor::new(0);
+        let pooled = Executor::new(4);
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        assert_eq!(inline.scope(100, f), pooled.scope(100, f));
+        assert_eq!(inline.workers(), 0);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = Executor::new(4);
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..500).map(|_| AtomicU64::new(0)).collect());
+        let h = Arc::clone(&hits);
+        pool.scope(500, move |i| {
+            h[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in hits.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn nested_scopes_compose_without_deadlock() {
+        let pool = Arc::new(Executor::new(2));
+        let p = Arc::clone(&pool);
+        let out = pool.scope(4, move |i| {
+            let inner = p.scope(3, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn captured_arcs_are_released_by_scope_exit() {
+        let pool = Executor::new(4);
+        let mut shared = Arc::new(vec![1u64; 1024]);
+        for _ in 0..50 {
+            let s = Arc::clone(&shared);
+            pool.scope(8, move |i| s[i] + s.len() as u64);
+            // The scope dropped the closure (and its Arc clone): the
+            // engine-mutation pattern `Arc::get_mut` must succeed.
+            assert!(
+                Arc::get_mut(&mut shared).is_some(),
+                "scope leaked a strong reference to captured state"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_task_payload_is_reraised_on_the_caller() {
+        let pool = Executor::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(8, |i| {
+                if i == 5 {
+                    panic!("task five failed");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task five failed");
+        // The pool survives a panicking group.
+        assert_eq!(pool.scope(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shutdown_joins_every_worker_and_scopes_fall_back_inline() {
+        let pool = Executor::new(3);
+        assert_eq!(pool.scope(6, |i| i).len(), 6);
+        assert_eq!(pool.shutdown(), 3, "every worker must join");
+        assert_eq!(pool.shutdown(), 0, "idempotent");
+        assert_eq!(pool.scope(6, |i| i), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn obs_reports_counters_and_stays_observational() {
+        let pool = Executor::new(2);
+        pool.scope(4, |i| i);
+        let with_obs = pool.scope(16, |i| i * 3);
+        pool.set_obs_enabled(false);
+        let without_obs = pool.scope(16, |i| i * 3);
+        assert_eq!(with_obs, without_obs, "obs must never change results");
+        let report = pool.obs_report();
+        assert_eq!(report.counter("pool_workers"), Some(2));
+        assert!(report.counter("scopes").unwrap() >= 3);
+        assert!(report.counter("tasks").unwrap() >= 36);
+        for key in ["queue_depth", "steals", "unparks", "parked_us"] {
+            assert!(report.counter(key).is_some(), "missing counter {key}");
+        }
+    }
+}

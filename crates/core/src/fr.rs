@@ -1,5 +1,6 @@
 //! The exact filtering–refinement engine (Section 5).
 
+use crate::exec::Executor;
 use crate::obs::{Counter, Histogram, ObsReport};
 use crate::wal::{open_checkpoint, seal_checkpoint, RecoverError};
 use crate::{
@@ -14,6 +15,7 @@ use pdr_storage::{
 };
 use pdr_tprtree::{TprConfig, TprTree};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
@@ -28,10 +30,12 @@ pub struct FrConfig {
     pub horizon: TimeHorizon,
     /// TPR-tree buffer pool size in pages (paper: 10 % of the data).
     pub buffer_pages: usize,
-    /// Refinement worker threads; `0` means one per available core.
-    /// Candidate cells are fanned out across this many workers, each
-    /// running its range queries and plane sweeps independently; the
-    /// answer is bit-identical for every thread count.
+    /// Refinement parallelism width; `0` means one chunk per available
+    /// core. Candidate cells are split into this many chunks and run as
+    /// one task group on the shared [`Executor`] (chunks execute on the
+    /// pool's workers plus the querying thread — no threads are spawned
+    /// per query); the answer is bit-identical for every width and
+    /// every pool size.
     pub threads: usize,
 }
 
@@ -134,7 +138,7 @@ impl ClassificationCache {
 /// adds. Recording never changes any answer.
 #[derive(Debug, Default)]
 struct FrObs {
-    enabled: bool,
+    enabled: AtomicBool,
     queries: Counter,
     candidate_cells: Counter,
     accepted_cells: Counter,
@@ -157,9 +161,13 @@ struct FrObs {
 impl FrObs {
     fn on() -> Self {
         FrObs {
-            enabled: true,
+            enabled: AtomicBool::new(true),
             ..FrObs::default()
         }
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
     }
 
     fn report(&self) -> ObsReport {
@@ -201,7 +209,12 @@ const MISSED_DELETE_LOG_LIMIT: u64 = 8;
 pub struct FrEngine<I: RangeIndex = TprTree> {
     cfg: FrConfig,
     histogram: DensityHistogram,
-    tree: I,
+    /// The refinement index, shared with the executor's `'static` task
+    /// closures during a query's refinement fan-out. Outside a query
+    /// the engine holds the only strong reference ([`Executor::scope`]
+    /// drops every task clone before returning), so `&mut self` paths
+    /// mutate it through [`Arc::get_mut`].
+    tree: Arc<I>,
     /// Shadow of the refinement index's contents (the ObjectTable view
     /// of this engine) — what a checkpoint serializes, and what a
     /// restore bulk-loads the rebuilt index from.
@@ -214,7 +227,7 @@ pub struct FrEngine<I: RangeIndex = TprTree> {
     updates_applied: u64,
     missed_deletes: u64,
     rejected_updates: u64,
-    obs: FrObs,
+    obs: Arc<FrObs>,
 }
 
 impl FrEngine<TprTree> {
@@ -247,14 +260,14 @@ impl<I: RangeIndex> FrEngine<I> {
         FrEngine {
             cfg,
             histogram,
-            tree: index,
+            tree: Arc::new(index),
             motions: HashMap::new(),
             t_start,
             cache: RwLock::new(ClassificationCache::new()),
             updates_applied: 0,
             missed_deletes: 0,
             rejected_updates: 0,
-            obs: FrObs::on(),
+            obs: Arc::new(FrObs::on()),
         }
     }
 
@@ -292,14 +305,14 @@ impl<I: RangeIndex> FrEngine<I> {
         FrEngine {
             cfg,
             histogram,
-            tree: index,
+            tree: Arc::new(index),
             motions: objects.iter().copied().collect(),
             t_start: t_now,
             cache: RwLock::new(ClassificationCache::new()),
             updates_applied: 0,
             missed_deletes: 0,
             rejected_updates: 0,
-            obs: FrObs::on(),
+            obs: Arc::new(FrObs::on()),
         }
     }
 
@@ -318,7 +331,7 @@ impl<I: RangeIndex> FrEngine<I> {
     /// Turns instrumentation on or off (on by default). Disabling skips
     /// even the clock reads; answers are identical either way.
     pub fn set_obs_enabled(&mut self, on: bool) {
-        self.obs.enabled = on;
+        self.obs.enabled.store(on, Ordering::Relaxed);
     }
 
     /// The engine configuration.
@@ -334,7 +347,16 @@ impl<I: RangeIndex> FrEngine<I> {
 
     /// The underlying refinement index.
     pub fn tree(&mut self) -> &mut I {
-        &mut self.tree
+        self.tree_mut()
+    }
+
+    /// Exclusive access to the shared refinement index. Sound because
+    /// every query's [`Executor::scope`] reclaims its task closures —
+    /// and their `Arc` clones — before returning, and `&mut self`
+    /// excludes in-flight queries; a failure here would mean the
+    /// executor leaked a task.
+    fn tree_mut(&mut self) -> &mut I {
+        Arc::get_mut(&mut self.tree).expect("refinement index aliased outside a query")
     }
 
     /// Number of indexed objects.
@@ -357,7 +379,7 @@ impl<I: RangeIndex> FrEngine<I> {
             // motion), so a restore rebuilds bit-identical leaf entries.
             self.motions.insert(*id, *m);
         }
-        self.tree.load(objects, t_now);
+        self.tree_mut().load(objects, t_now);
         self.updates_applied += objects.len() as u64;
     }
 
@@ -375,11 +397,11 @@ impl<I: RangeIndex> FrEngine<I> {
         match update.kind {
             UpdateKind::Insert { motion } => {
                 self.motions.insert(update.id, motion);
-                self.tree.insert(update.id, &motion, update.t_now)
+                self.tree_mut().insert(update.id, &motion, update.t_now)
             }
             UpdateKind::Delete { .. } => {
                 self.motions.remove(&update.id);
-                let removed = self.tree.remove(update.id);
+                let removed = self.tree_mut().remove(update.id);
                 if !removed {
                     self.missed_deletes += 1;
                     if self.missed_deletes <= MISSED_DELETE_LOG_LIMIT {
@@ -520,11 +542,12 @@ impl<I: RangeIndex> FrEngine<I> {
     /// panic. The filter step never touches the disk (the histogram is
     /// in memory), so errors can only originate in refinement.
     pub fn try_query(&self, q: &PdrQuery) -> Result<FrAnswer, StorageError> {
-        let _qt = self.obs.query_time.timer(self.obs.enabled);
+        let enabled = self.obs.enabled();
+        let _qt = self.obs.query_time.timer(enabled);
         let start = Instant::now();
         let grid = self.histogram.grid();
         let cls = {
-            let _t = self.obs.classify_time.timer(self.obs.enabled);
+            let _t = self.obs.classify_time.timer(enabled);
             self.cached_classification(q)
         };
         let threshold = DenseThreshold::of(q);
@@ -537,23 +560,25 @@ impl<I: RangeIndex> FrEngine<I> {
         self.tree.reset_io_stats();
         let candidates: Vec<CellId> = cls.cells_of(CellClass::Candidate).collect();
         let workers = self.worker_count(candidates.len());
-        let obs = self.obs.enabled.then_some(&self.obs);
+        let obs = enabled.then_some(&*self.obs);
         let (rects, objects_retrieved, io) = if workers <= 1 {
-            refine_chunk(&self.tree, grid, &candidates, q, threshold, obs)?
+            refine_chunk(&*self.tree, grid, &candidates, q, threshold, obs)?
         } else {
+            // Chunking is a pure function of (workers, candidates), and
+            // the executor returns chunk results in index order, so the
+            // merged rectangle sequence is identical at every pool size
+            // — including zero workers, where the scope runs inline.
             let chunk_len = candidates.len().div_ceil(workers);
-            let tree = &self.tree;
-            let per_chunk: Vec<RefineResult> = std::thread::scope(|s| {
-                let handles: Vec<_> = candidates
-                    .chunks(chunk_len)
-                    .map(|chunk| {
-                        s.spawn(move || refine_chunk(tree, grid, chunk, q, threshold, obs))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("refinement worker panicked"))
-                    .collect()
+            let chunks = candidates.len().div_ceil(chunk_len);
+            let tree = Arc::clone(&self.tree);
+            let obs = Arc::clone(&self.obs);
+            let cells = Arc::new(candidates);
+            let q = *q;
+            let per_chunk: Vec<RefineResult> = Executor::global().scope(chunks, move |k| {
+                let lo = k * chunk_len;
+                let hi = (lo + chunk_len).min(cells.len());
+                let chunk_obs = obs.enabled().then_some(&*obs);
+                refine_chunk(&*tree, grid, &cells[lo..hi], &q, threshold, chunk_obs)
             });
             let mut rects = Vec::new();
             let mut retrieved = 0usize;
@@ -567,7 +592,7 @@ impl<I: RangeIndex> FrEngine<I> {
             (rects, retrieved, io)
         };
         {
-            let _t = self.obs.merge_time.timer(self.obs.enabled);
+            let _t = self.obs.merge_time.timer(enabled);
             for r in rects {
                 regions.push(r);
             }
@@ -577,7 +602,7 @@ impl<I: RangeIndex> FrEngine<I> {
             regions.canonicalize();
         }
         self.obs.queries.inc();
-        if self.obs.enabled {
+        if enabled {
             self.obs.accepted_cells.add(cls.accept_count() as u64);
             self.obs.rejected_cells.add(cls.reject_count() as u64);
             self.obs.candidate_cells.add(cls.candidate_count() as u64);
@@ -721,8 +746,9 @@ impl<I: RangeIndex> FrEngine<I> {
                 "histogram horizon disagrees with config",
             ));
         }
-        self.tree.reset(t_start);
-        self.tree.load(&motions, histogram.t_base());
+        let tree = self.tree_mut();
+        tree.reset(t_start);
+        tree.load(&motions, histogram.t_base());
         self.histogram = histogram;
         self.motions = motions.into_iter().collect();
         self.t_start = t_start;

@@ -19,9 +19,11 @@ use pdr_storage::{FaultPlan, FaultStats, IoStats, StorageError};
 /// A disk-backed index over moving objects supporting predictive range
 /// queries, as required by the FR refinement step.
 ///
-/// `Sync` is required so the parallel refinement pipeline can share
-/// `&self` across `std::thread::scope` workers.
-pub trait RangeIndex: Sync {
+/// `Send + Sync + 'static` is required so the parallel refinement
+/// pipeline can share the index (behind an `Arc`) with the persistent
+/// [work-stealing executor](crate::exec::Executor), whose task closures
+/// outlive any particular borrow.
+pub trait RangeIndex: Send + Sync + 'static {
     /// Inserts a motion reported at `t_now`.
     fn insert(&mut self, id: ObjectId, motion: &MotionState, t_now: Timestamp);
 

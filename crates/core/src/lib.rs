@@ -67,6 +67,7 @@ pub mod baselines;
 mod dh_answers;
 mod engine;
 mod exact;
+pub mod exec;
 mod filter;
 mod fr;
 mod index;
@@ -84,6 +85,7 @@ pub use engine::{
     EngineStats,
 };
 pub use exact::{exact_dense_regions, point_density, ExactOracle};
+pub use exec::Executor;
 pub use filter::{classify_cells, CellClass, Classification};
 pub use fr::{FrAnswer, FrCacheCounters, FrConfig, FrEngine, INTERVAL_COALESCE_EVERY};
 pub use index::RangeIndex;

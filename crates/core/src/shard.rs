@@ -46,6 +46,7 @@
 //! equality.
 
 use crate::engine::{DensityEngine, EngineAnswer, EngineStats};
+use crate::exec::Executor;
 use crate::obs::ObsReport;
 use crate::wal::{
     open_checkpoint, replay, seal_checkpoint, segment_name, RecoverError, SegmentHeader, Wal,
@@ -56,7 +57,7 @@ use pdr_geometry::{Rect, RegionSet};
 use pdr_mobject::{screen_batch, MotionState, ObjectId, TimeHorizon, Timestamp, Update};
 use pdr_storage::{crc32, ByteReader, ByteWriter, FaultPlan, FaultStats, IoStats, StorageError};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// A regular `Sx × Sy` spatial partition of the monitored domain with a
@@ -200,154 +201,31 @@ struct ShardState {
     checkpoint_offset: usize,
 }
 
-/// A shared-nothing sharded engine plane, itself a [`DensityEngine`].
-///
-/// Fault scoping: [`set_fault_plan`](DensityEngine::set_fault_plan)
-/// installs the plan beneath **shard 0 only**, so fault injection
-/// exercises partial degradation — the faulted shard recovers or
-/// degrades while every other shard keeps serving exactly. Use
-/// [`set_shard_fault_plan`](ShardedEngine::set_shard_fault_plan) to
-/// target a specific shard.
-pub struct ShardedEngine {
-    name: &'static str,
+/// The plane's shared state — everything the per-shard fan-out tasks
+/// touch. Lives behind an `Arc` so the [`Executor`]'s `'static` task
+/// closures can share it with the engine; every mutation goes through
+/// the per-shard `RwLock`s, so `&mut self` ingest paths and `&self`
+/// queries synchronize on the same locks whichever pool thread runs
+/// the task.
+struct ShardPlane {
     map: ShardMap,
-    horizon: TimeHorizon,
-    t_base: Timestamp,
-    threads: usize,
     shards: Vec<RwLock<ShardState>>,
     degraded: Vec<AtomicBool>,
-    updates_applied: u64,
-    rejected_updates: u64,
-    queries_served: AtomicU64,
 }
 
-impl ShardedEngine {
-    /// Builds the plane: `build(i)` constructs shard `i`'s inner engine
-    /// (each one a full-domain engine that will simply see a routed
-    /// subset of the traffic).
-    pub fn new(
-        name: &'static str,
-        map: ShardMap,
-        horizon: TimeHorizon,
-        t_start: Timestamp,
-        threads: usize,
-        mut build: impl FnMut(usize) -> Box<dyn DensityEngine>,
-    ) -> Self {
-        let n = map.shards();
-        let shards = (0..n)
-            .map(|i| {
-                let header = SegmentHeader {
-                    shard: i as u32,
-                    shards: n as u32,
-                };
-                let wal = Wal::new_segment(header);
-                let checkpoint_offset = wal.offset();
-                RwLock::new(ShardState {
-                    engine: build(i),
-                    wal,
-                    checkpoint: None,
-                    checkpoint_offset,
-                })
-            })
-            .collect();
-        ShardedEngine {
-            name,
-            map,
-            horizon,
-            t_base: t_start,
-            threads,
-            shards,
-            degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            updates_applied: 0,
-            rejected_updates: 0,
-            queries_served: AtomicU64::new(0),
-        }
-    }
-
-    /// The spatial partition this plane serves.
-    pub fn map(&self) -> &ShardMap {
-        &self.map
-    }
-
-    /// `true` when shard `i` is stickily degraded.
-    pub fn shard_degraded(&self, i: usize) -> bool {
-        self.degraded[i].load(Ordering::Acquire)
-    }
-
-    /// Installs a fault plan beneath one specific shard's storage.
-    pub fn set_shard_fault_plan(&self, shard: usize, plan: FaultPlan) {
-        self.read_shard(shard).engine.set_fault_plan(plan);
-    }
-
-    /// Re-checkpoints every shard and marks its WAL segment position,
-    /// bounding shard-local replay work. Called automatically after
-    /// [`bulk_load`](DensityEngine::bulk_load).
-    pub fn refresh_checkpoints(&mut self) {
-        for lock in &self.shards {
-            let mut s = lock.write().unwrap_or_else(|p| p.into_inner());
-            if let Some(cp) = s.engine.checkpoint() {
-                s.checkpoint = Some(cp);
-                s.checkpoint_offset = s.wal.offset();
-            }
-        }
-    }
-
-    fn workers(&self) -> usize {
-        if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.threads
-        }
-    }
-
+impl ShardPlane {
     fn read_shard(&self, i: usize) -> std::sync::RwLockReadGuard<'_, ShardState> {
         self.shards[i].read().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Runs `f(i)` for every shard, fanning out across at most
-    /// `workers()` scoped threads; results come back in shard order and
-    /// a child panic is re-raised with its original payload (so the
-    /// serve loop's fault-caused-panic detection keeps working).
-    fn fan_out<R: Send>(&self, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-        let n = self.shards.len();
-        let workers = self.workers().min(n);
-        if workers <= 1 || n <= 1 {
-            return (0..n).map(f).collect();
-        }
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let chunk_len = n.div_ceil(workers);
-        let mut payload = None;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = out
-                .chunks_mut(chunk_len)
-                .enumerate()
-                .map(|(w, chunk)| {
-                    let f = &f;
-                    scope.spawn(move || {
-                        for (j, slot) in chunk.iter_mut().enumerate() {
-                            *slot = Some(f(w * chunk_len + j));
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                if let Err(p) = h.join() {
-                    payload.get_or_insert(p);
-                }
-            }
-        });
-        if let Some(p) = payload {
-            std::panic::resume_unwind(p);
-        }
-        out.into_iter()
-            .map(|slot| slot.expect("every shard slot filled"))
-            .collect()
+    fn write_shard(&self, i: usize) -> std::sync::RwLockWriteGuard<'_, ShardState> {
+        self.shards[i].write().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Shard-local crash recovery: restore the shard's checkpoint and
     /// replay its WAL segment tail. The rest of the plane is untouched.
     fn recover_shard(&self, i: usize) -> Result<(), ()> {
-        let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+        let mut s = self.write_shard(i);
         let ShardState {
             engine,
             wal,
@@ -409,6 +287,120 @@ impl ShardedEngine {
         self.degraded[i].store(true, Ordering::Release);
         self.degraded_shard_answer(i, q, err)
     }
+}
+
+/// A shared-nothing sharded engine plane, itself a [`DensityEngine`].
+///
+/// Fault scoping: [`set_fault_plan`](DensityEngine::set_fault_plan)
+/// installs the plan beneath **shard 0 only**, so fault injection
+/// exercises partial degradation — the faulted shard recovers or
+/// degrades while every other shard keeps serving exactly. Use
+/// [`set_shard_fault_plan`](ShardedEngine::set_shard_fault_plan) to
+/// target a specific shard.
+pub struct ShardedEngine {
+    name: &'static str,
+    horizon: TimeHorizon,
+    t_base: Timestamp,
+    threads: usize,
+    plane: Arc<ShardPlane>,
+    updates_applied: u64,
+    rejected_updates: u64,
+    queries_served: AtomicU64,
+}
+
+impl ShardedEngine {
+    /// Builds the plane: `build(i)` constructs shard `i`'s inner engine
+    /// (each one a full-domain engine that will simply see a routed
+    /// subset of the traffic).
+    pub fn new(
+        name: &'static str,
+        map: ShardMap,
+        horizon: TimeHorizon,
+        t_start: Timestamp,
+        threads: usize,
+        mut build: impl FnMut(usize) -> Box<dyn DensityEngine>,
+    ) -> Self {
+        let n = map.shards();
+        let shards = (0..n)
+            .map(|i| {
+                let header = SegmentHeader {
+                    shard: i as u32,
+                    shards: n as u32,
+                };
+                let wal = Wal::new_segment(header);
+                let checkpoint_offset = wal.offset();
+                RwLock::new(ShardState {
+                    engine: build(i),
+                    wal,
+                    checkpoint: None,
+                    checkpoint_offset,
+                })
+            })
+            .collect();
+        ShardedEngine {
+            name,
+            horizon,
+            t_base: t_start,
+            threads,
+            plane: Arc::new(ShardPlane {
+                map,
+                shards,
+                degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            }),
+            updates_applied: 0,
+            rejected_updates: 0,
+            queries_served: AtomicU64::new(0),
+        }
+    }
+
+    /// The spatial partition this plane serves.
+    pub fn map(&self) -> &ShardMap {
+        &self.plane.map
+    }
+
+    /// `true` when shard `i` is stickily degraded.
+    pub fn shard_degraded(&self, i: usize) -> bool {
+        self.plane.degraded[i].load(Ordering::Acquire)
+    }
+
+    /// Installs a fault plan beneath one specific shard's storage.
+    pub fn set_shard_fault_plan(&self, shard: usize, plan: FaultPlan) {
+        self.plane.read_shard(shard).engine.set_fault_plan(plan);
+    }
+
+    /// Re-checkpoints every shard and marks its WAL segment position,
+    /// bounding shard-local replay work. Called automatically after
+    /// [`bulk_load`](DensityEngine::bulk_load).
+    pub fn refresh_checkpoints(&mut self) {
+        for i in 0..self.plane.shards.len() {
+            let mut s = self.plane.write_shard(i);
+            if let Some(cp) = s.engine.checkpoint() {
+                s.checkpoint = Some(cp);
+                s.checkpoint_offset = s.wal.offset();
+            }
+        }
+    }
+
+    /// Runs `f(i)` for every shard as one task group on the shared
+    /// [`Executor`] (`threads == 1` keeps the serial inline loop);
+    /// results come back in shard order and a child panic is re-raised
+    /// with its original payload (so the serve loop's
+    /// fault-caused-panic detection keeps working). The closure
+    /// captures the plane through `Arc` clones, so inner FR refinement
+    /// scopes opened by a shard task nest on the same pool instead of
+    /// spawning — which is what lets the per-shard engines keep their
+    /// own refinement parallelism.
+    fn fan_out<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        let n = self.plane.shards.len();
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        Executor::global().scope(n, f)
+    }
 
     /// Merges per-shard answers: clip to owned rectangles, canonical
     /// union, accumulate I/O, AND together exactness.
@@ -423,7 +415,7 @@ impl ShardedEngine {
             parts
                 .iter()
                 .enumerate()
-                .map(|(i, a)| (&a.regions, self.map.owned(i))),
+                .map(|(i, a)| (&a.regions, self.plane.map.owned(i))),
         );
         EngineAnswer {
             regions,
@@ -435,7 +427,7 @@ impl ShardedEngine {
 
     fn route_targets(&self, u: &Update) -> impl Iterator<Item = usize> + '_ {
         let bbox = u.routing_bbox(self.horizon.h());
-        self.map.route(&bbox)
+        self.plane.map.route(&bbox)
     }
 }
 
@@ -454,7 +446,7 @@ impl DensityEngine for ShardedEngine {
     fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
         let h = self.horizon.h();
         let mut per_shard: Vec<Vec<(ObjectId, MotionState)>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
+            (0..self.plane.shards.len()).map(|_| Vec::new()).collect();
         for &(id, m) in objects {
             if !finite(&m) {
                 // Route to shard 0 so the inner screening rejects (and
@@ -463,15 +455,15 @@ impl DensityEngine for ShardedEngine {
                 continue;
             }
             let bbox = Rect::from_corners(m.position_at(m.t_ref), m.position_at(m.t_ref + h));
-            for i in self.map.route(&bbox) {
+            for i in self.plane.map.route(&bbox) {
                 per_shard[i].push((id, m));
             }
         }
         self.updates_applied += objects.len() as u64;
-        let per_shard = &per_shard;
-        self.fan_out(|i| {
-            let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
-            s.engine.bulk_load(&per_shard[i], t_now);
+        let plane = Arc::clone(&self.plane);
+        let per_shard = Arc::new(per_shard);
+        self.fan_out(move |i| {
+            plane.write_shard(i).engine.bulk_load(&per_shard[i], t_now);
         });
         self.refresh_checkpoints();
     }
@@ -484,7 +476,8 @@ impl DensityEngine for ShardedEngine {
         // a delivery within a shard.
         let rejected = screen_batch(updates, Some((self.t_base, self.horizon)));
         self.rejected_updates += rejected.len() as u64;
-        let mut per_shard: Vec<Vec<Update>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut per_shard: Vec<Vec<Update>> =
+            (0..self.plane.shards.len()).map(|_| Vec::new()).collect();
         let mut next = 0usize;
         for (idx, u) in updates.iter().enumerate() {
             if next < rejected.len() && rejected[next].0 == idx {
@@ -496,12 +489,16 @@ impl DensityEngine for ShardedEngine {
                 per_shard[i].push(*u);
             }
         }
-        let per_shard = &per_shard;
-        self.fan_out(|i| {
+        // Per-shard batches apply concurrently (one task per shard):
+        // each task takes only its own shard's write lock, so ingest
+        // parallelism is shared-nothing like everything else here.
+        let plane = Arc::clone(&self.plane);
+        let per_shard = Arc::new(per_shard);
+        self.fan_out(move |i| {
             if per_shard[i].is_empty() {
                 return;
             }
-            let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+            let mut s = plane.write_shard(i);
             s.wal.append_batch(&per_shard[i]);
             s.engine.apply_batch(&per_shard[i]);
         });
@@ -509,8 +506,9 @@ impl DensityEngine for ShardedEngine {
 
     fn advance_to(&mut self, t_now: Timestamp) {
         self.t_base = t_now;
-        self.fan_out(|i| {
-            let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+        let plane = Arc::clone(&self.plane);
+        self.fan_out(move |i| {
+            let mut s = plane.write_shard(i);
             s.wal.append_advance(t_now);
             s.engine.advance_to(t_now);
         });
@@ -523,7 +521,9 @@ impl DensityEngine for ShardedEngine {
 
     fn try_query(&self, q: &PdrQuery) -> Result<EngineAnswer, StorageError> {
         let started = Instant::now();
-        let results = self.fan_out(|i| self.shard_query(i, q));
+        let plane = Arc::clone(&self.plane);
+        let q_owned = *q;
+        let results = self.fan_out(move |i| plane.shard_query(i, &q_owned));
         let mut parts = Vec::with_capacity(results.len());
         for r in results {
             parts.push(r?);
@@ -534,7 +534,9 @@ impl DensityEngine for ShardedEngine {
 
     fn degraded_query(&self, q: &PdrQuery) -> Option<EngineAnswer> {
         let started = Instant::now();
-        let results = self.fan_out(|i| self.read_shard(i).engine.degraded_query(q));
+        let plane = Arc::clone(&self.plane);
+        let q_owned = *q;
+        let results = self.fan_out(move |i| plane.read_shard(i).engine.degraded_query(&q_owned));
         let parts: Option<Vec<EngineAnswer>> = results.into_iter().collect();
         let mut merged = self.merge(parts?, started);
         merged.exact = false;
@@ -545,9 +547,9 @@ impl DensityEngine for ShardedEngine {
         // Compose the per-shard checkpoints into one sealed container:
         // [count u32] then per shard [len u64][crc u32][bytes].
         let mut w = ByteWriter::new();
-        w.put_u32(self.shards.len() as u32);
-        for i in 0..self.shards.len() {
-            let cp = self.read_shard(i).engine.checkpoint()?;
+        w.put_u32(self.plane.shards.len() as u32);
+        for i in 0..self.plane.shards.len() {
+            let cp = self.plane.read_shard(i).engine.checkpoint()?;
             w.put_u64(cp.len() as u64);
             w.put_u32(crc32(&cp));
             w.put_bytes(&cp);
@@ -559,7 +561,7 @@ impl DensityEngine for ShardedEngine {
         let payload = open_checkpoint(bytes)?;
         let mut r = ByteReader::new(payload);
         let n = r.get_u32()? as usize;
-        if n != self.shards.len() {
+        if n != self.plane.shards.len() {
             return Err(RecoverError::Mismatch(
                 "checkpoint was taken at a different shard count",
             ));
@@ -579,7 +581,7 @@ impl DensityEngine for ShardedEngine {
                 )));
             }
             pos += header + len;
-            let mut s = self.shards[i].write().unwrap_or_else(|p| p.into_inner());
+            let mut s = self.plane.write_shard(i);
             s.engine.restore_from(slice)?;
             s.checkpoint = Some(slice.to_vec());
             s.wal = Wal::new_segment(SegmentHeader {
@@ -587,7 +589,7 @@ impl DensityEngine for ShardedEngine {
                 shards: n as u32,
             });
             s.checkpoint_offset = s.wal.offset();
-            self.degraded[i].store(false, Ordering::Release);
+            self.plane.degraded[i].store(false, Ordering::Release);
         }
         Ok(())
     }
@@ -600,19 +602,20 @@ impl DensityEngine for ShardedEngine {
 
     fn fault_stats(&self) -> FaultStats {
         let mut total = FaultStats::default();
-        for i in 0..self.shards.len() {
-            total += self.read_shard(i).engine.fault_stats();
+        for i in 0..self.plane.shards.len() {
+            total += self.plane.read_shard(i).engine.fault_stats();
         }
         total
     }
 
     fn interval_query(&self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
-        let parts = self.fan_out(|i| {
-            if self.degraded[i].load(Ordering::Acquire) {
+        let plane = Arc::clone(&self.plane);
+        let parts = self.fan_out(move |i| {
+            if plane.degraded[i].load(Ordering::Acquire) {
                 // Filter-only union over the interval for a lost shard.
                 let mut acc = RegionSet::new();
                 for t in from..=to {
-                    if let Some(a) = self
+                    if let Some(a) = plane
                         .read_shard(i)
                         .engine
                         .degraded_query(&PdrQuery::new(rho, l, t))
@@ -622,14 +625,14 @@ impl DensityEngine for ShardedEngine {
                 }
                 acc
             } else {
-                self.read_shard(i).engine.interval_query(rho, l, from, to)
+                plane.read_shard(i).engine.interval_query(rho, l, from, to)
             }
         });
         RegionSet::union_disjoint_clipped(
             parts
                 .iter()
                 .enumerate()
-                .map(|(i, rs)| (rs, self.map.owned(i))),
+                .map(|(i, rs)| (rs, self.plane.map.owned(i))),
         )
     }
 
@@ -643,8 +646,8 @@ impl DensityEngine for ShardedEngine {
         let mut objects = 0usize;
         let mut missed_deletes = 0u64;
         let mut inner_rejected = 0u64;
-        for i in 0..self.shards.len() {
-            let st = self.read_shard(i).engine.stats();
+        for i in 0..self.plane.shards.len() {
+            let st = self.plane.read_shard(i).engine.stats();
             memory_bytes += st.memory_bytes;
             objects += st.objects;
             missed_deletes += st.missed_deletes;
@@ -664,8 +667,8 @@ impl DensityEngine for ShardedEngine {
         // Counters sum across shards; per-stage latency detail lives in
         // `shard_metrics_json` (histogram snapshots do not merge).
         let mut counters: Vec<(&'static str, u64)> = Vec::new();
-        for i in 0..self.shards.len() {
-            for (name, v) in self.read_shard(i).engine.obs().counters {
+        for i in 0..self.plane.shards.len() {
+            for (name, v) in self.plane.read_shard(i).engine.obs().counters {
                 match counters.iter_mut().find(|(n, _)| *n == name) {
                     Some((_, total)) => *total += v,
                     None => counters.push((name, v)),
@@ -679,18 +682,17 @@ impl DensityEngine for ShardedEngine {
     }
 
     fn set_obs_enabled(&mut self, on: bool) {
-        for lock in &self.shards {
-            let mut s = lock.write().unwrap_or_else(|p| p.into_inner());
-            s.engine.set_obs_enabled(on);
+        for i in 0..self.plane.shards.len() {
+            self.plane.write_shard(i).engine.set_obs_enabled(on);
         }
     }
 
     fn shard_metrics_json(&self) -> Option<String> {
-        let blocks: Vec<String> = (0..self.shards.len())
+        let blocks: Vec<String> = (0..self.plane.shards.len())
             .map(|i| {
-                let s = self.read_shard(i);
+                let s = self.plane.read_shard(i);
                 let st = s.engine.stats();
-                let tile = self.map.tile(i);
+                let tile = self.plane.map.tile(i);
                 format!(
                     "{{\"shard\":{i},\"segment\":\"{}\",\"tile\":[{},{},{},{}],\
                      \"degraded\":{},\"wal_records\":{},\"wal_bytes\":{},\
@@ -701,7 +703,7 @@ impl DensityEngine for ShardedEngine {
                     crate::obs::json_f64(tile.y_lo),
                     crate::obs::json_f64(tile.x_hi),
                     crate::obs::json_f64(tile.y_hi),
-                    self.degraded[i].load(Ordering::Acquire),
+                    self.plane.degraded[i].load(Ordering::Acquire),
                     s.wal.records(),
                     s.wal.bytes().len(),
                     st.objects,

@@ -201,3 +201,71 @@ fn pa_answers_are_bit_identical_with_obs_on_and_off() {
     assert_eq!(rep_off.stage("apply").unwrap().count, 0);
     assert_eq!(on.queries_served(), off.queries_served());
 }
+
+/// The parallel refinement path routes through the shared persistent
+/// executor; its instrumentation must stay a pure observer too. With
+/// `threads: 4` (chunked refinement through the pool) answers are
+/// bit-identical with obs toggled either way, and the executor's own
+/// report carries the pool gauges and counters whichever way the
+/// engine-side toggle points.
+#[test]
+fn fr_pool_path_is_bit_identical_with_obs_toggled_and_exec_counters_present() {
+    let (pop, batches) = script(5151);
+    let pooled = FrConfig {
+        threads: 4,
+        ..fr_cfg()
+    };
+
+    let mut on = FrEngine::new(pooled, 0);
+    let mut off = FrEngine::new(pooled, 0);
+    off.set_obs_enabled(false);
+    ingest_fr(&mut on, &pop, &batches);
+    ingest_fr(&mut off, &pop, &batches);
+
+    for (i, q) in queries().iter().enumerate() {
+        let a = on.query(q);
+        let b = off.query(q);
+        assert_eq!(
+            a.regions.rects(),
+            b.regions.rects(),
+            "query {i}: pooled answer differs with observability toggled"
+        );
+        assert_eq!(a.accepts, b.accepts, "query {i}: accepts differ");
+        assert_eq!(a.rejects, b.rejects, "query {i}: rejects differ");
+        assert_eq!(a.candidates, b.candidates, "query {i}: candidates differ");
+        assert_eq!(
+            a.objects_retrieved, b.objects_retrieved,
+            "query {i}: retrieved counts differ"
+        );
+    }
+
+    // The executor is a process-wide singleton shared with every other
+    // test in this binary, so only presence and monotonicity of its
+    // telemetry can be asserted here — the exact figures belong to the
+    // executor's own unit tests.
+    let exec = pdr_core::Executor::global().obs_report();
+    for key in [
+        "pool_workers",
+        "queue_depth",
+        "scopes",
+        "tasks",
+        "inline_tasks",
+        "steals",
+        "unparks",
+        "parked_us",
+    ] {
+        assert!(exec.counter(key).is_some(), "executor report missing {key}");
+    }
+    assert!(
+        exec.counter("scopes").unwrap() > 0,
+        "pooled refinement recorded no executor scopes"
+    );
+    // On a zero-worker pool scopes run inline on the caller, so the
+    // work shows up as `inline_tasks`; with workers it lands in
+    // `tasks`. Either way a scope must have executed something.
+    let executed = exec.counter("tasks").unwrap() + exec.counter("inline_tasks").unwrap();
+    assert!(
+        executed >= exec.counter("scopes").unwrap(),
+        "executor scopes ran without executing any tasks"
+    );
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod net;
 mod network;
 mod queries;
 pub mod rng;
@@ -30,9 +31,10 @@ mod serve;
 mod simple;
 mod simulator;
 
+pub use net::{NetClient, NetServer, NetServerConfig};
 pub use network::{NetworkConfig, RoadNetwork};
 pub use queries::{query_workload, QuerySpec};
 pub use rng::StdRng;
-pub use serve::{EngineLoad, FaultPolicy, QueryMix, ServeDriver, ServeReport};
+pub use serve::{ClientLoad, EngineLoad, FaultPolicy, QueryMix, ServeDriver, ServeReport};
 pub use simple::{gaussian_clusters, uniform_population};
 pub use simulator::{DatasetSpec, TrafficSimulator};

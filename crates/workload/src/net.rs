@@ -1,0 +1,1000 @@
+//! Dependency-free TCP serving front-end.
+//!
+//! `pdrcli serve --listen` exposes a [`ServeDriver`] over a socket so
+//! concurrent clients exercise the engines the way a deployment would:
+//! many connections issuing pointwise-dense region queries against one
+//! shared engine plane while the update stream keeps ticking. Every
+//! query runs through [`DensityEngine::try_query`]'s shared-read
+//! contract, so client concurrency composes with the intra-query
+//! parallelism running on the process-wide
+//! [`Executor`](pdr_core::Executor).
+//!
+//! ## Wire protocol
+//!
+//! Length-prefixed JSON over TCP: each frame is a 4-byte big-endian
+//! payload length followed by that many bytes of UTF-8 JSON (at most
+//! [`MAX_FRAME`]). Requests are objects with an `"op"` key; responses
+//! always carry `"ok"`. Requests on one connection are answered in
+//! order, but clients may *pipeline* — write several frames before
+//! reading any response.
+//!
+//! | op         | request fields                  | response                                  |
+//! |------------|---------------------------------|-------------------------------------------|
+//! | `query`    | `rho`, `l`, `q_t`[, `engine`]   | `regions`, `area`, `t`, `micros`, `deadline_miss` |
+//! | `check`    | `rho`, `l`, `q_t`[, `engine`]   | `query` fields plus `exact`, `sym_diff`   |
+//! | `tick`     | —                               | `updates`, `t_now`                        |
+//! | `metrics`  | —                               | `metrics` object (counters, clients, exec)|
+//! | `shutdown` | —                               | `draining: true`; server drains and exits |
+//!
+//! `q_t` is the *offset* from the server's current clock (how far into
+//! the prediction window the query looks), not an absolute timestamp —
+//! the server keeps ticking underneath the clients, so absolute times
+//! would go stale in flight. The response's `t` reports the resolved
+//! absolute timestamp.
+//!
+//! ## Backpressure
+//!
+//! Admission is bounded: at most `capacity` queries may be in flight
+//! across all connections. A query arriving beyond that is rejected
+//! immediately with `{"ok":false,"error":"overloaded",
+//! "retry_after_ms":N}` and counted in `rejected_admissions` — the
+//! client is expected to back off and retry, so overload degrades into
+//! latency instead of memory growth.
+//!
+//! ## Deadlines and faults
+//!
+//! Each admitted query is timed against the [`FaultPolicy`] deadline;
+//! a miss is reported in the response and counted per client. Transient
+//! storage faults are retried in place (the read path is `&self`, so a
+//! retry needs no exclusive access) up to `max_attempts` with the
+//! policy's seeded backoff; queries that still fail count as
+//! `failed_queries`.
+//!
+//! ## Shutdown
+//!
+//! The `shutdown` op is the clean-exit path: the acceptor stops, every
+//! connection drains, and the final summary reports
+//! `"leaked_workers"` — worker threads that failed to join. (A signal
+//! handler would need a dependency or `unsafe`; the CLI documents that
+//! SIGTERM simply kills the process, while scripted shutdown goes
+//! through the protocol.)
+
+use crate::serve::{FaultPolicy, ServeDriver};
+use pdr_core::{Executor, PdrQuery};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Largest accepted frame payload (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser (server side of the wire protocol; the
+// emitting side reuses the same hand-rolled formatting as `pdr_core::obs`).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document (rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Member `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value, if this is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.i))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.i)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|x| x.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.b.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.i += 4;
+                            // Surrogates are rejected rather than paired —
+                            // the protocol never emits them.
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is already valid UTF-8).
+                    let rest =
+                        std::str::from_utf8(&self.b[self.i..]).map_err(|_| "invalid UTF-8")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    if (c as u32) < 0x20 {
+                        return Err("raw control character in string".into());
+                    }
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("bad object at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(mut n) => {
+            while n < 4 {
+                let m = r.read(&mut len[n..])?;
+                if m == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame header",
+                    ));
+                }
+                n += m;
+            }
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A blocking protocol client. [`request`](NetClient::request) is the
+/// lockstep path; [`send`](NetClient::send) + [`recv`](NetClient::recv)
+/// pipeline several requests down the socket before reading responses.
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Connects to a serving front-end.
+    pub fn connect(addr: &str) -> io::Result<NetClient> {
+        Ok(NetClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request frame without waiting for the response.
+    pub fn send(&mut self, body: &str) -> io::Result<()> {
+        write_frame(&mut self.stream, body)
+    }
+
+    /// Reads and parses the next response frame.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        Json::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, body: &str) -> io::Result<Json> {
+        self.send(body)?;
+        self.recv()
+    }
+
+    /// [`request`](NetClient::request) returning the raw response text
+    /// (for callers that relay the JSON instead of inspecting it).
+    pub fn request_raw(&mut self, body: &str) -> io::Result<String> {
+        self.send(body)?;
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// Tunables of the serving front-end.
+#[derive(Clone, Copy, Debug)]
+pub struct NetServerConfig {
+    /// Maximum queries in flight across all connections; admissions
+    /// beyond this are rejected with backpressure.
+    pub capacity: usize,
+    /// Retry hint attached to overload rejections.
+    pub retry_after_ms: u64,
+    /// Shut the process-wide executor down (joining its workers) after
+    /// the last connection drains, and report any worker that failed to
+    /// join as leaked. The CLI turns this on; library tests leave the
+    /// shared pool alive for the rest of the process.
+    pub shutdown_pool: bool,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            capacity: 32,
+            retry_after_ms: 5,
+            shutdown_pool: false,
+        }
+    }
+}
+
+/// Per-connection counters, reported by the `metrics` op.
+#[derive(Clone, Debug, Default)]
+pub struct ClientNetStats {
+    /// Queries admitted and answered (including failed ones).
+    pub queries: u64,
+    /// Admitted queries whose latency exceeded the policy deadline.
+    pub deadline_misses: u64,
+    /// Queries rejected at admission.
+    pub rejected: u64,
+}
+
+struct NetShared {
+    inflight: AtomicUsize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    deadline_misses: AtomicU64,
+    shutdown: AtomicBool,
+    clients: Mutex<Vec<ClientNetStats>>,
+}
+
+/// The serving front-end: owns the listener and the driver.
+pub struct NetServer {
+    listener: TcpListener,
+    driver: Arc<RwLock<ServeDriver>>,
+    policy: FaultPolicy,
+    cfg: NetServerConfig,
+    shared: Arc<NetShared>,
+}
+
+impl NetServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) around a
+    /// bootstrapped driver.
+    pub fn bind(
+        addr: &str,
+        driver: ServeDriver,
+        policy: FaultPolicy,
+        cfg: NetServerConfig,
+    ) -> io::Result<NetServer> {
+        Ok(NetServer {
+            listener: TcpListener::bind(addr)?,
+            driver: Arc::new(RwLock::new(driver)),
+            policy,
+            cfg,
+            shared: Arc::new(NetShared {
+                inflight: AtomicUsize::new(0),
+                served: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                deadline_misses: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                clients: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections until a `shutdown` op arrives,
+    /// then drains every connection and returns the final summary JSON
+    /// (`served`, `rejected_admissions`, `failed_queries`,
+    /// `leaked_workers`, …).
+    pub fn serve(self) -> String {
+        let mut handles = Vec::new();
+        let mut next_id = 0usize;
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(_) => break,
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                // The wake-up connection (or a late client) after
+                // shutdown: drop it and stop accepting.
+                break;
+            }
+            let id = next_id;
+            next_id += 1;
+            self.shared
+                .clients
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(ClientNetStats::default());
+            let driver = Arc::clone(&self.driver);
+            let shared = Arc::clone(&self.shared);
+            let policy = self.policy;
+            let cfg = self.cfg;
+            let local = self.listener.local_addr();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pdr-net-{id}"))
+                    .spawn(move || handle_conn(stream, id, driver, shared, policy, cfg, local))
+                    .expect("spawning a connection handler"),
+            );
+        }
+        let spawned = handles.len();
+        let joined = handles
+            .into_iter()
+            .map(|h| h.join())
+            .filter(Result::is_ok)
+            .count();
+        let pool = Executor::global();
+        let pool_workers = pool.workers();
+        let pool_joined = if self.cfg.shutdown_pool {
+            pool.shutdown()
+        } else {
+            pool_workers
+        };
+        let leaked = (spawned - joined) + pool_workers.saturating_sub(pool_joined);
+        format!(
+            "{{\"shutdown\":true,\"served\":{},\"rejected_admissions\":{},\"failed_queries\":{},\
+             \"deadline_misses\":{},\"connections\":{},\"pool_workers\":{},\"leaked_workers\":{}}}",
+            self.shared.served.load(Ordering::SeqCst),
+            self.shared.rejected.load(Ordering::SeqCst),
+            self.shared.failed.load(Ordering::SeqCst),
+            self.shared.deadline_misses.load(Ordering::SeqCst),
+            spawned,
+            pool_workers,
+            leaked
+        )
+    }
+}
+
+/// Serves one connection until EOF, error, or shutdown.
+fn handle_conn(
+    mut stream: TcpStream,
+    id: usize,
+    driver: Arc<RwLock<ServeDriver>>,
+    shared: Arc<NetShared>,
+    policy: FaultPolicy,
+    cfg: NetServerConfig,
+    local: io::Result<SocketAddr>,
+) {
+    // Per-connection deterministic jitter stream for fault backoff.
+    let mut rng = (policy.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let (resp, shutdown) = dispatch(&frame, id, &driver, &shared, &policy, &cfg, &mut rng);
+        if write_frame(&mut stream, &resp).is_err() {
+            return;
+        }
+        if shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it observes the flag.
+            if let Ok(addr) = &local {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn err_json(msg: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{msg}\"}}")
+}
+
+/// Handles one request frame; the bool asks the caller to begin
+/// shutdown after writing the response.
+fn dispatch(
+    frame: &str,
+    id: usize,
+    driver: &RwLock<ServeDriver>,
+    shared: &NetShared,
+    policy: &FaultPolicy,
+    cfg: &NetServerConfig,
+    rng: &mut u64,
+) -> (String, bool) {
+    let req = match Json::parse(frame) {
+        Ok(v) => v,
+        Err(_) => return (err_json("bad json"), false),
+    };
+    let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "query" | "check" => (
+            serve_query(&req, op == "check", id, driver, shared, policy, cfg, rng),
+            false,
+        ),
+        "tick" => {
+            let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
+            let updates = d.tick();
+            let t_now = d.simulator().t_now();
+            (
+                format!("{{\"ok\":true,\"updates\":{updates},\"t_now\":{t_now}}}"),
+                false,
+            )
+        }
+        "metrics" => (metrics_json(driver, shared), false),
+        "shutdown" => ("{\"ok\":true,\"draining\":true}".to_string(), true),
+        _ => (err_json("unknown op"), false),
+    }
+}
+
+/// Admission + execution of a `query`/`check` op.
+#[allow(clippy::too_many_arguments)]
+fn serve_query(
+    req: &Json,
+    check: bool,
+    id: usize,
+    driver: &RwLock<ServeDriver>,
+    shared: &NetShared,
+    policy: &FaultPolicy,
+    cfg: &NetServerConfig,
+    rng: &mut u64,
+) -> String {
+    let (Some(rho), Some(l), Some(q_t)) = (
+        req.get("rho").and_then(Json::as_f64),
+        req.get("l").and_then(Json::as_f64),
+        req.get("q_t").and_then(Json::as_u64),
+    ) else {
+        return err_json("query needs rho, l, q_t");
+    };
+    // Bounded admission: reject rather than queue without limit.
+    if shared.inflight.fetch_add(1, Ordering::SeqCst) >= cfg.capacity {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        with_client(shared, id, |c| c.rejected += 1);
+        return format!(
+            "{{\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":{}}}",
+            cfg.retry_after_ms
+        );
+    }
+    let start = Instant::now();
+    let (outcome, t_abs, latency) = {
+        let d = driver.read().unwrap_or_else(|p| p.into_inner());
+        // `q_t` is an offset into the prediction window, resolved
+        // against the server clock under the same read lock the query
+        // runs under — a concurrent tick cannot strand it mid-request.
+        let t_abs = d.simulator().t_now() + q_t;
+        let q = PdrQuery::new(rho, l, t_abs);
+        let engine = match req.get("engine").and_then(Json::as_str) {
+            Some(label) => d.engine(label),
+            None => d.labels().first().and_then(|l| d.engine(l)),
+        };
+        let answer = match engine {
+            None => Err(err_json("no such engine")),
+            Some(engine) => {
+                // Transient faults retry in place under the read lock —
+                // the query path is `&self`, so no recovery is needed
+                // for a retry to be meaningful. A panic (e.g. an offset
+                // outside the engine's horizon) is answered as an
+                // error, not a dead connection; the read path mutates
+                // no engine state that could be observed broken.
+                let mut attempt = 1;
+                loop {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.try_query(&q)
+                    }));
+                    match r {
+                        Ok(Ok(a)) => break Ok((a, attempt)),
+                        Ok(Err(_)) if attempt < policy.max_attempts => {
+                            backoff_us(policy, attempt, rng);
+                            attempt += 1;
+                        }
+                        Ok(Err(e)) => {
+                            break Err(format!(
+                                "{{\"ok\":false,\"error\":\"storage\",\"detail\":{:?}}}",
+                                format!("{e:?}")
+                            ))
+                        }
+                        Err(_) => break Err(err_json("query panicked")),
+                    }
+                }
+            }
+        };
+        // The deadline covers admission + the engine answer; the
+        // `check` op's brute-force verification sweep runs after the
+        // clock stops, so it cannot poison deadline accounting.
+        let latency = start.elapsed();
+        let outcome = answer.map(|(a, attempts)| {
+            let sym = check.then(|| d.ground_truth(&q).symmetric_difference_area(&a.regions));
+            (a, sym, attempts)
+        });
+        (outcome, t_abs, latency)
+    };
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    let miss = policy.deadline.is_some_and(|dl| latency > dl);
+    shared.served.fetch_add(1, Ordering::SeqCst);
+    if miss {
+        shared.deadline_misses.fetch_add(1, Ordering::SeqCst);
+    }
+    with_client(shared, id, |c| {
+        c.queries += 1;
+        if miss {
+            c.deadline_misses += 1;
+        }
+    });
+    match outcome {
+        Ok((a, sym, attempts)) => {
+            let check_part = sym
+                .map(|s| format!(",\"exact\":{},\"sym_diff\":{}", s < 1e-9, fmt_f64(s)))
+                .unwrap_or_default();
+            format!(
+                "{{\"ok\":true,\"regions\":{},\"area\":{},\"t\":{},\"micros\":{},\
+                 \"attempts\":{},\"deadline_miss\":{}{}}}",
+                a.regions.len(),
+                fmt_f64(a.regions.area()),
+                t_abs,
+                latency.as_micros(),
+                attempts,
+                miss,
+                check_part
+            )
+        }
+        Err(resp) => {
+            shared.failed.fetch_add(1, Ordering::SeqCst);
+            resp
+        }
+    }
+}
+
+/// Seeded jittered exponential backoff (mirrors the serve loop's).
+fn backoff_us(policy: &FaultPolicy, attempt: u32, rng: &mut u64) {
+    let base = policy
+        .backoff_base_us
+        .saturating_mul(1u64 << attempt.min(16));
+    let delay = base.min(policy.backoff_cap_us.max(policy.backoff_base_us));
+    if delay == 0 {
+        return;
+    }
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let x = rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    std::thread::sleep(Duration::from_micros(delay / 2 + x % (delay / 2 + 1)));
+}
+
+fn with_client(shared: &NetShared, id: usize, f: impl FnOnce(&mut ClientNetStats)) {
+    let mut clients = shared.clients.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(c) = clients.get_mut(id) {
+        f(c);
+    }
+}
+
+/// JSON-safe float formatting (finite shortest-roundtrip).
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
+    let pool = Executor::global();
+    let clients = {
+        let clients = shared.clients.lock().unwrap_or_else(|p| p.into_inner());
+        clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                format!(
+                    "{{\"client\":{},\"queries\":{},\"deadline_misses\":{},\"rejected\":{}}}",
+                    i, c.queries, c.deadline_misses, c.rejected
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let (t_now, objects) = {
+        let d = driver.read().unwrap_or_else(|p| p.into_inner());
+        (d.simulator().t_now(), d.simulator().population().len())
+    };
+    format!(
+        "{{\"ok\":true,\"metrics\":{{\"t_now\":{},\"objects\":{},\"pool_workers\":{},\
+         \"queue_depth\":{},\"inflight\":{},\"served\":{},\"rejected_admissions\":{},\
+         \"failed_queries\":{},\"deadline_misses\":{},\"clients\":[{}],\"exec\":{}}}}}",
+        t_now,
+        objects,
+        pool.workers(),
+        pool.queue_depth(),
+        shared.inflight.load(Ordering::SeqCst),
+        shared.served.load(Ordering::SeqCst),
+        shared.rejected.load(Ordering::SeqCst),
+        shared.failed.load(Ordering::SeqCst),
+        shared.deadline_misses.load(Ordering::SeqCst),
+        clients,
+        pool.obs_report().to_json()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkConfig, RoadNetwork, TrafficSimulator};
+    use pdr_core::{EngineSpec, FrConfig};
+    use pdr_mobject::TimeHorizon;
+    use pdr_storage::CostModel;
+
+    fn driver(n: usize) -> ServeDriver {
+        let net = RoadNetwork::generate(
+            &NetworkConfig {
+                extent: 200.0,
+                nodes: 150,
+                hotspots: 3,
+                spread: 0.05,
+                background: 0.2,
+                degree: 3,
+            },
+            13,
+        );
+        let sim = TrafficSimulator::new(net, n, 17, 4, 0);
+        let fr = FrConfig {
+            extent: 200.0,
+            m: 40,
+            horizon: TimeHorizon::new(4, 4),
+            buffer_pages: 64,
+            threads: 1,
+        };
+        let mut d = ServeDriver::new(sim, CostModel::PAPER_DEFAULT)
+            .with_engine("fr", EngineSpec::Fr(fr).build(0));
+        d.bootstrap();
+        d
+    }
+
+    #[test]
+    fn json_parser_round_trips_protocol_documents() {
+        let doc = r#"{"op":"query","rho":0.015,"l":20.0,"q_t":3,"engine":"fr","tags":[1,true,null,"a\nb"]}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("query"));
+        assert_eq!(v.get("rho").and_then(Json::as_f64), Some(0.015));
+        assert_eq!(v.get("q_t").and_then(Json::as_u64), Some(3));
+        let Json::Arr(tags) = v.get("tags").unwrap() else {
+            panic!("tags must parse as an array");
+        };
+        assert_eq!(tags[1], Json::Bool(true));
+        assert_eq!(tags[3], Json::Str("a\nb".into()));
+        assert!(Json::parse("{\"x\":1} trailing").is_err());
+        assert!(Json::parse("{\"x\":}").is_err());
+        assert!(Json::parse("1e999").is_err(), "non-finite numbers rejected");
+    }
+
+    #[test]
+    fn frames_round_trip_and_oversize_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"tick\"}").unwrap();
+        write_frame(&mut buf, "{}").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("{\"op\":\"tick\"}")
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{}"));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+        let mut torn = &buf[..2];
+        assert!(read_frame(&mut torn).is_err(), "torn header must error");
+        let huge = [0xFFu8, 0xFF, 0xFF, 0xFF];
+        assert!(
+            read_frame(&mut &huge[..]).is_err(),
+            "oversize length rejected"
+        );
+    }
+
+    /// Full protocol pass over a real socket: ticks advance the clock,
+    /// answers are exact against the ground truth, metrics expose the
+    /// executor counters, and shutdown reports zero leaked workers.
+    #[test]
+    fn tcp_round_trip_serves_exact_answers_and_clean_shutdown() {
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            driver(300),
+            FaultPolicy::default(),
+            NetServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || server.serve());
+        let mut c = NetClient::connect(&addr).unwrap();
+        for _ in 0..3 {
+            let r = c.request("{\"op\":\"tick\"}").unwrap();
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+            let r = c
+                .request("{\"op\":\"check\",\"rho\":0.015,\"l\":20.0,\"q_t\":2}")
+                .unwrap();
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+            assert_eq!(
+                r.get("exact").and_then(Json::as_bool),
+                Some(true),
+                "FR must be exact over the wire: {r:?}"
+            );
+        }
+        // Pipelining: several requests on the wire before any read.
+        for _ in 0..4 {
+            c.send("{\"op\":\"query\",\"rho\":0.015,\"l\":20.0,\"q_t\":1}")
+                .unwrap();
+        }
+        for _ in 0..4 {
+            let r = c.recv().unwrap();
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        let m = c.request("{\"op\":\"metrics\"}").unwrap();
+        let metrics = m.get("metrics").expect("metrics object");
+        assert_eq!(
+            metrics.get("failed_queries").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            metrics.get("rejected_admissions").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert!(metrics.get("exec").is_some(), "executor counters present");
+        let clients = metrics.get("clients").unwrap();
+        let Json::Arr(clients) = clients else {
+            panic!("clients must be an array")
+        };
+        assert_eq!(clients.len(), 1);
+        assert_eq!(clients[0].get("queries").and_then(Json::as_u64), Some(7));
+        let r = c.request("{\"op\":\"shutdown\"}").unwrap();
+        assert_eq!(r.get("draining").and_then(Json::as_bool), Some(true));
+        let summary = server.join().unwrap();
+        assert!(
+            summary.contains("\"leaked_workers\":0"),
+            "clean shutdown: {summary}"
+        );
+        assert!(summary.contains("\"failed_queries\":0"), "{summary}");
+    }
+
+    /// With zero capacity every admission bounces with the retry hint —
+    /// backpressure instead of queueing.
+    #[test]
+    fn zero_capacity_rejects_every_admission_with_retry_hint() {
+        let cfg = NetServerConfig {
+            capacity: 0,
+            retry_after_ms: 7,
+            shutdown_pool: false,
+        };
+        let server =
+            NetServer::bind("127.0.0.1:0", driver(200), FaultPolicy::default(), cfg).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || server.serve());
+        let mut c = NetClient::connect(&addr).unwrap();
+        for _ in 0..3 {
+            let r = c
+                .request("{\"op\":\"query\",\"rho\":0.015,\"l\":20.0,\"q_t\":1}")
+                .unwrap();
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+            assert_eq!(r.get("error").and_then(Json::as_str), Some("overloaded"));
+            assert_eq!(r.get("retry_after_ms").and_then(Json::as_u64), Some(7));
+        }
+        // tick is not admission-gated — the write path must stay live.
+        let r = c.request("{\"op\":\"tick\"}").unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        c.request("{\"op\":\"shutdown\"}").unwrap();
+        let summary = server.join().unwrap();
+        assert!(summary.contains("\"rejected_admissions\":3"), "{summary}");
+    }
+}

@@ -24,8 +24,8 @@ use crate::simulator::TrafficSimulator;
 use crate::QuerySpec;
 use pdr_core::obs::{json_f64, Histogram, HistogramSnapshot, ObsReport};
 use pdr_core::{
-    accuracy, exact_dense_regions, replay, DensityEngine, EngineAnswer, EngineStats, PdrQuery,
-    Scoreboard, Wal, WalRecord,
+    accuracy, exact_dense_regions, replay, DensityEngine, EngineAnswer, EngineStats, Executor,
+    PdrQuery, Scoreboard, StorageError, Wal, WalRecord,
 };
 use pdr_geometry::{Rect, RegionSet};
 use pdr_mobject::Timestamp;
@@ -40,6 +40,7 @@ pub struct QueryMix {
     anchor: Timestamp,
     per_tick: usize,
     measure_accuracy: bool,
+    clients: usize,
 }
 
 impl QueryMix {
@@ -60,6 +61,7 @@ impl QueryMix {
             anchor,
             per_tick,
             measure_accuracy: false,
+            clients: 1,
         }
     }
 
@@ -70,9 +72,31 @@ impl QueryMix {
         self
     }
 
+    /// Serves the per-tick query slice from `n` concurrent clients
+    /// instead of one. Each client issues its own `per_tick` queries
+    /// (total load scales with `n`) against the shared engines through
+    /// the read-only [`DensityEngine::try_query`] contract, so client
+    /// concurrency composes with the intra-query parallelism running on
+    /// the shared [`Executor`]. Query assignment stays a pure function
+    /// of the mix cursor, and fault handling runs on the exclusive
+    /// serial path after the concurrent phase joins — answers are
+    /// bit-identical to a single-client run over the same assignments.
+    ///
+    /// `n == 1` (the default) keeps the original single-threaded slice.
+    pub fn with_clients(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one client");
+        self.clients = n;
+        self
+    }
+
     /// The underlying specs.
     pub fn specs(&self) -> &[QuerySpec] {
         &self.specs
+    }
+
+    /// Concurrent clients serving the per-tick slice.
+    pub fn clients(&self) -> usize {
+        self.clients
     }
 }
 
@@ -195,6 +219,34 @@ impl EngineLoad {
     }
 }
 
+/// Per-client accumulated load over a concurrent serve run (empty for
+/// single-client runs, which keep the original serial slice).
+#[derive(Clone, Debug)]
+pub struct ClientLoad {
+    /// Client index, `0..clients`.
+    pub client: usize,
+    /// Requests this client issued (one per engine per query).
+    pub queries: u64,
+    /// Requests whose wall-clock latency exceeded the policy deadline
+    /// as observed by the client (includes queueing on the shared
+    /// executor, unlike the engine-side CPU latency).
+    pub deadline_misses: u64,
+    /// Client-observed wall-clock latency distribution.
+    pub latency: HistogramSnapshot,
+}
+
+impl ClientLoad {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"client\":{},\"queries\":{},\"deadline_misses\":{},\"latency_us\":{}}}",
+            self.client,
+            self.queries,
+            self.deadline_misses,
+            self.latency.to_json()
+        )
+    }
+}
+
 /// Result of a serve run.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
@@ -211,6 +263,13 @@ pub struct ServeReport {
     pub tick_query: HistogramSnapshot,
     /// Per-engine accumulated load, in registration order.
     pub engines: Vec<EngineLoad>,
+    /// Per-client load for concurrent-client runs (empty otherwise).
+    pub clients: Vec<ClientLoad>,
+    /// Worker threads in the shared process-wide executor.
+    pub pool_workers: usize,
+    /// Executor counters (queue depth, steals, parked time, …) sampled
+    /// when the report was built.
+    pub exec: ObsReport,
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -310,14 +369,24 @@ impl ServeReport {
             .collect::<Vec<_>>()
             .join(",");
         let faults_injected: u64 = self.engines.iter().map(|e| e.faults.injected()).sum();
+        let clients = self
+            .clients
+            .iter()
+            .map(ClientLoad::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"ticks\":{},\"updates\":{},\"faults_injected\":{},\"tick_ingest_us\":{},\
-             \"tick_query_us\":{},\"engines\":[{}]}}",
+             \"tick_query_us\":{},\"pool_workers\":{},\"exec\":{},\"clients\":[{}],\
+             \"engines\":[{}]}}",
             self.ticks,
             self.updates,
             faults_injected,
             self.tick_ingest.to_json(),
             self.tick_query.to_json(),
+            self.pool_workers,
+            self.exec.to_json(),
+            clients,
             engines
         )
     }
@@ -359,6 +428,14 @@ pub struct ServeDriver {
     policy: FaultPolicy,
     journal: Option<Journal>,
     rng: u64,
+    clients: Vec<ClientStats>,
+}
+
+/// Mutable per-client accumulators (snapshotted into [`ClientLoad`]).
+struct ClientStats {
+    queries: u64,
+    deadline_misses: u64,
+    latency: Histogram,
 }
 
 impl ServeDriver {
@@ -376,6 +453,7 @@ impl ServeDriver {
             policy,
             journal: None,
             rng: policy.seed | 1,
+            clients: Vec::new(),
         }
     }
 
@@ -454,6 +532,11 @@ impl ServeDriver {
     /// The simulator (read access: population, positions, time).
     pub fn simulator(&self) -> &TrafficSimulator {
         &self.sim
+    }
+
+    /// Labels of the registered engines, in registration order.
+    pub fn labels(&self) -> Vec<String> {
+        self.engines.iter().map(|s| s.label.clone()).collect()
     }
 
     /// The engine registered under `label`, if any.
@@ -557,9 +640,20 @@ impl ServeDriver {
 
     /// The serve loop: `ticks` simulator ticks, executing
     /// `mix.per_tick` queries from the mix after each tick (cycling
-    /// through the mix, re-anchored to the current clock). Returns the
-    /// accumulated report; the driver can keep running afterwards.
+    /// through the mix, re-anchored to the current clock; with
+    /// [`QueryMix::with_clients`], every client issues its own
+    /// `per_tick` queries concurrently). Returns the accumulated
+    /// report; the driver can keep running afterwards.
     pub fn run(&mut self, ticks: u64, mix: &QueryMix) -> ServeReport {
+        if mix.clients > 1 {
+            while self.clients.len() < mix.clients {
+                self.clients.push(ClientStats {
+                    queries: 0,
+                    deadline_misses: 0,
+                    latency: Histogram::new(),
+                });
+            }
+        }
         let mut updates = 0u64;
         for _ in 0..ticks {
             let ingest_start = Instant::now();
@@ -567,25 +661,129 @@ impl ServeDriver {
             self.tick_ingest.record(ingest_start.elapsed());
             let now = self.sim.t_now();
             let query_start = Instant::now();
-            for _ in 0..mix.per_tick {
-                let spec = mix.specs[self.cursor % mix.specs.len()];
-                self.cursor += 1;
-                let q_t = now + spec.q_t.saturating_sub(mix.anchor);
-                let q = PdrQuery::new(spec.rho, spec.l, q_t);
-                let truth = mix.measure_accuracy.then(|| self.ground_truth(&q));
-                self.query_all(&q, truth.as_ref());
+            if mix.clients > 1 {
+                self.concurrent_query_slice(mix, now);
+            } else {
+                for _ in 0..mix.per_tick {
+                    let (q, truth) = self.next_query(mix, now);
+                    self.query_all(&q, truth.as_ref());
+                }
             }
             self.tick_query.record(query_start.elapsed());
         }
         self.report(ticks, updates)
     }
 
+    /// Pulls the next query off the mix cursor, re-anchored to `now`.
+    fn next_query(&mut self, mix: &QueryMix, now: Timestamp) -> (PdrQuery, Option<RegionSet>) {
+        let spec = mix.specs[self.cursor % mix.specs.len()];
+        self.cursor += 1;
+        let q_t = now + spec.q_t.saturating_sub(mix.anchor);
+        let q = PdrQuery::new(spec.rho, spec.l, q_t);
+        let truth = mix.measure_accuracy.then(|| self.ground_truth(&q));
+        (q, truth)
+    }
+
+    /// One tick's query slice under `mix.clients` concurrent clients.
+    ///
+    /// Assignment is deterministic: client `c` takes the next
+    /// `per_tick` queries off the shared mix cursor (ground truths are
+    /// precomputed serially). The concurrent phase then runs one OS
+    /// thread per client, each issuing its queries against the shared
+    /// engine through `try_query(&self)` — the engines' shared-read
+    /// contract — so nested intra-query parallelism lands on the same
+    /// process-wide [`Executor`]. All bookkeeping, and the full fault
+    /// policy for any request that errored concurrently, runs serially
+    /// after the join; since retry/recovery mutates the engine it needs
+    /// the exclusive path, and replaying in client order keeps counters
+    /// and fault schedules deterministic.
+    fn concurrent_query_slice(&mut self, mix: &QueryMix, now: Timestamp) {
+        let mut assignments: Vec<Vec<(PdrQuery, Option<RegionSet>)>> =
+            Vec::with_capacity(mix.clients);
+        for _ in 0..mix.clients {
+            let mut qs = Vec::with_capacity(mix.per_tick);
+            for _ in 0..mix.per_tick {
+                qs.push(self.next_query(mix, now));
+            }
+            assignments.push(qs);
+        }
+        let deadline = self.policy.deadline;
+        let model = self.model;
+        for ei in 0..self.engines.len() {
+            type ClientRow = Vec<(Result<EngineAnswer, StorageError>, Duration)>;
+            let rows: Vec<ClientRow> = {
+                let engine = &*self.engines[ei].engine;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = assignments
+                        .iter()
+                        .map(|qs| {
+                            scope.spawn(move || {
+                                qs.iter()
+                                    .map(|(q, _)| {
+                                        let start = Instant::now();
+                                        let r = engine.try_query(q);
+                                        (r, start.elapsed())
+                                    })
+                                    .collect::<ClientRow>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("client thread panicked"))
+                        .collect()
+                })
+            };
+            for (ci, row) in rows.into_iter().enumerate() {
+                for (qi, (r, lat)) in row.into_iter().enumerate() {
+                    let (q, truth) = &assignments[ci][qi];
+                    let stats = &mut self.clients[ci];
+                    stats.queries += 1;
+                    stats.latency.record(lat);
+                    if deadline.is_some_and(|d| lat > d) {
+                        stats.deadline_misses += 1;
+                    }
+                    let a = match r {
+                        Ok(a) => a,
+                        Err(_) => {
+                            let policy = self.policy;
+                            let wal = self.journal.as_ref().map(|j| &j.wal);
+                            serve_with_faults(&mut self.engines[ei], q, &policy, wal, &mut self.rng)
+                        }
+                    };
+                    let s = &mut self.engines[ei];
+                    s.load
+                        .score
+                        .record_cost(a.cpu.as_secs_f64() * 1e3, a.total_ms(&model), a.io);
+                    s.latency.record(a.cpu);
+                    if let Some(truth) = truth {
+                        s.load.score.record_accuracy(accuracy(truth, &a.regions));
+                    }
+                }
+            }
+        }
+    }
+
     fn report(&self, ticks: u64, updates: u64) -> ServeReport {
+        let exec = Executor::global().obs_report();
         ServeReport {
             ticks,
             updates,
             tick_ingest: self.tick_ingest.snapshot(),
             tick_query: self.tick_query.snapshot(),
+            clients: self
+                .clients
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ClientLoad {
+                    client: i,
+                    queries: c.queries,
+                    deadline_misses: c.deadline_misses,
+                    latency: c.latency.snapshot(),
+                })
+                .collect(),
+            pool_workers: Executor::global().workers(),
+            exec,
             engines: self
                 .engines
                 .iter()
@@ -831,6 +1029,66 @@ mod tests {
         }
         assert_eq!(report.engines[0].engine, "fr");
         assert_eq!(report.engines[1].engine, "pa");
+    }
+
+    /// `clients = n` with `per_tick = p` issues exactly the queries a
+    /// single client with `per_tick = n*p` would, in cursor order, and
+    /// the accuracy rollups must come out bit-identical — the
+    /// concurrent phase only moves `try_query` onto client threads.
+    #[test]
+    fn concurrent_clients_score_identically_to_one_client() {
+        let run = |clients: usize, per_tick: usize| {
+            let mut d = driver(300);
+            d.bootstrap();
+            let m = QueryMix::new(mix().specs().to_vec(), 0, per_tick)
+                .with_accuracy()
+                .with_clients(clients);
+            d.run(3, &m)
+        };
+        let conc = run(3, 2);
+        let serial = run(1, 6);
+        assert_eq!(conc.clients.len(), 3);
+        for (i, c) in conc.clients.iter().enumerate() {
+            assert_eq!(c.client, i);
+            // ticks * per_tick * engines requests per client.
+            assert_eq!(c.queries, 3 * 2 * 2, "client {i}");
+            assert_eq!(c.latency.count, c.queries);
+        }
+        assert!(
+            serial.clients.is_empty(),
+            "single-client runs keep the serial slice and report no per-client load"
+        );
+        for (a, b) in conc.engines.iter().zip(&serial.engines) {
+            assert_eq!(a.score.queries, b.score.queries, "{}", a.label);
+            assert_eq!(a.score.scored, b.score.scored, "{}", a.label);
+            assert_eq!(
+                a.score.unbounded_r_fp, b.score.unbounded_r_fp,
+                "{}",
+                a.label
+            );
+            assert_eq!(
+                a.mean_r_fp().to_bits(),
+                b.mean_r_fp().to_bits(),
+                "{}: concurrent clients must not change any answer",
+                a.label
+            );
+            assert_eq!(
+                a.mean_r_fn().to_bits(),
+                b.mean_r_fn().to_bits(),
+                "{}",
+                a.label
+            );
+            assert_eq!(a.failed_queries, 0, "{}", a.label);
+        }
+        let json = conc.to_json();
+        for key in [
+            "\"clients\":[",
+            "\"pool_workers\":",
+            "\"exec\":{",
+            "\"deadline_misses\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

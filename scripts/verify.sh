@@ -5,6 +5,7 @@
 #   scripts/verify.sh --fast         # skip the release build
 #   scripts/verify.sh --fault-matrix # only the fault-injection serve matrix
 #   scripts/verify.sh --sharded-smoke # only the sharded serve smokes
+#   scripts/verify.sh --serve-tcp-smoke # only the TCP front-end smoke
 #
 # Clippy is best-effort: on a fully offline container a missing
 # component must not mask real test failures, so its absence is
@@ -15,9 +16,11 @@ cd "$(dirname "$0")/.."
 fast=0
 only_faults=0
 only_sharded=0
+only_tcp=0
 [ "${1:-}" = "--fast" ] && fast=1
 [ "${1:-}" = "--fault-matrix" ] && only_faults=1
 [ "${1:-}" = "--sharded-smoke" ] && only_sharded=1
+[ "${1:-}" = "--serve-tcp-smoke" ] && only_tcp=1
 fail=0
 
 step() { printf '\n==> %s\n' "$*"; }
@@ -149,6 +152,106 @@ sharded_smoke() {
     rm -f "$out"
 }
 
+# TCP front-end smoke: bind an ephemeral port, drive 10 ticks of
+# oracle-checked queries through a scripted client, then shut down via
+# the protocol op. Fails on a non-exact answer (the client asserts),
+# missing metrics keys, failed queries, a dirty exit, or any leaked
+# connection/executor worker thread in the closing summary.
+serve_tcp_smoke() {
+    step "TCP serve smoke (serve --listen + scripted client, 10 ticks)"
+    if ! cargo build --release -p pdr-cli; then
+        echo "FAIL: pdr-cli release build"
+        fail=1
+        return
+    fi
+    portfile="$(mktemp /tmp/pdr-port.XXXXXX)"
+    serverlog="$(mktemp /tmp/pdr-tcp-server.XXXXXX.log)"
+    clientlog="$(mktemp /tmp/pdr-tcp-client.XXXXXX.log)"
+    rm -f "$portfile"
+    # --deadline-ms 5000: the 250 ms default budget assumes a multi-core
+    # host; the smoke pins correctness and clean shutdown, not latency.
+    # --ticks is unused in listen mode (clients drive ticks over the
+    # wire) but still validated, so pass the minimum.
+    target/release/pdrcli serve --objects 800 --extent 400 --ticks 1 \
+        --l 20 --count 8 --seed 11 \
+        --listen 127.0.0.1:0 --port-file "$portfile" --deadline-ms 5000 \
+        >"$serverlog" 2>&1 &
+    server=$!
+    for _ in $(seq 1 150); do
+        [ -s "$portfile" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$portfile" ]; then
+        echo "FAIL: TCP serve never wrote its port file"
+        fail=1
+        kill "$server" 2>/dev/null
+        wait "$server" 2>/dev/null
+        rm -f "$portfile" "$serverlog" "$clientlog"
+        return
+    fi
+    if ! target/release/pdrcli client --connect "$(cat "$portfile")" \
+            --ticks 10 --queries 4 --l 20 --count 8 >"$clientlog" 2>&1; then
+        echo "FAIL: TCP client exited nonzero"
+        sed 's/^/  client: /' "$clientlog"
+        fail=1
+    else
+        if ! grep -qF 'all exact' "$clientlog"; then
+            echo "FAIL: TCP client did not confirm exact answers"
+            fail=1
+        fi
+        # The client relays the server's metrics op verbatim; the dump
+        # must carry the executor and admission-queue telemetry.
+        for key in '"pool_workers":' '"queue_depth":' '"served":' \
+                   '"rejected_admissions":' '"deadline_misses":' \
+                   '"exec":' '"steals":' '"parked_us":'; do
+            if ! grep -qF "$key" "$clientlog"; then
+                echo "FAIL: TCP metrics relay lacks $key"
+                fail=1
+            fi
+        done
+    fi
+    # The client's shutdown op must bring the server down by itself.
+    server_alive=1
+    for _ in $(seq 1 150); do
+        if ! kill -0 "$server" 2>/dev/null; then
+            server_alive=0
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$server_alive" -eq 1 ]; then
+        echo "FAIL: TCP server still running after protocol shutdown"
+        kill -9 "$server" 2>/dev/null
+        fail=1
+    fi
+    wait "$server" 2>/dev/null
+    rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: TCP server exited nonzero ($rc)"
+        sed 's/^/  server: /' "$serverlog"
+        fail=1
+    fi
+    for key in '"shutdown":true' '"leaked_workers":0' '"failed_queries":0'; do
+        if ! grep -qF "$key" "$serverlog"; then
+            echo "FAIL: TCP shutdown summary lacks $key"
+            fail=1
+        fi
+    done
+    rm -f "$portfile" "$serverlog" "$clientlog"
+}
+
+if [ "$only_tcp" -eq 1 ]; then
+    serve_tcp_smoke
+    if [ "$fail" -ne 0 ]; then
+        echo
+        echo "verify: FAILED"
+        exit 1
+    fi
+    echo
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$only_sharded" -eq 1 ]; then
     sharded_smoke
     if [ "$fail" -ne 0 ]; then
@@ -226,6 +329,7 @@ if [ "$fast" -eq 0 ]; then
 
     sharded_smoke
     fault_matrix
+    serve_tcp_smoke
 fi
 
 step "cargo test -q (tier-1)"
