@@ -23,7 +23,8 @@ use pdr_core::{EngineSpec, Executor, FrConfig};
 use pdr_mobject::TimeHorizon;
 use pdr_storage::CostModel;
 use pdr_workload::{
-    NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver, TrafficSimulator,
+    default_deadline, NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver,
+    TrafficSimulator,
 };
 
 const EXTENT: f64 = 600.0;
@@ -64,8 +65,10 @@ fn main() {
     let ticks: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let pool_workers = Executor::global().workers();
+    let deadline_ms = default_deadline().as_millis();
     println!(
-        "serve_concurrency: n = {n}, ticks = {ticks}, cores = {cores}, pool_workers = {pool_workers}"
+        "serve_concurrency: n = {n}, ticks = {ticks}, cores = {cores}, \
+         pool_workers = {pool_workers}, default_deadline_ms = {deadline_ms}"
     );
 
     let mut rows = Vec::new();
@@ -114,7 +117,8 @@ fn main() {
     let dispatch = pdr_bench::dispatch_json(16, 3);
     let json = format!(
         "{{\n  \"n\": {n},\n  \"ticks\": {ticks},\n  \"available_parallelism\": {cores},\n  \
-         \"pool_workers\": {pool_workers},\n  \"dispatch\": {dispatch},\n  \
+         \"pool_workers\": {pool_workers},\n  \"default_deadline_ms\": {deadline_ms},\n  \
+         \"dispatch\": {dispatch},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
     );

@@ -25,8 +25,10 @@
 //! through the [`DensityEngine`] trait — the CLI never touches
 //! concrete engine wiring.
 
-use pdr_core::{EngineSpec, FrConfig, PaConfig, PaEngine, PdrQuery};
-use pdr_geometry::Point;
+use pdr_core::{
+    AnswerDelta, EngineSpec, FrConfig, PaConfig, PaEngine, PdrQuery, SubId, SubscriptionTable,
+};
+use pdr_geometry::{Point, Rect, RegionSet};
 use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update};
 use pdr_storage::{CostModel, FaultPlan};
 use pdr_workload::{
@@ -67,9 +69,9 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
-         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--clients N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS]\n  \
+         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--clients N] [--subs N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS]\n  \
          pdrcli serve --listen ADDR [--port-file FILE] [--capacity N] [--deadline-ms N] [--objects N ...]\n  \
-         pdrcli client --connect ADDR [--ticks T] [--queries M] [--l EDGE] [--count MIN_OBJECTS]\n  \
+         pdrcli client --connect ADDR [--ticks T] [--queries M] [--subs N] [--l EDGE] [--count MIN_OBJECTS]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -111,6 +113,10 @@ struct Options {
     queries: usize,
     /// `serve --listen`: per-query deadline override in ms (0 = none).
     deadline_ms: Option<u64>,
+    /// Standing subscriptions: `client` registers this many over the
+    /// wire and replays their delta streams; local `serve` carries them
+    /// in the driver's subscription mix.
+    subs: usize,
 }
 
 impl Options {
@@ -141,6 +147,7 @@ impl Options {
             connect: None,
             queries: 4,
             deadline_ms: None,
+            subs: 0,
         };
         let mut i = 0;
         while i < args.len() {
@@ -179,6 +186,7 @@ impl Options {
                 "--connect" => o.connect = Some(value.clone()),
                 "--queries" => o.queries = value.parse().map_err(|_| bad(key))?,
                 "--deadline-ms" => o.deadline_ms = Some(value.parse().map_err(|_| bad(key))?),
+                "--subs" => o.subs = value.parse().map_err(|_| bad(key))?,
                 "--shards" => {
                     let (sx, sy) = value.split_once(['x', 'X']).ok_or_else(|| bad(key))?;
                     let sx: u32 = sx.parse().map_err(|_| bad(key))?;
@@ -404,9 +412,19 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             q_t: dt,
         })
         .collect();
-    let mix = QueryMix::new(specs, 0, 2)
+    let mut mix = QueryMix::new(specs, 0, 2)
         .with_accuracy()
         .with_clients(o.clients);
+    if o.subs > 0 {
+        // Standing queries ride the incremental maintenance path;
+        // `verify` cross-checks every maintained answer against a
+        // from-scratch query each tick (exact rect equality).
+        mix = mix.with_subscriptions(o.subs, 5, true);
+        eprintln!(
+            "# {} standing subscriptions per engine (churn every 5 ticks)",
+            o.subs
+        );
+    }
     if o.clients > 1 {
         eprintln!("# {} concurrent clients per tick", o.clients);
     }
@@ -434,6 +452,18 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
             e.stats.missed_deletes,
             e.stats.memory_bytes
         );
+    }
+    if o.subs > 0 {
+        println!("engine,subs,sub_deltas,sub_checks,sub_divergence");
+        for e in &report.engines {
+            println!(
+                "{},{},{},{},{}",
+                e.label, e.subs, e.sub_deltas, e.sub_checks, e.sub_divergence
+            );
+        }
+        if report.engines.iter().any(|e| e.sub_divergence > 0) {
+            return Err("subscription maintenance diverged from from-scratch queries".into());
+        }
     }
     if o.fault_plan.is_some() {
         println!("engine,faults_injected,crc_failures,retries,recoveries,degraded_queries,failed_queries,deadline_misses");
@@ -494,15 +524,162 @@ fn serve_tcp(o: &Options, driver: ServeDriver, addr: &str) -> Result<(), String>
     Ok(())
 }
 
+/// One wire subscription the client replays: parameters plus the
+/// mirror rebuilt purely from polled deltas.
+struct WireSub {
+    id: u64,
+    rho: f64,
+    q_t: u64,
+    region: Rect,
+    mirror: Vec<Rect>,
+}
+
+/// Parses a `[[x_lo,y_lo,x_hi,y_hi],...]` JSON rect list.
+fn parse_rects(v: &Json) -> Result<Vec<Rect>, String> {
+    let Json::Arr(items) = v else {
+        return Err(format!("expected a rect array, got {v:?}"));
+    };
+    items
+        .iter()
+        .map(|r| {
+            let Json::Arr(c) = r else {
+                return Err(format!("expected a rect, got {r:?}"));
+            };
+            let c: Vec<f64> = c.iter().filter_map(Json::as_f64).collect();
+            if c.len() != 4 {
+                return Err("rect needs four coordinates".into());
+            }
+            Ok(Rect::new(c[0], c[1], c[2], c[3]))
+        })
+        .collect()
+}
+
+/// Drains `poll_deltas` into the mirrors. Errors on a lost buffer or a
+/// degraded patch — the smoke flow has no faults, so either means the
+/// exactness claim can no longer be checked.
+fn poll_and_replay(c: &mut NetClient, subs: &mut [WireSub]) -> Result<usize, String> {
+    let r = c
+        .request("{\"op\":\"poll_deltas\"}")
+        .map_err(|e| format!("poll_deltas: {e}"))?;
+    if r.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("poll_deltas failed: {r:?}"));
+    }
+    if r.get("lost").and_then(Json::as_bool) == Some(true) {
+        return Err("delta buffer overflowed; resubscribe required".into());
+    }
+    let Some(Json::Arr(entries)) = r.get("deltas") else {
+        return Err(format!("poll_deltas: bad deltas field: {r:?}"));
+    };
+    for entry in entries {
+        let d = entry
+            .get("delta")
+            .ok_or_else(|| format!("delta entry without body: {entry:?}"))?;
+        if d.get("degraded").and_then(Json::as_bool) == Some(true) {
+            return Err("subscription degraded mid-stream; resubscribe required".into());
+        }
+        let id = d
+            .get("sub")
+            .and_then(Json::as_u64)
+            .ok_or("delta without sub id")?;
+        let patch = AnswerDelta {
+            id: SubId(id),
+            now: 0,
+            q_t: 0,
+            added: parse_rects(d.get("added").ok_or("delta without added")?)?,
+            removed: parse_rects(d.get("removed").ok_or("delta without removed")?)?,
+            degraded: false,
+        };
+        if let Some(s) = subs.iter_mut().find(|s| s.id == id) {
+            patch.apply_to(&mut s.mirror);
+        }
+    }
+    Ok(entries.len())
+}
+
+/// Checks every replayed mirror against a from-scratch `query` (full
+/// rect list over the wire) clipped to the subscribed region — exact
+/// bit-for-bit rect equality. Returns the number of diverged subs.
+fn check_wire_subs(c: &mut NetClient, o: &Options, subs: &[WireSub]) -> Result<u64, String> {
+    let mut diverged = 0u64;
+    for s in subs {
+        let body = format!(
+            "{{\"op\":\"query\",\"rho\":{},\"l\":{},\"q_t\":{},\"rects\":true}}",
+            s.rho, o.l, s.q_t
+        );
+        let r = c.request(&body).map_err(|e| format!("query: {e}"))?;
+        if r.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("verification query failed: {r:?}"));
+        }
+        let rects = parse_rects(r.get("rects").ok_or("query without rects")?)?;
+        let reference = SubscriptionTable::clip(&RegionSet::from_rects(rects), s.region);
+        if reference.rects() != s.mirror.as_slice() {
+            diverged += 1;
+        }
+    }
+    Ok(diverged)
+}
+
 /// `client --connect`: drives a serving front-end through `--ticks`
 /// rounds of tick + `--queries` checked queries, asserting every
-/// answer is exact against the server-side ground truth, then prints
-/// the server metrics and requests a clean shutdown.
+/// answer is exact against the server-side ground truth. With
+/// `--subs N` it also registers N standing subscriptions, replays
+/// their delta streams after every tick, and asserts the replayed
+/// answers match from-scratch queries bit-for-bit. Finally prints the
+/// server metrics and requests a clean shutdown.
 fn cmd_client(o: &Options) -> Result<(), String> {
     let addr = o.connect.as_ref().ok_or("client requires --connect")?;
     let mut c = NetClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
     let rho = o.count / (o.l * o.l);
     let ok = |r: &Json| r.get("ok").and_then(Json::as_bool) == Some(true);
+
+    // Register the standing queries up front; the initial answer
+    // arrives as each subscription's first delta.
+    let mut subs: Vec<WireSub> = Vec::new();
+    for k in 0..o.subs {
+        let q_t = [0u64, 5, 10][k % 3];
+        // Alternate full-domain and interior regions of interest.
+        let (region, region_part) = if k % 2 == 0 {
+            (Rect::new(0.0, 0.0, o.extent, o.extent), String::new())
+        } else {
+            let r = Rect::new(
+                0.05 * o.extent,
+                0.10 * o.extent,
+                0.75 * o.extent,
+                0.90 * o.extent,
+            );
+            (
+                r,
+                format!(",\"region\":[{},{},{},{}]", r.x_lo, r.y_lo, r.x_hi, r.y_hi),
+            )
+        };
+        let body = format!(
+            "{{\"op\":\"subscribe\",\"rho\":{rho},\"l\":{},\"q_t\":{q_t}{region_part}}}",
+            o.l
+        );
+        let r = c.request(&body).map_err(|e| format!("subscribe: {e}"))?;
+        if !ok(&r) {
+            return Err(format!("subscribe {k} failed: {r:?}"));
+        }
+        let id = r
+            .get("sub")
+            .and_then(Json::as_u64)
+            .ok_or("subscribe response without sub id")?;
+        subs.push(WireSub {
+            id,
+            rho,
+            q_t,
+            region,
+            mirror: Vec::new(),
+        });
+    }
+    let mut sub_checks = 0u64;
+    let mut sub_divergence = 0u64;
+    if !subs.is_empty() {
+        poll_and_replay(&mut c, &mut subs)?;
+        sub_divergence += check_wire_subs(&mut c, o, &subs)?;
+        sub_checks += subs.len() as u64;
+    }
+
     let mut checked = 0u64;
     for tick in 0..o.ticks {
         let r = c
@@ -510,6 +687,11 @@ fn cmd_client(o: &Options) -> Result<(), String> {
             .map_err(|e| format!("tick: {e}"))?;
         if !ok(&r) {
             return Err(format!("tick {tick} failed: {r:?}"));
+        }
+        if !subs.is_empty() {
+            poll_and_replay(&mut c, &mut subs)?;
+            sub_divergence += check_wire_subs(&mut c, o, &subs)?;
+            sub_checks += subs.len() as u64;
         }
         // Offsets span the serve horizon's prediction window (W = 10).
         for k in 0..o.queries {
@@ -528,15 +710,36 @@ fn cmd_client(o: &Options) -> Result<(), String> {
             checked += 1;
         }
     }
+    if let Some(first) = subs.first() {
+        // Exercise the unsubscribe path before shutdown.
+        let r = c
+            .request(&format!("{{\"op\":\"unsubscribe\",\"sub\":{}}}", first.id))
+            .map_err(|e| format!("unsubscribe: {e}"))?;
+        if r.get("removed").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("unsubscribe failed: {r:?}"));
+        }
+    }
     let metrics = c
         .request_raw("{\"op\":\"metrics\"}")
         .map_err(|e| format!("metrics: {e}"))?;
     println!("{metrics}");
+    if !subs.is_empty() {
+        println!(
+            "{{\"subs\":{},\"sub_checks\":{sub_checks},\"subs_exact\":{}}}",
+            subs.len(),
+            sub_divergence == 0
+        );
+    }
     let r = c
         .request("{\"op\":\"shutdown\"}")
         .map_err(|e| format!("shutdown: {e}"))?;
     if !ok(&r) {
         return Err(format!("shutdown refused: {r:?}"));
+    }
+    if sub_divergence > 0 {
+        return Err(format!(
+            "{sub_divergence} subscription replay checks diverged from from-scratch queries"
+        ));
     }
     println!("# {checked} checked queries, all exact; shutdown requested");
     Ok(())

@@ -55,6 +55,9 @@ pub struct ExactOracle {
     table: ObjectTable,
     updates_applied: u64,
     missed_deletes: u64,
+    /// Standing subscriptions (maintained by recompute — the oracle has
+    /// no incremental path and does not need one).
+    pub(crate) subs: crate::sub::SubscriptionTable,
 }
 
 impl ExactOracle {
@@ -66,6 +69,7 @@ impl ExactOracle {
             table: ObjectTable::new(),
             updates_applied: 0,
             missed_deletes: 0,
+            subs: crate::sub::SubscriptionTable::new(),
         }
     }
 

@@ -2,6 +2,7 @@
 
 use crate::exec::Executor;
 use crate::obs::{Counter, Histogram, ObsReport};
+use crate::sub::{AnswerDelta, SubId, Subscription, SubscriptionTable};
 use crate::wal::{open_checkpoint, seal_checkpoint, RecoverError};
 use crate::{
     classify_cells, dh_optimistic, refine_region, CellClass, Classification, DenseThreshold,
@@ -14,7 +15,7 @@ use pdr_storage::{
     ByteReader, ByteWriter, CostModel, FaultPlan, FaultStats, IoStats, StorageError,
 };
 use pdr_tprtree::{TprConfig, TprTree};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -151,11 +152,19 @@ struct FrObs {
     /// number of candidate cells (the old code paid two fresh vectors
     /// per cell).
     refine_allocs: Counter,
+    /// Candidate cells actually re-refined by subscription maintenance
+    /// (the dirty set after dilation — the work the incremental path
+    /// could not reuse from its group cache).
+    dirty_cells: Counter,
+    /// Subscription patches emitted by maintenance passes.
+    deltas_emitted: Counter,
     classify_time: Histogram,
     range_time: Histogram,
     sweep_time: Histogram,
     merge_time: Histogram,
     query_time: Histogram,
+    /// Wall-clock latency of whole subscription-maintenance passes.
+    sub_latency: Histogram,
 }
 
 impl FrObs {
@@ -179,6 +188,8 @@ impl FrObs {
                 ("rejected_cells", self.rejected_cells.get()),
                 ("objects_retrieved", self.objects_retrieved.get()),
                 ("refine_allocs", self.refine_allocs.get()),
+                ("dirty_cells", self.dirty_cells.get()),
+                ("deltas_emitted", self.deltas_emitted.get()),
             ],
             stages: vec![
                 ("classify", self.classify_time.snapshot()),
@@ -186,6 +197,7 @@ impl FrObs {
                 ("sweep", self.sweep_time.snapshot()),
                 ("merge", self.merge_time.snapshot()),
                 ("query", self.query_time.snapshot()),
+                ("sub_latency", self.sub_latency.snapshot()),
             ],
         }
     }
@@ -228,6 +240,25 @@ pub struct FrEngine<I: RangeIndex = TprTree> {
     missed_deletes: u64,
     rejected_updates: u64,
     obs: Arc<FrObs>,
+    /// Standing subscriptions (engine-plane state: never checkpointed,
+    /// preserved across restores so maintenance emits catch-up deltas).
+    subs: SubscriptionTable,
+    /// Incremental-maintenance cache, one entry per distinct
+    /// `(ρ, l, q_t)` group of standing queries (see [`GroupCache`]).
+    sub_cache: HashMap<(u64, u64, Timestamp), GroupCache>,
+}
+
+/// Cached incremental-maintenance state of one standing-query group:
+/// the histogram epoch it was computed at, every candidate cell's
+/// refined rectangles (keyed by linear cell index), and the assembled
+/// canonical full-domain answer. A maintenance pass at an unchanged
+/// epoch reuses `full` outright; otherwise only candidate cells inside
+/// the dilated dirty set are re-refined and the rest reuse their cached
+/// rectangles bit-for-bit.
+struct GroupCache {
+    epoch: u64,
+    cell_rects: HashMap<usize, Vec<Rect>>,
+    full: RegionSet,
 }
 
 impl FrEngine<TprTree> {
@@ -268,6 +299,8 @@ impl<I: RangeIndex> FrEngine<I> {
             missed_deletes: 0,
             rejected_updates: 0,
             obs: Arc::new(FrObs::on()),
+            subs: SubscriptionTable::new(),
+            sub_cache: HashMap::new(),
         }
     }
 
@@ -313,6 +346,8 @@ impl<I: RangeIndex> FrEngine<I> {
             missed_deletes: 0,
             rejected_updates: 0,
             obs: Arc::new(FrObs::on()),
+            subs: SubscriptionTable::new(),
+            sub_cache: HashMap::new(),
         }
     }
 
@@ -756,6 +791,11 @@ impl<I: RangeIndex> FrEngine<I> {
         self.missed_deletes = missed_deletes;
         self.rejected_updates = rejected_updates;
         self.cache = RwLock::new(ClassificationCache::new());
+        // The restored histogram restarts its epoch at zero, so cached
+        // group evaluations are meaningless; subscriptions themselves
+        // survive (the next maintenance recomputes and emits exact
+        // catch-up deltas against their preserved answers).
+        self.sub_cache.clear();
         Ok(())
     }
 
@@ -769,6 +809,198 @@ impl<I: RangeIndex> FrEngine<I> {
     /// index's storage plane.
     pub fn fault_stats(&self) -> FaultStats {
         self.tree.fault_stats()
+    }
+
+    /// The standing-subscription registry.
+    pub fn subs(&self) -> &SubscriptionTable {
+        &self.subs
+    }
+
+    /// Mutable access to the standing-subscription registry.
+    pub fn subs_mut(&mut self) -> &mut SubscriptionTable {
+        &mut self.subs
+    }
+
+    /// Incremental subscription maintenance (the tentpole path).
+    ///
+    /// Standing queries are grouped by `(ρ, l, resolved q_t)` and each
+    /// group is evaluated once. Per group, the histogram's dirty-cell
+    /// marks ([`DensityHistogram::dirty_cells_since`]) identify exactly
+    /// the cells whose classification or refinement can differ from the
+    /// group's cached evaluation; only candidate cells inside the dirty
+    /// set (dilated by the query's cell reach) are re-refined — through
+    /// the same scratch/refinement machinery and executor fan-out as a
+    /// from-scratch query — while every clean candidate reuses its
+    /// cached rectangles bit-for-bit. The assembled answer is
+    /// canonicalized, so each subscription's committed answer — and
+    /// therefore every emitted [`AnswerDelta`] — is bit-identical to
+    /// clipping a from-scratch [`query`](Self::query).
+    ///
+    /// On a storage fault the affected group's subscriptions are marked
+    /// degraded (their previous answers stay authoritative but stale)
+    /// and the cache entry is kept so the next pass retries.
+    pub fn maintain_subs(&mut self, now: Timestamp) -> Vec<AnswerDelta> {
+        if self.subs.is_empty() {
+            self.sub_cache.clear();
+            return Vec::new();
+        }
+        let enabled = self.obs.enabled();
+        let obs = Arc::clone(&self.obs);
+        let _t = obs.sub_latency.timer(enabled);
+        let mut groups: BTreeMap<(u64, u64, Timestamp), Vec<SubId>> = BTreeMap::new();
+        let specs: Vec<Subscription> = self.subs.subs().copied().collect();
+        for s in &specs {
+            let q_t = s.policy.resolve(now);
+            groups
+                .entry((s.rho.to_bits(), s.l.to_bits(), q_t))
+                .or_default()
+                .push(s.id);
+        }
+        // Drop cache entries of groups no subscription targets anymore
+        // (unregistered, or a sliding q_t moved on).
+        self.sub_cache.retain(|k, _| groups.contains_key(k));
+        let mut deltas = Vec::new();
+        for (key, ids) in groups {
+            let q = PdrQuery::new(f64::from_bits(key.0), f64::from_bits(key.1), key.2);
+            match self.eval_sub_group(&q) {
+                Ok(full) => {
+                    for id in ids {
+                        let region = self.subs.get(id).expect("grouped sub vanished").region;
+                        let clipped = SubscriptionTable::clip(&full, region);
+                        if let Some(d) = self.subs.commit(id, clipped, now, key.2) {
+                            deltas.push(d);
+                        }
+                    }
+                }
+                Err(_) => {
+                    for id in ids {
+                        if let Some(d) = self.subs.mark_degraded(id, now, key.2) {
+                            deltas.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        if enabled {
+            obs.deltas_emitted.add(deltas.len() as u64);
+        }
+        deltas
+    }
+
+    /// Evaluates one standing-query group's full-domain canonical
+    /// answer through the epoch-tagged incremental cache.
+    fn eval_sub_group(&mut self, q: &PdrQuery) -> Result<RegionSet, StorageError> {
+        let key = (q.rho.to_bits(), q.l.to_bits(), q.q_t);
+        let epoch = self.histogram.epoch();
+        if let Some(c) = self.sub_cache.get(&key) {
+            if c.epoch == epoch {
+                return Ok(c.full.clone());
+            }
+        }
+        let enabled = self.obs.enabled();
+        let grid = self.histogram.grid();
+        let cls = self.cached_classification(q);
+        let threshold = DenseThreshold::of(q);
+        let old = self.sub_cache.remove(&key);
+        // Cells whose classification or refinement may differ from the
+        // cached evaluation: everything within Chebyshev distance
+        // η_h + 1 of a cell some update dirtied since the cache epoch
+        // (η_h = ⌈l / 2l_c⌉ covers both the classification windows and
+        // the l/2 range-query reach; +1 absorbs the clamped marking of
+        // out-of-grid trajectory segments).
+        let dirty_mask: Option<Vec<bool>> = old.as_ref().map(|c| {
+            let m = grid.cells_per_side() as i64;
+            let mut mask = vec![false; grid.cell_count()];
+            let eta = (q.l / (2.0 * grid.cell_edge())).ceil() as i64 + 1;
+            for cell in self.histogram.dirty_cells_since(c.epoch) {
+                let (col, row) = (cell.col as i64, cell.row as i64);
+                for r in (row - eta).max(0)..=(row + eta).min(m - 1) {
+                    for c_ in (col - eta).max(0)..=(col + eta).min(m - 1) {
+                        mask[(r * m + c_) as usize] = true;
+                    }
+                }
+            }
+            mask
+        });
+        let mut regions = RegionSet::new();
+        for cell in cls.cells_of(CellClass::Accept) {
+            regions.push(grid.cell_rect(cell));
+        }
+        let candidates: Vec<CellId> = cls.cells_of(CellClass::Candidate).collect();
+        let mut cell_rects: HashMap<usize, Vec<Rect>> = HashMap::with_capacity(candidates.len());
+        let mut to_refine: Vec<CellId> = Vec::new();
+        for &cell in &candidates {
+            let li = grid.linear_index(cell);
+            let cached = match (&old, &dirty_mask) {
+                (Some(c), Some(mask)) if !mask[li] => c.cell_rects.get(&li),
+                _ => None,
+            };
+            match cached {
+                Some(r) => {
+                    cell_rects.insert(li, r.clone());
+                }
+                None => to_refine.push(cell),
+            }
+        }
+        if enabled {
+            self.obs.dirty_cells.add(to_refine.len() as u64);
+        }
+        let workers = self.worker_count(to_refine.len());
+        let refined = if workers <= 1 {
+            let obs = enabled.then_some(&*self.obs);
+            refine_cells(&*self.tree, grid, &to_refine, q, threshold, obs).map(|(r, _, _)| r)
+        } else {
+            let chunk_len = to_refine.len().div_ceil(workers);
+            let chunks = to_refine.len().div_ceil(chunk_len);
+            let tree = Arc::clone(&self.tree);
+            let obs = Arc::clone(&self.obs);
+            let cells = Arc::new(to_refine);
+            let q2 = *q;
+            let per_chunk = Executor::global().scope(chunks, move |k| {
+                let lo = k * chunk_len;
+                let hi = (lo + chunk_len).min(cells.len());
+                let chunk_obs = obs.enabled().then_some(&*obs);
+                refine_cells(&*tree, grid, &cells[lo..hi], &q2, threshold, chunk_obs)
+            });
+            per_chunk
+                .into_iter()
+                .try_fold(Vec::new(), |mut acc, chunk| {
+                    acc.extend(chunk?.0);
+                    Ok(acc)
+                })
+        };
+        let refined = match refined {
+            Ok(r) => r,
+            Err(e) => {
+                // Keep the previous cache entry so the next (post-
+                // recovery) maintenance pass retries from it instead of
+                // falling back to a full recompute.
+                if let Some(c) = old {
+                    self.sub_cache.insert(key, c);
+                }
+                return Err(e);
+            }
+        };
+        for (li, rects) in refined {
+            cell_rects.insert(li, rects);
+        }
+        for &cell in &candidates {
+            if let Some(rs) = cell_rects.get(&grid.linear_index(cell)) {
+                for r in rs {
+                    regions.push(*r);
+                }
+            }
+        }
+        regions.canonicalize();
+        self.sub_cache.insert(
+            key,
+            GroupCache {
+                epoch,
+                cell_rects,
+                full: regions.clone(),
+            },
+        );
+        Ok(regions)
     }
 }
 
@@ -826,6 +1058,45 @@ fn refine_chunk<I: RangeIndex>(
         rects.extend(refine_region(&target, &mut positions, threshold, q.l));
     }
     Ok((rects, retrieved, io))
+}
+
+/// One maintenance chunk's yield: each cell's rectangles separately
+/// (keyed by linear cell index) so they can be cached and reused while
+/// the cell stays clean.
+type RefineCellsResult = Result<(Vec<(usize, Vec<Rect>)>, usize, IoStats), StorageError>;
+
+/// Per-cell variant of [`refine_chunk`] for subscription maintenance:
+/// identical range-query + plane-sweep pipeline (same scratch reuse),
+/// but the rectangles are *not* flattened across cells — the group
+/// cache needs per-cell attribution to reuse clean cells.
+fn refine_cells<I: RangeIndex>(
+    tree: &I,
+    grid: GridSpec,
+    cells: &[CellId],
+    q: &PdrQuery,
+    threshold: DenseThreshold,
+    obs: Option<&FrObs>,
+) -> RefineCellsResult {
+    let mut out = Vec::with_capacity(cells.len());
+    let mut retrieved = 0usize;
+    let mut io = IoStats::default();
+    let mut hits: Vec<(ObjectId, Point)> = Vec::new();
+    let mut positions: Vec<Point> = Vec::new();
+    for &cell in cells {
+        let target = grid.cell_rect(cell);
+        let s = target.inflate(q.l / 2.0);
+        {
+            let _t = obs.map(|o| o.range_time.timer(true));
+            tree.try_range_at_into(&s, q.q_t, &mut io, &mut hits)?;
+        }
+        retrieved += hits.len();
+        let _t = obs.map(|o| o.sweep_time.timer(true));
+        positions.clear();
+        positions.extend(hits.iter().map(|&(_, p)| p));
+        let rects: Vec<Rect> = refine_region(&target, &mut positions, threshold, q.l);
+        out.push((grid.linear_index(cell), rects));
+    }
+    Ok((out, retrieved, io))
 }
 
 #[cfg(test)]

@@ -76,13 +76,14 @@ pub mod obs;
 mod pa;
 mod query;
 mod shard;
+pub mod sub;
 mod sweep;
 mod wal;
 
 pub use dh_answers::{dh_optimistic, dh_pessimistic};
 pub use engine::{
     DenseCellEngine, DensityEngine, DhEngine, DhMode, EdqEngine, EngineAnswer, EngineSpec,
-    EngineStats,
+    EngineSpecError, EngineStats,
 };
 pub use exact::{exact_dense_regions, point_density, ExactOracle};
 pub use exec::Executor;
@@ -94,6 +95,9 @@ pub use obs::{Counter, Histogram, HistogramSnapshot, ObsReport, StageTimer};
 pub use pa::{PaAnswer, PaConfig, PaEngine};
 pub use query::{DenseThreshold, PdrQuery};
 pub use shard::{ShardMap, ShardedEngine};
+pub use sub::{
+    diff_canonical, AnswerDelta, QtPolicy, SubError, SubId, Subscription, SubscriptionTable,
+};
 pub use sweep::{refine_region, refine_region_set};
 pub use wal::{
     encode_segment_header, open_checkpoint, record_boundaries, replay, replay_any, seal_checkpoint,

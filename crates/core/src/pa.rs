@@ -141,6 +141,9 @@ pub struct PaEngine {
     rejected_updates: u64,
     live: i64,
     obs: PaObs,
+    /// Standing subscriptions (engine-plane state: never serialized,
+    /// carried across checkpoint restores by the trait impl).
+    pub(crate) subs: crate::sub::SubscriptionTable,
 }
 
 impl PaEngine {
@@ -158,6 +161,7 @@ impl PaEngine {
             rejected_updates: 0,
             live: 0,
             obs: PaObs::on(),
+            subs: crate::sub::SubscriptionTable::new(),
         }
     }
 
@@ -402,6 +406,7 @@ impl PaEngine {
             rejected_updates: 0,
             live: 0,
             obs: PaObs::on(),
+            subs: crate::sub::SubscriptionTable::new(),
         })
     }
 

@@ -48,6 +48,7 @@
 use crate::engine::{DensityEngine, EngineAnswer, EngineStats};
 use crate::exec::Executor;
 use crate::obs::ObsReport;
+use crate::sub::{AnswerDelta, QtPolicy, SubError, SubId, Subscription, SubscriptionTable};
 use crate::wal::{
     open_checkpoint, replay, seal_checkpoint, segment_name, RecoverError, SegmentHeader, Wal,
     WalRecord,
@@ -56,6 +57,7 @@ use crate::PdrQuery;
 use pdr_geometry::{Rect, RegionSet};
 use pdr_mobject::{screen_batch, MotionState, ObjectId, TimeHorizon, Timestamp, Update};
 use pdr_storage::{crc32, ByteReader, ByteWriter, FaultPlan, FaultStats, IoStats, StorageError};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -302,7 +304,17 @@ pub struct ShardedEngine {
     horizon: TimeHorizon,
     t_base: Timestamp,
     threads: usize,
+    /// The largest neighborhood edge the halo was sized for. Queries
+    /// and subscriptions with `l > l_max` are refused — the halo cannot
+    /// cover them and density would silently be lost at cut lines.
+    l_max: f64,
     plane: Arc<ShardPlane>,
+    /// Plane-level registry; each subscription is also registered (same
+    /// id) on every owning shard's inner engine.
+    subs: SubscriptionTable,
+    /// Subscription id → indices of the shards whose owned rectangle
+    /// intersects its region.
+    sub_owners: HashMap<u64, Vec<usize>>,
     updates_applied: u64,
     rejected_updates: u64,
     queries_served: AtomicU64,
@@ -311,15 +323,25 @@ pub struct ShardedEngine {
 impl ShardedEngine {
     /// Builds the plane: `build(i)` constructs shard `i`'s inner engine
     /// (each one a full-domain engine that will simply see a routed
-    /// subset of the traffic).
+    /// subset of the traffic). `l_max` is the largest neighborhood edge
+    /// the map's halo was sized for; larger queries are refused.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l_max` is non-finite or non-positive.
     pub fn new(
         name: &'static str,
         map: ShardMap,
         horizon: TimeHorizon,
         t_start: Timestamp,
         threads: usize,
+        l_max: f64,
         mut build: impl FnMut(usize) -> Box<dyn DensityEngine>,
     ) -> Self {
+        assert!(
+            l_max.is_finite() && l_max > 0.0,
+            "l_max must be a positive finite edge length, got {l_max}"
+        );
         let n = map.shards();
         let shards = (0..n)
             .map(|i| {
@@ -342,15 +364,42 @@ impl ShardedEngine {
             horizon,
             t_base: t_start,
             threads,
+            l_max,
             plane: Arc::new(ShardPlane {
                 map,
                 shards,
                 degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
             }),
+            subs: SubscriptionTable::new(),
+            sub_owners: HashMap::new(),
             updates_applied: 0,
             rejected_updates: 0,
             queries_served: AtomicU64::new(0),
         }
+    }
+
+    /// The largest neighborhood edge this plane's halo covers.
+    pub fn l_max(&self) -> f64 {
+        self.l_max
+    }
+
+    fn assert_edge_covered(&self, l: f64) {
+        assert!(
+            l <= self.l_max,
+            "query edge l = {l} exceeds the sharded plane's l_max = {}: \
+             the halo cannot cover it and density would be lost at cut lines \
+             (use EngineSpec::validate_query_edge to pre-check)",
+            self.l_max
+        );
+    }
+
+    /// The shards whose owned rectangle intersects `region` — the set a
+    /// subscription over `region` is registered on. Owned rectangles
+    /// tile the plane, so this is never empty.
+    fn owners_of(&self, region: &Rect) -> Vec<usize> {
+        (0..self.plane.shards.len())
+            .filter(|&i| self.plane.map.owned(i).intersects(region))
+            .collect()
     }
 
     /// The spatial partition this plane serves.
@@ -520,6 +569,7 @@ impl DensityEngine for ShardedEngine {
     }
 
     fn try_query(&self, q: &PdrQuery) -> Result<EngineAnswer, StorageError> {
+        self.assert_edge_covered(q.l);
         let started = Instant::now();
         let plane = Arc::clone(&self.plane);
         let q_owned = *q;
@@ -609,6 +659,7 @@ impl DensityEngine for ShardedEngine {
     }
 
     fn interval_query(&self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
+        self.assert_edge_covered(l);
         let plane = Arc::clone(&self.plane);
         let parts = self.fan_out(move |i| {
             if plane.degraded[i].load(Ordering::Acquire) {
@@ -634,6 +685,125 @@ impl DensityEngine for ShardedEngine {
                 .enumerate()
                 .map(|(i, rs)| (rs, self.plane.map.owned(i))),
         )
+    }
+
+    fn subscriptions(&self) -> Option<&SubscriptionTable> {
+        Some(&self.subs)
+    }
+
+    fn subscriptions_mut(&mut self) -> Option<&mut SubscriptionTable> {
+        Some(&mut self.subs)
+    }
+
+    fn register_subscription(
+        &mut self,
+        rho: f64,
+        l: f64,
+        region: Rect,
+        policy: QtPolicy,
+    ) -> Result<SubId, SubError> {
+        // The halo covers edges up to `l_max`; a wider standing query
+        // would silently lose density at cut lines, so refuse it with a
+        // typed error instead of maintaining a wrong answer.
+        if l > self.l_max {
+            return Err(SubError::EdgeExceedsHalo {
+                l,
+                l_max: self.l_max,
+            });
+        }
+        let id = self.subs.register(rho, l, region, policy)?;
+        let sub = *self.subs.get(id).expect("just registered");
+        let owners = self.owners_of(&region);
+        for &i in &owners {
+            let mut s = self.plane.write_shard(i);
+            match s.engine.subscriptions_mut() {
+                Some(table) => table.register_with_id(sub),
+                None => {
+                    // Roll back: leave no half-registered subscription.
+                    drop(s);
+                    for &j in &owners {
+                        if let Some(t) = self.plane.write_shard(j).engine.subscriptions_mut() {
+                            t.unregister(id);
+                        }
+                    }
+                    self.subs.unregister(id);
+                    return Err(SubError::Unsupported);
+                }
+            }
+        }
+        self.sub_owners.insert(id.0, owners);
+        Ok(id)
+    }
+
+    fn unregister_subscription(&mut self, id: SubId) -> bool {
+        if !self.subs.unregister(id) {
+            return false;
+        }
+        for i in self.sub_owners.remove(&id.0).unwrap_or_default() {
+            if let Some(t) = self.plane.write_shard(i).engine.subscriptions_mut() {
+                t.unregister(id);
+            }
+        }
+        true
+    }
+
+    fn maintain_subscriptions(&mut self, now: Timestamp) -> Vec<AnswerDelta> {
+        if self.subs.is_empty() {
+            return Vec::new();
+        }
+        // Fan the inner incremental maintenance across shards — each
+        // shard patches its own (full-domain) answers for the subs it
+        // owns; the plane-level merge below turns those into one
+        // cut-independent canonical answer per subscription.
+        let plane = Arc::clone(&self.plane);
+        self.fan_out(move |i| {
+            plane.write_shard(i).engine.maintain_subscriptions(now);
+        });
+        let specs: Vec<Subscription> = self.subs.subs().copied().collect();
+        let mut deltas = Vec::new();
+        for sub in specs {
+            let q_t = sub.policy.resolve(now);
+            let owners = self.sub_owners.get(&sub.id.0).cloned().unwrap_or_default();
+            // Clip each owning shard's maintained answer to its owned
+            // rectangle and merge canonically: point-set equality of
+            // the per-shard answers (the halo invariant) makes the
+            // merged rect list bit-identical to the unsharded one. A
+            // degraded owner cannot vouch for its sub-domain, so the
+            // subscription is marked degraded rather than patched with
+            // rects that may be wrong.
+            let mut parts: Vec<(RegionSet, Rect)> = Vec::with_capacity(owners.len());
+            let mut degraded = false;
+            for &i in &owners {
+                if self.plane.degraded[i].load(Ordering::Acquire) {
+                    degraded = true;
+                    break;
+                }
+                let s = self.plane.read_shard(i);
+                let inner = s.engine.subscriptions();
+                match (
+                    inner.and_then(|t| t.answer(sub.id)),
+                    inner.and_then(|t| t.is_degraded(sub.id)),
+                ) {
+                    (Some(rects), Some(false)) => parts.push((
+                        RegionSet::from_rects(rects.iter().copied()),
+                        self.plane.map.owned(i),
+                    )),
+                    _ => {
+                        degraded = true;
+                        break;
+                    }
+                }
+            }
+            let delta = if degraded {
+                self.subs.mark_degraded(sub.id, now, q_t)
+            } else {
+                let merged =
+                    RegionSet::union_disjoint_clipped(parts.iter().map(|(rs, r)| (rs, *r)));
+                self.subs.commit(sub.id, merged, now, q_t)
+            };
+            deltas.extend(delta);
+        }
+        deltas
     }
 
     fn stats(&self) -> EngineStats {
@@ -697,7 +867,7 @@ impl DensityEngine for ShardedEngine {
                     "{{\"shard\":{i},\"segment\":\"{}\",\"tile\":[{},{},{},{}],\
                      \"degraded\":{},\"wal_records\":{},\"wal_bytes\":{},\
                      \"objects\":{},\"updates_applied\":{},\"queries_served\":{},\
-                     \"faults\":{},\"obs\":{}}}",
+                     \"subs\":{},\"faults\":{},\"obs\":{}}}",
                     segment_name(i as u32),
                     crate::obs::json_f64(tile.x_lo),
                     crate::obs::json_f64(tile.y_lo),
@@ -709,6 +879,7 @@ impl DensityEngine for ShardedEngine {
                     st.objects,
                     st.updates_applied,
                     st.queries_served,
+                    s.engine.subscriptions().map_or(0, |t| t.len()),
                     s.engine.fault_stats().injected(),
                     s.engine.obs().to_json(),
                 )

@@ -1,0 +1,489 @@
+//! Standing PDR subscriptions with incremental delta answers.
+//!
+//! A [`Subscription`] is a PDR query that stays registered: instead of
+//! recomputing `query(ρ, l, q_t)` from scratch every tick, the engine
+//! maintains the subscription's canonical answer across
+//! `apply_batch`/`advance_to` and emits an [`AnswerDelta`] — the exact
+//! rectangle-level patch between the previous canonical answer and the
+//! new one. Because every engine answer is canonicalized (the maximal
+//! slab decomposition is a pure function of the dense point set, see
+//! [`RegionSet::canonicalize`]), the patched answer is **bit-identical**
+//! to a from-scratch `query` at every tick; the incremental path only
+//! changes *how much work* producing it costs, never the bytes.
+//!
+//! The [`SubscriptionTable`] is the per-engine registry: it owns the
+//! subscriptions, their last committed answers, and the diff logic.
+//! Engines expose it through
+//! [`DensityEngine::subscriptions`](crate::DensityEngine::subscriptions);
+//! the default maintenance path recomputes each standing query, while
+//! FR and DH engines override it with a dirty-cell-driven incremental
+//! evaluation (see `pdr_histogram::DensityHistogram::dirty_cells_since`).
+
+use pdr_geometry::{Rect, RegionSet};
+use pdr_mobject::Timestamp;
+use std::collections::BTreeMap;
+
+/// Identifier of a standing subscription, unique within one engine
+/// plane (a sharded plane registers the same id on every owning shard).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubId(pub u64);
+
+/// How a standing query's evaluation timestamp tracks the clock.
+///
+/// Both policies resolve to a timestamp `≥ now`: incremental
+/// maintenance relies on every update dirtying the cells it can affect
+/// at *current-or-future* timestamps, so standing queries about the
+/// past are clamped to the present (the engines' horizon ring buffer
+/// recycles past slots anyway).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QtPolicy {
+    /// Evaluate at a fixed timestamp, clamped up to `now` once the
+    /// clock passes it.
+    Fixed(Timestamp),
+    /// Evaluate `offset` timestamps into the prediction window, sliding
+    /// with the clock (`q_t = now + offset`).
+    NowPlus(u64),
+}
+
+impl QtPolicy {
+    /// The evaluation timestamp at clock `now` (always `≥ now`).
+    pub fn resolve(&self, now: Timestamp) -> Timestamp {
+        match self {
+            QtPolicy::Fixed(t) => (*t).max(now),
+            QtPolicy::NowPlus(offset) => now + offset,
+        }
+    }
+}
+
+/// A standing PDR query: `(ρ, l, q_t policy)` restricted to a region of
+/// interest.
+#[derive(Clone, Copy, Debug)]
+pub struct Subscription {
+    /// Table-assigned identifier.
+    pub id: SubId,
+    /// Density threshold ρ (objects per unit²).
+    pub rho: f64,
+    /// Neighborhood edge length `l`.
+    pub l: f64,
+    /// Region of interest: the maintained answer is the engine's dense
+    /// region clipped to this rectangle (then canonicalized).
+    pub region: Rect,
+    /// How `q_t` tracks the clock.
+    pub policy: QtPolicy,
+}
+
+/// The incremental patch between two consecutive canonical answers of
+/// one subscription.
+///
+/// Applying the patch to the previous canonical rectangle list — remove
+/// every rect of `removed` (exact bit match), append `added`, re-sort —
+/// reproduces the new canonical answer rect-for-rect
+/// ([`apply_to`](AnswerDelta::apply_to)).
+#[derive(Clone, Debug)]
+pub struct AnswerDelta {
+    /// The subscription this patch belongs to.
+    pub id: SubId,
+    /// The clock tick the patch was produced at.
+    pub now: Timestamp,
+    /// The resolved evaluation timestamp.
+    pub q_t: Timestamp,
+    /// Rectangles present in the new answer but not the old.
+    pub added: Vec<Rect>,
+    /// Rectangles present in the old answer but not the new.
+    pub removed: Vec<Rect>,
+    /// `true` while the engine cannot maintain this subscription
+    /// exactly (e.g. its owning shard is fault-degraded). A degraded
+    /// patch carries no rects — the previous answer stays authoritative
+    /// but stale; the first non-degraded patch afterwards catches up.
+    pub degraded: bool,
+}
+
+/// Canonical rectangle order: the total order
+/// [`RegionSet::canonicalize`] sorts by, extended over all four
+/// coordinates so it is total on arbitrary rect lists.
+pub fn rect_cmp(a: &Rect, b: &Rect) -> std::cmp::Ordering {
+    a.x_lo
+        .total_cmp(&b.x_lo)
+        .then(a.y_lo.total_cmp(&b.y_lo))
+        .then(a.x_hi.total_cmp(&b.x_hi))
+        .then(a.y_hi.total_cmp(&b.y_hi))
+}
+
+/// Exact diff of two canonical (sorted, disjoint) rectangle lists:
+/// returns `(added, removed)` such that removing `removed` from `old`
+/// and appending `added` (re-sorted) reproduces `new` bit-for-bit.
+/// Linear merge walk — no geometry, pure bit comparison.
+pub fn diff_canonical(old: &[Rect], new: &[Rect]) -> (Vec<Rect>, Vec<Rect>) {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() && j < new.len() {
+        match rect_cmp(&old[i], &new[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                removed.push(old[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(new[j]);
+                j += 1;
+            }
+        }
+    }
+    removed.extend_from_slice(&old[i..]);
+    added.extend_from_slice(&new[j..]);
+    (added, removed)
+}
+
+impl AnswerDelta {
+    /// `true` when the patch changes nothing (and carries no
+    /// degradation transition worth reporting).
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Applies the patch to a canonical rectangle list in place,
+    /// reproducing the next canonical answer bit-for-bit. Degraded
+    /// patches carry no rects, so applying them is a no-op.
+    pub fn apply_to(&self, rects: &mut Vec<Rect>) {
+        if !self.removed.is_empty() {
+            // Both lists are sorted in canonical order: subtract with
+            // one merge walk.
+            let mut k = 0usize;
+            rects.retain(|r| {
+                while k < self.removed.len()
+                    && rect_cmp(&self.removed[k], r) == std::cmp::Ordering::Less
+                {
+                    k += 1;
+                }
+                !(k < self.removed.len()
+                    && rect_cmp(&self.removed[k], r) == std::cmp::Ordering::Equal)
+            });
+        }
+        rects.extend_from_slice(&self.added);
+        rects.sort_by(rect_cmp);
+    }
+
+    /// Serializes the patch for the wire protocol. Coordinates use
+    /// shortest-roundtrip formatting (not the metrics plane's rounded
+    /// [`json_f64`](crate::obs::json_f64)): a patch's `removed` rects
+    /// must match the consumer's replayed answer bit-for-bit, so the
+    /// wire must preserve every coordinate exactly.
+    pub fn to_json(&self) -> String {
+        fn coord(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        }
+        fn rects_json(rects: &[Rect]) -> String {
+            let items: Vec<String> = rects
+                .iter()
+                .map(|r| {
+                    format!(
+                        "[{},{},{},{}]",
+                        coord(r.x_lo),
+                        coord(r.y_lo),
+                        coord(r.x_hi),
+                        coord(r.y_hi)
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        }
+        format!(
+            "{{\"sub\":{},\"t\":{},\"q_t\":{},\"degraded\":{},\"added\":{},\"removed\":{}}}",
+            self.id.0,
+            self.now,
+            self.q_t,
+            self.degraded,
+            rects_json(&self.added),
+            rects_json(&self.removed)
+        )
+    }
+}
+
+/// Why a subscription could not be registered.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SubError {
+    /// The engine has no subscription support.
+    Unsupported,
+    /// The requested neighborhood edge exceeds what the engine's shard
+    /// halos cover: maintaining it would silently lose density at cut
+    /// lines, so registration is refused instead.
+    EdgeExceedsHalo {
+        /// The requested edge length.
+        l: f64,
+        /// The largest edge the plane was built for.
+        l_max: f64,
+    },
+    /// A query parameter is non-finite or non-positive.
+    InvalidQuery,
+}
+
+impl std::fmt::Display for SubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubError::Unsupported => write!(f, "engine has no subscription support"),
+            SubError::EdgeExceedsHalo { l, l_max } => write!(
+                f,
+                "query edge l = {l} exceeds the sharded plane's l_max = {l_max}: \
+                 the halo cannot cover it and density would be lost at cut lines"
+            ),
+            SubError::InvalidQuery => {
+                write!(f, "subscription parameters must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubError {}
+
+/// One subscription's mutable state inside the table.
+#[derive(Clone, Debug)]
+struct SubState {
+    sub: Subscription,
+    /// Last committed canonical answer (clipped to the region).
+    answer: Vec<Rect>,
+    degraded: bool,
+}
+
+/// Per-engine registry of standing subscriptions: owns the
+/// subscriptions, their last committed canonical answers, and the diff
+/// logic. Deterministic iteration order (by id).
+#[derive(Clone, Debug, Default)]
+pub struct SubscriptionTable {
+    subs: BTreeMap<u64, SubState>,
+    next_id: u64,
+}
+
+impl SubscriptionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SubscriptionTable::default()
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Registers a standing query and returns its fresh id. The initial
+    /// committed answer is empty: the first maintenance pass emits the
+    /// full current answer as `added`.
+    pub fn register(
+        &mut self,
+        rho: f64,
+        l: f64,
+        region: Rect,
+        policy: QtPolicy,
+    ) -> Result<SubId, SubError> {
+        if !(rho.is_finite() && rho > 0.0 && l.is_finite() && l > 0.0) {
+            return Err(SubError::InvalidQuery);
+        }
+        let id = SubId(self.next_id);
+        self.next_id += 1;
+        self.register_with_id(Subscription {
+            id,
+            rho,
+            l,
+            region,
+            policy,
+        });
+        Ok(id)
+    }
+
+    /// Registers (or replaces) a subscription under a caller-chosen id —
+    /// the sharded plane uses this to give every owning shard the same
+    /// id. Keeps `next_id` ahead of the inserted id.
+    pub fn register_with_id(&mut self, sub: Subscription) {
+        self.next_id = self.next_id.max(sub.id.0 + 1);
+        self.subs.insert(
+            sub.id.0,
+            SubState {
+                sub,
+                answer: Vec::new(),
+                degraded: false,
+            },
+        );
+    }
+
+    /// Removes a subscription; `false` when the id is unknown.
+    pub fn unregister(&mut self, id: SubId) -> bool {
+        self.subs.remove(&id.0).is_some()
+    }
+
+    /// `true` when `id` is registered.
+    pub fn contains(&self, id: SubId) -> bool {
+        self.subs.contains_key(&id.0)
+    }
+
+    /// The registered subscriptions, in id order.
+    pub fn subs(&self) -> impl Iterator<Item = &Subscription> + '_ {
+        self.subs.values().map(|s| &s.sub)
+    }
+
+    /// One subscription's spec.
+    pub fn get(&self, id: SubId) -> Option<&Subscription> {
+        self.subs.get(&id.0).map(|s| &s.sub)
+    }
+
+    /// The last committed canonical answer of `id` (empty before the
+    /// first maintenance pass).
+    pub fn answer(&self, id: SubId) -> Option<&[Rect]> {
+        self.subs.get(&id.0).map(|s| s.answer.as_slice())
+    }
+
+    /// Whether `id` is currently marked degraded.
+    pub fn is_degraded(&self, id: SubId) -> Option<bool> {
+        self.subs.get(&id.0).map(|s| s.degraded)
+    }
+
+    /// Clips an engine answer to a subscription region and
+    /// re-canonicalizes — the invariant every committed answer obeys:
+    /// `answer = canonicalize(clip(query(q).regions, region))`.
+    pub fn clip(full: &RegionSet, region: Rect) -> RegionSet {
+        RegionSet::union_disjoint_clipped([(full, region)])
+    }
+
+    /// Commits a freshly computed canonical answer for `id`, clearing
+    /// any degradation, and returns the patch against the previous
+    /// committed answer. `None` when nothing changed (no rect moved, no
+    /// degradation to clear) or the id is unknown.
+    pub fn commit(
+        &mut self,
+        id: SubId,
+        answer: RegionSet,
+        now: Timestamp,
+        q_t: Timestamp,
+    ) -> Option<AnswerDelta> {
+        let state = self.subs.get_mut(&id.0)?;
+        let new: Vec<Rect> = answer.rects().to_vec();
+        let (added, removed) = diff_canonical(&state.answer, &new);
+        let was_degraded = state.degraded;
+        state.answer = new;
+        state.degraded = false;
+        if added.is_empty() && removed.is_empty() && !was_degraded {
+            return None;
+        }
+        Some(AnswerDelta {
+            id,
+            now,
+            q_t,
+            added,
+            removed,
+            degraded: false,
+        })
+    }
+
+    /// Marks `id` degraded: the stored answer is left untouched (stale
+    /// but correct as of its commit) and a rect-free degraded patch is
+    /// returned on the transition into degradation. Repeated marks stay
+    /// silent.
+    pub fn mark_degraded(
+        &mut self,
+        id: SubId,
+        now: Timestamp,
+        q_t: Timestamp,
+    ) -> Option<AnswerDelta> {
+        let state = self.subs.get_mut(&id.0)?;
+        if state.degraded {
+            return None;
+        }
+        state.degraded = true;
+        Some(AnswerDelta {
+            id,
+            now,
+            q_t,
+            added: Vec::new(),
+            removed: Vec::new(),
+            degraded: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x_lo: f64, y_lo: f64, x_hi: f64, y_hi: f64) -> Rect {
+        Rect::new(x_lo, y_lo, x_hi, y_hi)
+    }
+
+    #[test]
+    fn diff_and_apply_round_trip() {
+        let old = vec![r(0.0, 0.0, 1.0, 1.0), r(2.0, 0.0, 3.0, 1.0)];
+        let new = vec![
+            r(0.0, 0.0, 1.0, 1.0),
+            r(2.0, 0.0, 3.0, 2.0),
+            r(5.0, 5.0, 6.0, 6.0),
+        ];
+        let (added, removed) = diff_canonical(&old, &new);
+        assert_eq!(removed, vec![r(2.0, 0.0, 3.0, 1.0)]);
+        assert_eq!(added, vec![r(2.0, 0.0, 3.0, 2.0), r(5.0, 5.0, 6.0, 6.0)]);
+        let delta = AnswerDelta {
+            id: SubId(0),
+            now: 1,
+            q_t: 1,
+            added,
+            removed,
+            degraded: false,
+        };
+        let mut replay = old.clone();
+        delta.apply_to(&mut replay);
+        assert_eq!(replay, new, "patched answer must equal the new answer");
+    }
+
+    #[test]
+    fn commit_emits_patches_and_degradation_transitions() {
+        let mut t = SubscriptionTable::new();
+        let id = t
+            .register(0.1, 10.0, r(0.0, 0.0, 100.0, 100.0), QtPolicy::NowPlus(2))
+            .unwrap();
+        assert_eq!(t.answer(id), Some(&[][..]));
+        // First commit: the whole answer arrives as `added`.
+        let ans = RegionSet::from_rects([r(1.0, 1.0, 2.0, 2.0)]);
+        let d = t.commit(id, ans.clone(), 0, 2).expect("first commit emits");
+        assert_eq!(d.added.len(), 1);
+        assert!(d.removed.is_empty());
+        // Identical commit: silent.
+        assert!(t.commit(id, ans.clone(), 1, 3).is_none());
+        // Degradation: one transition patch, then silence.
+        let d = t.mark_degraded(id, 2, 4).expect("transition emits");
+        assert!(d.degraded && d.is_empty());
+        assert!(t.mark_degraded(id, 3, 5).is_none());
+        assert_eq!(t.is_degraded(id), Some(true));
+        // Recovery with an unchanged answer still emits (clears the flag).
+        let d = t.commit(id, ans, 4, 6).expect("recovery emits");
+        assert!(!d.degraded && d.is_empty());
+        assert_eq!(t.is_degraded(id), Some(false));
+        assert!(t.unregister(id));
+        assert!(!t.unregister(id));
+    }
+
+    #[test]
+    fn register_rejects_garbage_and_policies_resolve_forward() {
+        let mut t = SubscriptionTable::new();
+        let region = r(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(
+            t.register(f64::NAN, 10.0, region, QtPolicy::NowPlus(0)),
+            Err(SubError::InvalidQuery)
+        );
+        assert_eq!(
+            t.register(0.1, -1.0, region, QtPolicy::NowPlus(0)),
+            Err(SubError::InvalidQuery)
+        );
+        assert_eq!(QtPolicy::Fixed(5).resolve(3), 5);
+        assert_eq!(QtPolicy::Fixed(5).resolve(9), 9, "past q_t clamps to now");
+        assert_eq!(QtPolicy::NowPlus(2).resolve(7), 9);
+    }
+}

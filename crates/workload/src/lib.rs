@@ -35,6 +35,8 @@ pub use net::{NetClient, NetServer, NetServerConfig};
 pub use network::{NetworkConfig, RoadNetwork};
 pub use queries::{query_workload, QuerySpec};
 pub use rng::StdRng;
-pub use serve::{ClientLoad, EngineLoad, FaultPolicy, QueryMix, ServeDriver, ServeReport};
+pub use serve::{
+    default_deadline, ClientLoad, EngineLoad, FaultPolicy, QueryMix, ServeDriver, ServeReport,
+};
 pub use simple::{gaussian_clusters, uniform_population};
 pub use simulator::{DatasetSpec, TrafficSimulator};

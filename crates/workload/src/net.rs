@@ -18,19 +18,39 @@
 //! order, but clients may *pipeline* — write several frames before
 //! reading any response.
 //!
-//! | op         | request fields                  | response                                  |
-//! |------------|---------------------------------|-------------------------------------------|
-//! | `query`    | `rho`, `l`, `q_t`[, `engine`]   | `regions`, `area`, `t`, `micros`, `deadline_miss` |
-//! | `check`    | `rho`, `l`, `q_t`[, `engine`]   | `query` fields plus `exact`, `sym_diff`   |
-//! | `tick`     | —                               | `updates`, `t_now`                        |
-//! | `metrics`  | —                               | `metrics` object (counters, clients, exec)|
-//! | `shutdown` | —                               | `draining: true`; server drains and exits |
+//! | op            | request fields                               | response                                  |
+//! |---------------|----------------------------------------------|-------------------------------------------|
+//! | `query`       | `rho`, `l`, `q_t`[, `engine`, `rects`]       | `regions`, `area`, `t`, `micros`, `deadline_miss`[, `rects`] |
+//! | `check`       | `rho`, `l`, `q_t`[, `engine`]                | `query` fields plus `exact`, `sym_diff`   |
+//! | `subscribe`   | `rho`, `l`, `q_t`[, `region`, `engine`]      | `sub`, `engine`                           |
+//! | `unsubscribe` | `sub`[, `engine`]                            | `removed`                                 |
+//! | `poll_deltas` | —                                            | `deltas` array, `lost`                    |
+//! | `tick`        | —                                            | `updates`, `t_now`, `deltas`              |
+//! | `metrics`     | —                                            | `metrics` object (counters, clients, exec)|
+//! | `shutdown`    | —                                            | `draining: true`; server drains and exits |
 //!
 //! `q_t` is the *offset* from the server's current clock (how far into
 //! the prediction window the query looks), not an absolute timestamp —
 //! the server keeps ticking underneath the clients, so absolute times
 //! would go stale in flight. The response's `t` reports the resolved
 //! absolute timestamp.
+//!
+//! ## Subscriptions
+//!
+//! `subscribe` registers a standing PDR query (`q_t` becomes a sliding
+//! now-plus-offset; `region` is an optional `[x_lo,y_lo,x_hi,y_hi]`
+//! region of interest defaulting to the monitored bounds) and answers
+//! with its id. The initial answer arrives as the subscription's first
+//! delta — everything `added` — so a client reconstructs the standing
+//! answer *purely* by replaying deltas. Each `tick` drains the
+//! engines' incremental maintenance output and routes every delta to
+//! the connection owning its subscription, bounded by [`SUB_BUF_CAP`]
+//! per connection: on overflow the buffer is dropped and the next
+//! `poll_deltas` reports `"lost":true`, telling the client its replayed
+//! answer is stale and it must resubscribe. A `"degraded":true` delta
+//! means the same thing (the engine crash-recovered or a shard went
+//! offline mid-maintenance). Closing a connection unregisters its
+//! subscriptions.
 //!
 //! ## Backpressure
 //!
@@ -60,7 +80,9 @@
 //! through the protocol.)
 
 use crate::serve::{FaultPolicy, ServeDriver};
-use pdr_core::{Executor, PdrQuery};
+use pdr_core::{AnswerDelta, Executor, PdrQuery, QtPolicy, SubId};
+use pdr_geometry::Rect;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -69,6 +91,10 @@ use std::time::{Duration, Instant};
 
 /// Largest accepted frame payload (1 MiB).
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Most deltas buffered per connection between `poll_deltas` calls;
+/// beyond this the buffer is dropped and the connection flagged lost.
+pub const SUB_BUF_CAP: usize = 1024;
 
 // ---------------------------------------------------------------------
 // Minimal JSON value + parser (server side of the wire protocol; the
@@ -463,6 +489,54 @@ struct NetShared {
     deadline_misses: AtomicU64,
     shutdown: AtomicBool,
     clients: Mutex<Vec<ClientNetStats>>,
+    subs: Mutex<SubRouter>,
+}
+
+/// Routes emitted deltas to the connections that own the
+/// subscriptions, with one bounded buffer per connection.
+#[derive(Default)]
+struct SubRouter {
+    /// `(engine label, sub id)` → connection id. Sub ids are allocated
+    /// per engine table, so the label is part of the key.
+    routes: HashMap<(String, u64), usize>,
+    bufs: HashMap<usize, ConnDeltas>,
+}
+
+/// One connection's pending delta frames (pre-serialized JSON).
+#[derive(Default)]
+struct ConnDeltas {
+    entries: Vec<String>,
+    lost: bool,
+}
+
+/// Pushes drained driver deltas into the owning connections' buffers;
+/// returns how many were routed (unrouted deltas — e.g. for
+/// driver-internal subscription mixes — are dropped).
+fn route_deltas(shared: &NetShared, pending: Vec<(String, AnswerDelta)>) -> usize {
+    let mut router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
+    let mut routed = 0usize;
+    for (label, d) in pending {
+        let Some(&conn) = router.routes.get(&(label.clone(), d.id.0)) else {
+            continue;
+        };
+        let buf = router.bufs.entry(conn).or_default();
+        if buf.lost {
+            continue;
+        }
+        if buf.entries.len() >= SUB_BUF_CAP {
+            // A slow poller: keeping a torn prefix would let the client
+            // replay a wrong answer, so drop everything and flag it.
+            buf.entries.clear();
+            buf.lost = true;
+            continue;
+        }
+        buf.entries.push(format!(
+            "{{\"engine\":{label:?},\"delta\":{}}}",
+            d.to_json()
+        ));
+        routed += 1;
+    }
+    routed
 }
 
 /// The serving front-end: owns the listener and the driver.
@@ -479,10 +553,11 @@ impl NetServer {
     /// bootstrapped driver.
     pub fn bind(
         addr: &str,
-        driver: ServeDriver,
+        mut driver: ServeDriver,
         policy: FaultPolicy,
         cfg: NetServerConfig,
     ) -> io::Result<NetServer> {
+        driver.enable_delta_feed();
         Ok(NetServer {
             listener: TcpListener::bind(addr)?,
             driver: Arc::new(RwLock::new(driver)),
@@ -496,6 +571,7 @@ impl NetServer {
                 deadline_misses: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 clients: Mutex::new(Vec::new()),
+                subs: Mutex::new(SubRouter::default()),
             }),
         })
     }
@@ -569,7 +645,8 @@ impl NetServer {
     }
 }
 
-/// Serves one connection until EOF, error, or shutdown.
+/// Serves one connection until EOF, error, or shutdown, then tears
+/// down whatever subscriptions it owned.
 fn handle_conn(
     mut stream: TcpStream,
     id: usize,
@@ -579,21 +656,34 @@ fn handle_conn(
     cfg: NetServerConfig,
     local: io::Result<SocketAddr>,
 ) {
+    conn_loop(&mut stream, id, &driver, &shared, &policy, &cfg, &local);
+    drop_conn_subs(id, &driver, &shared);
+}
+
+fn conn_loop(
+    stream: &mut TcpStream,
+    id: usize,
+    driver: &RwLock<ServeDriver>,
+    shared: &NetShared,
+    policy: &FaultPolicy,
+    cfg: &NetServerConfig,
+    local: &io::Result<SocketAddr>,
+) {
     // Per-connection deterministic jitter stream for fault backoff.
     let mut rng = (policy.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
     loop {
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_frame(stream) {
             Ok(Some(f)) => f,
             Ok(None) | Err(_) => return,
         };
-        let (resp, shutdown) = dispatch(&frame, id, &driver, &shared, &policy, &cfg, &mut rng);
-        if write_frame(&mut stream, &resp).is_err() {
+        let (resp, shutdown) = dispatch(&frame, id, driver, shared, policy, cfg, &mut rng);
+        if write_frame(stream, &resp).is_err() {
             return;
         }
         if shutdown {
             shared.shutdown.store(true, Ordering::SeqCst);
             // Wake the acceptor so it observes the flag.
-            if let Ok(addr) = &local {
+            if let Ok(addr) = local {
                 let _ = TcpStream::connect(addr);
             }
             return;
@@ -630,17 +720,155 @@ fn dispatch(
             false,
         ),
         "tick" => {
-            let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
-            let updates = d.tick();
-            let t_now = d.simulator().t_now();
+            let (updates, t_now, pending) = {
+                let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
+                let updates = d.tick();
+                (updates, d.simulator().t_now(), d.drain_pending_deltas())
+            };
+            let routed = route_deltas(shared, pending);
             (
-                format!("{{\"ok\":true,\"updates\":{updates},\"t_now\":{t_now}}}"),
+                format!(
+                    "{{\"ok\":true,\"updates\":{updates},\"t_now\":{t_now},\"deltas\":{routed}}}"
+                ),
+                false,
+            )
+        }
+        "subscribe" => (serve_subscribe(&req, id, driver, shared), false),
+        "unsubscribe" => (serve_unsubscribe(&req, id, driver, shared), false),
+        "poll_deltas" => {
+            let mut router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
+            let buf = router.bufs.entry(id).or_default();
+            let lost = buf.lost;
+            buf.lost = false;
+            let entries = std::mem::take(&mut buf.entries);
+            (
+                format!(
+                    "{{\"ok\":true,\"lost\":{lost},\"deltas\":[{}]}}",
+                    entries.join(",")
+                ),
                 false,
             )
         }
         "metrics" => (metrics_json(driver, shared), false),
         "shutdown" => ("{\"ok\":true,\"draining\":true}".to_string(), true),
         _ => (err_json("unknown op"), false),
+    }
+}
+
+/// Handles a `subscribe` op: registers a standing query on one engine
+/// and routes its delta stream to this connection.
+fn serve_subscribe(
+    req: &Json,
+    conn: usize,
+    driver: &RwLock<ServeDriver>,
+    shared: &NetShared,
+) -> String {
+    let (Some(rho), Some(l), Some(q_t)) = (
+        req.get("rho").and_then(Json::as_f64),
+        req.get("l").and_then(Json::as_f64),
+        req.get("q_t").and_then(Json::as_u64),
+    ) else {
+        return err_json("subscribe needs rho, l, q_t");
+    };
+    let region = match req.get("region") {
+        None | Some(Json::Null) => None,
+        Some(Json::Arr(c)) if c.len() == 4 => {
+            let v: Vec<f64> = c.iter().filter_map(Json::as_f64).collect();
+            if v.len() == 4 && v[0] < v[2] && v[1] < v[3] {
+                Some(Rect::new(v[0], v[1], v[2], v[3]))
+            } else {
+                return err_json("region must be a finite [x_lo,y_lo,x_hi,y_hi]");
+            }
+        }
+        Some(_) => return err_json("region must be a finite [x_lo,y_lo,x_hi,y_hi]"),
+    };
+    let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
+    let label = match req.get("engine").and_then(Json::as_str) {
+        Some(l) => l.to_string(),
+        None => match d.labels().first() {
+            Some(l) => l.clone(),
+            None => return err_json("no engines registered"),
+        },
+    };
+    if d.engine(&label).is_none() {
+        return err_json("no such engine");
+    }
+    match d.subscribe_on(&label, rho, l, region, QtPolicy::NowPlus(q_t)) {
+        Ok(sid) => {
+            {
+                let mut router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
+                router.routes.insert((label.clone(), sid.0), conn);
+                router.bufs.entry(conn).or_default();
+            }
+            // Route the initial snapshot (and whatever else maintenance
+            // just committed) so the first poll already replays it.
+            let pending = d.drain_pending_deltas();
+            drop(d);
+            route_deltas(shared, pending);
+            format!("{{\"ok\":true,\"sub\":{},\"engine\":{label:?}}}", sid.0)
+        }
+        Err(e) => format!(
+            "{{\"ok\":false,\"error\":\"subscribe\",\"detail\":{:?}}}",
+            format!("{e}")
+        ),
+    }
+}
+
+/// Handles an `unsubscribe` op.
+fn serve_unsubscribe(
+    req: &Json,
+    conn: usize,
+    driver: &RwLock<ServeDriver>,
+    shared: &NetShared,
+) -> String {
+    let Some(sub) = req.get("sub").and_then(Json::as_u64) else {
+        return err_json("unsubscribe needs sub");
+    };
+    let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
+    let label = match req.get("engine").and_then(Json::as_str) {
+        Some(l) => l.to_string(),
+        None => match d.labels().first() {
+            Some(l) => l.clone(),
+            None => return err_json("no engines registered"),
+        },
+    };
+    let owned = {
+        let router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
+        router.routes.get(&(label.clone(), sub)) == Some(&conn)
+    };
+    if !owned {
+        return "{\"ok\":true,\"removed\":false}".to_string();
+    }
+    let removed = d.unsubscribe_on(&label, SubId(sub));
+    drop(d);
+    let mut router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
+    router.routes.remove(&(label, sub));
+    format!("{{\"ok\":true,\"removed\":{removed}}}")
+}
+
+/// Connection teardown: unregisters every subscription the connection
+/// owns and frees its delta buffer.
+fn drop_conn_subs(conn: usize, driver: &RwLock<ServeDriver>, shared: &NetShared) {
+    let owned: Vec<(String, u64)> = {
+        let mut router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
+        router.bufs.remove(&conn);
+        let owned: Vec<(String, u64)> = router
+            .routes
+            .iter()
+            .filter(|(_, c)| **c == conn)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &owned {
+            router.routes.remove(key);
+        }
+        owned
+    };
+    if owned.is_empty() {
+        return;
+    }
+    let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
+    for (label, sub) in owned {
+        let _ = d.unsubscribe_on(&label, SubId(sub));
     }
 }
 
@@ -743,16 +971,39 @@ fn serve_query(
             let check_part = sym
                 .map(|s| format!(",\"exact\":{},\"sym_diff\":{}", s < 1e-9, fmt_f64(s)))
                 .unwrap_or_default();
+            // With `"rects":true` the canonical rect list rides along
+            // (shortest-roundtrip floats, so client-side replay checks
+            // compare bit-identical coordinates).
+            let rects_part = if req.get("rects").and_then(Json::as_bool) == Some(true) {
+                let items: Vec<String> = a
+                    .regions
+                    .rects()
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "[{},{},{},{}]",
+                            fmt_f64(r.x_lo),
+                            fmt_f64(r.y_lo),
+                            fmt_f64(r.x_hi),
+                            fmt_f64(r.y_hi)
+                        )
+                    })
+                    .collect();
+                format!(",\"rects\":[{}]", items.join(","))
+            } else {
+                String::new()
+            };
             format!(
                 "{{\"ok\":true,\"regions\":{},\"area\":{},\"t\":{},\"micros\":{},\
-                 \"attempts\":{},\"deadline_miss\":{}{}}}",
+                 \"attempts\":{},\"deadline_miss\":{}{}{}}}",
                 a.regions.len(),
                 fmt_f64(a.regions.area()),
                 t_abs,
                 latency.as_micros(),
                 attempts,
                 miss,
-                check_part
+                check_part,
+                rects_part
             )
         }
         Err(resp) => {
@@ -814,10 +1065,15 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
         let d = driver.read().unwrap_or_else(|p| p.into_inner());
         (d.simulator().t_now(), d.simulator().population().len())
     };
+    let wire_subs = {
+        let router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
+        router.routes.len()
+    };
     format!(
         "{{\"ok\":true,\"metrics\":{{\"t_now\":{},\"objects\":{},\"pool_workers\":{},\
          \"queue_depth\":{},\"inflight\":{},\"served\":{},\"rejected_admissions\":{},\
-         \"failed_queries\":{},\"deadline_misses\":{},\"clients\":[{}],\"exec\":{}}}}}",
+         \"failed_queries\":{},\"deadline_misses\":{},\"wire_subs\":{},\"clients\":[{}],\
+         \"exec\":{}}}}}",
         t_now,
         objects,
         pool.workers(),
@@ -827,6 +1083,7 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
         shared.rejected.load(Ordering::SeqCst),
         shared.failed.load(Ordering::SeqCst),
         shared.deadline_misses.load(Ordering::SeqCst),
+        wire_subs,
         clients,
         pool.obs_report().to_json()
     )
@@ -966,6 +1223,165 @@ mod tests {
             "clean shutdown: {summary}"
         );
         assert!(summary.contains("\"failed_queries\":0"), "{summary}");
+    }
+
+    /// Applies one `poll_deltas` response to the client-side mirrors,
+    /// asserting nothing was lost or degraded; returns the delta count.
+    fn apply_wire_deltas(resp: &Json, mirrors: &mut HashMap<u64, Vec<Rect>>) -> usize {
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        assert_eq!(resp.get("lost").and_then(Json::as_bool), Some(false));
+        let Json::Arr(deltas) = resp.get("deltas").expect("deltas array") else {
+            panic!("deltas must be an array: {resp:?}");
+        };
+        let parse_rects = |v: &Json| -> Vec<Rect> {
+            let Json::Arr(items) = v else {
+                panic!("rect list: {v:?}")
+            };
+            items
+                .iter()
+                .map(|r| {
+                    let Json::Arr(c) = r else {
+                        panic!("rect: {r:?}")
+                    };
+                    let c: Vec<f64> = c.iter().filter_map(Json::as_f64).collect();
+                    Rect::new(c[0], c[1], c[2], c[3])
+                })
+                .collect()
+        };
+        for entry in deltas {
+            let d = entry.get("delta").expect("delta body");
+            assert_eq!(d.get("degraded").and_then(Json::as_bool), Some(false));
+            let id = d.get("sub").and_then(Json::as_u64).expect("sub id");
+            let patch = AnswerDelta {
+                id: SubId(id),
+                now: 0,
+                q_t: 0,
+                added: parse_rects(d.get("added").expect("added")),
+                removed: parse_rects(d.get("removed").expect("removed")),
+                degraded: false,
+            };
+            if let Some(m) = mirrors.get_mut(&id) {
+                patch.apply_to(m);
+            }
+        }
+        deltas.len()
+    }
+
+    /// Standing subscriptions over the wire: the per-connection delta
+    /// stream, replayed client-side, reconstructs — bit-for-bit — the
+    /// rect list a from-scratch `query` (clipped to the subscribed
+    /// region) returns at every tick.
+    #[test]
+    fn tcp_subscription_deltas_replay_to_from_scratch_answers() {
+        use pdr_core::SubscriptionTable;
+        use pdr_geometry::RegionSet;
+
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            driver(300),
+            FaultPolicy::default(),
+            NetServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || server.serve());
+        let mut c = NetClient::connect(&addr).unwrap();
+
+        // One full-domain and one region-restricted standing query.
+        let full_region = Rect::new(0.0, 0.0, 200.0, 200.0);
+        let part_region = Rect::new(30.0, 20.0, 160.0, 170.0);
+        let r = c
+            .request("{\"op\":\"subscribe\",\"rho\":0.015,\"l\":20.0,\"q_t\":2}")
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+        assert_eq!(r.get("engine").and_then(Json::as_str), Some("fr"));
+        let sub_full = r.get("sub").and_then(Json::as_u64).unwrap();
+        let r = c
+            .request(
+                "{\"op\":\"subscribe\",\"rho\":0.02,\"l\":20.0,\"q_t\":1,\
+                 \"region\":[30.0,20.0,160.0,170.0]}",
+            )
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+        let sub_part = r.get("sub").and_then(Json::as_u64).unwrap();
+        let specs = [
+            (sub_full, 0.015, 2u64, full_region),
+            (sub_part, 0.02, 1u64, part_region),
+        ];
+        let mut mirrors: HashMap<u64, Vec<Rect>> = HashMap::new();
+        mirrors.insert(sub_full, Vec::new());
+        mirrors.insert(sub_part, Vec::new());
+
+        let check = |c: &mut NetClient, mirrors: &HashMap<u64, Vec<Rect>>| {
+            for (sub, rho, q_t, region) in specs {
+                let r = c
+                    .request(&format!(
+                        "{{\"op\":\"query\",\"rho\":{rho},\"l\":20.0,\"q_t\":{q_t},\"rects\":true}}"
+                    ))
+                    .unwrap();
+                assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+                let Json::Arr(items) = r.get("rects").expect("rects present") else {
+                    panic!("rects must be an array: {r:?}");
+                };
+                let rects: Vec<Rect> = items
+                    .iter()
+                    .map(|it| {
+                        let Json::Arr(co) = it else { panic!() };
+                        let co: Vec<f64> = co.iter().filter_map(Json::as_f64).collect();
+                        Rect::new(co[0], co[1], co[2], co[3])
+                    })
+                    .collect();
+                let reference = SubscriptionTable::clip(&RegionSet::from_rects(rects), region);
+                assert_eq!(
+                    mirrors[&sub].as_slice(),
+                    reference.rects(),
+                    "replayed mirror diverged for sub {sub}"
+                );
+            }
+        };
+
+        // The initial snapshot arrives as the first delta.
+        let r = c.request("{\"op\":\"poll_deltas\"}").unwrap();
+        assert!(apply_wire_deltas(&r, &mut mirrors) >= 2, "{r:?}");
+        check(&mut c, &mirrors);
+
+        for _ in 0..4 {
+            let r = c.request("{\"op\":\"tick\"}").unwrap();
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+            let r = c.request("{\"op\":\"poll_deltas\"}").unwrap();
+            apply_wire_deltas(&r, &mut mirrors);
+            check(&mut c, &mirrors);
+        }
+
+        let m = c.request("{\"op\":\"metrics\"}").unwrap();
+        assert_eq!(
+            m.get("metrics")
+                .and_then(|v| v.get("wire_subs"))
+                .and_then(Json::as_u64),
+            Some(2),
+            "{m:?}"
+        );
+        let r = c
+            .request(&format!("{{\"op\":\"unsubscribe\",\"sub\":{sub_part}}}"))
+            .unwrap();
+        assert_eq!(r.get("removed").and_then(Json::as_bool), Some(true));
+        let r = c
+            .request(&format!("{{\"op\":\"unsubscribe\",\"sub\":{sub_part}}}"))
+            .unwrap();
+        assert_eq!(
+            r.get("removed").and_then(Json::as_bool),
+            Some(false),
+            "double unsubscribe is a no-op"
+        );
+
+        let r = c.request("{\"op\":\"shutdown\"}").unwrap();
+        assert_eq!(r.get("draining").and_then(Json::as_bool), Some(true));
+        let summary = server.join().unwrap();
+        assert!(summary.contains("\"leaked_workers\":0"), "{summary}");
     }
 
     /// With zero capacity every admission bounces with the retry hint —

@@ -24,8 +24,9 @@ use crate::simulator::TrafficSimulator;
 use crate::QuerySpec;
 use pdr_core::obs::{json_f64, Histogram, HistogramSnapshot, ObsReport};
 use pdr_core::{
-    accuracy, exact_dense_regions, replay, DensityEngine, EngineAnswer, EngineStats, Executor,
-    PdrQuery, Scoreboard, StorageError, Wal, WalRecord,
+    accuracy, exact_dense_regions, replay, AnswerDelta, DensityEngine, EngineAnswer, EngineStats,
+    Executor, PdrQuery, QtPolicy, Scoreboard, StorageError, SubError, SubId, Subscription,
+    SubscriptionTable, Wal, WalRecord,
 };
 use pdr_geometry::{Rect, RegionSet};
 use pdr_mobject::Timestamp;
@@ -41,6 +42,24 @@ pub struct QueryMix {
     per_tick: usize,
     measure_accuracy: bool,
     clients: usize,
+    subs: Option<SubMix>,
+}
+
+/// The standing-subscription side of a serve run: how many
+/// subscriptions each engine carries, how often they churn, and whether
+/// the maintained answers are verified against from-scratch queries.
+#[derive(Clone, Copy, Debug)]
+pub struct SubMix {
+    /// Standing subscriptions registered on every engine.
+    pub count: usize,
+    /// Every this many ticks the oldest subscription is unregistered
+    /// and a fresh one registered (0 = no churn).
+    pub churn_every: u64,
+    /// Check every maintained answer each tick against a from-scratch
+    /// query clipped to the region — exact rect equality. Leave off
+    /// when benchmarking maintenance cost (the checks recompute what
+    /// the incremental path is there to avoid).
+    pub verify: bool,
 }
 
 impl QueryMix {
@@ -62,6 +81,7 @@ impl QueryMix {
             per_tick,
             measure_accuracy: false,
             clients: 1,
+            subs: None,
         }
     }
 
@@ -87,6 +107,26 @@ impl QueryMix {
         assert!(n > 0, "at least one client");
         self.clients = n;
         self
+    }
+
+    /// Also carry `count` standing subscriptions per engine, drawn from
+    /// the mix's specs (region of interest and `q_t` policy derived
+    /// deterministically), churned every `churn_every` ticks (0 = no
+    /// churn). With `verify`, each maintained answer is checked against
+    /// a from-scratch query every tick — exact rect equality.
+    pub fn with_subscriptions(mut self, count: usize, churn_every: u64, verify: bool) -> Self {
+        assert!(count > 0, "at least one subscription");
+        self.subs = Some(SubMix {
+            count,
+            churn_every,
+            verify,
+        });
+        self
+    }
+
+    /// The subscription side of the mix, if enabled.
+    pub fn subscriptions(&self) -> Option<SubMix> {
+        self.subs
     }
 
     /// The underlying specs.
@@ -122,6 +162,25 @@ pub struct FaultPolicy {
     pub deadline: Option<Duration>,
 }
 
+/// The default per-query deadline, scaled to the host: the 250 ms
+/// budget assumes at least 8 cores' worth of refinement parallelism.
+/// Below that, concurrent clients queue on the smaller shared executor
+/// and wall-clock latency grows roughly inversely with the core count,
+/// so the budget is scaled by `8 / n_cpu` — with a 5 s floor at 1 CPU,
+/// where queueing dominates outright. Without the scaling, a 1-CPU host
+/// reports 100% deadline misses in `BENCH_serve_concurrency` that are a
+/// policy artifact, not a serving regression.
+pub fn default_deadline() -> Duration {
+    let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if ncpu >= 8 {
+        Duration::from_millis(250)
+    } else if ncpu == 1 {
+        Duration::from_secs(5)
+    } else {
+        Duration::from_millis(250 * 8 / ncpu as u64)
+    }
+}
+
 impl Default for FaultPolicy {
     fn default() -> Self {
         FaultPolicy {
@@ -129,7 +188,7 @@ impl Default for FaultPolicy {
             backoff_base_us: 50,
             backoff_cap_us: 2_000,
             seed: 0x5EED,
-            deadline: Some(Duration::from_millis(250)),
+            deadline: Some(default_deadline()),
         }
     }
 }
@@ -175,6 +234,15 @@ pub struct EngineLoad {
     /// `None` for unsharded ones. See
     /// `pdr_core::DensityEngine::shard_metrics_json`.
     pub shards: Option<String>,
+    /// Standing subscriptions registered on the engine at report time.
+    pub subs: u64,
+    /// Answer deltas consumed from the engine's maintenance path.
+    pub sub_deltas: u64,
+    /// Delta-replay / from-scratch oracle checks performed.
+    pub sub_checks: u64,
+    /// Checks where a delta-maintained answer diverged from the
+    /// from-scratch one (an exactness bug — must stay 0).
+    pub sub_divergence: u64,
 }
 
 impl EngineLoad {
@@ -195,6 +263,10 @@ impl EngineLoad {
             latency: HistogramSnapshot::default(),
             obs: ObsReport::default(),
             shards: None,
+            subs: 0,
+            sub_deltas: 0,
+            sub_checks: 0,
+            sub_divergence: 0,
         }
     }
 
@@ -333,7 +405,9 @@ impl ServeReport {
                      \"ingest_ms\":{},\"scored\":{},\"unbounded_r_fp\":{},\"mean_r_fp\":{},\
                      \"mean_r_fn\":{},\"io\":{},\"latency_us\":{},\
                      \"retries\":{},\"recoveries\":{},\"degraded_queries\":{},\
-                     \"failed_queries\":{},\"deadline_misses\":{},\"faults\":{},\
+                     \"failed_queries\":{},\"deadline_misses\":{},\
+                     \"subs\":{},\"sub_deltas\":{},\"sub_checks\":{},\
+                     \"sub_divergence\":{},\"faults\":{},\
                      \"recovery_us\":{},\"stats\":{{\
                      \"updates_applied\":{},\"missed_deletes\":{},\"rejected_updates\":{},\
                      \"memory_bytes\":{},\"objects\":{},\"queries_served\":{}}},\"obs\":{}{}}}",
@@ -354,6 +428,10 @@ impl ServeReport {
                     e.degraded_queries,
                     e.failed_queries,
                     e.deadline_misses,
+                    e.subs,
+                    e.sub_deltas,
+                    e.sub_checks,
+                    e.sub_divergence,
                     faults_json(&e.faults),
                     e.recovery_us.to_json(),
                     e.stats.updates_applied,
@@ -405,6 +483,25 @@ struct Served {
     /// query is answered by the filter-only degraded path from the
     /// last consistent in-memory density surface.
     degraded_mode: bool,
+    /// One delta-replayed answer mirror per standing subscription, in
+    /// registration order — reconstructed *only* from consumed
+    /// [`pdr_core::AnswerDelta`]s, so comparing it against the engine's
+    /// table (and, under `SubMix::verify`, a from-scratch query) proves
+    /// the incremental path end to end.
+    sub_mirrors: Vec<(SubId, Vec<Rect>)>,
+}
+
+impl Served {
+    /// Re-seeds every mirror from the engine's committed answers —
+    /// after a crash recovery the tick's deltas are lost mid-flight, so
+    /// the consumer resynchronizes exactly like a reconnecting client.
+    fn resync_mirrors(&mut self) {
+        if let Some(table) = self.engine.subscriptions() {
+            for (id, mirror) in &mut self.sub_mirrors {
+                *mirror = table.answer(*id).map(<[Rect]>::to_vec).unwrap_or_default();
+            }
+        }
+    }
 }
 
 /// The journal a fault-tolerant serve run keeps: protocol records are
@@ -429,6 +526,20 @@ pub struct ServeDriver {
     journal: Option<Journal>,
     rng: u64,
     clients: Vec<ClientStats>,
+    /// Deterministic generator for subscription regions (xorshift64*,
+    /// seeded from the fault-policy seed so runs replay identically).
+    sub_rng: u64,
+    /// Subscriptions created so far — cycles the mix specs so every
+    /// engine registers the identical sequence.
+    sub_seq: u64,
+    /// Deltas emitted since the last [`drain_pending_deltas`]
+    /// (ServeDriver::drain_pending_deltas) call, labelled with the
+    /// emitting engine — the feed the TCP front-end routes to
+    /// subscriber connections. Only collected once
+    /// [`enable_delta_feed`](ServeDriver::enable_delta_feed) is on, so
+    /// drain-less library runs don't accumulate unboundedly.
+    pending_deltas: Vec<(String, AnswerDelta)>,
+    delta_feed: bool,
 }
 
 /// Mutable per-client accumulators (snapshotted into [`ClientLoad`]).
@@ -454,7 +565,18 @@ impl ServeDriver {
             journal: None,
             rng: policy.seed | 1,
             clients: Vec::new(),
+            sub_rng: (policy.seed ^ 0x5B5C_9A71) | 1,
+            sub_seq: 0,
+            pending_deltas: Vec::new(),
+            delta_feed: false,
         }
+    }
+
+    /// Turns on the labelled delta feed consumed through
+    /// [`drain_pending_deltas`](ServeDriver::drain_pending_deltas).
+    /// Off by default so drivers nobody drains don't buffer forever.
+    pub fn enable_delta_feed(&mut self) {
+        self.delta_feed = true;
     }
 
     /// Sets the fault-handling policy (builder style).
@@ -526,6 +648,7 @@ impl ServeDriver {
             recovery: Histogram::new(),
             checkpoint: None,
             degraded_mode: false,
+            sub_mirrors: Vec::new(),
         });
     }
 
@@ -587,11 +710,63 @@ impl ServeDriver {
             j.wal.append_batch(&updates);
         }
         let wal = self.journal.as_ref().map(|j| &j.wal);
+        let mut emitted: Vec<(String, AnswerDelta)> = Vec::new();
         for s in &mut self.engines {
             let start = Instant::now();
-            ingest_or_recover(s, wal, |e| e.apply_batch(&updates));
+            let recoveries_before = s.load.recoveries;
+            let mut deltas = Vec::new();
+            ingest_or_recover(s, wal, |e| {
+                deltas = e.apply_batch_with_deltas(&updates, t_next);
+            });
             s.load.ingest_ms += start.elapsed().as_secs_f64() * 1e3;
+            let has_subs = !s.sub_mirrors.is_empty()
+                || s.engine.subscriptions().is_some_and(|t| !t.is_empty());
+            if !has_subs {
+                continue;
+            }
+            if s.load.recoveries != recoveries_before || s.degraded_mode {
+                // The tick's deltas were lost mid-crash (or the engine
+                // went offline). After a successful recovery the engine
+                // is consistent again but unmaintained for this tick:
+                // run one maintenance pass, then resynchronize the
+                // mirrors from the committed answers. External
+                // consumers cannot resync, so they get a degraded
+                // marker per subscription instead — their replayed
+                // answer can no longer be trusted until re-seeded.
+                if !s.degraded_mode {
+                    let _ = s.engine.maintain_subscriptions(t_next);
+                }
+                s.resync_mirrors();
+                deltas = s
+                    .engine
+                    .subscriptions()
+                    .map(|t| {
+                        t.subs()
+                            .map(|sub| AnswerDelta {
+                                id: sub.id,
+                                now: t_next,
+                                q_t: sub.policy.resolve(t_next),
+                                added: Vec::new(),
+                                removed: Vec::new(),
+                                degraded: true,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            } else {
+                s.load.sub_deltas += deltas.len() as u64;
+                for d in &deltas {
+                    if let Some((_, mirror)) = s.sub_mirrors.iter_mut().find(|(id, _)| *id == d.id)
+                    {
+                        d.apply_to(mirror);
+                    }
+                }
+            }
+            if self.delta_feed {
+                emitted.extend(deltas.into_iter().map(|d| (s.label.clone(), d)));
+            }
         }
+        self.pending_deltas.append(&mut emitted);
         let checkpoint_due = match self.journal.as_mut() {
             Some(j) => {
                 j.ticks_since_checkpoint += 1;
@@ -613,6 +788,191 @@ impl ServeDriver {
     /// Brute-force ground truth for `q` from the simulator's own table.
     pub fn ground_truth(&self, q: &PdrQuery) -> RegionSet {
         exact_dense_regions(&self.sim.positions_at(q.q_t), &self.bounds(), q)
+    }
+
+    /// Registers a standing subscription on the engine under `label`
+    /// (region defaults to the monitored bounds) and immediately brings
+    /// it up to date: the initial answer is emitted as the
+    /// subscription's first pending delta (everything `added`), so a
+    /// consumer draining [`drain_pending_deltas`]
+    /// (ServeDriver::drain_pending_deltas) reconstructs the answer from
+    /// the delta stream alone.
+    pub fn subscribe_on(
+        &mut self,
+        label: &str,
+        rho: f64,
+        l: f64,
+        region: Option<Rect>,
+        policy: QtPolicy,
+    ) -> Result<SubId, SubError> {
+        let bounds = self.bounds();
+        let now = self.sim.t_now();
+        let Some(s) = self.engines.iter_mut().find(|s| s.label == label) else {
+            return Err(SubError::Unsupported);
+        };
+        let id = s
+            .engine
+            .register_subscription(rho, l, region.unwrap_or(bounds), policy)?;
+        s.load.subs += 1;
+        let deltas = s.engine.maintain_subscriptions(now);
+        s.load.sub_deltas += deltas.len() as u64;
+        for d in &deltas {
+            if let Some((_, m)) = s.sub_mirrors.iter_mut().find(|(i, _)| *i == d.id) {
+                d.apply_to(m);
+            }
+        }
+        if self.delta_feed {
+            let label = s.label.clone();
+            self.pending_deltas
+                .extend(deltas.into_iter().map(|d| (label.clone(), d)));
+        }
+        Ok(id)
+    }
+
+    /// Unregisters a subscription created by [`subscribe_on`]
+    /// (ServeDriver::subscribe_on) (or the subscription mix). `false`
+    /// when no such engine or subscription.
+    pub fn unsubscribe_on(&mut self, label: &str, id: SubId) -> bool {
+        let Some(s) = self.engines.iter_mut().find(|s| s.label == label) else {
+            return false;
+        };
+        let removed = s.engine.unregister_subscription(id);
+        if removed {
+            s.load.subs -= 1;
+            s.sub_mirrors.retain(|(i, _)| *i != id);
+        }
+        removed
+    }
+
+    /// Takes the deltas emitted since the last drain, labelled with the
+    /// emitting engine. The TCP front-end calls this after every tick
+    /// and routes each delta to the connection that owns the
+    /// subscription.
+    pub fn drain_pending_deltas(&mut self) -> Vec<(String, AnswerDelta)> {
+        std::mem::take(&mut self.pending_deltas)
+    }
+
+    /// The next deterministic subscription spec: `(ρ, l)` cycle the
+    /// mix's query specs, the horizon offset becomes a sliding
+    /// [`QtPolicy::NowPlus`], and the region of interest is a seeded
+    /// random sub-rectangle of the monitored domain (every third one
+    /// covers the whole domain).
+    fn next_sub_spec(&mut self, mix: &QueryMix) -> (f64, f64, Rect, QtPolicy) {
+        let spec = mix.specs[self.sub_seq as usize % mix.specs.len()];
+        let offset = spec.q_t.saturating_sub(mix.anchor);
+        self.sub_seq += 1;
+        let bounds = self.bounds();
+        let mut draw = || {
+            self.sub_rng ^= self.sub_rng << 13;
+            self.sub_rng ^= self.sub_rng >> 7;
+            self.sub_rng ^= self.sub_rng << 17;
+            (self.sub_rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let region = if self.sub_seq.is_multiple_of(3) {
+            bounds
+        } else {
+            let w = bounds.width() * (0.25 + 0.6 * draw());
+            let h = bounds.height() * (0.25 + 0.6 * draw());
+            let x_lo = bounds.x_lo + (bounds.width() - w) * draw();
+            let y_lo = bounds.y_lo + (bounds.height() - h) * draw();
+            Rect::new(x_lo, y_lo, x_lo + w, y_lo + h)
+        };
+        (spec.rho, spec.l, region, QtPolicy::NowPlus(offset))
+    }
+
+    /// Registers one identical subscription on every engine and brings
+    /// its committed answer up to date (so the first tick's check does
+    /// not compare an unmaintained empty answer).
+    fn register_subscription_everywhere(&mut self, mix: &QueryMix) {
+        let (rho, l, region, policy) = self.next_sub_spec(mix);
+        let now = self.sim.t_now();
+        for s in &mut self.engines {
+            if s.degraded_mode {
+                continue;
+            }
+            let id = s
+                .engine
+                .register_subscription(rho, l, region, policy)
+                .unwrap_or_else(|e| panic!("{}: subscription rejected: {e}", s.label));
+            s.load.subs += 1;
+            let deltas = s.engine.maintain_subscriptions(now);
+            s.load.sub_deltas += deltas.len() as u64;
+            let mut mirror = Vec::new();
+            for d in deltas {
+                if d.id == id {
+                    d.apply_to(&mut mirror);
+                } else if let Some((_, m)) = s.sub_mirrors.iter_mut().find(|(i, _)| *i == d.id) {
+                    d.apply_to(m);
+                }
+            }
+            s.sub_mirrors.push((id, mirror));
+        }
+    }
+
+    /// Unregisters the oldest subscription and registers a fresh one —
+    /// the churn half of the subscription mix.
+    fn churn_subscriptions(&mut self, mix: &QueryMix) {
+        for s in &mut self.engines {
+            if s.degraded_mode || s.sub_mirrors.is_empty() {
+                continue;
+            }
+            let (id, _) = s.sub_mirrors.remove(0);
+            assert!(
+                s.engine.unregister_subscription(id),
+                "{}: churned subscription {id:?} was not registered",
+                s.label
+            );
+            s.load.subs -= 1;
+        }
+        self.register_subscription_everywhere(mix);
+    }
+
+    /// Per-tick subscription checks: every mirror (rebuilt purely from
+    /// deltas) must equal the engine's committed answer bit-for-bit;
+    /// with `verify`, both must equal a from-scratch query clipped to
+    /// the region. Degraded subscriptions are skipped — their stored
+    /// answer is stale by contract until the first clean commit.
+    fn check_subscriptions(&mut self, verify: bool, now: Timestamp) {
+        for s in &mut self.engines {
+            if s.degraded_mode {
+                continue;
+            }
+            let Some(table) = s.engine.subscriptions() else {
+                continue;
+            };
+            let specs: Vec<Subscription> = table.subs().copied().collect();
+            for sub in specs {
+                let table = s.engine.subscriptions().expect("table just read");
+                if table.is_degraded(sub.id) == Some(true) {
+                    continue;
+                }
+                let committed = table.answer(sub.id).expect("registered").to_vec();
+                s.load.sub_checks += 1;
+                let mirrored = s
+                    .sub_mirrors
+                    .iter()
+                    .find(|(id, _)| *id == sub.id)
+                    .map(|(_, m)| m.as_slice());
+                if mirrored != Some(committed.as_slice()) {
+                    s.load.sub_divergence += 1;
+                    continue;
+                }
+                if !verify {
+                    continue;
+                }
+                let q = PdrQuery::new(sub.rho, sub.l, sub.policy.resolve(now));
+                let Ok(answer) = s.engine.try_query(&q) else {
+                    // A faulting verification query proves nothing
+                    // either way; the fault path has its own counters.
+                    s.load.sub_checks -= 1;
+                    continue;
+                };
+                let reference = SubscriptionTable::clip(&answer.regions, sub.region);
+                if reference.rects() != committed.as_slice() {
+                    s.load.sub_divergence += 1;
+                }
+            }
+        }
     }
 
     /// Executes one query against every engine, accumulating load (and
@@ -654,12 +1014,30 @@ impl ServeDriver {
                 });
             }
         }
+        if let Some(sm) = mix.subscriptions() {
+            let missing = sm.count.saturating_sub(
+                self.engines
+                    .iter()
+                    .map(|s| s.sub_mirrors.len())
+                    .max()
+                    .unwrap_or(0),
+            );
+            for _ in 0..missing {
+                self.register_subscription_everywhere(mix);
+            }
+        }
         let mut updates = 0u64;
-        for _ in 0..ticks {
+        for tick_no in 0..ticks {
             let ingest_start = Instant::now();
             updates += self.tick() as u64;
             self.tick_ingest.record(ingest_start.elapsed());
             let now = self.sim.t_now();
+            if let Some(sm) = mix.subscriptions() {
+                self.check_subscriptions(sm.verify, now);
+                if sm.churn_every > 0 && (tick_no + 1) % sm.churn_every == 0 {
+                    self.churn_subscriptions(mix);
+                }
+            }
             let query_start = Instant::now();
             if mix.clients > 1 {
                 self.concurrent_query_slice(mix, now);
@@ -1255,6 +1633,73 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(!json.contains("inf") && !json.contains("NaN"));
+    }
+
+    #[test]
+    fn default_deadline_scales_with_available_parallelism() {
+        let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let expected = if ncpu >= 8 {
+            Duration::from_millis(250)
+        } else if ncpu == 1 {
+            Duration::from_secs(5)
+        } else {
+            Duration::from_millis(250 * 8 / ncpu as u64)
+        };
+        assert_eq!(default_deadline(), expected);
+        assert_eq!(FaultPolicy::default().deadline, Some(expected));
+        assert!(
+            default_deadline() >= Duration::from_millis(250),
+            "scaling must never tighten the 8-core budget"
+        );
+    }
+
+    /// The subscription mix end to end: standing queries registered on
+    /// every engine, maintained incrementally through
+    /// `apply_batch_with_deltas`, churned, delta-replayed into mirrors,
+    /// and verified against from-scratch queries every tick — with zero
+    /// divergence.
+    #[test]
+    fn subscription_mix_maintains_exact_answers_through_churn() {
+        let mut d = driver(300);
+        d.bootstrap();
+        let m = QueryMix::new(mix().specs().to_vec(), 0, 1).with_subscriptions(3, 2, true);
+        let report = d.run(6, &m);
+        for load in &report.engines {
+            assert_eq!(load.subs, 3, "{}: churn must keep the count", load.label);
+            assert!(
+                load.sub_checks > 0,
+                "{}: every tick checks every live subscription",
+                load.label
+            );
+            assert_eq!(
+                load.sub_divergence, 0,
+                "{}: delta-maintained answers must be bit-identical to \
+                 from-scratch queries",
+                load.label
+            );
+            assert!(
+                load.sub_deltas > 0,
+                "{}: a churning mix over live traffic must emit deltas",
+                load.label
+            );
+        }
+        // FR's incremental path reports its dirty-cell counters.
+        let fr = &report.engines[0];
+        assert!(
+            fr.obs.counter("deltas_emitted").unwrap_or(0) > 0,
+            "FR must count emitted deltas"
+        );
+        let json = report.to_json();
+        for key in [
+            "\"subs\":3",
+            "\"sub_deltas\":",
+            "\"sub_checks\":",
+            "\"sub_divergence\":0",
+            "\"dirty_cells\":",
+            "\"sub_latency\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

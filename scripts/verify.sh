@@ -6,6 +6,7 @@
 #   scripts/verify.sh --fault-matrix # only the fault-injection serve matrix
 #   scripts/verify.sh --sharded-smoke # only the sharded serve smokes
 #   scripts/verify.sh --serve-tcp-smoke # only the TCP front-end smoke
+#   scripts/verify.sh --sub-smoke    # only the standing-subscription smoke
 #
 # Clippy is best-effort: on a fully offline container a missing
 # component must not mask real test failures, so its absence is
@@ -17,10 +18,12 @@ fast=0
 only_faults=0
 only_sharded=0
 only_tcp=0
+only_sub=0
 [ "${1:-}" = "--fast" ] && fast=1
 [ "${1:-}" = "--fault-matrix" ] && only_faults=1
 [ "${1:-}" = "--sharded-smoke" ] && only_sharded=1
 [ "${1:-}" = "--serve-tcp-smoke" ] && only_tcp=1
+[ "${1:-}" = "--sub-smoke" ] && only_sub=1
 fail=0
 
 step() { printf '\n==> %s\n' "$*"; }
@@ -240,6 +243,103 @@ serve_tcp_smoke() {
     rm -f "$portfile" "$serverlog" "$clientlog"
 }
 
+# Standing-subscription smoke: a 10-tick TCP serve with 8 standing
+# subscriptions registered over the wire. The client reconstructs each
+# subscription's answer purely by replaying polled deltas and checks it
+# bit-identically against a from-scratch query (clipped client-side)
+# after every tick; the closing summary must report zero leaked
+# workers. Fails on a lost/degraded delta stream, any divergence, a
+# dirty exit, or a leaked thread.
+sub_smoke() {
+    step "subscription smoke (serve --listen + client --subs 8, 10 ticks)"
+    if ! cargo build --release -p pdr-cli; then
+        echo "FAIL: pdr-cli release build"
+        fail=1
+        return
+    fi
+    portfile="$(mktemp /tmp/pdr-sub-port.XXXXXX)"
+    serverlog="$(mktemp /tmp/pdr-sub-server.XXXXXX.log)"
+    clientlog="$(mktemp /tmp/pdr-sub-client.XXXXXX.log)"
+    rm -f "$portfile"
+    target/release/pdrcli serve --objects 600 --extent 400 --ticks 1 \
+        --l 25 --count 8 --seed 11 \
+        --listen 127.0.0.1:0 --port-file "$portfile" --deadline-ms 5000 \
+        >"$serverlog" 2>&1 &
+    server=$!
+    for _ in $(seq 1 150); do
+        [ -s "$portfile" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$portfile" ]; then
+        echo "FAIL: subscription serve never wrote its port file"
+        fail=1
+        kill "$server" 2>/dev/null
+        wait "$server" 2>/dev/null
+        rm -f "$portfile" "$serverlog" "$clientlog"
+        return
+    fi
+    if ! target/release/pdrcli client --connect "$(cat "$portfile")" \
+            --ticks 10 --queries 2 --subs 8 --extent 400 --l 25 --count 8 \
+            >"$clientlog" 2>&1; then
+        echo "FAIL: subscription client exited nonzero"
+        sed 's/^/  client: /' "$clientlog"
+        fail=1
+    else
+        if ! grep -qF '"subs_exact":true' "$clientlog"; then
+            echo "FAIL: replayed deltas diverged from from-scratch answers"
+            sed 's/^/  client: /' "$clientlog"
+            fail=1
+        fi
+        if ! grep -qF 'all exact' "$clientlog"; then
+            echo "FAIL: subscription client did not confirm exact queries"
+            fail=1
+        fi
+        if ! grep -qE '"wire_subs":[0-9]' "$clientlog"; then
+            echo "FAIL: metrics relay lacks the wire_subs gauge"
+            fail=1
+        fi
+    fi
+    server_alive=1
+    for _ in $(seq 1 150); do
+        if ! kill -0 "$server" 2>/dev/null; then
+            server_alive=0
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$server_alive" -eq 1 ]; then
+        echo "FAIL: subscription server still running after shutdown"
+        kill -9 "$server" 2>/dev/null
+        fail=1
+    fi
+    wait "$server" 2>/dev/null
+    rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: subscription server exited nonzero ($rc)"
+        sed 's/^/  server: /' "$serverlog"
+        fail=1
+    fi
+    for key in '"shutdown":true' '"leaked_workers":0' '"failed_queries":0'; do
+        if ! grep -qF "$key" "$serverlog"; then
+            echo "FAIL: subscription shutdown summary lacks $key"
+            fail=1
+        fi
+    done
+    rm -f "$portfile" "$serverlog" "$clientlog"
+}
+
+if [ "$only_sub" -eq 1 ]; then
+    sub_smoke
+    if [ "$fail" -ne 0 ]; then
+        echo
+        echo "verify: FAILED"
+        exit 1
+    fi
+    echo
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$only_tcp" -eq 1 ]; then
     serve_tcp_smoke
     if [ "$fail" -ne 0 ]; then
@@ -330,6 +430,7 @@ if [ "$fast" -eq 0 ]; then
     sharded_smoke
     fault_matrix
     serve_tcp_smoke
+    sub_smoke
 fi
 
 step "cargo test -q (tier-1)"
