@@ -6,7 +6,10 @@
 //! concurrency composes with the intra-query parallelism on the shared
 //! persistent [`Executor`](pdr_core::Executor) — and writes per-client
 //! and per-engine latency quantiles (p50/p95/p99, from the obs
-//! histograms) to `BENCH_serve_concurrency.json`.
+//! histograms) to `BENCH_serve_concurrency.json`. A replica axis then
+//! runs a 2×2 sharded primary shipping per-tick WAL deltas to a read
+//! replica and records shipping/ingest cost plus primary-vs-replica
+//! query latency on bit-identical probes (see `replica_axis`).
 //!
 //! Usage: `cargo bench --bench serve_concurrency [-- <n_objects>
 //! <ticks>]` (defaults: 2 000 objects, 2 ticks — serve queries cost
@@ -19,13 +22,15 @@
 //! `pool_workers`, and the spawn-vs-pool dispatch delta; on a
 //! single-core host added clients only contend and the file says so.
 
-use pdr_core::{EngineSpec, Executor, FrConfig};
+use pdr_core::{EngineSpec, Executor, FrConfig, PdrQuery};
 use pdr_mobject::TimeHorizon;
 use pdr_storage::CostModel;
 use pdr_workload::{
     default_deadline, NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver,
     TrafficSimulator,
 };
+
+const QUERY_ROUNDS: usize = 3;
 
 const EXTENT: f64 = 600.0;
 const L: f64 = 30.0;
@@ -57,6 +62,119 @@ fn mix(clients: usize) -> QueryMix {
         })
         .collect();
     QueryMix::new(specs, 0, 2).with_clients(clients)
+}
+
+/// Log-shipping replica axis: a 2×2 sharded primary drives the same
+/// simulated load while a read replica ingests one WAL shipment per
+/// tick (`wal_since` → `ingest`, the `ship_log`/`sync` path without
+/// the socket). Reports per-tick shipping and ingest cost, shipment
+/// volume, and identical-probe query latency on both planes — the
+/// probes must answer bit-for-bit the same once the replica is caught
+/// up, mirroring the replica differential test's invariant.
+fn replica_axis(n: usize, ticks: u64) -> String {
+    let horizon = TimeHorizon::new(8, 8);
+    let spec = EngineSpec::Sharded {
+        inner: Box::new(EngineSpec::Fr(FrConfig {
+            extent: EXTENT,
+            m: 40,
+            horizon,
+            buffer_pages: 1024,
+            threads: 0,
+        })),
+        sx: 2,
+        sy: 2,
+        l_max: L,
+    };
+    let mut primary = spec.try_build(0).expect("sharded primary builds");
+    let mut replica = spec.try_build_replica(0).expect("replica builds");
+    let net = RoadNetwork::generate(&NetworkConfig::metro(EXTENT), 21);
+    let mut sim = TrafficSimulator::new(net, n, 21 ^ 0x5eed, horizon.max_update_time(), 0);
+    primary.bulk_load(&sim.population(), sim.t_now());
+    // The bulk load is not WAL-recorded; sealing a checkpoint makes it
+    // shippable, exactly as the serve loop does after bootstrap.
+    primary.checkpoint().expect("sharded plane checkpoints");
+
+    let mut ship_cut_ms = 0.0;
+    let mut ingest_ms = 0.0;
+    let mut shipped_bytes = 0usize;
+    let mut bootstrap_bytes = 0usize;
+    let mut shipments = 0usize;
+    let mut updates = 0usize;
+    let mut ship_once = |primary: &dyn pdr_core::DensityEngine,
+                         replica: &mut Box<dyn pdr_core::DensityEngine>| {
+        let rep = replica.as_replica_mut().expect("replica surface");
+        let sharded = primary.as_sharded().expect("sharded surface");
+        let (ship, cut) =
+            pdr_bench::time_it(|| sharded.wal_since(rep.applied_epoch(), rep.applied_offsets()));
+        ship_cut_ms += cut.as_secs_f64() * 1e3;
+        let bytes = ship.checkpoint.as_ref().map_or(0, |c| c.len())
+            + ship.segments.iter().map(|s| s.bytes.len()).sum::<usize>();
+        shipped_bytes += bytes;
+        if ship.checkpoint.is_some() {
+            bootstrap_bytes += bytes;
+        }
+        let (res, ing) = pdr_bench::time_it(|| rep.ingest(&ship));
+        res.expect("in-order shipment ingests");
+        ingest_ms += ing.as_secs_f64() * 1e3;
+        shipments += 1;
+        assert_eq!(rep.lag(), 0, "replica caught up after sync");
+    };
+    ship_once(primary.as_ref(), &mut replica);
+    for _ in 0..ticks {
+        let t_next = sim.t_now() + 1;
+        let batch = sim.tick();
+        updates += batch.len();
+        primary.advance_to(t_next);
+        primary.apply_batch(&batch);
+        ship_once(primary.as_ref(), &mut replica);
+    }
+
+    // Identical probes against both planes: correctness (bit-identical
+    // answers) plus the read-path latency comparison.
+    let t = sim.t_now();
+    let probes: Vec<PdrQuery> = [0u64, 4, 8]
+        .into_iter()
+        .map(|dt| PdrQuery::new(40.0 / (L * L), L, t + dt))
+        .collect();
+    let mut answers_match = true;
+    let mut primary_us = 0.0;
+    let mut replica_us = 0.0;
+    for _ in 0..QUERY_ROUNDS {
+        let (a, p_wall) =
+            pdr_bench::time_it(|| probes.iter().map(|q| primary.query(q)).collect::<Vec<_>>());
+        let (b, r_wall) =
+            pdr_bench::time_it(|| probes.iter().map(|q| replica.query(q)).collect::<Vec<_>>());
+        primary_us += p_wall.as_secs_f64() * 1e6;
+        replica_us += r_wall.as_secs_f64() * 1e6;
+        for (x, y) in a.iter().zip(&b) {
+            if x.regions.rects() != y.regions.rects() {
+                answers_match = false;
+            }
+        }
+    }
+    assert!(
+        answers_match,
+        "caught-up replica must answer bit-identically"
+    );
+    let per_query = (QUERY_ROUNDS * probes.len()) as f64;
+    let lag = replica.as_replica().expect("replica surface").lag();
+    println!(
+        "replica 2x2: {shipments} shipments, {shipped_bytes} B shipped \
+         ({bootstrap_bytes} B bootstrap), cut {ship_cut_ms:.2} ms, ingest {ingest_ms:.2} ms, \
+         query us primary/replica: {:.0}/{:.0}, lag {lag}",
+        primary_us / per_query,
+        replica_us / per_query
+    );
+    format!(
+        "{{\"shards\": \"2x2\", \"ticks\": {ticks}, \"updates\": {updates}, \
+         \"shipments\": {shipments}, \"shipped_bytes\": {shipped_bytes}, \
+         \"bootstrap_bytes\": {bootstrap_bytes}, \"ship_cut_ms\": {ship_cut_ms:.3}, \
+         \"ingest_ms\": {ingest_ms:.3}, \"replica_lag\": {lag}, \
+         \"answers_match\": {answers_match}, \"primary_query_us\": {:.1}, \
+         \"replica_query_us\": {:.1}}}",
+        primary_us / per_query,
+        replica_us / per_query
+    )
 }
 
 fn main() {
@@ -114,11 +232,13 @@ fn main() {
         ));
     }
 
+    let replica = replica_axis(n, ticks);
     let dispatch = pdr_bench::dispatch_json(16, 3);
     let json = format!(
         "{{\n  \"n\": {n},\n  \"ticks\": {ticks},\n  \"available_parallelism\": {cores},\n  \
          \"pool_workers\": {pool_workers},\n  \"default_deadline_ms\": {deadline_ms},\n  \
          \"dispatch\": {dispatch},\n  \
+         \"replica\": {replica},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
     );

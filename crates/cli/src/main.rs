@@ -71,7 +71,8 @@ fn usage(msg: &str) -> ExitCode {
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
          pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--clients N] [--subs N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS]\n  \
          pdrcli serve --listen ADDR [--port-file FILE] [--capacity N] [--deadline-ms N] [--objects N ...]\n  \
-         pdrcli client --connect ADDR [--ticks T] [--queries M] [--subs N] [--l EDGE] [--count MIN_OBJECTS]\n  \
+         pdrcli serve --listen ADDR --replica-of PRIMARY_ADDR --shards SxS [--objects N ...]\n  \
+         pdrcli client --connect ADDR [--ticks T] [--queries M] [--subs N] [--replica REPLICA_ADDR] [--l EDGE] [--count MIN_OBJECTS]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -107,8 +108,14 @@ struct Options {
     capacity: usize,
     /// `serve` (local loop): concurrent clients per tick.
     clients: usize,
+    /// `serve --listen`: run as a log-shipping read replica of this
+    /// primary front-end instead of simulating traffic locally.
+    replica_of: Option<String>,
     /// `client`: server address to connect to.
     connect: Option<String>,
+    /// `client`: replica front-end to sync and cross-check against
+    /// `--connect` after every tick (bit-identical answers).
+    replica: Option<String>,
     /// `client`: checked queries per tick.
     queries: usize,
     /// `serve --listen`: per-query deadline override in ms (0 = none).
@@ -144,7 +151,9 @@ impl Options {
             port_file: None,
             capacity: 32,
             clients: 1,
+            replica_of: None,
             connect: None,
+            replica: None,
             queries: 4,
             deadline_ms: None,
             subs: 0,
@@ -183,7 +192,9 @@ impl Options {
                         return Err(bad(key));
                     }
                 }
+                "--replica-of" => o.replica_of = Some(value.clone()),
                 "--connect" => o.connect = Some(value.clone()),
+                "--replica" => o.replica = Some(value.clone()),
                 "--queries" => o.queries = value.parse().map_err(|_| bad(key))?,
                 "--deadline-ms" => o.deadline_ms = Some(value.parse().map_err(|_| bad(key))?),
                 "--subs" => o.subs = value.parse().map_err(|_| bad(key))?,
@@ -342,6 +353,9 @@ fn cmd_query(o: &Options) -> Result<(), String> {
 }
 
 fn cmd_serve(o: &Options) -> Result<(), String> {
+    if o.replica_of.is_some() {
+        return cmd_serve_replica(o);
+    }
     if o.ticks == 0 {
         return Err("serve requires --ticks >= 1".into());
     }
@@ -489,6 +503,65 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve --listen ADDR --replica-of PRIMARY`: builds a log-shipping
+/// read replica of the primary front-end's `fr` engine, bootstraps it
+/// over the wire (`ship_log` with empty offsets cuts a sealed
+/// checkpoint + segment tails), and serves query/subscribe traffic
+/// read-only. Clients refresh the replica with the `sync` op; `tick`
+/// is refused. The grid must match the primary's (`--shards SxS` plus
+/// the same engine geometry flags).
+fn cmd_serve_replica(o: &Options) -> Result<(), String> {
+    let primary = o.replica_of.clone().expect("checked by cmd_serve");
+    let addr = o
+        .listen
+        .as_ref()
+        .ok_or("serve --replica-of requires --listen")?;
+    let Some((sx, sy)) = o.shards else {
+        return Err(
+            "serve --replica-of requires --shards SxS (replicas ship per-shard logs)".into(),
+        );
+    };
+    let horizon = TimeHorizon::new(10, 10);
+    let spec = EngineSpec::Sharded {
+        inner: Box::new(engine_spec("fr", o, horizon)?),
+        sx,
+        sy,
+        l_max: o.l,
+    };
+    let engine = spec.try_build_replica(0).map_err(|e| e.to_string())?;
+
+    // The simulator is inert here — a replica front-end refuses `tick`
+    // and resolves query times against its applied clock — but the
+    // driver still owns one for the shared metrics surface.
+    let network = RoadNetwork::generate(&NetworkConfig::metro(o.extent), o.seed);
+    let sim = TrafficSimulator::new(
+        network,
+        o.objects,
+        o.seed ^ 0x5eed,
+        horizon.max_update_time(),
+        0,
+    );
+    let mut driver = ServeDriver::new(sim, CostModel::PAPER_DEFAULT).with_engine("fr", engine);
+
+    // Initial bootstrap straight from the primary, before serving:
+    // empty offsets force a checkpoint-carrying shipment.
+    let mut c = NetClient::connect(&primary)
+        .map_err(|e| format!("connecting to primary {primary}: {e}"))?;
+    let ship = pdr_workload::net::fetch_shipment(&mut c, Some("fr"), 0, &[])
+        .map_err(|e| format!("ship_log from {primary}: {e}"))?;
+    let report = driver
+        .engine_mut("fr")
+        .and_then(|e| e.as_replica_mut())
+        .ok_or("replica engine lost its ingest surface")?
+        .ingest(&ship)
+        .map_err(|e| format!("ingesting bootstrap shipment: {e}"))?;
+    eprintln!(
+        "# bootstrapped from {primary}: {} records, {} updates, lag {}",
+        report.records, report.updates, report.lag
+    );
+    serve_tcp(o, driver, addr)
+}
+
 /// `serve --listen`: hands the bootstrapped driver to the TCP
 /// front-end and blocks until a protocol `shutdown` op. The bound
 /// address goes to stdout (and `--port-file` when given) so scripts
@@ -502,6 +575,7 @@ fn serve_tcp(o: &Options, driver: ServeDriver, addr: &str) -> Result<(), String>
     let cfg = NetServerConfig {
         capacity: o.capacity,
         shutdown_pool: true,
+        replica_of: o.replica_of.clone(),
         ..NetServerConfig::default()
     };
     let mut policy = FaultPolicy::default();
@@ -619,6 +693,47 @@ fn check_wire_subs(c: &mut NetClient, o: &Options, subs: &[WireSub]) -> Result<u
     Ok(diverged)
 }
 
+/// Refreshes a replica front-end (`sync` pulls the primary's WAL delta
+/// over the wire) and cross-checks `query` answers between primary and
+/// replica at caught-up offsets: the resolved timestamp and the full
+/// rect list must be **bit-identical**. Returns comparisons made.
+fn sync_and_compare(p: &mut NetClient, r: &mut NetClient, rho: f64, l: f64) -> Result<u64, String> {
+    let resp = r
+        .request("{\"op\":\"sync\"}")
+        .map_err(|e| format!("sync: {e}"))?;
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("replica sync failed: {resp:?}"));
+    }
+    let mut compared = 0u64;
+    for q_t in [0u64, 5, 10] {
+        let body =
+            format!("{{\"op\":\"query\",\"rho\":{rho},\"l\":{l},\"q_t\":{q_t},\"rects\":true}}");
+        let a = p
+            .request(&body)
+            .map_err(|e| format!("primary query: {e}"))?;
+        let b = r
+            .request(&body)
+            .map_err(|e| format!("replica query: {e}"))?;
+        for resp in [&a, &b] {
+            if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("comparison query failed: {resp:?}"));
+            }
+        }
+        if a.get("t") != b.get("t") {
+            return Err(format!(
+                "replica clock diverged at q_t {q_t}: primary {:?}, replica {:?}",
+                a.get("t"),
+                b.get("t")
+            ));
+        }
+        if a.get("rects") != b.get("rects") {
+            return Err(format!("replica answer diverged from primary at q_t {q_t}"));
+        }
+        compared += 1;
+    }
+    Ok(compared)
+}
+
 /// `client --connect`: drives a serving front-end through `--ticks`
 /// rounds of tick + `--queries` checked queries, asserting every
 /// answer is exact against the server-side ground truth. With
@@ -631,6 +746,20 @@ fn cmd_client(o: &Options) -> Result<(), String> {
     let mut c = NetClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
     let rho = o.count / (o.l * o.l);
     let ok = |r: &Json| r.get("ok").and_then(Json::as_bool) == Some(true);
+
+    // `--replica ADDR`: a second connection to a log-shipping replica
+    // front-end; after every tick the client drives its `sync` op and
+    // cross-checks answers against the primary bit-for-bit.
+    let mut rc = match &o.replica {
+        Some(r) => {
+            Some(NetClient::connect(r).map_err(|e| format!("connecting to replica {r}: {e}"))?)
+        }
+        None => None,
+    };
+    let mut replica_checks = 0u64;
+    if let Some(rc) = rc.as_mut() {
+        replica_checks += sync_and_compare(&mut c, rc, rho, o.l)?;
+    }
 
     // Register the standing queries up front; the initial answer
     // arrives as each subscription's first delta.
@@ -693,6 +822,9 @@ fn cmd_client(o: &Options) -> Result<(), String> {
             sub_divergence += check_wire_subs(&mut c, o, &subs)?;
             sub_checks += subs.len() as u64;
         }
+        if let Some(rc) = rc.as_mut() {
+            replica_checks += sync_and_compare(&mut c, rc, rho, o.l)?;
+        }
         // Offsets span the serve horizon's prediction window (W = 10).
         for k in 0..o.queries {
             let q_t = [0u64, 5, 10][k % 3];
@@ -729,6 +861,20 @@ fn cmd_client(o: &Options) -> Result<(), String> {
             subs.len(),
             sub_divergence == 0
         );
+    }
+    if let Some(rc) = rc.as_mut() {
+        // Replica metrics (including the lag gauge) before shutdown.
+        let m = rc
+            .request_raw("{\"op\":\"metrics\"}")
+            .map_err(|e| format!("replica metrics: {e}"))?;
+        println!("{m}");
+        println!("{{\"replica_checks\":{replica_checks},\"replica_exact\":true}}");
+        let r = rc
+            .request("{\"op\":\"shutdown\"}")
+            .map_err(|e| format!("replica shutdown: {e}"))?;
+        if !ok(&r) {
+            return Err(format!("replica shutdown refused: {r:?}"));
+        }
     }
     let r = c
         .request("{\"op\":\"shutdown\"}")

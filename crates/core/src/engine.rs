@@ -221,6 +221,30 @@ pub trait DensityEngine: Send + Sync {
         None
     }
 
+    /// The sharded plane behind this engine, when there is one — the
+    /// log-shipping primary surface
+    /// ([`wal_since`](crate::shard::ShardedEngine::wal_since) and
+    /// friends). `None` (the default) for unsharded engines.
+    fn as_sharded(&self) -> Option<&crate::shard::ShardedEngine> {
+        None
+    }
+
+    /// Mutable counterpart of [`as_sharded`](Self::as_sharded).
+    fn as_sharded_mut(&mut self) -> Option<&mut crate::shard::ShardedEngine> {
+        None
+    }
+
+    /// The log-shipping replica behind this engine, when it is one.
+    /// `None` (the default) for every primary engine.
+    fn as_replica(&self) -> Option<&crate::replica::Replica> {
+        None
+    }
+
+    /// Mutable counterpart of [`as_replica`](Self::as_replica).
+    fn as_replica_mut(&mut self) -> Option<&mut crate::replica::Replica> {
+        None
+    }
+
     /// The engine's standing-subscription registry, or `None` for
     /// engines without subscription support. Every in-tree engine
     /// carries one; only exotic test stubs return `None`.
@@ -925,6 +949,10 @@ pub enum EngineSpecError {
         /// The `l_max` the plane was built for.
         l_max: f64,
     },
+    /// A log-shipping replica was requested for a spec that is not
+    /// `Sharded` — only a sharded plane has the per-shard WAL segments
+    /// replication consumes.
+    ReplicaNeedsSharding,
 }
 
 impl std::fmt::Display for EngineSpecError {
@@ -941,6 +969,11 @@ impl std::fmt::Display for EngineSpecError {
                 f,
                 "query edge l = {l} exceeds the sharded plane's l_max = {l_max}: \
                  the halo cannot cover it and density would be lost at cut lines"
+            ),
+            EngineSpecError::ReplicaNeedsSharding => write!(
+                f,
+                "a log-shipping replica needs a sharded spec (the per-shard \
+                 WAL segments are what replication consumes)"
             ),
         }
     }
@@ -1078,39 +1111,60 @@ impl EngineSpec {
             EngineSpec::DenseCell { grid } => Box::new(DenseCellEngine::new(*grid)),
             EngineSpec::Edq { bounds } => Box::new(EdqEngine::new(*bounds)),
             EngineSpec::Dh(cfg, mode) => Box::new(DhEngine::new(*cfg, *mode, t_start)),
-            EngineSpec::Sharded {
-                inner,
-                sx,
-                sy,
-                l_max,
-            } => {
-                if matches!(**inner, EngineSpec::Sharded { .. }) {
-                    return Err(EngineSpecError::NestedSharding);
-                }
-                if !(l_max.is_finite() && *l_max > 0.0) {
-                    return Err(EngineSpecError::InvalidLMax(*l_max));
-                }
-                let shards = (*sx as usize) * (*sy as usize);
-                let halo = l_max / 2.0 + 2.0 * inner.structure_pitch();
-                let map = crate::ShardMap::new(inner.domain_bounds(), *sx, *sy, halo);
-                let per_shard = inner.per_shard_spec(shards);
-                let threads = match **inner {
-                    EngineSpec::Fr(cfg)
-                    | EngineSpec::FrGrid { fr: cfg, .. }
-                    | EngineSpec::Dh(cfg, _) => cfg.threads,
-                    _ => 0,
-                };
-                Box::new(crate::ShardedEngine::new(
-                    self.name(),
-                    map,
-                    inner.routing_horizon(),
-                    t_start,
-                    threads,
-                    *l_max,
-                    |_| per_shard.build(t_start),
-                ))
-            }
+            EngineSpec::Sharded { .. } => Box::new(self.build_plane(t_start)?),
         })
+    }
+
+    /// Builds the concrete sharded plane a `Sharded` spec describes.
+    /// Errors on any other variant — callers that need the log-shipping
+    /// primary surface ([`ShardedEngine`](crate::ShardedEngine)) or a
+    /// replica around it come through here.
+    fn build_plane(&self, t_start: Timestamp) -> Result<crate::ShardedEngine, EngineSpecError> {
+        let EngineSpec::Sharded {
+            inner,
+            sx,
+            sy,
+            l_max,
+        } = self
+        else {
+            return Err(EngineSpecError::ReplicaNeedsSharding);
+        };
+        if matches!(**inner, EngineSpec::Sharded { .. }) {
+            return Err(EngineSpecError::NestedSharding);
+        }
+        if !(l_max.is_finite() && *l_max > 0.0) {
+            return Err(EngineSpecError::InvalidLMax(*l_max));
+        }
+        let shards = (*sx as usize) * (*sy as usize);
+        let halo = l_max / 2.0 + 2.0 * inner.structure_pitch();
+        let map = crate::ShardMap::new(inner.domain_bounds(), *sx, *sy, halo);
+        let per_shard = inner.per_shard_spec(shards);
+        let threads = match **inner {
+            EngineSpec::Fr(cfg) | EngineSpec::FrGrid { fr: cfg, .. } | EngineSpec::Dh(cfg, _) => {
+                cfg.threads
+            }
+            _ => 0,
+        };
+        Ok(crate::ShardedEngine::new(
+            self.name(),
+            map,
+            inner.routing_horizon(),
+            t_start,
+            threads,
+            *l_max,
+            |_| per_shard.build(t_start),
+        ))
+    }
+
+    /// Builds a read-only log-shipping [`Replica`](crate::Replica)
+    /// around the sharded plane this spec describes. The spec (and
+    /// therefore the grid, halo and inner engine configuration) must
+    /// match the primary's for shipped answers to be bit-identical.
+    pub fn try_build_replica(
+        &self,
+        t_start: Timestamp,
+    ) -> Result<Box<dyn DensityEngine>, EngineSpecError> {
+        Ok(Box::new(crate::Replica::new(self.build_plane(t_start)?)))
     }
 }
 

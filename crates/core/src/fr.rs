@@ -717,23 +717,15 @@ impl<I: RangeIndex> FrEngine<I> {
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_bytes(b"FRCK");
-        w.put_u16(1);
+        w.put_u16(2);
         w.put_u64(self.t_start);
         w.put_u64(self.updates_applied);
         w.put_u64(self.missed_deletes);
         w.put_u64(self.rejected_updates);
-        let mut motions: Vec<(ObjectId, MotionState)> =
-            self.motions.iter().map(|(id, m)| (*id, *m)).collect();
+        let mut motions: Vec<(u64, MotionState)> =
+            self.motions.iter().map(|(id, m)| (id.0, *m)).collect();
         motions.sort_unstable_by_key(|(id, _)| *id);
-        w.put_u64(motions.len() as u64);
-        for (id, m) in &motions {
-            w.put_u64(id.0);
-            w.put_f64(m.origin.x);
-            w.put_f64(m.origin.y);
-            w.put_f64(m.velocity.x);
-            w.put_f64(m.velocity.y);
-            w.put_u64(m.t_ref);
-        }
+        crate::colcodec::put_motion_table(&mut w, &motions);
         // Histogram bytes go last: they are self-delimiting via their
         // own header, so the reader just hands over the remainder.
         w.put_bytes(&self.histogram.serialize());
@@ -751,23 +743,39 @@ impl<I: RangeIndex> FrEngine<I> {
         let payload = open_checkpoint(bytes)?;
         let mut r = ByteReader::new(payload);
         r.expect_magic(b"FRCK")?;
-        if r.get_u16()? != 1 {
+        let version = r.get_u16()?;
+        if version != 1 && version != 2 {
             return Err(RecoverError::Unsupported);
         }
         let t_start = r.get_u64()?;
         let updates_applied = r.get_u64()?;
         let missed_deletes = r.get_u64()?;
         let rejected_updates = r.get_u64()?;
-        let count = r.get_u64()? as usize;
-        let mut motions: Vec<(ObjectId, MotionState)> = Vec::with_capacity(count);
-        for _ in 0..count {
-            let id = ObjectId(r.get_u64()?);
-            let origin = Point::new(r.get_f64()?, r.get_f64()?);
-            let velocity = Point::new(r.get_f64()?, r.get_f64()?);
-            let t_ref = r.get_u64()?;
-            let m = MotionState::try_new(id, origin, velocity, t_ref)
-                .map_err(|_| RecoverError::Mismatch("non-finite motion in checkpoint"))?;
-            motions.push((id, m));
+        let mut motions: Vec<(ObjectId, MotionState)>;
+        if version == 1 {
+            // Row-major legacy layout: one fixed-width record per motion.
+            let count = r.get_u64()? as usize;
+            motions = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = ObjectId(r.get_u64()?);
+                let origin = Point::new(r.get_f64()?, r.get_f64()?);
+                let velocity = Point::new(r.get_f64()?, r.get_f64()?);
+                let t_ref = r.get_u64()?;
+                let m = MotionState::try_new(id, origin, velocity, t_ref)
+                    .map_err(|_| RecoverError::Mismatch("non-finite motion in checkpoint"))?;
+                motions.push((id, m));
+            }
+        } else {
+            // Columnar layout: raw rows come back bit-exact; re-validate
+            // finiteness here since the codec does not.
+            let rows = crate::colcodec::get_motion_table(&mut r)?;
+            motions = Vec::with_capacity(rows.len());
+            for (id, m) in rows {
+                let id = ObjectId(id);
+                let m = MotionState::try_new(id, m.origin, m.velocity, m.t_ref)
+                    .map_err(|_| RecoverError::Mismatch("non-finite motion in checkpoint"))?;
+                motions.push((id, m));
+            }
         }
         let hist_bytes = &payload[payload.len() - r.remaining()..];
         let histogram = DensityHistogram::deserialize(hist_bytes)?;
@@ -1298,6 +1306,55 @@ mod tests {
         assert!(
             before.symmetric_difference_area(&after) < 1e-9,
             "restored engine answers differ"
+        );
+    }
+
+    /// Version-1 checkpoints (row-major motion table) written before the
+    /// columnar codec must keep restoring bit-identically.
+    #[test]
+    fn v1_checkpoint_still_restores() {
+        let pop = clustered_population(250, 43);
+        let mut fr = FrEngine::new(cfg(), 0);
+        fr.bulk_load(&pop, 0);
+        fr.advance_to(1);
+        let q = PdrQuery::new(0.05, 20.0, 3);
+        let want = fr.query(&q).regions;
+
+        // Hand-roll the legacy layout from live state.
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"FRCK");
+        w.put_u16(1);
+        w.put_u64(fr.t_start);
+        w.put_u64(fr.updates_applied);
+        w.put_u64(fr.missed_deletes);
+        w.put_u64(fr.rejected_updates);
+        let mut motions: Vec<(ObjectId, MotionState)> =
+            fr.motions.iter().map(|(id, m)| (*id, *m)).collect();
+        motions.sort_unstable_by_key(|(id, _)| *id);
+        w.put_u64(motions.len() as u64);
+        for (id, m) in &motions {
+            w.put_u64(id.0);
+            w.put_f64(m.origin.x);
+            w.put_f64(m.origin.y);
+            w.put_f64(m.velocity.x);
+            w.put_f64(m.velocity.y);
+            w.put_u64(m.t_ref);
+        }
+        w.put_bytes(&fr.histogram.serialize());
+        let v1 = seal_checkpoint(&w.into_bytes());
+
+        let mut restored = FrEngine::new(cfg(), 0);
+        restored.restore_from_bytes(&v1).expect("v1 restores");
+        let got = restored.query(&q).regions;
+        assert_eq!(want.rects(), got.rects(), "v1 restore diverged");
+
+        // The columnar v2 container is strictly smaller on the same state.
+        let v2 = fr.checkpoint_bytes();
+        assert!(
+            v2.len() < v1.len(),
+            "v2 checkpoint ({}) not smaller than v1 ({})",
+            v2.len(),
+            v1.len()
         );
     }
 

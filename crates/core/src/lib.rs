@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+mod colcodec;
 mod dh_answers;
 mod engine;
 mod exact;
@@ -75,6 +76,7 @@ mod metrics;
 pub mod obs;
 mod pa;
 mod query;
+mod replica;
 mod shard;
 pub mod sub;
 mod sweep;
@@ -94,15 +96,16 @@ pub use metrics::{accuracy, Accuracy, Scoreboard};
 pub use obs::{Counter, Histogram, HistogramSnapshot, ObsReport, StageTimer};
 pub use pa::{PaAnswer, PaConfig, PaEngine};
 pub use query::{DenseThreshold, PdrQuery};
-pub use shard::{ShardMap, ShardedEngine};
+pub use replica::{IngestReport, Replica};
+pub use shard::{LogShipment, ShardMap, ShardedEngine, ShippedSegment, TailSummary};
 pub use sub::{
     diff_canonical, AnswerDelta, QtPolicy, SubError, SubId, Subscription, SubscriptionTable,
 };
 pub use sweep::{refine_region, refine_region_set};
 pub use wal::{
     encode_segment_header, open_checkpoint, record_boundaries, replay, replay_any, seal_checkpoint,
-    segment_name, RecoverError, SegmentHeader, Wal, WalRecord, WalReplay, LEGACY_JOURNAL_NAME,
-    SEGMENT_HEADER_LEN,
+    segment_name, RecoverError, SegmentHeader, SegmentInfo, Wal, WalCodec, WalRecord, WalReplay,
+    LEGACY_JOURNAL_NAME, SEGMENT_HEADER_LEN,
 };
 
 // Fault-injection surface of the storage plane, re-exported so engine

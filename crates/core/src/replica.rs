@@ -1,0 +1,490 @@
+//! Log-shipping read replicas of a sharded primary.
+//!
+//! A [`Replica`] wraps its own [`ShardedEngine`] (same grid, same
+//! inner-engine configuration as the primary) and keeps it current by
+//! ingesting [`LogShipment`]s — sealed checkpoints plus per-shard WAL
+//! segment deltas cut by the primary's
+//! [`wal_since`](ShardedEngine::wal_since). Because every engine
+//! mutation is deterministic and the shipped records are exactly the
+//! primary's post-routing WAL, a caught-up replica answers queries
+//! **bit-identically** to the primary (the same invariant crash
+//! recovery rests on — a replica is recovery running continuously on
+//! another machine).
+//!
+//! Semantics:
+//!
+//! * **Read-only.** The replica serves `query`/`subscribe` traffic;
+//!   direct `apply_batch`/`advance_to`/`bulk_load` calls are dropped
+//!   and counted (`replica_updates_dropped`), never applied — state
+//!   changes arrive only through [`Replica::ingest`].
+//! * **Bounded staleness, reported.** Every shipment carries the
+//!   primary's protocol time when it was cut; the replica's lag gauge
+//!   is that time minus the last `advance_to` it has applied. Lag `0`
+//!   means caught up *as of the last sync* — the bound is refreshed,
+//!   not streamed.
+//! * **Self-healing.** If the primary restored from a checkpoint (its
+//!   segments reset), the replica's offsets stop matching and the next
+//!   [`wal_since`](ShardedEngine::wal_since) automatically returns a
+//!   bootstrap shipment; [`Replica::ingest`] restores it and replays
+//!   the tail.
+
+use crate::engine::{DensityEngine, EngineAnswer, EngineStats};
+use crate::obs::ObsReport;
+use crate::shard::{LogShipment, ShardedEngine};
+use crate::sub::{AnswerDelta, QtPolicy, SubError, SubId, SubscriptionTable};
+use crate::wal::RecoverError;
+use crate::PdrQuery;
+use pdr_geometry::{Rect, RegionSet};
+use pdr_mobject::{MotionState, ObjectId, Timestamp, Update};
+use pdr_storage::{CodecError, FaultPlan, FaultStats, StorageError};
+
+/// A read-only, log-shipping replica of a primary [`ShardedEngine`].
+pub struct Replica {
+    inner: ShardedEngine,
+    /// Primary segment byte offset applied through, per shard.
+    applied: Vec<usize>,
+    /// The primary segment epoch `applied` is valid within.
+    epoch: u64,
+    /// The primary's protocol time at the last ingested shipment.
+    primary_t: Timestamp,
+    /// The last `advance_to` timestamp this replica has applied.
+    applied_t: Timestamp,
+    shipments: u64,
+    bootstraps: u64,
+    shipped_bytes: u64,
+    records_applied: u64,
+    updates_dropped: u64,
+}
+
+/// What one [`Replica::ingest`] call did, for logs and wire responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// `true` when the shipment carried a checkpoint the replica
+    /// restored before replaying tails.
+    pub bootstrapped: bool,
+    /// WAL records applied across all shards.
+    pub records: u64,
+    /// Updates contained in the applied batch records.
+    pub updates: u64,
+    /// The staleness bound after ingesting (see [`Replica::lag`]).
+    pub lag: u64,
+}
+
+impl Replica {
+    /// Wraps a freshly built plane (same grid and inner configuration
+    /// as the primary) as an empty replica awaiting its first
+    /// bootstrap shipment. Until that bootstrap lands the replica
+    /// reports **empty** offsets, so the primary's
+    /// [`wal_since`](ShardedEngine::wal_since) always cuts a
+    /// checkpoint-carrying shipment first — the replica's own fresh
+    /// segments say nothing about the primary's log.
+    pub fn new(inner: ShardedEngine) -> Self {
+        Replica {
+            inner,
+            applied: Vec::new(),
+            epoch: 0,
+            primary_t: 0,
+            applied_t: 0,
+            shipments: 0,
+            bootstraps: 0,
+            shipped_bytes: 0,
+            records_applied: 0,
+            updates_dropped: 0,
+        }
+    }
+
+    /// The per-shard primary offsets this replica has applied through —
+    /// what it reports to [`ShardedEngine::wal_since`] to receive only
+    /// the delta.
+    pub fn applied_offsets(&self) -> &[usize] {
+        &self.applied
+    }
+
+    /// The primary segment epoch [`applied_offsets`](Self::applied_offsets)
+    /// is valid within; reported alongside them to
+    /// [`ShardedEngine::wal_since`].
+    pub fn applied_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The replica's staleness bound: the primary's protocol time at
+    /// the last sync minus the last applied `advance_to`. `0` means
+    /// caught up as of that sync.
+    pub fn lag(&self) -> u64 {
+        self.primary_t.saturating_sub(self.applied_t)
+    }
+
+    /// The last applied `advance_to` timestamp.
+    pub fn applied_t(&self) -> Timestamp {
+        self.applied_t
+    }
+
+    /// Shipments ingested so far (including bootstraps).
+    pub fn shipments(&self) -> u64 {
+        self.shipments
+    }
+
+    /// Bootstrap (checkpoint-carrying) shipments ingested so far.
+    pub fn bootstraps(&self) -> u64 {
+        self.bootstraps
+    }
+
+    /// Ingests one shipment: restores the checkpoint when present,
+    /// then replays every shipped segment tail in shard order. A
+    /// shipment whose offsets do not line up with what this replica
+    /// has applied is refused with a mismatch — the caller re-syncs
+    /// from empty offsets, which makes the primary cut a bootstrap.
+    pub fn ingest(&mut self, ship: &LogShipment) -> Result<IngestReport, RecoverError> {
+        if ship.shards as usize != self.inner.map().shards() {
+            return Err(RecoverError::Mismatch(
+                "shipment cut at a different shard count",
+            ));
+        }
+        if ship.segments.len() != ship.shards as usize {
+            return Err(RecoverError::Mismatch("shipment is missing shards"));
+        }
+        let mut report = IngestReport::default();
+        if let Some(cp) = &ship.checkpoint {
+            self.inner.restore_from(cp)?;
+            report.bootstrapped = true;
+            self.bootstraps += 1;
+            // The checkpoint state corresponds to each segment's
+            // `start`; tails replay forward from there. A bootstrap
+            // ships everything through the cut, so after the tails
+            // land the replica is caught up to the primary's clock.
+            self.applied = vec![0; ship.shards as usize];
+            for seg in &ship.segments {
+                self.applied[seg.shard as usize] = seg.start;
+            }
+            self.epoch = ship.epoch;
+            self.applied_t = ship.t_base;
+        } else if self.applied.is_empty() {
+            // A primary that has never checkpointed legitimately ships
+            // its **full history** with no checkpoint: every segment
+            // starts right past its header, which this fresh plane can
+            // replay from scratch. Anything else needs a checkpoint.
+            if ship
+                .segments
+                .iter()
+                .any(|s| s.start != crate::wal::SEGMENT_HEADER_LEN)
+            {
+                return Err(RecoverError::Mismatch(
+                    "replica has no state yet; first shipment must bootstrap",
+                ));
+            }
+            self.applied = vec![crate::wal::SEGMENT_HEADER_LEN; ship.shards as usize];
+            self.epoch = ship.epoch;
+        } else if ship.epoch != self.epoch {
+            return Err(RecoverError::Mismatch(
+                "incremental shipment from a different segment epoch",
+            ));
+        }
+        for seg in &ship.segments {
+            let i = seg.shard as usize;
+            if i >= self.applied.len() {
+                return Err(RecoverError::Mismatch("shipment names an unknown shard"));
+            }
+            if seg.start != self.applied[i] {
+                return Err(RecoverError::Codec(CodecError::Corrupt(
+                    "shipment offset does not match applied position",
+                )));
+            }
+            let summary = self.inner.apply_segment_tail(i, &seg.bytes)?;
+            self.applied[i] += seg.bytes.len();
+            self.shipped_bytes += seg.bytes.len() as u64;
+            report.records += summary.records;
+            report.updates += summary.updates;
+            if let Some(t) = summary.last_advance {
+                self.applied_t = self.applied_t.max(t);
+            }
+        }
+        self.primary_t = self.primary_t.max(ship.t_base);
+        self.shipments += 1;
+        self.records_applied += report.records;
+        report.lag = self.lag();
+        Ok(report)
+    }
+}
+
+impl DensityEngine for Replica {
+    fn name(&self) -> &'static str {
+        "replica"
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only surface: mutations are dropped and counted, never
+    // applied. State arrives only through `ingest`.
+    // ------------------------------------------------------------------
+
+    fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], _t_now: Timestamp) {
+        self.updates_dropped += objects.len() as u64;
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) {
+        self.updates_dropped += updates.len() as u64;
+    }
+
+    fn advance_to(&mut self, _t_now: Timestamp) {}
+
+    // ------------------------------------------------------------------
+    // Query surface: served from the replicated plane.
+    // ------------------------------------------------------------------
+
+    fn query(&self, q: &PdrQuery) -> EngineAnswer {
+        self.inner.query(q)
+    }
+
+    fn try_query(&self, q: &PdrQuery) -> Result<EngineAnswer, StorageError> {
+        self.inner.try_query(q)
+    }
+
+    fn degraded_query(&self, q: &PdrQuery) -> Option<EngineAnswer> {
+        self.inner.degraded_query(q)
+    }
+
+    fn interval_query(&self, rho: f64, l: f64, from: Timestamp, to: Timestamp) -> RegionSet {
+        self.inner.interval_query(rho, l, from, to)
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        self.inner.checkpoint()
+    }
+
+    fn restore_from(&mut self, bytes: &[u8]) -> Result<(), RecoverError> {
+        self.inner.restore_from(bytes)
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.set_fault_plan(plan);
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
+    }
+
+    fn subscriptions(&self) -> Option<&SubscriptionTable> {
+        self.inner.subscriptions()
+    }
+
+    fn subscriptions_mut(&mut self) -> Option<&mut SubscriptionTable> {
+        self.inner.subscriptions_mut()
+    }
+
+    fn register_subscription(
+        &mut self,
+        rho: f64,
+        l: f64,
+        region: Rect,
+        policy: QtPolicy,
+    ) -> Result<SubId, SubError> {
+        self.inner.register_subscription(rho, l, region, policy)
+    }
+
+    fn unregister_subscription(&mut self, id: SubId) -> bool {
+        self.inner.unregister_subscription(id)
+    }
+
+    fn maintain_subscriptions(&mut self, now: Timestamp) -> Vec<AnswerDelta> {
+        // Standing queries on a replica are maintained against
+        // *applied* time: a subscription never observes state the
+        // replica has not replayed.
+        let t = now.min(self.applied_t);
+        self.inner.maintain_subscriptions(t)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut st = self.inner.stats();
+        st.rejected_updates += self.updates_dropped;
+        st
+    }
+
+    fn obs(&self) -> ObsReport {
+        let mut report = self.inner.obs();
+        report.counters.push(("replica_lag", self.lag()));
+        report.counters.push(("replica_shipments", self.shipments));
+        report
+            .counters
+            .push(("replica_bootstraps", self.bootstraps));
+        report
+            .counters
+            .push(("replica_shipped_bytes", self.shipped_bytes));
+        report
+            .counters
+            .push(("replica_records_applied", self.records_applied));
+        report
+            .counters
+            .push(("replica_updates_dropped", self.updates_dropped));
+        report
+    }
+
+    fn set_obs_enabled(&mut self, on: bool) {
+        self.inner.set_obs_enabled(on);
+    }
+
+    fn shard_metrics_json(&self) -> Option<String> {
+        self.inner.shard_metrics_json()
+    }
+
+    fn as_replica(&self) -> Option<&Replica> {
+        Some(self)
+    }
+
+    fn as_replica_mut(&mut self) -> Option<&mut Replica> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardMap;
+    use crate::{FrConfig, FrEngine};
+    use pdr_geometry::Point;
+    use pdr_mobject::TimeHorizon;
+
+    fn fr_cfg() -> FrConfig {
+        FrConfig {
+            extent: 100.0,
+            m: 20,
+            horizon: TimeHorizon::new(4, 2),
+            buffer_pages: 8,
+            threads: 1,
+        }
+    }
+
+    fn plane(sx: u32, sy: u32) -> ShardedEngine {
+        let map = ShardMap::new(Rect::new(0.0, 0.0, 100.0, 100.0), sx, sy, 30.0);
+        ShardedEngine::new("fr", map, TimeHorizon::new(4, 2), 0, 1, 14.0, |_| {
+            Box::new(FrEngine::new(fr_cfg(), 0))
+        })
+    }
+
+    fn seed_objects() -> Vec<(ObjectId, MotionState)> {
+        (0..40u64)
+            .map(|i| {
+                (
+                    ObjectId(i),
+                    MotionState::new(
+                        Point::new(5.0 + (i % 10) as f64 * 9.0, 5.0 + (i / 10) as f64 * 20.0),
+                        Point::new(0.5, 0.25),
+                        0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn probe(primary: &ShardedEngine, replica: &Replica, t: Timestamp) {
+        for q in [
+            PdrQuery::new(2.0, 10.0, t),
+            PdrQuery::new(1.0, 12.0, t + 1),
+            PdrQuery::new(3.0, 14.0, t + 2),
+        ] {
+            let a = primary.query(&q);
+            let b = replica.query(&q);
+            assert_eq!(
+                a.regions.rects(),
+                b.regions.rects(),
+                "replica answer diverged at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_catches_up_and_answers_bit_identically() {
+        let mut primary = plane(2, 2);
+        primary.bulk_load(&seed_objects(), 0);
+        let mut replica = Replica::new(plane(2, 2));
+
+        // Bootstrap: empty offsets force a checkpoint shipment.
+        let ship = primary.wal_since(replica.applied_epoch(), &[]);
+        assert!(ship.checkpoint.is_some());
+        let rep = replica.ingest(&ship).expect("bootstrap ingests");
+        assert!(rep.bootstrapped);
+        probe(&primary, &replica, 0);
+
+        // Steady state: ticks ship incrementally.
+        for t in 1..=6u64 {
+            primary.advance_to(t);
+            let batch: Vec<Update> = (0..6u64)
+                .map(|i| {
+                    Update::insert(
+                        ObjectId(100 + t * 10 + i),
+                        t,
+                        MotionState::new(
+                            Point::new(10.0 + i as f64 * 12.0, 40.0 + t as f64 * 3.0),
+                            Point::new(-0.3, 0.4),
+                            t,
+                        ),
+                    )
+                })
+                .collect();
+            primary.apply_batch(&batch);
+            let ship = primary.wal_since(replica.applied_epoch(), replica.applied_offsets());
+            assert!(ship.checkpoint.is_none(), "steady state ships deltas");
+            let rep = replica.ingest(&ship).expect("delta ingests");
+            assert_eq!(rep.lag, 0, "caught up after sync");
+            assert_eq!(replica.applied_offsets(), primary.wal_offsets());
+            probe(&primary, &replica, t);
+        }
+
+        // Direct writes to the replica are dropped, not applied.
+        let before = replica.stats().objects;
+        replica.apply_batch(&[Update::insert(
+            ObjectId(9999),
+            6,
+            MotionState::new(Point::new(50.0, 50.0), Point::new(0.0, 0.0), 6),
+        )]);
+        assert_eq!(replica.stats().objects, before);
+        assert_eq!(
+            replica
+                .obs()
+                .counters
+                .iter()
+                .find(|(n, _)| *n == "replica_updates_dropped")
+                .map(|(_, v)| *v),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn primary_restore_forces_replica_bootstrap() {
+        let mut primary = plane(1, 1);
+        primary.bulk_load(&seed_objects(), 0);
+        let mut replica = Replica::new(plane(1, 1));
+        replica
+            .ingest(&primary.wal_since(replica.applied_epoch(), &[]))
+            .expect("bootstrap");
+
+        primary.advance_to(1);
+        replica
+            .ingest(&primary.wal_since(replica.applied_epoch(), replica.applied_offsets()))
+            .expect("delta");
+
+        // The primary crashes and restores: its segments reset, so the
+        // replica's offsets overshoot and the next shipment is a
+        // bootstrap again.
+        let cp = primary.checkpoint().expect("plane checkpoints");
+        primary.restore_from(&cp).expect("restores");
+        primary.advance_to(2);
+        let ship = primary.wal_since(replica.applied_epoch(), replica.applied_offsets());
+        assert!(
+            ship.checkpoint.is_some(),
+            "offset regression must cut a bootstrap shipment"
+        );
+        let rep = replica.ingest(&ship).expect("re-bootstrap ingests");
+        assert!(rep.bootstrapped);
+        probe(&primary, &replica, 2);
+    }
+
+    #[test]
+    fn mismatched_grid_is_refused() {
+        let mut primary = plane(2, 2);
+        primary.bulk_load(&seed_objects(), 0);
+        let mut replica = Replica::new(plane(1, 1));
+        let err = replica
+            .ingest(&primary.wal_since(replica.applied_epoch(), &[]))
+            .unwrap_err();
+        assert!(matches!(err, RecoverError::Mismatch(_)));
+    }
+}

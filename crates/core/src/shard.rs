@@ -51,7 +51,7 @@ use crate::obs::ObsReport;
 use crate::sub::{AnswerDelta, QtPolicy, SubError, SubId, Subscription, SubscriptionTable};
 use crate::wal::{
     open_checkpoint, replay, seal_checkpoint, segment_name, RecoverError, SegmentHeader, Wal,
-    WalRecord,
+    WalCodec, WalRecord, SEGMENT_HEADER_LEN,
 };
 use crate::PdrQuery;
 use pdr_geometry::{Rect, RegionSet};
@@ -318,6 +318,11 @@ pub struct ShardedEngine {
     updates_applied: u64,
     rejected_updates: u64,
     queries_served: AtomicU64,
+    /// Incremented whenever the segments reset (a restore): byte
+    /// offsets are only comparable within one epoch, so log shipping
+    /// bootstraps on any epoch change — a reset segment re-filled to
+    /// the old length would otherwise be indistinguishable.
+    wal_epoch: u64,
 }
 
 impl ShardedEngine {
@@ -349,7 +354,10 @@ impl ShardedEngine {
                     shard: i as u32,
                     shards: n as u32,
                 };
-                let wal = Wal::new_segment(header);
+                // Per-shard segments write the columnar codec2 records;
+                // replay auto-detects per record, so pre-upgrade
+                // segments and legacy journals keep reading.
+                let wal = Wal::new_segment_with(header, WalCodec::V2);
                 let checkpoint_offset = wal.offset();
                 RwLock::new(ShardState {
                     engine: build(i),
@@ -375,6 +383,7 @@ impl ShardedEngine {
             updates_applied: 0,
             rejected_updates: 0,
             queries_served: AtomicU64::new(0),
+            wal_epoch: 0,
         }
     }
 
@@ -478,6 +487,194 @@ impl ShardedEngine {
         let bbox = u.routing_bbox(self.horizon.h());
         self.plane.map.route(&bbox)
     }
+
+    /// Composes per-shard checkpoint payloads into one sealed
+    /// container: `[count u32]` then per shard `[len u64][crc u32][bytes]`.
+    fn compose_checkpoint(parts: &[Vec<u8>]) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(parts.len() as u32);
+        for cp in parts {
+            w.put_u64(cp.len() as u64);
+            w.put_u32(crc32(cp));
+            w.put_bytes(cp);
+        }
+        seal_checkpoint(w.as_slice())
+    }
+
+    // -----------------------------------------------------------------
+    // Log shipping (primary side)
+    // -----------------------------------------------------------------
+
+    /// Current byte offset of every shard's WAL segment, in shard
+    /// order. A replica reports these back through
+    /// [`ShardedEngine::wal_since`] to receive only the delta.
+    pub fn wal_offsets(&self) -> Vec<usize> {
+        (0..self.plane.shards.len())
+            .map(|i| self.plane.read_shard(i).wal.offset())
+            .collect()
+    }
+
+    /// The current segment epoch (see [`ShardedEngine::wal_since`]).
+    pub fn wal_epoch(&self) -> u64 {
+        self.wal_epoch
+    }
+
+    /// Cuts a [`LogShipment`] for a replica that has applied each
+    /// shard's segment through `from[i]` within segment epoch `epoch`.
+    /// Pass an empty slice to bootstrap: the shipment then carries the
+    /// plane's last sealed checkpoint (when one exists) plus every
+    /// segment's tail from its checkpoint mark. A `(epoch, from)` that
+    /// no longer matches this plane — a stale epoch (the primary
+    /// restored and its segments reset), wrong shard count, an offset
+    /// past the segment end, or one inside the segment header — also
+    /// falls back to a bootstrap shipment, so a replica can always
+    /// converge by re-ingesting.
+    pub fn wal_since(&self, epoch: u64, from: &[usize]) -> LogShipment {
+        let n = self.plane.shards.len();
+        let incremental = epoch == self.wal_epoch
+            && from.len() == n
+            && (0..n).all(|i| {
+                let s = self.plane.read_shard(i);
+                from[i] >= SEGMENT_HEADER_LEN && from[i] <= s.wal.offset()
+            });
+        if incremental {
+            let segments = (0..n)
+                .map(|i| {
+                    let s = self.plane.read_shard(i);
+                    ShippedSegment {
+                        shard: i as u32,
+                        start: from[i],
+                        bytes: s.wal.bytes()[from[i]..].to_vec(),
+                    }
+                })
+                .collect();
+            return LogShipment {
+                shards: n as u32,
+                epoch: self.wal_epoch,
+                t_base: self.t_base,
+                checkpoint: None,
+                segments,
+            };
+        }
+        // Bootstrap: ship the stored per-shard checkpoints (sealed as
+        // one container) and each segment's tail from its checkpoint
+        // mark. Without a stored checkpoint (nothing bulk-loaded yet)
+        // the full segments from just past their headers reproduce the
+        // whole history.
+        let stored: Option<Vec<Vec<u8>>> = (0..n)
+            .map(|i| self.plane.read_shard(i).checkpoint.clone())
+            .collect();
+        let (checkpoint, starts): (Option<Vec<u8>>, Vec<usize>) = match stored {
+            Some(parts) => (
+                Some(Self::compose_checkpoint(&parts)),
+                (0..n)
+                    .map(|i| self.plane.read_shard(i).checkpoint_offset)
+                    .collect(),
+            ),
+            None => (None, vec![SEGMENT_HEADER_LEN; n]),
+        };
+        let segments = (0..n)
+            .map(|i| {
+                let s = self.plane.read_shard(i);
+                ShippedSegment {
+                    shard: i as u32,
+                    start: starts[i],
+                    bytes: s.wal.bytes()[starts[i]..].to_vec(),
+                }
+            })
+            .collect();
+        LogShipment {
+            shards: n as u32,
+            epoch: self.wal_epoch,
+            t_base: self.t_base,
+            checkpoint,
+            segments,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Log shipping (replica side)
+    // -----------------------------------------------------------------
+
+    /// Replays one shipped segment tail into shard `shard`: verifies
+    /// the frames, appends them to the shard's local segment, and
+    /// applies each record to the shard's engine. The shipped bytes
+    /// were routed and screened by the primary, so they apply
+    /// directly, bypassing the router. Returns a per-tail summary.
+    pub fn apply_segment_tail(
+        &mut self,
+        shard: usize,
+        bytes: &[u8],
+    ) -> Result<TailSummary, RecoverError> {
+        let rep = replay(bytes)?;
+        if rep.torn_bytes != 0 {
+            return Err(RecoverError::Codec(pdr_storage::CodecError::Corrupt(
+                "shipped segment tail is torn",
+            )));
+        }
+        let mut summary = TailSummary::default();
+        let mut s = self.plane.write_shard(shard);
+        s.wal.append_framed(bytes, rep.records.len() as u64);
+        for rec in &rep.records {
+            summary.records += 1;
+            match rec {
+                WalRecord::Advance(t) => {
+                    s.engine.advance_to(*t);
+                    summary.last_advance = Some(*t);
+                }
+                WalRecord::Batch(batch) => {
+                    summary.updates += batch.len() as u64;
+                    s.engine.apply_batch(batch);
+                }
+            }
+        }
+        drop(s);
+        if let Some(t) = summary.last_advance {
+            self.t_base = self.t_base.max(t);
+        }
+        self.updates_applied += summary.updates;
+        Ok(summary)
+    }
+}
+
+/// What applying one shipped segment tail did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TailSummary {
+    /// Records replayed.
+    pub records: u64,
+    /// Updates contained in replayed batches.
+    pub updates: u64,
+    /// The last `advance_to` timestamp in the tail, if any.
+    pub last_advance: Option<Timestamp>,
+}
+
+/// One shard's WAL delta inside a [`LogShipment`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShippedSegment {
+    /// Which shard the bytes belong to.
+    pub shard: u32,
+    /// Byte offset in the primary's segment where `bytes` begins.
+    pub start: usize,
+    /// Whole framed records (never a torn tail).
+    pub bytes: Vec<u8>,
+}
+
+/// A batch of sealed-checkpoint + WAL-segment deltas cut by a primary
+/// [`ShardedEngine`] for a log-shipping replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogShipment {
+    /// Shard count of the plane that cut the shipment.
+    pub shards: u32,
+    /// Segment epoch the offsets are valid within (see
+    /// [`ShardedEngine::wal_since`]).
+    pub epoch: u64,
+    /// The primary's protocol time when the shipment was cut — the
+    /// replica's staleness bound is measured against this.
+    pub t_base: Timestamp,
+    /// A sealed full-plane checkpoint, present on bootstrap shipments.
+    pub checkpoint: Option<Vec<u8>>,
+    /// Per-shard segment deltas, in shard order.
+    pub segments: Vec<ShippedSegment>,
 }
 
 fn finite(m: &MotionState) -> bool {
@@ -594,17 +791,10 @@ impl DensityEngine for ShardedEngine {
     }
 
     fn checkpoint(&self) -> Option<Vec<u8>> {
-        // Compose the per-shard checkpoints into one sealed container:
-        // [count u32] then per shard [len u64][crc u32][bytes].
-        let mut w = ByteWriter::new();
-        w.put_u32(self.plane.shards.len() as u32);
-        for i in 0..self.plane.shards.len() {
-            let cp = self.plane.read_shard(i).engine.checkpoint()?;
-            w.put_u64(cp.len() as u64);
-            w.put_u32(crc32(&cp));
-            w.put_bytes(&cp);
-        }
-        Some(seal_checkpoint(&w.into_bytes()))
+        let parts: Option<Vec<Vec<u8>>> = (0..self.plane.shards.len())
+            .map(|i| self.plane.read_shard(i).engine.checkpoint())
+            .collect();
+        Some(Self::compose_checkpoint(&parts?))
     }
 
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), RecoverError> {
@@ -634,13 +824,19 @@ impl DensityEngine for ShardedEngine {
             let mut s = self.plane.write_shard(i);
             s.engine.restore_from(slice)?;
             s.checkpoint = Some(slice.to_vec());
-            s.wal = Wal::new_segment(SegmentHeader {
-                shard: i as u32,
-                shards: n as u32,
-            });
+            s.wal = Wal::new_segment_with(
+                SegmentHeader {
+                    shard: i as u32,
+                    shards: n as u32,
+                },
+                WalCodec::V2,
+            );
             s.checkpoint_offset = s.wal.offset();
             self.plane.degraded[i].store(false, Ordering::Release);
         }
+        // Segments reset: start a new epoch so shipped byte offsets
+        // from the old log can never be misread against the new one.
+        self.wal_epoch += 1;
         Ok(())
     }
 
@@ -845,6 +1041,17 @@ impl DensityEngine for ShardedEngine {
                 }
             }
         }
+        // WAL append-path allocation accounting, mirroring the
+        // `refine_allocs` pattern: records frame directly into the log
+        // buffer, so this stays O(log bytes), not O(records).
+        let (mut wal_allocs, mut wal_bytes) = (0u64, 0u64);
+        for i in 0..self.plane.shards.len() {
+            let s = self.plane.read_shard(i);
+            wal_allocs += s.wal.allocs();
+            wal_bytes += s.wal.offset() as u64;
+        }
+        counters.push(("wal_allocs", wal_allocs));
+        counters.push(("wal_bytes", wal_bytes));
         ObsReport {
             counters,
             stages: Vec::new(),
@@ -857,6 +1064,14 @@ impl DensityEngine for ShardedEngine {
         }
     }
 
+    fn as_sharded(&self) -> Option<&ShardedEngine> {
+        Some(self)
+    }
+
+    fn as_sharded_mut(&mut self) -> Option<&mut ShardedEngine> {
+        Some(self)
+    }
+
     fn shard_metrics_json(&self) -> Option<String> {
         let blocks: Vec<String> = (0..self.plane.shards.len())
             .map(|i| {
@@ -866,6 +1081,7 @@ impl DensityEngine for ShardedEngine {
                 format!(
                     "{{\"shard\":{i},\"segment\":\"{}\",\"tile\":[{},{},{},{}],\
                      \"degraded\":{},\"wal_records\":{},\"wal_bytes\":{},\
+                     \"wal_codec\":\"{}\",\"wal_allocs\":{},\
                      \"objects\":{},\"updates_applied\":{},\"queries_served\":{},\
                      \"subs\":{},\"faults\":{},\"obs\":{}}}",
                     segment_name(i as u32),
@@ -876,6 +1092,8 @@ impl DensityEngine for ShardedEngine {
                     self.plane.degraded[i].load(Ordering::Acquire),
                     s.wal.records(),
                     s.wal.bytes().len(),
+                    s.wal.codec().label(),
+                    s.wal.allocs(),
                     st.objects,
                     st.updates_applied,
                     st.queries_served,

@@ -18,14 +18,53 @@
 //!   or whose checksum fails), reporting how many bytes it dropped;
 //! * a checkpoint is wrapped `PDCK` + version + length + crc32 by
 //!   [`seal_checkpoint`] and verified by [`open_checkpoint`].
+//!
+//! Two record codecs share that frame format. [`WalCodec::V1`] is the
+//! original row-oriented layout (fixed-width fields per update).
+//! [`WalCodec::V2`] is columnar: a batch stores all ids, then all
+//! timestamps, then the kind column, then the motion columns —
+//! LEB128 varints with delta coding for ids, delta-of-delta for
+//! `t_now`, `t_ref` relative to its row's `t_now`, run-length coding
+//! for the (alternating) kind column, and XOR-predicted raw-bits f64
+//! columns (see [`crate::colcodec`]). [`replay`] and [`replay_any`]
+//! decode both codecs bit-exactly; a log may even interleave them,
+//! since the codec is a per-record property of the payload tag.
 
+use crate::colcodec::{get_xor_column_classed, put_xor_column_classed};
 use pdr_mobject::{MotionState, ObjectId, Timestamp, Update, UpdateKind};
 use pdr_storage::{crc32, ByteReader, ByteWriter, CodecError};
 use std::fmt;
 
-/// Record payload tags.
+/// Record payload tags. Tags 1/2 are the row-oriented codec1 layout;
+/// tags 3/4 are the columnar codec2 layout.
 const TAG_ADVANCE: u8 = 1;
 const TAG_BATCH: u8 = 2;
+const TAG_ADVANCE2: u8 = 3;
+const TAG_BATCH2: u8 = 4;
+
+/// Which record codec a [`Wal`] writes. Readers never need this —
+/// every record names its codec in its payload tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WalCodec {
+    /// Row-oriented fixed-width records (the original format).
+    #[default]
+    V1,
+    /// Columnar delta/varint/XOR-predicted records (`codec2`).
+    V2,
+}
+
+impl WalCodec {
+    /// Both codecs, for sweep-style tests and benches.
+    pub const ALL: [WalCodec; 2] = [WalCodec::V1, WalCodec::V2];
+
+    /// Stable lowercase label (`"codec1"` / `"codec2"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            WalCodec::V1 => "codec1",
+            WalCodec::V2 => "codec2",
+        }
+    }
+}
 
 /// One logical WAL record.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,24 +79,39 @@ pub enum WalRecord {
 /// appended *before* the corresponding engine mutation runs.
 #[derive(Clone, Debug, Default)]
 pub struct Wal {
-    bytes: Vec<u8>,
+    log: ByteWriter,
     records: u64,
+    codec: WalCodec,
+    allocs: u64,
 }
 
 impl Wal {
-    /// An empty log.
+    /// An empty log writing the original codec1 records.
     pub fn new() -> Self {
         Wal::default()
     }
 
+    /// An empty log writing the given codec.
+    pub fn with_codec(codec: WalCodec) -> Self {
+        Wal {
+            codec,
+            ..Wal::default()
+        }
+    }
+
+    /// The codec this log writes (readers auto-detect per record).
+    pub fn codec(&self) -> WalCodec {
+        self.codec
+    }
+
     /// The raw encoded log (what would be on disk).
     pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+        self.log.as_slice()
     }
 
     /// Current end offset — a checkpoint taken now replays from here.
     pub fn offset(&self) -> usize {
-        self.bytes.len()
+        self.log.len()
     }
 
     /// Records appended so far.
@@ -65,31 +119,67 @@ impl Wal {
         self.records
     }
 
+    /// Appends that grew the log's heap allocation. Appends frame
+    /// records directly into the log buffer, so growth is the only
+    /// allocation on this path and amortizes to O(log bytes) events.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
     /// Appends an `advance_to(t)` record.
     pub fn append_advance(&mut self, t: Timestamp) {
-        let mut w = ByteWriter::with_capacity(9);
-        w.put_u8(TAG_ADVANCE);
-        w.put_u64(t);
-        self.frame(&w.into_bytes());
+        let codec = self.codec;
+        self.frame_with(|w| match codec {
+            WalCodec::V1 => {
+                w.put_u8(TAG_ADVANCE);
+                w.put_u64(t);
+            }
+            WalCodec::V2 => {
+                w.put_u8(TAG_ADVANCE2);
+                w.put_uvarint(t);
+            }
+        });
     }
 
     /// Appends an `apply_batch` record.
     pub fn append_batch(&mut self, updates: &[Update]) {
-        let mut w = ByteWriter::with_capacity(8 + updates.len() * 50);
-        w.put_u8(TAG_BATCH);
-        w.put_u32(u32::try_from(updates.len()).expect("batch exceeds u32"));
-        for u in updates {
-            encode_update(&mut w, u);
-        }
-        self.frame(&w.into_bytes());
+        let codec = self.codec;
+        self.frame_with(|w| match codec {
+            WalCodec::V1 => encode_batch_v1(w, updates),
+            WalCodec::V2 => encode_batch_v2(w, updates),
+        });
     }
 
-    fn frame(&mut self, payload: &[u8]) {
-        let mut w = ByteWriter::with_capacity(8 + payload.len());
-        w.put_u32(u32::try_from(payload.len()).expect("record exceeds u32"));
-        w.put_u32(crc32(payload));
-        w.put_bytes(payload);
-        self.bytes.extend_from_slice(&w.into_bytes());
+    /// Appends already-framed record bytes — a segment tail shipped
+    /// from a primary log whose frames were verified by [`replay`].
+    /// `records` is the number of whole frames in `bytes`.
+    pub fn append_framed(&mut self, bytes: &[u8], records: u64) {
+        let cap = self.log.capacity();
+        self.log.put_bytes(bytes);
+        if self.log.capacity() != cap {
+            self.allocs += 1;
+        }
+        self.records += records;
+    }
+
+    /// Frames one record: writes a placeholder length/crc header,
+    /// lets `encode` append the payload *directly into the log
+    /// buffer*, then patches the header in place. No temporary
+    /// payload buffer, no copy — the only allocation is buffer
+    /// growth, which [`Wal::allocs`] counts.
+    fn frame_with(&mut self, encode: impl FnOnce(&mut ByteWriter)) {
+        let cap = self.log.capacity();
+        let start = self.log.len();
+        self.log.put_u64(0); // len + crc placeholders
+        encode(&mut self.log);
+        let payload = &self.log.as_slice()[start + 8..];
+        let len = u32::try_from(payload.len()).expect("record exceeds u32");
+        let crc = crc32(payload);
+        self.log.patch_u32(start, len);
+        self.log.patch_u32(start + 4, crc);
+        if self.log.capacity() != cap {
+            self.allocs += 1;
+        }
         self.records += 1;
     }
 }
@@ -106,7 +196,8 @@ pub struct WalReplay {
 
 /// Decodes `bytes` record by record, stopping cleanly at a torn tail.
 /// A record that passes its checksum but fails to decode is a format
-/// error (not a torn write) and is reported as `Err`.
+/// error (not a torn write) and is reported as `Err`. Records of both
+/// codecs are decoded transparently.
 pub fn replay(bytes: &[u8]) -> Result<WalReplay, CodecError> {
     let mut records = Vec::new();
     let mut pos = 0usize;
@@ -150,6 +241,18 @@ pub fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
     offsets
 }
 
+// ---------------------------------------------------------------------
+// codec1: row-oriented records
+// ---------------------------------------------------------------------
+
+fn encode_batch_v1(w: &mut ByteWriter, updates: &[Update]) {
+    w.put_u8(TAG_BATCH);
+    w.put_u32(u32::try_from(updates.len()).expect("batch exceeds u32"));
+    for u in updates {
+        encode_update(w, u);
+    }
+}
+
 fn encode_update(w: &mut ByteWriter, u: &Update) {
     w.put_u64(u.id.0);
     w.put_u64(u.t_now);
@@ -174,6 +277,20 @@ fn decode_update(r: &mut ByteReader<'_>) -> Result<Update, CodecError> {
     let vx = r.get_f64()?;
     let vy = r.get_f64()?;
     let t_ref = r.get_u64()?;
+    build_update(id, t_now, kind, ox, oy, vx, vy, t_ref)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_update(
+    id: ObjectId,
+    t_now: Timestamp,
+    kind: u8,
+    ox: f64,
+    oy: f64,
+    vx: f64,
+    vy: f64,
+    t_ref: Timestamp,
+) -> Result<Update, CodecError> {
     if !(ox.is_finite() && oy.is_finite() && vx.is_finite() && vy.is_finite()) {
         return Err(CodecError::Corrupt("non-finite motion in WAL"));
     }
@@ -197,18 +314,376 @@ fn decode_update(r: &mut ByteReader<'_>) -> Result<Update, CodecError> {
     }
 }
 
+// ---------------------------------------------------------------------
+// codec2: columnar records
+// ---------------------------------------------------------------------
+//
+// Batch layout (after the tag):
+//
+//   n            uvarint   row count
+//   ids          uvarint first, then ivarint deltas (wrapping)
+//   t_now        uvarint first, ivarint first delta, then the
+//                delta-of-delta stream zero-run encoded: repeated
+//                (uvarint zero-run-length, then — if rows remain —
+//                one non-zero ivarint). A tick's batch is
+//                constant-time, so the whole column is ~3 bytes
+//   kinds        u8 first kind, then RLE runs over the XOR-diff
+//                stream kind[i]^kind[i-1] — the workload's
+//                delete/insert pairs alternate every row, which is
+//                RLE's worst case raw but a single all-ones run after
+//                the diff transform
+//   t_ref        zigzag(t_ref - t_now) nibble-packed two per byte;
+//                nibble 15 escapes to a full uvarint appended after
+//                the nibble block in row order. Inserts report
+//                t_ref == t_now (nibble 0) and delete ages are small,
+//                so this column is ~0.5 bytes/row
+//   vx vy        sign-separated f64 bit columns: ceil(n/8) bytes of
+//                packed sign bits (LSB-first), then the magnitude
+//                bits (sign masked off) as a class-coded XOR column
+//                (colcodec) predicted from the previous row's
+//                magnitude. Re-reports flip heading sign freely; the
+//                magnitudes' exponents stay close, so stripping the
+//                sign saves most of the top residual byte
+//   ox oy        class-coded XOR f64 bit columns. Origins predict the
+//                previous row's value — except when a row is the
+//                insert half of a delete/insert pair for the same id
+//                at the same t_now, where the prediction is the
+//                deleted motion dead-reckoned to t_now
+//                (`origin + velocity * dt`, matching
+//                `MotionState::position_at`): a timeout re-report's
+//                origin is near (often exactly) that point
+//
+// Velocity columns come before origin columns because the origin
+// prediction for row i reads the already-decoded velocity of row i-1
+// (full bits, sign included).
+
+/// Zigzag maps signed to unsigned so small magnitudes of either sign
+/// get small codes (0, -1, 1, -2, ... → 0, 1, 2, 3, ...).
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+const SIGN_BIT: u64 = 1 << 63;
+
+/// Writes a velocity column: packed sign bits, then the class-coded
+/// XOR column of the magnitude bits predicted from the previous row's
+/// magnitude.
+fn put_velocity_column(w: &mut ByteWriter, col: &[u64]) {
+    let n = col.len();
+    let mut i = 0;
+    while i < n {
+        let mut byte = 0u8;
+        for j in 0..8 {
+            if i + j < n && col[i + j] & SIGN_BIT != 0 {
+                byte |= 1 << j;
+            }
+        }
+        w.put_u8(byte);
+        i += 8;
+    }
+    let mags: Vec<u64> = col.iter().map(|&v| v & !SIGN_BIT).collect();
+    let preds: Vec<u64> = std::iter::once(0)
+        .chain(mags[..n - 1].iter().copied())
+        .collect();
+    put_xor_column_classed(w, &mags, &preds);
+}
+
+/// Reads a column written by [`put_velocity_column`], returning full
+/// bits (sign restored).
+fn get_velocity_column(r: &mut ByteReader<'_>, n: usize) -> Result<Vec<u64>, CodecError> {
+    let sign_bytes = r.get_bytes(n.div_ceil(8))?.to_vec();
+    let prev = |i: usize, done: &[u64]| if i == 0 { 0 } else { done[i - 1] };
+    let mags = get_xor_column_classed(r, n, prev)?;
+    Ok(mags
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| {
+            let sign = (sign_bytes[i / 8] >> (i % 8)) & 1;
+            m | (u64::from(sign) << 63)
+        })
+        .collect())
+}
+
+/// Marks rows that are the insert half of a same-id, same-timestamp
+/// delete/insert pair (the shape `ObjectTable::report` emits).
+fn pair_flags(ids: &[u64], t_now: &[u64], kinds: &[u8]) -> Vec<bool> {
+    (0..ids.len())
+        .map(|i| {
+            i > 0
+                && kinds[i] == 0
+                && kinds[i - 1] == 1
+                && ids[i] == ids[i - 1]
+                && t_now[i] == t_now[i - 1]
+        })
+        .collect()
+}
+
+/// Dead-reckons a deleted motion's coordinate to `t_now` — the codec2
+/// origin prediction for pair rows. Must stay bit-identical between
+/// encoder and decoder (it is: both call this), and matches
+/// `MotionState::position_at` so simulator timeout re-reports predict
+/// exactly.
+fn predict_coord(coord_bits: u64, vel_bits: u64, t_now: u64, t_ref: u64) -> u64 {
+    let dt = t_now as f64 - t_ref as f64;
+    (f64::from_bits(coord_bits) + f64::from_bits(vel_bits) * dt).to_bits()
+}
+
+fn encode_batch_v2(w: &mut ByteWriter, updates: &[Update]) {
+    w.put_u8(TAG_BATCH2);
+    w.put_uvarint(updates.len() as u64);
+    let n = updates.len();
+    if n == 0 {
+        return;
+    }
+    let ids: Vec<u64> = updates.iter().map(|u| u.id.0).collect();
+    let t_now: Vec<u64> = updates.iter().map(|u| u.t_now).collect();
+    let mut kinds = Vec::with_capacity(n);
+    let mut motions = Vec::with_capacity(n);
+    for u in updates {
+        let (k, m) = match u.kind {
+            UpdateKind::Insert { motion } => (0u8, motion),
+            UpdateKind::Delete { old_motion } => (1u8, old_motion),
+        };
+        kinds.push(k);
+        motions.push(m);
+    }
+
+    // id column: first value, then wrapping deltas.
+    w.put_uvarint(ids[0]);
+    for i in 1..n {
+        w.put_ivarint(ids[i].wrapping_sub(ids[i - 1]) as i64);
+    }
+
+    // t_now column: delta-of-delta, zero-run encoded.
+    w.put_uvarint(t_now[0]);
+    if n >= 2 {
+        let mut prev = t_now[1].wrapping_sub(t_now[0]) as i64;
+        w.put_ivarint(prev);
+        let mut dod = Vec::with_capacity(n - 2);
+        for i in 2..n {
+            let d = t_now[i].wrapping_sub(t_now[i - 1]) as i64;
+            dod.push(d.wrapping_sub(prev));
+            prev = d;
+        }
+        let mut i = 0;
+        while i < dod.len() {
+            let mut zeros = 0;
+            while i + zeros < dod.len() && dod[i + zeros] == 0 {
+                zeros += 1;
+            }
+            w.put_uvarint(zeros as u64);
+            i += zeros;
+            if i < dod.len() {
+                w.put_ivarint(dod[i]);
+                i += 1;
+            }
+        }
+    }
+
+    // kind column: first kind, then RLE over the XOR-diff stream.
+    w.put_u8(kinds[0]);
+    let mut runs: Vec<(u8, u64)> = Vec::new();
+    for i in 1..n {
+        let d = kinds[i] ^ kinds[i - 1];
+        match runs.last_mut() {
+            Some((bit, len)) if *bit == d => *len += 1,
+            _ => runs.push((d, 1)),
+        }
+    }
+    w.put_uvarint(runs.len() as u64);
+    for (bit, len) in runs {
+        w.put_u8(bit);
+        w.put_uvarint(len);
+    }
+
+    // t_ref column: zigzag deltas against the row's t_now, nibble
+    // packed; 15 escapes to a trailing uvarint.
+    let rels: Vec<u64> = updates
+        .iter()
+        .zip(&motions)
+        .map(|(u, m)| zigzag(m.t_ref.wrapping_sub(u.t_now) as i64))
+        .collect();
+    let mut i = 0;
+    while i < n {
+        let nib = |k: usize| if k < n { rels[k].min(15) as u8 } else { 0 };
+        w.put_u8(nib(i) | (nib(i + 1) << 4));
+        i += 2;
+    }
+    for &rel in &rels {
+        if rel >= 15 {
+            w.put_uvarint(rel);
+        }
+    }
+
+    // Motion columns.
+    let t_ref: Vec<u64> = motions.iter().map(|m| m.t_ref).collect();
+    let vx: Vec<u64> = motions.iter().map(|m| m.velocity.x.to_bits()).collect();
+    let vy: Vec<u64> = motions.iter().map(|m| m.velocity.y.to_bits()).collect();
+    let ox: Vec<u64> = motions.iter().map(|m| m.origin.x.to_bits()).collect();
+    let oy: Vec<u64> = motions.iter().map(|m| m.origin.y.to_bits()).collect();
+    let pairs = pair_flags(&ids, &t_now, &kinds);
+    put_velocity_column(w, &vx);
+    put_velocity_column(w, &vy);
+    let origin_preds = |coord: &[u64], vel: &[u64]| -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                if i == 0 {
+                    0
+                } else if pairs[i] {
+                    predict_coord(coord[i - 1], vel[i - 1], t_now[i], t_ref[i - 1])
+                } else {
+                    coord[i - 1]
+                }
+            })
+            .collect()
+    };
+    put_xor_column_classed(w, &ox, &origin_preds(&ox, &vx));
+    put_xor_column_classed(w, &oy, &origin_preds(&oy, &vy));
+}
+
+fn decode_batch_v2(r: &mut ByteReader<'_>) -> Result<Vec<Update>, CodecError> {
+    let n = r.get_uvarint()? as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n > r.remaining() {
+        return Err(CodecError::Corrupt("batch count exceeds payload"));
+    }
+
+    let mut ids = Vec::with_capacity(n);
+    ids.push(r.get_uvarint()?);
+    for i in 1..n {
+        let d = r.get_ivarint()?;
+        ids.push(ids[i - 1].wrapping_add(d as u64));
+    }
+
+    let mut t_now = Vec::with_capacity(n);
+    t_now.push(r.get_uvarint()?);
+    if n >= 2 {
+        let mut prev = r.get_ivarint()?;
+        t_now.push(t_now[0].wrapping_add(prev as u64));
+        let m = n - 2;
+        let mut dod = Vec::with_capacity(m);
+        while dod.len() < m {
+            let zeros = r.get_uvarint()? as usize;
+            if zeros > m - dod.len() {
+                return Err(CodecError::Corrupt("t_now zero run exceeds batch"));
+            }
+            dod.resize(dod.len() + zeros, 0i64);
+            if dod.len() < m {
+                dod.push(r.get_ivarint()?);
+            }
+        }
+        for (i, &dd) in dod.iter().enumerate() {
+            let d = prev.wrapping_add(dd);
+            t_now.push(t_now[i + 1].wrapping_add(d as u64));
+            prev = d;
+        }
+    }
+
+    let first_kind = r.get_u8()?;
+    if first_kind > 1 {
+        return Err(CodecError::Corrupt("unknown update kind in WAL"));
+    }
+    let num_runs = r.get_uvarint()? as usize;
+    if num_runs > r.remaining() {
+        return Err(CodecError::Corrupt("kind run count exceeds payload"));
+    }
+    let mut kinds = Vec::with_capacity(n);
+    kinds.push(first_kind);
+    for _ in 0..num_runs {
+        let bit = r.get_u8()?;
+        if bit > 1 {
+            return Err(CodecError::Corrupt("kind diff bit out of range"));
+        }
+        let len = r.get_uvarint()?;
+        if len as u128 > (n - kinds.len()) as u128 {
+            return Err(CodecError::Corrupt("kind runs exceed batch"));
+        }
+        for _ in 0..len {
+            kinds.push(kinds.last().expect("non-empty") ^ bit);
+        }
+    }
+    if kinds.len() != n {
+        return Err(CodecError::Corrupt("kind runs shorter than batch"));
+    }
+
+    let packed = r.get_bytes(n.div_ceil(2))?.to_vec();
+    let mut rel_nibbles = Vec::with_capacity(n);
+    for byte in packed {
+        for nibble in [byte & 0x0F, byte >> 4] {
+            if rel_nibbles.len() == n {
+                break;
+            }
+            rel_nibbles.push(nibble);
+        }
+    }
+    let mut t_ref = Vec::with_capacity(n);
+    for i in 0..n {
+        let rel = if rel_nibbles[i] == 15 {
+            r.get_uvarint()?
+        } else {
+            u64::from(rel_nibbles[i])
+        };
+        t_ref.push(t_now[i].wrapping_add(unzigzag(rel) as u64));
+    }
+
+    let vx = get_velocity_column(r, n)?;
+    let vy = get_velocity_column(r, n)?;
+    let pairs = pair_flags(&ids, &t_now, &kinds);
+    let ox = get_xor_column_classed(r, n, |i, done| {
+        if i == 0 {
+            0
+        } else if pairs[i] {
+            predict_coord(done[i - 1], vx[i - 1], t_now[i], t_ref[i - 1])
+        } else {
+            done[i - 1]
+        }
+    })?;
+    let oy = get_xor_column_classed(r, n, |i, done| {
+        if i == 0 {
+            0
+        } else if pairs[i] {
+            predict_coord(done[i - 1], vy[i - 1], t_now[i], t_ref[i - 1])
+        } else {
+            done[i - 1]
+        }
+    })?;
+
+    let mut updates = Vec::with_capacity(n);
+    for i in 0..n {
+        updates.push(build_update(
+            ObjectId(ids[i]),
+            t_now[i],
+            kinds[i],
+            f64::from_bits(ox[i]),
+            f64::from_bits(oy[i]),
+            f64::from_bits(vx[i]),
+            f64::from_bits(vy[i]),
+            t_ref[i],
+        )?);
+    }
+    Ok(updates)
+}
+
 fn decode_record(payload: &[u8]) -> Result<WalRecord, CodecError> {
     let mut r = ByteReader::new(payload);
     match r.get_u8()? {
         TAG_ADVANCE => Ok(WalRecord::Advance(r.get_u64()?)),
         TAG_BATCH => {
             let n = r.get_u32()? as usize;
-            let mut updates = Vec::with_capacity(n);
+            let mut updates = Vec::with_capacity(n.min(r.remaining()));
             for _ in 0..n {
                 updates.push(decode_update(&mut r)?);
             }
             Ok(WalRecord::Batch(updates))
         }
+        TAG_ADVANCE2 => Ok(WalRecord::Advance(r.get_uvarint()?)),
+        TAG_BATCH2 => Ok(WalRecord::Batch(decode_batch_v2(&mut r)?)),
         _ => Err(CodecError::Corrupt("unknown WAL record tag")),
     }
 }
@@ -239,6 +714,31 @@ pub struct SegmentHeader {
 /// Encoded byte length of a segment header.
 pub const SEGMENT_HEADER_LEN: usize = 4 + 2 + 4 + 4;
 
+/// What kind of byte stream [`replay_any`] was handed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentInfo {
+    /// A headerless journal written before the plane was sharded.
+    Legacy,
+    /// A per-shard segment with a complete, valid header.
+    Header(SegmentHeader),
+    /// Bytes that start with the full segment magic but end before
+    /// the header completes — a torn header write. The stream carries
+    /// no replayable records and no trustworthy shard identity; the
+    /// caller must treat the whole segment as torn, not as a legacy
+    /// journal.
+    TornHeader,
+}
+
+impl SegmentInfo {
+    /// The header, when a complete one was present.
+    pub fn header(self) -> Option<SegmentHeader> {
+        match self {
+            SegmentInfo::Header(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
 /// File name of shard `shard`'s WAL segment. The legacy single-file
 /// journal is [`LEGACY_JOURNAL_NAME`]; segment names embed a zero-padded
 /// shard index behind a distinct `.seg` infix, so no shard count can
@@ -260,12 +760,26 @@ pub fn encode_segment_header(h: SegmentHeader) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Replays either layout: a headered per-shard segment (returns its
-/// [`SegmentHeader`]) or a legacy headerless journal (returns `None`).
-/// This is the migration shim — a plane upgraded to per-shard segments
-/// keeps reading journals written before the upgrade.
-pub fn replay_any(bytes: &[u8]) -> Result<(Option<SegmentHeader>, WalReplay), CodecError> {
-    if bytes.len() >= SEGMENT_HEADER_LEN && &bytes[..4] == SEG_MAGIC {
+/// Replays either layout: a headered per-shard segment, a legacy
+/// headerless journal, or a segment whose header write itself tore
+/// (classified [`SegmentInfo::TornHeader`], **not** misread as a
+/// legacy journal). This is the migration shim — a plane upgraded to
+/// per-shard segments keeps reading journals written before the
+/// upgrade.
+pub fn replay_any(bytes: &[u8]) -> Result<(SegmentInfo, WalReplay), CodecError> {
+    if bytes.len() >= 4 && &bytes[..4] == SEG_MAGIC {
+        if bytes.len() < SEGMENT_HEADER_LEN {
+            // The magic is unambiguous (no legacy frame can start with
+            // it), but the header tore mid-write: nothing after it is
+            // trustworthy.
+            return Ok((
+                SegmentInfo::TornHeader,
+                WalReplay {
+                    records: Vec::new(),
+                    torn_bytes: bytes.len(),
+                },
+            ));
+        }
         let mut r = ByteReader::new(&bytes[..SEGMENT_HEADER_LEN]);
         r.expect_magic(SEG_MAGIC)?;
         let version = r.get_u16()?;
@@ -276,19 +790,32 @@ pub fn replay_any(bytes: &[u8]) -> Result<(Option<SegmentHeader>, WalReplay), Co
             shard: r.get_u32()?,
             shards: r.get_u32()?,
         };
-        return Ok((Some(header), replay(&bytes[SEGMENT_HEADER_LEN..])?));
+        return Ok((
+            SegmentInfo::Header(header),
+            replay(&bytes[SEGMENT_HEADER_LEN..])?,
+        ));
     }
-    Ok((None, replay(bytes)?))
+    Ok((SegmentInfo::Legacy, replay(bytes)?))
 }
 
 impl Wal {
     /// An empty per-shard segment: its byte stream starts with the
     /// encoded [`SegmentHeader`], so it can never be confused with (or
-    /// overwrite the meaning of) a legacy journal.
+    /// overwrite the meaning of) a legacy journal. Writes codec1
+    /// records; see [`Wal::new_segment_with`].
     pub fn new_segment(header: SegmentHeader) -> Self {
+        Wal::new_segment_with(header, WalCodec::V1)
+    }
+
+    /// An empty per-shard segment writing the given record codec.
+    pub fn new_segment_with(header: SegmentHeader, codec: WalCodec) -> Self {
+        let mut log = ByteWriter::with_capacity(SEGMENT_HEADER_LEN);
+        log.put_bytes(&encode_segment_header(header));
         Wal {
-            bytes: encode_segment_header(header),
+            log,
             records: 0,
+            codec,
+            allocs: 0,
         }
     }
 }
@@ -323,9 +850,12 @@ pub fn open_checkpoint(bytes: &[u8]) -> Result<&[u8], CodecError> {
     let len = r.get_u64()? as usize;
     let crc = r.get_u32()?;
     let header = bytes.len() - r.remaining();
-    let payload = bytes
-        .get(header..header + len)
-        .ok_or(CodecError::UnexpectedEof)?;
+    // `len` comes straight from (possibly bitrotted or hostile) input:
+    // the end offset must be computed without overflow.
+    let end = header
+        .checked_add(len)
+        .ok_or(CodecError::Corrupt("checkpoint length overflows"))?;
+    let payload = bytes.get(header..end).ok_or(CodecError::UnexpectedEof)?;
     if crc32(payload) != crc {
         return Err(CodecError::Corrupt("checkpoint checksum mismatch"));
     }
@@ -381,22 +911,93 @@ mod tests {
 
     #[test]
     fn wal_round_trip() {
-        let mut wal = Wal::new();
-        wal.append_advance(5);
-        let batch = sample_updates();
-        wal.append_batch(&batch);
-        wal.append_advance(6);
-        assert_eq!(wal.records(), 3);
+        for codec in WalCodec::ALL {
+            let mut wal = Wal::with_codec(codec);
+            wal.append_advance(5);
+            let batch = sample_updates();
+            wal.append_batch(&batch);
+            wal.append_advance(6);
+            assert_eq!(wal.records(), 3);
 
-        let replay = replay(wal.bytes()).expect("clean log decodes");
-        assert_eq!(replay.torn_bytes, 0);
-        assert_eq!(replay.records.len(), 3);
-        assert_eq!(replay.records[0], WalRecord::Advance(5));
-        assert_eq!(replay.records[2], WalRecord::Advance(6));
-        let WalRecord::Batch(got) = &replay.records[1] else {
+            let replay = replay(wal.bytes()).expect("clean log decodes");
+            assert_eq!(replay.torn_bytes, 0, "{}", codec.label());
+            assert_eq!(replay.records.len(), 3);
+            assert_eq!(replay.records[0], WalRecord::Advance(5));
+            assert_eq!(replay.records[2], WalRecord::Advance(6));
+            let WalRecord::Batch(got) = &replay.records[1] else {
+                panic!("expected batch");
+            };
+            assert_eq!(got, &batch);
+        }
+    }
+
+    #[test]
+    fn codec2_batches_decode_bit_identically_and_smaller() {
+        // A serve-shaped batch: delete/insert pairs per object at one
+        // timestamp, with the insert origin exactly the dead-reckoned
+        // deleted position (the simulator's timeout re-report shape).
+        let t_now = 1_000u64;
+        let mut batch = Vec::new();
+        for i in 0..64u64 {
+            let old = MotionState::new(
+                Point::new(10.0 + i as f64, 20.0 + i as f64 * 0.5),
+                Point::new(0.9, -0.4),
+                t_now - 10,
+            );
+            let new = MotionState::new(old.position_at(t_now), Point::new(0.9, -0.4), t_now);
+            batch.push(Update::delete(ObjectId(100 + i), t_now, old));
+            batch.push(Update::insert(ObjectId(100 + i), t_now, new));
+        }
+        let mut v1 = Wal::new();
+        v1.append_batch(&batch);
+        let mut v2 = Wal::with_codec(WalCodec::V2);
+        v2.append_batch(&batch);
+
+        let r1 = replay(v1.bytes()).expect("codec1 decodes");
+        let r2 = replay(v2.bytes()).expect("codec2 decodes");
+        assert_eq!(r1.records, r2.records, "codecs must agree bit-exactly");
+        let WalRecord::Batch(got) = &r2.records[0] else {
             panic!("expected batch");
         };
         assert_eq!(got, &batch);
+        assert!(
+            v2.offset() * 2 <= v1.offset(),
+            "codec2 should be at least 2x smaller on the pair-shaped \
+             workload: v1={} v2={}",
+            v1.offset(),
+            v2.offset()
+        );
+    }
+
+    #[test]
+    fn codec2_handles_empty_and_single_row_batches() {
+        let mut wal = Wal::with_codec(WalCodec::V2);
+        wal.append_batch(&[]);
+        let one = vec![sample_updates().remove(2)];
+        wal.append_batch(&one);
+        let rep = replay(wal.bytes()).expect("decodes");
+        assert_eq!(rep.records[0], WalRecord::Batch(Vec::new()));
+        assert_eq!(rep.records[1], WalRecord::Batch(one));
+    }
+
+    #[test]
+    fn mixed_codec_log_replays_in_order() {
+        // The codec is a per-record property: a log whose tail was
+        // written by an upgraded writer replays seamlessly.
+        let mut wal = Wal::new();
+        wal.append_advance(1);
+        wal.append_batch(&sample_updates());
+        let mut tail = Wal::with_codec(WalCodec::V2);
+        tail.append_advance(2);
+        tail.append_batch(&sample_updates());
+        let mut bytes = wal.bytes().to_vec();
+        bytes.extend_from_slice(tail.bytes());
+        let rep = replay(&bytes).expect("mixed log decodes");
+        assert_eq!(rep.torn_bytes, 0);
+        assert_eq!(rep.records.len(), 4);
+        assert_eq!(rep.records[0], WalRecord::Advance(1));
+        assert_eq!(rep.records[2], WalRecord::Advance(2));
+        assert_eq!(rep.records[1], rep.records[3]);
     }
 
     #[test]
@@ -425,6 +1026,32 @@ mod tests {
     }
 
     #[test]
+    fn framing_appends_do_not_allocate_per_record() {
+        // Records are framed directly into the log buffer: the only
+        // allocations are Vec growth, which amortizes to O(log n)
+        // events — not one per append.
+        for codec in WalCodec::ALL {
+            let mut wal = Wal::with_codec(codec);
+            let batch = sample_updates();
+            for t in 0..1000u64 {
+                wal.append_advance(t);
+                wal.append_batch(&batch);
+            }
+            assert_eq!(wal.records(), 2000);
+            let cap = wal.bytes().len().next_power_of_two();
+            let bound = (cap.ilog2() + 2) as u64;
+            assert!(
+                wal.allocs() <= bound,
+                "{}: {} allocs for {} bytes (bound {})",
+                codec.label(),
+                wal.allocs(),
+                wal.offset(),
+                bound
+            );
+        }
+    }
+
+    #[test]
     fn segment_names_cannot_collide_with_legacy_journal() {
         // Sweep a generous shard range: every segment name is distinct
         // and none equals the legacy single-file journal name.
@@ -443,34 +1070,75 @@ mod tests {
             shard: 3,
             shards: 8,
         };
-        let mut seg = Wal::new_segment(header);
-        seg.append_advance(7);
-        seg.append_batch(&sample_updates());
-        let (got, rep) = replay_any(seg.bytes()).expect("segment decodes");
-        assert_eq!(got, Some(header));
-        assert_eq!(rep.records.len(), 2);
-        assert_eq!(rep.records[0], WalRecord::Advance(7));
+        for codec in WalCodec::ALL {
+            let mut seg = Wal::new_segment_with(header, codec);
+            seg.append_advance(7);
+            seg.append_batch(&sample_updates());
+            let (got, rep) = replay_any(seg.bytes()).expect("segment decodes");
+            assert_eq!(got, SegmentInfo::Header(header));
+            assert_eq!(rep.records.len(), 2);
+            assert_eq!(rep.records[0], WalRecord::Advance(7));
 
-        // Old layout: the same records written by a pre-shard journal
-        // are still replayed by the upgraded reader (migration shim).
-        let mut legacy = Wal::new();
-        legacy.append_advance(7);
-        legacy.append_batch(&sample_updates());
-        let (none, rep_legacy) = replay_any(legacy.bytes()).expect("legacy decodes");
-        assert_eq!(none, None);
-        assert_eq!(rep_legacy.records, rep.records);
+            // Old layout: the same records written by a pre-shard
+            // journal are still replayed by the upgraded reader
+            // (migration shim).
+            let mut legacy = Wal::with_codec(codec);
+            legacy.append_advance(7);
+            legacy.append_batch(&sample_updates());
+            let (info, rep_legacy) = replay_any(legacy.bytes()).expect("legacy decodes");
+            assert_eq!(info, SegmentInfo::Legacy);
+            assert_eq!(rep_legacy.records, rep.records);
 
-        // A legacy reader fed a headered segment must not misparse it
-        // as records: the magic is an implausible frame length, so it
-        // reads as an all-torn tail, never as garbage updates.
-        let as_legacy = replay(seg.bytes()).expect("not a format error");
-        assert!(as_legacy.records.is_empty());
-        assert_eq!(as_legacy.torn_bytes, seg.bytes().len());
+            // A legacy reader fed a headered segment must not misparse
+            // it as records: the magic is an implausible frame length,
+            // so it reads as an all-torn tail, never as garbage
+            // updates.
+            let as_legacy = replay(seg.bytes()).expect("not a format error");
+            assert!(as_legacy.records.is_empty());
+            assert_eq!(as_legacy.torn_bytes, seg.bytes().len());
 
-        // Version gate.
-        let mut bad = seg.bytes().to_vec();
-        bad[4] = 9;
-        assert_eq!(replay_any(&bad).unwrap_err(), CodecError::BadVersion(9));
+            // Version gate.
+            let mut bad = seg.bytes().to_vec();
+            bad[4] = 9;
+            assert_eq!(replay_any(&bad).unwrap_err(), CodecError::BadVersion(9));
+        }
+    }
+
+    #[test]
+    fn torn_segment_header_is_classified_not_misread() {
+        // Kill a segment at every byte of its header. Once the full
+        // magic is visible the stream is unambiguously a segment with
+        // a torn header; before that it is indistinguishable from a
+        // legacy journal's torn frame header. In *every* case the
+        // replay yields zero records and reports all bytes torn —
+        // never a silent misread.
+        let mut seg = Wal::new_segment(SegmentHeader {
+            shard: 1,
+            shards: 4,
+        });
+        seg.append_advance(9);
+        let full = seg.bytes().to_vec();
+        for cut in 0..SEGMENT_HEADER_LEN {
+            let torn = &full[..cut];
+            let (info, rep) = replay_any(torn).expect("torn header tolerated");
+            if cut >= 4 {
+                assert_eq!(info, SegmentInfo::TornHeader, "cut at {cut}");
+                assert_eq!(info.header(), None);
+            } else {
+                assert_eq!(info, SegmentInfo::Legacy, "cut at {cut}");
+            }
+            assert!(rep.records.is_empty(), "cut at {cut}");
+            assert_eq!(rep.torn_bytes, cut, "cut at {cut}");
+        }
+        // One byte past the torn range: the complete header parses.
+        let (info, _) = replay_any(&full[..SEGMENT_HEADER_LEN]).expect("header decodes");
+        assert_eq!(
+            info,
+            SegmentInfo::Header(SegmentHeader {
+                shard: 1,
+                shards: 4
+            })
+        );
     }
 
     #[test]
@@ -486,7 +1154,7 @@ mod tests {
         let (h, rep) = replay_any(torn).expect("torn tail tolerated");
         assert_eq!(
             h,
-            Some(SegmentHeader {
+            SegmentInfo::Header(SegmentHeader {
                 shard: 0,
                 shards: 2
             })
@@ -516,5 +1184,33 @@ mod tests {
             CodecError::UnexpectedEof
         );
         assert_eq!(open_checkpoint(b"XXXX").unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn checkpoint_with_hostile_length_is_rejected_not_overflowed() {
+        // A bitrotted/hostile length of u64::MAX must come back as a
+        // codec error; the unchecked `header + len` add used to
+        // overflow (a debug-build panic) before being bounds-checked.
+        let mut w = ByteWriter::new();
+        w.put_bytes(CKPT_MAGIC);
+        w.put_u16(CKPT_VERSION);
+        w.put_u64(u64::MAX);
+        w.put_u32(0);
+        let hostile = w.into_bytes();
+        assert_eq!(
+            open_checkpoint(&hostile).unwrap_err(),
+            CodecError::Corrupt("checkpoint length overflows")
+        );
+
+        // Near-overflow lengths that don't wrap still report EOF.
+        let mut w = ByteWriter::new();
+        w.put_bytes(CKPT_MAGIC);
+        w.put_u16(CKPT_VERSION);
+        w.put_u64(u64::MAX / 2);
+        w.put_u32(0);
+        assert_eq!(
+            open_checkpoint(&w.into_bytes()).unwrap_err(),
+            CodecError::UnexpectedEof
+        );
     }
 }

@@ -12,7 +12,7 @@
 
 use pdr_core::{
     record_boundaries, replay, DensityEngine, FrConfig, FrEngine, PdrQuery, RangeIndex, Wal,
-    WalRecord,
+    WalCodec, WalRecord,
 };
 use pdr_geometry::Point;
 use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update};
@@ -117,11 +117,20 @@ fn probe_queries(t_base: Timestamp) -> Vec<PdrQuery> {
 
 #[test]
 fn recovery_is_bit_identical_at_every_record_boundary() {
+    for codec in WalCodec::ALL {
+        boundary_sweep(codec);
+    }
+}
+
+/// The full crash-point sweep for one WAL record codec. Both the legacy
+/// row codec and the columnar codec2 must recover bit-identically at
+/// every boundary — the record *content* replayed is codec-independent.
+fn boundary_sweep(codec: WalCodec) {
     let w = workload(0xC0FFEE);
 
     // Live run: WAL-append before every mutation, checkpoints after the
     // bulk load and again mid-run.
-    let mut wal = Wal::new();
+    let mut wal = Wal::with_codec(codec);
     let mut live = FrEngine::new(cfg(), 0);
     live.bulk_load(&w.population, 0);
     // (checkpoint offset in records, sealed bytes)
@@ -184,7 +193,8 @@ fn recovery_is_bit_identical_at_every_record_boundary() {
             assert_eq!(
                 a.regions.rects(),
                 b.regions.rects(),
-                "recovered answer diverges at record {k}, query {q:?}"
+                "recovered answer diverges at record {k}, query {q:?}, {}",
+                codec.label()
             );
             if !a.regions.rects().is_empty() {
                 nonempty_answers += 1;
@@ -199,8 +209,14 @@ fn recovery_is_bit_identical_at_every_record_boundary() {
 
 #[test]
 fn torn_wal_tail_recovers_to_the_last_complete_record() {
+    for codec in WalCodec::ALL {
+        torn_tail_case(codec);
+    }
+}
+
+fn torn_tail_case(codec: WalCodec) {
     let w = workload(0xBEEF);
-    let mut wal = Wal::new();
+    let mut wal = Wal::with_codec(codec);
     let mut live = FrEngine::new(cfg(), 0);
     live.bulk_load(&w.population, 0);
     let ckpt = live.checkpoint_bytes();

@@ -66,7 +66,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// Little-endian append-only byte writer.
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ByteWriter {
     buf: Vec<u8>,
 }
@@ -92,6 +92,28 @@ impl ByteWriter {
     /// `true` when nothing has been written.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Current heap allocation size, for allocation accounting: a
+    /// caller can compare before/after an append to count reallocation
+    /// events without a global allocator hook.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Overwrites four already-written bytes at `at` with a
+    /// little-endian `u32` — used to patch a frame's length/checksum
+    /// header after its payload was written in place.
+    ///
+    /// # Panics
+    /// Panics if `at + 4` exceeds the written length.
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Appends raw bytes.
@@ -129,10 +151,36 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an LEB128 unsigned varint (1 byte for values < 128,
+    /// at most 10 bytes for `u64::MAX`).
+    pub fn put_uvarint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a zigzag-mapped signed varint.
+    pub fn put_ivarint(&mut self, v: i64) {
+        self.put_uvarint(zigzag64(v));
+    }
+
     /// Consumes the writer, returning its buffer.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
+}
+
+/// Maps a signed value to an unsigned one with small absolute values
+/// staying small: `0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`.
+pub fn zigzag64(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag64`].
+pub fn unzigzag64(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// Little-endian bounds-checked byte reader.
@@ -159,6 +207,11 @@ impl<'a> ByteReader<'a> {
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
     }
 
     /// Consumes and verifies magic bytes.
@@ -199,6 +252,32 @@ impl<'a> ByteReader<'a> {
     /// Reads a little-endian `f64`.
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an LEB128 unsigned varint. Rejects encodings longer than
+    /// 10 bytes or with set bits beyond the 64th.
+    pub fn get_uvarint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.get_u8()?;
+            if shift == 63 && b > 1 {
+                return Err(CodecError::Corrupt("varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(CodecError::Corrupt("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// Reads a zigzag-mapped signed varint.
+    pub fn get_ivarint(&mut self) -> Result<i64, CodecError> {
+        Ok(unzigzag64(self.get_uvarint()?))
     }
 }
 
@@ -243,6 +322,73 @@ mod tests {
     fn bad_magic_detected() {
         let mut r = ByteReader::new(b"WRONG...");
         assert_eq!(r.expect_magic(b"RIGHT").unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn varint_round_trip_and_bounds() {
+        let samples = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut w = ByteWriter::new();
+        for &v in &samples {
+            w.put_uvarint(v);
+        }
+        for &v in &[0i64, -1, 1, i64::MIN, i64::MAX, -123_456] {
+            w.put_ivarint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for &v in &samples {
+            assert_eq!(r.get_uvarint().unwrap(), v);
+        }
+        for &v in &[0i64, -1, 1, i64::MIN, i64::MAX, -123_456] {
+            assert_eq!(r.get_ivarint().unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+
+        // Small values take one byte; u64::MAX takes the max ten.
+        let mut w = ByteWriter::new();
+        w.put_uvarint(127);
+        assert_eq!(w.len(), 1);
+        let mut w = ByteWriter::new();
+        w.put_uvarint(u64::MAX);
+        assert_eq!(w.len(), 10);
+
+        // Overlong and overflowing encodings are rejected, not wrapped.
+        let overlong = [0x80u8; 11];
+        assert!(matches!(
+            ByteReader::new(&overlong).get_uvarint(),
+            Err(CodecError::Corrupt(_))
+        ));
+        let overflow = [0xFFu8, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(matches!(
+            ByteReader::new(&overflow).get_uvarint(),
+            Err(CodecError::Corrupt(_))
+        ));
+        // Truncated varint reports EOF.
+        assert_eq!(
+            ByteReader::new(&[0x80u8]).get_uvarint().unwrap_err(),
+            CodecError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn zigzag_is_order_preserving_near_zero() {
+        assert_eq!(zigzag64(0), 0);
+        assert_eq!(zigzag64(-1), 1);
+        assert_eq!(zigzag64(1), 2);
+        assert_eq!(zigzag64(-2), 3);
+        for v in [i64::MIN, i64::MAX, 0, 1, -1, 123_456_789, -987_654_321] {
+            assert_eq!(unzigzag64(zigzag64(v)), v);
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ mod fault;
 mod lru;
 
 pub use buffer::{BufferPool, IoStats};
-pub use codec::{crc32, ByteReader, ByteWriter, CodecError};
+pub use codec::{crc32, unzigzag64, zigzag64, ByteReader, ByteWriter, CodecError};
 pub use disk::{Disk, PageId, PAGE_SIZE};
 pub use fault::{FaultPlan, FaultPlanError, FaultStats, StorageError, TORN_WRITE_PREFIX};
 pub use lru::LruList;

@@ -26,7 +26,9 @@
 //! | `unsubscribe` | `sub`[, `engine`]                            | `removed`                                 |
 //! | `poll_deltas` | —                                            | `deltas` array, `lost`                    |
 //! | `tick`        | —                                            | `updates`, `t_now`, `deltas`              |
-//! | `metrics`     | —                                            | `metrics` object (counters, clients, exec)|
+//! | `ship_log`    | `epoch`, `offsets`[, `engine`]               | `epoch`, `t_base`, `checkpoint` (base64 or null), `segments` |
+//! | `sync`        | [`engine`]                                   | `bootstrapped`, `records`, `updates`, `lag`, `applied_t` |
+//! | `metrics`     | —                                            | `metrics` object (counters, clients, exec[, replica])|
 //! | `shutdown`    | —                                            | `draining: true`; server drains and exits |
 //!
 //! `q_t` is the *offset* from the server's current clock (how far into
@@ -51,6 +53,19 @@
 //! means the same thing (the engine crash-recovered or a shard went
 //! offline mid-maintenance). Closing a connection unregisters its
 //! subscriptions.
+//!
+//! ## Replication
+//!
+//! A front-end started as a replica ([`NetServerConfig::replica_of`])
+//! serves a read-only [`Replica`] engine instead of a primary plane:
+//! `tick` is refused, `query`/`subscribe` answer from the replicated
+//! state, and `q_t` resolves against the replica's *applied* protocol
+//! time (the last `advance_to` it replayed), not a local clock. A
+//! `sync` op makes the replica pull one [`LogShipment`] from its
+//! primary's `ship_log` op — sealed checkpoints and per-shard WAL
+//! segment deltas ride the JSON frames base64-encoded — and ingest it;
+//! the response reports the staleness bound (`lag`). At equal applied
+//! offsets the replica's answers are bit-identical to the primary's.
 //!
 //! ## Backpressure
 //!
@@ -80,7 +95,7 @@
 //! through the protocol.)
 
 use crate::serve::{FaultPolicy, ServeDriver};
-use pdr_core::{AnswerDelta, Executor, PdrQuery, QtPolicy, SubId};
+use pdr_core::{AnswerDelta, Executor, LogShipment, PdrQuery, QtPolicy, ShippedSegment, SubId};
 use pdr_geometry::Rect;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -89,8 +104,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-/// Largest accepted frame payload (1 MiB).
-pub const MAX_FRAME: usize = 1 << 20;
+/// Largest accepted frame payload (4 MiB — bootstrap shipments carry a
+/// base64 full-plane checkpoint).
+pub const MAX_FRAME: usize = 1 << 22;
 
 /// Most deltas buffered per connection between `poll_deltas` calls;
 /// beyond this the buffer is dropped and the connection flagged lost.
@@ -281,15 +297,25 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar (input is already valid UTF-8).
-                    let rest =
-                        std::str::from_utf8(&self.b[self.i..]).map_err(|_| "invalid UTF-8")?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    if (c as u32) < 0x20 {
-                        return Err("raw control character in string".into());
+                    // Consume the whole run of plain bytes in one step.
+                    // (Re-validating the remaining buffer per character
+                    // is quadratic — fatal on the multi-megabyte base64
+                    // checkpoint strings `ship_log` responses carry.)
+                    // Continuation bytes are ≥ 0x80, so scanning
+                    // bytewise never splits a UTF-8 scalar.
+                    let start = self.i;
+                    while let Some(&c) = self.b.get(self.i) {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        if c < 0x20 {
+                            return Err("raw control character in string".into());
+                        }
+                        self.i += 1;
                     }
-                    out.push(c);
-                    self.i += c.len_utf8();
+                    let run =
+                        std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "invalid UTF-8")?;
+                    out.push_str(run);
                 }
             }
         }
@@ -396,6 +422,158 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
 }
 
 // ---------------------------------------------------------------------
+// Base64 (binary checkpoint/segment bytes inside JSON frames)
+// ---------------------------------------------------------------------
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn b64_val(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Standard base64 with padding.
+pub fn b64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let n = u32::from_be_bytes([
+            0,
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ]);
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Inverse of [`b64_encode`]; rejects bad lengths, bytes outside the
+/// alphabet, and misplaced padding.
+pub fn b64_decode(text: &str) -> Result<Vec<u8>, String> {
+    let b = text.as_bytes();
+    if !b.len().is_multiple_of(4) {
+        return Err("base64 length must be a multiple of 4".into());
+    }
+    let groups = b.len() / 4;
+    let mut out = Vec::with_capacity(groups * 3);
+    for (i, chunk) in b.chunks(4).enumerate() {
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        let misplaced = match pad {
+            0 => false,
+            1 => chunk[3] != b'=',
+            2 => chunk[2] != b'=' || chunk[3] != b'=',
+            _ => true,
+        };
+        if misplaced || (pad > 0 && i + 1 != groups) {
+            return Err("bad base64 padding".into());
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | b64_val(c).ok_or("byte outside the base64 alphabet")?;
+        }
+        n <<= 6 * pad as u32;
+        let bytes = n.to_be_bytes();
+        out.extend_from_slice(&bytes[1..4 - pad]);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Log shipments on the wire
+// ---------------------------------------------------------------------
+
+/// Parses a `ship_log` response back into a [`LogShipment`].
+pub fn parse_shipment(resp: &Json) -> Result<LogShipment, String> {
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("ship_log failed: {resp:?}"));
+    }
+    let field = |k: &str| {
+        resp.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("shipment without {k}"))
+    };
+    let shards = field("shards")? as u32;
+    let epoch = field("epoch")?;
+    let t_base = field("t_base")?;
+    let checkpoint = match resp.get("checkpoint") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(b64_decode(s)?),
+        Some(_) => return Err("checkpoint must be a base64 string".into()),
+    };
+    let Some(Json::Arr(items)) = resp.get("segments") else {
+        return Err("shipment without segments".into());
+    };
+    let mut segments = Vec::with_capacity(items.len());
+    for it in items {
+        let shard = it
+            .get("shard")
+            .and_then(Json::as_u64)
+            .ok_or("segment without shard")? as u32;
+        let start = it
+            .get("start")
+            .and_then(Json::as_u64)
+            .ok_or("segment without start")? as usize;
+        let bytes = b64_decode(
+            it.get("bytes")
+                .and_then(Json::as_str)
+                .ok_or("segment without bytes")?,
+        )?;
+        segments.push(ShippedSegment {
+            shard,
+            start,
+            bytes,
+        });
+    }
+    Ok(LogShipment {
+        shards,
+        epoch,
+        t_base,
+        checkpoint,
+        segments,
+    })
+}
+
+/// One replica pull: asks `primary` for everything after `(epoch,
+/// offsets)` via `ship_log` and returns the parsed shipment. Empty
+/// offsets request a bootstrap.
+pub fn fetch_shipment(
+    primary: &mut NetClient,
+    engine: Option<&str>,
+    epoch: u64,
+    offsets: &[usize],
+) -> Result<LogShipment, String> {
+    let engine_part = engine
+        .map(|l| format!(",\"engine\":{l:?}"))
+        .unwrap_or_default();
+    let offs: Vec<String> = offsets.iter().map(|o| o.to_string()).collect();
+    let body = format!(
+        "{{\"op\":\"ship_log\",\"epoch\":{epoch},\"offsets\":[{}]{engine_part}}}",
+        offs.join(",")
+    );
+    let resp = primary
+        .request(&body)
+        .map_err(|e| format!("ship_log: {e}"))?;
+    parse_shipment(&resp)
+}
+
+// ---------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------
 
@@ -446,7 +624,7 @@ impl NetClient {
 // ---------------------------------------------------------------------
 
 /// Tunables of the serving front-end.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct NetServerConfig {
     /// Maximum queries in flight across all connections; admissions
     /// beyond this are rejected with backpressure.
@@ -458,6 +636,10 @@ pub struct NetServerConfig {
     /// join as leaked. The CLI turns this on; library tests leave the
     /// shared pool alive for the rest of the process.
     pub shutdown_pool: bool,
+    /// Primary front-end address this server replicates. `Some` makes
+    /// the server a read-only replica: `tick` is refused and the `sync`
+    /// op pulls `ship_log` shipments from here.
+    pub replica_of: Option<String>,
 }
 
 impl Default for NetServerConfig {
@@ -466,6 +648,7 @@ impl Default for NetServerConfig {
             capacity: 32,
             retry_after_ms: 5,
             shutdown_pool: false,
+            replica_of: None,
         }
     }
 }
@@ -608,7 +791,7 @@ impl NetServer {
             let driver = Arc::clone(&self.driver);
             let shared = Arc::clone(&self.shared);
             let policy = self.policy;
-            let cfg = self.cfg;
+            let cfg = self.cfg.clone();
             let local = self.listener.local_addr();
             handles.push(
                 std::thread::Builder::new()
@@ -720,6 +903,9 @@ fn dispatch(
             false,
         ),
         "tick" => {
+            if cfg.replica_of.is_some() {
+                return (err_json("replica is read-only; use sync"), false);
+            }
             let (updates, t_now, pending) = {
                 let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
                 let updates = d.tick();
@@ -733,6 +919,8 @@ fn dispatch(
                 false,
             )
         }
+        "ship_log" => (serve_ship_log(&req, driver), false),
+        "sync" => (serve_sync(&req, driver, cfg), false),
         "subscribe" => (serve_subscribe(&req, id, driver, shared), false),
         "unsubscribe" => (serve_unsubscribe(&req, id, driver, shared), false),
         "poll_deltas" => {
@@ -846,6 +1034,129 @@ fn serve_unsubscribe(
     format!("{{\"ok\":true,\"removed\":{removed}}}")
 }
 
+/// Resolves the `engine` request field (or the first registered
+/// engine) to a label.
+fn resolve_label(req: &Json, d: &ServeDriver) -> Result<String, String> {
+    match req.get("engine").and_then(Json::as_str) {
+        Some(l) => Ok(l.to_string()),
+        None => d
+            .labels()
+            .first()
+            .cloned()
+            .ok_or_else(|| err_json("no engines registered")),
+    }
+}
+
+/// Handles a `ship_log` op on a primary: cuts a checkpoint + WAL-delta
+/// shipment from the sharded plane behind an engine for a log-shipping
+/// replica. Shipments are self-describing — a replica whose `(epoch,
+/// offsets)` no longer match gets a bootstrap, not an error.
+fn serve_ship_log(req: &Json, driver: &RwLock<ServeDriver>) -> String {
+    let epoch = req.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+    let offsets: Vec<usize> = match req.get("offsets") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Arr(items)) => {
+            let v: Vec<usize> = items
+                .iter()
+                .filter_map(Json::as_u64)
+                .map(|x| x as usize)
+                .collect();
+            if v.len() != items.len() {
+                return err_json("offsets must be non-negative integers");
+            }
+            v
+        }
+        Some(_) => return err_json("offsets must be an array"),
+    };
+    let d = driver.read().unwrap_or_else(|p| p.into_inner());
+    let label = match resolve_label(req, &d) {
+        Ok(l) => l,
+        Err(resp) => return resp,
+    };
+    let Some(engine) = d.engine(&label) else {
+        return err_json("no such engine");
+    };
+    let Some(plane) = engine.as_sharded() else {
+        return err_json("engine is not a sharded primary");
+    };
+    let ship = plane.wal_since(epoch, &offsets);
+    let checkpoint = ship
+        .checkpoint
+        .as_ref()
+        .map(|cp| format!("\"{}\"", b64_encode(cp)))
+        .unwrap_or_else(|| "null".into());
+    let segments: Vec<String> = ship
+        .segments
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"shard\":{},\"start\":{},\"bytes\":\"{}\"}}",
+                s.shard,
+                s.start,
+                b64_encode(&s.bytes)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"ok\":true,\"engine\":{label:?},\"shards\":{},\"epoch\":{},\"t_base\":{},\
+         \"checkpoint\":{},\"segments\":[{}]}}",
+        ship.shards,
+        ship.epoch,
+        ship.t_base,
+        checkpoint,
+        segments.join(",")
+    )
+}
+
+/// Handles a `sync` op on a replica front-end: pulls one shipment from
+/// the configured primary and ingests it. The network round trip runs
+/// without holding any driver lock; only the final ingest takes the
+/// write lock.
+fn serve_sync(req: &Json, driver: &RwLock<ServeDriver>, cfg: &NetServerConfig) -> String {
+    let Some(primary) = cfg.replica_of.as_deref() else {
+        return err_json("not a replica front-end");
+    };
+    let (label, epoch, offsets) = {
+        let d = driver.read().unwrap_or_else(|p| p.into_inner());
+        let label = match resolve_label(req, &d) {
+            Ok(l) => l,
+            Err(resp) => return resp,
+        };
+        let Some(rep) = d.engine(&label).and_then(|e| e.as_replica()) else {
+            return err_json("engine is not a replica");
+        };
+        (label, rep.applied_epoch(), rep.applied_offsets().to_vec())
+    };
+    let ship = NetClient::connect(primary)
+        .map_err(|e| format!("connecting {primary}: {e}"))
+        .and_then(|mut c| fetch_shipment(&mut c, Some(&label), epoch, &offsets));
+    let ship = match ship {
+        Ok(s) => s,
+        Err(e) => {
+            return format!("{{\"ok\":false,\"error\":\"sync\",\"detail\":{e:?}}}");
+        }
+    };
+    let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
+    let Some(rep) = d.engine_mut(&label).and_then(|e| e.as_replica_mut()) else {
+        return err_json("engine is not a replica");
+    };
+    match rep.ingest(&ship) {
+        Ok(r) => format!(
+            "{{\"ok\":true,\"bootstrapped\":{},\"records\":{},\"updates\":{},\"lag\":{},\
+             \"applied_t\":{}}}",
+            r.bootstrapped,
+            r.records,
+            r.updates,
+            r.lag,
+            rep.applied_t()
+        ),
+        Err(e) => format!(
+            "{{\"ok\":false,\"error\":\"ingest\",\"detail\":{:?}}}",
+            format!("{e}")
+        ),
+    }
+}
+
 /// Connection teardown: unregisters every subscription the connection
 /// owns and frees its delta buffer.
 fn drop_conn_subs(conn: usize, driver: &RwLock<ServeDriver>, shared: &NetShared) {
@@ -904,15 +1215,22 @@ fn serve_query(
     let start = Instant::now();
     let (outcome, t_abs, latency) = {
         let d = driver.read().unwrap_or_else(|p| p.into_inner());
-        // `q_t` is an offset into the prediction window, resolved
-        // against the server clock under the same read lock the query
-        // runs under — a concurrent tick cannot strand it mid-request.
-        let t_abs = d.simulator().t_now() + q_t;
-        let q = PdrQuery::new(rho, l, t_abs);
         let engine = match req.get("engine").and_then(Json::as_str) {
             Some(label) => d.engine(label),
             None => d.labels().first().and_then(|l| d.engine(l)),
         };
+        // `q_t` is an offset into the prediction window, resolved
+        // against the serving clock under the same read lock the query
+        // runs under — a concurrent tick cannot strand it mid-request.
+        // On a primary that clock is the simulator's; on a replica it
+        // is the applied protocol time of the replicated stream (the
+        // local simulator never ticks), so at equal applied offsets the
+        // same `q_t` hits the same absolute timestamp on both.
+        let t_abs = match engine.and_then(|e| e.as_replica()) {
+            Some(rep) => rep.applied_t() + q_t,
+            None => d.simulator().t_now() + q_t,
+        };
+        let q = PdrQuery::new(rho, l, t_abs);
         let answer = match engine {
             None => Err(err_json("no such engine")),
             Some(engine) => {
@@ -1061,9 +1379,31 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
             .collect::<Vec<_>>()
             .join(",")
     };
-    let (t_now, objects) = {
+    let (t_now, objects, replica) = {
         let d = driver.read().unwrap_or_else(|p| p.into_inner());
-        (d.simulator().t_now(), d.simulator().population().len())
+        // `replica_lag` and friends ride along whenever the default
+        // engine is a log-shipping replica.
+        let replica = d
+            .labels()
+            .first()
+            .and_then(|l| d.engine(l))
+            .and_then(|e| e.as_replica())
+            .map(|r| {
+                format!(
+                    "{{\"replica_lag\":{},\"applied_t\":{},\"epoch\":{},\"shipments\":{},\
+                     \"bootstraps\":{}}}",
+                    r.lag(),
+                    r.applied_t(),
+                    r.applied_epoch(),
+                    r.shipments(),
+                    r.bootstraps()
+                )
+            });
+        (
+            d.simulator().t_now(),
+            d.simulator().population().len(),
+            replica,
+        )
     };
     let wire_subs = {
         let router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
@@ -1072,8 +1412,8 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
     format!(
         "{{\"ok\":true,\"metrics\":{{\"t_now\":{},\"objects\":{},\"pool_workers\":{},\
          \"queue_depth\":{},\"inflight\":{},\"served\":{},\"rejected_admissions\":{},\
-         \"failed_queries\":{},\"deadline_misses\":{},\"wire_subs\":{},\"clients\":[{}],\
-         \"exec\":{}}}}}",
+         \"failed_queries\":{},\"deadline_misses\":{},\"wire_subs\":{},\"replica\":{},\
+         \"clients\":[{}],\"exec\":{}}}}}",
         t_now,
         objects,
         pool.workers(),
@@ -1084,6 +1424,7 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
         shared.failed.load(Ordering::SeqCst),
         shared.deadline_misses.load(Ordering::SeqCst),
         wire_subs,
+        replica.unwrap_or_else(|| "null".into()),
         clients,
         pool.obs_report().to_json()
     )
@@ -1121,6 +1462,31 @@ mod tests {
             .with_engine("fr", EngineSpec::Fr(fr).build(0));
         d.bootstrap();
         d
+    }
+
+    #[test]
+    fn base64_round_trips_and_rejects_garbage() {
+        let mut lcg = 0x1234_5678_9abc_def0u64;
+        for len in 0..=67usize {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (lcg >> 56) as u8
+                })
+                .collect();
+            let enc = b64_encode(&bytes);
+            assert_eq!(enc.len() % 4, 0);
+            assert_eq!(b64_decode(&enc).unwrap(), bytes, "len {len}");
+        }
+        assert_eq!(
+            b64_encode(b"any carnal pleasure."),
+            "YW55IGNhcm5hbCBwbGVhc3VyZS4="
+        );
+        assert!(b64_decode("abc").is_err(), "length not a multiple of 4");
+        assert!(b64_decode("ab!=").is_err(), "byte outside alphabet");
+        assert!(b64_decode("a=bc").is_err(), "padding in the middle");
+        assert!(b64_decode("====").is_err(), "all padding");
+        assert!(b64_decode("Ab==Cdef").is_err(), "padded group not last");
     }
 
     #[test]
@@ -1384,6 +1750,161 @@ mod tests {
         assert!(summary.contains("\"leaked_workers\":0"), "{summary}");
     }
 
+    /// The sharded spec both replication endpoints are built from; the
+    /// configs must match for shipped answers to be bit-identical.
+    fn sharded_spec() -> EngineSpec {
+        EngineSpec::Sharded {
+            inner: Box::new(EngineSpec::Fr(FrConfig {
+                extent: 200.0,
+                m: 40,
+                horizon: TimeHorizon::new(4, 4),
+                buffer_pages: 64,
+                threads: 1,
+            })),
+            sx: 2,
+            sy: 2,
+            l_max: 20.0,
+        }
+    }
+
+    fn sim(n: usize) -> TrafficSimulator {
+        let net = RoadNetwork::generate(
+            &NetworkConfig {
+                extent: 200.0,
+                nodes: 150,
+                hotspots: 3,
+                spread: 0.05,
+                background: 0.2,
+                degree: 3,
+            },
+            13,
+        );
+        TrafficSimulator::new(net, n, 17, 4, 0)
+    }
+
+    /// Full log-shipping pass over real sockets: a replica front-end
+    /// bootstraps from its primary via `sync`/`ship_log`, keeps up
+    /// incrementally across ticks, answers bit-identically at caught-up
+    /// offsets, and refuses writes.
+    #[test]
+    fn tcp_replica_syncs_and_answers_bit_identically() {
+        let mut primary_driver = ServeDriver::new(sim(300), pdr_storage::CostModel::PAPER_DEFAULT)
+            .with_engine("fr", sharded_spec().build(0));
+        primary_driver.bootstrap();
+        let primary = NetServer::bind(
+            "127.0.0.1:0",
+            primary_driver,
+            FaultPolicy::default(),
+            NetServerConfig::default(),
+        )
+        .unwrap();
+        let primary_addr = primary.local_addr().unwrap().to_string();
+        let primary = std::thread::spawn(move || primary.serve());
+
+        // The replica never bootstraps from its own simulator — all its
+        // state arrives through shipments.
+        let replica_driver = ServeDriver::new(sim(300), pdr_storage::CostModel::PAPER_DEFAULT)
+            .with_engine("fr", sharded_spec().try_build_replica(0).unwrap());
+        let replica = NetServer::bind(
+            "127.0.0.1:0",
+            replica_driver,
+            FaultPolicy::default(),
+            NetServerConfig {
+                replica_of: Some(primary_addr.clone()),
+                ..NetServerConfig::default()
+            },
+        )
+        .unwrap();
+        let replica_addr = replica.local_addr().unwrap().to_string();
+        let replica = std::thread::spawn(move || replica.serve());
+
+        let mut p = NetClient::connect(&primary_addr).unwrap();
+        let mut r = NetClient::connect(&replica_addr).unwrap();
+
+        // Writes are refused on the replica.
+        let resp = r.request("{\"op\":\"tick\"}").unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+        // Bootstrap sync, then incremental syncs across primary ticks.
+        let resp = r.request("{\"op\":\"sync\"}").unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        assert_eq!(resp.get("bootstrapped").and_then(Json::as_bool), Some(true));
+
+        let compare = |p: &mut NetClient, r: &mut NetClient| {
+            for q_t in [0u64, 2, 4] {
+                let body = format!(
+                    "{{\"op\":\"query\",\"rho\":0.015,\"l\":20.0,\"q_t\":{q_t},\"rects\":true}}"
+                );
+                let a = p.request(&body).unwrap();
+                let b = r.request(&body).unwrap();
+                assert_eq!(a.get("ok").and_then(Json::as_bool), Some(true), "{a:?}");
+                assert_eq!(b.get("ok").and_then(Json::as_bool), Some(true), "{b:?}");
+                assert_eq!(
+                    a.get("t").and_then(Json::as_u64),
+                    b.get("t").and_then(Json::as_u64),
+                    "replica clock diverged"
+                );
+                assert_eq!(
+                    a.get("rects"),
+                    b.get("rects"),
+                    "replica answer not bit-identical at q_t={q_t}"
+                );
+            }
+        };
+        compare(&mut p, &mut r);
+
+        for tick in 0..4 {
+            let resp = p.request("{\"op\":\"tick\"}").unwrap();
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+            let resp = r.request("{\"op\":\"sync\"}").unwrap();
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{resp:?}"
+            );
+            assert_eq!(
+                resp.get("bootstrapped").and_then(Json::as_bool),
+                Some(false),
+                "steady state ships deltas: {resp:?}"
+            );
+            assert_eq!(
+                resp.get("lag").and_then(Json::as_u64),
+                Some(0),
+                "caught up after sync at tick {tick}"
+            );
+            compare(&mut p, &mut r);
+        }
+
+        // The replica's metrics surface the staleness gauge.
+        let m = r.request("{\"op\":\"metrics\"}").unwrap();
+        let rep = m
+            .get("metrics")
+            .and_then(|v| v.get("replica"))
+            .expect("replica metrics block");
+        assert_eq!(rep.get("replica_lag").and_then(Json::as_u64), Some(0));
+        assert_eq!(rep.get("bootstraps").and_then(Json::as_u64), Some(1));
+
+        for (name, c) in [("replica", &mut r), ("primary", &mut p)] {
+            let resp = c.request("{\"op\":\"shutdown\"}").unwrap();
+            assert_eq!(
+                resp.get("draining").and_then(Json::as_bool),
+                Some(true),
+                "{name} shutdown"
+            );
+        }
+        for (name, h) in [("replica", replica), ("primary", primary)] {
+            let summary = h.join().unwrap();
+            assert!(
+                summary.contains("\"leaked_workers\":0"),
+                "{name}: {summary}"
+            );
+        }
+    }
+
     /// With zero capacity every admission bounces with the retry hint —
     /// backpressure instead of queueing.
     #[test]
@@ -1391,7 +1912,7 @@ mod tests {
         let cfg = NetServerConfig {
             capacity: 0,
             retry_after_ms: 7,
-            shutdown_pool: false,
+            ..NetServerConfig::default()
         };
         let server =
             NetServer::bind("127.0.0.1:0", driver(200), FaultPolicy::default(), cfg).unwrap();

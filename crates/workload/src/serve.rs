@@ -26,7 +26,7 @@ use pdr_core::obs::{json_f64, Histogram, HistogramSnapshot, ObsReport};
 use pdr_core::{
     accuracy, exact_dense_regions, replay, AnswerDelta, DensityEngine, EngineAnswer, EngineStats,
     Executor, PdrQuery, QtPolicy, Scoreboard, StorageError, SubError, SubId, Subscription,
-    SubscriptionTable, Wal, WalRecord,
+    SubscriptionTable, Wal, WalCodec, WalRecord,
 };
 use pdr_geometry::{Rect, RegionSet};
 use pdr_mobject::Timestamp;
@@ -591,10 +591,14 @@ impl ServeDriver {
     /// when a query hits detected corruption, the driver restores the
     /// latest checkpoint, replays the WAL tail and retries. Engines
     /// without checkpoint support keep degrading instead.
+    ///
+    /// New journals use the columnar codec2 record format; recovery
+    /// replays either codec, so logs written by older drivers remain
+    /// readable.
     pub fn enable_journal(&mut self, every: u64) {
         assert!(every > 0, "checkpoint cadence must be positive");
         self.journal = Some(Journal {
-            wal: Wal::new(),
+            wal: Wal::with_codec(WalCodec::V2),
             every,
             ticks_since_checkpoint: 0,
         });
@@ -668,6 +672,13 @@ impl ServeDriver {
             .iter()
             .find(|s| s.label == label)
             .map(|s| s.engine.as_ref())
+    }
+
+    /// Mutable access to the engine registered under `label` (the
+    /// replica sync path ingests shipments through this).
+    pub fn engine_mut(&mut self, label: &str) -> Option<&mut dyn DensityEngine> {
+        let s = self.engines.iter_mut().find(|s| s.label == label)?;
+        Some(s.engine.as_mut())
     }
 
     /// The monitored region (the simulator network's square extent).

@@ -7,6 +7,7 @@
 #   scripts/verify.sh --sharded-smoke # only the sharded serve smokes
 #   scripts/verify.sh --serve-tcp-smoke # only the TCP front-end smoke
 #   scripts/verify.sh --sub-smoke    # only the standing-subscription smoke
+#   scripts/verify.sh --replica-smoke # only the log-shipping replica smoke
 #
 # Clippy is best-effort: on a fully offline container a missing
 # component must not mask real test failures, so its absence is
@@ -19,11 +20,13 @@ only_faults=0
 only_sharded=0
 only_tcp=0
 only_sub=0
+only_replica=0
 [ "${1:-}" = "--fast" ] && fast=1
 [ "${1:-}" = "--fault-matrix" ] && only_faults=1
 [ "${1:-}" = "--sharded-smoke" ] && only_sharded=1
 [ "${1:-}" = "--serve-tcp-smoke" ] && only_tcp=1
 [ "${1:-}" = "--sub-smoke" ] && only_sub=1
+[ "${1:-}" = "--replica-smoke" ] && only_replica=1
 fail=0
 
 step() { printf '\n==> %s\n' "$*"; }
@@ -328,6 +331,130 @@ sub_smoke() {
     rm -f "$portfile" "$serverlog" "$clientlog"
 }
 
+# Log-shipping replica smoke: a 2x2 sharded primary plus a read
+# replica front-end (`serve --replica-of`), both on ephemeral ports.
+# The client drives 10 ticks against the primary and, after every
+# tick, issues `sync` on the replica and cross-checks timestamps and
+# full region rectangles of identical probes on both planes — any
+# divergence aborts the client. Fails on a divergent answer, a missing
+# replica metrics block, a dirty exit, or a leaked thread on either
+# server.
+replica_smoke() {
+    step "replica smoke (primary --shards 2x2 + serve --replica-of, 10 ticks)"
+    if ! cargo build --release -p pdr-cli; then
+        echo "FAIL: pdr-cli release build"
+        fail=1
+        return
+    fi
+    pport="$(mktemp /tmp/pdr-primary-port.XXXXXX)"
+    rport="$(mktemp /tmp/pdr-replica-port.XXXXXX)"
+    plog="$(mktemp /tmp/pdr-primary.XXXXXX.log)"
+    rlog="$(mktemp /tmp/pdr-replica.XXXXXX.log)"
+    clientlog="$(mktemp /tmp/pdr-replica-client.XXXXXX.log)"
+    rm -f "$pport" "$rport"
+    target/release/pdrcli serve --objects 800 --extent 400 --ticks 1 \
+        --l 20 --count 8 --seed 11 --shards 2x2 \
+        --listen 127.0.0.1:0 --port-file "$pport" --deadline-ms 5000 \
+        >"$plog" 2>&1 &
+    primary=$!
+    for _ in $(seq 1 150); do
+        [ -s "$pport" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$pport" ]; then
+        echo "FAIL: replica smoke: primary never wrote its port file"
+        fail=1
+        kill "$primary" 2>/dev/null
+        wait "$primary" 2>/dev/null
+        rm -f "$pport" "$rport" "$plog" "$rlog" "$clientlog"
+        return
+    fi
+    target/release/pdrcli serve --objects 800 --extent 400 --ticks 1 \
+        --l 20 --count 8 --seed 11 --shards 2x2 \
+        --replica-of "$(cat "$pport")" \
+        --listen 127.0.0.1:0 --port-file "$rport" --deadline-ms 5000 \
+        >"$rlog" 2>&1 &
+    replica=$!
+    for _ in $(seq 1 150); do
+        [ -s "$rport" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$rport" ]; then
+        echo "FAIL: replica smoke: replica never wrote its port file"
+        sed 's/^/  replica: /' "$rlog"
+        fail=1
+        kill "$primary" "$replica" 2>/dev/null
+        wait "$primary" "$replica" 2>/dev/null
+        rm -f "$pport" "$rport" "$plog" "$rlog" "$clientlog"
+        return
+    fi
+    if ! target/release/pdrcli client --connect "$(cat "$pport")" \
+            --replica "$(cat "$rport")" \
+            --ticks 10 --queries 4 --l 20 --count 8 >"$clientlog" 2>&1; then
+        echo "FAIL: replica client exited nonzero"
+        sed 's/^/  client: /' "$clientlog"
+        fail=1
+    else
+        if ! grep -qF '"replica_exact":true' "$clientlog"; then
+            echo "FAIL: client did not confirm bit-identical replica answers"
+            sed 's/^/  client: /' "$clientlog"
+            fail=1
+        fi
+        # The relayed replica metrics must show a caught-up replica
+        # that bootstrapped exactly once.
+        for key in '"replica_lag":0' '"bootstraps":1'; do
+            if ! grep -qF "$key" "$clientlog"; then
+                echo "FAIL: replica metrics relay lacks $key"
+                fail=1
+            fi
+        done
+    fi
+    # The client shuts down the replica first, then the primary.
+    for pair in "replica:$replica:$rlog" "primary:$primary:$plog"; do
+        name="${pair%%:*}"; rest="${pair#*:}"
+        pid="${rest%%:*}"; log="${rest#*:}"
+        alive=1
+        for _ in $(seq 1 150); do
+            if ! kill -0 "$pid" 2>/dev/null; then
+                alive=0
+                break
+            fi
+            sleep 0.1
+        done
+        if [ "$alive" -eq 1 ]; then
+            echo "FAIL: $name still running after protocol shutdown"
+            kill -9 "$pid" 2>/dev/null
+            fail=1
+        fi
+        wait "$pid" 2>/dev/null
+        rc=$?
+        if [ "$rc" -ne 0 ]; then
+            echo "FAIL: $name exited nonzero ($rc)"
+            sed "s/^/  $name: /" "$log"
+            fail=1
+        fi
+        for key in '"shutdown":true' '"leaked_workers":0'; do
+            if ! grep -qF "$key" "$log"; then
+                echo "FAIL: $name shutdown summary lacks $key"
+                fail=1
+            fi
+        done
+    done
+    rm -f "$pport" "$rport" "$plog" "$rlog" "$clientlog"
+}
+
+if [ "$only_replica" -eq 1 ]; then
+    replica_smoke
+    if [ "$fail" -ne 0 ]; then
+        echo
+        echo "verify: FAILED"
+        exit 1
+    fi
+    echo
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$only_sub" -eq 1 ]; then
     sub_smoke
     if [ "$fail" -ne 0 ]; then
@@ -431,6 +558,7 @@ if [ "$fast" -eq 0 ]; then
     fault_matrix
     serve_tcp_smoke
     sub_smoke
+    replica_smoke
 fi
 
 step "cargo test -q (tier-1)"
