@@ -26,9 +26,12 @@ use pdr_core::{EngineSpec, Executor, FrConfig, PdrQuery};
 use pdr_mobject::TimeHorizon;
 use pdr_storage::CostModel;
 use pdr_workload::{
-    default_deadline, NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver,
+    default_deadline, FaultPolicy, NetClient, NetFaultInjector, NetFaultPlan, NetServer,
+    NetServerConfig, NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver,
     TrafficSimulator,
 };
+use std::sync::Arc;
+use std::time::Duration;
 
 const QUERY_ROUNDS: usize = 3;
 
@@ -177,6 +180,120 @@ fn replica_axis(n: usize, ticks: u64) -> String {
     )
 }
 
+/// Faulty-network axis: the same query stream over the real TCP
+/// front-end, once on a clean transport and once under a seeded 1%
+/// response-frame drop. Each request is timed end to end *including*
+/// the client's timeout-and-reconnect recovery, so the faulty p99
+/// prices what a lossy network does to the tail while p50 shows the
+/// common case is untouched. Reports per-request wall quantiles,
+/// client reconnects, and the server-side injection counters.
+fn netfault_axis(n: usize, requests: usize) -> String {
+    // The axis prices transport faults, not engine load: cap the
+    // population so a single query stays well under the drop-recovery
+    // timeout even on a single-core host.
+    let n = n.min(800);
+    let quantile = |sorted: &[f64], q: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+    // One run: returns sorted per-request micros, reconnects, drops.
+    let run = |plan: Option<&str>| -> (Vec<f64>, u64, u64) {
+        let faults = plan.map(|p| {
+            Arc::new(NetFaultInjector::new(
+                NetFaultPlan::parse(p).expect("valid netfault plan"),
+            ))
+        });
+        let cfg = NetServerConfig {
+            faults: faults.clone(),
+            ..NetServerConfig::default()
+        };
+        let server = NetServer::bind("127.0.0.1:0", driver(n), FaultPolicy::default(), cfg)
+            .expect("bind ephemeral port");
+        let addr = server.local_addr().expect("bound addr").to_string();
+        let handle = std::thread::spawn(move || server.serve());
+
+        let connect = |addr: &str| -> NetClient {
+            let mut c = NetClient::connect(addr).expect("connect");
+            // A dropped response costs this timeout before the client
+            // reconnects; it must sit above the slowest clean query
+            // (seconds on a single-core host) so only real drops pay.
+            c.set_io_timeouts(Some(Duration::from_secs(8)), Some(Duration::from_secs(5)))
+                .expect("timeouts");
+            c
+        };
+        let mut c = connect(&addr);
+        let mut reconnects = 0u64;
+
+        // Queries are idempotent: on a lost response, reconnect and
+        // re-issue — exactly the ResilientClient recovery shape.
+        let request = |c: &mut NetClient, body: &str, reconnects: &mut u64| {
+            for _ in 0..20 {
+                if c.send(body).is_ok() {
+                    if let Ok(v) = c.recv() {
+                        return v;
+                    }
+                }
+                *c = connect(&addr);
+                *reconnects += 1;
+            }
+            panic!("request failed 20 times under a 1% drop plan");
+        };
+        // A couple of ticks so queries hit a moving population.
+        for _ in 0..2 {
+            request(&mut c, "{\"op\":\"tick\"}", &mut reconnects);
+        }
+        let mut lat = Vec::with_capacity(requests);
+        for k in 0..requests {
+            let body = format!(
+                "{{\"op\":\"query\",\"rho\":{},\"l\":{L},\"q_t\":{}}}",
+                40.0 / (L * L),
+                [0u64, 4, 8][k % 3]
+            );
+            let (_, wall) = pdr_bench::time_it(|| request(&mut c, &body, &mut reconnects));
+            lat.push(wall.as_secs_f64() * 1e6);
+        }
+        request(&mut c, "{\"op\":\"shutdown\"}", &mut reconnects);
+        drop(c);
+        let summary = handle.join().expect("server thread");
+        let drops = summary
+            .split("\"drops\":")
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}'][..]).next())
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        (lat, reconnects, drops)
+    };
+
+    let (clean, clean_rc, _) = run(None);
+    let plan = "seed 4242\ndrop frame prob=0.01";
+    let (faulty, faulty_rc, drops) = run(Some(plan));
+    assert_eq!(clean_rc, 0, "clean transport must not reconnect");
+    println!(
+        "netfault 1% drop: clean p50/p99 us {:.0}/{:.0}, faulty p50/p99 us {:.0}/{:.0}, \
+         {drops} frames dropped, {faulty_rc} reconnects",
+        quantile(&clean, 0.50),
+        quantile(&clean, 0.99),
+        quantile(&faulty, 0.50),
+        quantile(&faulty, 0.99),
+    );
+    format!(
+        "{{\"plan\": \"drop frame prob=0.01\", \"requests\": {requests}, \
+         \"clean\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}, \
+         \"faulty\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \
+         \"frames_dropped\": {drops}, \"reconnects\": {faulty_rc}}}}}",
+        quantile(&clean, 0.50),
+        quantile(&clean, 0.95),
+        quantile(&clean, 0.99),
+        quantile(&faulty, 0.50),
+        quantile(&faulty, 0.95),
+        quantile(&faulty, 0.99),
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).filter(|a| !a.starts_with("--"));
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
@@ -233,12 +350,14 @@ fn main() {
     }
 
     let replica = replica_axis(n, ticks);
+    let netfault = netfault_axis(n, 60);
     let dispatch = pdr_bench::dispatch_json(16, 3);
     let json = format!(
         "{{\n  \"n\": {n},\n  \"ticks\": {ticks},\n  \"available_parallelism\": {cores},\n  \
          \"pool_workers\": {pool_workers},\n  \"default_deadline_ms\": {deadline_ms},\n  \
          \"dispatch\": {dispatch},\n  \
          \"replica\": {replica},\n  \
+         \"netfault\": {netfault},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
     );

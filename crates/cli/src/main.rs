@@ -32,11 +32,14 @@ use pdr_geometry::{Point, Rect, RegionSet};
 use pdr_mobject::{MotionState, ObjectId, TimeHorizon, Timestamp, Update};
 use pdr_storage::{CostModel, FaultPlan};
 use pdr_workload::{
-    gaussian_clusters, net::Json, FaultPolicy, NetClient, NetServer, NetServerConfig,
-    NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver, TrafficSimulator,
+    gaussian_clusters, net::Json, FaultPolicy, NetClient, NetFaultInjector, NetFaultPlan,
+    NetServer, NetServerConfig, NetworkConfig, QueryMix, QuerySpec, RoadNetwork, ServeDriver,
+    TrafficSimulator,
 };
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,9 +73,9 @@ fn usage(msg: &str) -> ExitCode {
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
          pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--clients N] [--subs N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS]\n  \
-         pdrcli serve --listen ADDR [--port-file FILE] [--capacity N] [--deadline-ms N] [--objects N ...]\n  \
+         pdrcli serve --listen ADDR [--port-file FILE] [--capacity N] [--deadline-ms N] [--net-fault-plan FILE] [--objects N ...]\n  \
          pdrcli serve --listen ADDR --replica-of PRIMARY_ADDR --shards SxS [--objects N ...]\n  \
-         pdrcli client --connect ADDR [--ticks T] [--queries M] [--subs N] [--replica REPLICA_ADDR] [--l EDGE] [--count MIN_OBJECTS]\n  \
+         pdrcli client --connect ADDR [--ticks T] [--queries M] [--subs N] [--replica REPLICA_ADDR] [--failover ADDR,...] [--keep-open] [--net-fault-plan FILE] [--l EDGE] [--count MIN_OBJECTS]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -124,6 +127,15 @@ struct Options {
     /// wire and replays their delta streams; local `serve` carries them
     /// in the driver's subscription mix.
     subs: usize,
+    /// `serve --listen` / `client`: seeded network fault plan injected
+    /// beneath the framing layer (see `NetFaultPlan::parse`).
+    net_fault_plan: Option<String>,
+    /// `client`: comma-separated fallback addresses walked (and
+    /// promoted) when the `--connect` target dies mid-run.
+    failover: Vec<String>,
+    /// `client`: leave the servers running on exit (no `shutdown` op) —
+    /// a later client picks up where this one stopped.
+    keep_open: bool,
 }
 
 impl Options {
@@ -157,10 +169,19 @@ impl Options {
             queries: 4,
             deadline_ms: None,
             subs: 0,
+            net_fault_plan: None,
+            failover: Vec::new(),
+            keep_open: false,
         };
         let mut i = 0;
         while i < args.len() {
             let key = &args[i];
+            // Valueless flags first — everything else is `--key value`.
+            if key == "--keep-open" {
+                o.keep_open = true;
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("{key} needs a value"))?;
@@ -195,6 +216,18 @@ impl Options {
                 "--replica-of" => o.replica_of = Some(value.clone()),
                 "--connect" => o.connect = Some(value.clone()),
                 "--replica" => o.replica = Some(value.clone()),
+                "--net-fault-plan" => o.net_fault_plan = Some(value.clone()),
+                "--failover" => {
+                    o.failover = value
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect();
+                    if o.failover.is_empty() {
+                        return Err(bad(key));
+                    }
+                }
                 "--queries" => o.queries = value.parse().map_err(|_| bad(key))?,
                 "--deadline-ms" => o.deadline_ms = Some(value.parse().map_err(|_| bad(key))?),
                 "--subs" => o.subs = value.parse().map_err(|_| bad(key))?,
@@ -544,22 +577,66 @@ fn cmd_serve_replica(o: &Options) -> Result<(), String> {
     let mut driver = ServeDriver::new(sim, CostModel::PAPER_DEFAULT).with_engine("fr", engine);
 
     // Initial bootstrap straight from the primary, before serving:
-    // empty offsets force a checkpoint-carrying shipment.
-    let mut c = NetClient::connect(&primary)
-        .map_err(|e| format!("connecting to primary {primary}: {e}"))?;
-    let ship = pdr_workload::net::fetch_shipment(&mut c, Some("fr"), 0, &[])
-        .map_err(|e| format!("ship_log from {primary}: {e}"))?;
-    let report = driver
-        .engine_mut("fr")
-        .and_then(|e| e.as_replica_mut())
-        .ok_or("replica engine lost its ingest surface")?
-        .ingest(&ship)
-        .map_err(|e| format!("ingesting bootstrap shipment: {e}"))?;
-    eprintln!(
-        "# bootstrapped from {primary}: {} records, {} updates, lag {}",
-        report.records, report.updates, report.lag
-    );
+    // empty offsets force a checkpoint-carrying shipment. The fetch
+    // retries with jittered backoff; a primary that stays unreachable
+    // is *not* fatal — the replica serves empty until a `sync` op
+    // succeeds, which re-bootstraps it once the primary returns.
+    let policy = FaultPolicy::default();
+    let mut rng = policy.seed | 1;
+    let mut last_err = String::new();
+    let mut bootstrapped = false;
+    for attempt in 1..=policy.max_attempts {
+        let fetched = NetClient::connect(&primary)
+            .map_err(|e| format!("connecting to primary {primary}: {e}"))
+            .and_then(|mut c| pdr_workload::net::fetch_shipment(&mut c, Some("fr"), 0, &[], 0));
+        match fetched {
+            Ok(ship) => {
+                let report = driver
+                    .engine_mut("fr")
+                    .and_then(|e| e.as_replica_mut())
+                    .ok_or("replica engine lost its ingest surface")?
+                    .ingest(&ship)
+                    .map_err(|e| format!("ingesting bootstrap shipment: {e}"))?;
+                eprintln!(
+                    "# bootstrapped from {primary}: {} records, {} updates, lag {}",
+                    report.records, report.updates, report.lag
+                );
+                bootstrapped = true;
+                break;
+            }
+            Err(e) => {
+                last_err = e;
+                if attempt < policy.max_attempts {
+                    client_backoff(&mut rng, attempt);
+                }
+            }
+        }
+    }
+    if !bootstrapped {
+        eprintln!(
+            "# bootstrap deferred ({last_err}); serving empty until a sync reaches {primary}"
+        );
+    }
     serve_tcp(o, driver, addr)
+}
+
+/// Parses a [`NetFaultPlan`] file into a ready injector.
+fn load_net_fault_plan(path: &str) -> Result<NetFaultInjector, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading net fault plan {path}: {e}"))?;
+    let plan = NetFaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(NetFaultInjector::new(plan))
+}
+
+/// Seeded jittered exponential backoff for client-side reconnects
+/// (2 ms base doubling to a 200 ms cap, ±50% jitter).
+fn client_backoff(rng: &mut u64, attempt: u32) {
+    let delay = 2_000u64.saturating_mul(1 << attempt.min(8)).min(200_000);
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let jitter = rng.wrapping_mul(0x2545_F491_4F6C_DD1D) % (delay / 2 + 1);
+    std::thread::sleep(Duration::from_micros(delay / 2 + jitter));
 }
 
 /// `serve --listen`: hands the bootstrapped driver to the TCP
@@ -572,10 +649,21 @@ fn cmd_serve_replica(o: &Options) -> Result<(), String> {
 /// `unsafe`): SIGTERM simply kills the process, while scripted clean
 /// shutdown goes through the protocol op.
 fn serve_tcp(o: &Options, driver: ServeDriver, addr: &str) -> Result<(), String> {
+    let faults = match &o.net_fault_plan {
+        Some(path) => Some(Arc::new(load_net_fault_plan(path)?)),
+        None => None,
+    };
+    if faults.is_some() {
+        eprintln!(
+            "# network fault plan {} installed beneath the framing layer",
+            o.net_fault_plan.as_deref().unwrap_or("")
+        );
+    }
     let cfg = NetServerConfig {
         capacity: o.capacity,
         shutdown_pool: true,
         replica_of: o.replica_of.clone(),
+        faults,
         ..NetServerConfig::default()
     };
     let mut policy = FaultPolicy::default();
@@ -596,6 +684,175 @@ fn serve_tcp(o: &Options, driver: ServeDriver, addr: &str) -> Result<(), String>
     let summary = server.serve();
     println!("{summary}");
     Ok(())
+}
+
+/// A reconnecting client: wraps [`NetClient`] with bounded seeded
+/// reconnect/backoff, a failover target list walked on connection
+/// loss (the new target is promoted to writable primary), and
+/// request-`id` matching so duplicated or stale response frames are
+/// discarded instead of corrupting the request/response pairing.
+struct ResilientClient {
+    /// `--connect` first, then the `--failover` list in order.
+    targets: Vec<String>,
+    /// Index of the currently connected target.
+    current: usize,
+    conn: Option<NetClient>,
+    connected_once: bool,
+    next_id: u64,
+    reconnects: u64,
+    failovers: u64,
+    rng: u64,
+    faults: Option<Arc<NetFaultInjector>>,
+}
+
+/// Reconnect rounds (each walks every target) before giving up.
+const RECONNECT_ROUNDS: u32 = 8;
+
+/// Reads response frames until one echoes the wanted `id`; other
+/// frames (duplicates injected below the framing layer, stale answers
+/// from before a reconnect) are discarded.
+fn recv_matching(c: &mut NetClient, want: u64) -> std::io::Result<String> {
+    loop {
+        let frame = c.recv_raw()?;
+        if let Ok(v) = Json::parse(&frame) {
+            if v.get("id").and_then(Json::as_u64) == Some(want) {
+                return Ok(frame);
+            }
+        }
+    }
+}
+
+impl ResilientClient {
+    fn connect(
+        targets: Vec<String>,
+        seed: u64,
+        faults: Option<Arc<NetFaultInjector>>,
+    ) -> Result<ResilientClient, String> {
+        let mut c = ResilientClient {
+            targets,
+            current: 0,
+            conn: None,
+            connected_once: false,
+            next_id: 0,
+            reconnects: 0,
+            failovers: 0,
+            rng: seed | 1,
+            faults,
+        };
+        c.ensure_connected()?;
+        Ok(c)
+    }
+
+    /// The address of the currently (or last) connected target.
+    fn target(&self) -> &str {
+        &self.targets[self.current]
+    }
+
+    /// (Re)establishes a connection, walking the target list from the
+    /// current position. Failing over to a *different* target promotes
+    /// it — the old primary is presumed dead, so the survivor must
+    /// accept writes. All-targets-down backs off and retries, bounded
+    /// by [`RECONNECT_ROUNDS`].
+    fn ensure_connected(&mut self) -> Result<(), String> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut last = String::from("no reachable target");
+        for round in 0..RECONNECT_ROUNDS {
+            for k in 0..self.targets.len() {
+                let idx = (self.current + k) % self.targets.len();
+                let mut conn = match NetClient::connect(&self.targets[idx]) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        last = format!("connecting {}: {e}", self.targets[idx]);
+                        continue;
+                    }
+                };
+                let _ = conn
+                    .set_io_timeouts(Some(Duration::from_secs(20)), Some(Duration::from_secs(20)));
+                if let Some(f) = &self.faults {
+                    conn = conn.with_faults(f.clone());
+                }
+                // Failing over = landing anywhere but the current
+                // target, or landing past the designated primary
+                // (index 0) on the very first connect — the primary
+                // may already be dead when the client starts.
+                let failing_over = if self.connected_once {
+                    idx != self.current
+                } else {
+                    idx != 0
+                };
+                if self.connected_once {
+                    self.reconnects += 1;
+                }
+                if failing_over {
+                    // Promote before reporting the connection usable:
+                    // a failover target that cannot take writes is a
+                    // dead target.
+                    self.next_id += 1;
+                    let id = self.next_id;
+                    let body = format!("{{\"op\":\"promote\",\"id\":{id}}}");
+                    let resp = conn.send(&body).and_then(|()| recv_matching(&mut conn, id));
+                    match resp.map(|f| Json::parse(&f)) {
+                        Ok(Ok(v)) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+                            eprintln!(
+                                "# failed over to {} (promoted, repl_epoch {})",
+                                self.targets[idx],
+                                v.get("repl_epoch")
+                                    .and_then(Json::as_u64)
+                                    .unwrap_or_default()
+                            );
+                        }
+                        other => {
+                            last = format!("promoting {}: {other:?}", self.targets[idx]);
+                            continue;
+                        }
+                    }
+                    self.failovers += 1;
+                }
+                self.current = idx;
+                self.conn = Some(conn);
+                self.connected_once = true;
+                return Ok(());
+            }
+            client_backoff(&mut self.rng, round + 1);
+        }
+        Err(format!(
+            "all targets unreachable after {RECONNECT_ROUNDS} rounds: {last}"
+        ))
+    }
+
+    /// Sends one request (tagged with a fresh `id`) and returns the raw
+    /// matching response frame, reconnecting (and failing over) on
+    /// connection errors.
+    fn request_raw(&mut self, body: &str) -> Result<String, String> {
+        debug_assert!(body.ends_with('}'));
+        self.next_id += 1;
+        let id = self.next_id;
+        let tagged = format!("{},\"id\":{}}}", &body[..body.len() - 1], id);
+        let mut attempt = 0u32;
+        loop {
+            self.ensure_connected()?;
+            let conn = self.conn.as_mut().expect("ensure_connected");
+            match conn.send(&tagged).and_then(|()| recv_matching(conn, id)) {
+                Ok(frame) => return Ok(frame),
+                Err(e) => {
+                    self.conn = None;
+                    attempt += 1;
+                    if attempt >= RECONNECT_ROUNDS {
+                        return Err(format!("request failed after {attempt} attempts: {e}"));
+                    }
+                    client_backoff(&mut self.rng, attempt);
+                }
+            }
+        }
+    }
+
+    /// [`request_raw`](ResilientClient::request_raw), parsed.
+    fn request(&mut self, body: &str) -> Result<Json, String> {
+        let frame = self.request_raw(body)?;
+        Json::parse(&frame).map_err(|e| format!("bad response frame: {e}"))
+    }
 }
 
 /// One wire subscription the client replays: parameters plus the
@@ -631,7 +888,7 @@ fn parse_rects(v: &Json) -> Result<Vec<Rect>, String> {
 /// Drains `poll_deltas` into the mirrors. Errors on a lost buffer or a
 /// degraded patch — the smoke flow has no faults, so either means the
 /// exactness claim can no longer be checked.
-fn poll_and_replay(c: &mut NetClient, subs: &mut [WireSub]) -> Result<usize, String> {
+fn poll_and_replay(c: &mut ResilientClient, subs: &mut [WireSub]) -> Result<usize, String> {
     let r = c
         .request("{\"op\":\"poll_deltas\"}")
         .map_err(|e| format!("poll_deltas: {e}"))?;
@@ -673,7 +930,7 @@ fn poll_and_replay(c: &mut NetClient, subs: &mut [WireSub]) -> Result<usize, Str
 /// Checks every replayed mirror against a from-scratch `query` (full
 /// rect list over the wire) clipped to the subscribed region — exact
 /// bit-for-bit rect equality. Returns the number of diverged subs.
-fn check_wire_subs(c: &mut NetClient, o: &Options, subs: &[WireSub]) -> Result<u64, String> {
+fn check_wire_subs(c: &mut ResilientClient, o: &Options, subs: &[WireSub]) -> Result<u64, String> {
     let mut diverged = 0u64;
     for s in subs {
         let body = format!(
@@ -697,7 +954,12 @@ fn check_wire_subs(c: &mut NetClient, o: &Options, subs: &[WireSub]) -> Result<u
 /// over the wire) and cross-checks `query` answers between primary and
 /// replica at caught-up offsets: the resolved timestamp and the full
 /// rect list must be **bit-identical**. Returns comparisons made.
-fn sync_and_compare(p: &mut NetClient, r: &mut NetClient, rho: f64, l: f64) -> Result<u64, String> {
+fn sync_and_compare(
+    p: &mut ResilientClient,
+    r: &mut NetClient,
+    rho: f64,
+    l: f64,
+) -> Result<u64, String> {
     let resp = r
         .request("{\"op\":\"sync\"}")
         .map_err(|e| format!("sync: {e}"))?;
@@ -743,7 +1005,18 @@ fn sync_and_compare(p: &mut NetClient, r: &mut NetClient, rho: f64, l: f64) -> R
 /// server metrics and requests a clean shutdown.
 fn cmd_client(o: &Options) -> Result<(), String> {
     let addr = o.connect.as_ref().ok_or("client requires --connect")?;
-    let mut c = NetClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    if !o.failover.is_empty() && o.subs > 0 {
+        return Err("--failover does not compose with --subs (a promoted \
+                    target has no subscription state to replay)"
+            .into());
+    }
+    let faults = match &o.net_fault_plan {
+        Some(path) => Some(Arc::new(load_net_fault_plan(path)?)),
+        None => None,
+    };
+    let mut targets = vec![addr.clone()];
+    targets.extend(o.failover.iter().cloned());
+    let mut c = ResilientClient::connect(targets, o.seed, faults)?;
     let rho = o.count / (o.l * o.l);
     let ok = |r: &Json| r.get("ok").and_then(Json::as_bool) == Some(true);
 
@@ -869,25 +1142,39 @@ fn cmd_client(o: &Options) -> Result<(), String> {
             .map_err(|e| format!("replica metrics: {e}"))?;
         println!("{m}");
         println!("{{\"replica_checks\":{replica_checks},\"replica_exact\":true}}");
-        let r = rc
-            .request("{\"op\":\"shutdown\"}")
-            .map_err(|e| format!("replica shutdown: {e}"))?;
-        if !ok(&r) {
-            return Err(format!("replica shutdown refused: {r:?}"));
+        if !o.keep_open {
+            let r = rc
+                .request("{\"op\":\"shutdown\"}")
+                .map_err(|e| format!("replica shutdown: {e}"))?;
+            if !ok(&r) {
+                return Err(format!("replica shutdown refused: {r:?}"));
+            }
         }
     }
-    let r = c
-        .request("{\"op\":\"shutdown\"}")
-        .map_err(|e| format!("shutdown: {e}"))?;
-    if !ok(&r) {
-        return Err(format!("shutdown refused: {r:?}"));
+    println!(
+        "{{\"reconnects\":{},\"failovers\":{},\"target\":{:?}}}",
+        c.reconnects,
+        c.failovers,
+        c.target()
+    );
+    if !o.keep_open {
+        let r = c
+            .request("{\"op\":\"shutdown\"}")
+            .map_err(|e| format!("shutdown: {e}"))?;
+        if !ok(&r) {
+            return Err(format!("shutdown refused: {r:?}"));
+        }
     }
     if sub_divergence > 0 {
         return Err(format!(
             "{sub_divergence} subscription replay checks diverged from from-scratch queries"
         ));
     }
-    println!("# {checked} checked queries, all exact; shutdown requested");
+    if o.keep_open {
+        println!("# {checked} checked queries, all exact; servers left open");
+    } else {
+        println!("# {checked} checked queries, all exact; shutdown requested");
+    }
     Ok(())
 }
 

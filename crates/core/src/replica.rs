@@ -45,6 +45,13 @@ pub struct Replica {
     applied: Vec<usize>,
     /// The primary segment epoch `applied` is valid within.
     epoch: u64,
+    /// The replication epoch adopted from ingested shipments; shipments
+    /// from an older epoch (a deposed primary) are refused as fenced.
+    repl_epoch: u64,
+    /// Set by [`promote`](Replica::promote): the replica is now a
+    /// writable primary. Mutations delegate to the inner plane and
+    /// further ingests are refused.
+    promoted: bool,
     /// The primary's protocol time at the last ingested shipment.
     primary_t: Timestamp,
     /// The last `advance_to` timestamp this replica has applied.
@@ -54,6 +61,13 @@ pub struct Replica {
     shipped_bytes: u64,
     records_applied: u64,
     updates_dropped: u64,
+    /// Shipment segments (or whole segment prefixes) skipped because the
+    /// watermark showed them already applied — duplicate or out-of-order
+    /// re-delivery acked without reapplying.
+    duplicates: u64,
+    /// Shipments refused because they were cut under a stale
+    /// replication epoch.
+    fenced_shipments: u64,
 }
 
 /// What one [`Replica::ingest`] call did, for logs and wire responses.
@@ -68,6 +82,9 @@ pub struct IngestReport {
     pub updates: u64,
     /// The staleness bound after ingesting (see [`Replica::lag`]).
     pub lag: u64,
+    /// Segments (or segment prefixes) skipped as already applied —
+    /// duplicate re-delivery acked without reapplying.
+    pub duplicates: u64,
 }
 
 impl Replica {
@@ -83,6 +100,8 @@ impl Replica {
             inner,
             applied: Vec::new(),
             epoch: 0,
+            repl_epoch: 0,
+            promoted: false,
             primary_t: 0,
             applied_t: 0,
             shipments: 0,
@@ -90,6 +109,8 @@ impl Replica {
             shipped_bytes: 0,
             records_applied: 0,
             updates_dropped: 0,
+            duplicates: 0,
+            fenced_shipments: 0,
         }
     }
 
@@ -129,12 +150,81 @@ impl Replica {
         self.bootstraps
     }
 
+    /// The replication epoch this replica has adopted from shipments
+    /// (0 until the first ingest), or the one it promoted itself to.
+    pub fn repl_epoch(&self) -> u64 {
+        self.repl_epoch
+    }
+
+    /// `true` once [`promote`](Replica::promote) has turned this
+    /// replica into a writable primary.
+    pub fn promoted(&self) -> bool {
+        self.promoted
+    }
+
+    /// Duplicate segments (or segment prefixes) skipped by the applied
+    /// watermark — acked without reapplying.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Shipments refused because their replication epoch was stale.
+    pub fn fenced_shipments(&self) -> u64 {
+        self.fenced_shipments
+    }
+
+    /// Promotes this replica to a writable primary: seals the applied
+    /// state under a fresh checkpoint and bumps the replication epoch
+    /// strictly past the one it replicated, fencing the deposed
+    /// primary's lineage. After promotion the wrapper delegates
+    /// mutations to the inner plane (which WAL-logs them, so the new
+    /// primary can ship to followers of its own) and refuses further
+    /// ingests. Idempotent: promoting twice keeps the first epoch.
+    /// Returns the replication epoch the node now writes under.
+    pub fn promote(&mut self) -> u64 {
+        if self.promoted {
+            return self.repl_epoch;
+        }
+        // A never-synced replica still promotes past the default
+        // primary epoch (1), so its lineage fences the old one.
+        self.repl_epoch = self.repl_epoch.max(1) + 1;
+        self.promoted = true;
+        self.inner.promote_to(self.repl_epoch);
+        self.repl_epoch
+    }
+
+    /// Read access to the replicated plane (the promoted node's
+    /// primary plane).
+    pub fn plane(&self) -> &ShardedEngine {
+        &self.inner
+    }
+
     /// Ingests one shipment: restores the checkpoint when present,
-    /// then replays every shipped segment tail in shard order. A
-    /// shipment whose offsets do not line up with what this replica
-    /// has applied is refused with a mismatch — the caller re-syncs
-    /// from empty offsets, which makes the primary cut a bootstrap.
+    /// then replays every shipped segment tail in shard order.
+    ///
+    /// Re-delivery is **idempotent**: a segment (or segment prefix)
+    /// the applied watermark shows as already applied is skipped and
+    /// acked — counted in [`duplicates`](Replica::duplicates) — never
+    /// reapplied and never an error, so duplicate or out-of-order
+    /// shipments cannot wedge the replica. A shipment that *skips*
+    /// ahead of the watermark (a gap) is refused with a mismatch — the
+    /// caller re-syncs from empty offsets, which makes the primary cut
+    /// a bootstrap. A shipment cut under a replication epoch older
+    /// than the replica's is refused with the typed
+    /// [`RecoverError::Fenced`] error: it comes from a deposed primary.
     pub fn ingest(&mut self, ship: &LogShipment) -> Result<IngestReport, RecoverError> {
+        if self.promoted {
+            return Err(RecoverError::Mismatch(
+                "promoted primary no longer ingests shipments",
+            ));
+        }
+        if ship.repl_epoch < self.repl_epoch {
+            self.fenced_shipments += 1;
+            return Err(RecoverError::Fenced {
+                stale: ship.repl_epoch,
+                current: self.repl_epoch,
+            });
+        }
         if ship.shards as usize != self.inner.map().shards() {
             return Err(RecoverError::Mismatch(
                 "shipment cut at a different shard count",
@@ -179,25 +269,60 @@ impl Replica {
                 "incremental shipment from a different segment epoch",
             ));
         }
+        // First pass: classify every segment against the watermark
+        // before mutating anything, so a refused shipment leaves the
+        // replica exactly as it was (no half-applied shipment).
+        let mut tails: Vec<(usize, usize)> = Vec::with_capacity(ship.segments.len());
         for seg in &ship.segments {
             let i = seg.shard as usize;
             if i >= self.applied.len() {
                 return Err(RecoverError::Mismatch("shipment names an unknown shard"));
             }
-            if seg.start != self.applied[i] {
-                return Err(RecoverError::Codec(CodecError::Corrupt(
-                    "shipment offset does not match applied position",
-                )));
+            let a = self.applied[i];
+            let skip = if seg.start > a {
+                // The shipment starts past what we applied: records in
+                // between were lost. Refuse; the caller re-bootstraps.
+                return Err(RecoverError::Mismatch(
+                    "shipment leaves a gap past the applied watermark",
+                ));
+            } else if seg.start + seg.bytes.len() <= a {
+                // Entirely at or before the watermark: a duplicate
+                // re-delivery. Ack without reapplying.
+                seg.bytes.len()
+            } else {
+                // Overlapping re-delivery: the prefix through the
+                // watermark was already applied; the suffix is new. The
+                // cut must fall on a record boundary or the shipment
+                // disagrees with what we applied.
+                let cut = a - seg.start;
+                if !crate::wal::record_boundaries(&seg.bytes).contains(&cut) {
+                    return Err(RecoverError::Codec(CodecError::Corrupt(
+                        "shipment overlap does not align with a record boundary",
+                    )));
+                }
+                cut
+            };
+            tails.push((i, skip));
+        }
+        for (seg, &(i, skip)) in ship.segments.iter().zip(&tails) {
+            if skip > 0 {
+                self.duplicates += 1;
+                report.duplicates += 1;
             }
-            let summary = self.inner.apply_segment_tail(i, &seg.bytes)?;
-            self.applied[i] += seg.bytes.len();
-            self.shipped_bytes += seg.bytes.len() as u64;
+            let tail = &seg.bytes[skip..];
+            if tail.is_empty() {
+                continue;
+            }
+            let summary = self.inner.apply_segment_tail(i, tail)?;
+            self.applied[i] += tail.len();
+            self.shipped_bytes += tail.len() as u64;
             report.records += summary.records;
             report.updates += summary.updates;
             if let Some(t) = summary.last_advance {
                 self.applied_t = self.applied_t.max(t);
             }
         }
+        self.repl_epoch = self.repl_epoch.max(ship.repl_epoch);
         self.primary_t = self.primary_t.max(ship.t_base);
         self.shipments += 1;
         self.records_applied += report.records;
@@ -213,18 +338,33 @@ impl DensityEngine for Replica {
 
     // ------------------------------------------------------------------
     // Read-only surface: mutations are dropped and counted, never
-    // applied. State arrives only through `ingest`.
+    // applied — state arrives only through `ingest` — until the node
+    // is promoted, after which they delegate to the inner plane (which
+    // WAL-logs them, so the new primary ships to its own followers).
     // ------------------------------------------------------------------
 
-    fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], _t_now: Timestamp) {
-        self.updates_dropped += objects.len() as u64;
+    fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
+        if self.promoted {
+            self.inner.bulk_load(objects, t_now);
+        } else {
+            self.updates_dropped += objects.len() as u64;
+        }
     }
 
     fn apply_batch(&mut self, updates: &[Update]) {
-        self.updates_dropped += updates.len() as u64;
+        if self.promoted {
+            self.inner.apply_batch(updates);
+        } else {
+            self.updates_dropped += updates.len() as u64;
+        }
     }
 
-    fn advance_to(&mut self, _t_now: Timestamp) {}
+    fn advance_to(&mut self, t_now: Timestamp) {
+        if self.promoted {
+            self.inner.advance_to(t_now);
+            self.applied_t = self.applied_t.max(t_now);
+        }
+    }
 
     // ------------------------------------------------------------------
     // Query surface: served from the replicated plane.
@@ -287,8 +427,13 @@ impl DensityEngine for Replica {
     fn maintain_subscriptions(&mut self, now: Timestamp) -> Vec<AnswerDelta> {
         // Standing queries on a replica are maintained against
         // *applied* time: a subscription never observes state the
-        // replica has not replayed.
-        let t = now.min(self.applied_t);
+        // replica has not replayed. A promoted node's clock is its
+        // own, so `now` applies directly.
+        let t = if self.promoted {
+            now
+        } else {
+            now.min(self.applied_t)
+        };
         self.inner.maintain_subscriptions(t)
     }
 
@@ -315,6 +460,15 @@ impl DensityEngine for Replica {
             .counters
             .push(("replica_updates_dropped", self.updates_dropped));
         report
+            .counters
+            .push(("replica_duplicates", self.duplicates));
+        report
+            .counters
+            .push(("replica_fenced_shipments", self.fenced_shipments));
+        report
+            .counters
+            .push(("replica_promoted", self.promoted as u64));
+        report
     }
 
     fn set_obs_enabled(&mut self, on: bool) {
@@ -325,12 +479,24 @@ impl DensityEngine for Replica {
         self.inner.shard_metrics_json()
     }
 
+    // A promoted node presents as a sharded primary (its plane cuts
+    // shipments for followers) and stops presenting as a replica, so
+    // front-ends resolve clocks and roles from the real state.
+
+    fn as_sharded(&self) -> Option<&ShardedEngine> {
+        self.promoted.then_some(&self.inner)
+    }
+
+    fn as_sharded_mut(&mut self) -> Option<&mut ShardedEngine> {
+        self.promoted.then_some(&mut self.inner)
+    }
+
     fn as_replica(&self) -> Option<&Replica> {
-        Some(self)
+        (!self.promoted).then_some(self)
     }
 
     fn as_replica_mut(&mut self) -> Option<&mut Replica> {
-        Some(self)
+        (!self.promoted).then_some(self)
     }
 }
 

@@ -323,6 +323,18 @@ pub struct ShardedEngine {
     /// bootstraps on any epoch change — a reset segment re-filled to
     /// the old length would otherwise be indistinguishable.
     wal_epoch: u64,
+    /// The replication epoch this plane writes under. Fresh primaries
+    /// start at 1; a replica promotion seals the applied state and
+    /// bumps past the epoch it replicated, so any shipment cut by the
+    /// deposed primary carries a smaller value and is refused.
+    repl_epoch: u64,
+    /// Set when this plane has observed a higher replication epoch —
+    /// it is a deposed primary. Writes are dropped (and counted in
+    /// `fenced_writes`), never applied, so a stale primary can never
+    /// silently diverge from the promoted lineage.
+    fenced: AtomicBool,
+    /// Writes dropped because the plane is fenced.
+    fenced_writes: AtomicU64,
 }
 
 impl ShardedEngine {
@@ -384,7 +396,51 @@ impl ShardedEngine {
             rejected_updates: 0,
             queries_served: AtomicU64::new(0),
             wal_epoch: 0,
+            repl_epoch: 1,
+            fenced: AtomicBool::new(false),
+            fenced_writes: AtomicU64::new(0),
         }
+    }
+
+    /// The replication epoch this plane writes under (see
+    /// [`promote_to`](Self::promote_to)).
+    pub fn repl_epoch(&self) -> u64 {
+        self.repl_epoch
+    }
+
+    /// Seals the plane's current state under a fresh checkpoint and
+    /// adopts `epoch` as its replication epoch — the replica-promotion
+    /// primitive. The caller (a [`Replica`](crate::Replica) being
+    /// promoted) picks an epoch strictly greater than the one it
+    /// replicated, which fences the deposed primary's lineage.
+    pub fn promote_to(&mut self, epoch: u64) {
+        self.repl_epoch = epoch;
+        self.fenced.store(false, Ordering::SeqCst);
+        self.refresh_checkpoints();
+    }
+
+    /// Observes a replication epoch seen on the wire: when it is newer
+    /// than this plane's, the plane fences itself (a newer primary
+    /// exists — this one was deposed). Returns whether the plane is
+    /// fenced afterwards. Shared-ref on purpose: the observation
+    /// arrives on read paths (`ship_log`) that hold no write lock.
+    pub fn fence_if_stale(&self, observed: u64) -> bool {
+        if observed > self.repl_epoch {
+            self.fenced.store(true, Ordering::SeqCst);
+        }
+        self.is_fenced()
+    }
+
+    /// `true` when the plane has been fenced off by a newer
+    /// replication epoch.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Writes dropped because the plane was fenced. Zero silent
+    /// divergence: every refused mutation is visible here.
+    pub fn fenced_writes(&self) -> u64 {
+        self.fenced_writes.load(Ordering::SeqCst)
     }
 
     /// The largest neighborhood edge this plane's halo covers.
@@ -551,6 +607,7 @@ impl ShardedEngine {
             return LogShipment {
                 shards: n as u32,
                 epoch: self.wal_epoch,
+                repl_epoch: self.repl_epoch,
                 t_base: self.t_base,
                 checkpoint: None,
                 segments,
@@ -586,6 +643,7 @@ impl ShardedEngine {
         LogShipment {
             shards: n as u32,
             epoch: self.wal_epoch,
+            repl_epoch: self.repl_epoch,
             t_base: self.t_base,
             checkpoint,
             segments,
@@ -668,6 +726,10 @@ pub struct LogShipment {
     /// Segment epoch the offsets are valid within (see
     /// [`ShardedEngine::wal_since`]).
     pub epoch: u64,
+    /// Replication epoch of the plane that cut the shipment (see
+    /// [`ShardedEngine::promote_to`]). A receiver on a newer epoch
+    /// refuses the shipment as fenced.
+    pub repl_epoch: u64,
     /// The primary's protocol time when the shipment was cut — the
     /// replica's staleness bound is measured against this.
     pub t_base: Timestamp,
@@ -690,6 +752,11 @@ impl DensityEngine for ShardedEngine {
     }
 
     fn bulk_load(&mut self, objects: &[(ObjectId, MotionState)], t_now: Timestamp) {
+        if self.is_fenced() {
+            self.fenced_writes
+                .fetch_add(objects.len() as u64, Ordering::SeqCst);
+            return;
+        }
         let h = self.horizon.h();
         let mut per_shard: Vec<Vec<(ObjectId, MotionState)>> =
             (0..self.plane.shards.len()).map(|_| Vec::new()).collect();
@@ -715,6 +782,11 @@ impl DensityEngine for ShardedEngine {
     }
 
     fn apply_batch(&mut self, updates: &[Update]) {
+        if self.is_fenced() {
+            self.fenced_writes
+                .fetch_add(updates.len() as u64, Ordering::SeqCst);
+            return;
+        }
         // Screen once at the router (the same window the inner engines
         // enforce) so rejects are counted exactly once, then route the
         // accepted traffic. One pass computes each update's complete
@@ -751,6 +823,10 @@ impl DensityEngine for ShardedEngine {
     }
 
     fn advance_to(&mut self, t_now: Timestamp) {
+        if self.is_fenced() {
+            self.fenced_writes.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
         self.t_base = t_now;
         let plane = Arc::clone(&self.plane);
         self.fan_out(move |i| {
@@ -1052,6 +1128,8 @@ impl DensityEngine for ShardedEngine {
         }
         counters.push(("wal_allocs", wal_allocs));
         counters.push(("wal_bytes", wal_bytes));
+        counters.push(("repl_epoch", self.repl_epoch));
+        counters.push(("fenced_writes", self.fenced_writes()));
         ObsReport {
             counters,
             stages: Vec::new(),

@@ -873,6 +873,15 @@ pub enum RecoverError {
     /// The checkpoint is valid but belongs to a differently configured
     /// engine.
     Mismatch(&'static str),
+    /// The shipment was cut under a replication epoch older than the
+    /// receiver's — the sender is a deposed primary and must be fenced
+    /// off, never silently merged.
+    Fenced {
+        /// The stale sender's replication epoch.
+        stale: u64,
+        /// The receiver's current replication epoch.
+        current: u64,
+    },
 }
 
 impl fmt::Display for RecoverError {
@@ -883,6 +892,10 @@ impl fmt::Display for RecoverError {
             RecoverError::Mismatch(what) => {
                 write!(f, "checkpoint belongs to a different engine: {what}")
             }
+            RecoverError::Fenced { stale, current } => write!(
+                f,
+                "fenced: shipment from stale replication epoch {stale} (current epoch {current})"
+            ),
         }
     }
 }

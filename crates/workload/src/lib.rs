@@ -24,6 +24,7 @@
 
 pub mod config;
 pub mod net;
+pub mod netfault;
 mod network;
 mod queries;
 pub mod rng;
@@ -32,6 +33,7 @@ mod simple;
 mod simulator;
 
 pub use net::{NetClient, NetServer, NetServerConfig};
+pub use netfault::{FrameFault, NetFaultInjector, NetFaultPlan, NetFaultStats};
 pub use network::{NetworkConfig, RoadNetwork};
 pub use queries::{query_workload, QuerySpec};
 pub use rng::StdRng;

@@ -26,10 +26,16 @@
 //! | `unsubscribe` | `sub`[, `engine`]                            | `removed`                                 |
 //! | `poll_deltas` | —                                            | `deltas` array, `lost`                    |
 //! | `tick`        | —                                            | `updates`, `t_now`, `deltas`              |
-//! | `ship_log`    | `epoch`, `offsets`[, `engine`]               | `epoch`, `t_base`, `checkpoint` (base64 or null), `segments` |
-//! | `sync`        | [`engine`]                                   | `bootstrapped`, `records`, `updates`, `lag`, `applied_t` |
+//! | `ship_log`    | `epoch`, `offsets`[, `repl_epoch`, `engine`] | `epoch`, `repl_epoch`, `t_base`, `checkpoint` (base64 or null), `segments` |
+//! | `sync`        | [`engine`]                                   | `bootstrapped`, `records`, `updates`, `lag`, `applied_t`, `attempts` |
+//! | `promote`     | [`engine`]                                   | `promoted`, `repl_epoch`, `applied_t`     |
 //! | `metrics`     | —                                            | `metrics` object (counters, clients, exec[, replica])|
 //! | `shutdown`    | —                                            | `draining: true`; server drains and exits |
+//!
+//! Any request may carry a numeric `"id"`, echoed verbatim in its
+//! response — pipelining clients use it to correlate responses and to
+//! discard duplicate frames an injected (or real) network fault
+//! delivered twice.
 //!
 //! `q_t` is the *offset* from the server's current clock (how far into
 //! the prediction window the query looks), not an absolute timestamp —
@@ -85,6 +91,30 @@
 //! policy's seeded backoff; queries that still fail count as
 //! `failed_queries`.
 //!
+//! ## Failover
+//!
+//! The `promote` op turns a replica front-end into a writable primary:
+//! the applied state is sealed under a fresh checkpoint, the
+//! replication epoch bumps strictly past the one it replicated, and
+//! the front-end stops pulling from its old primary. Epoch fencing
+//! protects the promoted lineage: a deposed primary that observes the
+//! newer epoch on a `ship_log` request fences itself — writes are
+//! dropped and counted, `tick` answers a typed `fenced` error — and a
+//! replica refuses shipments cut under a stale epoch with the same
+//! typed error. Zero silent divergence either way.
+//!
+//! ## Timeouts and network faults
+//!
+//! Connection reads are bounded: a peer that stalls mid-frame is torn
+//! down after [`NetServerConfig::frame_timeout`] and an idle
+//! connection is reaped after [`NetServerConfig::idle_timeout`]
+//! (counted as `reaped_connections`), so a dropped peer can never pin
+//! a worker thread. A seeded [`NetFaultInjector`] can be installed
+//! beneath the framing layer ([`NetServerConfig::faults`],
+//! [`NetClient::with_faults`]) to drop, delay, duplicate, truncate or
+//! reset frames deterministically; fired counters surface in the
+//! `metrics` op as `netfaults`.
+//!
 //! ## Shutdown
 //!
 //! The `shutdown` op is the clean-exit path: the acceptor stops, every
@@ -94,12 +124,15 @@
 //! SIGTERM simply kills the process, while scripted shutdown goes
 //! through the protocol.)
 
+use crate::netfault::{FrameFault, NetFaultInjector};
 use crate::serve::{FaultPolicy, ServeDriver};
-use pdr_core::{AnswerDelta, Executor, LogShipment, PdrQuery, QtPolicy, ShippedSegment, SubId};
+use pdr_core::{
+    AnswerDelta, Executor, LogShipment, PdrQuery, QtPolicy, RecoverError, ShippedSegment, SubId,
+};
 use pdr_geometry::Rect;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -421,6 +454,164 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
 }
 
+/// Writes one frame through an optional fault injector: the injector's
+/// verdict may drop the frame (reported as success — the fault is
+/// silent by design), delay it, write it twice, tear it mid-payload,
+/// or reset the connection instead.
+pub fn write_frame_faulted(
+    stream: &mut TcpStream,
+    payload: &str,
+    inj: Option<&NetFaultInjector>,
+) -> io::Result<()> {
+    let Some(inj) = inj else {
+        return write_frame(stream, payload);
+    };
+    match inj.check_frame() {
+        FrameFault::Deliver => write_frame(stream, payload),
+        FrameFault::Drop => Ok(()),
+        FrameFault::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            write_frame(stream, payload)
+        }
+        FrameFault::Duplicate => {
+            write_frame(stream, payload)?;
+            write_frame(stream, payload)
+        }
+        FrameFault::Truncate => {
+            // The length prefix promises more than arrives — the reader
+            // observes a torn frame, never a silently short payload.
+            let bytes = payload.as_bytes();
+            stream.write_all(&(bytes.len() as u32).to_be_bytes())?;
+            stream.write_all(&bytes[..bytes.len() / 2])?;
+            stream.flush()?;
+            let _ = stream.shutdown(Shutdown::Both);
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected torn frame",
+            ))
+        }
+        FrameFault::Reset => {
+            let _ = stream.shutdown(Shutdown::Both);
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected connection reset",
+            ))
+        }
+    }
+}
+
+/// Poll granularity for deadline-bounded reads; also how often a
+/// blocked read re-checks the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Reads one frame from a socket with bounded patience: `Ok(None)` on
+/// clean EOF (or an observed shutdown flag) at a frame boundary, a
+/// `TimedOut` error when the peer idles past `idle` without starting a
+/// frame or stalls longer than `frame` between bytes mid-frame. The
+/// stream must have a read timeout of [`READ_POLL`] installed — that
+/// is what turns blocking reads into poll steps.
+pub fn read_frame_deadline(
+    stream: &mut TcpStream,
+    idle: Duration,
+    frame: Duration,
+    shutdown: Option<&AtomicBool>,
+) -> io::Result<Option<String>> {
+    let started = Instant::now();
+    let mut last_progress = Instant::now();
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    // Header: idle patience while nothing has arrived, frame patience
+    // once the first byte is in (a half-written length prefix must not
+    // pin the worker).
+    while got < 4 {
+        match stream.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame header",
+                    ))
+                };
+            }
+            Ok(n) => {
+                got += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if got == 0 {
+                    if shutdown.is_some_and(|f| f.load(Ordering::SeqCst)) {
+                        // Shutdown observed at a frame boundary: treat
+                        // as a clean close so drain never hangs on a
+                        // silent peer.
+                        return Ok(None);
+                    }
+                    if started.elapsed() > idle {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "idle connection reaped",
+                        ));
+                    }
+                } else if last_progress.elapsed() > frame {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "torn frame payload",
+                ))
+            }
+            Ok(n) => {
+                got += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_progress.elapsed() > frame {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
 // ---------------------------------------------------------------------
 // Base64 (binary checkpoint/segment bytes inside JSON frames)
 // ---------------------------------------------------------------------
@@ -511,6 +702,7 @@ pub fn parse_shipment(resp: &Json) -> Result<LogShipment, String> {
     };
     let shards = field("shards")? as u32;
     let epoch = field("epoch")?;
+    let repl_epoch = field("repl_epoch")?;
     let t_base = field("t_base")?;
     let checkpoint = match resp.get("checkpoint") {
         None | Some(Json::Null) => None,
@@ -544,6 +736,7 @@ pub fn parse_shipment(resp: &Json) -> Result<LogShipment, String> {
     Ok(LogShipment {
         shards,
         epoch,
+        repl_epoch,
         t_base,
         checkpoint,
         segments,
@@ -552,19 +745,23 @@ pub fn parse_shipment(resp: &Json) -> Result<LogShipment, String> {
 
 /// One replica pull: asks `primary` for everything after `(epoch,
 /// offsets)` via `ship_log` and returns the parsed shipment. Empty
-/// offsets request a bootstrap.
+/// offsets request a bootstrap. `repl_epoch` is the requester's
+/// replication epoch — a primary that observes a newer epoch than its
+/// own fences itself and refuses the pull.
 pub fn fetch_shipment(
     primary: &mut NetClient,
     engine: Option<&str>,
     epoch: u64,
     offsets: &[usize],
+    repl_epoch: u64,
 ) -> Result<LogShipment, String> {
     let engine_part = engine
         .map(|l| format!(",\"engine\":{l:?}"))
         .unwrap_or_default();
     let offs: Vec<String> = offsets.iter().map(|o| o.to_string()).collect();
     let body = format!(
-        "{{\"op\":\"ship_log\",\"epoch\":{epoch},\"offsets\":[{}]{engine_part}}}",
+        "{{\"op\":\"ship_log\",\"epoch\":{epoch},\"offsets\":[{}],\
+         \"repl_epoch\":{repl_epoch}{engine_part}}}",
         offs.join(",")
     );
     let resp = primary
@@ -582,6 +779,7 @@ pub fn fetch_shipment(
 /// pipeline several requests down the socket before reading responses.
 pub struct NetClient {
     stream: TcpStream,
+    faults: Option<Arc<NetFaultInjector>>,
 }
 
 impl NetClient {
@@ -589,12 +787,32 @@ impl NetClient {
     pub fn connect(addr: &str) -> io::Result<NetClient> {
         Ok(NetClient {
             stream: TcpStream::connect(addr)?,
+            faults: None,
         })
+    }
+
+    /// Installs a seeded fault injector beneath this client's frame
+    /// writes (the client side of a chaos scenario).
+    pub fn with_faults(mut self, inj: Arc<NetFaultInjector>) -> NetClient {
+        self.faults = Some(inj);
+        self
+    }
+
+    /// Bounds this client's socket reads and writes, so a dropped
+    /// response (or a wedged peer) surfaces as a `TimedOut`/`WouldBlock`
+    /// error instead of blocking forever.
+    pub fn set_io_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
     }
 
     /// Sends one request frame without waiting for the response.
     pub fn send(&mut self, body: &str) -> io::Result<()> {
-        write_frame(&mut self.stream, body)
+        write_frame_faulted(&mut self.stream, body, self.faults.as_deref())
     }
 
     /// Reads and parses the next response frame.
@@ -602,6 +820,13 @@ impl NetClient {
         let frame = read_frame(&mut self.stream)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
         Json::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Reads the next response frame as raw text (for callers matching
+    /// `"id"` echoes themselves, e.g. to discard duplicated frames).
+    pub fn recv_raw(&mut self) -> io::Result<String> {
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
     }
 
     /// Sends one request and waits for its response.
@@ -638,8 +863,16 @@ pub struct NetServerConfig {
     pub shutdown_pool: bool,
     /// Primary front-end address this server replicates. `Some` makes
     /// the server a read-only replica: `tick` is refused and the `sync`
-    /// op pulls `ship_log` shipments from here.
+    /// op pulls `ship_log` shipments from here — until a `promote` op
+    /// turns the front-end into a writable primary.
     pub replica_of: Option<String>,
+    /// Reap a connection that stays idle (no frame started) this long.
+    pub idle_timeout: Duration,
+    /// Tear down a connection whose peer stalls this long mid-frame.
+    pub frame_timeout: Duration,
+    /// Seeded network fault injector applied beneath every frame this
+    /// server writes (`None` injects nothing).
+    pub faults: Option<Arc<NetFaultInjector>>,
 }
 
 impl Default for NetServerConfig {
@@ -649,6 +882,9 @@ impl Default for NetServerConfig {
             retry_after_ms: 5,
             shutdown_pool: false,
             replica_of: None,
+            idle_timeout: Duration::from_secs(120),
+            frame_timeout: Duration::from_secs(30),
+            faults: None,
         }
     }
 }
@@ -670,9 +906,32 @@ struct NetShared {
     rejected: AtomicU64,
     failed: AtomicU64,
     deadline_misses: AtomicU64,
+    /// Connections torn down by the read deadlines (idle or stalled
+    /// mid-frame) — a dropped peer never pins a worker.
+    reaped: AtomicU64,
     shutdown: AtomicBool,
+    /// The primary this front-end replicates, if any. Mutable shared
+    /// state (not just config) because a `promote` op clears it at
+    /// runtime.
+    replica_of: RwLock<Option<String>>,
     clients: Mutex<Vec<ClientNetStats>>,
     subs: Mutex<SubRouter>,
+}
+
+impl NetShared {
+    fn is_replica(&self) -> bool {
+        self.replica_of
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some()
+    }
+
+    fn primary_addr(&self) -> Option<String> {
+        self.replica_of
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
 }
 
 /// Routes emitted deltas to the connections that own the
@@ -745,17 +1004,19 @@ impl NetServer {
             listener: TcpListener::bind(addr)?,
             driver: Arc::new(RwLock::new(driver)),
             policy,
-            cfg,
             shared: Arc::new(NetShared {
                 inflight: AtomicUsize::new(0),
                 served: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
                 deadline_misses: AtomicU64::new(0),
+                reaped: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
+                replica_of: RwLock::new(cfg.replica_of.clone()),
                 clients: Mutex::new(Vec::new()),
                 subs: Mutex::new(SubRouter::default()),
             }),
+            cfg,
         })
     }
 
@@ -814,14 +1075,23 @@ impl NetServer {
             pool_workers
         };
         let leaked = (spawned - joined) + pool_workers.saturating_sub(pool_joined);
+        let netfaults = self
+            .cfg
+            .faults
+            .as_ref()
+            .map(|f| f.stats().to_json())
+            .unwrap_or_else(|| "null".into());
         format!(
             "{{\"shutdown\":true,\"served\":{},\"rejected_admissions\":{},\"failed_queries\":{},\
-             \"deadline_misses\":{},\"connections\":{},\"pool_workers\":{},\"leaked_workers\":{}}}",
+             \"deadline_misses\":{},\"connections\":{},\"reaped_connections\":{},\
+             \"netfaults\":{},\"pool_workers\":{},\"leaked_workers\":{}}}",
             self.shared.served.load(Ordering::SeqCst),
             self.shared.rejected.load(Ordering::SeqCst),
             self.shared.failed.load(Ordering::SeqCst),
             self.shared.deadline_misses.load(Ordering::SeqCst),
             spawned,
+            self.shared.reaped.load(Ordering::SeqCst),
+            netfaults,
             pool_workers,
             leaked
         )
@@ -854,13 +1124,32 @@ fn conn_loop(
 ) {
     // Per-connection deterministic jitter stream for fault backoff.
     let mut rng = (policy.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+    // Bounded reads: the 50 ms poll quantum lets the loop observe both
+    // the idle/frame deadlines and the shared shutdown flag without a
+    // dedicated watchdog thread.
+    if stream.set_read_timeout(Some(READ_POLL)).is_err()
+        || stream.set_write_timeout(Some(cfg.frame_timeout)).is_err()
+    {
+        return;
+    }
     loop {
-        let frame = match read_frame(stream) {
+        let frame = match read_frame_deadline(
+            stream,
+            cfg.idle_timeout,
+            cfg.frame_timeout,
+            Some(&shared.shutdown),
+        ) {
             Ok(Some(f)) => f,
-            Ok(None) | Err(_) => return,
+            Ok(None) => return,
+            Err(e) => {
+                if e.kind() == io::ErrorKind::TimedOut {
+                    shared.reaped.fetch_add(1, Ordering::SeqCst);
+                }
+                return;
+            }
         };
         let (resp, shutdown) = dispatch(&frame, id, driver, shared, policy, cfg, &mut rng);
-        if write_frame(stream, &resp).is_err() {
+        if write_frame_faulted(stream, &resp, cfg.faults.as_deref()).is_err() {
             return;
         }
         if shutdown {
@@ -881,6 +1170,17 @@ fn err_json(msg: &str) -> String {
     format!("{{\"ok\":false,\"error\":\"{msg}\"}}")
 }
 
+/// Echoes a request's numeric `id` into a response object, so clients
+/// surviving duplicated/delayed frames can match answers to requests.
+fn attach_id(resp: String, id: Option<u64>) -> String {
+    match id {
+        Some(n) if resp.ends_with('}') => {
+            format!("{},\"id\":{}}}", &resp[..resp.len() - 1], n)
+        }
+        _ => resp,
+    }
+}
+
 /// Handles one request frame; the bool asks the caller to begin
 /// shutdown after writing the response.
 fn dispatch(
@@ -896,15 +1196,44 @@ fn dispatch(
         Ok(v) => v,
         Err(_) => return (err_json("bad json"), false),
     };
+    let req_id = req.get("id").and_then(Json::as_u64);
+    let (resp, shutdown) = dispatch_op(&req, id, driver, shared, policy, cfg, rng);
+    (attach_id(resp, req_id), shutdown)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_op(
+    req: &Json,
+    id: usize,
+    driver: &RwLock<ServeDriver>,
+    shared: &NetShared,
+    policy: &FaultPolicy,
+    cfg: &NetServerConfig,
+    rng: &mut u64,
+) -> (String, bool) {
     let op = req.get("op").and_then(Json::as_str).unwrap_or("");
     match op {
         "query" | "check" => (
-            serve_query(&req, op == "check", id, driver, shared, policy, cfg, rng),
+            serve_query(req, op == "check", id, driver, shared, policy, cfg, rng),
             false,
         ),
         "tick" => {
-            if cfg.replica_of.is_some() {
+            if shared.is_replica() {
                 return (err_json("replica is read-only; use sync"), false);
+            }
+            {
+                let d = driver.read().unwrap_or_else(|p| p.into_inner());
+                let fenced = d.labels().iter().any(|l| {
+                    d.engine(l)
+                        .and_then(|e| e.as_sharded())
+                        .is_some_and(|p| p.is_fenced())
+                });
+                if fenced {
+                    return (
+                        err_json("fenced: a newer primary epoch exists; writes refused"),
+                        false,
+                    );
+                }
             }
             let (updates, t_now, pending) = {
                 let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
@@ -919,10 +1248,11 @@ fn dispatch(
                 false,
             )
         }
-        "ship_log" => (serve_ship_log(&req, driver), false),
-        "sync" => (serve_sync(&req, driver, cfg), false),
-        "subscribe" => (serve_subscribe(&req, id, driver, shared), false),
-        "unsubscribe" => (serve_unsubscribe(&req, id, driver, shared), false),
+        "ship_log" => (serve_ship_log(req, driver), false),
+        "sync" => (serve_sync(req, driver, shared, policy, rng), false),
+        "promote" => (serve_promote(req, driver, shared), false),
+        "subscribe" => (serve_subscribe(req, id, driver, shared), false),
+        "unsubscribe" => (serve_unsubscribe(req, id, driver, shared), false),
         "poll_deltas" => {
             let mut router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
             let buf = router.bufs.entry(id).or_default();
@@ -937,7 +1267,7 @@ fn dispatch(
                 false,
             )
         }
-        "metrics" => (metrics_json(driver, shared), false),
+        "metrics" => (metrics_json(driver, shared, cfg), false),
         "shutdown" => ("{\"ok\":true,\"draining\":true}".to_string(), true),
         _ => (err_json("unknown op"), false),
     }
@@ -1053,6 +1383,9 @@ fn resolve_label(req: &Json, d: &ServeDriver) -> Result<String, String> {
 /// offsets)` no longer match gets a bootstrap, not an error.
 fn serve_ship_log(req: &Json, driver: &RwLock<ServeDriver>) -> String {
     let epoch = req.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+    // The requester's replication epoch: a follower of a *newer*
+    // primary fences this plane permanently (split-brain guard).
+    let req_repl = req.get("repl_epoch").and_then(Json::as_u64).unwrap_or(0);
     let offsets: Vec<usize> = match req.get("offsets") {
         None | Some(Json::Null) => Vec::new(),
         Some(Json::Arr(items)) => {
@@ -1079,6 +1412,13 @@ fn serve_ship_log(req: &Json, driver: &RwLock<ServeDriver>) -> String {
     let Some(plane) = engine.as_sharded() else {
         return err_json("engine is not a sharded primary");
     };
+    if plane.fence_if_stale(req_repl) {
+        return format!(
+            "{{\"ok\":false,\"error\":\"fenced\",\"stale\":{},\"current\":{}}}",
+            plane.repl_epoch(),
+            req_repl.max(plane.repl_epoch())
+        );
+    }
     let ship = plane.wal_since(epoch, &offsets);
     let checkpoint = ship
         .checkpoint
@@ -1098,10 +1438,11 @@ fn serve_ship_log(req: &Json, driver: &RwLock<ServeDriver>) -> String {
         })
         .collect();
     format!(
-        "{{\"ok\":true,\"engine\":{label:?},\"shards\":{},\"epoch\":{},\"t_base\":{},\
-         \"checkpoint\":{},\"segments\":[{}]}}",
+        "{{\"ok\":true,\"engine\":{label:?},\"shards\":{},\"epoch\":{},\"repl_epoch\":{},\
+         \"t_base\":{},\"checkpoint\":{},\"segments\":[{}]}}",
         ship.shards,
         ship.epoch,
+        ship.repl_epoch,
         ship.t_base,
         checkpoint,
         segments.join(",")
@@ -1112,11 +1453,22 @@ fn serve_ship_log(req: &Json, driver: &RwLock<ServeDriver>) -> String {
 /// the configured primary and ingests it. The network round trip runs
 /// without holding any driver lock; only the final ingest takes the
 /// write lock.
-fn serve_sync(req: &Json, driver: &RwLock<ServeDriver>, cfg: &NetServerConfig) -> String {
-    let Some(primary) = cfg.replica_of.as_deref() else {
+///
+/// Transient network errors retry in place with the policy's seeded
+/// backoff; an ingest `Mismatch` (gap past the watermark — the primary
+/// restarted or GC'd the segment) forces one full re-bootstrap fetch.
+/// A `Fenced` refusal is terminal and answered as a typed error.
+fn serve_sync(
+    req: &Json,
+    driver: &RwLock<ServeDriver>,
+    shared: &NetShared,
+    policy: &FaultPolicy,
+    rng: &mut u64,
+) -> String {
+    let Some(primary) = shared.primary_addr() else {
         return err_json("not a replica front-end");
     };
-    let (label, epoch, offsets) = {
+    let (label, epoch, offsets, my_repl) = {
         let d = driver.read().unwrap_or_else(|p| p.into_inner());
         let label = match resolve_label(req, &d) {
             Ok(l) => l,
@@ -1125,33 +1477,110 @@ fn serve_sync(req: &Json, driver: &RwLock<ServeDriver>, cfg: &NetServerConfig) -
         let Some(rep) = d.engine(&label).and_then(|e| e.as_replica()) else {
             return err_json("engine is not a replica");
         };
-        (label, rep.applied_epoch(), rep.applied_offsets().to_vec())
+        (
+            label,
+            rep.applied_epoch(),
+            rep.applied_offsets().to_vec(),
+            rep.repl_epoch(),
+        )
     };
-    let ship = NetClient::connect(primary)
-        .map_err(|e| format!("connecting {primary}: {e}"))
-        .and_then(|mut c| fetch_shipment(&mut c, Some(&label), epoch, &offsets));
-    let ship = match ship {
-        Ok(s) => s,
-        Err(e) => {
-            return format!("{{\"ok\":false,\"error\":\"sync\",\"detail\":{e:?}}}");
+    let mut attempts: u32 = 0;
+    let mut force_bootstrap = false;
+    loop {
+        attempts += 1;
+        let fetch = NetClient::connect(&primary)
+            .map_err(|e| format!("connecting {primary}: {e}"))
+            .and_then(|mut c| {
+                if force_bootstrap {
+                    fetch_shipment(&mut c, Some(&label), 0, &[], my_repl)
+                } else {
+                    fetch_shipment(&mut c, Some(&label), epoch, &offsets, my_repl)
+                }
+            });
+        let ship = match fetch {
+            Ok(s) => s,
+            Err(e) => {
+                if e.contains("\"error\":\"fenced\"") || e.contains("fenced:") {
+                    return format!(
+                        "{{\"ok\":false,\"error\":\"fenced\",\"detail\":{e:?},\
+                         \"attempts\":{attempts}}}"
+                    );
+                }
+                if attempts >= policy.max_attempts {
+                    return format!(
+                        "{{\"ok\":false,\"error\":\"sync\",\"detail\":{e:?},\
+                         \"attempts\":{attempts}}}"
+                    );
+                }
+                backoff_us(policy, attempts, rng);
+                continue;
+            }
+        };
+        let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
+        let Some(rep) = d.engine_mut(&label).and_then(|e| e.as_replica_mut()) else {
+            return err_json("engine is not a replica");
+        };
+        match rep.ingest(&ship) {
+            Ok(r) => {
+                return format!(
+                    "{{\"ok\":true,\"bootstrapped\":{},\"records\":{},\"updates\":{},\
+                     \"duplicates\":{},\"lag\":{},\"applied_t\":{},\"attempts\":{}}}",
+                    r.bootstrapped,
+                    r.records,
+                    r.updates,
+                    r.duplicates,
+                    r.lag,
+                    rep.applied_t(),
+                    attempts
+                )
+            }
+            Err(RecoverError::Fenced { stale, current }) => {
+                return format!(
+                    "{{\"ok\":false,\"error\":\"fenced\",\"stale\":{stale},\
+                     \"current\":{current},\"attempts\":{attempts}}}"
+                )
+            }
+            Err(e) => {
+                let retriable = matches!(e, RecoverError::Mismatch(_)) && !force_bootstrap;
+                if retriable && attempts < policy.max_attempts {
+                    force_bootstrap = true;
+                    drop(d);
+                    backoff_us(policy, attempts, rng);
+                    continue;
+                }
+                return format!(
+                    "{{\"ok\":false,\"error\":\"ingest\",\"detail\":{:?},\"attempts\":{}}}",
+                    format!("{e}"),
+                    attempts
+                );
+            }
         }
-    };
+    }
+}
+
+/// Handles a `promote` op: turns a replica front-end into a writable
+/// primary. Seals the applied state, bumps the replication epoch past
+/// the replicated lineage, and stops the front-end pulling from its
+/// old primary. Idempotent — promoting a promoted node re-answers its
+/// epoch.
+fn serve_promote(req: &Json, driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
     let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
-    let Some(rep) = d.engine_mut(&label).and_then(|e| e.as_replica_mut()) else {
-        return err_json("engine is not a replica");
+    let label = match resolve_label(req, &d) {
+        Ok(l) => l,
+        Err(resp) => return resp,
     };
-    match rep.ingest(&ship) {
-        Ok(r) => format!(
-            "{{\"ok\":true,\"bootstrapped\":{},\"records\":{},\"updates\":{},\"lag\":{},\
-             \"applied_t\":{}}}",
-            r.bootstrapped,
-            r.records,
-            r.updates,
-            r.lag,
-            rep.applied_t()
-        ),
+    match d.promote_replica(&label) {
+        Ok((repl_epoch, applied_t)) => {
+            drop(d);
+            let mut primary = shared.replica_of.write().unwrap_or_else(|p| p.into_inner());
+            *primary = None;
+            format!(
+                "{{\"ok\":true,\"promoted\":true,\"repl_epoch\":{repl_epoch},\
+                 \"applied_t\":{applied_t}}}"
+            )
+        }
         Err(e) => format!(
-            "{{\"ok\":false,\"error\":\"ingest\",\"detail\":{:?}}}",
+            "{{\"ok\":false,\"error\":\"promote\",\"detail\":{:?}}}",
             format!("{e}")
         ),
     }
@@ -1363,7 +1792,7 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
-fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
+fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared, cfg: &NetServerConfig) -> String {
     let pool = Executor::global();
     let clients = {
         let clients = shared.clients.lock().unwrap_or_else(|p| p.into_inner());
@@ -1379,8 +1808,9 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
             .collect::<Vec<_>>()
             .join(",")
     };
-    let (t_now, objects, replica) = {
+    let (t_now, objects, replica, repl) = {
         let d = driver.read().unwrap_or_else(|p| p.into_inner());
+        let default_engine = d.labels().first().and_then(|l| d.engine(l));
         // `replica_lag` and friends ride along whenever the default
         // engine is a log-shipping replica.
         let replica = d
@@ -1391,31 +1821,57 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
             .map(|r| {
                 format!(
                     "{{\"replica_lag\":{},\"applied_t\":{},\"epoch\":{},\"shipments\":{},\
-                     \"bootstraps\":{}}}",
+                     \"bootstraps\":{},\"duplicates\":{},\"fenced_shipments\":{}}}",
                     r.lag(),
                     r.applied_t(),
                     r.applied_epoch(),
                     r.shipments(),
-                    r.bootstraps()
+                    r.bootstraps(),
+                    r.duplicates(),
+                    r.fenced_shipments()
                 )
             });
+        // Replication-epoch state of the writable plane (if any):
+        // fencing counters prove a deposed primary dropped its writes.
+        let repl = default_engine.and_then(|e| e.as_sharded()).map(|p| {
+            format!(
+                "{{\"repl_epoch\":{},\"fenced\":{},\"fenced_writes\":{}}}",
+                p.repl_epoch(),
+                p.is_fenced(),
+                p.fenced_writes()
+            )
+        });
         (
             d.simulator().t_now(),
             d.simulator().population().len(),
             replica,
+            repl,
         )
     };
     let wire_subs = {
         let router = shared.subs.lock().unwrap_or_else(|p| p.into_inner());
         router.routes.len()
     };
+    let netfaults = cfg
+        .faults
+        .as_ref()
+        .map(|f| f.stats().to_json())
+        .unwrap_or_else(|| "null".into());
+    let role = if shared.is_replica() {
+        "replica"
+    } else {
+        "primary"
+    };
     format!(
-        "{{\"ok\":true,\"metrics\":{{\"t_now\":{},\"objects\":{},\"pool_workers\":{},\
+        "{{\"ok\":true,\"metrics\":{{\"t_now\":{},\"objects\":{},\"role\":{:?},\
+         \"pool_workers\":{},\
          \"queue_depth\":{},\"inflight\":{},\"served\":{},\"rejected_admissions\":{},\
-         \"failed_queries\":{},\"deadline_misses\":{},\"wire_subs\":{},\"replica\":{},\
+         \"failed_queries\":{},\"deadline_misses\":{},\"reaped_connections\":{},\
+         \"wire_subs\":{},\"replica\":{},\"repl\":{},\"netfaults\":{},\
          \"clients\":[{}],\"exec\":{}}}}}",
         t_now,
         objects,
+        role,
         pool.workers(),
         pool.queue_depth(),
         shared.inflight.load(Ordering::SeqCst),
@@ -1423,8 +1879,11 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared) -> String {
         shared.rejected.load(Ordering::SeqCst),
         shared.failed.load(Ordering::SeqCst),
         shared.deadline_misses.load(Ordering::SeqCst),
+        shared.reaped.load(Ordering::SeqCst),
         wire_subs,
         replica.unwrap_or_else(|| "null".into()),
+        repl.unwrap_or_else(|| "null".into()),
+        netfaults,
         clients,
         pool.obs_report().to_json()
     )
@@ -1933,5 +2392,282 @@ mod tests {
         c.request("{\"op\":\"shutdown\"}").unwrap();
         let summary = server.join().unwrap();
         assert!(summary.contains("\"rejected_admissions\":3"), "{summary}");
+    }
+
+    /// A frame truncated at *every* possible byte boundary — inside the
+    /// length prefix and inside the payload — must surface as an error,
+    /// never as a silent short read or a hang.
+    #[test]
+    fn torn_frames_error_at_every_byte_boundary() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"tick\",\"id\":7}").unwrap();
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap().as_deref(),
+            Some("{\"op\":\"tick\",\"id\":7}")
+        );
+        assert_eq!(
+            read_frame(&mut &buf[..0]).unwrap(),
+            None,
+            "empty stream is clean EOF"
+        );
+        for cut in 1..buf.len() {
+            let mut torn = &buf[..cut];
+            assert!(
+                read_frame(&mut torn).is_err(),
+                "torn frame at byte {cut} must error"
+            );
+        }
+    }
+
+    /// A peer stalling mid-frame (partial length prefix, then silence)
+    /// is reaped after the frame timeout instead of pinning a worker
+    /// forever; a peer disconnecting mid-payload tears down cleanly.
+    /// Blocking `read_exact` without a deadline would hang this test.
+    #[test]
+    fn stalled_and_torn_connections_are_reaped_not_pinned() {
+        let cfg = NetServerConfig {
+            idle_timeout: Duration::from_millis(300),
+            frame_timeout: Duration::from_millis(150),
+            ..NetServerConfig::default()
+        };
+        let server =
+            NetServer::bind("127.0.0.1:0", driver(200), FaultPolicy::default(), cfg).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || server.serve());
+
+        // Stall 1: two bytes of length prefix, then silence.
+        let mut stalled = TcpStream::connect(&addr).unwrap();
+        stalled.write_all(&[0x00, 0x00]).unwrap();
+        // Stall 2: honest prefix claiming 50 bytes, 10 delivered, drop.
+        let mut torn = TcpStream::connect(&addr).unwrap();
+        torn.write_all(&50u32.to_be_bytes()).unwrap();
+        torn.write_all(&[b'{'; 10]).unwrap();
+        drop(torn);
+        // Idle: connected, never writes a byte.
+        let idle = TcpStream::connect(&addr).unwrap();
+
+        std::thread::sleep(Duration::from_millis(700));
+        let mut c = NetClient::connect(&addr).unwrap();
+        let m = c.request("{\"op\":\"metrics\"}").unwrap();
+        let reaped = m
+            .get("metrics")
+            .and_then(|v| v.get("reaped_connections"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(
+            reaped >= 2,
+            "stalled + idle connections must be reaped, got {reaped}: {m:?}"
+        );
+        drop(stalled);
+        drop(idle);
+        c.request("{\"op\":\"shutdown\"}").unwrap();
+        let summary = server.join().unwrap();
+        assert!(summary.contains("\"leaked_workers\":0"), "{summary}");
+    }
+
+    /// With a `duplicate frame` plan under the server's frame writes,
+    /// every response arrives twice; a client matching on the echoed
+    /// request id discards the duplicates and stays in sync.
+    #[test]
+    fn duplicated_response_frames_are_discarded_by_id_matching() {
+        let plan =
+            crate::netfault::NetFaultPlan::parse("duplicate frame every=1 permanent").unwrap();
+        let inj = Arc::new(NetFaultInjector::new(plan));
+        let cfg = NetServerConfig {
+            faults: Some(inj.clone()),
+            ..NetServerConfig::default()
+        };
+        let server =
+            NetServer::bind("127.0.0.1:0", driver(200), FaultPolicy::default(), cfg).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || server.serve());
+        let mut c = NetClient::connect(&addr).unwrap();
+        let recv_matching = |c: &mut NetClient, want: u64| -> String {
+            loop {
+                let frame = c.recv_raw().unwrap();
+                if let Ok(v) = Json::parse(&frame) {
+                    if v.get("id").and_then(Json::as_u64) == Some(want) {
+                        return frame;
+                    }
+                }
+            }
+        };
+        for id in 1..=5u64 {
+            c.send(&format!("{{\"op\":\"tick\",\"id\":{id}}}")).unwrap();
+            let frame = recv_matching(&mut c, id);
+            assert!(frame.contains("\"ok\":true"), "{frame}");
+        }
+        assert!(
+            inj.stats().duplicates >= 5,
+            "every response written twice: {:?}",
+            inj.stats()
+        );
+        c.send("{\"op\":\"shutdown\",\"id\":99}").unwrap();
+        let frame = recv_matching(&mut c, 99);
+        assert!(frame.contains("\"draining\":true"), "{frame}");
+        let summary = server.join().unwrap();
+        assert!(summary.contains("\"leaked_workers\":0"), "{summary}");
+        assert!(summary.contains("\"netfaults\":{"), "{summary}");
+    }
+
+    /// A `drop frame` plan under the server's writes loses one response;
+    /// the client times out on the missing frame, retries on the same
+    /// connection, and the drop surfaces in the metrics' netfault block.
+    #[test]
+    fn dropped_response_frame_times_out_client_and_counts_in_metrics() {
+        let plan = crate::netfault::NetFaultPlan::parse("drop frame nth=2 times=1").unwrap();
+        let cfg = NetServerConfig {
+            faults: Some(Arc::new(NetFaultInjector::new(plan))),
+            ..NetServerConfig::default()
+        };
+        let server =
+            NetServer::bind("127.0.0.1:0", driver(200), FaultPolicy::default(), cfg).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || server.serve());
+        let mut c = NetClient::connect(&addr).unwrap();
+        c.set_io_timeouts(Some(Duration::from_millis(300)), None)
+            .unwrap();
+        let r = c.request("{\"op\":\"tick\",\"id\":1}").unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        // Second response is dropped below the framing layer.
+        c.send("{\"op\":\"tick\",\"id\":2}").unwrap();
+        assert!(c.recv().is_err(), "dropped response must time out");
+        // The connection itself is healthy; the next exchange works.
+        let r = c.request("{\"op\":\"tick\",\"id\":3}").unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+        let m = c.request("{\"op\":\"metrics\",\"id\":4}").unwrap();
+        let drops = m
+            .get("metrics")
+            .and_then(|v| v.get("netfaults"))
+            .and_then(|v| v.get("drops"))
+            .and_then(Json::as_u64);
+        assert_eq!(drops, Some(1), "{m:?}");
+        c.request("{\"op\":\"shutdown\"}").unwrap();
+        server.join().unwrap();
+    }
+
+    /// Failover over real sockets: promote a synced replica, verify it
+    /// accepts writes, and verify the deposed primary fences itself the
+    /// moment it observes the newer replication epoch.
+    #[test]
+    fn tcp_promote_turns_replica_writable_and_fences_old_primary() {
+        let mut primary_driver = ServeDriver::new(sim(300), pdr_storage::CostModel::PAPER_DEFAULT)
+            .with_engine("fr", sharded_spec().build(0));
+        primary_driver.bootstrap();
+        let primary = NetServer::bind(
+            "127.0.0.1:0",
+            primary_driver,
+            FaultPolicy::default(),
+            NetServerConfig::default(),
+        )
+        .unwrap();
+        let primary_addr = primary.local_addr().unwrap().to_string();
+        let primary = std::thread::spawn(move || primary.serve());
+
+        let replica_driver = ServeDriver::new(sim(300), pdr_storage::CostModel::PAPER_DEFAULT)
+            .with_engine("fr", sharded_spec().try_build_replica(0).unwrap());
+        let replica = NetServer::bind(
+            "127.0.0.1:0",
+            replica_driver,
+            FaultPolicy::default(),
+            NetServerConfig {
+                replica_of: Some(primary_addr.clone()),
+                ..NetServerConfig::default()
+            },
+        )
+        .unwrap();
+        let replica_addr = replica.local_addr().unwrap().to_string();
+        let replica = std::thread::spawn(move || replica.serve());
+
+        let mut p = NetClient::connect(&primary_addr).unwrap();
+        let mut r = NetClient::connect(&replica_addr).unwrap();
+
+        // Establish replicated state: two ticks, then a catch-up sync.
+        for _ in 0..2 {
+            let resp = p.request("{\"op\":\"tick\"}").unwrap();
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        let resp = r.request("{\"op\":\"sync\"}").unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        let applied_t = resp.get("applied_t").and_then(Json::as_u64).unwrap();
+
+        // Promote. The response carries the bumped epoch and the sealed
+        // applied time; a second promote is an idempotent re-answer.
+        let resp = r.request("{\"op\":\"promote\"}").unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        let epoch = resp.get("repl_epoch").and_then(Json::as_u64).unwrap();
+        assert!(epoch >= 2, "promotion bumps past the replicated epoch");
+        assert_eq!(
+            resp.get("applied_t").and_then(Json::as_u64),
+            Some(applied_t)
+        );
+        let again = r.request("{\"op\":\"promote\"}").unwrap();
+        assert_eq!(again.get("repl_epoch").and_then(Json::as_u64), Some(epoch));
+
+        // The promoted node ticks (writes) and keeps answering exactly.
+        let resp = r.request("{\"op\":\"tick\"}").unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "promoted node must accept writes: {resp:?}"
+        );
+        let resp = r
+            .request("{\"op\":\"check\",\"rho\":0.015,\"l\":20.0,\"q_t\":1}")
+            .unwrap();
+        assert_eq!(
+            resp.get("exact").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        // Syncing a promoted node is refused — it no longer follows.
+        let resp = r.request("{\"op\":\"sync\"}").unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+        // The deposed primary fences itself on first contact with the
+        // newer epoch: ship_log refuses, then writes are refused too.
+        let resp = p
+            .request(&format!(
+                "{{\"op\":\"ship_log\",\"epoch\":0,\"offsets\":[],\"repl_epoch\":{epoch}}}"
+            ))
+            .unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(resp.get("error").and_then(Json::as_str), Some("fenced"));
+        let resp = p.request("{\"op\":\"tick\"}").unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "fenced primary must refuse writes: {resp:?}"
+        );
+        assert!(
+            resp.get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.contains("fenced")),
+            "{resp:?}"
+        );
+        let m = p.request("{\"op\":\"metrics\"}").unwrap();
+        let repl = m
+            .get("metrics")
+            .and_then(|v| v.get("repl"))
+            .expect("repl block on a primary");
+        assert_eq!(repl.get("fenced").and_then(Json::as_bool), Some(true));
+
+        for c in [&mut r, &mut p] {
+            c.request("{\"op\":\"shutdown\"}").unwrap();
+        }
+        for (name, h) in [("replica", replica), ("primary", primary)] {
+            let summary = h.join().unwrap();
+            assert!(
+                summary.contains("\"leaked_workers\":0"),
+                "{name}: {summary}"
+            );
+        }
     }
 }

@@ -702,6 +702,40 @@ impl ServeDriver {
         self.checkpoint_engines();
     }
 
+    /// Promotes the replica registered under `label` into a writable
+    /// primary and returns its new replication epoch plus the applied
+    /// protocol time it was sealed at.
+    ///
+    /// The driver's local simulator never ticked while the engine was
+    /// a replica (the replicated stream was the clock), so after the
+    /// engine flips to primary the simulator is fast-forwarded to the
+    /// applied timestamp. Both sides of a failover pair are launched
+    /// from the same `--objects/--seed/--extent`, and the simulator is
+    /// deterministic, so the fast-forwarded population is exactly the
+    /// one the replicated updates described — ground truth and `q_t`
+    /// resolution stay exact across the promotion.
+    pub fn promote_replica(&mut self, label: &str) -> Result<(u64, Timestamp), String> {
+        let s = self
+            .engines
+            .iter_mut()
+            .find(|s| s.label == label)
+            .ok_or_else(|| format!("no such engine {label:?}"))?;
+        let (epoch, applied_t) = if let Some(rep) = s.engine.as_replica_mut() {
+            let t = rep.applied_t();
+            (rep.promote(), t)
+        } else if let Some(plane) = s.engine.as_sharded() {
+            // Already promoted (or a born primary): idempotent
+            // re-answer; the simulator is already current.
+            (plane.repl_epoch(), self.sim.t_now())
+        } else {
+            return Err(format!("engine {label:?} is neither replica nor primary"));
+        };
+        while self.sim.t_now() < applied_t {
+            let _ = self.sim.tick();
+        }
+        Ok((epoch, applied_t))
+    }
+
     /// Drives one simulator tick through every engine: advances each
     /// horizon to the new timestamp, then applies the tick's updates.
     /// Returns the number of protocol updates applied.

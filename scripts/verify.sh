@@ -8,6 +8,7 @@
 #   scripts/verify.sh --serve-tcp-smoke # only the TCP front-end smoke
 #   scripts/verify.sh --sub-smoke    # only the standing-subscription smoke
 #   scripts/verify.sh --replica-smoke # only the log-shipping replica smoke
+#   scripts/verify.sh --chaos-smoke  # only the failover/netfault chaos smoke
 #
 # Clippy is best-effort: on a fully offline container a missing
 # component must not mask real test failures, so its absence is
@@ -21,12 +22,14 @@ only_sharded=0
 only_tcp=0
 only_sub=0
 only_replica=0
+only_chaos=0
 [ "${1:-}" = "--fast" ] && fast=1
 [ "${1:-}" = "--fault-matrix" ] && only_faults=1
 [ "${1:-}" = "--sharded-smoke" ] && only_sharded=1
 [ "${1:-}" = "--serve-tcp-smoke" ] && only_tcp=1
 [ "${1:-}" = "--sub-smoke" ] && only_sub=1
 [ "${1:-}" = "--replica-smoke" ] && only_replica=1
+[ "${1:-}" = "--chaos-smoke" ] && only_chaos=1
 fail=0
 
 step() { printf '\n==> %s\n' "$*"; }
@@ -443,6 +446,165 @@ replica_smoke() {
     rm -f "$pport" "$rport" "$plog" "$rlog" "$clientlog"
 }
 
+# Chaos smoke: primary + replica under the lossy-net fault plan. Phase
+# 1 drives 5 ticks with per-tick replica syncs and bit-identical
+# cross-checks, leaving both servers open. The primary is then killed
+# with SIGKILL (no shutdown protocol, no flush) and phase 2 reconnects
+# with `--failover`: the client walks to the replica, promotes it, and
+# keeps getting exact answers from the new primary — every update
+# acknowledged before the crash survives, under duplicated and delayed
+# frames the whole time. Fails on a divergent or inexact answer, a
+# client that cannot fail over, missing netfault counters, a dirty
+# replica exit, or a leaked thread on the survivor.
+chaos_smoke() {
+    step "chaos smoke (lossy net, SIGKILL primary, failover to promoted replica)"
+    if ! cargo build --release -p pdr-cli; then
+        echo "FAIL: pdr-cli release build"
+        fail=1
+        return
+    fi
+    pport="$(mktemp /tmp/pdr-chaos-pport.XXXXXX)"
+    rport="$(mktemp /tmp/pdr-chaos-rport.XXXXXX)"
+    plog="$(mktemp /tmp/pdr-chaos-primary.XXXXXX.log)"
+    rlog="$(mktemp /tmp/pdr-chaos-replica.XXXXXX.log)"
+    c1log="$(mktemp /tmp/pdr-chaos-client1.XXXXXX.log)"
+    c2log="$(mktemp /tmp/pdr-chaos-client2.XXXXXX.log)"
+    rm -f "$pport" "$rport"
+    target/release/pdrcli serve --objects 800 --extent 400 --ticks 1 \
+        --l 20 --count 8 --seed 11 --shards 2x2 \
+        --net-fault-plan plans/lossy-net.plan \
+        --listen 127.0.0.1:0 --port-file "$pport" --deadline-ms 5000 \
+        >"$plog" 2>&1 &
+    primary=$!
+    for _ in $(seq 1 150); do
+        [ -s "$pport" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$pport" ]; then
+        echo "FAIL: chaos smoke: primary never wrote its port file"
+        fail=1
+        kill -9 "$primary" 2>/dev/null
+        wait "$primary" 2>/dev/null
+        rm -f "$pport" "$rport" "$plog" "$rlog" "$c1log" "$c2log"
+        return
+    fi
+    target/release/pdrcli serve --objects 800 --extent 400 --ticks 1 \
+        --l 20 --count 8 --seed 11 --shards 2x2 \
+        --replica-of "$(cat "$pport")" \
+        --listen 127.0.0.1:0 --port-file "$rport" --deadline-ms 5000 \
+        >"$rlog" 2>&1 &
+    replica=$!
+    for _ in $(seq 1 150); do
+        [ -s "$rport" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$rport" ]; then
+        echo "FAIL: chaos smoke: replica never wrote its port file"
+        sed 's/^/  replica: /' "$rlog"
+        fail=1
+        kill -9 "$primary" "$replica" 2>/dev/null
+        wait "$primary" "$replica" 2>/dev/null
+        rm -f "$pport" "$rport" "$plog" "$rlog" "$c1log" "$c2log"
+        return
+    fi
+    # Phase 1: ticks + per-tick replica sync under the lossy plan;
+    # --keep-open leaves both servers running for the crash.
+    if ! target/release/pdrcli client --connect "$(cat "$pport")" \
+            --replica "$(cat "$rport")" --keep-open \
+            --ticks 5 --queries 4 --l 20 --count 8 >"$c1log" 2>&1; then
+        echo "FAIL: chaos phase-1 client exited nonzero"
+        sed 's/^/  client: /' "$c1log"
+        fail=1
+    else
+        if ! grep -qF '"replica_exact":true' "$c1log"; then
+            echo "FAIL: chaos phase 1 lost bit-identity under the lossy net"
+            fail=1
+        fi
+        if ! grep -qF 'all exact' "$c1log"; then
+            echo "FAIL: chaos phase-1 client did not confirm exact answers"
+            fail=1
+        fi
+        # The primary's metrics relay must show the injection plane
+        # actually firing (delays and duplicates under lossy-net.plan).
+        if ! grep -qE '"netfaults":\{"frames":[1-9]' "$c1log"; then
+            echo "FAIL: chaos phase 1 metrics show no injected frames"
+            fail=1
+        fi
+        if ! grep -qE '"duplicates":[1-9]' "$c1log"; then
+            echo "FAIL: chaos phase 1 injected no duplicate frames"
+            fail=1
+        fi
+    fi
+    # Crash: no shutdown op, no flush — the primary just dies.
+    kill -9 "$primary" 2>/dev/null
+    wait "$primary" 2>/dev/null
+    # Phase 2: the dead primary is still first in the target list; the
+    # client must walk to the replica, promote it, and keep serving
+    # exact answers (every acked pre-crash update survives).
+    if ! target/release/pdrcli client --connect "$(cat "$pport")" \
+            --failover "$(cat "$rport")" \
+            --ticks 5 --queries 4 --l 20 --count 8 >"$c2log" 2>&1; then
+        echo "FAIL: chaos phase-2 client exited nonzero"
+        sed 's/^/  client: /' "$c2log"
+        fail=1
+    else
+        if ! grep -qF 'all exact' "$c2log"; then
+            echo "FAIL: promoted replica served inexact answers"
+            sed 's/^/  client: /' "$c2log"
+            fail=1
+        fi
+        if ! grep -qE '"failovers":[1-9]' "$c2log"; then
+            echo "FAIL: chaos phase-2 client reports no failover"
+            fail=1
+        fi
+        # The survivor's metrics must show the promoted role and epoch.
+        if ! grep -qE '"repl_epoch":[2-9]' "$c2log"; then
+            echo "FAIL: promoted replica metrics lack the bumped epoch"
+            fail=1
+        fi
+    fi
+    # Phase 2 shut the promoted replica down via the protocol op.
+    alive=1
+    for _ in $(seq 1 150); do
+        if ! kill -0 "$replica" 2>/dev/null; then
+            alive=0
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$alive" -eq 1 ]; then
+        echo "FAIL: promoted replica still running after protocol shutdown"
+        kill -9 "$replica" 2>/dev/null
+        fail=1
+    fi
+    wait "$replica" 2>/dev/null
+    rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: promoted replica exited nonzero ($rc)"
+        sed 's/^/  replica: /' "$rlog"
+        fail=1
+    fi
+    for key in '"shutdown":true' '"leaked_workers":0'; do
+        if ! grep -qF "$key" "$rlog"; then
+            echo "FAIL: promoted replica shutdown summary lacks $key"
+            fail=1
+        fi
+    done
+    rm -f "$pport" "$rport" "$plog" "$rlog" "$c1log" "$c2log"
+}
+
+if [ "$only_chaos" -eq 1 ]; then
+    chaos_smoke
+    if [ "$fail" -ne 0 ]; then
+        echo
+        echo "verify: FAILED"
+        exit 1
+    fi
+    echo
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$only_replica" -eq 1 ]; then
     replica_smoke
     if [ "$fail" -ne 0 ]; then
@@ -559,6 +721,7 @@ if [ "$fast" -eq 0 ]; then
     serve_tcp_smoke
     sub_smoke
     replica_smoke
+    chaos_smoke
 fi
 
 step "cargo test -q (tier-1)"
