@@ -77,6 +77,7 @@ fn mix(clients: usize) -> QueryMix {
 fn replica_axis(n: usize, ticks: u64) -> String {
     let horizon = TimeHorizon::new(8, 8);
     let spec = EngineSpec::Sharded {
+        adaptive: None,
         inner: Box::new(EngineSpec::Fr(FrConfig {
             extent: EXTENT,
             m: 40,

@@ -73,6 +73,7 @@ fn fr_spec() -> EngineSpec {
 
 fn sharded_spec(sx: u32, sy: u32) -> EngineSpec {
     EngineSpec::Sharded {
+        adaptive: None,
         inner: Box::new(fr_spec()),
         sx,
         sy,

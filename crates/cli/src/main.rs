@@ -72,10 +72,10 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage:\n  pdrcli generate --objects N [--extent L] [--clusters K] [--seed S] --out FILE\n  \
          pdrcli query --data FILE --l EDGE --count MIN_OBJECTS --at T [--extent L] [--method fr|pa] [--threads N]\n  \
-         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--clients N] [--subs N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS]\n  \
+         pdrcli serve --objects N --ticks T --l EDGE --count MIN_OBJECTS [--extent L] [--seed S] [--threads N] [--clients N] [--subs N] [--metrics FILE] [--fault-plan FILE] [--buffer-pages N] [--journal TICKS] [--shards SxS] [--adaptive] [--split-threshold N] [--merge-threshold N]\n  \
          pdrcli serve --listen ADDR [--port-file FILE] [--capacity N] [--deadline-ms N] [--net-fault-plan FILE] [--objects N ...]\n  \
          pdrcli serve --listen ADDR --replica-of PRIMARY_ADDR --shards SxS [--objects N ...]\n  \
-         pdrcli client --connect ADDR [--ticks T] [--queries M] [--subs N] [--replica REPLICA_ADDR] [--failover ADDR,...] [--keep-open] [--net-fault-plan FILE] [--l EDGE] [--count MIN_OBJECTS]\n  \
+         pdrcli client --connect ADDR [--ticks T] [--queries M] [--subs N] [--replica REPLICA_ADDR] [--failover ADDR,...] [--keep-open] [--rebalance] [--net-fault-plan FILE] [--l EDGE] [--count MIN_OBJECTS]\n  \
          pdrcli hotspots --data FILE --l EDGE --at T [--extent L] [--top K]"
     );
     ExitCode::from(2)
@@ -136,6 +136,18 @@ struct Options {
     /// `client`: leave the servers running on exit (no `shutdown` op) —
     /// a later client picks up where this one stopped.
     keep_open: bool,
+    /// `serve`: let the shard plane split hot leaves and merge cold
+    /// sibling groups on its own (requires `--shards`).
+    adaptive: bool,
+    /// `serve --adaptive`: owned-object count above which a leaf splits.
+    split_threshold: u64,
+    /// `serve --adaptive`: combined owned count below which a sibling
+    /// group merges back into its parent.
+    merge_threshold: u64,
+    /// `client`: force one `rebalance` split after the first tick and
+    /// one merge before the last, checking answers stay exact across
+    /// both cutovers.
+    rebalance: bool,
 }
 
 impl Options {
@@ -172,6 +184,10 @@ impl Options {
             net_fault_plan: None,
             failover: Vec::new(),
             keep_open: false,
+            adaptive: false,
+            split_threshold: pdr_core::SplitPolicy::default().split_threshold,
+            merge_threshold: pdr_core::SplitPolicy::default().merge_threshold,
+            rebalance: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -179,6 +195,16 @@ impl Options {
             // Valueless flags first — everything else is `--key value`.
             if key == "--keep-open" {
                 o.keep_open = true;
+                i += 1;
+                continue;
+            }
+            if key == "--adaptive" {
+                o.adaptive = true;
+                i += 1;
+                continue;
+            }
+            if key == "--rebalance" {
+                o.rebalance = true;
                 i += 1;
                 continue;
             }
@@ -231,6 +257,8 @@ impl Options {
                 "--queries" => o.queries = value.parse().map_err(|_| bad(key))?,
                 "--deadline-ms" => o.deadline_ms = Some(value.parse().map_err(|_| bad(key))?),
                 "--subs" => o.subs = value.parse().map_err(|_| bad(key))?,
+                "--split-threshold" => o.split_threshold = value.parse().map_err(|_| bad(key))?,
+                "--merge-threshold" => o.merge_threshold = value.parse().map_err(|_| bad(key))?,
                 "--shards" => {
                     let (sx, sy) = value.split_once(['x', 'X']).ok_or_else(|| bad(key))?;
                     let sx: u32 = sx.parse().map_err(|_| bad(key))?;
@@ -411,6 +439,11 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         let inner = engine_spec(method, o, horizon)?;
         Ok(match o.shards {
             Some((sx, sy)) => EngineSpec::Sharded {
+                adaptive: o.adaptive.then(|| pdr_core::SplitPolicy {
+                    split_threshold: o.split_threshold,
+                    merge_threshold: o.merge_threshold,
+                    ..Default::default()
+                }),
                 inner: Box::new(inner),
                 sx,
                 sy,
@@ -424,7 +457,14 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         .with_engine("pa", spec_for("pa")?.build(0));
     driver.bootstrap();
     if let Some((sx, sy)) = o.shards {
-        eprintln!("# engines sharded {sx}x{sy} (halo l/2, per-shard WAL segments)");
+        if o.adaptive {
+            eprintln!(
+                "# engines sharded {sx}x{sy} adaptive (split>{} merge<{})",
+                o.split_threshold, o.merge_threshold
+            );
+        } else {
+            eprintln!("# engines sharded {sx}x{sy} (halo l/2, per-shard WAL segments)");
+        }
     }
 
     if let Some(path) = &o.fault_plan {
@@ -556,6 +596,7 @@ fn cmd_serve_replica(o: &Options) -> Result<(), String> {
     };
     let horizon = TimeHorizon::new(10, 10);
     let spec = EngineSpec::Sharded {
+        adaptive: None,
         inner: Box::new(engine_spec("fr", o, horizon)?),
         sx,
         sy,
@@ -701,12 +742,25 @@ struct ResilientClient {
     next_id: u64,
     reconnects: u64,
     failovers: u64,
+    /// Same-connection re-sends after a presumed-dropped frame.
+    retries: u64,
     rng: u64,
     faults: Option<Arc<NetFaultInjector>>,
 }
 
 /// Reconnect rounds (each walks every target) before giving up.
 const RECONNECT_ROUNDS: u32 = 8;
+
+/// Bounded per-request read patience. A response not seen within this
+/// window is presumed dropped (a lossy network may eat either the
+/// request or the response frame) and the request is re-sent on the
+/// same connection — the `id` echo makes a duplicated server response
+/// harmless, it is simply discarded by the match loop.
+const READ_RETRY: Duration = Duration::from_millis(1500);
+
+/// Same-connection re-sends per request before the connection is torn
+/// down and rebuilt through the reconnect/failover path.
+const READ_RETRIES_PER_CONN: u32 = 4;
 
 /// Reads response frames until one echoes the wanted `id`; other
 /// frames (duplicates injected below the framing layer, stale answers
@@ -736,6 +790,7 @@ impl ResilientClient {
             next_id: 0,
             reconnects: 0,
             failovers: 0,
+            retries: 0,
             rng: seed | 1,
             faults,
         };
@@ -768,8 +823,7 @@ impl ResilientClient {
                         continue;
                     }
                 };
-                let _ = conn
-                    .set_io_timeouts(Some(Duration::from_secs(20)), Some(Duration::from_secs(20)));
+                let _ = conn.set_io_timeouts(Some(READ_RETRY), Some(Duration::from_secs(20)));
                 if let Some(f) = &self.faults {
                     conn = conn.with_faults(f.clone());
                 }
@@ -831,13 +885,28 @@ impl ResilientClient {
         let id = self.next_id;
         let tagged = format!("{},\"id\":{}}}", &body[..body.len() - 1], id);
         let mut attempt = 0u32;
+        let mut resends = 0u32;
         loop {
             self.ensure_connected()?;
             let conn = self.conn.as_mut().expect("ensure_connected");
             match conn.send(&tagged).and_then(|()| recv_matching(conn, id)) {
                 Ok(frame) => return Ok(frame),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) && resends < READ_RETRIES_PER_CONN =>
+                {
+                    // Presumed frame drop: the connection is healthy,
+                    // only this exchange went missing. Re-send in
+                    // place, bounded; the id match discards any late
+                    // or duplicated response from an earlier send.
+                    resends += 1;
+                    self.retries += 1;
+                }
                 Err(e) => {
                     self.conn = None;
+                    resends = 0;
                     attempt += 1;
                     if attempt >= RECONNECT_ROUNDS {
                         return Err(format!("request failed after {attempt} attempts: {e}"));
@@ -919,6 +988,7 @@ fn poll_and_replay(c: &mut ResilientClient, subs: &mut [WireSub]) -> Result<usiz
             added: parse_rects(d.get("added").ok_or("delta without added")?)?,
             removed: parse_rects(d.get("removed").ok_or("delta without removed")?)?,
             degraded: false,
+            resync: d.get("resync").is_some(),
         };
         if let Some(s) = subs.iter_mut().find(|s| s.id == id) {
             patch.apply_to(&mut s.mirror);
@@ -1098,6 +1168,22 @@ fn cmd_client(o: &Options) -> Result<(), String> {
         if let Some(rc) = rc.as_mut() {
             replica_checks += sync_and_compare(&mut c, rc, rho, o.l)?;
         }
+        // `--rebalance`: drive one topology change at each end of the
+        // run, right before the tick's checked queries — the split and
+        // the merge cutover must both leave the answers exact.
+        if o.rebalance && (tick == 0 || tick + 1 == o.ticks) {
+            let action = if tick == 0 { "split" } else { "merge" };
+            let body = format!("{{\"op\":\"rebalance\",\"action\":\"{action}\"}}");
+            let r = c.request(&body).map_err(|e| format!("rebalance: {e}"))?;
+            if !ok(&r) {
+                return Err(format!("rebalance {action} failed: {r:?}"));
+            }
+            println!(
+                "{{\"rebalance\":\"{action}\",\"leaves\":{},\"part_epoch\":{}}}",
+                r.get("leaves").and_then(Json::as_u64).unwrap_or(0),
+                r.get("part_epoch").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
         // Offsets span the serve horizon's prediction window (W = 10).
         for k in 0..o.queries {
             let q_t = [0u64, 5, 10][k % 3];
@@ -1152,9 +1238,10 @@ fn cmd_client(o: &Options) -> Result<(), String> {
         }
     }
     println!(
-        "{{\"reconnects\":{},\"failovers\":{},\"target\":{:?}}}",
+        "{{\"reconnects\":{},\"failovers\":{},\"retries\":{},\"target\":{:?}}}",
         c.reconnects,
         c.failovers,
+        c.retries,
         c.target()
     );
     if !o.keep_open {

@@ -929,6 +929,11 @@ pub enum EngineSpec {
         sy: u32,
         /// Largest query neighborhood edge the halo must cover.
         l_max: f64,
+        /// Hotspot-adaptive topology policy. `None` keeps the fixed
+        /// `sx`×`sy` grid forever; `Some` lets the plane split hot
+        /// leaves and merge cold sibling groups on its own (see
+        /// [`SplitPolicy`](crate::SplitPolicy)).
+        adaptive: Option<crate::SplitPolicy>,
     },
 }
 
@@ -1125,6 +1130,7 @@ impl EngineSpec {
             sx,
             sy,
             l_max,
+            adaptive,
         } = self
         else {
             return Err(EngineSpecError::ReplicaNeedsSharding);
@@ -1145,15 +1151,17 @@ impl EngineSpec {
             }
             _ => 0,
         };
-        Ok(crate::ShardedEngine::new(
+        let mut plane = crate::ShardedEngine::new(
             self.name(),
             map,
             inner.routing_horizon(),
             t_start,
             threads,
             *l_max,
-            |_| per_shard.build(t_start),
-        ))
+            move |_| per_shard.build(t_start),
+        );
+        plane.set_policy(*adaptive);
+        Ok(plane)
     }
 
     /// Builds a read-only log-shipping [`Replica`](crate::Replica)
@@ -1318,12 +1326,14 @@ mod tests {
     #[test]
     fn spec_errors_are_typed_and_query_edges_validated() {
         let sharded = EngineSpec::Sharded {
+            adaptive: None,
             inner: Box::new(EngineSpec::Fr(small_fr_cfg())),
             sx: 2,
             sy: 2,
             l_max: 10.0,
         };
         let nested = EngineSpec::Sharded {
+            adaptive: None,
             inner: Box::new(sharded.clone()),
             sx: 2,
             sy: 1,
@@ -1335,6 +1345,7 @@ mod tests {
         );
         for bad_l_max in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
             let bad = EngineSpec::Sharded {
+                adaptive: None,
                 inner: Box::new(EngineSpec::Fr(small_fr_cfg())),
                 sx: 2,
                 sy: 2,
@@ -1366,6 +1377,7 @@ mod tests {
     fn sharded_plane_refuses_subscriptions_wider_than_its_halo() {
         use crate::sub::{QtPolicy, SubError};
         let spec = EngineSpec::Sharded {
+            adaptive: None,
             inner: Box::new(EngineSpec::Fr(small_fr_cfg())),
             sx: 2,
             sy: 2,
@@ -1418,6 +1430,7 @@ mod tests {
             EngineSpec::Dh(small_fr_cfg(), DhMode::Optimistic),
             EngineSpec::Dh(small_fr_cfg(), DhMode::Pessimistic),
             EngineSpec::Sharded {
+                adaptive: None,
                 inner: Box::new(EngineSpec::Fr(small_fr_cfg())),
                 sx: 2,
                 sy: 2,

@@ -97,7 +97,10 @@ pub use obs::{Counter, Histogram, HistogramSnapshot, ObsReport, StageTimer};
 pub use pa::{PaAnswer, PaConfig, PaEngine};
 pub use query::{DenseThreshold, PdrQuery};
 pub use replica::{IngestReport, Replica};
-pub use shard::{LogShipment, ShardMap, ShardedEngine, ShippedSegment, TailSummary};
+pub use shard::{
+    LogShipment, PartLeaf, Partition, RebalanceReport, ShardMap, ShardedEngine, ShippedSegment,
+    SplitPolicy, TailSummary, TopologyError,
+};
 pub use sub::{
     diff_canonical, AnswerDelta, QtPolicy, SubError, SubId, Subscription, SubscriptionTable,
 };

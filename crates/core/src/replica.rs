@@ -225,13 +225,27 @@ impl Replica {
                 current: self.repl_epoch,
             });
         }
-        if ship.shards as usize != self.inner.map().shards() {
-            return Err(RecoverError::Mismatch(
-                "shipment cut at a different shard count",
-            ));
-        }
         if ship.segments.len() != ship.shards as usize {
             return Err(RecoverError::Mismatch("shipment is missing shards"));
+        }
+        // A bootstrap shipment carries the primary's full partition
+        // inside the checkpoint, so the replica *reshapes* to whatever
+        // topology the primary has — no shard-count pre-check. Only an
+        // incremental shipment must match the replica's current
+        // topology exactly (count and partition epoch): after a
+        // split/merge the primary's segment identities are new, and
+        // applying its deltas against the old leaves would corrupt.
+        if ship.checkpoint.is_none() {
+            if ship.shards as usize != self.inner.map().shards() {
+                return Err(RecoverError::Mismatch(
+                    "shipment cut at a different shard count",
+                ));
+            }
+            if ship.part_epoch != self.inner.part_epoch() {
+                return Err(RecoverError::Mismatch(
+                    "incremental shipment from a different partition epoch",
+                ));
+            }
         }
         let mut report = IngestReport::default();
         if let Some(cp) = &ship.checkpoint {
@@ -242,9 +256,14 @@ impl Replica {
             // `start`; tails replay forward from there. A bootstrap
             // ships everything through the cut, so after the tails
             // land the replica is caught up to the primary's clock.
+            // Segment identity is the *stable leaf id*; map each onto
+            // the freshly restored partition's leaf order.
             self.applied = vec![0; ship.shards as usize];
             for seg in &ship.segments {
-                self.applied[seg.shard as usize] = seg.start;
+                let Some(i) = self.inner.map().index_of_id(seg.shard) else {
+                    return Err(RecoverError::Mismatch("shipment names an unknown shard"));
+                };
+                self.applied[i] = seg.start;
             }
             self.epoch = ship.epoch;
             self.applied_t = ship.t_base;
@@ -274,7 +293,9 @@ impl Replica {
         // replica exactly as it was (no half-applied shipment).
         let mut tails: Vec<(usize, usize)> = Vec::with_capacity(ship.segments.len());
         for seg in &ship.segments {
-            let i = seg.shard as usize;
+            let Some(i) = self.inner.map().index_of_id(seg.shard) else {
+                return Err(RecoverError::Mismatch("shipment names an unknown shard"));
+            };
             if i >= self.applied.len() {
                 return Err(RecoverError::Mismatch("shipment names an unknown shard"));
             }
@@ -644,13 +665,27 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_grid_is_refused() {
+    fn mismatched_grid_reshapes_on_bootstrap_refuses_incrementals() {
+        // Bootstraps are self-describing: a 1×1 replica pulling from a
+        // 2×2 primary reshapes to the primary's partition and answers
+        // bit-identically.
         let mut primary = plane(2, 2);
         primary.bulk_load(&seed_objects(), 0);
+        primary.refresh_checkpoints();
         let mut replica = Replica::new(plane(1, 1));
-        let err = replica
+        let report = replica
             .ingest(&primary.wal_since(replica.applied_epoch(), &[]))
-            .unwrap_err();
+            .expect("bootstrap reshapes across topologies");
+        assert!(report.bootstrapped);
+        assert_eq!(replica.plane().map().shards(), 4);
+        probe(&primary, &replica, 0);
+        // An *incremental* shipment cut at a different shard count (or
+        // partition epoch) is still refused — only bootstraps reshape.
+        let mut other = plane(3, 3);
+        other.bulk_load(&seed_objects(), 0);
+        let mut ship = other.wal_since(0, &[0; 9]);
+        ship.checkpoint = None;
+        let err = replica.ingest(&ship).unwrap_err();
         assert!(matches!(err, RecoverError::Mismatch(_)));
     }
 }

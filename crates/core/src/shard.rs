@@ -62,6 +62,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
+/// Tag at the head of a composed plane checkpoint: distinguishes the
+/// adaptive container (partition + router table + per-leaf payloads)
+/// from anything else `open_checkpoint` might hand back.
+const ADAPTIVE_CHECKPOINT_MAGIC: u32 = 0xADA7_71C5;
+
 /// A regular `Sx × Sy` spatial partition of the monitored domain with a
 /// halo of ghost coverage around every cut line.
 ///
@@ -194,6 +199,392 @@ impl ShardMap {
     }
 }
 
+/// One leaf of an adaptive [`Partition`]: a finite tile with a stable
+/// shard id and the ancestry of tiles it was split out of.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartLeaf {
+    /// Stable shard id — assigned once, never reused. WAL segments and
+    /// log shipments are keyed by this, so a shard's identity survives
+    /// renumbering when neighbors split or merge.
+    pub id: u32,
+    /// The finite tile this leaf covers.
+    pub tile: Rect,
+    /// Ancestor tiles, root grid cell first, immediate parent last
+    /// (`depth == path.len()`). Four leaves sharing the same last path
+    /// entry are merge siblings; merging pops it.
+    pub path: Vec<Rect>,
+}
+
+impl PartLeaf {
+    /// How many splits below the root grid this leaf sits.
+    pub fn depth(&self) -> u32 {
+        self.path.len() as u32
+    }
+
+    /// The tile of the split this leaf came out of, if any.
+    pub fn parent_tile(&self) -> Option<&Rect> {
+        self.path.last()
+    }
+}
+
+/// Bitwise rect identity — the sibling-grouping key (tiles are exact
+/// midpoint fractions of their parent, so equality is reliable).
+fn rect_bits(r: &Rect) -> (u64, u64, u64, u64) {
+    (
+        r.x_lo.to_bits(),
+        r.y_lo.to_bits(),
+        r.x_hi.to_bits(),
+        r.y_hi.to_bits(),
+    )
+}
+
+/// An adaptive spatial partition: a grid of root tiles, each
+/// recursively splittable into quadrants and re-mergeable, behind the
+/// same routing/halo/owned-rect contract as [`ShardMap`].
+///
+/// A partition built by [`from_grid`](Partition::from_grid) produces
+/// bit-identical `tile`/`owned`/`ingest_region`/`route` results to the
+/// `ShardMap` it mirrors, so a never-split adaptive plane behaves
+/// exactly like the fixed grid it replaced. `epoch` increments on every
+/// topology change; log shipments carry it so replicas re-bootstrap
+/// instead of misapplying offsets cut under another topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    bounds: Rect,
+    halo: f64,
+    epoch: u64,
+    next_id: u32,
+    leaves: Vec<PartLeaf>,
+}
+
+impl Partition {
+    /// Mirrors a fixed [`ShardMap`]: one root leaf per grid cell, in
+    /// the map's row-major order, with stable ids `0..n`.
+    pub fn from_grid(map: &ShardMap) -> Self {
+        let n = map.shards();
+        Partition {
+            bounds: map.bounds(),
+            halo: map.halo(),
+            epoch: 0,
+            next_id: n as u32,
+            leaves: (0..n)
+                .map(|i| PartLeaf {
+                    id: i as u32,
+                    tile: map.tile(i),
+                    path: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total number of leaves (shards).
+    pub fn shards(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The halo width around every cut line.
+    pub fn halo(&self) -> f64 {
+        self.halo
+    }
+
+    /// The nominal (finite) domain the partition covers.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The topology epoch: bumped by every split and merge.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The leaves, in routing order.
+    pub fn leaves(&self) -> &[PartLeaf] {
+        &self.leaves
+    }
+
+    /// The finite tile of leaf `i`.
+    pub fn tile(&self, i: usize) -> Rect {
+        self.leaves[i].tile
+    }
+
+    /// Index of the leaf with stable id `id`, if it is still a leaf.
+    pub fn index_of_id(&self, id: u32) -> Option<usize> {
+        self.leaves.iter().position(|l| l.id == id)
+    }
+
+    /// The rectangle leaf `i` *owns*: its tile, with every edge that
+    /// coincides with the domain boundary extended to ±infinity so the
+    /// owned rectangles of all leaves tile the entire plane (engine
+    /// answers overhang the nominal domain by up to a structure cell).
+    pub fn owned(&self, i: usize) -> Rect {
+        let t = self.leaves[i].tile;
+        Rect::new(
+            if t.x_lo == self.bounds.x_lo {
+                f64::NEG_INFINITY
+            } else {
+                t.x_lo
+            },
+            if t.y_lo == self.bounds.y_lo {
+                f64::NEG_INFINITY
+            } else {
+                t.y_lo
+            },
+            if t.x_hi == self.bounds.x_hi {
+                f64::INFINITY
+            } else {
+                t.x_hi
+            },
+            if t.y_hi == self.bounds.y_hi {
+                f64::INFINITY
+            } else {
+                t.y_hi
+            },
+        )
+    }
+
+    /// The region leaf `i` ingests: its owned rectangle inflated by the
+    /// halo (closed intersection semantics, same as [`ShardMap`]).
+    pub fn ingest_region(&self, i: usize) -> Rect {
+        self.owned(i).inflate(self.halo)
+    }
+
+    /// Indices of every leaf whose ingest region intersects `bbox`.
+    pub fn route(&self, bbox: &Rect) -> impl Iterator<Item = usize> + '_ {
+        let bbox = *bbox;
+        (0..self.shards()).filter(move |&i| self.ingest_region(i).intersects(&bbox))
+    }
+
+    /// Splits leaf `i` into four quadrant children at the tile's
+    /// midpoints (SW, SE, NW, NE — routing order preserved in place)
+    /// and returns the children's fresh stable ids.
+    pub fn split(&mut self, i: usize) -> [u32; 4] {
+        let leaf = self.leaves[i].clone();
+        let t = leaf.tile;
+        let mx = t.x_lo + t.width() * 0.5;
+        let my = t.y_lo + t.height() * 0.5;
+        let mut path = leaf.path;
+        path.push(t);
+        let tiles = [
+            Rect::new(t.x_lo, t.y_lo, mx, my),
+            Rect::new(mx, t.y_lo, t.x_hi, my),
+            Rect::new(t.x_lo, my, mx, t.y_hi),
+            Rect::new(mx, my, t.x_hi, t.y_hi),
+        ];
+        let ids = [
+            self.next_id,
+            self.next_id + 1,
+            self.next_id + 2,
+            self.next_id + 3,
+        ];
+        self.next_id += 4;
+        let children = tiles.iter().zip(ids).map(|(&tile, id)| PartLeaf {
+            id,
+            tile,
+            path: path.clone(),
+        });
+        self.leaves.splice(i..=i, children);
+        self.epoch += 1;
+        ids
+    }
+
+    /// Complete sibling groups: every set of four leaves that share the
+    /// same parent tile (and so can merge back into it). Each group's
+    /// indices are ascending and contiguous.
+    pub fn sibling_groups(&self) -> Vec<[usize; 4]> {
+        let mut by_parent: HashMap<(u64, u64, u64, u64), Vec<usize>> = HashMap::new();
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            if let Some(p) = leaf.parent_tile() {
+                by_parent.entry(rect_bits(p)).or_default().push(i);
+            }
+        }
+        let mut groups: Vec<[usize; 4]> = by_parent
+            .into_values()
+            .filter(|g| g.len() == 4)
+            .map(|g| [g[0], g[1], g[2], g[3]])
+            .collect();
+        groups.sort();
+        groups
+    }
+
+    /// Merges a complete sibling group (ascending indices, as returned
+    /// by [`sibling_groups`](Self::sibling_groups)) back into its
+    /// parent tile under a fresh stable id; returns that id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are not four contiguous leaves sharing
+    /// one parent tile.
+    pub fn merge(&mut self, group: [usize; 4]) -> u32 {
+        assert!(
+            group.windows(2).all(|w| w[1] == w[0] + 1),
+            "merge group must be contiguous, got {group:?}"
+        );
+        let parent = *self.leaves[group[0]]
+            .parent_tile()
+            .expect("merge group has no parent tile");
+        assert!(
+            group
+                .iter()
+                .all(|&i| self.leaves[i].parent_tile().map(rect_bits) == Some(rect_bits(&parent))),
+            "merge group members disagree on the parent tile"
+        );
+        let mut path = self.leaves[group[0]].path.clone();
+        path.pop();
+        let id = self.next_id;
+        self.next_id += 1;
+        let merged = PartLeaf {
+            id,
+            tile: parent,
+            path,
+        };
+        self.leaves.splice(group[0]..=group[3], [merged]);
+        self.epoch += 1;
+        id
+    }
+
+    /// Serializes the partition (for composed checkpoints and replica
+    /// bootstrap shipments).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        fn put_rect(w: &mut ByteWriter, r: &Rect) {
+            w.put_f64(r.x_lo);
+            w.put_f64(r.y_lo);
+            w.put_f64(r.x_hi);
+            w.put_f64(r.y_hi);
+        }
+        w.put_u32(1); // partition codec version
+        put_rect(w, &self.bounds);
+        w.put_f64(self.halo);
+        w.put_u64(self.epoch);
+        w.put_u32(self.next_id);
+        w.put_u32(self.leaves.len() as u32);
+        for leaf in &self.leaves {
+            w.put_u32(leaf.id);
+            put_rect(w, &leaf.tile);
+            w.put_u32(leaf.path.len() as u32);
+            for p in &leaf.path {
+                put_rect(w, p);
+            }
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    pub fn decode(r: &mut ByteReader) -> Result<Partition, RecoverError> {
+        fn get_rect(r: &mut ByteReader) -> Result<Rect, RecoverError> {
+            let (x_lo, y_lo, x_hi, y_hi) = (r.get_f64()?, r.get_f64()?, r.get_f64()?, r.get_f64()?);
+            Ok(Rect::new(x_lo, y_lo, x_hi, y_hi))
+        }
+        let version = r.get_u32()?;
+        if version != 1 {
+            return Err(RecoverError::Mismatch("unknown partition codec version"));
+        }
+        let bounds = get_rect(r)?;
+        let halo = r.get_f64()?;
+        let epoch = r.get_u64()?;
+        let next_id = r.get_u32()?;
+        let n = r.get_u32()? as usize;
+        let mut leaves = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.get_u32()?;
+            let tile = get_rect(r)?;
+            let depth = r.get_u32()? as usize;
+            let mut path = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                path.push(get_rect(r)?);
+            }
+            leaves.push(PartLeaf { id, tile, path });
+        }
+        Ok(Partition {
+            bounds,
+            halo,
+            epoch,
+            next_id,
+            leaves,
+        })
+    }
+}
+
+/// Hysteresis knobs for policy-driven topology changes on an adaptive
+/// plane. Thresholds are in *owned* objects (halo ghosts excluded —
+/// they would otherwise inflate apparent load on every shard bordering
+/// a hotspot): a leaf owning more than `split_threshold` splits; a
+/// complete sibling group owning fewer than `merge_threshold` combined
+/// merges. `min_interval` ticks must pass between topology changes, and
+/// `max_depth`/`max_shards` bound the tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SplitPolicy {
+    /// Owned objects above which a leaf splits.
+    pub split_threshold: u64,
+    /// Combined owned objects below which four siblings merge.
+    pub merge_threshold: u64,
+    /// Minimum ticks between topology changes (hysteresis).
+    pub min_interval: u64,
+    /// Maximum splits below a root grid cell.
+    pub max_depth: u32,
+    /// Maximum total leaves.
+    pub max_shards: usize,
+}
+
+impl Default for SplitPolicy {
+    fn default() -> Self {
+        SplitPolicy {
+            split_threshold: 512,
+            merge_threshold: 64,
+            min_interval: 4,
+            max_depth: 6,
+            max_shards: 64,
+        }
+    }
+}
+
+/// Why a requested split/merge/rebalance was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyError {
+    /// The plane is fenced (a newer primary exists) — topology changes
+    /// are writes and are refused like any other.
+    Fenced,
+    /// No leaf (or sibling group) qualifies for the requested action.
+    NoCandidate,
+    /// Splitting the leaf would exceed `max_depth` or `max_shards`.
+    Limits,
+    /// The handoff was aborted mid-replay (crash injection) — the plane
+    /// is untouched.
+    Aborted,
+    /// Cloning the source shard's state into the children failed.
+    Recover(RecoverError),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::Fenced => write!(f, "plane is fenced; topology changes refused"),
+            TopologyError::NoCandidate => write!(f, "no shard qualifies for the action"),
+            TopologyError::Limits => write!(f, "split would exceed max_depth or max_shards"),
+            TopologyError::Aborted => write!(f, "migration handoff aborted before cutover"),
+            TopologyError::Recover(e) => write!(f, "migration handoff failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// What a completed split or merge did, for the `rebalance` wire op
+/// and the metrics plane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RebalanceReport {
+    /// `"split"` or `"merge"`.
+    pub action: &'static str,
+    /// Stable ids of the shards retired by the cutover.
+    pub retired: Vec<u32>,
+    /// Stable ids of the shards created by the cutover.
+    pub created: Vec<u32>,
+    /// WAL records replayed during the handoff.
+    pub records_replayed: u64,
+    /// Leaf count after the cutover.
+    pub leaves: usize,
+    /// Partition epoch after the cutover.
+    pub part_epoch: u64,
+}
+
 /// Everything one shard owns: its engine, its WAL segment, and its
 /// latest checkpoint (with the segment offset it replays from).
 struct ShardState {
@@ -210,7 +601,7 @@ struct ShardState {
 /// queries synchronize on the same locks whichever pool thread runs
 /// the task.
 struct ShardPlane {
-    map: ShardMap,
+    part: Partition,
     shards: Vec<RwLock<ShardState>>,
     degraded: Vec<AtomicBool>,
 }
@@ -335,6 +726,27 @@ pub struct ShardedEngine {
     fenced: AtomicBool,
     /// Writes dropped because the plane is fenced.
     fenced_writes: AtomicU64,
+    /// Builds a fresh inner engine — kept so splits, merges, and
+    /// topology-reshaping restores can mint shards after construction.
+    builder: Box<dyn FnMut(usize) -> Box<dyn DensityEngine> + Send + Sync>,
+    /// The router's view of the live object set: id → the motion bits
+    /// the shards were handed (inserts keep the newest `t_ref`; deletes
+    /// remove only an exact bit-match, which makes per-shard WAL replay
+    /// order-insensitive). This is what shard merges rebuild from and
+    /// what the owned-load accounting below counts.
+    router_table: HashMap<u64, MotionState>,
+    /// Per-leaf count of *owned* live objects (the leaf whose owned
+    /// rectangle contains the object's reported position). Unlike the
+    /// inner engines' `objects` stat this excludes halo ghosts, so the
+    /// split policy sees true load.
+    owned_counts: Vec<u64>,
+    /// Policy for automatic splits/merges; `None` = fixed topology.
+    policy: Option<SplitPolicy>,
+    /// Tick of the last topology change, for policy hysteresis.
+    last_topology_at: Option<Timestamp>,
+    /// Completed splits / merges, for metrics.
+    splits: u64,
+    merges: u64,
 }
 
 impl ShardedEngine {
@@ -353,17 +765,39 @@ impl ShardedEngine {
         t_start: Timestamp,
         threads: usize,
         l_max: f64,
-        mut build: impl FnMut(usize) -> Box<dyn DensityEngine>,
+        build: impl FnMut(usize) -> Box<dyn DensityEngine> + Send + Sync + 'static,
+    ) -> Self {
+        Self::with_partition(
+            name,
+            Partition::from_grid(&map),
+            horizon,
+            t_start,
+            threads,
+            l_max,
+            Box::new(build),
+        )
+    }
+
+    /// Builds the plane over an explicit [`Partition`]; [`new`](Self::new)
+    /// is the grid-shaped convenience wrapper.
+    pub fn with_partition(
+        name: &'static str,
+        part: Partition,
+        horizon: TimeHorizon,
+        t_start: Timestamp,
+        threads: usize,
+        l_max: f64,
+        mut builder: Box<dyn FnMut(usize) -> Box<dyn DensityEngine> + Send + Sync>,
     ) -> Self {
         assert!(
             l_max.is_finite() && l_max > 0.0,
             "l_max must be a positive finite edge length, got {l_max}"
         );
-        let n = map.shards();
+        let n = part.shards();
         let shards = (0..n)
             .map(|i| {
                 let header = SegmentHeader {
-                    shard: i as u32,
+                    shard: part.leaves()[i].id,
                     shards: n as u32,
                 };
                 // Per-shard segments write the columnar codec2 records;
@@ -372,7 +806,7 @@ impl ShardedEngine {
                 let wal = Wal::new_segment_with(header, WalCodec::V2);
                 let checkpoint_offset = wal.offset();
                 RwLock::new(ShardState {
-                    engine: build(i),
+                    engine: builder(i),
                     wal,
                     checkpoint: None,
                     checkpoint_offset,
@@ -386,7 +820,7 @@ impl ShardedEngine {
             threads,
             l_max,
             plane: Arc::new(ShardPlane {
-                map,
+                part,
                 shards,
                 degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
             }),
@@ -399,6 +833,13 @@ impl ShardedEngine {
             repl_epoch: 1,
             fenced: AtomicBool::new(false),
             fenced_writes: AtomicU64::new(0),
+            builder,
+            router_table: HashMap::new(),
+            owned_counts: vec![0; n],
+            policy: None,
+            last_topology_at: None,
+            splits: 0,
+            merges: 0,
         }
     }
 
@@ -463,13 +904,13 @@ impl ShardedEngine {
     /// tile the plane, so this is never empty.
     fn owners_of(&self, region: &Rect) -> Vec<usize> {
         (0..self.plane.shards.len())
-            .filter(|&i| self.plane.map.owned(i).intersects(region))
+            .filter(|&i| self.plane.part.owned(i).intersects(region))
             .collect()
     }
 
     /// The spatial partition this plane serves.
-    pub fn map(&self) -> &ShardMap {
-        &self.plane.map
+    pub fn map(&self) -> &Partition {
+        &self.plane.part
     }
 
     /// `true` when shard `i` is stickily degraded.
@@ -529,7 +970,7 @@ impl ShardedEngine {
             parts
                 .iter()
                 .enumerate()
-                .map(|(i, a)| (&a.regions, self.plane.map.owned(i))),
+                .map(|(i, a)| (&a.regions, self.plane.part.owned(i))),
         );
         EngineAnswer {
             regions,
@@ -541,13 +982,91 @@ impl ShardedEngine {
 
     fn route_targets(&self, u: &Update) -> impl Iterator<Item = usize> + '_ {
         let bbox = u.routing_bbox(self.horizon.h());
-        self.plane.map.route(&bbox)
+        self.plane.part.route(&bbox)
+    }
+
+    /// The leaf owning the reported position of `m` (owned rectangles
+    /// tile the plane, so this is `None` only for non-finite motions).
+    fn owner_index(part: &Partition, m: &MotionState) -> Option<usize> {
+        let p = m.position_at(m.t_ref);
+        (0..part.shards()).find(|&i| part.owned(i).contains_half_open(p))
+    }
+
+    /// Folds one routed update into the router's live-object table and
+    /// the per-leaf owned counts. Inserts keep the newest `t_ref` and
+    /// deletes remove only an exact bit-match — that makes replaying
+    /// the same updates from several per-shard WAL tails (duplicated,
+    /// shard-ordered rather than globally ordered) converge to the same
+    /// table a chronological feed produces.
+    fn note_update(&mut self, u: &Update) {
+        match u.kind {
+            pdr_mobject::UpdateKind::Insert { motion } => {
+                if let Some(prev) = self.router_table.get(&u.id.0) {
+                    if prev.t_ref > motion.t_ref {
+                        return; // stale copy replayed out of order
+                    }
+                    let prev = *prev;
+                    if let Some(o) = Self::owner_index(&self.plane.part, &prev) {
+                        self.owned_counts[o] -= 1;
+                    }
+                }
+                self.router_table.insert(u.id.0, motion);
+                if let Some(o) = Self::owner_index(&self.plane.part, &motion) {
+                    self.owned_counts[o] += 1;
+                }
+            }
+            pdr_mobject::UpdateKind::Delete { old_motion } => {
+                if self.router_table.get(&u.id.0) == Some(&old_motion) {
+                    self.router_table.remove(&u.id.0);
+                    if let Some(o) = Self::owner_index(&self.plane.part, &old_motion) {
+                        self.owned_counts[o] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes the per-leaf owned counts from the router table —
+    /// used after a topology change re-shapes the leaf vector.
+    fn recount_owned(&mut self) {
+        let mut counts = vec![0u64; self.plane.part.shards()];
+        for m in self.router_table.values() {
+            if let Some(o) = Self::owner_index(&self.plane.part, m) {
+                counts[o] += 1;
+            }
+        }
+        self.owned_counts = counts;
+    }
+
+    /// Per-leaf count of live objects whose reported position the leaf
+    /// owns (halo ghosts excluded) — the load signal [`SplitPolicy`]
+    /// acts on.
+    pub fn owned_objects(&self) -> &[u64] {
+        &self.owned_counts
     }
 
     /// Composes per-shard checkpoint payloads into one sealed
-    /// container: `[count u32]` then per shard `[len u64][crc u32][bytes]`.
-    fn compose_checkpoint(parts: &[Vec<u8>]) -> Vec<u8> {
+    /// container: a magic tag, the partition, the router's live-object
+    /// table, then per leaf `[len u64][crc u32][bytes]` in leaf order.
+    /// Embedding the partition is what lets a restore (or a replica
+    /// bootstrap) adopt the sender's topology instead of refusing it.
+    fn compose_checkpoint(&self, parts: &[Vec<u8>]) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        w.put_u32(ADAPTIVE_CHECKPOINT_MAGIC);
+        w.put_u64(self.t_base);
+        self.plane.part.encode(&mut w);
+        let mut ids: Vec<&u64> = self.router_table.keys().collect();
+        ids.sort();
+        w.put_u32(self.router_table.len() as u32);
+        for id in ids {
+            let m = &self.router_table[id];
+            w.put_u64(*id);
+            w.put_f64(m.origin.x);
+            w.put_f64(m.origin.y);
+            w.put_f64(m.velocity.x);
+            w.put_f64(m.velocity.y);
+            w.put_u64(m.t_ref);
+        }
         w.put_u32(parts.len() as u32);
         for cp in parts {
             w.put_u64(cp.len() as u64);
@@ -598,7 +1117,7 @@ impl ShardedEngine {
                 .map(|i| {
                     let s = self.plane.read_shard(i);
                     ShippedSegment {
-                        shard: i as u32,
+                        shard: self.plane.part.leaves()[i].id,
                         start: from[i],
                         bytes: s.wal.bytes()[from[i]..].to_vec(),
                     }
@@ -608,22 +1127,23 @@ impl ShardedEngine {
                 shards: n as u32,
                 epoch: self.wal_epoch,
                 repl_epoch: self.repl_epoch,
+                part_epoch: self.plane.part.epoch(),
                 t_base: self.t_base,
                 checkpoint: None,
                 segments,
             };
         }
         // Bootstrap: ship the stored per-shard checkpoints (sealed as
-        // one container) and each segment's tail from its checkpoint
-        // mark. Without a stored checkpoint (nothing bulk-loaded yet)
-        // the full segments from just past their headers reproduce the
-        // whole history.
+        // one container, with the partition and router table embedded)
+        // and each segment's tail from its checkpoint mark. Without a
+        // stored checkpoint (nothing bulk-loaded yet) the full segments
+        // from just past their headers reproduce the whole history.
         let stored: Option<Vec<Vec<u8>>> = (0..n)
             .map(|i| self.plane.read_shard(i).checkpoint.clone())
             .collect();
         let (checkpoint, starts): (Option<Vec<u8>>, Vec<usize>) = match stored {
             Some(parts) => (
-                Some(Self::compose_checkpoint(&parts)),
+                Some(self.compose_checkpoint(&parts)),
                 (0..n)
                     .map(|i| self.plane.read_shard(i).checkpoint_offset)
                     .collect(),
@@ -634,7 +1154,7 @@ impl ShardedEngine {
             .map(|i| {
                 let s = self.plane.read_shard(i);
                 ShippedSegment {
-                    shard: i as u32,
+                    shard: self.plane.part.leaves()[i].id,
                     start: starts[i],
                     bytes: s.wal.bytes()[starts[i]..].to_vec(),
                 }
@@ -644,6 +1164,7 @@ impl ShardedEngine {
             shards: n as u32,
             epoch: self.wal_epoch,
             repl_epoch: self.repl_epoch,
+            part_epoch: self.plane.part.epoch(),
             t_base: self.t_base,
             checkpoint,
             segments,
@@ -671,7 +1192,8 @@ impl ShardedEngine {
             )));
         }
         let mut summary = TailSummary::default();
-        let mut s = self.plane.write_shard(shard);
+        let plane = Arc::clone(&self.plane);
+        let mut s = plane.write_shard(shard);
         s.wal.append_framed(bytes, rep.records.len() as u64);
         for rec in &rep.records {
             summary.records += 1;
@@ -683,6 +1205,9 @@ impl ShardedEngine {
                 WalRecord::Batch(batch) => {
                     summary.updates += batch.len() as u64;
                     s.engine.apply_batch(batch);
+                    for u in batch.iter() {
+                        self.note_update(u);
+                    }
                 }
             }
         }
@@ -692,6 +1217,497 @@ impl ShardedEngine {
         }
         self.updates_applied += summary.updates;
         Ok(summary)
+    }
+
+    // -----------------------------------------------------------------
+    // Adaptive topology: splits, merges, live migration
+    // -----------------------------------------------------------------
+
+    /// The current partition (topology) epoch.
+    pub fn part_epoch(&self) -> u64 {
+        self.plane.part.epoch()
+    }
+
+    /// Installs (or clears) the automatic split/merge policy. With a
+    /// policy set, `advance_to` evaluates it once per tick on the
+    /// owned-load counters; without one the topology never changes on
+    /// its own (manual [`rebalance`](Self::rebalance) still works).
+    pub fn set_policy(&mut self, policy: Option<SplitPolicy>) {
+        self.policy = policy;
+    }
+
+    /// The installed automatic policy, if any.
+    pub fn policy(&self) -> Option<SplitPolicy> {
+        self.policy
+    }
+
+    /// Completed split count.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Completed merge count.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Takes exclusive ownership of the plane for a topology flip.
+    /// `&mut self` guarantees no fan-out task group is in flight (they
+    /// only live inside a single engine call), so the `Arc` is unique.
+    fn take_plane(&mut self) -> ShardPlane {
+        let placeholder = Arc::new(ShardPlane {
+            part: Partition::from_grid(&ShardMap::new(Rect::new(0.0, 0.0, 1.0, 1.0), 1, 1, 0.0)),
+            shards: Vec::new(),
+            degraded: Vec::new(),
+        });
+        match Arc::try_unwrap(std::mem::replace(&mut self.plane, placeholder)) {
+            Ok(plane) => plane,
+            Err(_) => unreachable!("plane Arc aliased outside an engine call"),
+        }
+    }
+
+    /// Re-registers every plane-level subscription on its (possibly
+    /// new) owner set and flags it for a `resync` marker. Called after
+    /// every topology change: `register_with_id` resets the inner
+    /// answer, so the next maintenance pass recomputes from scratch on
+    /// each owner — the plane-level diff stays exact throughout because
+    /// it is taken against the plane's own committed answer.
+    fn reroute_subscriptions(&mut self) {
+        let specs: Vec<Subscription> = self.subs.subs().copied().collect();
+        self.sub_owners.clear();
+        for sub in specs {
+            let owners = self.owners_of(&sub.region);
+            for &i in &owners {
+                if let Some(t) = self.plane.write_shard(i).engine.subscriptions_mut() {
+                    t.register_with_id(sub);
+                }
+            }
+            self.sub_owners.insert(sub.id.0, owners);
+            self.subs.mark_resync(sub.id);
+        }
+    }
+
+    /// Splits leaf `idx` into four children by live migration: the
+    /// source shard's sealed checkpoint and WAL-segment tail are
+    /// "shipped" to each child, replayed (each child restores the exact
+    /// byte state the source would recover to), pruned down to the
+    /// child's own ingest region (so the routing invariant — an object
+    /// lives only in shards its bbox intersects — survives the
+    /// migration), and only then is routing flipped — atomically,
+    /// under `&mut self`, with the partition and WAL epochs bumped so
+    /// replicas re-bootstrap instead of misapplying offsets. No update
+    /// is lost: everything the source ingested is in its checkpoint or
+    /// tail, and everything after the flip routes to the children.
+    pub fn split_shard(&mut self, idx: usize) -> Result<RebalanceReport, TopologyError> {
+        self.split_shard_inner(idx, None)
+    }
+
+    /// [`split_shard`](Self::split_shard) with crash injection: abort
+    /// the handoff after replaying `abort_after` tail records, before
+    /// the cutover. The plane is untouched — exactly what a crash at
+    /// that WAL-record boundary would leave behind.
+    pub fn split_shard_aborting(
+        &mut self,
+        idx: usize,
+        abort_after: usize,
+    ) -> Result<RebalanceReport, TopologyError> {
+        self.split_shard_inner(idx, Some(abort_after))
+    }
+
+    fn split_shard_inner(
+        &mut self,
+        idx: usize,
+        abort_after: Option<usize>,
+    ) -> Result<RebalanceReport, TopologyError> {
+        if self.is_fenced() {
+            return Err(TopologyError::Fenced);
+        }
+        let limits = self.policy.unwrap_or_default();
+        if idx >= self.plane.part.shards() {
+            return Err(TopologyError::NoCandidate);
+        }
+        if self.plane.part.leaves()[idx].depth() >= limits.max_depth
+            || self.plane.part.shards() + 3 > limits.max_shards
+        {
+            return Err(TopologyError::Limits);
+        }
+        // Seal: under `&mut self` no writer can interleave; snapshot
+        // the source's checkpoint and segment tail (the handoff bytes).
+        let (source_id, checkpoint, tail) = {
+            let s = self.plane.read_shard(idx);
+            (
+                self.plane.part.leaves()[idx].id,
+                s.checkpoint.clone(),
+                s.wal.bytes()[s.checkpoint_offset..].to_vec(),
+            )
+        };
+        // Each child's ingest region under the post-split geometry,
+        // taken from a cloned partition with the split applied — the
+        // prune filter below must agree *bitwise* with how the real
+        // partition will route once the cutover lands, so the geometry
+        // is never re-derived by hand.
+        let post = {
+            let mut p = self.plane.part.clone();
+            p.split(idx);
+            p
+        };
+        let child_ingest = [
+            post.ingest_region(idx),
+            post.ingest_region(idx + 1),
+            post.ingest_region(idx + 2),
+            post.ingest_region(idx + 3),
+        ];
+        let source_ingest = self.plane.part.ingest_region(idx);
+        let h = self.horizon.h();
+        let mut prune_ids: Vec<u64> = self.router_table.keys().copied().collect();
+        prune_ids.sort_unstable();
+        // Replay the handoff into four fresh children. Any failure (or
+        // an injected crash) before the flip leaves the plane untouched.
+        let mut children: Vec<Box<dyn DensityEngine>> = Vec::with_capacity(4);
+        let mut records_replayed = 0u64;
+        for ingest in &child_ingest {
+            let mut e = (self.builder)(idx);
+            if let Some(cp) = checkpoint.as_deref() {
+                e.restore_from(cp).map_err(TopologyError::Recover)?;
+            }
+            let rep = crate::wal::replay(&tail)
+                .map_err(|e| TopologyError::Recover(RecoverError::Codec(e)))?;
+            let mut replayed = 0usize;
+            for rec in rep.records {
+                if abort_after == Some(replayed) {
+                    return Err(TopologyError::Aborted);
+                }
+                match rec {
+                    WalRecord::Advance(t) => e.advance_to(t),
+                    WalRecord::Batch(batch) => e.apply_batch(&batch),
+                }
+                replayed += 1;
+            }
+            if let Some(k) = abort_after {
+                // A boundary at the very end of the tail: the handoff
+                // replayed everything but crashed before the flip.
+                if k == replayed {
+                    return Err(TopologyError::Aborted);
+                }
+            }
+            records_replayed += replayed as u64;
+            // Complete the migration: prune from the child every object
+            // whose routing bbox misses its post-split ingest region.
+            // Routing only ever delivers an object to shards its bbox
+            // intersects; the full-state clone would otherwise leave
+            // stale copies behind that invariant — a later re-report
+            // pair would route its delete elsewhere while the insert
+            // collides with the stale copy here.
+            let prune: Vec<Update> = prune_ids
+                .iter()
+                .filter_map(|&id| {
+                    let m = self.router_table[&id];
+                    let bbox =
+                        Rect::from_corners(m.position_at(m.t_ref), m.position_at(m.t_ref + h));
+                    (bbox.intersects(&source_ingest) && !bbox.intersects(ingest))
+                        .then_some(Update {
+                            id: ObjectId(id),
+                            t_now: self.t_base,
+                            kind: pdr_mobject::UpdateKind::Delete { old_motion: m },
+                        })
+                })
+                .collect();
+            if !prune.is_empty() {
+                e.apply_batch(&prune);
+            }
+            children.push(e);
+        }
+        // Cutover: flip routing atomically. The source shard (engine,
+        // WAL, checkpoint) retires with the old plane.
+        let ShardPlane {
+            mut part,
+            shards,
+            degraded,
+        } = self.take_plane();
+        let child_ids = part.split(idx);
+        let n = part.shards();
+        let source_degraded = degraded[idx].load(Ordering::Acquire);
+        let mut new_shards: Vec<RwLock<ShardState>> = Vec::with_capacity(n);
+        let mut new_degraded: Vec<AtomicBool> = Vec::with_capacity(n);
+        let mut old_shards = shards.into_iter();
+        let mut old_degraded = degraded.into_iter();
+        for slot in 0..self.wrapping_old_count(n) {
+            let state = old_shards.next().expect("old plane exhausted early");
+            let was_degraded = old_degraded
+                .next()
+                .expect("old plane exhausted early")
+                .into_inner();
+            if slot == idx {
+                // Retire the source; seat the four children in place.
+                drop(state);
+                for (k, e) in children.drain(..).enumerate() {
+                    let header = SegmentHeader {
+                        shard: child_ids[k],
+                        shards: n as u32,
+                    };
+                    let wal = Wal::new_segment_with(header, WalCodec::V2);
+                    let checkpoint_offset = wal.offset();
+                    let checkpoint = e.checkpoint();
+                    new_shards.push(RwLock::new(ShardState {
+                        engine: e,
+                        wal,
+                        checkpoint,
+                        checkpoint_offset,
+                    }));
+                    new_degraded.push(AtomicBool::new(source_degraded));
+                }
+            } else {
+                new_shards.push(state);
+                new_degraded.push(AtomicBool::new(was_degraded));
+            }
+        }
+        self.plane = Arc::new(ShardPlane {
+            part,
+            shards: new_shards,
+            degraded: new_degraded,
+        });
+        self.finish_topology_change();
+        self.splits += 1;
+        Ok(RebalanceReport {
+            action: "split",
+            retired: vec![source_id],
+            created: child_ids.to_vec(),
+            records_replayed,
+            leaves: self.plane.part.shards(),
+            part_epoch: self.plane.part.epoch(),
+        })
+    }
+
+    /// Old-plane slot count during a split: children replace one slot,
+    /// so the loop walks the *old* indices.
+    fn wrapping_old_count(&self, new_count: usize) -> usize {
+        new_count - 3
+    }
+
+    /// Merges a complete sibling group back into its parent tile. The
+    /// parent engine is rebuilt from the router's live-object table:
+    /// every live object whose routing bbox intersects the parent's
+    /// ingest region is re-applied as an insertion carrying its
+    /// original motion bits **at its original report time** — the seed
+    /// is grouped by `t_ref` and replayed in time order, advancing the
+    /// fresh engine between groups. This reproduces bit-for-bit the
+    /// histogram state a long-running engine holds for those motions at
+    /// `t_base` (an insert deposits over `[t_now, t_now+H]`, so
+    /// re-inserting "now" would smear density onto slots past
+    /// `t_ref + H` that the retired children never touched) — without
+    /// inheriting any stale ghost state the children may hold.
+    pub fn merge_shards(&mut self, group: [usize; 4]) -> Result<RebalanceReport, TopologyError> {
+        if self.is_fenced() {
+            return Err(TopologyError::Fenced);
+        }
+        if !self.plane.part.sibling_groups().contains(&group) {
+            return Err(TopologyError::NoCandidate);
+        }
+        // The parent's ingest region, taken from a cloned partition
+        // with the merge applied — the seed filter must agree bitwise
+        // with how the post-cutover partition routes.
+        let ingest = {
+            let mut p = self.plane.part.clone();
+            p.merge(group);
+            p.ingest_region(group[0])
+        };
+        let h = self.horizon.h();
+        let mut ids: Vec<u64> = self.router_table.keys().copied().collect();
+        ids.sort_unstable();
+        let mut seed: std::collections::BTreeMap<Timestamp, Vec<Update>> =
+            std::collections::BTreeMap::new();
+        for id in ids {
+            let m = self.router_table[&id];
+            let bbox = Rect::from_corners(m.position_at(m.t_ref), m.position_at(m.t_ref + h));
+            if bbox.intersects(&ingest) {
+                seed.entry(m.t_ref).or_default().push(Update {
+                    id: ObjectId(id),
+                    t_now: m.t_ref,
+                    // Construct the literal (not `Update::insert`) so
+                    // the motion keeps its original `t_ref` and bits —
+                    // re-anchoring would recompute positions and could
+                    // flip a cell assignment at an exact boundary.
+                    kind: pdr_mobject::UpdateKind::Insert { motion: m },
+                });
+            }
+        }
+        let mut parent = Some((self.builder)(group[0]));
+        if let Some(e) = parent.as_mut() {
+            for (t, batch) in &seed {
+                e.advance_to(*t);
+                e.apply_batch(batch);
+            }
+            e.advance_to(self.t_base);
+        }
+        let retired: Vec<u32> = group
+            .iter()
+            .map(|&i| self.plane.part.leaves()[i].id)
+            .collect();
+        // Cutover.
+        let ShardPlane {
+            mut part,
+            shards,
+            degraded,
+        } = self.take_plane();
+        let parent_id = part.merge(group);
+        let n = part.shards();
+        let mut new_shards: Vec<RwLock<ShardState>> = Vec::with_capacity(n);
+        let mut new_degraded: Vec<AtomicBool> = Vec::with_capacity(n);
+        for (slot, (state, was_degraded)) in shards.into_iter().zip(degraded).enumerate() {
+            if group.contains(&slot) {
+                // Retire the child; seat the parent at the first slot.
+                drop(state);
+                if slot == group[0] {
+                    let engine = parent.take().expect("parent seated once");
+                    let header = SegmentHeader {
+                        shard: parent_id,
+                        shards: n as u32,
+                    };
+                    let wal = Wal::new_segment_with(header, WalCodec::V2);
+                    let checkpoint_offset = wal.offset();
+                    let checkpoint = engine.checkpoint();
+                    new_shards.push(RwLock::new(ShardState {
+                        engine,
+                        wal,
+                        checkpoint,
+                        checkpoint_offset,
+                    }));
+                    // The parent is rebuilt from the router table, not
+                    // the children — a degraded child's lost state is
+                    // re-derived, so the merged shard starts healthy.
+                    new_degraded.push(AtomicBool::new(false));
+                }
+            } else {
+                let d = was_degraded.into_inner();
+                new_shards.push(state);
+                new_degraded.push(AtomicBool::new(d));
+            }
+        }
+        self.plane = Arc::new(ShardPlane {
+            part,
+            shards: new_shards,
+            degraded: new_degraded,
+        });
+        self.finish_topology_change();
+        self.merges += 1;
+        Ok(RebalanceReport {
+            action: "merge",
+            retired,
+            created: vec![parent_id],
+            records_replayed: seed.values().map(|b| b.len() as u64).sum(),
+            leaves: self.plane.part.shards(),
+            part_epoch: self.plane.part.epoch(),
+        })
+    }
+
+    /// Shared post-cutover bookkeeping: recount owned load for the new
+    /// leaf vector, re-route subscriptions (with resync markers), bump
+    /// the WAL epoch (old shipment offsets are meaningless against the
+    /// new leaf order) and re-checkpoint every shard so bootstrap
+    /// shipments always carry the new topology.
+    fn finish_topology_change(&mut self) {
+        self.recount_owned();
+        self.reroute_subscriptions();
+        self.wal_epoch += 1;
+        self.last_topology_at = Some(self.t_base);
+        self.refresh_checkpoints();
+    }
+
+    /// The leaf with the highest owned load that the policy limits
+    /// still allow to split.
+    pub fn hottest_splittable(&self) -> Option<usize> {
+        let limits = self.policy.unwrap_or_default();
+        if self.plane.part.shards() + 3 > limits.max_shards {
+            return None;
+        }
+        (0..self.plane.part.shards())
+            .filter(|&i| self.plane.part.leaves()[i].depth() < limits.max_depth)
+            .max_by_key(|&i| (self.owned_counts[i], std::cmp::Reverse(i)))
+    }
+
+    /// The complete sibling group with the lowest combined owned load.
+    pub fn coldest_sibling_group(&self) -> Option<[usize; 4]> {
+        self.plane
+            .part
+            .sibling_groups()
+            .into_iter()
+            .min_by_key(|g| (g.iter().map(|&i| self.owned_counts[i]).sum::<u64>(), g[0]))
+    }
+
+    /// Manual rebalance (the `rebalance` wire op): force one split of
+    /// the hottest splittable leaf or one merge of the coldest complete
+    /// sibling group, regardless of thresholds (limits still apply).
+    pub fn rebalance_split(&mut self) -> Result<RebalanceReport, TopologyError> {
+        let idx = self.hottest_splittable().ok_or(TopologyError::Limits)?;
+        self.split_shard(idx)
+    }
+
+    /// See [`rebalance_split`](Self::rebalance_split).
+    pub fn rebalance_merge(&mut self) -> Result<RebalanceReport, TopologyError> {
+        let group = self
+            .coldest_sibling_group()
+            .ok_or(TopologyError::NoCandidate)?;
+        self.merge_shards(group)
+    }
+
+    /// One policy evaluation: split the hottest overloaded leaf, else
+    /// merge the coldest underloaded sibling group. Hysteresis: nothing
+    /// happens within `min_interval` ticks of the last change.
+    fn auto_rebalance(&mut self) {
+        let Some(policy) = self.policy else { return };
+        if self.is_fenced() {
+            return;
+        }
+        if let Some(last) = self.last_topology_at {
+            if self.t_base.saturating_sub(last) < policy.min_interval {
+                return;
+            }
+        }
+        if let Some(idx) = self.hottest_splittable() {
+            if self.owned_counts[idx] > policy.split_threshold {
+                let _ = self.split_shard(idx);
+                return;
+            }
+        }
+        if let Some(group) = self.coldest_sibling_group() {
+            let combined: u64 = group.iter().map(|&i| self.owned_counts[i]).sum();
+            if combined < policy.merge_threshold {
+                let _ = self.merge_shards(group);
+            }
+        }
+    }
+
+    /// The partition tree with per-leaf loads, as a JSON block for the
+    /// `metrics` wire op.
+    pub fn partition_json(&self) -> String {
+        let leaves: Vec<String> = (0..self.plane.part.shards())
+            .map(|i| {
+                let leaf = &self.plane.part.leaves()[i];
+                let st = self.plane.read_shard(i).engine.stats();
+                let owned = self.owned_counts[i];
+                format!(
+                    "{{\"id\":{},\"depth\":{},\"tile\":[{},{},{},{}],\
+                     \"owned_objects\":{},\"ghost_objects\":{}}}",
+                    leaf.id,
+                    leaf.depth(),
+                    crate::obs::json_f64(leaf.tile.x_lo),
+                    crate::obs::json_f64(leaf.tile.y_lo),
+                    crate::obs::json_f64(leaf.tile.x_hi),
+                    crate::obs::json_f64(leaf.tile.y_hi),
+                    owned,
+                    (st.objects as u64).saturating_sub(owned),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"epoch\":{},\"leaves\":{},\"splits\":{},\"merges\":{},\"adaptive\":{},\"tree\":[{}]}}",
+            self.plane.part.epoch(),
+            self.plane.part.shards(),
+            self.splits,
+            self.merges,
+            self.policy.is_some(),
+            leaves.join(",")
+        )
     }
 }
 
@@ -709,7 +1725,8 @@ pub struct TailSummary {
 /// One shard's WAL delta inside a [`LogShipment`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShippedSegment {
-    /// Which shard the bytes belong to.
+    /// Stable shard id the bytes belong to (a [`PartLeaf::id`], not a
+    /// positional index — identity survives topology renumbering).
     pub shard: u32,
     /// Byte offset in the primary's segment where `bytes` begins.
     pub start: usize,
@@ -730,6 +1747,11 @@ pub struct LogShipment {
     /// [`ShardedEngine::promote_to`]). A receiver on a newer epoch
     /// refuses the shipment as fenced.
     pub repl_epoch: u64,
+    /// Partition (topology) epoch of the plane that cut the shipment.
+    /// Incremental shipments only apply against an identical topology;
+    /// a mismatch forces the replica to re-bootstrap (the bootstrap
+    /// checkpoint embeds the new partition, which the replica adopts).
+    pub part_epoch: u64,
     /// The primary's protocol time when the shipment was cut — the
     /// replica's staleness bound is measured against this.
     pub t_base: Timestamp,
@@ -768,10 +1790,12 @@ impl DensityEngine for ShardedEngine {
                 continue;
             }
             let bbox = Rect::from_corners(m.position_at(m.t_ref), m.position_at(m.t_ref + h));
-            for i in self.plane.map.route(&bbox) {
+            for i in self.plane.part.route(&bbox) {
                 per_shard[i].push((id, m));
             }
+            self.router_table.insert(id.0, m);
         }
+        self.recount_owned();
         self.updates_applied += objects.len() as u64;
         let plane = Arc::clone(&self.plane);
         let per_shard = Arc::new(per_shard);
@@ -803,9 +1827,11 @@ impl DensityEngine for ShardedEngine {
                 continue;
             }
             self.updates_applied += 1;
-            for i in self.route_targets(u) {
+            let targets: Vec<usize> = self.route_targets(u).collect();
+            for i in targets {
                 per_shard[i].push(*u);
             }
+            self.note_update(u);
         }
         // Per-shard batches apply concurrently (one task per shard):
         // each task takes only its own shard's write lock, so ingest
@@ -834,6 +1860,9 @@ impl DensityEngine for ShardedEngine {
             s.wal.append_advance(t_now);
             s.engine.advance_to(t_now);
         });
+        if self.policy.is_some() {
+            self.auto_rebalance();
+        }
     }
 
     fn query(&self, q: &PdrQuery) -> EngineAnswer {
@@ -870,17 +1899,75 @@ impl DensityEngine for ShardedEngine {
         let parts: Option<Vec<Vec<u8>>> = (0..self.plane.shards.len())
             .map(|i| self.plane.read_shard(i).engine.checkpoint())
             .collect();
-        Some(Self::compose_checkpoint(&parts?))
+        Some(self.compose_checkpoint(&parts?))
     }
 
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), RecoverError> {
         let payload = open_checkpoint(bytes)?;
         let mut r = ByteReader::new(payload);
-        let n = r.get_u32()? as usize;
-        if n != self.plane.shards.len() {
+        if r.get_u32()? != ADAPTIVE_CHECKPOINT_MAGIC {
             return Err(RecoverError::Mismatch(
-                "checkpoint was taken at a different shard count",
+                "not a sharded-plane checkpoint container",
             ));
+        }
+        let t_base = r.get_u64()?;
+        let part = Partition::decode(&mut r)?;
+        let table_len = r.get_u32()? as usize;
+        let mut table = HashMap::with_capacity(table_len);
+        for _ in 0..table_len {
+            let id = r.get_u64()?;
+            let origin = pdr_geometry::Point::new(r.get_f64()?, r.get_f64()?);
+            let velocity = pdr_geometry::Point::new(r.get_f64()?, r.get_f64()?);
+            let t_ref = r.get_u64()?;
+            table.insert(
+                id,
+                MotionState {
+                    origin,
+                    velocity,
+                    t_ref,
+                },
+            );
+        }
+        let n = r.get_u32()? as usize;
+        if n != part.shards() {
+            return Err(RecoverError::Mismatch(
+                "checkpoint shard count disagrees with its own partition",
+            ));
+        }
+        // Adopt the checkpoint's topology. When the leaf set differs
+        // from the current plane's — a replica bootstrapping across a
+        // split/merge, or a restore after a topology change — the plane
+        // is re-shaped: fresh inner engines are minted by the stored
+        // builder and every plane-level subscription re-routes to the
+        // new owner set (with a resync marker on its next patch).
+        let reshape = self.plane.part.leaves() != part.leaves();
+        if reshape {
+            let shards = (0..n)
+                .map(|i| {
+                    let header = SegmentHeader {
+                        shard: part.leaves()[i].id,
+                        shards: n as u32,
+                    };
+                    let wal = Wal::new_segment_with(header, WalCodec::V2);
+                    let checkpoint_offset = wal.offset();
+                    RwLock::new(ShardState {
+                        engine: (self.builder)(i),
+                        wal,
+                        checkpoint: None,
+                        checkpoint_offset,
+                    })
+                })
+                .collect();
+            self.plane = Arc::new(ShardPlane {
+                part,
+                shards,
+                degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            });
+        } else {
+            // Same leaf set; still adopt the epoch/next_id bookkeeping.
+            Arc::get_mut(&mut self.plane)
+                .expect("plane aliased outside a fan-out")
+                .part = part;
         }
         let mut pos = payload.len() - r.remaining();
         for i in 0..n {
@@ -902,13 +1989,23 @@ impl DensityEngine for ShardedEngine {
             s.checkpoint = Some(slice.to_vec());
             s.wal = Wal::new_segment_with(
                 SegmentHeader {
-                    shard: i as u32,
+                    shard: self.plane.part.leaves()[i].id,
                     shards: n as u32,
                 },
                 WalCodec::V2,
             );
             s.checkpoint_offset = s.wal.offset();
             self.plane.degraded[i].store(false, Ordering::Release);
+        }
+        self.router_table = table;
+        // Rewind the router clock to the checkpoint's: the screening
+        // window must match the restored state, or replaying the
+        // post-checkpoint log would reject its own earliest records
+        // as stale.
+        self.t_base = t_base;
+        self.recount_owned();
+        if reshape {
+            self.reroute_subscriptions();
         }
         // Segments reset: start a new epoch so shipped byte offsets
         // from the old log can never be misread against the new one.
@@ -955,7 +2052,7 @@ impl DensityEngine for ShardedEngine {
             parts
                 .iter()
                 .enumerate()
-                .map(|(i, rs)| (rs, self.plane.map.owned(i))),
+                .map(|(i, rs)| (rs, self.plane.part.owned(i))),
         )
     }
 
@@ -1058,7 +2155,7 @@ impl DensityEngine for ShardedEngine {
                 ) {
                     (Some(rects), Some(false)) => parts.push((
                         RegionSet::from_rects(rects.iter().copied()),
-                        self.plane.map.owned(i),
+                        self.plane.part.owned(i),
                     )),
                     _ => {
                         degraded = true;
@@ -1155,7 +2252,7 @@ impl DensityEngine for ShardedEngine {
             .map(|i| {
                 let s = self.plane.read_shard(i);
                 let st = s.engine.stats();
-                let tile = self.plane.map.tile(i);
+                let tile = self.plane.part.tile(i);
                 format!(
                     "{{\"shard\":{i},\"segment\":\"{}\",\"tile\":[{},{},{},{}],\
                      \"degraded\":{},\"wal_records\":{},\"wal_bytes\":{},\
@@ -1247,5 +2344,278 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![0]
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Adaptive partition
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn partition_from_grid_matches_shard_map() {
+        let map = map_2x2();
+        let part = Partition::from_grid(&map);
+        assert_eq!(part.shards(), map.shards());
+        assert_eq!(part.epoch(), 0);
+        for i in 0..map.shards() {
+            assert_eq!(part.tile(i), map.tile(i), "tile {i}");
+            assert_eq!(part.owned(i), map.owned(i), "owned {i}");
+        }
+        for bbox in [
+            Rect::new(10.0, 10.0, 20.0, 20.0),
+            Rect::new(41.0, 10.0, 45.0, 20.0),
+            Rect::new(49.0, 49.0, 51.0, 51.0),
+            Rect::new(150.0, 150.0, 160.0, 160.0),
+        ] {
+            assert_eq!(
+                part.route(&bbox).collect::<Vec<_>>(),
+                map.route(&bbox).collect::<Vec<_>>(),
+                "route {bbox:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_split_and_merge_round_trip() {
+        let map = ShardMap::new(Rect::new(0.0, 0.0, 100.0, 100.0), 1, 1, 15.0);
+        let mut part = Partition::from_grid(&map);
+        let before = part.clone();
+        let kids = part.split(0);
+        assert_eq!(part.shards(), 4);
+        assert_eq!(part.epoch(), 1);
+        assert_eq!(kids.len(), 4);
+        // Children tile the parent exactly and own the whole plane.
+        let mut area = 0.0;
+        for i in 0..4 {
+            area += part.tile(i).area();
+            assert_eq!(part.leaves()[i].depth(), 1);
+        }
+        assert!((area - 100.0 * 100.0).abs() < 1e-9);
+        for &p in &[
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(-1e9, 77.0),
+            Point::new(25.0, 99.0),
+        ] {
+            let owners: Vec<usize> = (0..part.shards())
+                .filter(|&i| part.owned(i).contains_half_open(p))
+                .collect();
+            assert_eq!(owners.len(), 1, "point {p:?} owned by {owners:?}");
+        }
+        // Split a child, then merge it back: the sibling group must
+        // exclude the now-incomplete top-level set, include the new one.
+        let sub = part.split(2);
+        assert_eq!(part.shards(), 7);
+        let groups = part.sibling_groups();
+        assert_eq!(groups, vec![[2, 3, 4, 5]]);
+        let parent = part.merge([2, 3, 4, 5]);
+        assert_eq!(part.shards(), 4);
+        assert!(!sub.contains(&parent), "merged leaf gets a fresh id");
+        assert_eq!(part.sibling_groups(), vec![[0, 1, 2, 3]]);
+        let top = part.merge([0, 1, 2, 3]);
+        assert_eq!(part.shards(), 1);
+        assert_eq!(part.tile(0), before.tile(0));
+        assert_eq!(part.owned(0), before.owned(0));
+        assert!(top != before.leaves()[0].id || part.epoch() != before.epoch());
+    }
+
+    #[test]
+    fn partition_codec_round_trip() {
+        let map = map_2x2();
+        let mut part = Partition::from_grid(&map);
+        part.split(1);
+        part.split(3);
+        let mut w = pdr_storage::ByteWriter::new();
+        part.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = pdr_storage::ByteReader::new(&bytes);
+        let back = Partition::decode(&mut r).expect("decodes");
+        assert_eq!(back, part);
+    }
+
+    fn fr_cfg() -> crate::FrConfig {
+        crate::FrConfig {
+            extent: 100.0,
+            m: 20, // pitch 5: halo = l/2 + 2·pitch = 15
+            horizon: pdr_mobject::TimeHorizon::new(4, 4),
+            buffer_pages: 16,
+            threads: 1,
+        }
+    }
+
+    fn fr_plane(sx: u32, sy: u32) -> ShardedEngine {
+        let map = ShardMap::new(Rect::new(0.0, 0.0, 100.0, 100.0), sx, sy, 15.0);
+        ShardedEngine::new(
+            "fr",
+            map,
+            pdr_mobject::TimeHorizon::new(4, 4),
+            0,
+            1,
+            10.0,
+            |_| Box::new(crate::FrEngine::new(fr_cfg(), 0)),
+        )
+    }
+
+    /// A hotspot cluster in the SW quadrant plus thin background — the
+    /// shape that makes "split the hottest leaf" deterministic.
+    fn hotspot_population() -> Vec<(ObjectId, MotionState)> {
+        let mut pop = Vec::new();
+        let mut id = 0u64;
+        for i in 0..60 {
+            let x = 10.0 + (i % 10) as f64 * 2.5;
+            let y = 10.0 + (i / 10) as f64 * 3.0;
+            pop.push((
+                ObjectId(id),
+                MotionState::new(Point::new(x, y), Point::new(0.3, 0.2), 0),
+            ));
+            id += 1;
+        }
+        for i in 0..12 {
+            let x = 55.0 + (i % 4) as f64 * 10.0;
+            let y = 55.0 + (i / 4) as f64 * 12.0;
+            pop.push((
+                ObjectId(id),
+                MotionState::new(Point::new(x, y), Point::new(-0.4, 0.1), 0),
+            ));
+            id += 1;
+        }
+        pop
+    }
+
+    /// Satellite: halo ghosts must not count as load. An object inside
+    /// one shard's owned rect but within halo reach of its neighbor is
+    /// replicated into both engines, yet the policy-facing counters
+    /// must see it exactly once.
+    #[test]
+    fn owned_load_counts_ghosts_once() {
+        let mut plane = fr_plane(2, 2);
+        // Right next to the x = 50 cut, owned by shard 0, ghosted into
+        // shard 1 (49 + halo 15 crosses the cut).
+        let near_cut = (
+            ObjectId(7),
+            MotionState::new(Point::new(49.0, 10.0), Point::new(0.0, 0.0), 0),
+        );
+        let deep_inside = (
+            ObjectId(8),
+            MotionState::new(Point::new(10.0, 10.0), Point::new(0.0, 0.0), 0),
+        );
+        plane.bulk_load(&[near_cut, deep_inside], 0);
+        assert_eq!(plane.owned_objects(), &[2, 0, 0, 0]);
+        // The raw engine population shows the replication: shard 1
+        // carries the ghost.
+        let ghosts: u64 = (0..4)
+            .map(|i| plane.plane.read_shard(i).engine.stats().objects as u64)
+            .sum::<u64>()
+            - 2;
+        assert!(ghosts >= 1, "expected at least one halo ghost");
+        // A churn that moves the object across the cut moves ownership.
+        let batch = vec![
+            Update::delete(ObjectId(7), 1, near_cut.1),
+            Update::insert(
+                ObjectId(7),
+                1,
+                MotionState::new(Point::new(60.0, 10.0), Point::new(0.0, 0.0), 1),
+            ),
+        ];
+        plane.advance_to(1);
+        plane.apply_batch(&batch);
+        assert_eq!(plane.owned_objects(), &[1, 1, 0, 0]);
+        // Deletes drop the count entirely.
+        plane.apply_batch(&[Update::delete(
+            ObjectId(8),
+            1,
+            MotionState::new(Point::new(10.0, 10.0), Point::new(0.0, 0.0), 0),
+        )]);
+        assert_eq!(plane.owned_objects(), &[0, 1, 0, 0]);
+    }
+
+    /// Split (live migration to four children) and merge (rebuild from
+    /// the router table) must both preserve answers bit-for-bit against
+    /// the unsharded engine.
+    #[test]
+    fn split_then_merge_keeps_answers_bit_identical() {
+        let pop = hotspot_population();
+        let mut reference = crate::FrEngine::new(fr_cfg(), 0);
+        reference.bulk_load(&pop, 0);
+        let mut plane = fr_plane(1, 1);
+        plane.bulk_load(&pop, 0);
+
+        let check = |plane: &ShardedEngine, reference: &crate::FrEngine, t: Timestamp| {
+            for q_t in t..=t + 2 {
+                for (rho, l) in [(0.08, 10.0), (0.15, 10.0), (0.04, 10.0)] {
+                    let q = PdrQuery::new(rho, l, q_t);
+                    let mut want = reference.query(&q).regions;
+                    want.canonicalize();
+                    let got = plane.query(&q).regions;
+                    assert_eq!(
+                        got.rects(),
+                        want.rects(),
+                        "diverged at t={t} q_t={q_t} rho={rho} l={l} leaves={}",
+                        plane.map().shards()
+                    );
+                }
+            }
+        };
+        check(&plane, &reference, 0);
+
+        let r = plane.rebalance_split().expect("first split");
+        assert_eq!(r.leaves, 4);
+        assert_eq!(plane.part_epoch(), 1);
+        check(&plane, &reference, 0);
+
+        // The hotspot sits in the SW child; a second split goes there.
+        let r2 = plane.rebalance_split().expect("second split");
+        assert_eq!(r2.leaves, 7);
+        check(&plane, &reference, 0);
+
+        // Keep churning after the migrations.
+        plane.advance_to(1);
+        reference.advance_to(1);
+        let old = pop[3].1;
+        let batch = vec![
+            Update::delete(pop[3].0, 1, old),
+            Update::insert(
+                pop[3].0,
+                1,
+                MotionState::new(Point::new(80.0, 80.0), Point::new(0.5, -0.5), 1),
+            ),
+        ];
+        plane.apply_batch(&batch);
+        reference.apply_batch(&batch);
+        check(&plane, &reference, 1);
+
+        // Merge the deep group back, then the top-level one.
+        let m = plane.rebalance_merge().expect("merge");
+        assert_eq!(m.leaves, 4);
+        check(&plane, &reference, 1);
+        let m2 = plane.rebalance_merge().expect("merge to root");
+        assert_eq!(m2.leaves, 1);
+        check(&plane, &reference, 1);
+        assert_eq!(plane.splits(), 2);
+        assert_eq!(plane.merges(), 2);
+    }
+
+    /// A crash after the flip restores into the *new* topology; a fresh
+    /// plane restoring the same checkpoint reshapes to match.
+    #[test]
+    fn checkpoint_restores_across_topology_change() {
+        let pop = hotspot_population();
+        let mut plane = fr_plane(1, 1);
+        plane.bulk_load(&pop, 0);
+        plane.rebalance_split().expect("split");
+        plane.advance_to(1);
+        let q = PdrQuery::new(0.08, 10.0, 1);
+        let want = plane.query(&q).regions;
+        let cp = plane.checkpoint().expect("composed checkpoint");
+
+        // Restore into a fresh 1×1 plane: it must reshape to 4 leaves.
+        let mut fresh = fr_plane(1, 1);
+        fresh.restore_from(&cp).expect("reshaping restore");
+        assert_eq!(fresh.map().shards(), 4);
+        assert_eq!(fresh.part_epoch(), plane.part_epoch());
+        assert_eq!(fresh.query(&q).regions.rects(), want.rects());
+
+        // Restore into the same plane (the crash-recovery path).
+        plane.restore_from(&cp).expect("self restore");
+        assert_eq!(plane.query(&q).regions.rects(), want.rects());
     }
 }

@@ -96,6 +96,12 @@ pub struct AnswerDelta {
     /// patch carries no rects — the previous answer stays authoritative
     /// but stale; the first non-degraded patch afterwards catches up.
     pub degraded: bool,
+    /// `true` on the first patch emitted after the subscription was
+    /// re-routed to a new owner set (a shard split, merge, or plane
+    /// restore). The patch itself is still an exact diff — consumers
+    /// replay it like any other — the marker only tells them the
+    /// serving topology changed underneath the subscription.
+    pub resync: bool,
 }
 
 /// Canonical rectangle order: the total order
@@ -196,11 +202,12 @@ impl AnswerDelta {
             format!("[{}]", items.join(","))
         }
         format!(
-            "{{\"sub\":{},\"t\":{},\"q_t\":{},\"degraded\":{},\"added\":{},\"removed\":{}}}",
+            "{{\"sub\":{},\"t\":{},\"q_t\":{},\"degraded\":{},\"resync\":{},\"added\":{},\"removed\":{}}}",
             self.id.0,
             self.now,
             self.q_t,
             self.degraded,
+            self.resync,
             rects_json(&self.added),
             rects_json(&self.removed)
         )
@@ -250,6 +257,10 @@ struct SubState {
     /// Last committed canonical answer (clipped to the region).
     answer: Vec<Rect>,
     degraded: bool,
+    /// Set when the owner set serving this subscription changed (shard
+    /// split/merge/restore); the next emitted patch carries the
+    /// `resync` marker and clears the flag.
+    resync: bool,
 }
 
 /// Per-engine registry of standing subscriptions: owns the
@@ -313,8 +324,19 @@ impl SubscriptionTable {
                 sub,
                 answer: Vec::new(),
                 degraded: false,
+                resync: false,
             },
         );
+    }
+
+    /// Flags `id` for a topology resync: the next patch (even an
+    /// otherwise-silent one) is emitted with `resync: true`. The sharded
+    /// plane calls this after re-routing a subscription to a new owner
+    /// set, so consumers learn the serving topology changed.
+    pub fn mark_resync(&mut self, id: SubId) {
+        if let Some(state) = self.subs.get_mut(&id.0) {
+            state.resync = true;
+        }
     }
 
     /// Removes a subscription; `false` when the id is unknown.
@@ -370,9 +392,11 @@ impl SubscriptionTable {
         let new: Vec<Rect> = answer.rects().to_vec();
         let (added, removed) = diff_canonical(&state.answer, &new);
         let was_degraded = state.degraded;
+        let resync = state.resync;
         state.answer = new;
         state.degraded = false;
-        if added.is_empty() && removed.is_empty() && !was_degraded {
+        state.resync = false;
+        if added.is_empty() && removed.is_empty() && !was_degraded && !resync {
             return None;
         }
         Some(AnswerDelta {
@@ -382,6 +406,7 @@ impl SubscriptionTable {
             added,
             removed,
             degraded: false,
+            resync,
         })
     }
 
@@ -400,6 +425,8 @@ impl SubscriptionTable {
             return None;
         }
         state.degraded = true;
+        let resync = state.resync;
+        state.resync = false;
         Some(AnswerDelta {
             id,
             now,
@@ -407,6 +434,7 @@ impl SubscriptionTable {
             added: Vec::new(),
             removed: Vec::new(),
             degraded: true,
+            resync,
         })
     }
 }
@@ -437,6 +465,7 @@ mod tests {
             added,
             removed,
             degraded: false,
+            resync: false,
         };
         let mut replay = old.clone();
         delta.apply_to(&mut replay);
@@ -468,6 +497,27 @@ mod tests {
         assert_eq!(t.is_degraded(id), Some(false));
         assert!(t.unregister(id));
         assert!(!t.unregister(id));
+    }
+
+    #[test]
+    fn resync_marker_rides_the_next_patch_once() {
+        let mut t = SubscriptionTable::new();
+        let id = t
+            .register(0.1, 10.0, r(0.0, 0.0, 100.0, 100.0), QtPolicy::NowPlus(1))
+            .unwrap();
+        let ans = RegionSet::from_rects([r(1.0, 1.0, 2.0, 2.0)]);
+        let d = t.commit(id, ans.clone(), 0, 1).expect("first commit emits");
+        assert!(!d.resync);
+        // An unchanged commit is silent — until a resync is pending, in
+        // which case the marker forces an (otherwise empty) patch out.
+        assert!(t.commit(id, ans.clone(), 1, 2).is_none());
+        t.mark_resync(id);
+        let d = t
+            .commit(id, ans.clone(), 2, 3)
+            .expect("resync forces a patch");
+        assert!(d.resync && d.is_empty() && !d.degraded);
+        // The flag is one-shot.
+        assert!(t.commit(id, ans, 3, 4).is_none());
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn fr_cfg() -> FrConfig {
 
 fn sharded_spec(sx: u32, sy: u32) -> EngineSpec {
     EngineSpec::Sharded {
+        adaptive: None,
         inner: Box::new(EngineSpec::Fr(fr_cfg())),
         sx,
         sy,

@@ -216,6 +216,7 @@ fn shard_grid_times_worker_count_is_bit_identical() {
     for (sx, sy) in [(1u32, 1u32), (2, 2)] {
         for threads in [1usize, 2, 4] {
             let spec = EngineSpec::Sharded {
+                adaptive: None,
                 inner: Box::new(EngineSpec::Fr(fr_cfg(threads))),
                 sx,
                 sy,

@@ -152,6 +152,7 @@ fn codec_case(seed: u64) {
 
 fn sharded_spec(sx: u32, sy: u32) -> EngineSpec {
     EngineSpec::Sharded {
+        adaptive: None,
         inner: Box::new(EngineSpec::Fr(fr_cfg())),
         sx,
         sy,

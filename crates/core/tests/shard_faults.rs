@@ -55,7 +55,7 @@ fn plane() -> ShardedEngine {
         2,
         L / 2.0 + 2.0 * pitch,
     );
-    ShardedEngine::new("sharded-fr", map, cfg.horizon, 0, 1, L, |_| {
+    ShardedEngine::new("sharded-fr", map, cfg.horizon, 0, 1, L, move |_| {
         EngineSpec::Fr(cfg).build(0)
     })
 }

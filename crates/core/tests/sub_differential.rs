@@ -222,6 +222,7 @@ fn unsharded_fr_deltas_match_from_scratch_queries() {
 #[test]
 fn sharded_1x1_deltas_match_from_scratch_queries() {
     let spec = EngineSpec::Sharded {
+        adaptive: None,
         inner: Box::new(EngineSpec::Fr(fr_cfg())),
         sx: 1,
         sy: 1,
@@ -233,6 +234,7 @@ fn sharded_1x1_deltas_match_from_scratch_queries() {
 #[test]
 fn sharded_2x2_deltas_match_from_scratch_queries() {
     let spec = EngineSpec::Sharded {
+        adaptive: None,
         inner: Box::new(EngineSpec::Fr(fr_cfg())),
         sx: 2,
         sy: 2,

@@ -31,6 +31,7 @@ pub mod rng;
 mod serve;
 mod simple;
 mod simulator;
+mod skew;
 
 pub use net::{NetClient, NetServer, NetServerConfig};
 pub use netfault::{FrameFault, NetFaultInjector, NetFaultPlan, NetFaultStats};
@@ -42,3 +43,4 @@ pub use serve::{
 };
 pub use simple::{gaussian_clusters, uniform_population};
 pub use simulator::{DatasetSpec, TrafficSimulator};
+pub use skew::{SkewConfig, SkewedWorkload};

@@ -26,9 +26,10 @@
 //! | `unsubscribe` | `sub`[, `engine`]                            | `removed`                                 |
 //! | `poll_deltas` | —                                            | `deltas` array, `lost`                    |
 //! | `tick`        | —                                            | `updates`, `t_now`, `deltas`              |
-//! | `ship_log`    | `epoch`, `offsets`[, `repl_epoch`, `engine`] | `epoch`, `repl_epoch`, `t_base`, `checkpoint` (base64 or null), `segments` |
+//! | `ship_log`    | `epoch`, `offsets`[, `repl_epoch`, `engine`] | `epoch`, `repl_epoch`, `part_epoch`, `t_base`, `checkpoint` (base64 or null), `segments` |
 //! | `sync`        | [`engine`]                                   | `bootstrapped`, `records`, `updates`, `lag`, `applied_t`, `attempts` |
 //! | `promote`     | [`engine`]                                   | `promoted`, `repl_epoch`, `applied_t`     |
+//! | `rebalance`   | [`action` (`"split"`/`"merge"`), `engine`]   | `action`, `retired`, `created`, `records_replayed`, `leaves`, `part_epoch` |
 //! | `metrics`     | —                                            | `metrics` object (counters, clients, exec[, replica])|
 //! | `shutdown`    | —                                            | `draining: true`; server drains and exits |
 //!
@@ -703,6 +704,7 @@ pub fn parse_shipment(resp: &Json) -> Result<LogShipment, String> {
     let shards = field("shards")? as u32;
     let epoch = field("epoch")?;
     let repl_epoch = field("repl_epoch")?;
+    let part_epoch = resp.get("part_epoch").and_then(Json::as_u64).unwrap_or(0);
     let t_base = field("t_base")?;
     let checkpoint = match resp.get("checkpoint") {
         None | Some(Json::Null) => None,
@@ -737,6 +739,7 @@ pub fn parse_shipment(resp: &Json) -> Result<LogShipment, String> {
         shards,
         epoch,
         repl_epoch,
+        part_epoch,
         t_base,
         checkpoint,
         segments,
@@ -1267,6 +1270,7 @@ fn dispatch_op(
                 false,
             )
         }
+        "rebalance" => (serve_rebalance(req, driver), false),
         "metrics" => (metrics_json(driver, shared, cfg), false),
         "shutdown" => ("{\"ok\":true,\"draining\":true}".to_string(), true),
         _ => (err_json("unknown op"), false),
@@ -1439,10 +1443,11 @@ fn serve_ship_log(req: &Json, driver: &RwLock<ServeDriver>) -> String {
         .collect();
     format!(
         "{{\"ok\":true,\"engine\":{label:?},\"shards\":{},\"epoch\":{},\"repl_epoch\":{},\
-         \"t_base\":{},\"checkpoint\":{},\"segments\":[{}]}}",
+         \"part_epoch\":{},\"t_base\":{},\"checkpoint\":{},\"segments\":[{}]}}",
         ship.shards,
         ship.epoch,
         ship.repl_epoch,
+        ship.part_epoch,
         ship.t_base,
         checkpoint,
         segments.join(",")
@@ -1792,6 +1797,36 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
+/// Handles a `rebalance` op: forces one topology change on a sharded
+/// primary — `"action":"split"` splits the hottest splittable leaf,
+/// `"action":"merge"` merges the coldest complete sibling group.
+/// Exists so tests and smoke scripts can exercise migration without
+/// waiting for the automatic policy; limits still apply.
+fn serve_rebalance(req: &Json, driver: &RwLock<ServeDriver>) -> String {
+    let action = req.get("action").and_then(Json::as_str).unwrap_or("split");
+    let mut d = driver.write().unwrap_or_else(|p| p.into_inner());
+    let label = match resolve_label(req, &d) {
+        Ok(l) => l,
+        Err(resp) => return resp,
+    };
+    let Some(plane) = d.engine_mut(&label).and_then(|e| e.as_sharded_mut()) else {
+        return err_json("engine is not a sharded primary");
+    };
+    let result = match action {
+        "split" => plane.rebalance_split(),
+        "merge" => plane.rebalance_merge(),
+        _ => return err_json("action must be \"split\" or \"merge\""),
+    };
+    match result {
+        Ok(r) => format!(
+            "{{\"ok\":true,\"action\":{:?},\"retired\":{:?},\"created\":{:?},\
+             \"records_replayed\":{},\"leaves\":{},\"part_epoch\":{}}}",
+            r.action, r.retired, r.created, r.records_replayed, r.leaves, r.part_epoch
+        ),
+        Err(e) => format!("{{\"ok\":false,\"error\":\"{e}\"}}"),
+    }
+}
+
 fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared, cfg: &NetServerConfig) -> String {
     let pool = Executor::global();
     let clients = {
@@ -1808,7 +1843,7 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared, cfg: &NetServe
             .collect::<Vec<_>>()
             .join(",")
     };
-    let (t_now, objects, replica, repl) = {
+    let (t_now, objects, replica, repl, partition) = {
         let d = driver.read().unwrap_or_else(|p| p.into_inner());
         let default_engine = d.labels().first().and_then(|l| d.engine(l));
         // `replica_lag` and friends ride along whenever the default
@@ -1841,11 +1876,18 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared, cfg: &NetServe
                 p.fenced_writes()
             )
         });
+        // The partition tree (leaf tiles, depths, owned/ghost loads)
+        // of whichever sharded plane backs the default engine —
+        // primary or the plane inside a replica.
+        let partition = default_engine
+            .and_then(|e| e.as_sharded().or_else(|| e.as_replica().map(|r| r.plane())))
+            .map(|p| p.partition_json());
         (
             d.simulator().t_now(),
             d.simulator().population().len(),
             replica,
             repl,
+            partition,
         )
     };
     let wire_subs = {
@@ -1867,7 +1909,7 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared, cfg: &NetServe
          \"pool_workers\":{},\
          \"queue_depth\":{},\"inflight\":{},\"served\":{},\"rejected_admissions\":{},\
          \"failed_queries\":{},\"deadline_misses\":{},\"reaped_connections\":{},\
-         \"wire_subs\":{},\"replica\":{},\"repl\":{},\"netfaults\":{},\
+         \"wire_subs\":{},\"replica\":{},\"repl\":{},\"partition\":{},\"netfaults\":{},\
          \"clients\":[{}],\"exec\":{}}}}}",
         t_now,
         objects,
@@ -1883,6 +1925,7 @@ fn metrics_json(driver: &RwLock<ServeDriver>, shared: &NetShared, cfg: &NetServe
         wire_subs,
         replica.unwrap_or_else(|| "null".into()),
         repl.unwrap_or_else(|| "null".into()),
+        partition.unwrap_or_else(|| "null".into()),
         netfaults,
         clients,
         pool.obs_report().to_json()
@@ -2088,6 +2131,7 @@ mod tests {
                 added: parse_rects(d.get("added").expect("added")),
                 removed: parse_rects(d.get("removed").expect("removed")),
                 degraded: false,
+                resync: d.get("resync").is_some(),
             };
             if let Some(m) = mirrors.get_mut(&id) {
                 patch.apply_to(m);
@@ -2213,6 +2257,7 @@ mod tests {
     /// configs must match for shipped answers to be bit-identical.
     fn sharded_spec() -> EngineSpec {
         EngineSpec::Sharded {
+            adaptive: None,
             inner: Box::new(EngineSpec::Fr(FrConfig {
                 extent: 200.0,
                 m: 40,

@@ -794,6 +794,7 @@ impl ServeDriver {
                                 added: Vec::new(),
                                 removed: Vec::new(),
                                 degraded: true,
+                                resync: false,
                             })
                             .collect()
                     })

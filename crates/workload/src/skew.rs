@@ -1,0 +1,318 @@
+//! Skewed moving-object workload: Gaussian hotspot clusters over a
+//! uniform background, with protocol-shaped churn and an optional
+//! drifting-hotspot mode.
+//!
+//! [`gaussian_clusters`](crate::gaussian_clusters) produces a skewed
+//! *snapshot*; this generator produces a skewed *stream*. Every object
+//! belongs to a hotspot (or to the background), re-reports within the
+//! update period `U` exactly as the PDR protocol assumes (delete by the
+//! old motion, insert the new one), and steers toward its hotspot's
+//! center — so density stays concentrated, and when drift is enabled
+//! the concentration *moves*, which is precisely the load pattern an
+//! adaptive shard plane must chase with splits and merges.
+//!
+//! Fully seeded: the same [`SkewConfig`] replays the same update
+//! stream, so benches and differential fuzzers are reproducible.
+
+use crate::rng::StdRng;
+use pdr_geometry::Point;
+use pdr_mobject::{MotionState, ObjectId, Timestamp, Update};
+
+/// Knobs of the skewed stream.
+#[derive(Clone, Copy, Debug)]
+pub struct SkewConfig {
+    /// Population size.
+    pub objects: usize,
+    /// Square domain edge; positions stay inside `[0, extent]²`.
+    pub extent: f64,
+    /// Gaussian hotspot count (≥ 1).
+    pub hotspots: usize,
+    /// Hotspot standard deviation in domain units.
+    pub sigma: f64,
+    /// Fraction of objects assigned to hotspots; the rest wander the
+    /// whole domain uniformly.
+    pub hotspot_fraction: f64,
+    /// Maximum object speed per axis.
+    pub v_max: f64,
+    /// Hotspot center drift per tick, in domain units. `0.0` pins the
+    /// hotspots (static skew); anything larger makes the dense region
+    /// migrate, forcing topology changes rather than a one-time split.
+    pub drift: f64,
+    /// Update period `U`: every object re-reports at least once every
+    /// `U` ticks (cohort `i % U` reports at tick `t ≡ i (mod U)`).
+    pub update_period: u64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig {
+            objects: 2000,
+            extent: 100.0,
+            hotspots: 2,
+            sigma: 4.0,
+            hotspot_fraction: 0.85,
+            v_max: 1.0,
+            drift: 0.0,
+            update_period: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// The generator: owns the hotspot centers, the per-object hotspot
+/// assignment and the current motion of every object.
+pub struct SkewedWorkload {
+    cfg: SkewConfig,
+    rng: StdRng,
+    /// Hotspot centers with their drift headings (unit-ish vectors).
+    centers: Vec<(Point, Point)>,
+    /// `None` = background object; `Some(k)` = assigned to hotspot `k`.
+    assignment: Vec<Option<usize>>,
+    /// The motion each object last reported (what a router/engine that
+    /// saw the whole stream would hold).
+    motions: Vec<MotionState>,
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl SkewedWorkload {
+    /// Builds the generator and samples the initial population at
+    /// `t_ref = 0`.
+    pub fn new(cfg: SkewConfig) -> SkewedWorkload {
+        assert!(cfg.hotspots >= 1, "at least one hotspot required");
+        assert!(cfg.update_period >= 1, "update period must be >= 1");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let centers: Vec<(Point, Point)> = (0..cfg.hotspots)
+            .map(|_| {
+                let c = Point::new(
+                    rng.random_range(0.2 * cfg.extent..0.8 * cfg.extent),
+                    rng.random_range(0.2 * cfg.extent..0.8 * cfg.extent),
+                );
+                let ang: f64 = rng.random_range(0.0..2.0 * std::f64::consts::PI);
+                (c, Point::new(ang.cos(), ang.sin()))
+            })
+            .collect();
+        let mut w = SkewedWorkload {
+            cfg,
+            rng,
+            centers,
+            assignment: Vec::with_capacity(cfg.objects),
+            motions: Vec::with_capacity(cfg.objects),
+        };
+        for _ in 0..cfg.objects {
+            let hot = w.rng.random_range(0.0..1.0) < cfg.hotspot_fraction;
+            let k = hot.then(|| w.rng.random_range(0..cfg.hotspots));
+            w.assignment.push(k);
+            let p = w.sample_position(k);
+            let v = w.sample_velocity(k, p);
+            w.motions.push(MotionState::new(p, v, 0));
+        }
+        w
+    }
+
+    /// The full population as last reported — seed it with `bulk_load`.
+    pub fn population(&self) -> Vec<(ObjectId, MotionState)> {
+        self.motions
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ObjectId(i as u64), *m))
+            .collect()
+    }
+
+    /// Current hotspot centers (after any drift so far).
+    pub fn centers(&self) -> Vec<Point> {
+        self.centers.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Advances the stream to tick `t_now` and returns the re-report
+    /// batch: cohort `i ≡ t_now (mod U)` deletes its old motion and
+    /// inserts a fresh report anchored at `t_now`. Hotspot centers
+    /// drift first, so re-reports steer toward the *new* center.
+    pub fn tick(&mut self, t_now: Timestamp) -> Vec<Update> {
+        let e = self.cfg.extent;
+        let drift = self.cfg.drift;
+        if drift > 0.0 {
+            for (c, dir) in &mut self.centers {
+                c.x += dir.x * drift;
+                c.y += dir.y * drift;
+                // Bounce off a margin so hotspots never park on the
+                // domain edge (a hotspot astride the boundary would
+                // thin out through clamping).
+                if c.x < 0.15 * e || c.x > 0.85 * e {
+                    dir.x = -dir.x;
+                    c.x = c.x.clamp(0.15 * e, 0.85 * e);
+                }
+                if c.y < 0.15 * e || c.y > 0.85 * e {
+                    dir.y = -dir.y;
+                    c.y = c.y.clamp(0.15 * e, 0.85 * e);
+                }
+            }
+        }
+        let u = self.cfg.update_period;
+        let mut batch = Vec::new();
+        for i in 0..self.cfg.objects {
+            if (i as u64) % u != t_now % u {
+                continue;
+            }
+            let old = self.motions[i];
+            let id = ObjectId(i as u64);
+            batch.push(Update::delete(id, t_now, old));
+            // The fresh report continues from where the object actually
+            // is, re-aimed at its (possibly drifted) hotspot.
+            let mut p = old.position_at(t_now);
+            p.x = p.x.clamp(0.0, e);
+            p.y = p.y.clamp(0.0, e);
+            let v = self.sample_velocity(self.assignment[i], p);
+            let m = MotionState::new(p, v, t_now);
+            batch.push(Update::insert(id, t_now, m));
+            self.motions[i] = m;
+        }
+        batch
+    }
+
+    fn sample_position(&mut self, k: Option<usize>) -> Point {
+        let e = self.cfg.extent;
+        match k {
+            None => Point::new(self.rng.random_range(0.0..e), self.rng.random_range(0.0..e)),
+            Some(k) => {
+                let c = self.centers[k].0;
+                loop {
+                    let q = Point::new(
+                        c.x + gauss(&mut self.rng) * self.cfg.sigma,
+                        c.y + gauss(&mut self.rng) * self.cfg.sigma,
+                    );
+                    if q.x >= 0.0 && q.x <= e && q.y >= 0.0 && q.y <= e {
+                        break q;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Background objects wander uniformly; hotspot objects head for a
+    /// jittered point near their center, at a speed that closes the
+    /// gap without overshooting `v_max`.
+    fn sample_velocity(&mut self, k: Option<usize>, from: Point) -> Point {
+        let v_max = self.cfg.v_max;
+        match k {
+            None => Point::new(
+                self.rng.random_range(-v_max..=v_max),
+                self.rng.random_range(-v_max..=v_max),
+            ),
+            Some(k) => {
+                let c = self.centers[k].0;
+                let target = Point::new(
+                    c.x + gauss(&mut self.rng) * self.cfg.sigma,
+                    c.y + gauss(&mut self.rng) * self.cfg.sigma,
+                );
+                let dx = target.x - from.x;
+                let dy = target.y - from.y;
+                let dist = (dx * dx + dy * dy).sqrt();
+                if dist < 1e-12 {
+                    return Point::new(0.0, 0.0);
+                }
+                // Cover the gap over roughly one update period, capped.
+                let speed = (dist / self.cfg.update_period as f64)
+                    .min(v_max * self.rng.random_range(0.5..1.0));
+                Point::new(dx / dist * speed, dy / dist * speed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn share_near(pop: &[(ObjectId, MotionState)], c: Point, r: f64, t: Timestamp) -> f64 {
+        let n = pop
+            .iter()
+            .filter(|(_, m)| m.position_at(t).distance_sq(c) < r * r)
+            .count();
+        n as f64 / pop.len() as f64
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let cfg = SkewConfig {
+            drift: 0.5,
+            ..Default::default()
+        };
+        let mut a = SkewedWorkload::new(cfg);
+        let mut b = SkewedWorkload::new(cfg);
+        assert_eq!(a.population(), b.population());
+        for t in 1..=6 {
+            assert_eq!(a.tick(t), b.tick(t), "tick {t}");
+        }
+    }
+
+    #[test]
+    fn hotspots_stay_dense_under_churn() {
+        let cfg = SkewConfig {
+            objects: 3000,
+            hotspots: 1,
+            hotspot_fraction: 0.8,
+            ..Default::default()
+        };
+        let mut w = SkewedWorkload::new(cfg);
+        for t in 1..=12 {
+            w.tick(t);
+        }
+        let c = w.centers()[0];
+        // 80% of mass targets a σ=4 blob in a 100×100 domain: the
+        // 3σ-disk share must vastly exceed its ~0.45% area share.
+        let share = share_near(&w.population(), c, 3.0 * cfg.sigma, 12);
+        assert!(share > 0.4, "hotspot share {share}");
+    }
+
+    #[test]
+    fn drifting_hotspot_moves_the_mass() {
+        // Drift slower than `v_max`, or the population can never catch
+        // a center that outruns every object.
+        let cfg = SkewConfig {
+            objects: 2000,
+            hotspots: 1,
+            hotspot_fraction: 0.9,
+            drift: 0.4,
+            update_period: 2,
+            ..Default::default()
+        };
+        let mut w = SkewedWorkload::new(cfg);
+        let start = w.centers()[0];
+        for t in 1..=60 {
+            w.tick(t);
+        }
+        let end = w.centers()[0];
+        assert!(
+            start.distance_sq(end) > 25.0,
+            "center barely moved: {start:?} -> {end:?}"
+        );
+        // The population followed the center.
+        let share = share_near(&w.population(), end, 3.0 * cfg.sigma, 60);
+        assert!(share > 0.3, "mass did not follow the drift: {share}");
+    }
+
+    #[test]
+    fn churn_is_protocol_shaped() {
+        let cfg = SkewConfig::default();
+        let mut w = SkewedWorkload::new(cfg);
+        let batch = w.tick(1);
+        assert!(!batch.is_empty());
+        for pair in batch.chunks(2) {
+            let [del, ins] = pair else {
+                panic!("odd batch")
+            };
+            assert!(matches!(del.kind, pdr_mobject::UpdateKind::Delete { .. }));
+            assert!(matches!(ins.kind, pdr_mobject::UpdateKind::Insert { .. }));
+            assert_eq!(del.id, ins.id);
+            assert_eq!(del.t_now, 1);
+            assert_eq!(ins.t_now, 1);
+        }
+    }
+}

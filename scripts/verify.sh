@@ -9,6 +9,7 @@
 #   scripts/verify.sh --sub-smoke    # only the standing-subscription smoke
 #   scripts/verify.sh --replica-smoke # only the log-shipping replica smoke
 #   scripts/verify.sh --chaos-smoke  # only the failover/netfault chaos smoke
+#   scripts/verify.sh --adaptive-smoke # only the adaptive-sharding smoke
 #
 # Clippy is best-effort: on a fully offline container a missing
 # component must not mask real test failures, so its absence is
@@ -23,6 +24,7 @@ only_tcp=0
 only_sub=0
 only_replica=0
 only_chaos=0
+only_adaptive=0
 [ "${1:-}" = "--fast" ] && fast=1
 [ "${1:-}" = "--fault-matrix" ] && only_faults=1
 [ "${1:-}" = "--sharded-smoke" ] && only_sharded=1
@@ -30,6 +32,7 @@ only_chaos=0
 [ "${1:-}" = "--sub-smoke" ] && only_sub=1
 [ "${1:-}" = "--replica-smoke" ] && only_replica=1
 [ "${1:-}" = "--chaos-smoke" ] && only_chaos=1
+[ "${1:-}" = "--adaptive-smoke" ] && only_adaptive=1
 fail=0
 
 step() { printf '\n==> %s\n' "$*"; }
@@ -534,6 +537,13 @@ chaos_smoke() {
             echo "FAIL: chaos phase 1 injected no duplicate frames"
             fail=1
         fi
+        # lossy-net.plan also drops whole response frames permanently
+        # (every=11): the client's bounded read-timeout-and-retry path
+        # must actually have been exercised.
+        if ! grep -qE '"drops":[1-9]' "$c1log"; then
+            echo "FAIL: chaos phase 1 dropped no response frames"
+            fail=1
+        fi
     fi
     # Crash: no shutdown op, no flush — the primary just dies.
     kill -9 "$primary" 2>/dev/null
@@ -592,6 +602,117 @@ chaos_smoke() {
     done
     rm -f "$pport" "$rport" "$plog" "$rlog" "$c1log" "$c2log"
 }
+
+# Adaptive-sharding smoke: a 1x1 adaptive primary whose policy splits
+# on its own (800 objects > the 200 threshold), plus a forced
+# `rebalance` split and merge over the wire — answers must stay exact
+# through every cutover, the partition metrics must show both
+# topology-change directions, and shutdown must leak nothing.
+adaptive_smoke() {
+    step "adaptive smoke (serve --adaptive + client --rebalance, 10 ticks)"
+    if ! cargo build --release -p pdr-cli; then
+        echo "FAIL: pdr-cli release build"
+        fail=1
+        return
+    fi
+    portfile="$(mktemp /tmp/pdr-adaptive-port.XXXXXX)"
+    serverlog="$(mktemp /tmp/pdr-adaptive-server.XXXXXX.log)"
+    clientlog="$(mktemp /tmp/pdr-adaptive-client.XXXXXX.log)"
+    rm -f "$portfile"
+    target/release/pdrcli serve --objects 800 --extent 400 --ticks 1 \
+        --l 20 --count 8 --seed 11 --shards 1x1 --adaptive \
+        --split-threshold 200 --merge-threshold 40 \
+        --listen 127.0.0.1:0 --port-file "$portfile" --deadline-ms 5000 \
+        >"$serverlog" 2>&1 &
+    server=$!
+    for _ in $(seq 1 150); do
+        [ -s "$portfile" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$portfile" ]; then
+        echo "FAIL: adaptive smoke: server never wrote its port file"
+        fail=1
+        kill -9 "$server" 2>/dev/null
+        wait "$server" 2>/dev/null
+        rm -f "$portfile" "$serverlog" "$clientlog"
+        return
+    fi
+    if ! target/release/pdrcli client --connect "$(cat "$portfile")" \
+            --rebalance --ticks 10 --queries 4 --l 20 --count 8 \
+            >"$clientlog" 2>&1; then
+        echo "FAIL: adaptive client exited nonzero"
+        sed 's/^/  client: /' "$clientlog"
+        fail=1
+    else
+        if ! grep -qF 'all exact' "$clientlog"; then
+            echo "FAIL: adaptive client did not confirm exact answers"
+            fail=1
+        fi
+        for key in '"rebalance":"split"' '"rebalance":"merge"'; do
+            if ! grep -qF "$key" "$clientlog"; then
+                echo "FAIL: adaptive client never drove $key"
+                fail=1
+            fi
+        done
+        # The metrics relay must carry the partition tree with both
+        # topology-change directions counted.
+        if ! grep -qF '"partition":{"epoch":' "$clientlog"; then
+            echo "FAIL: adaptive metrics lack the partition block"
+            fail=1
+        fi
+        if ! grep -qE '"splits":[1-9]' "$clientlog"; then
+            echo "FAIL: adaptive metrics show no splits"
+            fail=1
+        fi
+        if ! grep -qE '"merges":[1-9]' "$clientlog"; then
+            echo "FAIL: adaptive metrics show no merges"
+            fail=1
+        fi
+        if ! grep -qF '"adaptive":true' "$clientlog"; then
+            echo "FAIL: adaptive metrics do not mark the policy"
+            fail=1
+        fi
+    fi
+    server_alive=1
+    for _ in $(seq 1 150); do
+        if ! kill -0 "$server" 2>/dev/null; then
+            server_alive=0
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$server_alive" -eq 1 ]; then
+        echo "FAIL: adaptive server still running after protocol shutdown"
+        kill -9 "$server" 2>/dev/null
+        fail=1
+    fi
+    wait "$server" 2>/dev/null
+    rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: adaptive server exited nonzero ($rc)"
+        sed 's/^/  server: /' "$serverlog"
+        fail=1
+    fi
+    for key in '"shutdown":true' '"leaked_workers":0' '"failed_queries":0'; do
+        if ! grep -qF "$key" "$serverlog"; then
+            echo "FAIL: adaptive shutdown summary lacks $key"
+            fail=1
+        fi
+    done
+    rm -f "$portfile" "$serverlog" "$clientlog"
+}
+
+if [ "$only_adaptive" -eq 1 ]; then
+    adaptive_smoke
+    if [ "$fail" -ne 0 ]; then
+        echo
+        echo "verify: FAILED"
+        exit 1
+    fi
+    echo
+    echo "verify: OK"
+    exit 0
+fi
 
 if [ "$only_chaos" -eq 1 ]; then
     chaos_smoke
@@ -722,6 +843,7 @@ if [ "$fast" -eq 0 ]; then
     sub_smoke
     replica_smoke
     chaos_smoke
+    adaptive_smoke
 fi
 
 step "cargo test -q (tier-1)"
